@@ -1,0 +1,211 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the paper's
+   evaluation (Appendix 3) plus the ablations listed in DESIGN.md, then runs
+   a Bechamel suite with one [Test.make] per experiment (wall-clock cost of
+   regenerating each artefact) and micro-benchmarks of the simulation
+   substrate.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- figure8 # one artefact
+     (artefacts: figure8 figure7 figure1 failover backoff loss dbs
+      persistence consensus-failover throughput micro) *)
+
+let section title body =
+  Printf.printf "== %s ==\n%s\n\n%!" title body
+
+let run_figure8 () =
+  section "E1/E4 (paper Figure 8)"
+    (Harness.Experiments.render_figure8 (Harness.Experiments.figure8 ()))
+
+let run_figure7 () =
+  section "E2 (paper Figure 7)"
+    (Harness.Experiments.render_figure7 (Harness.Experiments.figure7 ()))
+
+let run_figure1 () =
+  section "E3 (paper Figure 1)"
+    (Harness.Experiments.render_figure1 (Harness.Experiments.figure1 ()))
+
+let run_failover () =
+  section "A1 (ablation)"
+    (Harness.Experiments.render_failover (Harness.Experiments.failover_sweep ()))
+
+let run_backoff () =
+  section "A2 (ablation)"
+    (Harness.Experiments.render_backoff (Harness.Experiments.backoff_sweep ()))
+
+let run_loss () =
+  section "A3 (ablation)"
+    (Harness.Experiments.render_loss (Harness.Experiments.loss_sweep ()))
+
+let run_dbs () =
+  section "A4 (ablation)"
+    (Harness.Experiments.render_dbs (Harness.Experiments.db_sweep ()))
+
+let run_persistence () =
+  section "A5 (ablation)"
+    (Harness.Experiments.render_persistence
+       (Harness.Experiments.persistence_ablation ()))
+
+let run_consensus_failover () =
+  section "A6 (ablation)"
+    (Harness.Experiments.render_consensus_failover
+       (Harness.Experiments.consensus_failover_sweep ()))
+
+let run_throughput () =
+  section "A7 (ablation)"
+    (Harness.Experiments.render_throughput
+       (Harness.Experiments.throughput_sweep ()))
+
+let run_register_backends () =
+  section "A8 (ablation)"
+    (Harness.Experiments.render_register_backends
+       (Harness.Experiments.register_backend_comparison ()))
+
+let run_fd_quality () =
+  section "A9 (ablation)"
+    (Harness.Experiments.render_fd_quality
+       (Harness.Experiments.fd_quality_sweep ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-suite *)
+
+open Bechamel
+
+let micro_tests =
+  let heap_bench () =
+    let h = Dsim.Heap.create ~leq:(fun (a : int) b -> a <= b) () in
+    for i = 0 to 999 do
+      Dsim.Heap.push h ((i * 7919) mod 1000)
+    done;
+    let rec drain () = match Dsim.Heap.pop h with None -> () | Some _ -> drain () in
+    drain ()
+  in
+  let rng_bench () =
+    let r = Dsim.Rng.create ~seed:1 in
+    let acc = ref 0L in
+    for _ = 0 to 999 do
+      acc := Int64.add !acc (Dsim.Rng.int64 r)
+    done;
+    !acc
+  in
+  let one_etx () =
+    let d =
+      Etx.Deployment.build ~business:Etx.Business.trivial
+        ~script:(fun ~issue -> ignore (issue "x"))
+        ()
+    in
+    ignore (Etx.Deployment.run_to_quiescence d)
+  in
+  let one_consensus () =
+    (* a full three-member wo-register write *)
+    let value = Etx.Etx_types.Reg_a_value 0 in
+    let t = Dsim.Engine.create () in
+    let peers = [ 0; 1; 2 ] in
+    let decided = ref false in
+    List.iter
+      (fun i ->
+        let pid =
+          Dsim.Engine.spawn t ~name:(Printf.sprintf "m%d" i)
+            ~main:(fun ~recovery:_ () ->
+              let ch = Dnet.Rchannel.create () in
+              Dnet.Rchannel.start ch;
+              let fd = Dnet.Fdetect.oracle t in
+              let agent = Consensus.Agent.create ~peers ~fd ~ch () in
+              Consensus.Agent.start agent;
+              if i = 0 then begin
+                ignore (Consensus.Agent.propose agent ~key:"k" value);
+                decided := true
+              end)
+        in
+        assert (pid = i))
+      peers;
+    ignore (Dsim.Engine.run_until ~deadline:10_000. t (fun () -> !decided))
+  in
+  Test.make_grouped ~name:"etx"
+    [
+      Test.make ~name:"heap-1k-push-pop" (Staged.stage heap_bench);
+      Test.make ~name:"rng-1k" (Staged.stage rng_bench);
+      Test.make ~name:"consensus-write" (Staged.stage one_consensus);
+      Test.make ~name:"one-e-transaction" (Staged.stage one_etx);
+      Test.make ~name:"figure1-suite"
+        (Staged.stage (fun () -> ignore (Harness.Experiments.figure1 ())));
+      Test.make ~name:"figure7-suite"
+        (Staged.stage (fun () -> ignore (Harness.Experiments.figure7 ())));
+      Test.make ~name:"figure8-table-5txn"
+        (Staged.stage (fun () ->
+             ignore (Harness.Experiments.figure8 ~transactions:5 ())));
+    ]
+
+let run_micro () =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] micro_tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "== Bechamel micro-benchmarks (wall-clock per run) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some (est :: _) -> est
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "  %-28s (no estimate)\n" name
+      else if ns > 1e6 then Printf.printf "  %-28s %8.2f ms\n" name (ns /. 1e6)
+      else Printf.printf "  %-28s %8.2f us\n" name (ns /. 1e3))
+    (List.sort compare !rows);
+  print_newline ()
+
+let all () =
+  run_figure8 ();
+  run_figure7 ();
+  run_figure1 ();
+  run_failover ();
+  run_backoff ();
+  run_loss ();
+  run_dbs ();
+  run_persistence ();
+  run_consensus_failover ();
+  run_throughput ();
+  run_register_backends ();
+  run_fd_quality ();
+  run_micro ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> all ()
+  | _ :: args ->
+      List.iter
+        (function
+          | "figure8" -> run_figure8 ()
+          | "figure7" -> run_figure7 ()
+          | "figure1" -> run_figure1 ()
+          | "failover" -> run_failover ()
+          | "backoff" -> run_backoff ()
+          | "loss" -> run_loss ()
+          | "dbs" -> run_dbs ()
+          | "persistence" -> run_persistence ()
+          | "consensus-failover" -> run_consensus_failover ()
+          | "throughput" -> run_throughput ()
+          | "registers" -> run_register_backends ()
+          | "fd-quality" -> run_fd_quality ()
+          | "micro" -> run_micro ()
+          | other ->
+              Printf.eprintf
+                "unknown artefact %S (expected \
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|micro)\n"
+                other;
+              exit 2)
+        args
+  | [] -> all ()

@@ -1,0 +1,308 @@
+(* etx-sim: command-line driver for the e-Transaction simulator.
+
+   Subcommands either regenerate one of the paper's evaluation artefacts
+   (figure8 / figure7 / figure1 / ablations) or run a demo scenario with a
+   chosen workload, fault schedule and verbosity. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed (identical seeds give identical executions)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Also write the result as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let emit ~csv table csv_string =
+  print_endline table;
+  match csv with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc csv_string;
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n" file
+
+(* ---------------- experiment subcommands ---------------- *)
+
+let figure8_cmd =
+  let transactions =
+    let doc = "Number of identical transactions per protocol." in
+    Arg.(value & opt int 40 & info [ "n"; "transactions" ] ~docv:"N" ~doc)
+  in
+  let run transactions seed csv =
+    let f = Harness.Experiments.figure8 ~transactions ~seed () in
+    emit ~csv
+      (Harness.Experiments.render_figure8 f)
+      (Harness.Experiments.csv_figure8 f)
+  in
+  Cmd.v
+    (Cmd.info "figure8" ~doc:"Latency components table (paper Figure 8).")
+    Term.(const run $ transactions $ seed_arg $ csv_arg)
+
+let figure7_cmd =
+  let run seed csv =
+    let rows = Harness.Experiments.figure7 ~seed () in
+    emit ~csv
+      (Harness.Experiments.render_figure7 rows)
+      (Harness.Experiments.csv_figure7 rows)
+  in
+  Cmd.v
+    (Cmd.info "figure7"
+       ~doc:"Communication steps in failure-free runs (paper Figure 7).")
+    Term.(const run $ seed_arg $ csv_arg)
+
+let figure1_cmd =
+  let run seed csv =
+    let scenarios = Harness.Experiments.figure1 ~seed () in
+    emit ~csv
+      (Harness.Experiments.render_figure1 scenarios)
+      (Harness.Experiments.csv_figure1 scenarios)
+  in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"The four canonical executions (paper Figure 1).")
+    Term.(const run $ seed_arg $ csv_arg)
+
+let sweep_cmd name doc render to_csv sweep =
+  let run seed csv =
+    let rows = sweep ~seed () in
+    emit ~csv (render rows) (to_csv rows)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg $ csv_arg)
+
+let failover_cmd =
+  sweep_cmd "failover" "Ablation A1: fail-over latency vs detector timeout."
+    Harness.Experiments.render_failover
+    (Harness.Experiments.csv_sweep2 ~header:"fd_timeout_ms,latency_ms,tries")
+    (fun ~seed () -> Harness.Experiments.failover_sweep ~seed ())
+
+let backoff_cmd =
+  sweep_cmd "backoff" "Ablation A2: client back-off period sensitivity."
+    Harness.Experiments.render_backoff Harness.Experiments.csv_backoff
+    (fun ~seed () -> Harness.Experiments.backoff_sweep ~seed ())
+
+let loss_cmd =
+  sweep_cmd "loss" "Ablation A3: message-loss tolerance."
+    Harness.Experiments.render_loss
+    (Harness.Experiments.csv_sweep2 ~header:"loss_rate,latency_ms,msgs_per_request")
+    (fun ~seed () -> Harness.Experiments.loss_sweep ~seed ())
+
+let dbs_cmd =
+  sweep_cmd "dbs" "Ablation A4: latency vs number of databases."
+    Harness.Experiments.render_dbs Harness.Experiments.csv_dbs
+    (fun ~seed () -> Harness.Experiments.db_sweep ~seed ())
+
+let persistence_cmd =
+  let run seed =
+    print_endline
+      (Harness.Experiments.render_persistence
+         (Harness.Experiments.persistence_ablation ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "persistence"
+       ~doc:"Ablation A5: the latency cost of recoverable (disk-backed) \
+             application servers.")
+    Term.(const run $ seed_arg)
+
+let consensus_failover_cmd =
+  let run seed =
+    print_endline
+      (Harness.Experiments.render_consensus_failover
+         (Harness.Experiments.consensus_failover_sweep ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "consensus-failover"
+       ~doc:"Ablation A6: register-write latency under a crashed coordinator \
+             vs the consensus round timeout.")
+    Term.(const run $ seed_arg)
+
+let fd_quality_cmd =
+  let run seed =
+    print_endline
+      (Harness.Experiments.render_fd_quality
+         (Harness.Experiments.fd_quality_sweep ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "fd-quality"
+       ~doc:"Ablation A9: spurious cleanings and retries vs the suspicion \
+             timeout.")
+    Term.(const run $ seed_arg)
+
+let throughput_cmd =
+  let run seed =
+    print_endline
+      (Harness.Experiments.render_throughput
+         (Harness.Experiments.throughput_sweep ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:"Ablation A7: aggregate throughput vs concurrent clients.")
+    Term.(const run $ seed_arg)
+
+(* ---------------- demo subcommand ---------------- *)
+
+type workload_choice = W_bank | W_transfer | W_travel
+
+let workload_conv =
+  let parse = function
+    | "bank" -> Ok W_bank
+    | "transfer" -> Ok W_transfer
+    | "travel" -> Ok W_travel
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf
+      (match w with
+      | W_bank -> "bank"
+      | W_transfer -> "transfer"
+      | W_travel -> "travel")
+  in
+  Arg.conv (parse, print)
+
+let demo_run seed workload requests n_app_servers n_dbs crash_primary_at
+    crash_db verbose diagram =
+  let business, seed_data, body_of =
+    match workload with
+    | W_bank ->
+        ( Workload.Bank.update,
+          Workload.Bank.seed_accounts [ ("acct0", 1_000_000) ],
+          fun i -> Printf.sprintf "acct0:%d" (i + 1) )
+    | W_transfer ->
+        ( Workload.Bank.transfer,
+          Workload.Bank.seed_accounts [ ("acct0", 500); ("acct1", 0) ],
+          fun _ -> "acct0:acct1:100" )
+    | W_travel ->
+        ( Workload.Travel.book,
+          Workload.Travel.seed_inventory ~destinations:[ "paris"; "tokyo" ]
+            ~seats:5 ~rooms:5 ~cars:5,
+          fun i -> if i mod 2 = 0 then "paris:2" else "tokyo:1" )
+  in
+  let d =
+    Etx.Deployment.build ~seed ~n_app_servers ~n_dbs ~client_period:300.
+      ~seed_data ~business
+      ~script:(fun ~issue ->
+        for i = 0 to requests - 1 do
+          ignore (issue (body_of i))
+        done)
+      ()
+  in
+  (match crash_primary_at with
+  | Some t -> Dsim.Engine.crash_at d.engine t (Etx.Deployment.primary d)
+  | None -> ());
+  (match crash_db with
+  | Some t ->
+      let db = fst (List.hd d.dbs) in
+      Dsim.Engine.crash_at d.engine t db;
+      Dsim.Engine.recover_at d.engine (t +. 200.) db
+  | None -> ());
+  let quiesced = Etx.Deployment.run_to_quiescence ~deadline:600_000. d in
+  Printf.printf "quiesced: %b (virtual time %.1f ms)\n" quiesced
+    (Dsim.Engine.now_of d.engine);
+  List.iter
+    (fun (r : Etx.Client.record) ->
+      Printf.printf
+        "  request %d %-24s -> %-40s (tries=%d, latency=%.1f ms)\n" r.rid
+        r.body r.result r.tries
+        (r.delivered_at -. r.issued_at))
+    (Etx.Client.records d.client);
+  let violations = Etx.Spec.check_all d in
+  (match violations with
+  | [] -> print_endline "specification: all properties hold"
+  | vs ->
+      print_endline "SPECIFICATION VIOLATIONS:";
+      List.iter (fun v -> print_endline ("  " ^ v)) vs);
+  if verbose then begin
+    let trace = Dsim.Engine.trace d.engine in
+    Printf.printf "protocol messages: %d, communication steps: %d\n"
+      (Harness.Msgclass.protocol_messages trace)
+      (Harness.Msgclass.protocol_steps trace);
+    Format.printf "trace: %a@." Dsim.Trace.pp_stats (Dsim.Trace.stats trace);
+    List.iter
+      (fun (label, total) ->
+        Printf.printf "  work[%s] = %.1f ms\n" label total)
+      (Dsim.Trace.work_by_category trace)
+  end;
+  if diagram then begin
+    print_endline "--- message sequence diagram ---";
+    print_string (Harness.Seqdiag.of_engine d.engine)
+  end;
+  if (not quiesced) || violations <> [] then exit 1
+
+let demo_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt workload_conv W_bank
+      & info [ "w"; "workload" ] ~docv:"bank|transfer|travel"
+          ~doc:"Business logic to run.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 3
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests to issue.")
+  in
+  let apps =
+    Arg.(
+      value & opt int 3
+      & info [ "app-servers" ] ~docv:"M" ~doc:"Application servers.")
+  in
+  let dbs =
+    Arg.(
+      value & opt int 1
+      & info [ "databases" ] ~docv:"K" ~doc:"Database servers.")
+  in
+  let crash_primary =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash-primary-at" ] ~docv:"MS"
+          ~doc:"Crash the default primary at this virtual time (ms).")
+  in
+  let crash_db =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash-db-at" ] ~docv:"MS"
+          ~doc:"Crash db1 at this virtual time; it recovers 200 ms later.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print trace statistics.")
+  in
+  let diagram =
+    Arg.(
+      value & flag
+      & info [ "diagram" ] ~doc:"Print the message sequence diagram.")
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:
+         "Run a deployment with a chosen workload and fault schedule, print \
+          delivered results and check the e-Transaction specification.")
+    Term.(
+      const demo_run $ seed_arg $ workload $ requests $ apps $ dbs
+      $ crash_primary $ crash_db $ verbose $ diagram)
+
+let main_cmd =
+  let doc =
+    "e-Transaction protocol simulator (Frølund & Guerraoui, DSN 2000)"
+  in
+  Cmd.group
+    (Cmd.info "etx-sim" ~version:"1.0.0" ~doc)
+    [
+      demo_cmd;
+      figure8_cmd;
+      figure7_cmd;
+      figure1_cmd;
+      failover_cmd;
+      backoff_cmd;
+      loss_cmd;
+      dbs_cmd;
+      persistence_cmd;
+      consensus_failover_cmd;
+      throughput_cmd;
+      fd_quality_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/bank_stress.ml: Dbms Dnet Dsim Etx Format Fun List Printf Stats Workload

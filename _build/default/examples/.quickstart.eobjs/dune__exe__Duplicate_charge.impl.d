@@ -1,0 +1,1 @@
+examples/duplicate_charge.ml: Baselines Dbms Dsim Etx List Printf Workload

@@ -1,0 +1,1 @@
+examples/duplicate_charge.mli:

@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Dbms Dsim Etx Harness List Printf String Workload

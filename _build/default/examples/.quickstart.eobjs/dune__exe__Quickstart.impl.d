@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dbms Etx List Printf Workload

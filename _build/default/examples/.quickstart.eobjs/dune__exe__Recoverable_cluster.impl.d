@@ -1,0 +1,1 @@
+examples/recoverable_cluster.ml: Dbms Dsim Etx List Printf Workload

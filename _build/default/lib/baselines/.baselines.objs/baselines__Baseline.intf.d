@@ -1,0 +1,1 @@
+lib/baselines/baseline.mli: Dbms Dsim Engine Etx Stats Types

@@ -1,0 +1,1 @@
+lib/baselines/pbackup.ml: Baseline Dbms Dnet Dsim Engine Etx Fdetect Hashtbl List Netmodel Printf Rchannel Stats Types

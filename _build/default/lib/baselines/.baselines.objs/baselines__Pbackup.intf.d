@@ -1,0 +1,1 @@
+lib/baselines/pbackup.mli: Dbms Dnet Dsim Engine Etx Stats Types

@@ -1,0 +1,1 @@
+lib/baselines/tpc.ml: Baseline Dbms Dnet Dsim Dstore Engine Etx Hashtbl List Netmodel Printf Rchannel Stats Types

@@ -1,0 +1,1 @@
+lib/baselines/tpc.mli: Dbms Dsim Dstore Engine Etx Stats Types

@@ -1,0 +1,142 @@
+open Dsim
+open Dnet
+open Etx.Etx_types
+
+(* Shared by the comparison protocols: spawn the database tier. *)
+let spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data ~observers =
+  List.init n_dbs (fun i ->
+      let name = Printf.sprintf "db%d" (i + 1) in
+      let disk =
+        Dstore.Disk.create ~force_latency:disk_force_latency ~label:"log" ()
+      in
+      let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
+      let pid = Dbms.Server.spawn engine ~name ~rm ~observers () in
+      (pid, rm))
+
+(* Fresh transaction identifiers, unique across server incarnations: a
+   recovered server must never collide with a transaction it ran before the
+   crash (offset 1000 keeps them disjoint from the client's try numbers). *)
+let next_txn = ref 1000
+
+let span breakdown label f =
+  match breakdown with
+  | None -> f ()
+  | Some bd -> Stats.Breakdown.span bd label f
+
+(* One client try: business logic then single-phase commit everywhere.
+   [xid] is freshly minted per execution — an unreliable server has no
+   exactly-once bookkeeping, so a client retry is a brand-new database
+   transaction (the double-charge hazard). *)
+let serve ?breakdown ~poll ~dbs ~business ch rd (request : request) ~j ~xid =
+  let collect label req matches =
+    let (_ : (Types.proc_id * unit) list) =
+      span breakdown label (fun () ->
+          Dbms.Stub.broadcast_collect ~poll ch rd ~dbs ~request:req
+            ~matches)
+    in
+    ()
+  in
+  collect "start"
+    (fun _ -> Dbms.Msg.Xa_start { xid })
+    (function
+      | Dbms.Msg.Xa_started { xid = x } when Dbms.Xid.equal x xid -> Some ()
+      | _ -> None);
+  let exec ~db ops = Dbms.Stub.exec_retry ~poll ch rd ~db ~xid ops in
+  let result =
+    span breakdown "SQL" (fun () ->
+        business.Etx.Business.run
+          { Etx.Business.xid; dbs; exec; attempt = j }
+          ~body:request.body)
+  in
+  Engine.note (Printf.sprintf "computed:%d:%d:%s" request.rid j result);
+  collect "end"
+    (fun _ -> Dbms.Msg.Xa_end { xid })
+    (function
+      | Dbms.Msg.Xa_ended { xid = x } when Dbms.Xid.equal x xid -> Some ()
+      | _ -> None);
+  let outcomes =
+    span breakdown "commit" (fun () ->
+        Dbms.Stub.broadcast_collect ~poll ch rd ~dbs
+          ~request:(fun _ -> Dbms.Msg.Commit1 { xid })
+          ~matches:(function
+            | Dbms.Msg.Commit1_reply { xid = x; outcome }
+              when Dbms.Xid.equal x xid ->
+                Some outcome
+            | _ -> None))
+  in
+  let outcome =
+    if List.for_all (fun (_, o) -> o = Dbms.Rm.Commit) outcomes then
+      Dbms.Rm.Commit
+    else Dbms.Rm.Abort
+  in
+  { result = Some result; outcome }
+
+let spawn engine ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs ~business
+    () =
+  Engine.spawn engine ~name ~main:(fun ~recovery:_ () ->
+      (* stateless: a recovery simply starts serving afresh — which is
+         exactly why a retried request can execute twice *)
+      let ch = Rchannel.create () in
+      Rchannel.start ch;
+      let rd = Dbms.Stub.Readiness.create ~dbs in
+      Dbms.Stub.Readiness.start rd;
+      let served = Hashtbl.create 32 in
+      let wants m =
+        match m.Types.payload with Request_msg _ -> true | _ -> false
+      in
+      let rec loop () =
+        (match Engine.recv ~filter:wants () with
+        | None -> ()
+        | Some m -> (
+            match m.payload with
+            | Request_msg { request; j } ->
+                let decision =
+                  match Hashtbl.find_opt served (request.rid, j) with
+                  | Some d -> d (* volatile duplicate suppression *)
+                  | None ->
+                      incr next_txn;
+                      let xid =
+                        Dbms.Xid.make ~rid:request.rid ~j:!next_txn
+                      in
+                      let d =
+                        serve ?breakdown ~poll ~dbs ~business ch rd request ~j
+                          ~xid
+                      in
+                      Hashtbl.replace served (request.rid, j) d;
+                      d
+                in
+                Rchannel.send ch m.src
+                  (Result_msg { rid = request.rid; j; decision })
+            | _ -> ()));
+        loop ()
+      in
+      loop ())
+
+type t = {
+  engine : Engine.t;
+  dbs : (Types.proc_id * Dbms.Rm.t) list;
+  server : Types.proc_id;
+  client : Etx.Client.handle;
+}
+
+let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
+    ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
+    ?breakdown ~business ~script () =
+  let net =
+    match net with Some n -> n | None -> Netmodel.three_tier ~n_dbs ()
+  in
+  let engine = Engine.create ~seed ~net () in
+  let server_pid = ref [] in
+  let dbs =
+    spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data
+      ~observers:(fun () -> !server_pid)
+  in
+  let server =
+    spawn engine ?breakdown ~dbs:(List.map fst dbs) ~business ()
+  in
+  server_pid := [ server ];
+  let client =
+    Etx.Client.spawn engine ~period:client_period ~servers:[ server ] ~script
+      ()
+  in
+  { engine; dbs; server; client }

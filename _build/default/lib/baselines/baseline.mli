@@ -1,0 +1,55 @@
+(** The unreliable baseline protocol (paper Figure 7a).
+
+    A single stateless application server: execute the business logic, then
+    a {e single-phase} commit at each database — no prepare phase, no
+    logging, no replication, and therefore no guarantee. A client retry
+    after a timeout starts a fresh transaction, so a request whose result
+    was lost (e.g. the server crashed between commit and reply) can execute
+    {e twice} — the at-least-once hazard that motivates e-Transactions.
+
+    The paper's Figure 8 uses this protocol as the 0%-overhead reference. *)
+
+open Dsim
+
+val spawn_dbs :
+  Engine.t ->
+  n_dbs:int ->
+  timing:Dbms.Rm.timing ->
+  disk_force_latency:float ->
+  seed_data:(string * Dbms.Value.t) list ->
+  observers:(unit -> Types.proc_id list) ->
+  (Types.proc_id * Dbms.Rm.t) list
+(** Spawn the database tier (shared by the comparison-protocol builders). *)
+
+val spawn :
+  Engine.t ->
+  ?name:string ->
+  ?poll:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  dbs:Types.proc_id list ->
+  business:Etx.Business.t ->
+  unit ->
+  Types.proc_id
+
+type t = {
+  engine : Engine.t;
+  dbs : (Types.proc_id * Dbms.Rm.t) list;
+  server : Types.proc_id;
+  client : Etx.Client.handle;
+}
+
+val build :
+  ?seed:int ->
+  ?net:Engine.netmodel ->
+  ?n_dbs:int ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  business:Etx.Business.t ->
+  script:(issue:(string -> Etx.Client.record) -> unit) ->
+  unit ->
+  t
+(** Same shape as {!Etx.Deployment.build}, with one server and the paper's
+    Figure 2 client driving it. *)

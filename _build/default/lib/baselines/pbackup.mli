@@ -1,0 +1,46 @@
+(** Primary-backup replication adapted to e-Transactions (paper Figure 7c,
+    after reference [18]).
+
+    The primary replaces the 2PC coordinator's two forced log writes with
+    two round trips to a backup: a {e start} record (request + client)
+    before computing, and an {e outcome} record (result + decision) before
+    the decides go out. On (supposedly perfect) detection of the primary's
+    crash the backup takes over: it re-drives recorded outcomes, aborts
+    recorded-but-undecided transactions, and starts serving requests itself.
+
+    The paper's caveat is the point of this module: the scheme {e requires a
+    perfect failure detector} — with a merely eventually-perfect detector a
+    false suspicion makes primary and backup decide concurrently, and two
+    databases can receive opposite decisions first (an A.3 violation). The
+    test suite demonstrates exactly that with a scripted detector, and the
+    e-Transaction protocol's wo-registers are how the paper closes this
+    hole. *)
+
+open Dsim
+
+type t = {
+  engine : Engine.t;
+  dbs : (Types.proc_id * Dbms.Rm.t) list;
+  primary : Types.proc_id;
+  backup : Types.proc_id;
+  client : Etx.Client.handle;
+}
+
+val build :
+  ?seed:int ->
+  ?net:Engine.netmodel ->
+  ?n_dbs:int ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  ?backup_fd:(Engine.t -> Dnet.Fdetect.t) ->
+  ?takeover_check:float ->
+  business:Etx.Business.t ->
+  script:(issue:(string -> Etx.Client.record) -> unit) ->
+  unit ->
+  t
+(** [backup_fd] builds the backup's detector watching the primary (default:
+    the perfect oracle, as the scheme requires); [takeover_check] is how
+    often the backup polls it (default 20 ms). *)

@@ -1,0 +1,1 @@
+lib/consensus/agent.ml: Dnet Dsim Dstore Engine Fdetect Hashtbl List Option Rchannel String Types

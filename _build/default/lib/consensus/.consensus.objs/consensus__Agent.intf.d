@@ -1,0 +1,1 @@
+lib/consensus/agent.mli: Dnet Dsim Dstore Types

@@ -1,0 +1,1 @@
+lib/consensus/synod.ml: Dnet Dsim Engine Float Hashtbl List Rchannel String Types

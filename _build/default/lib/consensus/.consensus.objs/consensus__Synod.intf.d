@@ -1,0 +1,1 @@
+lib/consensus/synod.mli: Dnet Dsim Types

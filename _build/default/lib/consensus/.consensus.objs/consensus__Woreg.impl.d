@@ -1,0 +1,1 @@
+lib/consensus/woreg.ml: Agent Printf

@@ -1,0 +1,1 @@
+lib/consensus/woreg.mli: Agent Dsim Types

@@ -1,0 +1,430 @@
+open Dsim
+open Dnet
+
+type Types.payload +=
+  | C_estimate of {
+      key : string;
+      round : int;
+      est : Types.payload option;
+      ts : int;
+    }
+  | C_propose of { key : string; round : int; value : Types.payload }
+  | C_ack of { key : string; round : int; ok : bool }
+  | C_decide of { key : string; value : Types.payload }
+  | C_decided_local of { key : string }
+  | C_start of { key : string }
+      (* a proposer that is not the round-0 coordinator announces the
+         instance so that every correct peer participates from round 0 —
+         CT liveness needs all correct processes in the round schedule *)
+
+type instance = {
+  key : string;
+  mutable my_proposal : Types.payload option;
+  mutable decided : Types.payload option;
+  mutable decided_at : float;  (** local learn time, for garbage collection *)
+  mutable driver_running : bool;
+  mutable saved_est : Types.payload option;
+      (** recovered adoption (crash-recovery mode) *)
+  mutable saved_ts : int;
+  mutable restart_round : int;
+      (** never participate at or below a round acknowledged before a crash *)
+}
+
+(* Crash-recovery stable log: adoptions (before the ack leaves) and
+   decisions (before they are announced). *)
+type plog_record =
+  | P_adopt of { key : string; round : int; value : Types.payload }
+  | P_decide of { key : string; value : Types.payload }
+
+type persistence = {
+  pdisk : Dstore.Disk.t;
+  plog : plog_record Dstore.Wal.t;
+}
+
+let make_persistence ~disk = { pdisk = disk; plog = Dstore.Wal.create ~disk () }
+
+type t = {
+  self : Types.proc_id;
+  peers : Types.proc_id list;
+  n : int;
+  majority : int;
+  fd : Fdetect.t;
+  ch : Rchannel.t;
+  poll : float;
+  round_timeout : float;
+  instances : (string, instance) Hashtbl.t;
+  persist : persistence option;
+}
+
+let ensure t key =
+  match Hashtbl.find_opt t.instances key with
+  | Some inst -> inst
+  | None ->
+      let inst =
+        {
+          key;
+          my_proposal = None;
+          decided = None;
+          decided_at = nan;
+          driver_running = false;
+          saved_est = None;
+          saved_ts = -1;
+          restart_round = 0;
+        }
+      in
+      Hashtbl.replace t.instances key inst;
+      inst
+
+let log_adoption t inst ~round value =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Dstore.Wal.append ~label:"reg-adopt" p.plog
+        (P_adopt { key = inst.key; round; value })
+
+let log_decision t inst value =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Dstore.Wal.append ~label:"reg-decide" p.plog
+        (P_decide { key = inst.key; value })
+
+let recover_from_log t p =
+  let restore = function
+    | P_adopt { key; round; value } ->
+        let inst = ensure t key in
+        if round >= inst.saved_ts then begin
+          inst.saved_est <- Some value;
+          inst.saved_ts <- round
+        end;
+        inst.restart_round <- max inst.restart_round (round + 1)
+    | P_decide { key; value } ->
+        let inst = ensure t key in
+        if inst.decided = None then begin
+          inst.decided <- Some value;
+          inst.decided_at <- Engine.now ()
+        end
+  in
+  Dstore.Wal.replay p.plog ~init:() ~f:(fun () r -> restore r)
+
+let create ?(poll = 2.0) ?(round_timeout = 100.) ?persist ~peers ~fd ~ch () =
+  let n = List.length peers in
+  let t =
+    {
+      self = Engine.self ();
+      peers;
+      n;
+      majority = (n / 2) + 1;
+      fd;
+      ch;
+      poll;
+      round_timeout;
+      instances = Hashtbl.create 32;
+      persist;
+    }
+  in
+  (match persist with None -> () | Some p -> recover_from_log t p);
+  t
+
+let coordinator t round = List.nth t.peers (round mod t.n)
+
+let record_decision t inst value =
+  match inst.decided with
+  | Some _ -> ()
+  | None ->
+      log_decision t inst value;
+      inst.decided <- Some value;
+      inst.decided_at <- Engine.now ();
+      (* wake any local proposer blocked in [propose] *)
+      Engine.redeliver ~src:t.self (C_decided_local { key = inst.key });
+      (* reliable broadcast: forward on first learn *)
+      List.iter
+        (fun p ->
+          if p <> t.self then
+            Rchannel.send t.ch p (C_decide { key = inst.key; value }))
+        t.peers
+
+(* --- the per-instance driver: one fiber running the CT state machine --- *)
+
+(* The per-instance driver runs the rotating-coordinator state machine in
+   direct style. Two liveness devices on top of suspicion-driven rotation:
+
+   - every phase abandons its round after [round_timeout] (◇S via timeouts),
+     so a round whose coordinator is stuck or gone always ends;
+   - processes {e jump forward}: any message for a higher round re-enters
+     the loop at that round (estimates we will coordinate are re-delivered
+     so the new phase finds them in the mailbox; proposals are adopted on
+     the spot). Without this, processes that restart at different rounds
+     after recoveries would march in lock-step without ever meeting in a
+     common round.
+
+   Safety is unaffected: adoption timestamps carry the locking argument, and
+   jumps only ever move rounds forward (never below a previously
+   acknowledged round). *)
+let driver t inst () =
+  let wants_instance m =
+    match m.Types.payload with
+    | C_estimate { key; _ } | C_propose { key; _ } | C_ack { key; _ } ->
+        key = inst.key
+    | _ -> false
+  in
+  let adopt_and_ack ~round:r value ~coordinator:c =
+    (* durable adoption before the promise leaves (crash-recovery mode);
+       free in the crash-stop configuration *)
+    log_adoption t inst ~round:r value;
+    Rchannel.send t.ch c (C_ack { key = inst.key; round = r; ok = true })
+  in
+  let rec go r est ts =
+    match inst.decided with
+    | Some _ -> ()
+    | None ->
+        let c = coordinator t r in
+        if c = t.self then run_coordinator r est ts
+        else run_participant r est ts c
+  (* Shared reaction to messages that end the current phase by moving to a
+     later round; returns [true] when the phase must stop. *)
+  and jump_on (m : Types.message) ~current est ts =
+    match m.payload with
+    | C_propose { round = r'; value; _ } when r' >= current ->
+        adopt_and_ack ~round:r' value ~coordinator:m.src;
+        go (r' + 1) (Some value) r';
+        true
+    | C_estimate { round = r'; _ }
+      when r' > current && coordinator t r' = t.self ->
+        (* we coordinate that later round: requeue the estimate and go *)
+        Engine.redeliver ~src:m.src m.payload;
+        go r' est ts;
+        true
+    | C_estimate _ | C_propose _ | C_ack _ | _ -> false
+  and run_coordinator r est ts =
+    (* Phase 1/2: choose a value. Round 0 with an own proposal skips the
+       estimate gathering (first-coordinator optimisation) — but only when
+       nothing can have been adopted before round 0, which a recovered
+       adoption would contradict. *)
+    if r = 0 && inst.my_proposal <> None && inst.saved_est = None then
+      propose r (Option.get inst.my_proposal)
+    else begin
+      let seen = Hashtbl.create 8 in
+      Hashtbl.replace seen t.self (est, ts);
+      let best () =
+        let candidates =
+          Hashtbl.fold (fun _ (e, s) acc -> (e, s) :: acc) seen []
+        in
+        let own =
+          match inst.my_proposal with Some v -> [ (Some v, -1) ] | None -> []
+        in
+        List.fold_left
+          (fun acc (e, s) ->
+            match (e, acc) with
+            | None, _ -> acc
+            | Some _, Some (_, s') when s' >= s -> acc
+            | Some v, _ -> Some (v, s))
+          None (own @ candidates)
+      in
+      let deadline = Engine.now () +. t.round_timeout in
+      let rec gather () =
+        match inst.decided with
+        | Some _ -> ()
+        | None -> (
+            match (Hashtbl.length seen >= t.majority, best ()) with
+            | true, Some (v, _) -> propose r v
+            | _ -> (
+                match
+                  Engine.recv ~timeout:t.poll ~filter:wants_instance ()
+                with
+                | Some
+                    ({ payload = C_estimate { round; est; ts; _ }; src; _ } as
+                     m) ->
+                    if round = r then begin
+                      Hashtbl.replace seen src (est, ts);
+                      gather ()
+                    end
+                    else if not (jump_on m ~current:r est ts) then gather ()
+                | Some m ->
+                    if not (jump_on m ~current:r est ts) then gather ()
+                | None ->
+                    if Engine.now () > deadline then go (r + 1) est ts
+                    else gather ()))
+      in
+      gather ()
+    end
+  and propose r v =
+    (* adopting our own proposal counts as an acknowledgement: in
+       crash-recovery mode it must be durable before we count it *)
+    log_adoption t inst ~round:r v;
+    List.iter
+      (fun p ->
+        if p <> t.self then
+          Rchannel.send t.ch p (C_propose { key = inst.key; round = r; value = v }))
+      t.peers;
+    let yes = ref 1 and no = ref 0 in
+    let deadline = Engine.now () +. t.round_timeout in
+    let rec collect () =
+      match inst.decided with
+      | Some _ -> ()
+      | None ->
+          if !yes >= t.majority then record_decision t inst v
+          else if !yes + !no >= t.majority && !no >= 1 then
+            go (r + 1) (Some v) r
+          else begin
+            match Engine.recv ~timeout:t.poll ~filter:wants_instance () with
+            | Some { payload = C_ack { round; ok; _ }; _ } when round = r ->
+                if ok then incr yes else incr no;
+                collect ()
+            | Some m ->
+                if not (jump_on m ~current:r (Some v) r) then collect ()
+            | None ->
+                if Engine.now () > deadline then go (r + 1) (Some v) r
+                else collect ()
+          end
+    in
+    collect ()
+  and run_participant r est ts c =
+    Rchannel.send t.ch c (C_estimate { key = inst.key; round = r; est; ts });
+    let deadline = Engine.now () +. t.round_timeout in
+    let give_up () =
+      Rchannel.send t.ch c (C_ack { key = inst.key; round = r; ok = false });
+      go (r + 1) est ts
+    in
+    let rec wait () =
+      match inst.decided with
+      | Some _ -> ()
+      | None -> (
+          match Engine.recv ~timeout:t.poll ~filter:wants_instance () with
+          | Some { payload = C_propose { round; value; _ }; src; _ }
+            when round = r ->
+              adopt_and_ack ~round:r value ~coordinator:src;
+              go (r + 1) (Some value) r
+          | Some m -> if not (jump_on m ~current:r est ts) then wait ()
+          | None ->
+              if Fdetect.suspects t.fd c || Engine.now () > deadline then
+                give_up ()
+              else wait ())
+    in
+    wait ()
+  in
+  (* A recovered adoption dominates a fresh proposal as the initial
+     estimate, and the driver must start above any round it acknowledged
+     before a crash. *)
+  let est0, ts0 =
+    match inst.saved_est with
+    | Some _ as est -> (est, inst.saved_ts)
+    | None ->
+        (inst.my_proposal, if inst.my_proposal = None then -1 else 0)
+  in
+  go inst.restart_round est0 ts0;
+  inst.driver_running <- false
+
+let start_driver t inst =
+  if (not inst.driver_running) && inst.decided = None then begin
+    inst.driver_running <- true;
+    Engine.fork ("consensus:" ^ inst.key) (driver t inst)
+  end
+
+(* --- dispatcher: auto-join, decisions, and stale-message service --- *)
+
+let dispatcher t () =
+  let wants m =
+    match m.Types.payload with
+    | C_decide _ | C_start _ -> true
+    | C_estimate { key; _ } | C_propose { key; _ } | C_ack { key; _ } -> (
+        (* steal only messages no running driver will consume *)
+        match Hashtbl.find_opt t.instances key with
+        | Some inst -> not inst.driver_running
+        | None -> true)
+    | _ -> false
+  in
+  let rec loop () =
+    (match Engine.recv ~filter:wants () with
+    | None -> ()
+    | Some m -> (
+        match m.payload with
+        | C_decide { key; value } ->
+            let inst = ensure t key in
+            record_decision t inst value
+        | C_start { key } ->
+            let inst = ensure t key in
+            if inst.decided = None then start_driver t inst
+        | C_estimate { key; _ } | C_propose { key; _ } | C_ack { key; _ } -> (
+            let inst = ensure t key in
+            match inst.decided with
+            | Some value ->
+                (* instance already over here: tell the sender *)
+                Rchannel.send t.ch m.src (C_decide { key; value })
+            | None ->
+                (* auto-join: start a driver and let it find the message *)
+                start_driver t inst;
+                Engine.redeliver ~src:m.src m.payload)
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
+let start t = Engine.fork "consensus-dispatcher" (dispatcher t)
+
+let propose t ~key value =
+  let inst = ensure t key in
+  match inst.decided with
+  | Some v -> v
+  | None ->
+      if inst.my_proposal = None then inst.my_proposal <- Some value;
+      (* the round-0 coordinator's own propose announces the instance; any
+         other proposer must do so explicitly *)
+      if (not inst.driver_running) && coordinator t 0 <> t.self then
+        List.iter
+          (fun p ->
+            if p <> t.self then Rchannel.send t.ch p (C_start { key }))
+          t.peers;
+      start_driver t inst;
+      let wants m =
+        match m.Types.payload with
+        | C_decided_local { key = k } -> k = key
+        | _ -> false
+      in
+      let rec wait () =
+        match inst.decided with
+        | Some v -> v
+        | None ->
+            ignore (Engine.recv ~timeout:(t.poll *. 5.) ~filter:wants ());
+            wait ()
+      in
+      wait ()
+
+let peek t ~key =
+  match Hashtbl.find_opt t.instances key with
+  | None -> None
+  | Some inst -> inst.decided
+
+let is_consensus_message = function
+  | C_estimate _ | C_propose _ | C_ack _ | C_decide _ | C_decided_local _
+  | C_start _ ->
+      true
+  | _ -> false
+
+let forget t ~key =
+  match Hashtbl.find_opt t.instances key with
+  | None -> ()
+  | Some inst -> if not inst.driver_running then Hashtbl.remove t.instances key
+
+let collect t ~older_than =
+  let victims =
+    Hashtbl.fold
+      (fun key inst acc ->
+        if
+          (not inst.driver_running)
+          && inst.decided <> None
+          && inst.decided_at <= older_than
+        then key :: acc
+        else acc)
+      t.instances []
+  in
+  List.iter (Hashtbl.remove t.instances) victims;
+  List.length victims
+
+let instance_count t = Hashtbl.length t.instances
+
+let decided_keys t =
+  Hashtbl.fold
+    (fun key inst acc -> if inst.decided <> None then key :: acc else acc)
+    t.instances []
+  |> List.sort String.compare

@@ -1,0 +1,101 @@
+(** Chandra–Toueg style consensus among the application servers.
+
+    One [Agent.t] lives in each application-server process and multiplexes
+    any number of consensus {e instances}, identified by string keys (the
+    write-once register arrays use keys like ["regA\[r0.1\]"]). The
+    algorithm is the rotating-coordinator protocol of Chandra & Toueg
+    (◇S-class), which the paper cites as its register substrate:
+
+    - round [r]'s coordinator is [peers.(r mod n)];
+    - participants send their timestamped estimates to the coordinator,
+      which picks the most recently adopted value, proposes it, and decides
+      once a majority acknowledges; suspicion of the coordinator (via the
+      supplied failure detector) nacks the round and rotates.
+
+    Two paper-mandated properties of the implementation:
+
+    - {e first-coordinator optimisation}: in round 0 the coordinator may
+      propose its own value without gathering estimates (nothing can have
+      been adopted before round 0), so when the default primary writes a
+      register the write costs one round trip to a majority — the paper's
+      Appendix 3 analytic claim;
+    - decisions are {e reliably broadcast}: every process forwards a
+      decision on first receipt, so all correct servers eventually learn it
+      (the register [read] liveness property relies on this).
+
+    Correctness assumptions (the paper's): a majority of the [peers] never
+    crash, crashed peers do not rejoin (agent state is volatile), channels
+    are reliable (we run over {!Dnet.Rchannel}), and the failure detector is
+    eventually perfect. Safety (agreement, validity, write-once) holds even
+    if the detector misbehaves; only liveness needs ◇P. *)
+
+open Dsim
+
+type t
+
+type persistence
+(** Stable storage for a {e crash-recovery} agent (the paper's §5 pointer to
+    consensus in the crash-recovery model, [22,23]): participants force-log
+    every value adoption before acknowledging it and every decision before
+    announcing it, so a recovered server rejoins without contradicting its
+    pre-crash promises (it restarts above the last acknowledged round). This
+    trades the crash-stop model's "majority never crashes" for "a majority
+    is eventually up together" — at the price of forced IO on the register
+    write path, which is precisely the cost the paper's diskless middle
+    tier avoids (quantified by the persistence ablation). *)
+
+val make_persistence : disk:Dstore.Disk.t -> persistence
+(** The disk (and the log within) must be created {e outside} the process so
+    it survives crashes. *)
+
+val create :
+  ?poll:float ->
+  ?round_timeout:float ->
+  ?persist:persistence ->
+  peers:Types.proc_id list ->
+  fd:Dnet.Fdetect.t ->
+  ch:Dnet.Rchannel.t ->
+  unit ->
+  t
+(** Must be called inside the owning application-server fiber. [peers] must
+    list all application servers in the same order everywhere (the rotation
+    schedule); the default primary must come first. [poll] is the local
+    re-check interval for blocking waits (default 2 ms); [round_timeout]
+    (default 100 ms) bounds how long any round is waited on before rotating
+    — the ◇S-via-timeouts device that also lets processes desynchronised by
+    recoveries converge to a common round. When [persist] is
+    given and its log is non-empty, the agent recovers its instances from
+    the log (free of charge — reading is not a forced write). *)
+
+val start : t -> unit
+(** Forks the dispatcher fiber. Call once after [create]. *)
+
+val propose : t -> key:string -> Types.payload -> Types.payload
+(** Propose a value for instance [key]; blocks until the instance decides
+    and returns the decided value (not necessarily the proposal). *)
+
+val peek : t -> key:string -> Types.payload option
+(** This process's current knowledge of the decision (non-blocking). *)
+
+val decided_keys : t -> string list
+(** All locally known decided instances (tests, introspection). *)
+
+val is_consensus_message : Types.payload -> bool
+(** Classifier for trace analyses: consensus-protocol traffic (register
+    writes) as opposed to application messages. *)
+
+val forget : t -> key:string -> unit
+(** Garbage-collect instance [key] locally (the paper's §5 register-array
+    clean-up). Only safe for decided instances whose decision no process
+    will ask about again; a later [propose] for the same key starts a {e
+    fresh} instance, so the write-once guarantee no longer spans the
+    collection point — the paper's "at-most-once only until a known period"
+    caveat. No-op while a driver is still running. *)
+
+val instance_count : t -> int
+(** Number of locally known instances (memory accounting for GC tests). *)
+
+val collect : t -> older_than:float -> int
+(** Forget every decided instance whose decision was learned at or before
+    [older_than]; returns how many were collected. Same safety caveat as
+    {!forget}. *)

@@ -1,0 +1,48 @@
+(** A second write-once-register substrate: single-decree Paxos (Synod).
+
+    The paper treats the consensus under its wo-registers as a pluggable
+    "e.g. [4]" — this module plugs in the other canonical choice. Every
+    process is acceptor, proposer and learner for any number of instances
+    (string keys):
+
+    - ballots are partitioned by proposer ([ballot mod n] owns it), and
+      ballot 0 — owned by the default primary — may skip phase 1 (no lower
+      ballot exists), so the primary's failure-free write costs one round
+      trip to a majority, matching the paper's analytic claim exactly like
+      the Chandra–Toueg agent's first-coordinator optimisation;
+    - a non-primary writer runs both phases: {e two} round trips, with no
+      failure-detector wait at all — which is this backend's point: where
+      the rotating-coordinator agent pays a suspicion/round timeout when the
+      coordinator crashed (ablation A6), Paxos proposers never wait on
+      failure detection, only on quorums (ablation A8 contrasts the two);
+    - decisions are learned via a broadcast and answered to late proposers.
+
+    Liveness caveat (inherent to Paxos): duelling proposers can livelock;
+    attempts back off with jitter. Safety needs no assumptions beyond a
+    majority of acceptors being up to make progress. *)
+
+open Dsim
+
+type t
+
+val create :
+  ?attempt_timeout:float ->
+  ?backoff:float ->
+  peers:Types.proc_id list ->
+  ch:Dnet.Rchannel.t ->
+  unit ->
+  t
+(** Must be called inside the owning fiber. [peers] ordered identically
+    everywhere; the head owns ballot 0. [attempt_timeout] (default 50 ms)
+    bounds each phase's quorum wait; [backoff] (default 20 ms) spaces
+    retries, with per-proposer jitter. *)
+
+val start : t -> unit
+(** Forks the acceptor/learner dispatcher. *)
+
+val propose : t -> key:string -> Types.payload -> Types.payload
+(** Blocks until the instance decides; returns the decided value. *)
+
+val peek : t -> key:string -> Types.payload option
+
+val decided_keys : t -> string list

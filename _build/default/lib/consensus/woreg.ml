@@ -1,0 +1,9 @@
+type t = { agent : Agent.t; name : string }
+
+let array agent ~name = { agent; name }
+
+let key t ~j = Printf.sprintf "%s[%d]" t.name j
+
+let write t ~j v = Agent.propose t.agent ~key:(key t ~j) v
+
+let read t ~j = Agent.peek t.agent ~key:(key t ~j)

@@ -1,0 +1,31 @@
+(** Write-once registers (the paper's wo-registers) over consensus.
+
+    A wo-register behaves like a CD-ROM: it can be written once and read
+    many times. [write v] returns either [v] (this writer won) or the value
+    some other process already wrote; [read] returns the written value or
+    [⊥] ([None]) — and if a value was written, repeated reads eventually
+    return it (decisions are reliably broadcast by the consensus agent).
+
+    Registers come in arrays indexed by the result identifier [j], scoped to
+    a request: the protocol's [regA] (which application server computes
+    result [j]) and [regD] (the decision — result and outcome — for [j]). *)
+
+open Dsim
+
+type t
+(** A register array backed by one consensus agent. *)
+
+val array : Agent.t -> name:string -> t
+(** [array agent ~name] is the register array [name] (e.g. ["regA:r0"]).
+    Arrays with the same name on different servers denote the same shared
+    registers; the name must therefore encode the request scope. *)
+
+val write : t -> j:int -> Types.payload -> Types.payload
+(** [write arr ~j v] writes register [j]: blocks until the underlying
+    consensus instance decides, and returns the (unique) written value. *)
+
+val read : t -> j:int -> Types.payload option
+(** Non-blocking read: the written value, or [None] for [⊥]. *)
+
+val key : t -> j:int -> string
+(** The underlying consensus instance key (tests, tracing). *)

@@ -1,0 +1,1 @@
+lib/core/appserver.ml: Business Consensus Dbms Dnet Dsim Engine Etx_types Fdetect Float Hashtbl List Printf Rchannel Scanf Stats Types

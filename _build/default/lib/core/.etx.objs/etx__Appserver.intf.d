@@ -1,0 +1,1 @@
+lib/core/appserver.mli: Business Consensus Dsim Engine Stats Types

@@ -1,0 +1,1 @@
+lib/core/business.ml: Dbms Dsim Etx_types Printf Types

@@ -1,0 +1,1 @@
+lib/core/business.mli: Dbms Dsim Etx_types Types

@@ -1,0 +1,1 @@
+lib/core/client.ml: Dbms Dnet Dsim Engine Etx_types Rchannel Types

@@ -1,0 +1,1 @@
+lib/core/client.mli: Dsim Engine Etx_types Types

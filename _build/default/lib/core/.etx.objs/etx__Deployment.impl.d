@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Appserver Client Consensus Dbms Dnet Dsim Dstore Engine List Printf Types

@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Appserver Business Client Dbms Dsim Engine Stats Types

@@ -1,0 +1,1 @@
+lib/core/etx_types.ml: Dbms Dsim Format

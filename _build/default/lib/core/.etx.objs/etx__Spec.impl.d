@@ -1,0 +1,1 @@
+lib/core/spec.ml: Client Dbms Deployment Dsim Hashtbl List Option Printf String

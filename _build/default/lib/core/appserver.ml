@@ -1,0 +1,397 @@
+open Dsim
+open Dnet
+open Etx_types
+
+type fd_spec =
+  | Fd_oracle
+  | Fd_heartbeat of {
+      period : float;
+      initial_timeout : float;
+      timeout_bump : float;
+    }
+
+type register_backend = Reg_ct | Reg_synod
+
+type config = {
+  index : int;
+  servers : Types.proc_id list;
+  dbs : Types.proc_id list;
+  business : Business.t;
+  fd_spec : fd_spec;
+  clean_period : float;
+  poll : float;
+  exec_backoff : float;
+  gc_after : float option;
+  backend : register_backend;
+  persist : Consensus.Agent.persistence option;
+  breakdown : Stats.Breakdown.t option;
+}
+
+let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
+    ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
+    ~index ~servers ~dbs ~business () =
+  (match (backend, persist) with
+  | Reg_synod, Some _ ->
+      invalid_arg
+        "Appserver.config: the Synod backend does not support persistence"
+  | (Reg_ct | Reg_synod), _ -> ());
+  {
+    index;
+    servers;
+    dbs;
+    business;
+    fd_spec;
+    clean_period;
+    poll;
+    exec_backoff;
+    gc_after;
+    backend;
+    persist;
+    breakdown;
+  }
+
+(* Per-request protocol state on one server. Everything here is volatile
+   (servers are stateless): it only caches what the registers and client
+   messages already determine. *)
+type rid_state = {
+  mutable client : Types.proc_id option;
+  mutable last : (int * decision) option;  (** last terminated try here *)
+  mutable cleaned : int list;  (** the paper's [clist], per request *)
+  mutable terminated_at : float option;  (** for the GC grace period *)
+}
+
+(* The wo-register surface the protocol needs, abstracted over the two
+   consensus backends. *)
+type registers = {
+  reg_write : name:string -> j:int -> Types.payload -> Types.payload;
+  reg_read : name:string -> j:int -> Types.payload option;
+  reg_decided_keys : unit -> string list;
+  reg_collect : older_than:float -> int;
+  reg_instances : unit -> int;
+}
+
+type ctx = {
+  cfg : config;
+  self : Types.proc_id;
+  ch : Rchannel.t;
+  fd : Fdetect.t;
+  regs : registers;
+  rd : Dbms.Stub.Readiness.t;
+  rids : (int, rid_state) Hashtbl.t;
+}
+
+let rid_state ctx rid =
+  match Hashtbl.find_opt ctx.rids rid with
+  | Some st -> st
+  | None ->
+      let st =
+        { client = None; last = None; cleaned = []; terminated_at = None }
+      in
+      Hashtbl.replace ctx.rids rid st;
+      st
+
+let reg_a_name rid = Printf.sprintf "regA:r%d" rid
+
+let reg_d_name rid = Printf.sprintf "regD:r%d" rid
+
+let span ctx label f =
+  match ctx.cfg.breakdown with
+  | None -> f ()
+  | Some bd -> Stats.Breakdown.span bd label f
+
+(* ---------------- Fig. 4: terminate() ---------------- *)
+
+let send_result ctx st ~rid ~j decision =
+  match st.client with
+  | None -> () (* client unknown here (it crashed before broadcasting) *)
+  | Some c -> Rchannel.send ctx.ch c (Result_msg { rid; j; decision })
+
+let terminate ctx st ~rid ~j (decision : decision) =
+  let xid = Dbms.Xid.make ~rid ~j in
+  let (_ : (Types.proc_id * unit) list) =
+    span ctx "commit" (fun () ->
+        Dbms.Stub.broadcast_collect ~poll:ctx.cfg.poll ctx.ch ctx.rd
+          ~dbs:ctx.cfg.dbs
+          ~request:(fun _ ->
+            Dbms.Msg.Decide { xid; outcome = decision.outcome })
+          ~matches:(function
+            | Dbms.Msg.Ack_decide { xid = x } when Dbms.Xid.equal x xid ->
+                Some ()
+            | _ -> None))
+  in
+  send_result ctx st ~rid ~j decision;
+  (match st.last with
+  | Some (j', _) when j' >= j -> ()
+  | Some _ | None -> st.last <- Some (j, decision));
+  st.terminated_at <- Some (Engine.now ())
+
+(* ---------------- Fig. 4: prepare() ---------------- *)
+
+let prepare ctx ~xid =
+  let votes =
+    Dbms.Stub.broadcast_collect ~poll:ctx.cfg.poll ctx.ch ctx.rd
+      ~dbs:ctx.cfg.dbs
+      ~request:(fun _ -> Dbms.Msg.Prepare { xid })
+      ~matches:(function
+        | Dbms.Msg.Vote_msg { xid = x; vote } when Dbms.Xid.equal x xid ->
+            Some vote
+        | _ -> None)
+  in
+  if List.for_all (fun (_, v) -> v = Dbms.Rm.Yes) votes then Dbms.Rm.Commit
+  else Dbms.Rm.Abort
+
+(* ---------------- Fig. 5: the computation thread ---------------- *)
+
+let xa_broadcast ctx ~xid ~label ~request ~matches =
+  let (_ : (Types.proc_id * unit) list) =
+    span ctx label (fun () ->
+        Dbms.Stub.broadcast_collect ~poll:ctx.cfg.poll ctx.ch ctx.rd
+          ~dbs:ctx.cfg.dbs ~request ~matches)
+  in
+  ignore xid
+
+let run_business ctx ~xid ~attempt ~body =
+  let exec ~db ops =
+    Dbms.Stub.exec_retry ~poll:ctx.cfg.poll ~backoff:ctx.cfg.exec_backoff
+      ctx.ch ctx.rd ~db ~xid ops
+  in
+  let context = { Business.xid; dbs = ctx.cfg.dbs; exec; attempt } in
+  ctx.cfg.business.Business.run context ~body
+
+let compute_try ctx st ~(request : request) ~j =
+  let rid = request.rid in
+  let xid = Dbms.Xid.make ~rid ~j in
+  (* elect the computing server for try j (regA write, "log-start") *)
+  let winner =
+    span ctx "log-start" (fun () ->
+        ctx.regs.reg_write ~name:(reg_a_name rid) ~j (Reg_a_value ctx.self))
+  in
+  match winner with
+  | Reg_a_value w when w = ctx.self ->
+      xa_broadcast ctx ~xid ~label:"start"
+        ~request:(fun _ -> Dbms.Msg.Xa_start { xid })
+        ~matches:(function
+          | Dbms.Msg.Xa_started { xid = x } when Dbms.Xid.equal x xid ->
+              Some ()
+          | _ -> None);
+      let result =
+        span ctx "SQL" (fun () ->
+            run_business ctx ~xid ~attempt:j ~body:request.body)
+      in
+      Engine.note (Printf.sprintf "computed:%d:%d:%s" rid j result);
+      xa_broadcast ctx ~xid ~label:"end"
+        ~request:(fun _ -> Dbms.Msg.Xa_end { xid })
+        ~matches:(function
+          | Dbms.Msg.Xa_ended { xid = x } when Dbms.Xid.equal x xid -> Some ()
+          | _ -> None);
+      let outcome = span ctx "prepare" (fun () -> prepare ctx ~xid) in
+      let proposal = { result = Some result; outcome } in
+      let final =
+        span ctx "log-outcome" (fun () ->
+            match
+              ctx.regs.reg_write ~name:(reg_d_name rid) ~j
+                (Reg_d_value proposal)
+            with
+            | Reg_d_value d -> d
+            | _ -> proposal)
+      in
+      terminate ctx st ~rid ~j final
+  | Reg_a_value _ ->
+      (* another server won the election: it (or the cleaning thread of a
+         correct server) will terminate this try; the client's
+         retransmission drives progress *)
+      ()
+  | _ -> ()
+
+let compute_thread ctx () =
+  let wants m =
+    match m.Types.payload with Request_msg _ -> true | _ -> false
+  in
+  let rec loop () =
+    (match Engine.recv ~filter:wants () with
+    | None -> ()
+    | Some m -> (
+        match m.payload with
+        | Request_msg { request; j } -> (
+            let st = rid_state ctx request.rid in
+            if st.client = None then st.client <- Some m.src;
+            match st.last with
+            | Some (j', d) when j' = j ->
+                (* retransmission of an already-terminated try *)
+                send_result ctx st ~rid:request.rid ~j d
+            | Some (j', _) when j' > j -> ()
+            | Some _ | None -> compute_try ctx st ~request ~j)
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
+(* ---------------- Fig. 6: the cleaning thread ---------------- *)
+
+let parse_reg_a_rid key =
+  try Scanf.sscanf key "regA:r%d[" (fun rid -> Some rid) with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let known_rids ctx =
+  let from_requests = Hashtbl.fold (fun rid _ acc -> rid :: acc) ctx.rids [] in
+  let from_registers =
+    List.filter_map parse_reg_a_rid (ctx.regs.reg_decided_keys ())
+  in
+  List.sort_uniq compare (from_requests @ from_registers)
+
+let clean_request ctx ~suspect ~rid =
+  let st = rid_state ctx rid in
+  let rec scan j =
+    match ctx.regs.reg_read ~name:(reg_a_name rid) ~j with
+    | None -> () (* ⊥: no further tries exist (they start in order) *)
+    | Some (Reg_a_value winner) ->
+        if winner = suspect && not (List.mem j st.cleaned) then begin
+          let final =
+            match
+              ctx.regs.reg_write ~name:(reg_d_name rid) ~j
+                (Reg_d_value abort_decision)
+            with
+            | Reg_d_value d -> d
+            | _ -> abort_decision
+          in
+          Engine.note
+            (Printf.sprintf "cleaned:%d:%d:%s" rid j
+               (match final.outcome with
+               | Dbms.Rm.Commit -> "commit"
+               | Dbms.Rm.Abort -> "abort"));
+          terminate ctx st ~rid ~j final;
+          st.cleaned <- j :: st.cleaned
+        end;
+        scan (j + 1)
+    | Some _ -> scan (j + 1)
+  in
+  scan 1
+
+let clean_thread ctx () =
+  let rec loop () =
+    Engine.sleep ctx.cfg.clean_period;
+    List.iter
+      (fun ai ->
+        if ai <> ctx.self && Fdetect.suspects ctx.fd ai then
+          List.iter (fun rid -> clean_request ctx ~suspect:ai ~rid)
+            (known_rids ctx))
+      ctx.cfg.servers;
+    loop ()
+  in
+  loop ()
+
+(* ---------------- §5 extension: register garbage collection ----------- *)
+
+(* Discard everything long-terminated requests left behind: protocol state
+   for requests served here (by the termination timestamp) and register
+   instances decided long ago (covers servers that only participated in the
+   consensus). After this point a retransmission of the request is
+   indistinguishable from a new one, so at-most-once only holds for clients
+   that respect the grace period — the paper's timed caveat, demonstrated in
+   the test suite. [gc_after] must comfortably exceed the fail-over
+   (cleaning) latency so no live protocol activity references a collected
+   register. *)
+let gc_thread ctx ~after () =
+  let rec loop () =
+    Engine.sleep (Float.max 1. (after /. 2.));
+    let now = Engine.now () in
+    let expired =
+      Hashtbl.fold
+        (fun rid st acc ->
+          match st.terminated_at with
+          | Some t when now -. t > after -> rid :: acc
+          | Some _ | None -> acc)
+        ctx.rids []
+    in
+    List.iter (fun rid -> Hashtbl.remove ctx.rids rid) expired;
+    let swept = ctx.regs.reg_collect ~older_than:(now -. after) in
+    if expired <> [] || swept > 0 then
+      Engine.note
+        (Printf.sprintf "gc:rids=%d:swept=%d:instances=%d"
+           (List.length expired) swept
+           (ctx.regs.reg_instances ()));
+    loop ()
+  in
+  loop ()
+
+(* ---------------- Fig. 4: main() ---------------- *)
+
+let spawn engine cfg =
+  let name = Printf.sprintf "a%d" (cfg.index + 1) in
+  Engine.spawn engine ~name ~main:(fun ~recovery () ->
+      if recovery && cfg.persist = None then
+        (* the paper's base protocol assumes crashed application servers
+           stay down (a majority is always up); rejoining with amnesia
+           would be unsound, so a recovered diskless server stays passive *)
+        Engine.note "appserver-recovery-unsupported"
+      else begin
+        if recovery then Engine.note "appserver-recovered";
+        let ch = Rchannel.create () in
+        Rchannel.start ch;
+        let fd =
+          match cfg.fd_spec with
+          | Fd_oracle -> Fdetect.oracle engine
+          | Fd_heartbeat { period; initial_timeout; timeout_bump } ->
+              Fdetect.heartbeat ~period ~initial_timeout ~timeout_bump
+                ~peers:cfg.servers ()
+        in
+        Fdetect.start fd;
+        let regs =
+          match cfg.backend with
+          | Reg_ct ->
+              let agent =
+                Consensus.Agent.create ?persist:cfg.persist ~peers:cfg.servers
+                  ~fd ~ch ()
+              in
+              Consensus.Agent.start agent;
+              let key ~name ~j = Printf.sprintf "%s[%d]" name j in
+              {
+                reg_write =
+                  (fun ~name ~j v ->
+                    Consensus.Agent.propose agent ~key:(key ~name ~j) v);
+                reg_read =
+                  (fun ~name ~j ->
+                    Consensus.Agent.peek agent ~key:(key ~name ~j));
+                reg_decided_keys =
+                  (fun () -> Consensus.Agent.decided_keys agent);
+                reg_collect =
+                  (fun ~older_than -> Consensus.Agent.collect agent ~older_than);
+                reg_instances =
+                  (fun () -> Consensus.Agent.instance_count agent);
+              }
+          | Reg_synod ->
+              let synod = Consensus.Synod.create ~peers:cfg.servers ~ch () in
+              Consensus.Synod.start synod;
+              let key ~name ~j = Printf.sprintf "%s[%d]" name j in
+              {
+                reg_write =
+                  (fun ~name ~j v ->
+                    Consensus.Synod.propose synod ~key:(key ~name ~j) v);
+                reg_read =
+                  (fun ~name ~j ->
+                    Consensus.Synod.peek synod ~key:(key ~name ~j));
+                reg_decided_keys =
+                  (fun () -> Consensus.Synod.decided_keys synod);
+                reg_collect = (fun ~older_than:_ -> 0);
+                reg_instances = (fun () -> 0);
+              }
+        in
+        let rd = Dbms.Stub.Readiness.create ~dbs:cfg.dbs in
+        Dbms.Stub.Readiness.start rd;
+        let ctx =
+          {
+            cfg;
+            self = Engine.self ();
+            ch;
+            fd;
+            regs;
+            rd;
+            rids = Hashtbl.create 16;
+          }
+        in
+        Engine.fork "clean" (clean_thread ctx);
+        (match cfg.gc_after with
+        | Some after -> Engine.fork "gc" (gc_thread ctx ~after)
+        | None -> ());
+        compute_thread ctx ()
+      end)

@@ -1,0 +1,96 @@
+(** The application-server protocol (paper Figures 4, 5 and 6).
+
+    Each application server runs two protocol threads over a shared stack
+    (reliable channels, failure detector, consensus agent, database
+    readiness tracker):
+
+    - the {e computation thread} (Fig. 5): on a client request [(r, j)] it
+      competes for [regA\[j\]] — the write-once register electing which
+      server computes try [j]. The winner runs the business logic inside
+      transaction [(r, j)] across all databases, runs the atomic-commitment
+      prepare phase (Fig. 4 [prepare()]), writes the resulting decision into
+      [regD\[j\]] and terminates it (Fig. 4 [terminate()]: Decide to every
+      database until acknowledged, then the result to the client);
+    - the {e cleaning thread} (Fig. 6): for every suspected peer, it scans
+      the registers of every known request and terminates each result the
+      suspect had claimed, by writing [(nil, abort)] into [regD\[j\]] —
+      obtaining either its own abort or, if the suspect got there first, the
+      already-committed decision, which it then finishes (fail-over with
+      commit, Fig. 1c).
+
+    Application servers are stateless (all durable protocol state lives in
+    the registers and the databases) and do not support recovery: per the
+    paper's model a crashed server stays down, and a majority must stay up.
+
+    When a [breakdown] accumulator is supplied, the winner path wraps each
+    stage in {!Stats.Breakdown.span} with the paper's Figure 8 category
+    names: "start", "SQL", "end", "prepare", "commit", "log-start" (the
+    [regA] write) and "log-outcome" (the [regD] write). *)
+
+open Dsim
+
+type fd_spec =
+  | Fd_oracle  (** perfect detector from engine ground truth *)
+  | Fd_heartbeat of {
+      period : float;
+      initial_timeout : float;
+      timeout_bump : float;
+    }  (** the ◇P heartbeat detector of {!Dnet.Fdetect} *)
+
+(** Which consensus implements the wo-registers — the paper treats this as
+    pluggable ("e.g. \[4\]"); ablation A8 compares the two. *)
+type register_backend =
+  | Reg_ct  (** rotating-coordinator agent ({!Consensus.Agent}) *)
+  | Reg_synod
+      (** Paxos ({!Consensus.Synod}); detector-free, but without the
+          persistence and garbage-collection extensions *)
+
+type config = {
+  index : int;  (** position in [servers]; 0 is the default primary *)
+  servers : Types.proc_id list;  (** all application servers, fixed order *)
+  dbs : Types.proc_id list;
+  business : Business.t;
+  fd_spec : fd_spec;
+  clean_period : float;  (** cleaning-thread scan interval *)
+  poll : float;  (** local wait re-check interval *)
+  exec_backoff : float;  (** lock-conflict retry back-off *)
+  gc_after : float option;
+      (** when set, a garbage-collection thread discards a request's
+          register instances and protocol state this long after its last
+          try terminated — the paper's §5 register-array clean-up. The
+          at-most-once guarantee then only covers clients that do not
+          retransmit after this period (the paper's timed caveat). *)
+  backend : register_backend;
+  persist : Consensus.Agent.persistence option;
+      (** when set, the server's registers live on this stable storage and
+          the server supports {e crash-recovery} (the paper's §5 pointer to
+          [22,23]): on recovery it rejoins consensus from its log, so the
+          liveness assumption weakens from "a majority never crashes" to "a
+          majority is eventually up together". The cost — forced IO on the
+          register write path — is exactly what the paper's diskless middle
+          tier avoids; one caveat: a server re-elected for a try it had
+          prepared before crashing cannot reconstruct the original result
+          string, so the delivered result may degrade to an error report
+          even though the transaction's effect applies exactly once. *)
+  breakdown : Stats.Breakdown.t option;
+}
+
+val config :
+  ?fd_spec:fd_spec ->
+  ?clean_period:float ->
+  ?poll:float ->
+  ?exec_backoff:float ->
+  ?gc_after:float ->
+  ?backend:register_backend ->
+  ?persist:Consensus.Agent.persistence ->
+  ?breakdown:Stats.Breakdown.t ->
+  index:int ->
+  servers:Types.proc_id list ->
+  dbs:Types.proc_id list ->
+  business:Business.t ->
+  unit ->
+  config
+(** Defaults: oracle failure detector, 20 ms clean period, 10 ms poll,
+    40 ms exec back-off, no garbage collection, no breakdown accounting. *)
+
+val spawn : Engine.t -> config -> Types.proc_id

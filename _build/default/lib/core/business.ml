@@ -1,0 +1,27 @@
+open Dsim
+
+type context = {
+  xid : Dbms.Xid.t;
+  dbs : Types.proc_id list;
+  exec : db:Types.proc_id -> Dbms.Rm.op list -> Dbms.Rm.exec_reply;
+  attempt : int;
+}
+
+type t = {
+  label : string;
+  run : context -> body:string -> Etx_types.result_value;
+}
+
+let trivial =
+  {
+    label = "trivial";
+    run =
+      (fun ctx ~body ->
+        let key = Printf.sprintf "mark:%s" (Dbms.Xid.to_string ctx.xid) in
+        match ctx.dbs with
+        | [] -> "ok:" ^ body
+        | db :: _ -> (
+            match ctx.exec ~db [ Dbms.Rm.Put (key, Dbms.Value.Str body) ] with
+            | Dbms.Rm.Exec_ok _ -> "ok:" ^ body
+            | Dbms.Rm.Exec_conflict _ | Dbms.Rm.Exec_rejected -> "error:" ^ body));
+  }

@@ -1,0 +1,31 @@
+(** The paper's [compute()] abstraction: business logic that manipulates the
+    databases inside a transaction and produces a result value.
+
+    [compute()] is non-deterministic — its result depends on database state
+    — and may be invoked several times for the same request (for successive
+    result identifiers [j]). It must not commit anything itself. Per the
+    paper's footnote, business logic must not insist forever on an
+    uncommittable outcome: after a user-level abort it should eventually
+    compute a result that merely {e reports} the problem, which the
+    databases will happily commit. *)
+
+open Dsim
+
+type context = {
+  xid : Dbms.Xid.t;  (** the transaction this computation runs in *)
+  dbs : Types.proc_id list;  (** all database servers *)
+  exec : db:Types.proc_id -> Dbms.Rm.op list -> Dbms.Rm.exec_reply;
+      (** blocking transactional batch on one database (with bounded
+          lock-conflict retry); [Exec_rejected] means the database lost the
+          transaction — give up, the vote will abort the try *)
+  attempt : int;  (** the result identifier [j] of this try *)
+}
+
+type t = {
+  label : string;
+  run : context -> body:string -> Etx_types.result_value;
+      (** must always return a (non-nil) result value *)
+}
+
+val trivial : t
+(** Reads nothing, writes one marker key; useful for protocol tests. *)

@@ -1,0 +1,101 @@
+open Dsim
+open Dnet
+
+type record = {
+  rid : int;
+  body : string;
+  result : Etx_types.result_value;
+  tries : int;
+  issued_at : float;
+  delivered_at : float;
+}
+
+type handle = {
+  pid : Types.proc_id;
+  records : record list ref;
+  finished : bool ref;
+}
+
+let next_rid = ref 0
+
+let fresh_rid () =
+  incr next_rid;
+  !next_rid
+
+let wants_result rid j m =
+  match m.Types.payload with
+  | Etx_types.Result_msg { rid = r; j = j'; _ } -> r = rid && j' = j
+  | _ -> false
+
+let spawn engine ?(name = "client") ?(period = 400.) ~servers ~script () =
+  let records = ref [] in
+  let finished = ref false in
+  let primary =
+    match servers with
+    | p :: _ -> p
+    | [] -> invalid_arg "Client.spawn: no application servers"
+  in
+  let pid =
+    Engine.spawn engine ~name ~main:(fun ~recovery () ->
+        if recovery then Engine.note "client-recovery:staying-silent"
+        else begin
+          let ch = Rchannel.create () in
+          Rchannel.start ch;
+          let issue body =
+            let rid = fresh_rid () in
+            let request = { Etx_types.rid; body } in
+            let issued_at = Engine.now () in
+            (* one try = one result identifier j (Fig. 2 main loop) *)
+            let rec try_j j =
+              Rchannel.send ch primary
+                (Etx_types.Request_msg { request; j });
+              match
+                Engine.recv ~timeout:period ~filter:(wants_result rid j) ()
+              with
+              | Some m -> conclude j m
+              | None -> broadcast_phase j
+            and broadcast_phase j =
+              Rchannel.broadcast ch servers
+                (Etx_types.Request_msg { request; j });
+              match
+                Engine.recv ~timeout:period ~filter:(wants_result rid j) ()
+              with
+              | Some m -> conclude j m
+              | None -> broadcast_phase j
+            and conclude j m =
+              match m.Types.payload with
+              | Etx_types.Result_msg { decision; _ } -> (
+                  match (decision.outcome, decision.result) with
+                  | Dbms.Rm.Commit, Some result ->
+                      let record =
+                        {
+                          rid;
+                          body;
+                          result;
+                          tries = j;
+                          issued_at;
+                          delivered_at = Engine.now ();
+                        }
+                      in
+                      records := !records @ [ record ];
+                      record
+                  | Dbms.Rm.Commit, None ->
+                      (* a committed decision always carries a result (V.1);
+                         reaching this is a protocol bug worth crashing on *)
+                      failwith "e-Transaction: committed decision without result"
+                  | Dbms.Rm.Abort, _ -> try_j (j + 1))
+              | _ -> assert false
+            in
+            try_j 1
+          in
+          script ~issue;
+          finished := true
+        end)
+  in
+  { pid; records; finished }
+
+let pid t = t.pid
+
+let records t = !(t.records)
+
+let script_done t = !(t.finished)

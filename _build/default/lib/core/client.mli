@@ -1,0 +1,49 @@
+(** The client protocol (paper Figure 2), wrapped in a simulated process.
+
+    [issue] keeps retransmitting the request until a {e committed} result
+    comes back: it first sends to the default primary, falls back to
+    broadcasting to every application server after the back-off period, and
+    increments the result identifier [j] whenever a try aborts. Only a
+    committed result is delivered to the end-user — that, together with the
+    server-side protocol, is the exactly-once guarantee.
+
+    One deliberate strengthening of the figure's pseudo-code: after the
+    broadcast (line 6) the paper waits unboundedly (line 7); we re-broadcast
+    every back-off period, which is strictly more live and matches the
+    paper's stated design ("clients use a simple timeout mechanism to
+    re-submit requests"). *)
+
+open Dsim
+
+type record = {
+  rid : int;
+  body : string;
+  result : Etx_types.result_value;  (** the delivered (committed) result *)
+  tries : int;  (** the final result identifier [j] *)
+  issued_at : float;
+  delivered_at : float;
+}
+
+type handle
+
+val spawn :
+  Engine.t ->
+  ?name:string ->
+  ?period:float ->
+  servers:Types.proc_id list ->
+  script:(issue:(string -> record) -> unit) ->
+  unit ->
+  handle
+(** [servers] ordered, head = default primary; [period] is the back-off
+    timeout (default 400 ms). [script] runs inside the client process and
+    issues requests one at a time; it does not re-run if the client process
+    is crashed and recovered (a crashed client stays silent, as in the
+    paper's model). *)
+
+val pid : handle -> Types.proc_id
+
+val records : handle -> record list
+(** Results delivered so far, oldest first. *)
+
+val script_done : handle -> bool
+(** Whether the script ran to completion (the T.1 check). *)

@@ -1,0 +1,86 @@
+open Dsim
+
+type t = {
+  engine : Engine.t;
+  dbs : (Types.proc_id * Dbms.Rm.t) list;
+  app_servers : Types.proc_id list;
+  client : Client.handle;
+}
+
+let build ?(seed = 1) ?net ?(n_app_servers = 3) ?(n_dbs = 1)
+    ?(fd_spec = Appserver.Fd_oracle) ?(timing = Dbms.Rm.paper_timing)
+    ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
+    ?(clean_period = 20.) ?(poll = 10.) ?gc_after
+    ?(backend = Appserver.Reg_ct) ?(recoverable = false)
+    ?(register_disk_latency = 12.5) ?breakdown ~business ~script () =
+  let net =
+    match net with
+    | Some n -> n
+    | None -> Dnet.Netmodel.three_tier ~n_dbs ()
+  in
+  let engine = Engine.create ~seed ~net () in
+  (* databases first: pids 0 .. n_dbs-1 *)
+  let app_pids = ref [] in
+  let dbs =
+    List.init n_dbs (fun i ->
+        let name = Printf.sprintf "db%d" (i + 1) in
+        let disk =
+          Dstore.Disk.create ~force_latency:disk_force_latency ~label:"log" ()
+        in
+        let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
+        let pid =
+          Dbms.Server.spawn engine ~name ~rm ~observers:(fun () -> !app_pids) ()
+        in
+        (pid, rm))
+  in
+  let db_pids = List.map fst dbs in
+  (* application servers: pids n_dbs .. n_dbs+n_app_servers-1 *)
+  let servers = List.init n_app_servers (fun i -> n_dbs + i) in
+  let spawned =
+    List.init n_app_servers (fun index ->
+        let persist =
+          if recoverable then
+            Some
+              (Consensus.Agent.make_persistence
+                 ~disk:
+                   (Dstore.Disk.create ~force_latency:register_disk_latency
+                      ~label:"reg-log" ()))
+          else None
+        in
+        let cfg =
+          Appserver.config ~fd_spec ~clean_period ~poll ?gc_after ~backend
+            ?persist ?breakdown ~index ~servers ~dbs:db_pids ~business ()
+        in
+        Appserver.spawn engine cfg)
+  in
+  assert (spawned = servers);
+  app_pids := servers;
+  let client = Client.spawn engine ~period:client_period ~servers ~script () in
+  { engine; dbs; app_servers = servers; client }
+
+let run_to_quiescence ?(deadline = 600_000.) t =
+  (* A yes vote must reach a durable decision; a no vote aborted on the
+     spot and holds nothing, so it never blocks quiescence. *)
+  let settled () =
+    Client.script_done t.client
+    && List.for_all
+         (fun (_, rm) ->
+           Dbms.Rm.in_doubt rm = []
+           && List.for_all
+                (fun (xid, vote) ->
+                  match (vote, Dbms.Rm.phase_of rm xid) with
+                  | Dbms.Rm.No, _ -> true
+                  | ( Dbms.Rm.Yes,
+                      (Some Dbms.Rm.Committed | Some Dbms.Rm.Aborted) ) ->
+                      true
+                  | ( Dbms.Rm.Yes,
+                      (Some Dbms.Rm.Active | Some Dbms.Rm.Prepared | None) ) ->
+                      false)
+                (Dbms.Rm.votes_cast rm))
+         t.dbs
+  in
+  Engine.run_until ~deadline t.engine settled
+
+let primary t = List.hd t.app_servers
+
+let rm_of t pid = List.assoc pid t.dbs

@@ -1,0 +1,52 @@
+(** One-call wiring of a complete three-tier deployment in a fresh engine:
+    [n_dbs] database servers (each with its own resource manager and disk),
+    [n_app_servers] application servers running the e-Transaction protocol,
+    and one client executing a script. *)
+
+open Dsim
+
+type t = {
+  engine : Engine.t;
+  dbs : (Types.proc_id * Dbms.Rm.t) list;
+  app_servers : Types.proc_id list;  (** ordered; head = default primary *)
+  client : Client.handle;
+}
+
+val build :
+  ?seed:int ->
+  ?net:Engine.netmodel ->
+  ?n_app_servers:int ->
+  ?n_dbs:int ->
+  ?fd_spec:Appserver.fd_spec ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?clean_period:float ->
+  ?poll:float ->
+  ?gc_after:float ->
+  ?backend:Appserver.register_backend ->
+  ?recoverable:bool ->
+  ?register_disk_latency:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  business:Business.t ->
+  script:(issue:(string -> Client.record) -> unit) ->
+  unit ->
+  t
+(** Defaults: LAN network, 3 application servers (tolerating one crash, as
+    in the paper's measurements), 1 database (the paper's configuration),
+    oracle failure detector, paper-calibrated timing, 400 ms client
+    back-off.
+
+    [recoverable:true] equips each application server with stable register
+    storage (forced write cost [register_disk_latency], default 12.5 ms),
+    enabling crash-recovery of application servers — see
+    {!Appserver.config} for semantics and cost. *)
+
+val run_to_quiescence : ?deadline:float -> t -> bool
+(** Run until the client script finishes and every database transaction is
+    decided (no in-doubt leftovers); returns whether that state was reached
+    before the deadline (default 600 s of virtual time). *)
+
+val primary : t -> Types.proc_id
+val rm_of : t -> Types.proc_id -> Dbms.Rm.t

@@ -1,0 +1,31 @@
+(** Domain types and wire messages of the e-Transaction protocol. *)
+
+type request = {
+  rid : int;  (** unique request identifier *)
+  body : string;  (** the "Request" domain value (e.g. travel parameters) *)
+}
+
+(** The "Result" domain: what the business logic computed for the end-user
+    (reservation numbers, hotel names, or a user-level failure report). *)
+type result_value = string
+
+(** A decision pairs a result with its transaction outcome — the content of
+    the [regD] write-once registers. The paper writes [(nil, abort)] for a
+    cleaning-thread abort; [result = None] encodes the [nil]. *)
+type decision = { result : result_value option; outcome : Dbms.Rm.outcome }
+
+let abort_decision = { result = None; outcome = Dbms.Rm.Abort }
+
+type Dsim.Types.payload +=
+  | Request_msg of { request : request; j : int }
+      (** client → application server: [\[Request, request, j\]] *)
+  | Result_msg of { rid : int; j : int; decision : decision }
+      (** application server → client: [\[Result, j, decision\]] *)
+  | Reg_a_value of Dsim.Types.proc_id
+      (** content of [regA\[j\]]: which server computes result [j] *)
+  | Reg_d_value of decision  (** content of [regD\[j\]] *)
+
+let pp_decision ppf d =
+  Format.fprintf ppf "(%s,%s)"
+    (match d.result with None -> "nil" | Some r -> r)
+    (match d.outcome with Dbms.Rm.Commit -> "commit" | Dbms.Rm.Abort -> "abort")

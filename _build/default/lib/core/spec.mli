@@ -1,0 +1,40 @@
+(** Checkers for the e-Transaction specification (paper Section 3).
+
+    Each check inspects a deployment after a run and returns human-readable
+    violation descriptions (empty list = property holds). Termination
+    properties are meaningful only after {!Deployment.run_to_quiescence}. *)
+
+val agreement_a1 : Deployment.t -> string list
+(** A.1: no result delivered by the client unless committed by {e all}
+    database servers. *)
+
+val agreement_a2 : Deployment.t -> string list
+(** A.2: no database server commits two different results of one request. *)
+
+val agreement_a3 : Deployment.t -> string list
+(** A.3: no two database servers decide differently on the same result. *)
+
+val validity_v1 : Deployment.t -> string list
+(** V.1: every delivered result was computed by an application server for a
+    request the client issued (checked against the servers' computation
+    trace notes). *)
+
+val validity_v2 : Deployment.t -> string list
+(** V.2: no database commits a result unless every database voted yes for
+    it. *)
+
+val termination_t1 : Deployment.t -> string list
+(** T.1: the client (which did not crash) delivered a result for every
+    issued request — i.e. its script ran to completion. *)
+
+val termination_t2 : Deployment.t -> string list
+(** T.2: every result a database voted for was eventually committed or
+    aborted there (no in-doubt transaction remains). *)
+
+val exactly_once : Deployment.t -> string list
+(** End-to-end exactly-once: per client-delivered request, exactly one
+    transaction committed at every database, and it matches the delivered
+    try. *)
+
+val check_all : Deployment.t -> string list
+(** All of the above. *)

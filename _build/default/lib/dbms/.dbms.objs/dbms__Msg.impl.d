@@ -1,0 +1,1 @@
+lib/dbms/msg.ml: Dsim Rm Xid

@@ -1,0 +1,1 @@
+lib/dbms/rm.ml: Dsim Dstore Engine Hashtbl List Option String Value Xid

@@ -1,0 +1,1 @@
+lib/dbms/rm.mli: Dstore Value Xid

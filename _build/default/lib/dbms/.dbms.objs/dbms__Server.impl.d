@@ -1,0 +1,1 @@
+lib/dbms/server.ml: Dnet Dsim Engine Msg Rchannel Rm Types

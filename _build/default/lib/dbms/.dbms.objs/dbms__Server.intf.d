@@ -1,0 +1,1 @@
+lib/dbms/server.mli: Dsim Engine Rm Types

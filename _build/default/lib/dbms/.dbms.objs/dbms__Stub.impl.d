@@ -1,0 +1,1 @@
+lib/dbms/stub.ml: Dnet Dsim Engine Hashtbl List Msg Option Rchannel Rm Types Xid

@@ -1,0 +1,1 @@
+lib/dbms/stub.mli: Dnet Dsim Rm Types Xid

@@ -1,0 +1,1 @@
+lib/dbms/value.mli: Format

@@ -1,0 +1,1 @@
+lib/dbms/xid.mli: Format

@@ -1,0 +1,22 @@
+(** Wire messages understood by a database server.
+
+    [Prepare]/[Vote_msg]/[Decide]/[Ack_decide]/[Ready] are the paper's
+    Figure 3 message types; [Exec_req]/[Exec_reply] carry the business-logic
+    manipulation the paper abstracts as "transactional manipulation";
+    [Commit1]/[Commit1_reply] support the unreliable baseline protocol's
+    single-phase commit (Fig. 7a). *)
+
+type Dsim.Types.payload +=
+  | Xa_start of { xid : Xid.t }
+  | Xa_started of { xid : Xid.t }
+  | Xa_end of { xid : Xid.t }
+  | Xa_ended of { xid : Xid.t }
+  | Exec_req of { xid : Xid.t; ops : Rm.op list }
+  | Exec_reply of { xid : Xid.t; reply : Rm.exec_reply }
+  | Prepare of { xid : Xid.t }
+  | Vote_msg of { xid : Xid.t; vote : Rm.vote }
+  | Decide of { xid : Xid.t; outcome : Rm.outcome }
+  | Ack_decide of { xid : Xid.t }
+  | Ready
+  | Commit1 of { xid : Xid.t }
+  | Commit1_reply of { xid : Xid.t; outcome : Rm.outcome }

@@ -1,0 +1,472 @@
+open Dsim
+
+type outcome = Commit | Abort
+
+type vote = Yes | No
+
+type op =
+  | Get of string
+  | Put of string * Value.t
+  | Add of string * int
+  | Ensure_min of string * int
+  | Fail
+
+type exec_reply =
+  | Exec_ok of { values : Value.t option list; business_ok : bool }
+  | Exec_conflict of string
+  | Exec_rejected
+
+type timing = {
+  start_cpu : float;
+  sql_cpu : float;
+  end_cpu : float;
+  prepare_cpu : float;
+  commit_cpu : float;
+  abort_cpu : float;
+}
+
+(* Calibration: with the three-tier network model the application-server ↔
+   database round trip averages 2.4 ms, so the CPU costs below put the
+   app-server-visible components at Figure 8's values: start 3.4, SQL 187,
+   end 3.4, prepare ≈ 19, commit 18.6. The forced-IO part of prepare/commit
+   (12.5 ms) is charged by the disk. *)
+let paper_timing =
+  {
+    start_cpu = 1.0;
+    sql_cpu = 184.6;
+    end_cpu = 1.0;
+    prepare_cpu = 4.1;
+    commit_cpu = 3.7;
+    abort_cpu = 1.0;
+  }
+
+let zero_timing =
+  {
+    start_cpu = 0.;
+    sql_cpu = 0.;
+    end_cpu = 0.;
+    prepare_cpu = 0.;
+    commit_cpu = 0.;
+    abort_cpu = 0.;
+  }
+
+type txn_phase = Active | Prepared | Committed | Aborted
+
+type txn = {
+  xid : Xid.t;
+  mutable phase : txn_phase;
+  mutable writes : (string * Value.t) list;  (* workspace, oldest first *)
+  mutable poisoned : bool;
+}
+
+type wal_record =
+  | W_prepared of Xid.t * (string * Value.t) list
+  | W_committed of Xid.t * (string * Value.t) list
+  | W_aborted of Xid.t
+  | W_snapshot of {
+      state : (string * Value.t) list;  (** full committed state *)
+      committed : Xid.t list;  (** commit order, oldest first *)
+      aborted : Xid.t list;
+    }
+
+(* A lock is exclusive (one writer) or shared (any number of readers);
+   shared locks exist only in strict-2PL mode. *)
+type lock_state = L_exclusive of Xid.t | L_shared of Xid.t list
+
+type t = {
+  rm_name : string;
+  rm_disk : Dstore.Disk.t;
+  timing : timing;
+  seed_data : (string * Value.t) list;
+  read_locks : bool;
+  wal : wal_record Dstore.Wal.t;
+  store : (string, Value.t) Hashtbl.t;
+  locks : (string, lock_state) Hashtbl.t;
+  txns : (Xid.t, txn) Hashtbl.t;
+  mutable commit_order : Xid.t list;  (* newest first *)
+  mutable vote_log : (Xid.t * vote) list;  (* newest first *)
+}
+
+let create ?(timing = paper_timing) ?(seed_data = []) ?(read_locks = false)
+    ~disk ~name () =
+  let store = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace store k v) seed_data;
+  {
+    rm_name = name;
+    rm_disk = disk;
+    timing;
+    seed_data;
+    read_locks;
+    wal = Dstore.Wal.create ~disk ();
+    store;
+    locks = Hashtbl.create 64;
+    txns = Hashtbl.create 64;
+    commit_order = [];
+    vote_log = [];
+  }
+
+let name t = t.rm_name
+let disk t = t.rm_disk
+
+let find_txn t xid = Hashtbl.find_opt t.txns xid
+
+let get_txn t xid =
+  match find_txn t xid with
+  | Some txn -> txn
+  | None ->
+      let txn = { xid; phase = Active; writes = []; poisoned = false } in
+      Hashtbl.replace t.txns xid txn;
+      txn
+
+let release_locks t xid =
+  let updates =
+    Hashtbl.fold
+      (fun k state acc ->
+        match state with
+        | L_exclusive owner when Xid.equal owner xid -> (k, None) :: acc
+        | L_shared owners when List.exists (Xid.equal xid) owners -> (
+            match List.filter (fun o -> not (Xid.equal o xid)) owners with
+            | [] -> (k, None) :: acc
+            | rest -> (k, Some (L_shared rest)) :: acc)
+        | L_exclusive _ | L_shared _ -> acc)
+      t.locks []
+  in
+  List.iter
+    (fun (k, state) ->
+      match state with
+      | None -> Hashtbl.remove t.locks k
+      | Some s -> Hashtbl.replace t.locks k s)
+    updates
+
+(* Current value as seen by a transaction: its workspace shadows the
+   committed store. *)
+let lookup t txn key =
+  let rec in_workspace = function
+    | [] -> None
+    | (k, v) :: rest -> (
+        match in_workspace rest with
+        | Some _ as hit -> hit
+        | None -> if String.equal k key then Some v else None)
+  in
+  match in_workspace txn.writes with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt t.store key
+
+let write_set ops =
+  List.filter_map
+    (function
+      | Put (k, _) | Add (k, _) -> Some k
+      | Get _ | Ensure_min _ | Fail -> None)
+    ops
+  |> List.sort_uniq String.compare
+
+let read_set ops =
+  List.filter_map
+    (function
+      | Get k | Ensure_min (k, _) -> Some k
+      | Put _ | Add _ | Fail -> None)
+    ops
+  |> List.sort_uniq String.compare
+
+(* Acquire every lock the batch needs or none (atomic): exclusive for the
+   write set, shared for the read set in strict-2PL mode. A sole reader may
+   upgrade to a writer. *)
+let try_lock_all t xid ops =
+  let writes = write_set ops in
+  let reads =
+    if t.read_locks then
+      List.filter (fun k -> not (List.mem k writes)) (read_set ops)
+    else []
+  in
+  let write_conflict k =
+    match Hashtbl.find_opt t.locks k with
+    | None -> false
+    | Some (L_exclusive owner) -> not (Xid.equal owner xid)
+    | Some (L_shared owners) ->
+        not (List.for_all (Xid.equal xid) owners) (* upgrade iff sole owner *)
+  in
+  let read_conflict k =
+    match Hashtbl.find_opt t.locks k with
+    | None | Some (L_shared _) -> false
+    | Some (L_exclusive owner) -> not (Xid.equal owner xid)
+  in
+  match
+    ( List.find_opt write_conflict writes,
+      List.find_opt read_conflict reads )
+  with
+  | Some k, _ | None, Some k -> Error k
+  | None, None ->
+      List.iter (fun k -> Hashtbl.replace t.locks k (L_exclusive xid)) writes;
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt t.locks k with
+          | None -> Hashtbl.replace t.locks k (L_shared [ xid ])
+          | Some (L_shared owners) ->
+              if not (List.exists (Xid.equal xid) owners) then
+                Hashtbl.replace t.locks k (L_shared (xid :: owners))
+          | Some (L_exclusive _) -> () (* ours, by the conflict check *))
+        reads;
+      Ok ()
+
+let abort_local t txn ~log =
+  release_locks t txn.xid;
+  txn.phase <- Aborted;
+  if log then Dstore.Wal.append ~label:"abort" t.wal (W_aborted txn.xid)
+
+let xa_start t ~xid =
+  let (_ : txn) = get_txn t xid in
+  Engine.work "start" t.timing.start_cpu
+
+let xa_end t ~xid =
+  (* Must NOT create the transaction: if a crash wiped it after xa_start,
+     re-creating an empty workspace here would let it vote Yes and commit a
+     spurious no-op — the update would be silently lost. An unknown branch
+     is simply detached; the prepare phase will then vote No. *)
+  let (_ : txn option) = find_txn t xid in
+  Engine.work "end" t.timing.end_cpu
+
+let exec t ~xid ops =
+  match find_txn t xid with
+  | None -> Exec_rejected
+  | Some txn -> (
+  match txn.phase with
+  | Prepared | Committed | Aborted -> Exec_rejected
+  | Active -> (
+      match try_lock_all t xid ops with
+      | Error key -> Exec_conflict key
+      | Ok () ->
+          Engine.work "SQL" t.timing.sql_cpu;
+          (* re-validate: a concurrent decide may have aborted us while the
+             simulated SQL was running *)
+          if txn.phase <> Active then Exec_rejected
+          else begin
+            let values = ref [] in
+            let ok = ref true in
+            let step op =
+              if !ok then
+                match op with
+                | Get k -> values := lookup t txn k :: !values
+                | Put (k, v) -> txn.writes <- txn.writes @ [ (k, v) ]
+                | Add (k, n) -> (
+                    match lookup t txn k with
+                    | Some (Value.Int cur) ->
+                        txn.writes <- txn.writes @ [ (k, Value.Int (cur + n)) ]
+                    | None -> txn.writes <- txn.writes @ [ (k, Value.Int n) ]
+                    | Some (Value.Str _) ->
+                        ok := false;
+                        txn.poisoned <- true)
+                | Ensure_min (k, bound) -> (
+                    match lookup t txn k with
+                    | Some (Value.Int cur) when cur >= bound -> ()
+                    | Some (Value.Int _) | None | Some (Value.Str _) ->
+                        ok := false;
+                        txn.poisoned <- true)
+                | Fail ->
+                    ok := false;
+                    txn.poisoned <- true
+            in
+            List.iter step ops;
+            Exec_ok { values = List.rev !values; business_ok = !ok }
+          end))
+
+let vote t ~xid =
+  let record v =
+    t.vote_log <- (xid, v) :: t.vote_log;
+    v
+  in
+  record
+  @@
+  match find_txn t xid with
+  | None -> No
+  | Some txn -> (
+      match txn.phase with
+      | Prepared | Committed -> Yes
+      | Aborted -> No
+      | Active ->
+          if txn.poisoned then begin
+            Engine.work "abort" t.timing.abort_cpu;
+            abort_local t txn ~log:false;
+            No
+          end
+          else begin
+            Engine.work "prepare" t.timing.prepare_cpu;
+            (* Both the CPU charge and the forced log write suspend this
+               fiber; a concurrent decide (e.g. a cleaning thread's abort)
+               may have terminated the transaction meanwhile, so re-validate
+               after every suspension instead of blindly promoting. *)
+            if txn.phase <> Active then
+              match txn.phase with
+              | Committed | Prepared -> Yes
+              | Aborted | Active -> No
+            else begin
+              Dstore.Wal.append ~label:"prepare" t.wal
+                (W_prepared (xid, txn.writes));
+              if txn.phase = Active then begin
+                txn.phase <- Prepared;
+                Yes
+              end
+              else
+                match txn.phase with
+                | Committed | Prepared -> Yes
+                | Aborted | Active ->
+                    (* aborted while the prepare record was being forced:
+                       make the log agree so recovery does not resurrect an
+                       in-doubt transaction *)
+                    Dstore.Wal.append ~label:"abort" t.wal (W_aborted xid);
+                    No
+            end
+          end)
+
+let apply_writes t writes =
+  List.iter (fun (k, v) -> Hashtbl.replace t.store k v) writes
+
+let commit_prepared t txn =
+  Engine.work "commit" t.timing.commit_cpu;
+  Dstore.Wal.append ~label:"commit" t.wal (W_committed (txn.xid, txn.writes));
+  apply_writes t txn.writes;
+  release_locks t txn.xid;
+  txn.phase <- Committed;
+  t.commit_order <- txn.xid :: t.commit_order
+
+let decide t ~xid outcome =
+  match find_txn t xid with
+  | None ->
+      (* never heard of it: record the abort so later decides agree *)
+      let txn = get_txn t xid in
+      txn.phase <- Aborted;
+      Abort
+  | Some txn -> (
+      match (txn.phase, outcome) with
+      | Committed, (Commit | Abort) -> Commit
+      | Aborted, (Commit | Abort) -> Abort
+      | Prepared, Commit ->
+          commit_prepared t txn;
+          Commit
+      | Prepared, Abort ->
+          Engine.work "abort" t.timing.abort_cpu;
+          abort_local t txn ~log:true;
+          Abort
+      | Active, (Commit | Abort) ->
+          (* commit without prepare violates V.2; abort defensively *)
+          Engine.work "abort" t.timing.abort_cpu;
+          abort_local t txn ~log:false;
+          Abort)
+
+let commit_one_phase t ~xid =
+  match find_txn t xid with
+  | None -> Abort
+  | Some txn -> (
+      match txn.phase with
+      | Committed -> Commit
+      | Aborted | Prepared -> Abort
+      | Active ->
+          if txn.poisoned then begin
+            abort_local t txn ~log:false;
+            Abort
+          end
+          else begin
+            commit_prepared t txn;
+            Commit
+          end)
+
+let recover t =
+  Hashtbl.reset t.store;
+  Hashtbl.reset t.locks;
+  Hashtbl.reset t.txns;
+  t.commit_order <- [];
+  List.iter (fun (k, v) -> Hashtbl.replace t.store k v) t.seed_data;
+  let replay_one () = function
+    | W_prepared (xid, writes) ->
+        let txn = get_txn t xid in
+        txn.phase <- Prepared;
+        txn.writes <- writes
+    | W_committed (xid, writes) ->
+        let txn = get_txn t xid in
+        txn.phase <- Committed;
+        txn.writes <- writes;
+        apply_writes t writes;
+        t.commit_order <- xid :: t.commit_order
+    | W_aborted xid ->
+        let txn = get_txn t xid in
+        txn.phase <- Aborted
+    | W_snapshot { state; committed; aborted } ->
+        Hashtbl.reset t.store;
+        List.iter (fun (k, v) -> Hashtbl.replace t.store k v) state;
+        List.iter
+          (fun xid ->
+            let txn = get_txn t xid in
+            txn.phase <- Committed;
+            t.commit_order <- xid :: t.commit_order)
+          committed;
+        List.iter
+          (fun xid ->
+            let txn = get_txn t xid in
+            txn.phase <- Aborted)
+          aborted
+  in
+  Dstore.Wal.replay t.wal ~init:() ~f:replay_one;
+  (* in-doubt transactions keep their write locks across the crash (read
+     sets are not logged, so shared locks are volatile) *)
+  Hashtbl.iter
+    (fun xid txn ->
+      if txn.phase = Prepared then
+        List.iter
+          (fun (k, _) -> Hashtbl.replace t.locks k (L_exclusive xid))
+          txn.writes)
+    t.txns
+
+let checkpoint t =
+  let state = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store [] in
+  let decided phase =
+    Hashtbl.fold
+      (fun xid txn acc -> if txn.phase = phase then xid :: acc else acc)
+      t.txns []
+    |> List.sort Xid.compare
+  in
+  let prepared =
+    Hashtbl.fold
+      (fun xid txn acc ->
+        if txn.phase = Prepared then (xid, txn.writes) :: acc else acc)
+      t.txns []
+  in
+  Dstore.Wal.truncate t.wal;
+  Dstore.Wal.append ~label:"checkpoint" t.wal
+    (W_snapshot
+       {
+         state;
+         committed = List.rev t.commit_order;
+         aborted = decided Aborted;
+       });
+  (* in-doubt workspaces stay individually recoverable *)
+  List.iter
+    (fun (xid, writes) ->
+      Dstore.Wal.append ~label:"checkpoint" t.wal (W_prepared (xid, writes)))
+    prepared
+
+let wal_length t = Dstore.Wal.length t.wal
+
+let phase_of t xid = Option.map (fun txn -> txn.phase) (find_txn t xid)
+
+let read_committed t key = Hashtbl.find_opt t.store key
+
+let committed_xids t = List.rev t.commit_order
+
+let in_doubt t =
+  Hashtbl.fold
+    (fun xid txn acc -> if txn.phase = Prepared then xid :: acc else acc)
+    t.txns []
+  |> List.sort Xid.compare
+
+let locks_held t =
+  Hashtbl.fold
+    (fun k state acc ->
+      match state with
+      | L_exclusive xid -> (k, xid) :: acc
+      | L_shared owners -> List.map (fun xid -> (k, xid)) owners @ acc)
+    t.locks []
+  |> List.sort compare
+
+let known_xids t =
+  Hashtbl.fold (fun xid _ acc -> xid :: acc) t.txns [] |> List.sort Xid.compare
+
+let votes_cast t = List.rev t.vote_log

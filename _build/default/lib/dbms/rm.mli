@@ -1,0 +1,161 @@
+(** Transactional resource manager: the XA engine behind a database server.
+
+    Implements the commitment surface the paper relies on — [vote] (XA
+    prepare) and [decide] (XA commit/rollback) — over an in-memory key-value
+    store with per-key write locks and a write-ahead log on a simulated
+    {!Dstore.Disk}. Business logic runs through {!exec}, which executes a
+    batch of operations inside a transaction workspace.
+
+    Durability model (matches the paper's crash semantics):
+    - committed state and prepared workspaces live in the WAL — they survive
+      crashes;
+    - active transactions are volatile — [recover] discards them;
+    - prepared-but-undecided transactions are {e in-doubt} after recovery:
+      their locks are re-acquired and they wait for a [decide].
+
+    Timing model: each operation charges virtual time with
+    {!Dsim.Engine.work} using the category labels of the paper's Figure 8
+    ("start", "SQL", "end", "prepare", "commit"), so latency-breakdown
+    accounting falls out of the trace. Calls must therefore run inside a
+    fiber. *)
+
+type outcome = Commit | Abort
+
+type vote = Yes | No
+
+type op =
+  | Get of string
+  | Put of string * Value.t
+  | Add of string * int
+      (** read-modify-write on an [Int] value; missing key starts from 0 *)
+  | Ensure_min of string * int
+      (** business-rule guard: current [Int] value must be ≥ bound; a failed
+          guard is a {e user-level abort} — per the paper these are regular
+          results that the database then refuses to commit *)
+  | Fail
+      (** unconditionally poison the transaction (application gives up, e.g.
+          after repeated lock conflicts): it will vote [No] *)
+
+type exec_reply =
+  | Exec_ok of { values : Value.t option list; business_ok : bool }
+      (** [values] has one entry per [Get]; [business_ok = false] records a
+          failed guard: the transaction is poisoned and will vote [No] *)
+  | Exec_conflict of string
+      (** a write lock on the given key is held by another transaction; the
+          caller should back off and retry *)
+  | Exec_rejected  (** the transaction already left its active phase *)
+
+type timing = {
+  start_cpu : float;  (** xa_start overhead, charged per exec batch *)
+  sql_cpu : float;  (** business-logic/SQL execution *)
+  end_cpu : float;  (** xa_end overhead *)
+  prepare_cpu : float;  (** prepare-time validation, on top of forced IO *)
+  commit_cpu : float;  (** commit-time apply, on top of forced IO *)
+  abort_cpu : float;
+}
+
+val paper_timing : timing
+(** Calibrated so the Figure 8 component rows reproduce: start ≈ 3.4, SQL ≈
+    187, end ≈ 3.4, prepare ≈ 19–21, commit ≈ 18.6 (all as seen from an
+    application server over a 3–5 ms round-trip LAN). *)
+
+val zero_timing : timing
+(** All-zero CPU costs for functional tests (forced IO still charges the
+    disk latency). *)
+
+type t
+
+val create :
+  ?timing:timing ->
+  ?seed_data:(string * Value.t) list ->
+  ?read_locks:bool ->
+  disk:Dstore.Disk.t ->
+  name:string ->
+  unit ->
+  t
+(** The disk is this database's stable storage; [seed_data] is the initial
+    committed state (re-applied on recovery before WAL replay).
+
+    [read_locks:true] enables strict two-phase locking — the serializability
+    protocol the paper assumes exists ("we assume the existence of some
+    serializability protocol \[3\]"): [Get]/[Ensure_min] take shared locks
+    (held to the decide, like write locks), writers exclude readers and vice
+    versa, and a sole reader may upgrade to a writer. The default ([false])
+    locks writes only, which suffices for every experiment in the paper.
+    Shared locks are volatile: after a crash only the in-doubt transactions'
+    {e write} locks are re-acquired (their read sets are not logged). *)
+
+val xa_start : t -> xid:Xid.t -> unit
+(** XA [xa_start]: open (or join) transaction [xid]; charges the "start"
+    overhead. *)
+
+val xa_end : t -> xid:Xid.t -> unit
+(** XA [xa_end]: detach from [xid] before commitment processing; charges the
+    "end" overhead. *)
+
+val exec : t -> xid:Xid.t -> op list -> exec_reply
+(** Run a batch inside transaction [xid]. The transaction must exist and be
+    active ([xa_start] creates it): a batch for an unknown [xid] answers
+    [Exec_rejected] — in particular after a crash wiped an in-flight
+    transaction, so a recovered database can never rebuild a {e partial}
+    workspace and vote [Yes] on it. Atomic with respect to locking: either
+    all write locks are acquired or [Exec_conflict] is returned with no side
+    effect. *)
+
+val vote : t -> xid:Xid.t -> vote
+(** XA prepare. [Yes] makes the workspace durable (forced log write) and
+    keeps locks; [No] aborts locally. Unknown transactions vote [No] —
+    which is what a database that crashed and lost an active transaction
+    answers. Idempotent. *)
+
+val decide : t -> xid:Xid.t -> outcome -> outcome
+(** XA commit/rollback, following the paper's contract: (a) an [Abort] input
+    returns [Abort]; (b) a [Commit] input on a transaction that voted [Yes]
+    commits and returns [Commit]. Defensively, [Commit] on a transaction
+    that never prepared aborts it. Idempotent: a decided transaction
+    returns its decided outcome. *)
+
+val commit_one_phase : t -> xid:Xid.t -> outcome
+(** Single-phase commit used by the unreliable baseline protocol: no
+    prepare, directly apply and force-log. Aborts if the transaction is
+    poisoned or unknown. *)
+
+val recover : t -> unit
+(** Crash recovery: rebuild committed state from seed data + WAL, re-acquire
+    locks of in-doubt transactions, discard active ones. Free of charge
+    (reading the log is not a forced write). *)
+
+val checkpoint : t -> unit
+(** Compact the write-ahead log: replace the record history with one
+    snapshot of the committed state, the decided-transaction record (so
+    idempotent re-decides still answer correctly after recovery) and the
+    still-prepared workspaces. Costs two forced writes plus one per in-doubt
+    transaction; observable behaviour is unchanged — recovery just replays a
+    bounded log. *)
+
+val wal_length : t -> int
+(** Current number of log records (checkpoint/compaction tests). *)
+
+(** {1 Introspection (tests, property checkers, experiments)} *)
+
+type txn_phase = Active | Prepared | Committed | Aborted
+
+val phase_of : t -> Xid.t -> txn_phase option
+val read_committed : t -> string -> Value.t option
+val committed_xids : t -> Xid.t list
+(** In commit order. *)
+
+val in_doubt : t -> Xid.t list
+(** Prepared transactions awaiting a decision. *)
+
+val known_xids : t -> Xid.t list
+(** Every transaction this server currently has a record of (sorted). *)
+
+val locks_held : t -> (string * Xid.t) list
+
+val votes_cast : t -> (Xid.t * vote) list
+(** Every vote this server ever answered, oldest first — the V.2 property
+    checker reads this. (In-memory test instrumentation, not recovered.) *)
+
+val name : t -> string
+val disk : t -> Dstore.Disk.t

@@ -1,0 +1,81 @@
+open Dsim
+open Dnet
+
+let exec_handler rm ch () =
+  let wants m =
+    match m.Types.payload with
+    | Msg.Exec_req _ | Msg.Commit1 _ | Msg.Xa_start _ | Msg.Xa_end _ -> true
+    | _ -> false
+  in
+  let rec loop () =
+    match Engine.recv ~filter:wants () with
+    | None -> ()
+    | Some m ->
+        (match m.payload with
+        | Msg.Xa_start { xid } ->
+            Rm.xa_start rm ~xid;
+            Rchannel.send ch m.src (Msg.Xa_started { xid })
+        | Msg.Xa_end { xid } ->
+            Rm.xa_end rm ~xid;
+            Rchannel.send ch m.src (Msg.Xa_ended { xid })
+        | Msg.Exec_req { xid; ops } ->
+            (* each batch runs in its own session fiber: the long simulated
+               SQL of one transaction must not serialize other clients'
+               transactions behind it (locks, not the server loop, are the
+               concurrency control) *)
+            Engine.fork "db-session" (fun () ->
+                let reply = Rm.exec rm ~xid ops in
+                Rchannel.send ch m.src (Msg.Exec_reply { xid; reply }))
+        | Msg.Commit1 { xid } ->
+            let outcome = Rm.commit_one_phase rm ~xid in
+            Rchannel.send ch m.src (Msg.Commit1_reply { xid; outcome })
+        | _ -> ());
+        loop ()
+  in
+  loop ()
+
+let prepare_handler rm ch () =
+  let wants m =
+    match m.Types.payload with Msg.Prepare _ -> true | _ -> false
+  in
+  let rec loop () =
+    match Engine.recv ~filter:wants () with
+    | None -> ()
+    | Some m ->
+        (match m.payload with
+        | Msg.Prepare { xid } ->
+            let vote = Rm.vote rm ~xid in
+            Rchannel.send ch m.src (Msg.Vote_msg { xid; vote })
+        | _ -> ());
+        loop ()
+  in
+  loop ()
+
+let decide_handler rm ch () =
+  let wants m =
+    match m.Types.payload with Msg.Decide _ -> true | _ -> false
+  in
+  let rec loop () =
+    match Engine.recv ~filter:wants () with
+    | None -> ()
+    | Some m ->
+        (match m.payload with
+        | Msg.Decide { xid; outcome } ->
+            let (_ : Rm.outcome) = Rm.decide rm ~xid outcome in
+            Rchannel.send ch m.src (Msg.Ack_decide { xid })
+        | _ -> ());
+        loop ()
+  in
+  loop ()
+
+let spawn engine ~name ~rm ~observers () =
+  Engine.spawn engine ~name ~main:(fun ~recovery () ->
+      let ch = Rchannel.create () in
+      Rchannel.start ch;
+      if recovery then begin
+        Rm.recover rm;
+        Rchannel.broadcast ch (observers ()) Msg.Ready
+      end;
+      Engine.fork "db-exec" (exec_handler rm ch);
+      Engine.fork "db-prepare" (prepare_handler rm ch);
+      decide_handler rm ch ())

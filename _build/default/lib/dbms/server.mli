@@ -1,0 +1,21 @@
+(** The database server process of the paper's Figure 3.
+
+    A {e pure server}: it only reacts to messages. Three concurrent handler
+    fibers serve business-logic execution, prepare (vote) requests and
+    decide requests — mirroring the paper's [cobegin] — all over reliable
+    channels. On recovery it first replays its resource manager's log and
+    broadcasts [Ready] to the application servers ("coming back", Fig. 3
+    line 2), which un-blocks any of them waiting on a vote or an ack. *)
+
+open Dsim
+
+val spawn :
+  Engine.t ->
+  name:string ->
+  rm:Rm.t ->
+  observers:(unit -> Types.proc_id list) ->
+  unit ->
+  Types.proc_id
+(** [observers ()] is the list of application servers to notify with [Ready]
+    after a recovery (a thunk because application servers are usually
+    spawned after the databases). *)

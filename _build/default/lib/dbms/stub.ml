@@ -1,0 +1,127 @@
+open Dsim
+open Dnet
+
+module Readiness = struct
+  type t = { epochs : (Types.proc_id, int) Hashtbl.t }
+
+  let create ~dbs =
+    let epochs = Hashtbl.create 8 in
+    List.iter (fun db -> Hashtbl.replace epochs db 0) dbs;
+    { epochs }
+
+  let listener t () =
+    let wants m = match m.Types.payload with Msg.Ready -> true | _ -> false in
+    let rec loop () =
+      match Engine.recv ~filter:wants () with
+      | None -> ()
+      | Some m ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt t.epochs m.src) in
+          Hashtbl.replace t.epochs m.src (cur + 1);
+          loop ()
+    in
+    loop ()
+
+  let start t = Engine.fork "readiness" (listener t)
+
+  let epoch t db = Option.value ~default:0 (Hashtbl.find_opt t.epochs db)
+end
+
+(* Core pattern: send the request, wait for a matching reply; if the
+   database announces a recovery meanwhile, re-send. *)
+let rpc ~poll ch rd ~db ~request ~matches =
+  let rec attempt epoch =
+    Rchannel.send ch db request;
+    wait epoch
+  and wait epoch =
+    let filter m = m.Types.src = db && matches m.Types.payload <> None in
+    match Engine.recv ~timeout:poll ~filter () with
+    | Some m -> (
+        match matches m.Types.payload with
+        | Some reply -> reply
+        | None -> wait epoch (* unreachable: filter checked *))
+    | None ->
+        let now_epoch = Readiness.epoch rd db in
+        if now_epoch <> epoch then attempt now_epoch else wait epoch
+  in
+  attempt (Readiness.epoch rd db)
+
+let default_poll = 25.
+
+let xa_start ?(poll = default_poll) ch rd ~db ~xid =
+  rpc ~poll ch rd ~db
+    ~request:(Msg.Xa_start { xid })
+    ~matches:(function
+      | Msg.Xa_started { xid = x } when Xid.equal x xid -> Some ()
+      | _ -> None)
+
+let xa_end ?(poll = default_poll) ch rd ~db ~xid =
+  rpc ~poll ch rd ~db
+    ~request:(Msg.Xa_end { xid })
+    ~matches:(function
+      | Msg.Xa_ended { xid = x } when Xid.equal x xid -> Some ()
+      | _ -> None)
+
+let exec ?(poll = default_poll) ch rd ~db ~xid ops =
+  rpc ~poll ch rd ~db
+    ~request:(Msg.Exec_req { xid; ops })
+    ~matches:(function
+      | Msg.Exec_reply { xid = x; reply } when Xid.equal x xid -> Some reply
+      | _ -> None)
+
+let exec_retry ?(poll = default_poll) ?(backoff = 40.) ?(max_tries = 20) ch rd
+    ~db ~xid ops =
+  let rec go tries =
+    match exec ~poll ch rd ~db ~xid ops with
+    | Rm.Exec_conflict _ as conflict ->
+        if tries >= max_tries then conflict
+        else begin
+          Engine.sleep backoff;
+          go (tries + 1)
+        end
+    | reply -> reply
+  in
+  go 1
+
+let wait_vote ?(poll = default_poll) ch rd ~db ~xid =
+  rpc ~poll ch rd ~db
+    ~request:(Msg.Prepare { xid })
+    ~matches:(function
+      | Msg.Vote_msg { xid = x; vote } when Xid.equal x xid -> Some vote
+      | _ -> None)
+
+let wait_ack_decide ?(poll = default_poll) ch rd ~db ~xid outcome =
+  rpc ~poll ch rd ~db
+    ~request:(Msg.Decide { xid; outcome })
+    ~matches:(function
+      | Msg.Ack_decide { xid = x } when Xid.equal x xid -> Some ()
+      | _ -> None)
+
+let commit_one_phase ?(poll = default_poll) ch rd ~db ~xid =
+  rpc ~poll ch rd ~db
+    ~request:(Msg.Commit1 { xid })
+    ~matches:(function
+      | Msg.Commit1_reply { xid = x; outcome } when Xid.equal x xid ->
+          Some outcome
+      | _ -> None)
+
+let broadcast_collect ?(poll = default_poll) ch rd ~dbs ~request ~matches =
+  List.iter (fun db -> Rchannel.send ch db (request db)) dbs;
+  let collect db =
+    let filter m = m.Types.src = db && matches m.Types.payload <> None in
+    let rec wait epoch =
+      match Engine.recv ~timeout:poll ~filter () with
+      | Some m -> (
+          match matches m.Types.payload with
+          | Some reply -> reply
+          | None -> wait epoch)
+      | None ->
+          let now_epoch = Readiness.epoch rd db in
+          if now_epoch <> epoch then begin
+            Rchannel.send ch db (request db);
+            wait now_epoch
+          end
+          else wait epoch
+    in
+    (db, wait (Readiness.epoch rd db))
+  in
+  List.map collect dbs

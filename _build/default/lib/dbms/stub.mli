@@ -1,0 +1,96 @@
+(** Application-server-side stubs for talking to database servers.
+
+    These are the client halves of the XA surface: blocking RPCs over a
+    reliable channel, resilient to database crashes. Instead of letting
+    every waiting fiber race to consume the single [Ready] a recovering
+    database broadcasts (the paper's "receive Vote or Ready" idiom), an
+    application server runs one {!Readiness} listener that consumes [Ready]
+    messages and bumps a per-database {e recovery epoch}; every blocked stub
+    polls that epoch and re-sends its request when the database comes back.
+    This is observationally the paper's protocol — a recovery un-blocks
+    every waiter — without the starvation race between concurrent waiters
+    (e.g. a compute thread in [prepare] and a cleaning thread in
+    [terminate]). *)
+
+open Dsim
+
+module Readiness : sig
+  type t
+
+  val create : dbs:Types.proc_id list -> t
+  (** Call inside the owning fiber. *)
+
+  val start : t -> unit
+  (** Fork the [Ready]-consuming listener. *)
+
+  val epoch : t -> Types.proc_id -> int
+  (** Bumped every time the database broadcasts [Ready]. *)
+end
+
+val xa_start :
+  ?poll:float -> Dnet.Rchannel.t -> Readiness.t -> db:Types.proc_id -> xid:Xid.t -> unit
+(** Blocking XA start on one database (resent across its recoveries). *)
+
+val xa_end :
+  ?poll:float -> Dnet.Rchannel.t -> Readiness.t -> db:Types.proc_id -> xid:Xid.t -> unit
+
+val exec :
+  ?poll:float ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  db:Types.proc_id ->
+  xid:Xid.t ->
+  Rm.op list ->
+  Rm.exec_reply
+(** One blocking exec RPC; no conflict retry (see {!exec_retry}). *)
+
+val exec_retry :
+  ?poll:float ->
+  ?backoff:float ->
+  ?max_tries:int ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  db:Types.proc_id ->
+  xid:Xid.t ->
+  Rm.op list ->
+  Rm.exec_reply
+(** Like {!exec} but backs off and retries on [Exec_conflict] (a lock held
+    by another — possibly dead — transaction that the cleaning thread will
+    eventually release). After [max_tries] (default 20, backoff default
+    40 ms) the conflict is returned to the caller, which should poison the
+    transaction rather than commit a partial workspace. *)
+
+val wait_vote :
+  ?poll:float -> Dnet.Rchannel.t -> Readiness.t -> db:Types.proc_id -> xid:Xid.t -> Rm.vote
+(** Send [Prepare] and wait for this database's vote, re-sending across
+    recoveries (a recovered database forgets the transaction and votes
+    [No], which is the paper's "Ready counts as failure" rule). *)
+
+val wait_ack_decide :
+  ?poll:float ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  db:Types.proc_id ->
+  xid:Xid.t ->
+  Rm.outcome ->
+  unit
+(** Send [Decide] and wait for [AckDecide], re-sending across recoveries —
+    the paper's terminate() retry loop, per database. *)
+
+val commit_one_phase :
+  ?poll:float -> Dnet.Rchannel.t -> Readiness.t -> db:Types.proc_id -> xid:Xid.t -> Rm.outcome
+(** Baseline protocol: single-phase commit RPC. *)
+
+val broadcast_collect :
+  ?poll:float ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  dbs:Types.proc_id list ->
+  request:(Types.proc_id -> Types.payload) ->
+  matches:(Types.payload -> 'a option) ->
+  (Types.proc_id * 'a) list
+(** The paper's multicast-then-wait-for-all idiom ([prepare()] and
+    [terminate()] of Figure 4): send [request db] to every database at once,
+    then collect one matching reply from each, re-sending to any database
+    that recovers meanwhile. One sequential communication step regardless of
+    the number of databases. *)

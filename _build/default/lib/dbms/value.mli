@@ -1,0 +1,9 @@
+(** Values stored in the database. *)
+
+type t =
+  | Int of int  (** account balances, seat counts, ... *)
+  | Str of string  (** booking records, reservation numbers, ... *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,14 @@
+(** Transaction / result identifiers.
+
+    The paper identifies a result and its transaction by the same integer
+    [j], scoped to one client request. We carry the request identifier
+    explicitly so that a deployment can serve many requests (and clients)
+    while each request keeps the paper's [j = 1, 2, ...] retry counter. *)
+
+type t = { rid : int;  (** request identifier *) j : int  (** try number *) }
+
+val make : rid:int -> j:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

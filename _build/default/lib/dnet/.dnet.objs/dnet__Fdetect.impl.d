@@ -1,0 +1,1 @@
+lib/dnet/fdetect.ml: Dsim Engine List Types

@@ -1,0 +1,1 @@
+lib/dnet/fdetect.mli: Dsim Engine Types

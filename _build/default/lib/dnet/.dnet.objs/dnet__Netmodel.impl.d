@@ -1,0 +1,1 @@
+lib/dnet/netmodel.ml: Dsim Engine List Rng Types

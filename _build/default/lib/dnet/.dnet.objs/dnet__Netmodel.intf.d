@@ -1,0 +1,1 @@
+lib/dnet/netmodel.mli: Dsim Engine Types

@@ -1,0 +1,1 @@
+lib/dnet/rchannel.ml: Dsim Engine Float Hashtbl List Types

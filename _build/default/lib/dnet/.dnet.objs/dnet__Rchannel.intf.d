@@ -1,0 +1,1 @@
+lib/dnet/rchannel.mli: Dsim Types

@@ -1,0 +1,102 @@
+open Dsim
+
+type Types.payload += Fd_heartbeat
+
+type peer_state = {
+  mutable last_heard : float;
+  mutable timeout : float;
+  mutable suspected : bool;
+}
+
+type hb = {
+  period : float;
+  bump : float;
+  peers : (Types.proc_id * peer_state) list;
+}
+
+type t = Heartbeat of hb | Oracle of Engine.t | Scripted of (Types.proc_id -> bool)
+
+let heartbeat ?(period = 10.) ?(initial_timeout = 50.) ?(timeout_bump = 25.)
+    ~peers () =
+  let now = Engine.now () in
+  let states =
+    List.map
+      (fun pid ->
+        (pid, { last_heard = now; timeout = initial_timeout; suspected = false }))
+      peers
+  in
+  Heartbeat { period; bump = timeout_bump; peers = states }
+
+let oracle engine = Oracle engine
+
+let of_fun f = Scripted f
+
+let broadcaster hb () =
+  let self = Engine.self () in
+  let rec loop () =
+    List.iter
+      (fun (pid, _) -> if pid <> self then Engine.send pid Fd_heartbeat)
+      hb.peers;
+    Engine.sleep hb.period;
+    loop ()
+  in
+  loop ()
+
+let listener hb () =
+  let is_hb m = match m.Types.payload with Fd_heartbeat -> true | _ -> false in
+  let rec loop () =
+    match Engine.recv ~filter:is_hb () with
+    | None -> ()
+    | Some m ->
+        (match List.assoc_opt m.src hb.peers with
+        | None -> ()
+        | Some st ->
+            st.last_heard <- Engine.now ();
+            if st.suspected then begin
+              (* false suspicion: the ◇P adaptation rule *)
+              st.suspected <- false;
+              st.timeout <- st.timeout +. hb.bump
+            end);
+        loop ()
+  in
+  loop ()
+
+let monitor hb () =
+  let self = Engine.self () in
+  let rec loop () =
+    Engine.sleep (hb.period /. 2.);
+    let now = Engine.now () in
+    List.iter
+      (fun (pid, st) ->
+        if pid <> self && (not st.suspected) && now -. st.last_heard > st.timeout
+        then st.suspected <- true)
+      hb.peers;
+    loop ()
+  in
+  loop ()
+
+let start = function
+  | Oracle _ | Scripted _ -> ()
+  | Heartbeat hb ->
+      Engine.fork "fd-broadcast" (broadcaster hb);
+      Engine.fork "fd-listen" (listener hb);
+      Engine.fork "fd-monitor" (monitor hb)
+
+let suspects t pid =
+  match t with
+  | Oracle engine -> not (Engine.is_up engine pid)
+  | Scripted f -> f pid
+  | Heartbeat hb -> (
+      match List.assoc_opt pid hb.peers with
+      | None -> false
+      | Some st -> st.suspected)
+
+let is_heartbeat = function Fd_heartbeat -> true | _ -> false
+
+let current_timeout t pid =
+  match t with
+  | Oracle _ | Scripted _ -> None
+  | Heartbeat hb -> (
+      match List.assoc_opt pid hb.peers with
+      | None -> None
+      | Some st -> Some st.timeout)

@@ -1,0 +1,51 @@
+(** Failure detectors.
+
+    The paper requires an {e eventually perfect} (◇P) failure detector among
+    application servers: {e completeness} — a crashed server is eventually
+    permanently suspected by every server — and {e accuracy} — there is a
+    time after which no correct server is suspected. {!heartbeat} implements
+    the classic adaptive-timeout construction: suspect a peer when its
+    heartbeat is overdue, and on a false suspicion (a message from a
+    suspected peer arrives) raise that peer's timeout, so suspicions are
+    eventually accurate under bounded-but-unknown delays.
+
+    {!oracle} consults the engine's ground truth and is perfect by
+    construction; the primary-backup comparison protocol requires it (the
+    paper points out a false suspicion there leads to inconsistency), and
+    tests use it to isolate protocol logic from detector quality. *)
+
+open Dsim
+
+type t
+
+val heartbeat :
+  ?period:float ->
+  ?initial_timeout:float ->
+  ?timeout_bump:float ->
+  peers:Types.proc_id list ->
+  unit ->
+  t
+(** Must be called from inside the owning fiber; monitors [peers]. Defaults:
+    heartbeat every 10 ms, initial suspicion timeout 50 ms, bump +25 ms on
+    each false suspicion. *)
+
+val oracle : Engine.t -> t
+(** Perfect detector reading the engine's process states. *)
+
+val of_fun : (Types.proc_id -> bool) -> t
+(** Scripted detector for tests: [suspects] delegates to the function. Used
+    e.g. to inject a false suspicion deterministically and demonstrate why
+    primary-backup needs perfect failure detection. *)
+
+val start : t -> unit
+(** Forks the broadcaster and monitor fibers (no-op for an oracle). *)
+
+val suspects : t -> Types.proc_id -> bool
+(** The paper's [suspect(a)] predicate, evaluated now. *)
+
+val current_timeout : t -> Types.proc_id -> float option
+(** The adaptive timeout for a peer (None for oracle detectors or unknown
+    peers); exposed for tests of the adaptation rule. *)
+
+val is_heartbeat : Types.payload -> bool
+(** Detector traffic that message-count analyses should ignore. *)

@@ -1,0 +1,39 @@
+open Dsim
+
+let constant d : Engine.netmodel = fun _rng ~src:_ ~dst:_ -> [ d ]
+
+let uniform ~lo ~hi : Engine.netmodel =
+ fun rng ~src:_ ~dst:_ -> [ lo +. Rng.float rng (hi -. lo) ]
+
+let lan () = uniform ~lo:1.5 ~hi:2.5
+
+let three_tier ~n_dbs () : Engine.netmodel =
+ fun rng ~src ~dst ->
+  if src < n_dbs || dst < n_dbs then [ 1.0 +. Rng.float rng 0.4 ]
+  else [ 1.5 +. Rng.float rng 1.0 ]
+
+let lossy ?(loss = 0.) ?(dup = 0.) base : Engine.netmodel =
+ fun rng ~src ~dst ->
+  if Rng.bool rng loss then []
+  else
+    let first = base rng ~src ~dst in
+    if Rng.bool rng dup then first @ base rng ~src ~dst else first
+
+type partition = { mutable isolated : Types.proc_id list }
+
+let partitionable base =
+  let p = { isolated = [] } in
+  let model : Engine.netmodel =
+   fun rng ~src ~dst ->
+    if List.mem src p.isolated || List.mem dst p.isolated then []
+    else base rng ~src ~dst
+  in
+  (p, model)
+
+let isolate p pid = if not (List.mem pid p.isolated) then p.isolated <- pid :: p.isolated
+
+let rejoin p pid = p.isolated <- List.filter (fun q -> q <> pid) p.isolated
+
+let heal p = p.isolated <- []
+
+let is_isolated p pid = List.mem pid p.isolated

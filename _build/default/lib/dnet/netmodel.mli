@@ -1,0 +1,41 @@
+(** Builders for engine network models (latency, loss, duplication,
+    partitions).
+
+    All distributions draw from the engine's dedicated network RNG stream, so
+    workload randomness and fault randomness stay decorrelated. *)
+
+open Dsim
+
+val constant : float -> Engine.netmodel
+(** Fixed one-way delivery delay. *)
+
+val uniform : lo:float -> hi:float -> Engine.netmodel
+(** One-way delay uniform in [\[lo, hi\]]. *)
+
+val lan : unit -> Engine.netmodel
+(** Calibrated to the paper's environment: an Orbix RPC round trip took
+    3–5 ms on their 10 Mbit ethernet, so a one-way message costs
+    1.5–2.5 ms. *)
+
+val three_tier : n_dbs:int -> unit -> Engine.netmodel
+(** The measurement topology: links that touch a database process (the
+    first [n_dbs] pids by the deployment convention) are faster (1.0–1.4 ms
+    one-way — the DB client library path) than the Orbix RPC links between
+    clients and application servers ({!lan}). Calibrated so the Figure 8
+    component rows land on the paper's values. *)
+
+val lossy : ?loss:float -> ?dup:float -> Engine.netmodel -> Engine.netmodel
+(** [lossy ~loss ~dup base] drops each message with probability [loss] and
+    duplicates it with probability [dup] (second copy delayed by another
+    draw of [base]). Defaults: [loss = 0.], [dup = 0.]. *)
+
+type partition
+(** Mutable partition controller: isolated processes can neither send nor
+    receive across the cut. *)
+
+val partitionable : Engine.netmodel -> partition * Engine.netmodel
+
+val isolate : partition -> Types.proc_id -> unit
+val rejoin : partition -> Types.proc_id -> unit
+val heal : partition -> unit
+val is_isolated : partition -> Types.proc_id -> bool

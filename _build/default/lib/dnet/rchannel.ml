@@ -1,0 +1,136 @@
+open Dsim
+
+(* [rc_ep] identifies the sending endpoint incarnation: a process that
+   crashes and recovers gets a fresh endpoint whose sequence numbers restart,
+   so deduplication must key on (source, endpoint, seq) — otherwise a
+   recovered database's first messages would be dropped as duplicates. *)
+type Types.payload +=
+  | Rc_data of { rc_ep : int; rc_seq : int; inner : Types.payload }
+  | Rc_ack of { rc_ep : int; rc_seq : int }
+  | Rc_kick
+
+type out_entry = {
+  dst : Types.proc_id;
+  seq : int;
+  inner : Types.payload;
+  mutable next_delay : float;
+  mutable due : float;  (** absolute time of next retransmission *)
+}
+
+type t = {
+  owner : Types.proc_id;
+  ep : int;  (** endpoint incarnation, globally unique *)
+  retransmit_after : float;
+  backoff_factor : float;
+  max_backoff : float;
+  mutable next_seq : int;
+  mutable outbox : out_entry list;
+  seen : (Types.proc_id * int * int, unit) Hashtbl.t;
+}
+
+let next_ep = ref 0
+
+let create ?(retransmit_after = 10.) ?(backoff_factor = 2.)
+    ?(max_backoff = 200.) () =
+  incr next_ep;
+  {
+    owner = Engine.self ();
+    ep = !next_ep;
+    retransmit_after;
+    backoff_factor;
+    max_backoff;
+    next_seq = 0;
+    outbox = [];
+    seen = Hashtbl.create 64;
+  }
+
+let pending t = List.length t.outbox
+
+let is_rc_message m =
+  match m.Types.payload with
+  | Rc_data _ | Rc_ack _ -> true
+  | _ -> false
+
+let handle_incoming t (m : Types.message) =
+  match m.payload with
+  | Rc_data { rc_ep; rc_seq; inner } ->
+      Engine.send m.src (Rc_ack { rc_ep; rc_seq });
+      if not (Hashtbl.mem t.seen (m.src, rc_ep, rc_seq)) then begin
+        Hashtbl.add t.seen (m.src, rc_ep, rc_seq) ();
+        Engine.redeliver ~src:m.src inner
+      end
+  | Rc_ack { rc_ep; rc_seq } ->
+      if rc_ep = t.ep then
+        t.outbox <-
+          List.filter
+            (fun e -> not (e.dst = m.src && e.seq = rc_seq))
+            t.outbox
+  | _ -> ()
+
+let receiver_loop t () =
+  let rec loop () =
+    match Engine.recv ~filter:is_rc_message () with
+    | None -> ()
+    | Some m ->
+        handle_incoming t m;
+        loop ()
+  in
+  loop ()
+
+(* The retransmitter sleeps only while work is pending; with an empty outbox
+   it blocks on a kick message, so a finished simulation reaches
+   quiescence. *)
+let retransmitter_loop t () =
+  let is_kick m = match m.Types.payload with Rc_kick -> true | _ -> false in
+  let rec loop () =
+    match t.outbox with
+    | [] ->
+        ignore (Engine.recv ~filter:is_kick ());
+        loop ()
+    | entries ->
+        let next_due =
+          List.fold_left (fun acc e -> Float.min acc e.due) infinity entries
+        in
+        let delay = Float.max 0.01 (next_due -. Engine.now ()) in
+        ignore (Engine.recv ~filter:is_kick ~timeout:delay ());
+        let now = Engine.now () in
+        List.iter
+          (fun e ->
+            if e.due <= now then begin
+              Engine.send e.dst
+                (Rc_data { rc_ep = t.ep; rc_seq = e.seq; inner = e.inner });
+              e.next_delay <-
+                Float.min t.max_backoff (e.next_delay *. t.backoff_factor);
+              e.due <- now +. e.next_delay
+            end)
+          t.outbox;
+        loop ()
+  in
+  loop ()
+
+let start t =
+  Engine.fork "rchannel-rx" (receiver_loop t);
+  Engine.fork "rchannel-retransmit" (retransmitter_loop t)
+
+let send t dst inner =
+  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  let entry =
+    {
+      dst;
+      seq;
+      inner;
+      next_delay = t.retransmit_after;
+      due = Engine.now () +. t.retransmit_after;
+    }
+  in
+  let was_empty = t.outbox = [] in
+  t.outbox <- entry :: t.outbox;
+  Engine.send dst (Rc_data { rc_ep = t.ep; rc_seq = seq; inner });
+  if was_empty then Engine.redeliver ~src:t.owner Rc_kick
+
+let broadcast t dsts inner = List.iter (fun dst -> send t dst inner) dsts
+
+let inner_payload = function Rc_data { inner; _ } -> Some inner | _ -> None
+
+let is_overhead = function Rc_ack _ | Rc_kick -> true | _ -> false

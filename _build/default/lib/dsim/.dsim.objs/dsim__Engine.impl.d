@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Array Effect Float Heap List Printf Rng Trace Types

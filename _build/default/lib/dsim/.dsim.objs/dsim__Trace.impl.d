@@ -1,0 +1,1 @@
+lib/dsim/trace.ml: Format Hashtbl List Option String Types

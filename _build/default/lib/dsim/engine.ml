@@ -1,0 +1,379 @@
+open Types
+
+exception Exit_fiber
+
+type netmodel = Rng.t -> src:proc_id -> dst:proc_id -> float list
+
+let default_net _rng ~src:_ ~dst:_ = [ 1.0 ]
+
+type event = { at : time; seq : int; run : unit -> unit }
+
+type waiter = {
+  wid : int;
+  filter : message -> bool;
+  wk : (message option, unit) Effect.Deep.continuation;
+}
+
+type proc = {
+  pid : proc_id;
+  pname : string;
+  mutable up : bool;
+  mutable incarnation : int;
+  mutable mailbox : message list;  (** oldest first *)
+  mutable waiters : waiter list;  (** registration order *)
+  main : recovery:bool -> unit -> unit;
+}
+
+type t = {
+  mutable vnow : time;
+  queue : event Heap.t;
+  mutable seq : int;
+  mutable procs : proc array;
+  mutable nprocs : int;
+  grng : Rng.t;
+  net_rng : Rng.t;
+  mutable net : netmodel;
+  tracer : Trace.t;
+  mutable next_msg_id : int;
+  mutable next_wid : int;
+  mutable current : proc option;
+  mutable stopping : bool;
+}
+
+(* Effects performed by fibers. The handler (installed per fiber) closes
+   over the engine, so the declarations carry no engine reference. *)
+type _ Effect.t +=
+  | E_now : time Effect.t
+  | E_self : proc_id Effect.t
+  | E_sleep : time -> unit Effect.t
+  | E_work : string * time -> unit Effect.t
+  | E_send : proc_id * payload -> unit Effect.t
+  | E_redeliver : proc_id * payload -> unit Effect.t
+  | E_recv : (message -> bool) * time option -> message option Effect.t
+  | E_fork : string * (unit -> unit) -> unit Effect.t
+  | E_random_float : float -> float Effect.t
+  | E_random_int : int -> int Effect.t
+  | E_note : string -> unit Effect.t
+
+let create ?(seed = 0xC0FFEE) ?(net = default_net) () =
+  let grng = Rng.create ~seed in
+  {
+    vnow = 0.;
+    queue =
+      Heap.create
+        ~leq:(fun a b -> a.at < b.at || (a.at = b.at && a.seq <= b.seq))
+        ();
+    seq = 0;
+    procs = [||];
+    nprocs = 0;
+    grng;
+    net_rng = Rng.split grng;
+    net;
+    tracer = Trace.create ();
+    next_msg_id = 0;
+    next_wid = 0;
+    current = None;
+    stopping = false;
+  }
+
+let trace t = t.tracer
+let rng t = t.grng
+let set_net t net = t.net <- net
+let now_of t = t.vnow
+
+let schedule t ~delay run =
+  assert (delay >= 0.);
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { at = t.vnow +. delay; seq = t.seq; run }
+
+let proc_of t pid =
+  if pid < 0 || pid >= t.nprocs then
+    invalid_arg (Printf.sprintf "Engine: unknown process %d" pid);
+  t.procs.(pid)
+
+let name_of t pid = (proc_of t pid).pname
+let is_up t pid = (proc_of t pid).up
+
+(* Running fibers ----------------------------------------------------- *)
+
+let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
+ fun t p ->
+  let open Effect.Deep in
+  {
+    retc = (fun () -> ());
+    exnc =
+      (fun e ->
+        match e with
+        | Exit_fiber -> ()
+        | e ->
+            (* A protocol bug: abort the whole simulation loudly. *)
+            raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_now -> Some (fun (k : (a, unit) continuation) -> continue k t.vnow)
+        | E_self -> Some (fun k -> continue k p.pid)
+        | E_random_float bound -> Some (fun k -> continue k (Rng.float t.grng bound))
+        | E_random_int bound -> Some (fun k -> continue k (Rng.int t.grng bound))
+        | E_note s ->
+            Some
+              (fun k ->
+                Trace.record t.tracer t.vnow (Trace.Note (p.pid, s));
+                continue k ())
+        | E_sleep d ->
+            Some
+              (fun k ->
+                let inc = p.incarnation in
+                schedule t ~delay:d (fun () ->
+                    if p.up && p.incarnation = inc then resume t p k ()))
+        | E_work (label, d) ->
+            Some
+              (fun k ->
+                Trace.record t.tracer t.vnow (Trace.Work (p.pid, label, d));
+                let inc = p.incarnation in
+                schedule t ~delay:d (fun () ->
+                    if p.up && p.incarnation = inc then resume t p k ()))
+        | E_send (dst, payload) ->
+            Some
+              (fun k ->
+                transmit t ~src:p.pid ~dst payload;
+                continue k ())
+        | E_redeliver (src, payload) ->
+            Some
+              (fun k ->
+                let m =
+                  {
+                    src;
+                    dst = p.pid;
+                    payload;
+                    msg_id = fresh_msg_id t;
+                    sent_at = t.vnow;
+                  }
+                in
+                enqueue_message t p m;
+                continue k ())
+        | E_recv (filter, timeout) ->
+            Some
+              (fun k ->
+                match take_matching p filter with
+                | Some m -> continue k (Some m)
+                | None -> (
+                    t.next_wid <- t.next_wid + 1;
+                    let wid = t.next_wid in
+                    p.waiters <- p.waiters @ [ { wid; filter; wk = k } ];
+                    match timeout with
+                    | None -> ()
+                    | Some d ->
+                        let inc = p.incarnation in
+                        schedule t ~delay:d (fun () ->
+                            if p.up && p.incarnation = inc then
+                              match
+                                List.partition (fun w -> w.wid = wid) p.waiters
+                              with
+                              | [ w ], rest ->
+                                  p.waiters <- rest;
+                                  resume t p w.wk None
+                              | _ -> ())))
+        | E_fork (fname, f) ->
+            Some
+              (fun k ->
+                let inc = p.incarnation in
+                schedule t ~delay:0. (fun () ->
+                    if p.up && p.incarnation = inc then run_fiber t p f);
+                Trace.record t.tracer t.vnow
+                  (Trace.Note (p.pid, "fork " ^ fname));
+                continue k ())
+        | _ -> None);
+  }
+
+and resume : 'a. t -> proc -> ('a, unit) Effect.Deep.continuation -> 'a -> unit
+    =
+ fun t p k v ->
+  let saved = t.current in
+  t.current <- Some p;
+  Effect.Deep.continue k v;
+  t.current <- saved
+
+and run_fiber t p f =
+  let saved = t.current in
+  t.current <- Some p;
+  Effect.Deep.match_with f () (handler t p);
+  t.current <- saved
+
+and fresh_msg_id t =
+  t.next_msg_id <- t.next_msg_id + 1;
+  t.next_msg_id
+
+and take_matching p filter =
+  let rec scan acc = function
+    | [] -> None
+    | m :: rest ->
+        if filter m then begin
+          p.mailbox <- List.rev_append acc rest;
+          Some m
+        end
+        else scan (m :: acc) rest
+  in
+  scan [] p.mailbox
+
+and enqueue_message t p m =
+  Trace.record t.tracer t.vnow (Trace.Delivered m);
+  let rec offer acc = function
+    | [] ->
+        p.mailbox <- p.mailbox @ [ m ];
+        None
+    | w :: rest ->
+        if w.filter m then begin
+          p.waiters <- List.rev_append acc rest;
+          Some w
+        end
+        else offer (w :: acc) rest
+  in
+  match offer [] p.waiters with
+  | None -> ()
+  | Some w -> resume t p w.wk (Some m)
+
+and transmit t ~src ~dst payload =
+  let m = { src; dst; payload; msg_id = fresh_msg_id t; sent_at = t.vnow } in
+  let delays =
+    if src = dst then [ 0.001 ] else t.net t.net_rng ~src ~dst
+  in
+  match delays with
+  | [] -> Trace.record t.tracer t.vnow (Trace.Dropped m)
+  | delays ->
+      List.iter
+        (fun d ->
+          Trace.record t.tracer t.vnow (Trace.Sent (m, t.vnow +. d));
+          schedule t ~delay:d (fun () ->
+              match t.procs.(dst).up with
+              | true -> enqueue_message t t.procs.(dst) m
+              | false ->
+                  Trace.record t.tracer t.vnow (Trace.Dead_letter m)))
+        delays
+
+(* Orchestration ------------------------------------------------------ *)
+
+let spawn t ~name ~main =
+  let pid = t.nprocs in
+  let p =
+    {
+      pid;
+      pname = name;
+      up = true;
+      incarnation = 0;
+      mailbox = [];
+      waiters = [];
+      main;
+    }
+  in
+  let capacity = Array.length t.procs in
+  if t.nprocs = capacity then begin
+    let procs' = Array.make (max 8 (capacity * 2)) p in
+    Array.blit t.procs 0 procs' 0 t.nprocs;
+    t.procs <- procs'
+  end;
+  t.procs.(t.nprocs) <- p;
+  t.nprocs <- t.nprocs + 1;
+  Trace.record t.tracer t.vnow (Trace.Spawned (pid, name));
+  schedule t ~delay:0. (fun () ->
+      if p.up && p.incarnation = 0 then run_fiber t p (main ~recovery:false));
+  pid
+
+let crash t pid =
+  let p = proc_of t pid in
+  if p.up then begin
+    p.up <- false;
+    p.incarnation <- p.incarnation + 1;
+    p.mailbox <- [];
+    p.waiters <- [];
+    Trace.record t.tracer t.vnow (Trace.Crashed pid)
+  end
+
+let recover t pid =
+  let p = proc_of t pid in
+  if not p.up then begin
+    p.up <- true;
+    p.incarnation <- p.incarnation + 1;
+    p.mailbox <- [];
+    p.waiters <- [];
+    Trace.record t.tracer t.vnow (Trace.Recovered pid);
+    let inc = p.incarnation in
+    schedule t ~delay:0. (fun () ->
+        if p.up && p.incarnation = inc then
+          run_fiber t p (p.main ~recovery:true))
+  end
+
+let crash_at t at pid =
+  let delay = Float.max 0. (at -. t.vnow) in
+  schedule t ~delay (fun () -> crash t pid)
+
+let recover_at t at pid =
+  let delay = Float.max 0. (at -. t.vnow) in
+  schedule t ~delay (fun () -> recover t pid)
+
+let post t ~src ~dst payload = transmit t ~src ~dst payload
+
+type outcome = Quiescent | Deadline_reached | Stopped
+
+let stop t = t.stopping <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some ev ->
+      assert (ev.at >= t.vnow);
+      t.vnow <- ev.at;
+      ev.run ();
+      Some ev.at
+
+let run ?deadline t =
+  t.stopping <- false;
+  let over at = match deadline with None -> false | Some d -> at > d in
+  let rec loop () =
+    if t.stopping then Stopped
+    else
+      match Heap.peek t.queue with
+      | None -> Quiescent
+      | Some ev when over ev.at ->
+          (match deadline with Some d -> t.vnow <- d | None -> ());
+          Deadline_reached
+      | Some _ ->
+          ignore (step t);
+          loop ()
+  in
+  loop ()
+
+let run_until ?deadline t pred =
+  t.stopping <- false;
+  let over at = match deadline with None -> false | Some d -> at > d in
+  let rec loop () =
+    if pred () then true
+    else if t.stopping then false
+    else
+      match Heap.peek t.queue with
+      | None -> pred ()
+      | Some ev when over ev.at ->
+          (match deadline with Some d -> t.vnow <- d | None -> ());
+          pred ()
+      | Some _ ->
+          ignore (step t);
+          loop ()
+  in
+  loop ()
+
+(* Fiber-side wrappers ------------------------------------------------ *)
+
+let now () = Effect.perform E_now
+let self () = Effect.perform E_self
+let sleep d = Effect.perform (E_sleep d)
+let work label d = Effect.perform (E_work (label, d))
+let send dst payload = Effect.perform (E_send (dst, payload))
+let send_all dsts payload = List.iter (fun dst -> send dst payload) dsts
+let redeliver ~src payload = Effect.perform (E_redeliver (src, payload))
+let recv ?timeout ~filter () = Effect.perform (E_recv (filter, timeout))
+let recv_any ?timeout () = recv ?timeout ~filter:(fun _ -> true) ()
+let fork name f = Effect.perform (E_fork (name, f))
+let random_float bound = Effect.perform (E_random_float bound)
+let random_int bound = Effect.perform (E_random_int bound)
+let note s = Effect.perform (E_note s)
+let exit_fiber () = raise Exit_fiber

@@ -1,0 +1,112 @@
+(** Deterministic discrete-event simulation engine.
+
+    Processes are cooperative fibers (OCaml effects) owning a shared
+    per-process mailbox with selective receive. Virtual time advances only
+    through the event queue; identical seeds give identical executions.
+
+    Crash/recovery semantics follow the paper's model: a crash kills every
+    fiber of the process, clears its mailbox and drops in-flight wakeups
+    (incarnation fencing); volatile state — anything held in fiber-local
+    bindings — is lost, while state kept outside the fibers (e.g. [Dstore]
+    stable storage) survives. Recovery re-runs the process main with
+    [~recovery:true].
+
+    Fiber-side operations ([now], [send], [recv], ...) must be called from
+    inside a fiber; calling them outside raises
+    [Effect.Unhandled]. Orchestration operations ([spawn], [run], [crash_at],
+    ...) must be called outside the event loop or from scheduled closures. *)
+
+open Types
+
+type t
+
+type netmodel = Rng.t -> src:proc_id -> dst:proc_id -> float list
+(** Delivery delays for one send; the empty list drops the message, two or
+    more elements duplicate it. Self-sends bypass the model. *)
+
+val default_net : netmodel
+(** Constant 1.0 ms delivery, no loss. *)
+
+val create : ?seed:int -> ?net:netmodel -> unit -> t
+
+val trace : t -> Trace.t
+val rng : t -> Rng.t
+val set_net : t -> netmodel -> unit
+
+(** {1 Orchestration} *)
+
+val spawn : t -> name:string -> main:(recovery:bool -> unit -> unit) -> proc_id
+(** Creates a process and schedules its main fiber at the current time. *)
+
+val name_of : t -> proc_id -> string
+val is_up : t -> proc_id -> bool
+
+val crash : t -> proc_id -> unit
+(** Immediate crash (idempotent while down). *)
+
+val recover : t -> proc_id -> unit
+(** Immediate recovery: re-runs main with [~recovery:true]. No-op if up. *)
+
+val crash_at : t -> time -> proc_id -> unit
+val recover_at : t -> time -> proc_id -> unit
+
+val post : t -> src:proc_id -> dst:proc_id -> payload -> unit
+(** Orchestration-side send, subject to the network model. *)
+
+val schedule : t -> delay:time -> (unit -> unit) -> unit
+(** Raw event at [now + delay]; not fenced by any incarnation. *)
+
+val now_of : t -> time
+
+type outcome =
+  | Quiescent  (** event queue drained *)
+  | Deadline_reached
+  | Stopped  (** [stop] was called *)
+
+val run : ?deadline:time -> t -> outcome
+
+val run_until : ?deadline:time -> t -> (unit -> bool) -> bool
+(** Runs until the predicate holds (checked after every event), the deadline
+    passes, or the queue drains; returns whether the predicate holds. *)
+
+val stop : t -> unit
+
+(** {1 Fiber-side operations} *)
+
+val now : unit -> time
+val self : unit -> proc_id
+
+val sleep : time -> unit
+
+val work : string -> time -> unit
+(** [work label d] advances virtual time by [d], recording a [Trace.Work]
+    entry — used to model local computation such as SQL execution or a
+    forced disk write, and to account latency components (paper Fig. 8). *)
+
+val send : proc_id -> payload -> unit
+
+val send_all : proc_id list -> payload -> unit
+
+val redeliver : src:proc_id -> payload -> unit
+(** Enqueue a payload into the calling process's own mailbox, attributed to
+    [src], bypassing the network. Used by the reliable-channel layer to hand
+    deduplicated payloads to the protocol above. *)
+
+val recv : ?timeout:time -> filter:(message -> bool) -> unit -> message option
+(** Selective receive: first scans the mailbox, then blocks. [None] only on
+    timeout. Messages rejected by every waiting fiber stay queued. *)
+
+val recv_any : ?timeout:time -> unit -> message option
+
+val fork : string -> (unit -> unit) -> unit
+(** Start a sibling fiber in the calling process. It dies with the process
+    and is not restarted on recovery (the main must re-fork its helpers). *)
+
+val random_float : float -> float
+val random_int : int -> int
+
+val note : string -> unit
+(** Free-form trace annotation by the calling process. *)
+
+val exit_fiber : unit -> 'a
+(** Terminate the calling fiber silently. *)

@@ -1,0 +1,27 @@
+(** Imperative binary min-heap.
+
+    The heap is parameterised by a strict "less-than" ordering supplied at
+    creation time. Used by the simulation engine as its event queue, where
+    determinism requires a total order on (time, sequence-number) keys. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [create ~leq ()] is an empty heap ordered by [leq] (less-or-equal). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list h] is all elements in unspecified order (snapshot). *)

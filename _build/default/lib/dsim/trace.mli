@@ -1,0 +1,59 @@
+(** Trace bus: the engine publishes structured events; analyses subscribe.
+
+    Communication-step and message-count figures (paper Fig. 1 and Fig. 7)
+    are computed from collected traces rather than instrumenting protocols. *)
+
+type event =
+  | Spawned of Types.proc_id * string
+  | Sent of Types.message * Types.time  (** message and its delivery time *)
+  | Dropped of Types.message  (** lost by the network model *)
+  | Delivered of Types.message
+  | Dead_letter of Types.message  (** destination was down *)
+  | Crashed of Types.proc_id
+  | Recovered of Types.proc_id
+  | Work of Types.proc_id * string * float
+      (** simulated local computation: process, category label, duration *)
+  | Note of Types.proc_id * string  (** free-form protocol annotation *)
+
+type entry = { at : Types.time; event : event }
+
+type t
+(** A collector accumulating entries in order. *)
+
+val create : unit -> t
+
+val record : t -> Types.time -> event -> unit
+
+val entries : t -> entry list
+(** Entries in chronological (record) order. *)
+
+val clear : t -> unit
+
+val message_count : ?subject:(Types.message -> bool) -> t -> int
+(** Number of [Sent] entries matching [subject] (default: all). *)
+
+val communication_steps : ?subject:(Types.message -> bool) -> t -> int
+(** Length of the longest causal chain of matching messages: a message [m2]
+    extends a chain ending in [m1] when [m2.src = m1.dst] and [m2] was sent
+    at or after [m1]'s delivery. This reproduces the "communication steps"
+    counting of the paper's Figures 1 and 7. *)
+
+val work_by_category : t -> (string * float) list
+(** Total simulated [Work] duration per category label, sorted by label. *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** lost by the network model *)
+  dead_lettered : int;  (** destination was down *)
+  crashes : int;
+  recoveries : int;
+  notes : int;
+}
+
+val stats : t -> stats
+(** Aggregate counts over the whole trace. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/dstore/disk.ml: Dsim Option

@@ -1,0 +1,1 @@
+lib/dstore/disk.mli:

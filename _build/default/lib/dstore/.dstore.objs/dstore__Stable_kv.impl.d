@@ -1,0 +1,1 @@
+lib/dstore/stable_kv.ml: Disk Hashtbl

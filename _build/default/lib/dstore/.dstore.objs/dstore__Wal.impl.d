@@ -1,0 +1,1 @@
+lib/dstore/wal.ml: Disk List

@@ -1,0 +1,1 @@
+lib/dstore/wal.mli: Disk

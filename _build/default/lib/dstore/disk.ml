@@ -1,0 +1,16 @@
+type t = {
+  latency : float;
+  label : string;
+  mutable forced : int;
+}
+
+let create ?(force_latency = 12.5) ~label () =
+  { latency = force_latency; label; forced = 0 }
+
+let force ?label t =
+  t.forced <- t.forced + 1;
+  Dsim.Engine.work (Option.value ~default:t.label label) t.latency
+
+let forced_writes t = t.forced
+
+let force_latency t = t.latency

@@ -1,0 +1,22 @@
+(** Simulated disk: charges virtual time for forced (synchronous) writes.
+
+    The paper's Figure 8 hinges on forced-log IO costs: a 2PC coordinator
+    pays two eager disk writes (~12.5 ms each in their measurements) that the
+    asynchronous-replication protocol avoids. A [Disk.t] survives process
+    crashes (it is stable storage); only the time accounting interacts with
+    the engine, so [force] must be called from inside a fiber. *)
+
+type t
+
+val create : ?force_latency:float -> label:string -> unit -> t
+(** [force_latency] defaults to 12.5 ms — the paper's measured cost of an
+    eager log write on their hardware. [label] tags the {!Dsim.Trace.Work}
+    entries (e.g. ["log-start"] rows of Figure 8 use per-call labels). *)
+
+val force : ?label:string -> t -> unit
+(** Charge one forced write ([label] defaults to the disk's label). *)
+
+val forced_writes : t -> int
+(** Total forced writes since creation (survives crashes). *)
+
+val force_latency : t -> float

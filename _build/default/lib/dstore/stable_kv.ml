@@ -1,0 +1,15 @@
+type ('k, 'v) t = { disk : Disk.t; table : ('k, 'v) Hashtbl.t }
+
+let create ~disk () = { disk; table = Hashtbl.create 64 }
+
+let put t k v =
+  Disk.force t.disk;
+  Hashtbl.replace t.table k v
+
+let get t k = Hashtbl.find_opt t.table k
+
+let remove t k =
+  Disk.force t.disk;
+  Hashtbl.remove t.table k
+
+let bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []

@@ -1,0 +1,18 @@
+(** Stable key-value map: survives crashes, forced write per update.
+
+    Used where a component needs durable named state without log replay
+    (e.g. a 2PC coordinator's presumed-nothing protocol table). *)
+
+type ('k, 'v) t
+
+val create : disk:Disk.t -> unit -> ('k, 'v) t
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Durable update (one forced disk write). *)
+
+val get : ('k, 'v) t -> 'k -> 'v option
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Durable removal (one forced disk write). *)
+
+val bindings : ('k, 'v) t -> ('k * 'v) list

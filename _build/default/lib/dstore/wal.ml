@@ -1,0 +1,19 @@
+type 'a t = { disk : Disk.t; mutable rev_records : 'a list; mutable count : int }
+
+let create ~disk () = { disk; rev_records = []; count = 0 }
+
+let append ?label t r =
+  Disk.force ?label t.disk;
+  t.rev_records <- r :: t.rev_records;
+  t.count <- t.count + 1
+
+let records t = List.rev t.rev_records
+
+let length t = t.count
+
+let truncate t =
+  Disk.force t.disk;
+  t.rev_records <- [];
+  t.count <- 0
+
+let replay t ~init ~f = List.fold_left f init (records t)

@@ -1,0 +1,22 @@
+(** Generic write-ahead log on a simulated {!Disk}.
+
+    Appends are forced to disk before returning (charging virtual time);
+    the record list survives crashes and is replayed at recovery. *)
+
+type 'a t
+
+val create : disk:Disk.t -> unit -> 'a t
+
+val append : ?label:string -> 'a t -> 'a -> unit
+(** Durably append one record (one forced disk write). *)
+
+val records : 'a t -> 'a list
+(** All records, oldest first. *)
+
+val length : 'a t -> int
+
+val truncate : 'a t -> unit
+(** Discard the log (checkpointing); durable, one forced write. *)
+
+val replay : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** Left fold over the log, oldest first — the recovery idiom. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Baselines Consensus Dnet Dsim Dstore Etx List Msgclass Option Printf Stats String Workload

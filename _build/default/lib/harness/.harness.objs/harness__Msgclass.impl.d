@@ -1,0 +1,1 @@
+lib/harness/msgclass.ml: Consensus Dnet Dsim Trace Types

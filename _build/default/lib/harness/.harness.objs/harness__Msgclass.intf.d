@@ -1,0 +1,1 @@
+lib/harness/msgclass.mli: Dsim Trace Types

@@ -1,0 +1,1 @@
+lib/harness/seqdiag.ml: Buffer Consensus Dbms Dnet Dsim Engine Etx List Printf String Trace Types

@@ -1,0 +1,1 @@
+lib/harness/seqdiag.mli: Dsim Engine Trace Types

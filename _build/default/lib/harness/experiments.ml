@@ -1,0 +1,880 @@
+let bank_seed = Workload.Bank.seed_accounts [ ("acct0", 1_000_000) ]
+
+let update_body = "acct0:10"
+
+let latencies records =
+  List.map
+    (fun (r : Etx.Client.record) -> r.delivered_at -. r.issued_at)
+    records
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 *)
+
+type fig8_protocol = {
+  protocol : string;
+  components : (string * float) list;
+  other : float;
+  total : float;
+  overhead_pct : float;
+  ci90_ratio : float;
+}
+
+type fig8 = { transactions : int; protocols : fig8_protocol list }
+
+let fig8_component_order =
+  [ "start"; "end"; "commit"; "prepare"; "SQL"; "log-start"; "log-outcome" ]
+
+let summarize ~protocol ~bd records =
+  let samples = latencies records in
+  let summary = Stats.Summary.of_samples samples in
+  let components =
+    List.map (fun c -> (c, Stats.Breakdown.row bd c)) fig8_component_order
+  in
+  let total = summary.Stats.Summary.mean in
+  {
+    protocol;
+    components;
+    other = Stats.Breakdown.other bd ~total;
+    total;
+    overhead_pct = 0.;
+    ci90_ratio = Stats.Summary.ci90_width_ratio summary;
+  }
+
+let identical_updates ~transactions ~bd ~issue =
+  for _ = 1 to transactions do
+    ignore (issue update_body);
+    Stats.Breakdown.tick bd
+  done
+
+let run_ar ~transactions ~seed =
+  let bd = Stats.Breakdown.create () in
+  let d =
+    Etx.Deployment.build ~seed ~breakdown:bd ~seed_data:bank_seed
+      ~business:Workload.Bank.update
+      ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
+      ()
+  in
+  if not (Etx.Deployment.run_to_quiescence d) then
+    failwith "figure8: AR run did not quiesce";
+  (match Etx.Spec.check_all d with
+  | [] -> ()
+  | vs -> failwith ("figure8: AR violations: " ^ String.concat "; " vs));
+  summarize ~protocol:"AR (e-Transactions)" ~bd (Etx.Client.records d.client)
+
+let run_baseline ~transactions ~seed =
+  let bd = Stats.Breakdown.create () in
+  let b =
+    Baselines.Baseline.build ~seed ~breakdown:bd ~seed_data:bank_seed
+      ~business:Workload.Bank.update
+      ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
+      ()
+  in
+  let done_ () = Etx.Client.script_done b.client in
+  if not (Dsim.Engine.run_until ~deadline:600_000. b.engine done_) then
+    failwith "figure8: baseline run did not finish";
+  summarize ~protocol:"baseline (unreliable)" ~bd (Etx.Client.records b.client)
+
+let run_tpc ~transactions ~seed =
+  let bd = Stats.Breakdown.create () in
+  let t =
+    Baselines.Tpc.build ~seed ~breakdown:bd ~seed_data:bank_seed
+      ~business:Workload.Bank.update
+      ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
+      ()
+  in
+  let done_ () = Etx.Client.script_done t.client in
+  if not (Dsim.Engine.run_until ~deadline:600_000. t.engine done_) then
+    failwith "figure8: 2PC run did not finish";
+  summarize ~protocol:"2PC (at-most-once)" ~bd (Etx.Client.records t.client)
+
+let run_pb ~transactions ~seed =
+  let bd = Stats.Breakdown.create () in
+  let p =
+    Baselines.Pbackup.build ~seed ~breakdown:bd ~seed_data:bank_seed
+      ~business:Workload.Bank.update
+      ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
+      ()
+  in
+  let done_ () = Etx.Client.script_done p.client in
+  if not (Dsim.Engine.run_until ~deadline:600_000. p.engine done_) then
+    failwith "figure8: primary-backup run did not finish";
+  summarize ~protocol:"primary-backup" ~bd (Etx.Client.records p.client)
+
+let figure8 ?(transactions = 40) ?(seed = 42) () =
+  let baseline = run_baseline ~transactions ~seed in
+  let ar = run_ar ~transactions ~seed in
+  let tpc = run_tpc ~transactions ~seed in
+  let pb = run_pb ~transactions ~seed in
+  let with_overhead p =
+    {
+      p with
+      overhead_pct = (p.total -. baseline.total) /. baseline.total *. 100.;
+    }
+  in
+  {
+    transactions;
+    protocols =
+      [ baseline; with_overhead ar; with_overhead tpc; with_overhead pb ];
+  }
+
+let render_figure8 f =
+  let headers = "" :: List.map (fun p -> p.protocol) f.protocols in
+  let component_row name =
+    name
+    :: List.map
+         (fun p -> Stats.Table.fmt_ms (List.assoc name p.components))
+         f.protocols
+  in
+  let rows =
+    List.map component_row fig8_component_order
+    @ [
+        "other" :: List.map (fun p -> Stats.Table.fmt_ms p.other) f.protocols;
+        "total" :: List.map (fun p -> Stats.Table.fmt_ms p.total) f.protocols;
+        "cost of reliability"
+        :: List.map (fun p -> Stats.Table.fmt_pct p.overhead_pct) f.protocols;
+        "ci90/mean"
+        :: List.map
+             (fun p -> Printf.sprintf "%.1f%%" (p.ci90_ratio *. 100.))
+             f.protocols;
+      ]
+  in
+  Printf.sprintf
+    "Figure 8 — latency components over %d identical transactions (ms)\n%s"
+    f.transactions
+    (Stats.Table.render ~headers ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7 *)
+
+type fig7_row = {
+  proto : string;
+  app_messages : int;
+  all_messages : int;
+  steps : int;
+  forced_ios : int;
+}
+
+let one_request_script ~issue = ignore (issue update_body)
+
+let figure7 ?(seed = 42) () =
+  let measure proto engine ~forced_ios =
+    let trace = Dsim.Engine.trace engine in
+    {
+      proto;
+      app_messages = Msgclass.application_messages trace;
+      all_messages = Msgclass.protocol_messages trace;
+      steps = Msgclass.protocol_steps trace;
+      forced_ios;
+    }
+  in
+  let baseline =
+    let b =
+      Baselines.Baseline.build ~seed ~seed_data:bank_seed
+        ~business:Workload.Bank.update ~script:one_request_script ()
+    in
+    ignore
+      (Dsim.Engine.run_until ~deadline:60_000. b.engine (fun () ->
+           Etx.Client.script_done b.client));
+    measure "baseline" b.engine ~forced_ios:0
+  in
+  let tpc =
+    let t =
+      Baselines.Tpc.build ~seed ~seed_data:bank_seed
+        ~business:Workload.Bank.update ~script:one_request_script ()
+    in
+    ignore
+      (Dsim.Engine.run_until ~deadline:60_000. t.engine (fun () ->
+           Etx.Client.script_done t.client));
+    measure "2PC" t.engine
+      ~forced_ios:(Dstore.Disk.forced_writes t.coordinator_disk)
+  in
+  let pb =
+    let p =
+      Baselines.Pbackup.build ~seed ~seed_data:bank_seed
+        ~business:Workload.Bank.update ~script:one_request_script ()
+    in
+    ignore
+      (Dsim.Engine.run_until ~deadline:60_000. p.engine (fun () ->
+           Etx.Client.script_done p.client));
+    measure "primary-backup" p.engine ~forced_ios:0
+  in
+  let ar =
+    let d =
+      Etx.Deployment.build ~seed ~seed_data:bank_seed
+        ~business:Workload.Bank.update ~script:one_request_script ()
+    in
+    ignore (Etx.Deployment.run_to_quiescence d);
+    measure "AR (e-Transactions)" d.engine ~forced_ios:0
+  in
+  [ baseline; tpc; pb; ar ]
+
+let render_figure7 rows =
+  let headers =
+    [ "protocol"; "app msgs"; "all msgs"; "steps"; "forced IOs" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.proto;
+          string_of_int r.app_messages;
+          string_of_int r.all_messages;
+          string_of_int r.steps;
+          string_of_int r.forced_ios;
+        ])
+      rows
+  in
+  "Figure 7 — communication in a failure-free committed execution\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 *)
+
+type fig1_scenario = {
+  label : string;
+  delivered : bool;
+  tries : int;
+  cleaner_outcome : string option;
+  violations : string list;
+}
+
+let cleaner_note d =
+  List.find_map
+    (fun (e : Dsim.Trace.entry) ->
+      match e.event with
+      | Dsim.Trace.Note (_, s)
+        when String.length s > 8 && String.sub s 0 8 = "cleaned:" -> (
+          match String.rindex_opt s ':' with
+          | Some i -> Some (String.sub s (i + 1) (String.length s - i - 1))
+          | None -> None)
+      | _ -> None)
+    (Dsim.Trace.entries (Dsim.Engine.trace d.Etx.Deployment.engine))
+
+let fig1_run ~label ~seed ?(crash_primary_at = None) ?business
+    ?(seed_data = bank_seed) ?(body = update_body) () =
+  let business = Option.value ~default:Workload.Bank.update business in
+  let d =
+    Etx.Deployment.build ~seed ~client_period:300. ~seed_data ~business
+      ~script:(fun ~issue -> ignore (issue body))
+      ()
+  in
+  (match crash_primary_at with
+  | Some t -> Dsim.Engine.crash_at d.engine t (Etx.Deployment.primary d)
+  | None -> ());
+  let ok = Etx.Deployment.run_to_quiescence ~deadline:120_000. d in
+  let tries =
+    match Etx.Client.records d.client with
+    | [ r ] -> r.tries
+    | _ -> -1
+  in
+  {
+    label;
+    delivered = ok && Etx.Client.records d.client <> [];
+    tries;
+    cleaner_outcome = cleaner_note d;
+    violations = Etx.Spec.check_all d;
+  }
+
+let figure1 ?(seed = 42) () =
+  [
+    fig1_run ~label:"(a) failure-free commit" ~seed ();
+    fig1_run ~label:"(b) failure-free abort (user-level)" ~seed
+      ~business:Workload.Bank.transfer
+      ~seed_data:(Workload.Bank.seed_accounts [ ("acct0", 5); ("acct1", 0) ])
+      ~body:"acct0:acct1:100" ();
+    fig1_run ~label:"(c) fail-over with commit" ~seed
+      ~crash_primary_at:(Some 230.) ();
+    fig1_run ~label:"(d) fail-over with abort" ~seed
+      ~crash_primary_at:(Some 100.) ();
+  ]
+
+let render_figure1 scenarios =
+  let headers = [ "scenario"; "delivered"; "tries"; "cleaner"; "violations" ] in
+  let body =
+    List.map
+      (fun s ->
+        [
+          s.label;
+          string_of_bool s.delivered;
+          string_of_int s.tries;
+          Option.value ~default:"-" s.cleaner_outcome;
+          (match s.violations with
+          | [] -> "none"
+          | vs -> string_of_int (List.length vs) ^ "!");
+        ])
+      scenarios
+  in
+  "Figure 1 — the four canonical executions\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let failover_sweep ?(seed = 42) ?(timeouts = [ 20.; 50.; 100.; 200.; 400. ])
+    () =
+  List.map
+    (fun timeout ->
+      let d =
+        Etx.Deployment.build ~seed ~client_period:300.
+          ~fd_spec:
+            (Etx.Appserver.Fd_heartbeat
+               {
+                 period = 10.;
+                 initial_timeout = timeout;
+                 timeout_bump = 25.;
+               })
+          ~seed_data:bank_seed ~business:Workload.Bank.update
+          ~script:one_request_script ()
+      in
+      Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
+      if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d) then
+        failwith "failover_sweep: run did not quiesce";
+      match Etx.Client.records d.client with
+      | [ r ] -> (timeout, r.delivered_at -. r.issued_at, r.tries)
+      | _ -> failwith "failover_sweep: expected one record")
+    timeouts
+
+let render_failover rows =
+  let headers = [ "fd timeout (ms)"; "latency (ms)"; "tries" ] in
+  let body =
+    List.map
+      (fun (t, l, tries) ->
+        [ Stats.Table.fmt_ms t; Stats.Table.fmt_ms l; string_of_int tries ])
+      rows
+  in
+  "A1 — fail-over latency vs failure-detector timeout (primary crashes at \
+   t=100ms)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+let backoff_sweep ?(seed = 42) ?(periods = [ 100.; 200.; 400.; 800.; 1600. ])
+    () =
+  List.map
+    (fun period ->
+      let nice =
+        let d =
+          Etx.Deployment.build ~seed ~client_period:period
+            ~seed_data:bank_seed ~business:Workload.Bank.update
+            ~script:one_request_script ()
+        in
+        if not (Etx.Deployment.run_to_quiescence ~deadline:120_000. d) then
+          failwith "backoff_sweep: nice run did not quiesce";
+        match Etx.Client.records d.client with
+        | [ r ] -> r.delivered_at -. r.issued_at
+        | _ -> failwith "backoff_sweep: expected one record"
+      in
+      let failover =
+        let d =
+          Etx.Deployment.build ~seed ~client_period:period
+            ~seed_data:bank_seed ~business:Workload.Bank.update
+            ~script:one_request_script ()
+        in
+        Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
+        if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d) then
+          failwith "backoff_sweep: failover run did not quiesce";
+        match Etx.Client.records d.client with
+        | [ r ] -> r.delivered_at -. r.issued_at
+        | _ -> failwith "backoff_sweep: expected one record"
+      in
+      (period, nice, failover))
+    periods
+
+let render_backoff rows =
+  let headers =
+    [ "back-off (ms)"; "nice latency (ms)"; "fail-over latency (ms)" ]
+  in
+  let body =
+    List.map
+      (fun (p, n, f) ->
+        [ Stats.Table.fmt_ms p; Stats.Table.fmt_ms n; Stats.Table.fmt_ms f ])
+      rows
+  in
+  "A2 — client back-off period: failure-free vs fail-over latency\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+let loss_sweep ?(seed = 42) ?(rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) () =
+  List.map
+    (fun rate ->
+      let net = Dnet.Netmodel.lossy ~loss:rate (Dnet.Netmodel.lan ()) in
+      let n = 10 in
+      let d =
+        Etx.Deployment.build ~seed ~net ~client_period:300.
+          ~seed_data:bank_seed ~business:Workload.Bank.update
+          ~script:(fun ~issue ->
+            for _ = 1 to n do
+              ignore (issue update_body)
+            done)
+          ()
+      in
+      if not (Etx.Deployment.run_to_quiescence ~deadline:600_000. d) then
+        failwith "loss_sweep: run did not quiesce";
+      let mean = Stats.Summary.mean (latencies (Etx.Client.records d.client)) in
+      let msgs = Msgclass.protocol_messages (Dsim.Engine.trace d.engine) / n in
+      (rate, mean, msgs))
+    rates
+
+let render_loss rows =
+  let headers = [ "loss rate"; "mean latency (ms)"; "msgs/request" ] in
+  let body =
+    List.map
+      (fun (r, l, m) ->
+        [
+          Printf.sprintf "%.0f%%" (r *. 100.);
+          Stats.Table.fmt_ms l;
+          string_of_int m;
+        ])
+      rows
+  in
+  "A3 — message loss: reliable-channel retransmission cost\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+let db_sweep ?(seed = 42) ?(counts = [ 1; 2; 4; 8 ]) () =
+  List.map
+    (fun n_dbs ->
+      let baseline =
+        let b =
+          Baselines.Baseline.build ~seed ~n_dbs ~seed_data:bank_seed
+            ~business:Workload.Bank.update ~script:one_request_script ()
+        in
+        ignore
+          (Dsim.Engine.run_until ~deadline:120_000. b.engine (fun () ->
+               Etx.Client.script_done b.client));
+        match Etx.Client.records b.client with
+        | [ r ] -> r.delivered_at -. r.issued_at
+        | _ -> failwith "db_sweep: baseline"
+      in
+      let ar =
+        let d =
+          Etx.Deployment.build ~seed ~n_dbs ~seed_data:bank_seed
+            ~business:Workload.Bank.update ~script:one_request_script ()
+        in
+        if not (Etx.Deployment.run_to_quiescence ~deadline:120_000. d) then
+          failwith "db_sweep: AR did not quiesce";
+        match Etx.Client.records d.client with
+        | [ r ] -> r.delivered_at -. r.issued_at
+        | _ -> failwith "db_sweep: AR"
+      in
+      let tpc =
+        let t =
+          Baselines.Tpc.build ~seed ~n_dbs ~seed_data:bank_seed
+            ~business:Workload.Bank.update ~script:one_request_script ()
+        in
+        ignore
+          (Dsim.Engine.run_until ~deadline:120_000. t.engine (fun () ->
+               Etx.Client.script_done t.client));
+        match Etx.Client.records t.client with
+        | [ r ] -> r.delivered_at -. r.issued_at
+        | _ -> failwith "db_sweep: 2PC"
+      in
+      (n_dbs, baseline, ar, tpc))
+    counts
+
+let render_dbs rows =
+  let headers = [ "databases"; "baseline (ms)"; "AR (ms)"; "2PC (ms)" ] in
+  let body =
+    List.map
+      (fun (n, b, a, t) ->
+        [
+          string_of_int n;
+          Stats.Table.fmt_ms b;
+          Stats.Table.fmt_ms a;
+          Stats.Table.fmt_ms t;
+        ])
+      rows
+  in
+  "A4 — prepare fan-out: latency vs number of databases\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+let persistence_ablation ?(seed = 42) ?(transactions = 15) () =
+  let script ~issue =
+    for _ = 1 to transactions do
+      ignore (issue update_body)
+    done
+  in
+  let ar_mean ~recoverable =
+    let d =
+      Etx.Deployment.build ~seed ~recoverable ~seed_data:bank_seed
+        ~business:Workload.Bank.update ~script ()
+    in
+    if not (Etx.Deployment.run_to_quiescence ~deadline:600_000. d) then
+      failwith "persistence_ablation: run did not quiesce";
+    Stats.Summary.mean (latencies (Etx.Client.records d.client))
+  in
+  let tpc_mean =
+    let t =
+      Baselines.Tpc.build ~seed ~seed_data:bank_seed
+        ~business:Workload.Bank.update ~script ()
+    in
+    ignore
+      (Dsim.Engine.run_until ~deadline:600_000. t.engine (fun () ->
+           Etx.Client.script_done t.client));
+    Stats.Summary.mean (latencies (Etx.Client.records t.client))
+  in
+  [
+    ("AR, diskless (the paper's choice)", ar_mean ~recoverable:false);
+    ("AR, persistent registers (crash-recovery)", ar_mean ~recoverable:true);
+    ("2PC (reference)", tpc_mean);
+  ]
+
+let render_persistence rows =
+  let headers = [ "configuration"; "mean latency (ms)" ] in
+  let body =
+    List.map (fun (name, ms) -> [ name; Stats.Table.fmt_ms ms ]) rows
+  in
+  "A5 — the cost of recoverable application servers (why the middle tier is \
+   diskless)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+type Dsim.Types.payload += Sweep_value
+
+let consensus_failover_sweep ?(seed = 42)
+    ?(round_timeouts = [ 25.; 50.; 100.; 200.; 400. ]) () =
+  let one round_timeout =
+    let t = Dsim.Engine.create ~seed ~net:(Dnet.Netmodel.lan ()) () in
+    let peers = [ 0; 1; 2 ] in
+    let latency = ref infinity in
+    let spawn_member i =
+      let pid =
+        Dsim.Engine.spawn t
+          ~name:(Printf.sprintf "a%d" (i + 1))
+          ~main:(fun ~recovery:_ () ->
+            let ch = Dnet.Rchannel.create () in
+            Dnet.Rchannel.start ch;
+            (* a uselessly patient detector: only the round timeout can end
+               a round whose coordinator is gone *)
+            let fd =
+              Dnet.Fdetect.heartbeat ~initial_timeout:1_000_000. ~peers ()
+            in
+            Dnet.Fdetect.start fd;
+            let agent =
+              Consensus.Agent.create ~round_timeout ~peers ~fd ~ch ()
+            in
+            Consensus.Agent.start agent;
+            if i = 1 then begin
+              Dsim.Engine.sleep 10.;
+              let t0 = Dsim.Engine.now () in
+              ignore (Consensus.Agent.propose agent ~key:"k" Sweep_value);
+              latency := Dsim.Engine.now () -. t0
+            end)
+      in
+      assert (pid = i)
+    in
+    List.iter spawn_member peers;
+    (* the round-0 coordinator dies before anything happens *)
+    Dsim.Engine.crash_at t 1. 0;
+    if
+      not
+        (Dsim.Engine.run_until ~deadline:120_000. t (fun () ->
+             !latency < infinity))
+    then failwith "consensus_failover_sweep: no decision";
+    (round_timeout, !latency)
+  in
+  List.map one round_timeouts
+
+let render_consensus_failover rows =
+  let headers = [ "round timeout (ms)"; "register-write latency (ms)" ] in
+  let body =
+    List.map
+      (fun (rt, l) -> [ Stats.Table.fmt_ms rt; Stats.Table.fmt_ms l ])
+      rows
+  in
+  "A6 — consensus optimised for failures: wo-register write with a crashed \
+   first coordinator\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+let throughput_sweep ?(seed = 42) ?(clients = [ 1; 2; 4; 8 ])
+    ?(requests_per_client = 5) () =
+  let run ~n_clients ~contended =
+    let account i = if contended then "hot" else Printf.sprintf "acct%d" i in
+    let seed_data =
+      Workload.Bank.seed_accounts
+        (("hot", 1_000_000)
+        :: List.init n_clients (fun i -> (Printf.sprintf "acct%d" i, 1_000_000))
+        )
+    in
+    let script_for i ~issue =
+      for _ = 1 to requests_per_client do
+        ignore (issue (Printf.sprintf "%s:1" (account i)))
+      done
+    in
+    let d =
+      Etx.Deployment.build ~seed ~seed_data ~business:Workload.Bank.update
+        ~script:(script_for 0) ()
+    in
+    let extra =
+      List.init (n_clients - 1) (fun i ->
+          Etx.Client.spawn d.engine
+            ~name:(Printf.sprintf "client%d" (i + 1))
+            ~period:400. ~servers:d.app_servers
+            ~script:(script_for (i + 1))
+            ())
+    in
+    let all_done () =
+      Etx.Client.script_done d.client && List.for_all Etx.Client.script_done extra
+    in
+    if not (Dsim.Engine.run_until ~deadline:3_600_000. d.engine all_done) then
+      failwith "throughput_sweep: run did not finish";
+    let total = float_of_int (n_clients * requests_per_client) in
+    total /. (Dsim.Engine.now_of d.engine /. 1_000.)
+  in
+  List.map
+    (fun n_clients ->
+      ( n_clients,
+        run ~n_clients ~contended:true,
+        run ~n_clients ~contended:false ))
+    clients
+
+let render_throughput rows =
+  let headers =
+    [ "clients"; "contended (tx/s)"; "disjoint accounts (tx/s)" ]
+  in
+  let body =
+    List.map
+      (fun (n, hot, cold) ->
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f" hot;
+          Printf.sprintf "%.2f" cold;
+        ])
+      rows
+  in
+  "A7 — aggregate throughput vs concurrent clients (single database)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+let register_backend_comparison ?(seed = 42) () =
+  (* one register write among three members; [writer] proposes, the member
+     being measured records the elapsed time; optionally member 0 (the
+     primary / ballot-0 owner) is crashed at t=1 *)
+  let run ~make_agent ~writer ~crash_primary =
+    let t = Dsim.Engine.create ~seed ~net:(Dnet.Netmodel.lan ()) () in
+    let peers = [ 0; 1; 2 ] in
+    let latency = ref infinity in
+    List.iter
+      (fun i ->
+        let pid =
+          Dsim.Engine.spawn t
+            ~name:(Printf.sprintf "m%d" (i + 1))
+            ~main:(fun ~recovery:_ () ->
+              let ch = Dnet.Rchannel.create () in
+              Dnet.Rchannel.start ch;
+              let write = make_agent t ~peers ~ch in
+              if i = writer then begin
+                Dsim.Engine.sleep 10.;
+                let t0 = Dsim.Engine.now () in
+                ignore (write ~key:"k" Sweep_value);
+                latency := Dsim.Engine.now () -. t0
+              end)
+        in
+        assert (pid = i))
+      peers;
+    if crash_primary then Dsim.Engine.crash_at t 1. 0;
+    if
+      not
+        (Dsim.Engine.run_until ~deadline:300_000. t (fun () ->
+             !latency < infinity))
+    then failwith "register_backend_comparison: no decision";
+    !latency
+  in
+  let ct ~fd_of t ~peers ~ch =
+    let fd = fd_of t in
+    Dnet.Fdetect.start fd;
+    let agent = Consensus.Agent.create ~peers ~fd ~ch () in
+    Consensus.Agent.start agent;
+    fun ~key v -> Consensus.Agent.propose agent ~key v
+  in
+  let ct_oracle = ct ~fd_of:(fun t -> Dnet.Fdetect.oracle t) in
+  let ct_blind =
+    ct ~fd_of:(fun _ ->
+        Dnet.Fdetect.heartbeat ~initial_timeout:1_000_000. ~peers:[ 0; 1; 2 ]
+          ())
+  in
+  let synod _t ~peers ~ch =
+    let s = Consensus.Synod.create ~peers ~ch () in
+    Consensus.Synod.start s;
+    fun ~key v -> Consensus.Synod.propose s ~key v
+  in
+  let measure name make_agent =
+    ( name,
+      run ~make_agent ~writer:0 ~crash_primary:false,
+      run ~make_agent ~writer:1 ~crash_primary:true )
+  in
+  [
+    measure "CT agent, perfect detector" ct_oracle;
+    measure "CT agent, useless detector (100ms rounds)" ct_blind;
+    measure "Synod (Paxos), no detector" synod;
+  ]
+
+let render_register_backends rows =
+  let headers =
+    [ "backend"; "primary write (ms)"; "fail-over write (ms)" ]
+  in
+  let body =
+    List.map
+      (fun (name, nice, failover) ->
+        [ name; Stats.Table.fmt_ms nice; Stats.Table.fmt_ms failover ])
+      rows
+  in
+  "A8 — wo-register substrates: failure-free vs crashed-coordinator writes\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+let fd_quality_sweep ?(seed = 42) ?(requests = 10)
+    ?(timeouts = [ 15.; 25.; 50.; 100.; 200. ]) () =
+  let one timeout =
+    (* jitter plus heartbeat loss: a dropped heartbeat stretches the
+       silence past an aggressive timeout *)
+    let net =
+      Dnet.Netmodel.lossy ~loss:0.15 (Dnet.Netmodel.uniform ~lo:1.0 ~hi:6.0)
+    in
+    let d =
+      (* timeout_bump = 0 disables the ◇P adaptation so the sweep shows the
+         raw cost of a mis-set timeout; with the default bump the detector
+         absorbs this jitter after a couple of mistakes (tested) *)
+      Etx.Deployment.build ~seed ~net ~client_period:300. ~clean_period:10.
+        ~fd_spec:
+          (Etx.Appserver.Fd_heartbeat
+             { period = 10.; initial_timeout = timeout; timeout_bump = 0. })
+        ~seed_data:bank_seed ~business:Workload.Bank.update
+        ~script:(fun ~issue ->
+          for _ = 1 to requests do
+            ignore (issue update_body)
+          done)
+        ()
+    in
+    if not (Etx.Deployment.run_to_quiescence ~deadline:600_000. d) then
+      failwith "fd_quality_sweep: run did not quiesce";
+    (match Etx.Spec.check_all d with
+    | [] -> ()
+    | vs ->
+        failwith
+          ("fd_quality_sweep: suspicions broke the spec!? "
+          ^ String.concat "; " vs));
+    let cleanings =
+      List.length
+        (List.filter
+           (fun (e : Dsim.Trace.entry) ->
+             match e.event with
+             | Dsim.Trace.Note (_, s) ->
+                 String.length s > 8 && String.sub s 0 8 = "cleaned:"
+             | _ -> false)
+           (Dsim.Trace.entries (Dsim.Engine.trace d.engine)))
+    in
+    let extra_tries =
+      List.fold_left
+        (fun acc (r : Etx.Client.record) -> acc + r.tries - 1)
+        0
+        (Etx.Client.records d.client)
+    in
+    let mean = Stats.Summary.mean (latencies (Etx.Client.records d.client)) in
+    (timeout, cleanings, extra_tries, mean)
+  in
+  List.map one timeouts
+
+let render_fd_quality rows =
+  let headers =
+    [
+      "fd timeout (ms)";
+      "spurious cleanings";
+      "extra tries";
+      "mean latency (ms)";
+    ]
+  in
+  let body =
+    List.map
+      (fun (t, c, x, l) ->
+        [
+          Stats.Table.fmt_ms t;
+          string_of_int c;
+          string_of_int x;
+          Stats.Table.fmt_ms l;
+        ])
+      rows
+  in
+  "A9 — detector quality: false suspicions cost retries, never consistency \
+   (spec asserted per row)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+(* ------------------------------------------------------------------ *)
+(* CSV export *)
+
+let csv_lines rows = String.concat "\n" (List.map (String.concat ",") rows)
+
+let csv_figure8 f =
+  let header =
+    "component" :: List.map (fun p -> p.protocol) f.protocols
+  in
+  let component_row name =
+    name
+    :: List.map
+         (fun p -> Printf.sprintf "%.3f" (List.assoc name p.components))
+         f.protocols
+  in
+  csv_lines
+    ((header :: List.map component_row fig8_component_order)
+    @ [
+        "other"
+        :: List.map (fun p -> Printf.sprintf "%.3f" p.other) f.protocols;
+        "total"
+        :: List.map (fun p -> Printf.sprintf "%.3f" p.total) f.protocols;
+        "overhead_pct"
+        :: List.map (fun p -> Printf.sprintf "%.2f" p.overhead_pct) f.protocols;
+      ])
+
+let csv_figure7 rows =
+  csv_lines
+    ([ "protocol"; "app_messages"; "all_messages"; "steps"; "forced_ios" ]
+    :: List.map
+         (fun r ->
+           [
+             r.proto;
+             string_of_int r.app_messages;
+             string_of_int r.all_messages;
+             string_of_int r.steps;
+             string_of_int r.forced_ios;
+           ])
+         rows)
+
+let csv_figure1 scenarios =
+  csv_lines
+    ([ "scenario"; "delivered"; "tries"; "cleaner"; "violations" ]
+    :: List.map
+         (fun s ->
+           [
+             s.label;
+             string_of_bool s.delivered;
+             string_of_int s.tries;
+             Option.value ~default:"" s.cleaner_outcome;
+             string_of_int (List.length s.violations);
+           ])
+         scenarios)
+
+let csv_sweep2 ~header rows =
+  csv_lines
+    (String.split_on_char ',' header
+    :: List.map
+         (fun (x, y, n) ->
+           [ Printf.sprintf "%.3f" x; Printf.sprintf "%.3f" y; string_of_int n ])
+         rows)
+
+let csv_backoff rows =
+  csv_lines
+    ([ "backoff_ms"; "nice_ms"; "failover_ms" ]
+    :: List.map
+         (fun (p, nice, failover) ->
+           [
+             Printf.sprintf "%.3f" p;
+             Printf.sprintf "%.3f" nice;
+             Printf.sprintf "%.3f" failover;
+           ])
+         rows)
+
+let csv_dbs rows =
+  csv_lines
+    ([ "databases"; "baseline_ms"; "ar_ms"; "tpc_ms" ]
+    :: List.map
+         (fun (n, b, a, t) ->
+           [
+             string_of_int n;
+             Printf.sprintf "%.3f" b;
+             Printf.sprintf "%.3f" a;
+             Printf.sprintf "%.3f" t;
+           ])
+         rows)

@@ -1,0 +1,161 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation, plus the ablations called out in DESIGN.md.
+
+    Each driver returns structured data and has a [render_*] companion that
+    prints a table in the shape the paper uses. All runs are deterministic
+    for a given seed. *)
+
+(** {1 E1/E4 — Figure 8: latency components and the cost of reliability} *)
+
+type fig8_protocol = {
+  protocol : string;
+  components : (string * float) list;
+      (** mean ms per transaction for each Figure 8 row *)
+  other : float;
+  total : float;  (** mean client-visible latency *)
+  overhead_pct : float;  (** vs the baseline protocol *)
+  ci90_ratio : float;  (** paper methodology: must stay below 10% *)
+}
+
+type fig8 = { transactions : int; protocols : fig8_protocol list }
+
+val figure8 : ?transactions:int -> ?seed:int -> unit -> fig8
+(** Runs baseline, asynchronous replication (this paper), 2PC, and — as a
+    validation the paper argued analytically — primary-backup, each over
+    [transactions] identical bank-account updates (default 40). *)
+
+val render_figure8 : fig8 -> string
+
+(** {1 E2 — Figure 7: communication in failure-free executions} *)
+
+type fig7_row = {
+  proto : string;
+  app_messages : int;  (** application-level messages for one request *)
+  all_messages : int;  (** including the wo-register substrate *)
+  steps : int;  (** longest causal message chain *)
+  forced_ios : int;  (** eager log writes at the application tier *)
+}
+
+val figure7 : ?seed:int -> unit -> fig7_row list
+
+val render_figure7 : fig7_row list -> string
+
+(** {1 E3 — Figure 1: the four canonical executions} *)
+
+type fig1_scenario = {
+  label : string;
+  delivered : bool;
+  tries : int;  (** final result identifier [j] *)
+  cleaner_outcome : string option;
+      (** what the cleaning thread terminated with, if it ran *)
+  violations : string list;  (** must be empty *)
+}
+
+val figure1 : ?seed:int -> unit -> fig1_scenario list
+
+val render_figure1 : fig1_scenario list -> string
+
+(** {1 A1–A4 — ablations} *)
+
+val failover_sweep :
+  ?seed:int -> ?timeouts:float list -> unit -> (float * float * int) list
+(** Heartbeat-detector timeout vs client-visible latency (and tries) of a
+    request whose primary crashes mid-compute. *)
+
+val render_failover : (float * float * int) list -> string
+
+val backoff_sweep :
+  ?seed:int -> ?periods:float list -> unit -> (float * float * float) list
+(** Client back-off period vs (nice-run latency, fail-over latency). *)
+
+val render_backoff : (float * float * float) list -> string
+
+val loss_sweep :
+  ?seed:int -> ?rates:float list -> unit -> (float * float * int) list
+(** Message-loss rate vs mean latency and protocol message count (the
+    reliable-channel retransmission cost). *)
+
+val render_loss : (float * float * int) list -> string
+
+val db_sweep :
+  ?seed:int -> ?counts:int list -> unit -> (int * float * float * float) list
+(** Number of databases vs mean latency for baseline / AR / 2PC (prepare
+    fan-out happens in parallel, so the curves should stay nearly flat —
+    the three-tier scalability argument). *)
+
+val render_dbs : (int * float * float * float) list -> string
+
+val persistence_ablation :
+  ?seed:int -> ?transactions:int -> unit -> (string * float) list
+(** A5: why the paper keeps the middle tier diskless. Mean nice-run latency
+    of (i) the diskless protocol, (ii) the crash-recovery variant with
+    persistent registers (forced IO on every register write, enabling
+    application-server recovery), and (iii) 2PC for reference: persistence
+    pushes the e-Transaction protocol past 2PC's cost. *)
+
+val render_persistence : (string * float) list -> string
+
+val consensus_failover_sweep :
+  ?seed:int -> ?round_timeouts:float list -> unit -> (float * float) list
+(** A6: the paper's closing remark — response time under failures depends on
+    the consensus being optimised for failure cases. Measures the latency of
+    a wo-register write whose round-0 coordinator has crashed, as a function
+    of the consensus round timeout (the failure detector is made useless so
+    the timeout is the only escape). Returns (round timeout, decision
+    latency). *)
+
+val render_consensus_failover : (float * float) list -> string
+
+val throughput_sweep :
+  ?seed:int ->
+  ?clients:int list ->
+  ?requests_per_client:int ->
+  unit ->
+  (int * float * float) list
+(** A7: aggregate throughput vs number of concurrent clients, with all
+    clients hammering one hot account (lock contention) vs each client
+    owning its account (disjoint). Returns
+    (clients, contended tx/s, disjoint tx/s). *)
+
+val render_throughput : (int * float * float) list -> string
+
+val register_backend_comparison :
+  ?seed:int -> unit -> (string * float * float) list
+(** A8: the two wo-register substrates compared — the Chandra–Toueg agent
+    (with a perfect and with a useless failure detector) and the Synod
+    (Paxos) backend. For each: latency of a failure-free write by the
+    default primary, and of a write by a backup while the round-0
+    coordinator/ballot-0 owner is crashed. Returns
+    (backend, nice write, fail-over write) in ms. *)
+
+val render_register_backends : (string * float * float) list -> string
+
+val fd_quality_sweep :
+  ?seed:int ->
+  ?requests:int ->
+  ?timeouts:float list ->
+  unit ->
+  (float * int * int * float) list
+(** A9: the paper's §5 claim that failure-suspicion mistakes never cost
+    consistency, only performance. Under a jittery network, sweep the
+    heartbeat detector's initial timeout and measure, over [requests]
+    failure-free requests: spurious cleanings (the cleaning thread aborting
+    a perfectly alive primary), extra client tries, and mean latency. The
+    specification is asserted to hold in every configuration. Returns
+    (timeout, spurious cleanings, total tries beyond one, mean latency). *)
+
+val render_fd_quality : (float * int * int * float) list -> string
+
+(** {1 CSV export}
+
+    Machine-readable companions to the render functions (header line plus
+    one row per data point), for external plotting. *)
+
+val csv_figure8 : fig8 -> string
+val csv_figure7 : fig7_row list -> string
+val csv_figure1 : fig1_scenario list -> string
+val csv_sweep2 : header:string -> (float * float * int) list -> string
+(** For A1 (timeout, latency, tries) and A3 (rate, latency, messages). *)
+
+val csv_backoff : (float * float * float) list -> string
+val csv_dbs : (int * float * float * float) list -> string

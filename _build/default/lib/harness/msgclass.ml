@@ -1,0 +1,31 @@
+open Dsim
+
+type kind = Application | Consensus | Overhead
+
+let kind_of (m : Types.message) =
+  if m.src = m.dst then Overhead
+  else
+    let payload =
+      match Dnet.Rchannel.inner_payload m.payload with
+      | Some inner -> inner
+      | None -> m.payload
+    in
+    if Dnet.Rchannel.is_overhead payload then Overhead
+    else if Dnet.Fdetect.is_heartbeat payload then Overhead
+    else if Consensus.Agent.is_consensus_message payload then Consensus
+    else Application
+
+let protocol_subject m =
+  match kind_of m with Application | Consensus -> true | Overhead -> false
+
+let application_subject m =
+  match kind_of m with Application -> true | Consensus | Overhead -> false
+
+let protocol_messages trace =
+  Trace.message_count ~subject:protocol_subject trace
+
+let application_messages trace =
+  Trace.message_count ~subject:application_subject trace
+
+let protocol_steps trace =
+  Trace.communication_steps ~subject:protocol_subject trace

@@ -1,0 +1,28 @@
+(** Message classification for trace analyses.
+
+    The engine's trace records every send, including reliable-channel frames
+    and acknowledgements, failure-detector heartbeats and local self-sends.
+    The paper's communication-step figures (Figs. 1 and 7) count {e protocol
+    messages}; these helpers unwrap channel frames and filter the noise. *)
+
+open Dsim
+
+type kind =
+  | Application  (** requests, results, XA traffic, prepares, decides *)
+  | Consensus  (** wo-register implementation traffic *)
+  | Overhead  (** channel acks/kicks, heartbeats, local wake-ups *)
+
+val kind_of : Types.message -> kind
+
+val protocol_subject : Types.message -> bool
+(** Application + consensus messages between distinct processes — what the
+    paper's diagrams draw arrows for. *)
+
+val application_subject : Types.message -> bool
+(** Application messages only (excludes the register-write substrate). *)
+
+val protocol_messages : Trace.t -> int
+val application_messages : Trace.t -> int
+val protocol_steps : Trace.t -> int
+(** Longest causal chain of protocol messages — the "communication steps"
+    of the paper's figures. *)

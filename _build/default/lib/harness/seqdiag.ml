@@ -1,0 +1,110 @@
+open Dsim
+
+let outcome_label = function
+  | Dbms.Rm.Commit -> "commit"
+  | Dbms.Rm.Abort -> "abort"
+
+let vote_label = function Dbms.Rm.Yes -> "yes" | Dbms.Rm.No -> "no"
+
+let xid_label x = Dbms.Xid.to_string x
+
+let payload_label payload =
+  match payload with
+  | Etx.Etx_types.Request_msg { request; j } ->
+      Some (Printf.sprintf "Request(r%d,j=%d)" request.rid j)
+  | Etx.Etx_types.Result_msg { rid; j; decision } ->
+      Some
+        (Printf.sprintf "Result(r%d,j=%d,%s)" rid j
+           (outcome_label decision.outcome))
+  | Dbms.Msg.Xa_start { xid } -> Some ("XaStart(" ^ xid_label xid ^ ")")
+  | Dbms.Msg.Xa_started { xid } -> Some ("XaStarted(" ^ xid_label xid ^ ")")
+  | Dbms.Msg.Xa_end { xid } -> Some ("XaEnd(" ^ xid_label xid ^ ")")
+  | Dbms.Msg.Xa_ended { xid } -> Some ("XaEnded(" ^ xid_label xid ^ ")")
+  | Dbms.Msg.Exec_req { xid; ops } ->
+      Some (Printf.sprintf "Exec(%s,%d ops)" (xid_label xid) (List.length ops))
+  | Dbms.Msg.Exec_reply { xid; reply } ->
+      let r =
+        match reply with
+        | Dbms.Rm.Exec_ok { business_ok = true; _ } -> "ok"
+        | Dbms.Rm.Exec_ok { business_ok = false; _ } -> "user-abort"
+        | Dbms.Rm.Exec_conflict k -> "conflict:" ^ k
+        | Dbms.Rm.Exec_rejected -> "rejected"
+      in
+      Some (Printf.sprintf "ExecReply(%s,%s)" (xid_label xid) r)
+  | Dbms.Msg.Prepare { xid } -> Some ("Prepare(" ^ xid_label xid ^ ")")
+  | Dbms.Msg.Vote_msg { xid; vote } ->
+      Some (Printf.sprintf "Vote(%s,%s)" (xid_label xid) (vote_label vote))
+  | Dbms.Msg.Decide { xid; outcome } ->
+      Some
+        (Printf.sprintf "Decide(%s,%s)" (xid_label xid)
+           (outcome_label outcome))
+  | Dbms.Msg.Ack_decide { xid } -> Some ("AckDecide(" ^ xid_label xid ^ ")")
+  | Dbms.Msg.Ready -> Some "Ready"
+  | Dbms.Msg.Commit1 { xid } -> Some ("Commit1(" ^ xid_label xid ^ ")")
+  | Dbms.Msg.Commit1_reply { xid; outcome } ->
+      Some
+        (Printf.sprintf "Commit1Reply(%s,%s)" (xid_label xid)
+           (outcome_label outcome))
+  | _ -> None
+
+(* consensus messages get generic labels only when requested *)
+let consensus_label payload =
+  if Consensus.Agent.is_consensus_message payload then Some "consensus" else None
+
+let render ?(include_consensus = false) ?(max_lines = 200) ~names trace =
+  let buffer = Buffer.create 4096 in
+  let lines = ref 0 in
+  let elided = ref 0 in
+  let emit at text =
+    if !lines < max_lines then begin
+      Buffer.add_string buffer (Printf.sprintf "[%9.1f] %s\n" at text);
+      incr lines
+    end
+    else incr elided
+  in
+  let message_line (m : Types.message) =
+    if m.src = m.dst then None
+    else
+      match Dnet.Rchannel.inner_payload m.payload with
+      | Some _ ->
+          (* a channel frame: its deduplicated redelivery (same src, inner
+             payload) is the event worth drawing, so skip the frame *)
+          None
+      | None -> (
+          match payload_label m.payload with
+          | Some label -> Some (label, m)
+          | None ->
+              if include_consensus then
+                match consensus_label m.payload with
+                | Some label -> Some (label, m)
+                | None -> None
+              else None)
+  in
+  List.iter
+    (fun (e : Trace.entry) ->
+      match e.event with
+      | Trace.Delivered m -> (
+          match message_line m with
+          | Some (label, m) ->
+              emit e.at
+                (Printf.sprintf "%-8s --%s-->  %s" (names m.src) label
+                   (names m.dst))
+          | None -> ())
+      | Trace.Crashed p -> emit e.at (Printf.sprintf "%-8s CRASH" (names p))
+      | Trace.Recovered p ->
+          emit e.at (Printf.sprintf "%-8s RECOVER" (names p))
+      | Trace.Note (p, s)
+        when String.length s > 8 && String.sub s 0 8 = "cleaned:" ->
+          emit e.at (Printf.sprintf "%-8s %s" (names p) s)
+      | Trace.Note _ | Trace.Sent _ | Trace.Dropped _ | Trace.Dead_letter _
+      | Trace.Spawned _ | Trace.Work _ ->
+          ())
+    (Trace.entries trace);
+  if !elided > 0 then
+    Buffer.add_string buffer (Printf.sprintf "... (%d more events)\n" !elided);
+  Buffer.contents buffer
+
+let of_engine ?include_consensus ?max_lines engine =
+  render ?include_consensus ?max_lines
+    ~names:(fun pid -> Engine.name_of engine pid)
+    (Engine.trace engine)

@@ -1,0 +1,1 @@
+lib/stats/breakdown.ml: Dsim Hashtbl List Option String

@@ -1,0 +1,68 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  ci90_low : float;
+  ci90_high : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Summary.mean: empty"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (ss /. (n -. 1.))
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Summary.percentile: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+      in
+      let rank = max 0 (min (n - 1) rank) in
+      List.nth sorted rank
+
+(* two-sided 90% confidence interval for the mean, normal approximation *)
+let z90 = 1.6449
+
+let of_samples xs =
+  match xs with
+  | [] -> invalid_arg "Summary.of_samples: empty"
+  | _ ->
+      let n = List.length xs in
+      let m = mean xs in
+      let s = stddev xs in
+      let half = z90 *. s /. sqrt (float_of_int n) in
+      {
+        n;
+        mean = m;
+        stddev = s;
+        min = List.fold_left Float.min infinity xs;
+        max = List.fold_left Float.max neg_infinity xs;
+        p50 = percentile xs 50.;
+        p95 = percentile xs 95.;
+        p99 = percentile xs 99.;
+        ci90_low = m -. half;
+        ci90_high = m +. half;
+      }
+
+let ci90_width_ratio t =
+  if t.mean = 0. then 0. else (t.ci90_high -. t.ci90_low) /. t.mean
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.1f sd=%.1f min=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f \
+     ci90=[%.1f,%.1f]"
+    t.n t.mean t.stddev t.min t.p50 t.p95 t.p99 t.max t.ci90_low t.ci90_high

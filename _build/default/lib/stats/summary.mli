@@ -1,0 +1,33 @@
+(** Summary statistics for latency samples.
+
+    The paper reports mean response times over repeated identical
+    transactions together with a 90% confidence interval (and checks its
+    width stays under 10% of the mean); {!ci90} reproduces that
+    methodology. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  ci90_low : float;
+  ci90_high : float;
+}
+
+val of_samples : float list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val ci90_width_ratio : t -> float
+(** Width of the 90% CI divided by the mean — the paper's < 10% check. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]] (nearest-rank on the sorted
+    samples). *)
+
+val pp : Format.formatter -> t -> unit

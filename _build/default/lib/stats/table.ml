@@ -1,0 +1,29 @@
+let fmt_ms v = Printf.sprintf "%.1f" v
+
+let fmt_pct v = Printf.sprintf "%+.0f%%" v
+
+let render ~headers ~rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) 0 all)
+  in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           if i = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         r)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  match all with
+  | header :: body ->
+      String.concat "\n" (render_row header :: sep :: List.map render_row body)
+  | [] -> ""

@@ -1,0 +1,11 @@
+(** Plain-text table rendering for experiment output. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** Column-aligned table with a header separator; first column is
+    left-aligned, the rest right-aligned. *)
+
+val fmt_ms : float -> string
+(** Milliseconds with one decimal, e.g. ["217.4"]. *)
+
+val fmt_pct : float -> string
+(** Signed percentage, e.g. ["+16%"]. *)

@@ -1,0 +1,1 @@
+lib/workload/bank.ml: Dbms Etx List Printf Rm String Value

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Bank Dsim List Printf Travel

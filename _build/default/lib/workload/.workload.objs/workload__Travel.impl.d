@@ -1,0 +1,1 @@
+lib/workload/travel.ml: Dbms Etx List Printf Rm String Value

@@ -1,0 +1,1 @@
+lib/workload/travel.mli: Dbms Etx

@@ -1,0 +1,98 @@
+open Dbms
+
+let first_db ctx = List.hd ctx.Etx.Business.dbs
+
+(* A lock conflict that survived the stub's bounded retries: poison the
+   transaction so this try ABORTS (and the client's retry runs afresh)
+   rather than committing an empty workspace with a "busy" result. *)
+let give_up_busy ctx ~db key =
+  ignore (ctx.Etx.Business.exec ~db [ Rm.Fail ]);
+  "busy:" ^ key
+
+(* body "acct:delta" with delta like "+10" or "-3" *)
+let parse_update body =
+  match String.split_on_char ':' body with
+  | [ account; delta ] -> (account, int_of_string delta)
+  | _ -> invalid_arg ("Bank.update: bad request body " ^ body)
+
+let update =
+  {
+    Etx.Business.label = "bank-update";
+    run =
+      (fun ctx ~body ->
+        let account, delta = parse_update body in
+        let db = first_db ctx in
+        match
+          ctx.Etx.Business.exec ~db [ Rm.Add (account, delta); Rm.Get account ]
+        with
+        | Rm.Exec_ok { values = [ Some (Value.Int v) ]; business_ok = true } ->
+            Printf.sprintf "updated:%s:%d" account v
+        | Rm.Exec_ok _ -> Printf.sprintf "updated:%s" account
+        | Rm.Exec_conflict key -> give_up_busy ctx ~db key
+        | Rm.Exec_rejected -> "error:rejected");
+  }
+
+let parse_transfer body =
+  match String.split_on_char ':' body with
+  | [ from_acct; to_acct; amount ] -> (from_acct, to_acct, int_of_string amount)
+  | _ -> invalid_arg ("Bank.transfer: bad request body " ^ body)
+
+let transfer =
+  {
+    Etx.Business.label = "bank-transfer";
+    run =
+      (fun ctx ~body ->
+        let from_acct, to_acct, amount = parse_transfer body in
+        let db = first_db ctx in
+        let attempt_transfer () =
+          match
+            ctx.Etx.Business.exec ~db
+              [
+                Rm.Ensure_min (from_acct, amount);
+                Rm.Add (from_acct, -amount);
+                Rm.Add (to_acct, amount);
+              ]
+          with
+          | Rm.Exec_ok { business_ok = true; _ } ->
+              Printf.sprintf "transferred:%d:%s->%s" amount from_acct to_acct
+          | Rm.Exec_ok { business_ok = false; _ } ->
+              (* user-level abort: this try's transaction is poisoned and
+                 will abort; the client will retry with attempt > 1 *)
+              "insufficient-funds"
+          | Rm.Exec_conflict key -> give_up_busy ctx ~db key
+          | Rm.Exec_rejected -> "error:rejected"
+        in
+        if ctx.Etx.Business.attempt = 1 then attempt_transfer ()
+        else
+          (* A previous try aborted. Re-check the balance: transfer again if
+             it suffices (the abort came from a crash or race), otherwise
+             compute a committable failure report (paper footnote 4). *)
+          match ctx.Etx.Business.exec ~db [ Rm.Get from_acct ] with
+          | Rm.Exec_ok { values = [ Some (Value.Int bal) ]; _ }
+            when bal >= amount ->
+              attempt_transfer ()
+          | Rm.Exec_ok { values = [ v ]; _ } ->
+              Printf.sprintf "failed:insufficient-funds:%s=%s" from_acct
+                (match v with
+                | Some value -> Value.to_string value
+                | None -> "0")
+          | Rm.Exec_ok _ | Rm.Exec_conflict _ | Rm.Exec_rejected ->
+              "failed:insufficient-funds")
+  }
+
+let audit =
+  {
+    Etx.Business.label = "bank-audit";
+    run =
+      (fun ctx ~body ->
+        let db = first_db ctx in
+        match ctx.Etx.Business.exec ~db [ Rm.Get body ] with
+        | Rm.Exec_ok { values = [ Some v ]; _ } ->
+            Printf.sprintf "balance:%s:%s" body (Value.to_string v)
+        | Rm.Exec_ok _ -> Printf.sprintf "balance:%s:none" body
+        | Rm.Exec_conflict key -> give_up_busy ctx ~db key
+        | Rm.Exec_rejected -> "error:rejected");
+  }
+
+let seed_accounts accounts =
+  List.map (fun (name, balance) -> (name, Value.Int balance)) accounts

@@ -1,0 +1,26 @@
+(** Bank-account business logic.
+
+    {!update} is the paper's measurement workload ("the application server
+    executes some SQL statements to update a bank account on a single
+    database"): it always commits, which makes latency runs uniform.
+    {!transfer} exercises user-level aborts: insufficient funds poison the
+    first try (the database then refuses to commit, per the paper's
+    modelling of user-level aborts), and later tries compute a committable
+    report instead — the paper's footnote-4 discipline. *)
+
+val update : Etx.Business.t
+(** Request body: ["<account>:<delta>"], e.g. ["acct42:+10"]. Adds [delta]
+    to the account balance on the first database. Result:
+    ["updated:<account>:<new-balance-if-read>"] — always committable. *)
+
+val transfer : Etx.Business.t
+(** Request body: ["<from>:<to>:<amount>"]. Guards [from >= amount]; debits
+    and credits on the first database. Results: ["transferred:..."] or (on
+    retries after a user-level abort) ["failed:insufficient-funds:..."]. *)
+
+val audit : Etx.Business.t
+(** Read-only: request body is an account name; the result reports its
+    balance. Commits trivially. *)
+
+val seed_accounts : (string * int) list -> (string * Dbms.Value.t) list
+(** Convenience: initial balances as database seed data. *)

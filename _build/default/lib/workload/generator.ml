@@ -1,0 +1,38 @@
+type kind =
+  | Bank_updates of { accounts : int; max_delta : int }
+  | Bank_transfers of { accounts : int; max_amount : int }
+  | Travel_bookings of { destinations : string list; max_party : int }
+
+let bodies ~seed ~n kind =
+  let rng = Dsim.Rng.create ~seed in
+  let body () =
+    match kind with
+    | Bank_updates { accounts; max_delta } ->
+        Printf.sprintf "acct%d:%d"
+          (Dsim.Rng.int rng accounts)
+          (1 + Dsim.Rng.int rng max_delta)
+    | Bank_transfers { accounts; max_amount } ->
+        let from_acct = Dsim.Rng.int rng accounts in
+        let to_acct = (from_acct + 1 + Dsim.Rng.int rng (max 1 (accounts - 1))) mod accounts in
+        Printf.sprintf "acct%d:acct%d:%d" from_acct to_acct
+          (1 + Dsim.Rng.int rng max_amount)
+    | Travel_bookings { destinations; max_party } ->
+        let dest =
+          List.nth destinations (Dsim.Rng.int rng (List.length destinations))
+        in
+        Printf.sprintf "%s:%d" dest (1 + Dsim.Rng.int rng max_party)
+  in
+  List.init n (fun _ -> body ())
+
+let business_of = function
+  | Bank_updates _ -> Bank.update
+  | Bank_transfers _ -> Bank.transfer
+  | Travel_bookings _ -> Travel.book
+
+let seed_data_of = function
+  | Bank_updates { accounts; _ } | Bank_transfers { accounts; _ } ->
+      Bank.seed_accounts
+        (List.init accounts (fun i -> (Printf.sprintf "acct%d" i, 10_000)))
+  | Travel_bookings { destinations; _ } ->
+      Travel.seed_inventory ~destinations ~seats:10_000 ~rooms:10_000
+        ~cars:10_000

@@ -1,0 +1,14 @@
+(** Deterministic request-body generators for stress runs and benchmarks. *)
+
+type kind =
+  | Bank_updates of { accounts : int; max_delta : int }
+  | Bank_transfers of { accounts : int; max_amount : int }
+  | Travel_bookings of { destinations : string list; max_party : int }
+
+val bodies : seed:int -> n:int -> kind -> string list
+(** [n] request bodies, reproducible for a given seed. *)
+
+val business_of : kind -> Etx.Business.t
+
+val seed_data_of : kind -> (string * Dbms.Value.t) list
+(** Matching initial database contents (generous balances/inventory). *)

@@ -1,0 +1,94 @@
+open Dbms
+
+let seats_key dest = "seats:" ^ dest
+let rooms_key dest = "rooms:" ^ dest
+let cars_key dest = "cars:" ^ dest
+
+let parse body =
+  match String.split_on_char ':' body with
+  | [ dest; party ] -> (dest, int_of_string party)
+  | _ -> invalid_arg ("Travel.book: bad request body " ^ body)
+
+(* Spread the three inventories over the available databases. *)
+let resource_dbs ctx =
+  match ctx.Etx.Business.dbs with
+  | [] -> invalid_arg "Travel.book: no databases"
+  | [ db ] -> (db, db, db)
+  | [ db1; db2 ] -> (db1, db2, db1)
+  | db1 :: db2 :: db3 :: _ -> (db1, db2, db3)
+
+let book =
+  {
+    Etx.Business.label = "travel-booking";
+    run =
+      (fun ctx ~body ->
+        let dest, party = parse body in
+        let flights_db, hotels_db, cars_db = resource_dbs ctx in
+        let exec = ctx.Etx.Business.exec in
+        let reserve db key n =
+          match exec ~db [ Rm.Ensure_min (key, n); Rm.Add (key, -n) ] with
+          | Rm.Exec_ok { business_ok = true; _ } -> `Reserved
+          | Rm.Exec_ok { business_ok = false; _ } -> `Sold_out
+          | Rm.Exec_conflict _ ->
+              (* exhausted lock-conflict retries: poison so this try aborts
+                 instead of committing a partial booking *)
+              ignore (exec ~db [ Rm.Fail ]);
+              `Busy
+          | Rm.Exec_rejected -> `Rejected
+        in
+        let availability () =
+          let read db key =
+            match exec ~db [ Rm.Get key ] with
+            | Rm.Exec_ok { values = [ Some (Value.Int n) ]; _ } -> n
+            | Rm.Exec_ok _ | Rm.Exec_conflict _ | Rm.Exec_rejected -> 0
+          in
+          Printf.sprintf "seats=%d,rooms=%d,cars=%d"
+            (read flights_db (seats_key dest))
+            (read hotels_db (rooms_key dest))
+            (read cars_db (cars_key dest))
+        in
+        let try_book () =
+          match reserve flights_db (seats_key dest) party with
+          | `Sold_out -> "sold-out:flight:" ^ dest
+          | `Busy | `Rejected -> "error:flight:" ^ dest
+          | `Reserved -> (
+              match reserve hotels_db (rooms_key dest) 1 with
+              | `Sold_out -> "sold-out:hotel:" ^ dest
+              | `Busy | `Rejected -> "error:hotel:" ^ dest
+              | `Reserved -> (
+                  match reserve cars_db (cars_key dest) 1 with
+                  | `Sold_out -> "sold-out:car:" ^ dest
+                  | `Busy | `Rejected -> "error:car:" ^ dest
+                  | `Reserved ->
+                      Printf.sprintf "booked:%s:flight+hotel+car:party=%d"
+                        dest party))
+        in
+        if ctx.Etx.Business.attempt = 1 then try_book ()
+        else begin
+          (* A previous try aborted. If the shelves are genuinely empty,
+             compute an informational result that will commit (paper
+             footnote 4); otherwise — the abort came from a crash or a
+             race — just book again. *)
+          let read db key =
+            match exec ~db [ Rm.Get key ] with
+            | Rm.Exec_ok { values = [ Some (Value.Int n) ]; _ } -> n
+            | Rm.Exec_ok _ | Rm.Exec_conflict _ | Rm.Exec_rejected -> 0
+          in
+          if
+            read flights_db (seats_key dest) >= party
+            && read hotels_db (rooms_key dest) >= 1
+            && read cars_db (cars_key dest) >= 1
+          then try_book ()
+          else Printf.sprintf "unavailable:%s:%s" dest (availability ())
+        end);
+  }
+
+let seed_inventory ~destinations ~seats ~rooms ~cars =
+  List.concat_map
+    (fun dest ->
+      [
+        (seats_key dest, Value.Int seats);
+        (rooms_key dest, Value.Int rooms);
+        (cars_key dest, Value.Int cars);
+      ])
+    destinations

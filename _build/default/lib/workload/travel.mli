@@ -1,0 +1,24 @@
+(** The paper's motivating travel application: a request books a flight, a
+    hotel and a rental car; the result carries the reservation details.
+
+    Resources are spread across the deployment's databases round-robin
+    (flight inventory on db1, hotels on db2, cars on db3 when three
+    databases exist — all on db1 otherwise), so the prepare phase really
+    exercises multi-database atomic commitment. A sold-out resource fails an
+    [Ensure_min] guard: the try aborts (user-level abort) and the retry
+    reports the shortage as a committable result. *)
+
+val book : Etx.Business.t
+(** Request body: ["<destination>:<party-size>"]. *)
+
+val seed_inventory :
+  destinations:string list ->
+  seats:int ->
+  rooms:int ->
+  cars:int ->
+  (string * Dbms.Value.t) list
+(** Inventory keys: ["seats:<dest>"], ["rooms:<dest>"], ["cars:<dest>"]. *)
+
+val seats_key : string -> string
+val rooms_key : string -> string
+val cars_key : string -> string

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dbms Dnet Dsim Dstore Etx List Printf Workload

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Dnet Dsim Engine Fdetect Fun List Netmodel Printf QCheck QCheck_alcotest Rchannel Types

@@ -1,0 +1,1 @@
+test/test_dbms.ml: Alcotest Dbms Dnet Dsim Dstore Gen List Option Printf QCheck QCheck_alcotest Rm Server Stub Value Xid

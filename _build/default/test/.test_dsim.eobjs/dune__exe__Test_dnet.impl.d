@@ -1,0 +1,1 @@
+test/test_dnet.ml: Alcotest Dnet Dsim Engine Fdetect List Netmodel QCheck QCheck_alcotest Rchannel Rng Types

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Dsim Engine Hashtbl Heap List Option Printf QCheck QCheck_alcotest Rng Trace Types

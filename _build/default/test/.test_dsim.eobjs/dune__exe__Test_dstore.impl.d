@@ -1,0 +1,1 @@
+test/test_dstore.ml: Alcotest Dsim Dstore Engine List QCheck QCheck_alcotest Trace

@@ -1,0 +1,1 @@
+test/test_etx.ml: Alcotest Appserver Business Client Dbms Deployment Dnet Dsim Etx Etx_types Hashtbl List Option Printf QCheck QCheck_alcotest Spec String Workload

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Dnet Dsim Etx Experiments Float Harness Lazy List Msgclass Printf Seqdiag String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dbms Etx List QCheck QCheck_alcotest String Workload

@@ -1,0 +1,598 @@
+(* Tests for the consensus agent and write-once registers. *)
+
+open Dsim
+open Dnet
+
+type Types.payload += V of int
+
+let int_of_v = function V n -> n | _ -> Alcotest.fail "expected V payload"
+
+(* Build [n] member processes (pids 0..n-1, spawned first so pids are
+   known). Each runs [behave i agent] after starting its stack. Returns a
+   record of observations per member. *)
+let members_scenario ?(seed = 1) ?(net = Netmodel.lan ()) ?(oracle_fd = true)
+    ~n ~behave () =
+  let t = Engine.create ~seed ~net () in
+  let peers = List.init n (fun i -> i) in
+  let spawn_member i =
+    let pid =
+      Engine.spawn t ~name:(Printf.sprintf "a%d" (i + 1))
+        ~main:(fun ~recovery:_ () ->
+          let ch = Rchannel.create () in
+          Rchannel.start ch;
+          let fd =
+            if oracle_fd then Fdetect.oracle t
+            else Fdetect.heartbeat ~peers ()
+          in
+          Fdetect.start fd;
+          let agent = Consensus.Agent.create ~peers ~fd ~ch () in
+          Consensus.Agent.start agent;
+          behave i agent)
+    in
+    assert (pid = i)
+  in
+  List.iter spawn_member peers;
+  t
+
+let test_single_proposer_decides () =
+  let decisions = Array.make 3 None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 0 then
+          decisions.(i) <- Some (Consensus.Agent.propose agent ~key:"k" (V 7))
+        else begin
+          (* learn passively *)
+          Engine.sleep 500.;
+          decisions.(i) <- Consensus.Agent.peek agent ~key:"k"
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:2_000. t);
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some v -> Alcotest.(check int) (Printf.sprintf "member %d" i) 7 (int_of_v v)
+      | None -> Alcotest.fail (Printf.sprintf "member %d undecided" i))
+    decisions
+
+let test_concurrent_proposers_agree () =
+  let decisions = Array.make 3 None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        decisions.(i) <-
+          Some (Consensus.Agent.propose agent ~key:"k" (V (100 + i))))
+      ()
+  in
+  ignore (Engine.run ~deadline:5_000. t);
+  let values = Array.to_list decisions |> List.filter_map Fun.id |> List.map int_of_v in
+  Alcotest.(check int) "all decided" 3 (List.length values);
+  (match values with
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check int) "agreement" v v') rest;
+      Alcotest.(check bool) "validity" true (List.mem v [ 100; 101; 102 ])
+  | [] -> Alcotest.fail "no decisions")
+
+let test_decision_survives_coordinator_crash_after_decide () =
+  (* a1 (round-0 coordinator) proposes and decides, then crashes; others
+     must still learn the decision (reliable broadcast / forwarding). *)
+  let decisions = Array.make 3 None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 0 then begin
+          decisions.(i) <- Some (Consensus.Agent.propose agent ~key:"k" (V 1))
+        end
+        else begin
+          Engine.sleep 1_000.;
+          decisions.(i) <- Consensus.Agent.peek agent ~key:"k"
+        end)
+      ()
+  in
+  Engine.crash_at t 50. 0;
+  ignore (Engine.run ~deadline:3_000. t);
+  (match decisions.(1) with
+  | Some v -> Alcotest.(check int) "a2 learned" 1 (int_of_v v)
+  | None -> Alcotest.fail "a2 undecided");
+  match decisions.(2) with
+  | Some v -> Alcotest.(check int) "a3 learned" 1 (int_of_v v)
+  | None -> Alcotest.fail "a3 undecided"
+
+let test_crashed_initial_coordinator_rotation () =
+  (* a1 crashes immediately; a2 proposes; rotation must reach a decision. *)
+  let decisions = Array.make 3 None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 1 then begin
+          Engine.sleep 20.;
+          decisions.(i) <- Some (Consensus.Agent.propose agent ~key:"k" (V 42))
+        end
+        else Engine.sleep infinity)
+      ()
+  in
+  Engine.crash_at t 1. 0;
+  let decided = Engine.run_until ~deadline:10_000. t (fun () -> decisions.(1) <> None) in
+  Alcotest.(check bool) "decided despite crashed coordinator" true decided;
+  match decisions.(1) with
+  | Some v -> Alcotest.(check int) "a2's value" 42 (int_of_v v)
+  | None -> Alcotest.fail "undecided"
+
+let test_latency_one_round_trip_for_primary () =
+  (* Nice run: primary write completes in about one LAN round trip (the
+     paper's 4-5 ms claim), well under two round trips. *)
+  let elapsed = ref infinity in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 0 then begin
+          let t0 = Engine.now () in
+          ignore (Consensus.Agent.propose agent ~key:"k" (V 7));
+          elapsed := Engine.now () -. t0
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:1_000. t);
+  Alcotest.(check bool)
+    (Printf.sprintf "one round trip (got %.2f ms)" !elapsed)
+    true
+    (!elapsed < 7.0)
+
+let test_five_members_minority_crash () =
+  let decisions = Array.make 5 None in
+  let t =
+    members_scenario ~n:5
+      ~behave:(fun i agent ->
+        if i >= 2 then begin
+          Engine.sleep 10.;
+          decisions.(i) <-
+            Some (Consensus.Agent.propose agent ~key:"k" (V i))
+        end
+        else Engine.sleep infinity)
+      ()
+  in
+  Engine.crash_at t 1. 0;
+  Engine.crash_at t 1. 1;
+  let all_decided () = decisions.(2) <> None && decisions.(3) <> None && decisions.(4) <> None in
+  let ok = Engine.run_until ~deadline:20_000. t all_decided in
+  Alcotest.(check bool) "all correct decided" true ok;
+  let values = Array.to_list decisions |> List.filter_map Fun.id |> List.map int_of_v in
+  match values with
+  | v :: rest -> List.iter (fun v' -> Alcotest.(check int) "agreement" v v') rest
+  | [] -> Alcotest.fail "no decisions"
+
+(* ------------------------------------------------------------------ *)
+(* Write-once registers *)
+
+let test_woreg_write_once () =
+  let results = Array.make 3 None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        let reg = Consensus.Woreg.array agent ~name:"regA:r0" in
+        results.(i) <- Some (Consensus.Woreg.write reg ~j:1 (V i)))
+      ()
+  in
+  ignore (Engine.run ~deadline:5_000. t);
+  let values = Array.to_list results |> List.filter_map Fun.id |> List.map int_of_v in
+  Alcotest.(check int) "all writes returned" 3 (List.length values);
+  match values with
+  | v :: rest -> List.iter (fun v' -> Alcotest.(check int) "single written value" v v') rest
+  | [] -> Alcotest.fail "no writes"
+
+let test_woreg_read_bottom_then_value () =
+  let before = ref (Some (V 999)) in
+  let after = ref None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        let reg = Consensus.Woreg.array agent ~name:"regD:r0" in
+        if i = 1 then begin
+          before := Consensus.Woreg.read reg ~j:1;
+          Engine.sleep 200.;
+          after := Consensus.Woreg.read reg ~j:1
+        end
+        else if i = 0 then begin
+          Engine.sleep 10.;
+          ignore (Consensus.Woreg.write reg ~j:1 (V 5))
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:2_000. t);
+  Alcotest.(check bool) "⊥ before any write" true (!before = None);
+  match !after with
+  | Some v -> Alcotest.(check int) "value after write" 5 (int_of_v v)
+  | None -> Alcotest.fail "read still ⊥ after write"
+
+let test_woreg_distinct_indices_independent () =
+  let r1 = ref None and r2 = ref None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        let reg = Consensus.Woreg.array agent ~name:"regA:r1" in
+        if i = 0 then r1 := Some (Consensus.Woreg.write reg ~j:1 (V 10))
+        else if i = 1 then r2 := Some (Consensus.Woreg.write reg ~j:2 (V 20)))
+      ()
+  in
+  ignore (Engine.run ~deadline:5_000. t);
+  Alcotest.(check bool) "j=1 got 10" true
+    (match !r1 with Some v -> int_of_v v = 10 | None -> false);
+  Alcotest.(check bool) "j=2 got 20" true
+    (match !r2 with Some v -> int_of_v v = 20 | None -> false)
+
+let test_woreg_distinct_arrays_independent () =
+  let ra = ref None and rd = ref None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 0 then begin
+          let a = Consensus.Woreg.array agent ~name:"regA:r2" in
+          let d = Consensus.Woreg.array agent ~name:"regD:r2" in
+          ra := Some (Consensus.Woreg.write a ~j:1 (V 1));
+          rd := Some (Consensus.Woreg.write d ~j:1 (V 2))
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:5_000. t);
+  Alcotest.(check bool) "regA independent" true
+    (match !ra with Some v -> int_of_v v = 1 | None -> false);
+  Alcotest.(check bool) "regD independent" true
+    (match !rd with Some v -> int_of_v v = 2 | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The Synod (Paxos) register backend *)
+
+let synod_scenario ?(seed = 1) ?(net = Netmodel.lan ()) ~n ~behave () =
+  let t = Engine.create ~seed ~net () in
+  let peers = List.init n (fun i -> i) in
+  List.iteri
+    (fun i _ ->
+      let pid =
+        Engine.spawn t ~name:(Printf.sprintf "s%d" (i + 1))
+          ~main:(fun ~recovery:_ () ->
+            let ch = Rchannel.create () in
+            Rchannel.start ch;
+            let synod = Consensus.Synod.create ~peers ~ch () in
+            Consensus.Synod.start synod;
+            behave i synod)
+      in
+      assert (pid = i))
+    peers;
+  t
+
+let test_synod_primary_fast_path () =
+  let elapsed = ref infinity in
+  let decided = Array.make 3 None in
+  let t =
+    synod_scenario ~n:3
+      ~behave:(fun i synod ->
+        if i = 0 then begin
+          let t0 = Engine.now () in
+          decided.(i) <- Some (Consensus.Synod.propose synod ~key:"k" (V 7));
+          elapsed := Engine.now () -. t0
+        end
+        else begin
+          Engine.sleep 300.;
+          decided.(i) <- Consensus.Synod.peek synod ~key:"k"
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:2_000. t);
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some v -> Alcotest.(check int) (Printf.sprintf "s%d learned" i) 7 (int_of_v v)
+      | None -> Alcotest.failf "s%d undecided" i)
+    decided;
+  Alcotest.(check bool)
+    (Printf.sprintf "ballot-0 fast path: one round trip (%.2f ms)" !elapsed)
+    true (!elapsed < 7.
+
+)
+
+let test_synod_backup_writes_without_fd_wait () =
+  (* The primary is dead; a backup proposer needs both phases but NO
+     failure-detection wait: decision in a few round trips. *)
+  let elapsed = ref infinity in
+  let t =
+    synod_scenario ~n:3
+      ~behave:(fun i synod ->
+        if i = 1 then begin
+          Engine.sleep 10.;
+          let t0 = Engine.now () in
+          ignore (Consensus.Synod.propose synod ~key:"k" (V 42));
+          elapsed := Engine.now () -. t0
+        end)
+      ()
+  in
+  Engine.crash_at t 1. 0;
+  let ok = Engine.run_until ~deadline:10_000. t (fun () -> !elapsed < infinity) in
+  Alcotest.(check bool) "decided" true ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "two phases, no detector wait (%.2f ms)" !elapsed)
+    true (!elapsed < 15.)
+
+let test_synod_concurrent_writers_write_once () =
+  let results = Array.make 3 None in
+  let t =
+    synod_scenario ~n:3
+      ~behave:(fun i synod ->
+        results.(i) <- Some (Consensus.Synod.propose synod ~key:"k" (V (100 + i))))
+      ()
+  in
+  ignore (Engine.run ~deadline:30_000. t);
+  let values = Array.to_list results |> List.filter_map Fun.id |> List.map int_of_v in
+  Alcotest.(check int) "all returned" 3 (List.length values);
+  match values with
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check int) "write-once" v v') rest;
+      Alcotest.(check bool) "validity" true (List.mem v [ 100; 101; 102 ])
+  | [] -> Alcotest.fail "no values"
+
+let test_synod_majority_crash_blocks () =
+  let decided = ref false in
+  let t =
+    synod_scenario ~n:3
+      ~behave:(fun i synod ->
+        if i = 2 then begin
+          Engine.sleep 20.;
+          ignore (Consensus.Synod.propose synod ~key:"k" (V 1));
+          decided := true
+        end)
+      ()
+  in
+  Engine.crash_at t 1. 0;
+  Engine.crash_at t 1. 1;
+  ignore (Engine.run ~deadline:3_000. t);
+  Alcotest.(check bool) "no quorum, no decision" false !decided
+
+let test_synod_adopts_partially_accepted_value () =
+  (* The Paxos safety crux: proposer s1 (ballot 0) gets its value accepted
+     at ONE acceptor (s3) and crashes; the link s1→s2 is cut so s2 never
+     saw it. When s2 later proposes its own value, its phase-1 quorum must
+     include s3, discover the ballot-0 acceptance, and adopt s1's value —
+     even though s1 never finished. *)
+  let net _rng ~src ~dst =
+    if src = 0 && dst = 1 then [] (* s1 -> s2 cut *) else [ 2.0 ]
+  in
+  let result = ref None in
+  let t =
+    synod_scenario ~net ~n:3
+      ~behave:(fun i synod ->
+        if i = 0 then begin
+          Engine.sleep 5.;
+          ignore (Consensus.Synod.propose synod ~key:"k" (V 111))
+        end
+        else if i = 1 then begin
+          Engine.sleep 100.;
+          result := Some (Consensus.Synod.propose synod ~key:"k" (V 222))
+        end)
+      ()
+  in
+  (* s1 crashes just after its accepts left, before any reply came back *)
+  Engine.crash_at t 6. 0;
+  let ok = Engine.run_until ~deadline:30_000. t (fun () -> !result <> None) in
+  Alcotest.(check bool) "decided" true ok;
+  match !result with
+  | Some v ->
+      Alcotest.(check int) "the dead proposer's value was adopted" 111
+        (int_of_v v)
+  | None -> Alcotest.fail "no decision"
+
+let prop_synod_agreement_under_faults =
+  QCheck.Test.make ~name:"synod agreement under loss and a crash" ~count:30
+    QCheck.(triple (int_range 0 100_000) (float_range 0. 0.2) (int_range 0 2))
+    (fun (seed, loss, victim) ->
+      let n = 3 in
+      let results = Array.make n None in
+      let net = Netmodel.lossy ~loss (Netmodel.lan ()) in
+      let t =
+        synod_scenario ~seed ~net ~n
+          ~behave:(fun i synod ->
+            results.(i) <-
+              Some (Consensus.Synod.propose synod ~key:"k" (V (100 + i))))
+          ()
+      in
+      Engine.crash_at t (float_of_int (seed mod 13)) victim;
+      let correct = List.filter (fun i -> i <> victim) [ 0; 1; 2 ] in
+      let all_done () = List.for_all (fun i -> results.(i) <> None) correct in
+      Engine.run_until ~deadline:120_000. t all_done
+      &&
+      let values =
+        List.filter_map (fun i -> results.(i)) correct |> List.map int_of_v
+      in
+      match values with
+      | v :: rest -> List.for_all (( = ) v) rest && List.mem v [ 100; 101; 102 ]
+      | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* garbage collection *)
+
+let test_forget_and_collect () =
+  let counts = ref (-1, -1, -1) in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 0 then begin
+          ignore (Consensus.Agent.propose agent ~key:"a" (V 1));
+          ignore (Consensus.Agent.propose agent ~key:"b" (V 2));
+          Engine.sleep 100.;
+          let before = Consensus.Agent.instance_count agent in
+          Consensus.Agent.forget agent ~key:"a";
+          let mid = Consensus.Agent.instance_count agent in
+          let swept =
+            Consensus.Agent.collect agent ~older_than:(Engine.now ())
+          in
+          ignore swept;
+          counts := (before, mid, Consensus.Agent.instance_count agent)
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:2_000. t);
+  let before, mid, after = !counts in
+  Alcotest.(check int) "two instances" 2 before;
+  Alcotest.(check int) "one after forget" 1 mid;
+  Alcotest.(check int) "none after collect" 0 after
+
+let test_collect_respects_age () =
+  let result = ref (-1) in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 0 then begin
+          ignore (Consensus.Agent.propose agent ~key:"old" (V 1));
+          Engine.sleep 500.;
+          ignore (Consensus.Agent.propose agent ~key:"young" (V 2));
+          (* collect only what was decided more than 100 ms ago *)
+          let _ =
+            Consensus.Agent.collect agent
+              ~older_than:(Engine.now () -. 100.)
+          in
+          result := Consensus.Agent.instance_count agent
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:5_000. t);
+  Alcotest.(check int) "young instance kept" 1 !result
+
+let test_latecomer_gets_decide_after_driver_exit () =
+  (* A server that asks about an instance long after it was decided (and
+     its driver exited) must still learn the decision — the dispatcher's
+     decided-instance service. *)
+  let late = ref None in
+  let t =
+    members_scenario ~n:3
+      ~behave:(fun i agent ->
+        if i = 0 then ignore (Consensus.Agent.propose agent ~key:"k" (V 9))
+        else if i = 1 then begin
+          (* forget locally, then re-propose: the fresh driver's messages
+             hit peers whose drivers are long gone *)
+          Engine.sleep 300.;
+          Consensus.Agent.collect agent ~older_than:(Engine.now ()) |> ignore;
+          late := Some (Consensus.Agent.propose agent ~key:"k" (V 42))
+        end)
+      ()
+  in
+  ignore (Engine.run ~deadline:10_000. t);
+  match !late with
+  | Some v ->
+      (* the old decision wins: peers answer C_decide from their memory *)
+      Alcotest.(check int) "old decision returned" 9 (int_of_v v)
+  | None -> Alcotest.fail "late proposer got nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Properties under random loss, delay, crashes and real failure
+   detectors. *)
+
+let prop_agreement_under_faults =
+  QCheck.Test.make ~name:"consensus agreement+validity under faults" ~count:40
+    QCheck.(
+      triple (int_range 0 100_000) (float_range 0. 0.2) (int_range 0 2))
+    (fun (seed, loss, crash_member) ->
+      let n = 3 in
+      let decisions = Array.make n None in
+      let net = Netmodel.lossy ~loss (Netmodel.lan ()) in
+      let t =
+        members_scenario ~seed ~net ~oracle_fd:false ~n
+          ~behave:(fun i agent ->
+            decisions.(i) <-
+              Some (Consensus.Agent.propose agent ~key:"k" (V (100 + i))))
+          ()
+      in
+      (* crash one member (a minority) at a random-ish time *)
+      Engine.crash_at t (float_of_int (seed mod 17)) crash_member;
+      let correct = List.filter (fun i -> i <> crash_member) [ 0; 1; 2 ] in
+      let all_correct_decided () =
+        List.for_all (fun i -> decisions.(i) <> None) correct
+      in
+      let ok = Engine.run_until ~deadline:60_000. t all_correct_decided in
+      (* termination for correct members *)
+      ok
+      &&
+      (* agreement + validity among those decided *)
+      let values =
+        List.filter_map (fun i -> decisions.(i)) correct |> List.map int_of_v
+      in
+      match values with
+      | [] -> false
+      | v :: rest ->
+          List.for_all (( = ) v) rest && List.mem v [ 100; 101; 102 ])
+
+let prop_write_once_under_concurrency =
+  QCheck.Test.make ~name:"wo-register write-once under concurrent writers"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n = 3 in
+      let results = Array.make n None in
+      let t =
+        members_scenario ~seed ~n
+          ~behave:(fun i agent ->
+            let reg = Consensus.Woreg.array agent ~name:"reg" in
+            Engine.sleep (float_of_int (seed mod (i + 2)));
+            results.(i) <- Some (Consensus.Woreg.write reg ~j:7 (V i)))
+          ()
+      in
+      ignore (Engine.run ~deadline:30_000. t);
+      let values =
+        Array.to_list results |> List.filter_map Fun.id |> List.map int_of_v
+      in
+      List.length values = n
+      && match values with v :: rest -> List.for_all (( = ) v) rest | [] -> false)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "consensus"
+    [
+      ( "agent",
+        [
+          Alcotest.test_case "single proposer" `Quick
+            test_single_proposer_decides;
+          Alcotest.test_case "concurrent proposers agree" `Quick
+            test_concurrent_proposers_agree;
+          Alcotest.test_case "decision survives crash" `Quick
+            test_decision_survives_coordinator_crash_after_decide;
+          Alcotest.test_case "coordinator rotation" `Quick
+            test_crashed_initial_coordinator_rotation;
+          Alcotest.test_case "primary writes in one round trip" `Quick
+            test_latency_one_round_trip_for_primary;
+          Alcotest.test_case "five members, minority crash" `Quick
+            test_five_members_minority_crash;
+          q prop_agreement_under_faults;
+        ] );
+      ( "woreg",
+        [
+          Alcotest.test_case "write-once" `Quick test_woreg_write_once;
+          Alcotest.test_case "read ⊥ then value" `Quick
+            test_woreg_read_bottom_then_value;
+          Alcotest.test_case "indices independent" `Quick
+            test_woreg_distinct_indices_independent;
+          Alcotest.test_case "arrays independent" `Quick
+            test_woreg_distinct_arrays_independent;
+          q prop_write_once_under_concurrency;
+        ] );
+      ( "synod",
+        [
+          Alcotest.test_case "primary fast path" `Quick
+            test_synod_primary_fast_path;
+          Alcotest.test_case "backup writes without fd wait" `Quick
+            test_synod_backup_writes_without_fd_wait;
+          Alcotest.test_case "concurrent writers, write-once" `Quick
+            test_synod_concurrent_writers_write_once;
+          Alcotest.test_case "majority crash blocks" `Quick
+            test_synod_majority_crash_blocks;
+          Alcotest.test_case "adopts partially-accepted value" `Quick
+            test_synod_adopts_partially_accepted_value;
+          q prop_synod_agreement_under_faults;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "forget and collect" `Quick
+            test_forget_and_collect;
+          Alcotest.test_case "collect respects age" `Quick
+            test_collect_respects_age;
+          Alcotest.test_case "latecomer after local GC" `Quick
+            test_latecomer_gets_decide_after_driver_exit;
+        ] );
+    ]

@@ -1,0 +1,823 @@
+(* Tests for the transactional resource manager and the database server
+   process: XA semantics, locking, durability, recovery, and the
+   concurrency races between the vote/decide/exec paths. *)
+
+open Dbms
+
+(* Run [f] inside a single-fiber simulation. Most RM entry points charge
+   virtual time and therefore must run inside a fiber. *)
+let in_sim f =
+  let t = Dsim.Engine.create () in
+  let result = ref None in
+  let _ =
+    Dsim.Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        result := Some (f t))
+  in
+  ignore (Dsim.Engine.run t);
+  match !result with Some r -> r | None -> Alcotest.fail "fiber did not run"
+
+let fresh_rm ?(timing = Rm.zero_timing) ?(seed_data = []) ?(force_latency = 1.)
+    () =
+  let disk = Dstore.Disk.create ~force_latency ~label:"log" () in
+  Rm.create ~timing ~seed_data ~disk ~name:"db-test" ()
+
+let xid ?(rid = 1) j = Xid.make ~rid ~j
+
+let exec_ok = function
+  | Rm.Exec_ok { business_ok; _ } -> business_ok
+  | Rm.Exec_conflict _ -> Alcotest.fail "unexpected conflict"
+  | Rm.Exec_rejected -> Alcotest.fail "unexpected rejection"
+
+let phase_str rm x =
+  match Rm.phase_of rm x with
+  | None -> "?"
+  | Some Rm.Active -> "active"
+  | Some Rm.Prepared -> "prepared"
+  | Some Rm.Committed -> "committed"
+  | Some Rm.Aborted -> "aborted"
+
+(* ------------------------------------------------------------------ *)
+(* exec semantics *)
+
+let test_exec_put_get () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      (match Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 5); Rm.Get "k" ] with
+      | Rm.Exec_ok { values = [ Some (Value.Int 5) ]; business_ok = true } -> ()
+      | _ -> Alcotest.fail "put/get inside workspace");
+      (* not committed yet *)
+      Alcotest.(check (option bool)) "not visible before commit" None
+        (Option.map (fun _ -> true) (Rm.read_committed rm "k")))
+
+let test_exec_add_semantics () =
+  in_sim (fun _ ->
+      let rm = fresh_rm ~seed_data:[ ("n", Value.Int 10) ] () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Add ("n", 5); Rm.Add ("n", 3) ]);
+      (match Rm.exec rm ~xid:x [ Rm.Get "n" ] with
+      | Rm.Exec_ok { values = [ Some (Value.Int 18) ]; _ } -> ()
+      | _ -> Alcotest.fail "adds accumulate in workspace");
+      (* Add on a missing key starts from zero *)
+      ignore (Rm.exec rm ~xid:x [ Rm.Add ("fresh", 7) ]);
+      match Rm.exec rm ~xid:x [ Rm.Get "fresh" ] with
+      | Rm.Exec_ok { values = [ Some (Value.Int 7) ]; _ } -> ()
+      | _ -> Alcotest.fail "add on missing key")
+
+let test_exec_guard_pass_and_fail () =
+  in_sim (fun _ ->
+      let rm = fresh_rm ~seed_data:[ ("bal", Value.Int 50) ] () in
+      let x1 = xid 1 in
+      Rm.xa_start rm ~xid:x1;
+      Alcotest.(check bool) "guard passes" true
+        (exec_ok (Rm.exec rm ~xid:x1 [ Rm.Ensure_min ("bal", 50) ]));
+      let x2 = xid 2 in
+      Rm.xa_start rm ~xid:x2;
+      Alcotest.(check bool) "guard fails" false
+        (exec_ok (Rm.exec rm ~xid:x2 [ Rm.Ensure_min ("bal", 51) ]));
+      (* the poisoned transaction votes no *)
+      Alcotest.(check bool) "poisoned votes no" true
+        (Rm.vote rm ~xid:x2 = Rm.No))
+
+let test_exec_fail_op_poisons () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      Alcotest.(check bool) "fail op" false
+        (exec_ok (Rm.exec rm ~xid:x [ Rm.Fail ]));
+      Alcotest.(check bool) "votes no" true (Rm.vote rm ~xid:x = Rm.No))
+
+let test_exec_type_mismatch_poisons () =
+  in_sim (fun _ ->
+      let rm = fresh_rm ~seed_data:[ ("s", Value.Str "hello") ] () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      Alcotest.(check bool) "add on string" false
+        (exec_ok (Rm.exec rm ~xid:x [ Rm.Add ("s", 1) ])))
+
+let test_exec_requires_xa_start () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      match Rm.exec rm ~xid:(xid 1) [ Rm.Get "k" ] with
+      | Rm.Exec_rejected -> ()
+      | Rm.Exec_ok _ | Rm.Exec_conflict _ ->
+          Alcotest.fail "exec without xa_start must be rejected")
+
+let test_exec_after_prepare_rejected () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+      Alcotest.(check bool) "vote yes" true (Rm.vote rm ~xid:x = Rm.Yes);
+      match Rm.exec rm ~xid:x [ Rm.Get "k" ] with
+      | Rm.Exec_rejected -> ()
+      | Rm.Exec_ok _ | Rm.Exec_conflict _ ->
+          Alcotest.fail "exec after prepare must be rejected")
+
+(* ------------------------------------------------------------------ *)
+(* locks *)
+
+let test_lock_conflict () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x1 = xid 1 and x2 = xid 2 in
+      Rm.xa_start rm ~xid:x1;
+      Rm.xa_start rm ~xid:x2;
+      ignore (Rm.exec rm ~xid:x1 [ Rm.Put ("k", Value.Int 1) ]);
+      (match Rm.exec rm ~xid:x2 [ Rm.Put ("k", Value.Int 2) ] with
+      | Rm.Exec_conflict "k" -> ()
+      | _ -> Alcotest.fail "expected conflict on k");
+      (* reads and guards do not take write locks *)
+      match Rm.exec rm ~xid:x2 [ Rm.Get "k"; Rm.Ensure_min ("k", 0) ] with
+      | Rm.Exec_ok _ -> ()
+      | _ -> Alcotest.fail "reads should not conflict")
+
+let test_conflict_has_no_side_effect () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x1 = xid 1 and x2 = xid 2 in
+      Rm.xa_start rm ~xid:x1;
+      Rm.xa_start rm ~xid:x2;
+      ignore (Rm.exec rm ~xid:x1 [ Rm.Put ("a", Value.Int 1) ]);
+      (* batch that conflicts on [a] must not lock [b] either *)
+      (match Rm.exec rm ~xid:x2 [ Rm.Put ("b", Value.Int 2); Rm.Put ("a", Value.Int 2) ] with
+      | Rm.Exec_conflict _ -> ()
+      | _ -> Alcotest.fail "expected conflict");
+      Alcotest.(check (list (pair string bool)))
+        "only x1's lock exists"
+        [ ("a", true) ]
+        (List.map (fun (k, o) -> (k, Xid.equal o x1)) (Rm.locks_held rm)))
+
+let test_locks_released_on_decide () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x1 = xid 1 in
+      Rm.xa_start rm ~xid:x1;
+      ignore (Rm.exec rm ~xid:x1 [ Rm.Put ("k", Value.Int 1) ]);
+      ignore (Rm.vote rm ~xid:x1);
+      Alcotest.(check int) "lock held while prepared" 1
+        (List.length (Rm.locks_held rm));
+      ignore (Rm.decide rm ~xid:x1 Rm.Commit);
+      Alcotest.(check int) "released after commit" 0
+        (List.length (Rm.locks_held rm));
+      (* a second transaction can now take the lock *)
+      let x2 = xid 2 in
+      Rm.xa_start rm ~xid:x2;
+      match Rm.exec rm ~xid:x2 [ Rm.Put ("k", Value.Int 9) ] with
+      | Rm.Exec_ok _ -> ()
+      | _ -> Alcotest.fail "lock should be free")
+
+let test_locks_released_on_abort () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+      ignore (Rm.decide rm ~xid:x Rm.Abort);
+      Alcotest.(check int) "released" 0 (List.length (Rm.locks_held rm)))
+
+(* ------------------------------------------------------------------ *)
+(* vote / decide: the paper's contract *)
+
+let test_vote_unknown_is_no () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      Alcotest.(check bool) "unknown votes no" true
+        (Rm.vote rm ~xid:(xid 99) = Rm.No))
+
+let test_vote_idempotent () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+      Alcotest.(check bool) "first yes" true (Rm.vote rm ~xid:x = Rm.Yes);
+      Alcotest.(check bool) "second yes" true (Rm.vote rm ~xid:x = Rm.Yes);
+      Alcotest.(check string) "still prepared" "prepared" (phase_str rm x))
+
+let test_decide_rule_a_abort_in_abort_out () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+      ignore (Rm.vote rm ~xid:x);
+      Alcotest.(check bool) "abort in, abort out" true
+        (Rm.decide rm ~xid:x Rm.Abort = Rm.Abort);
+      Alcotest.(check (option bool)) "write discarded" None
+        (Option.map (fun _ -> true) (Rm.read_committed rm "k")))
+
+let test_decide_rule_b_yes_commit () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 7) ]);
+      Alcotest.(check bool) "yes" true (Rm.vote rm ~xid:x = Rm.Yes);
+      Alcotest.(check bool) "commit in, commit out" true
+        (Rm.decide rm ~xid:x Rm.Commit = Rm.Commit);
+      Alcotest.(check bool) "write applied" true
+        (Rm.read_committed rm "k" = Some (Value.Int 7)))
+
+let test_decide_commit_without_prepare_aborts () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 7) ]);
+      (* V.2-violating input: commit an unprepared transaction *)
+      Alcotest.(check bool) "defensive abort" true
+        (Rm.decide rm ~xid:x Rm.Commit = Rm.Abort);
+      Alcotest.(check (option bool)) "nothing applied" None
+        (Option.map (fun _ -> true) (Rm.read_committed rm "k")))
+
+let test_decide_idempotent_and_sticky () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 7) ]);
+      ignore (Rm.vote rm ~xid:x);
+      ignore (Rm.decide rm ~xid:x Rm.Commit);
+      Alcotest.(check bool) "re-decide commit" true
+        (Rm.decide rm ~xid:x Rm.Commit = Rm.Commit);
+      (* even a (protocol-violating) late abort input gets the truth back *)
+      Alcotest.(check bool) "decided outcome is sticky" true
+        (Rm.decide rm ~xid:x Rm.Abort = Rm.Commit))
+
+let test_decide_unknown_abort_recorded () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 5 in
+      Alcotest.(check bool) "abort unknown" true
+        (Rm.decide rm ~xid:x Rm.Abort = Rm.Abort);
+      Alcotest.(check string) "recorded" "aborted" (phase_str rm x))
+
+let test_commit_one_phase () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 3) ]);
+      Alcotest.(check bool) "1pc commit" true
+        (Rm.commit_one_phase rm ~xid:x = Rm.Commit);
+      Alcotest.(check bool) "applied" true
+        (Rm.read_committed rm "k" = Some (Value.Int 3));
+      (* poisoned transaction cannot 1pc-commit *)
+      let x2 = xid 2 in
+      Rm.xa_start rm ~xid:x2;
+      ignore (Rm.exec rm ~xid:x2 [ Rm.Fail ]);
+      Alcotest.(check bool) "poisoned aborts" true
+        (Rm.commit_one_phase rm ~xid:x2 = Rm.Abort);
+      (* unknown transaction cannot 1pc-commit *)
+      Alcotest.(check bool) "unknown aborts" true
+        (Rm.commit_one_phase rm ~xid:(xid 9) = Rm.Abort))
+
+(* ------------------------------------------------------------------ *)
+(* durability and recovery *)
+
+let test_recovery_committed_survive_active_lost () =
+  in_sim (fun _ ->
+      let rm = fresh_rm ~seed_data:[ ("base", Value.Int 1) ] () in
+      let xc = xid 1 and xa = xid 2 in
+      Rm.xa_start rm ~xid:xc;
+      ignore (Rm.exec rm ~xid:xc [ Rm.Put ("committed", Value.Int 10) ]);
+      ignore (Rm.vote rm ~xid:xc);
+      ignore (Rm.decide rm ~xid:xc Rm.Commit);
+      Rm.xa_start rm ~xid:xa;
+      ignore (Rm.exec rm ~xid:xa [ Rm.Put ("active", Value.Int 20) ]);
+      (* crash: replay the log *)
+      Rm.recover rm;
+      Alcotest.(check bool) "seed data back" true
+        (Rm.read_committed rm "base" = Some (Value.Int 1));
+      Alcotest.(check bool) "committed survives" true
+        (Rm.read_committed rm "committed" = Some (Value.Int 10));
+      Alcotest.(check (option bool)) "active lost" None
+        (Option.map (fun _ -> true) (Rm.read_committed rm "active"));
+      Alcotest.(check string) "active txn gone" "?" (phase_str rm xa);
+      (* a recovered database answers No for the lost transaction *)
+      Alcotest.(check bool) "lost txn votes no" true
+        (Rm.vote rm ~xid:xa = Rm.No))
+
+let test_recovery_in_doubt_keeps_locks () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+      ignore (Rm.vote rm ~xid:x);
+      Rm.recover rm;
+      Alcotest.(check (list bool)) "in doubt" [ true ]
+        (List.map (fun x' -> Xid.equal x' x) (Rm.in_doubt rm));
+      Alcotest.(check int) "lock re-acquired" 1
+        (List.length (Rm.locks_held rm));
+      (* the in-doubt transaction can still be decided *)
+      Alcotest.(check bool) "late commit" true
+        (Rm.decide rm ~xid:x Rm.Commit = Rm.Commit);
+      Alcotest.(check bool) "applied after recovery" true
+        (Rm.read_committed rm "k" = Some (Value.Int 1));
+      Alcotest.(check int) "locks released" 0
+        (List.length (Rm.locks_held rm)))
+
+let test_recovery_aborted_stays_aborted () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+      ignore (Rm.vote rm ~xid:x);
+      ignore (Rm.decide rm ~xid:x Rm.Abort);
+      Rm.recover rm;
+      Alcotest.(check string) "aborted after replay" "aborted" (phase_str rm x);
+      Alcotest.(check int) "no in-doubt" 0 (List.length (Rm.in_doubt rm));
+      Alcotest.(check int) "no locks" 0 (List.length (Rm.locks_held rm)))
+
+let test_recovery_idempotent () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 4) ]);
+      ignore (Rm.vote rm ~xid:x);
+      ignore (Rm.decide rm ~xid:x Rm.Commit);
+      Rm.recover rm;
+      Rm.recover rm;
+      Alcotest.(check bool) "double recovery" true
+        (Rm.read_committed rm "k" = Some (Value.Int 4));
+      Alcotest.(check (list bool)) "commit order preserved" [ true ]
+        (List.map (fun x' -> Xid.equal x' x) (Rm.committed_xids rm)))
+
+(* Regression: a decide(abort) racing a vote's log-force suspension must not
+   leave the transaction prepared (the fail-over in-doubt bug). *)
+let test_vote_decide_race () =
+  let t = Dsim.Engine.create () in
+  let disk = Dstore.Disk.create ~force_latency:10. ~label:"log" () in
+  let rm =
+    Rm.create ~timing:Dbms.Rm.paper_timing ~seed_data:[] ~disk ~name:"db" ()
+  in
+  let vote_result = ref None in
+  let x = xid 1 in
+  let _ =
+    Dsim.Engine.spawn t ~name:"db" ~main:(fun ~recovery:_ () ->
+        Rm.xa_start rm ~xid:x;
+        ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+        (* the voting fiber suspends inside vote (cpu + forced IO) *)
+        Dsim.Engine.fork "voter" (fun () ->
+            vote_result := Some (Rm.vote rm ~xid:x));
+        (* meanwhile the cleaner's abort lands *)
+        Dsim.Engine.sleep 5.;
+        ignore (Rm.decide rm ~xid:x Rm.Abort))
+  in
+  ignore (Dsim.Engine.run t);
+  Alcotest.(check bool) "vote saw the abort" true (!vote_result = Some Rm.No);
+  Alcotest.(check string) "not stuck prepared" "aborted" (phase_str rm x);
+  Alcotest.(check int) "no in-doubt" 0 (List.length (Rm.in_doubt rm));
+  (* and the log must not resurrect it *)
+  Rm.recover rm;
+  Alcotest.(check int) "no in-doubt after replay" 0
+    (List.length (Rm.in_doubt rm))
+
+(* ------------------------------------------------------------------ *)
+(* strict two-phase locking (the serializability option) *)
+
+let fresh_2pl () =
+  let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
+  Rm.create ~timing:Rm.zero_timing ~read_locks:true ~disk ~name:"db-2pl" ()
+
+let test_2pl_readers_share () =
+  in_sim (fun _ ->
+      let rm = fresh_2pl () in
+      let x1 = xid 1 and x2 = xid 2 in
+      Rm.xa_start rm ~xid:x1;
+      Rm.xa_start rm ~xid:x2;
+      (match Rm.exec rm ~xid:x1 [ Rm.Get "k" ] with
+      | Rm.Exec_ok _ -> ()
+      | _ -> Alcotest.fail "reader 1");
+      match Rm.exec rm ~xid:x2 [ Rm.Get "k"; Rm.Ensure_min ("k", 0) ] with
+      | Rm.Exec_ok _ -> ()
+      | _ -> Alcotest.fail "readers must share")
+
+let test_2pl_writer_excludes_reader () =
+  in_sim (fun _ ->
+      let rm = fresh_2pl () in
+      let w = xid 1 and r = xid 2 in
+      Rm.xa_start rm ~xid:w;
+      Rm.xa_start rm ~xid:r;
+      ignore (Rm.exec rm ~xid:w [ Rm.Put ("k", Value.Int 1) ]);
+      (match Rm.exec rm ~xid:r [ Rm.Get "k" ] with
+      | Rm.Exec_conflict "k" -> ()
+      | _ -> Alcotest.fail "reader must conflict with writer");
+      (* ... until the writer decides *)
+      ignore (Rm.vote rm ~xid:w);
+      ignore (Rm.decide rm ~xid:w Rm.Commit);
+      match Rm.exec rm ~xid:r [ Rm.Get "k" ] with
+      | Rm.Exec_ok { values = [ Some (Value.Int 1) ]; _ } -> ()
+      | _ -> Alcotest.fail "reader sees committed value after release")
+
+let test_2pl_reader_excludes_writer () =
+  in_sim (fun _ ->
+      let rm = fresh_2pl () in
+      let r = xid 1 and w = xid 2 in
+      Rm.xa_start rm ~xid:r;
+      Rm.xa_start rm ~xid:w;
+      ignore (Rm.exec rm ~xid:r [ Rm.Get "k" ]);
+      match Rm.exec rm ~xid:w [ Rm.Put ("k", Value.Int 1) ] with
+      | Rm.Exec_conflict "k" -> ()
+      | _ -> Alcotest.fail "writer must conflict with reader")
+
+let test_2pl_upgrade () =
+  in_sim (fun _ ->
+      let rm = fresh_2pl () in
+      let x1 = xid 1 in
+      Rm.xa_start rm ~xid:x1;
+      ignore (Rm.exec rm ~xid:x1 [ Rm.Get "k" ]);
+      (* sole reader upgrades to writer *)
+      (match Rm.exec rm ~xid:x1 [ Rm.Add ("k", 1) ] with
+      | Rm.Exec_ok _ -> ()
+      | _ -> Alcotest.fail "sole reader upgrades");
+      (* ... but not when a co-reader exists *)
+      let rm2 = fresh_2pl () in
+      let a = xid 1 and b = xid 2 in
+      Rm.xa_start rm2 ~xid:a;
+      Rm.xa_start rm2 ~xid:b;
+      ignore (Rm.exec rm2 ~xid:a [ Rm.Get "k" ]);
+      ignore (Rm.exec rm2 ~xid:b [ Rm.Get "k" ]);
+      match Rm.exec rm2 ~xid:a [ Rm.Put ("k", Value.Int 1) ] with
+      | Rm.Exec_conflict "k" -> ()
+      | _ -> Alcotest.fail "upgrade must fail with a co-reader")
+
+let test_2pl_shared_released_on_abort () =
+  in_sim (fun _ ->
+      let rm = fresh_2pl () in
+      let r = xid 1 and w = xid 2 in
+      Rm.xa_start rm ~xid:r;
+      Rm.xa_start rm ~xid:w;
+      ignore (Rm.exec rm ~xid:r [ Rm.Get "k" ]);
+      ignore (Rm.decide rm ~xid:r Rm.Abort);
+      match Rm.exec rm ~xid:w [ Rm.Put ("k", Value.Int 1) ] with
+      | Rm.Exec_ok _ -> ()
+      | _ -> Alcotest.fail "shared lock must be released on abort")
+
+let test_default_mode_reads_lock_free () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let w = xid 1 and r = xid 2 in
+      Rm.xa_start rm ~xid:w;
+      Rm.xa_start rm ~xid:r;
+      ignore (Rm.exec rm ~xid:w [ Rm.Put ("k", Value.Int 1) ]);
+      match Rm.exec rm ~xid:r [ Rm.Get "k" ] with
+      | Rm.Exec_ok _ -> ()
+      | _ -> Alcotest.fail "default mode must not take read locks")
+
+(* ------------------------------------------------------------------ *)
+(* the server process (paper Fig. 3), driven by raw messages *)
+
+(* Spawn one database server plus a scripted "application server" fiber
+   that talks to it over a reliable channel and records what happens. *)
+let server_scenario ?(crash_db_at = None) ?(recover_db_at = None) ~script () =
+  let t = Dsim.Engine.create ~net:(Dnet.Netmodel.lan ()) () in
+  let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
+  let rm = Rm.create ~timing:Rm.zero_timing ~seed_data:[] ~disk ~name:"db" () in
+  let app_pid = ref [] in
+  let db =
+    Server.spawn t ~name:"db" ~rm ~observers:(fun () -> !app_pid) ()
+  in
+  let result = ref None in
+  let app =
+    Dsim.Engine.spawn t ~name:"app" ~main:(fun ~recovery:_ () ->
+        let ch = Dnet.Rchannel.create () in
+        Dnet.Rchannel.start ch;
+        let rd = Stub.Readiness.create ~dbs:[ db ] in
+        Stub.Readiness.start rd;
+        result := Some (script ~db ~ch ~rd))
+  in
+  app_pid := [ app ];
+  (match crash_db_at with
+  | Some at -> Dsim.Engine.crash_at t at db
+  | None -> ());
+  (match recover_db_at with
+  | Some at -> Dsim.Engine.recover_at t at db
+  | None -> ());
+  ignore (Dsim.Engine.run ~deadline:60_000. t);
+  match !result with
+  | Some r -> (r, rm)
+  | None -> Alcotest.fail "script did not finish"
+
+let test_server_full_commit_round () =
+  let vote, rm =
+    server_scenario
+      ~script:(fun ~db ~ch ~rd ->
+        let x = xid 1 in
+        Stub.xa_start ch rd ~db ~xid:x;
+        (match Stub.exec ch rd ~db ~xid:x [ Rm.Put ("k", Value.Int 1) ] with
+        | Rm.Exec_ok _ -> ()
+        | _ -> Alcotest.fail "exec failed");
+        Stub.xa_end ch rd ~db ~xid:x;
+        let vote = Stub.wait_vote ch rd ~db ~xid:x in
+        Stub.wait_ack_decide ch rd ~db ~xid:x Rm.Commit;
+        vote)
+      ()
+  in
+  Alcotest.(check bool) "voted yes" true (vote = Rm.Yes);
+  Alcotest.(check bool) "committed" true
+    (Rm.read_committed rm "k" = Some (Value.Int 1))
+
+let test_server_concurrent_decide_during_prepare_queue () =
+  (* decide and prepare are handled by separate fibers (the paper's
+     cobegin): a decide for one transaction must not wait behind a vote for
+     another *)
+  let (), rm =
+    server_scenario
+      ~script:(fun ~db ~ch ~rd ->
+        let x1 = xid 1 and x2 = xid 2 in
+        Stub.xa_start ch rd ~db ~xid:x1;
+        ignore (Stub.exec ch rd ~db ~xid:x1 [ Rm.Put ("a", Value.Int 1) ]);
+        ignore (Stub.wait_vote ch rd ~db ~xid:x1);
+        Stub.xa_start ch rd ~db ~xid:x2;
+        ignore (Stub.exec ch rd ~db ~xid:x2 [ Rm.Put ("b", Value.Int 2) ]);
+        ignore (Stub.wait_vote ch rd ~db ~xid:x2);
+        (* decide both; order of arrival is not order of xid *)
+        Stub.wait_ack_decide ch rd ~db ~xid:x2 Rm.Commit;
+        Stub.wait_ack_decide ch rd ~db ~xid:x1 Rm.Abort)
+      ()
+  in
+  Alcotest.(check (option bool)) "x1 aborted" None
+    (Option.map (fun _ -> true) (Rm.read_committed rm "a"));
+  Alcotest.(check bool) "x2 committed" true
+    (Rm.read_committed rm "b" = Some (Value.Int 2))
+
+let test_server_ready_on_recovery () =
+  (* Crash the server while the app waits for a vote: the vote resolution
+     must come from the recovery path (Ready bumps the epoch, the stub
+     re-sends, the recovered server answers No for the lost transaction). *)
+  let vote, _rm =
+    server_scenario ~crash_db_at:(Some 50.) ~recover_db_at:(Some 200.)
+      ~script:(fun ~db ~ch ~rd ->
+        let x = xid 1 in
+        Stub.xa_start ch rd ~db ~xid:x;
+        ignore (Stub.exec ch rd ~db ~xid:x [ Rm.Put ("k", Value.Int 1) ]);
+        Dsim.Engine.sleep 60.;
+        (* db is down now; this blocks until recovery *)
+        Stub.wait_vote ch rd ~db ~xid:x)
+      ()
+  in
+  Alcotest.(check bool) "recovered server votes no for lost txn" true
+    (vote = Rm.No)
+
+let test_server_in_doubt_across_crash () =
+  (* Vote yes, crash, recover: the transaction is in doubt and a late
+     decide commits it. T.2's database half, at the message level. *)
+  let (), rm =
+    server_scenario ~crash_db_at:(Some 100.) ~recover_db_at:(Some 200.)
+      ~script:(fun ~db ~ch ~rd ->
+        let x = xid 1 in
+        Stub.xa_start ch rd ~db ~xid:x;
+        ignore (Stub.exec ch rd ~db ~xid:x [ Rm.Put ("k", Value.Int 5) ]);
+        let vote = Stub.wait_vote ch rd ~db ~xid:x in
+        Alcotest.(check bool) "voted yes before crash" true (vote = Rm.Yes);
+        Dsim.Engine.sleep 150.;
+        (* db crashed and came back; the prepared txn must still decide *)
+        Stub.wait_ack_decide ch rd ~db ~xid:x Rm.Commit)
+      ()
+  in
+  Alcotest.(check bool) "in-doubt txn committed after recovery" true
+    (Rm.read_committed rm "k" = Some (Value.Int 5))
+
+(* ------------------------------------------------------------------ *)
+(* checkpointing (log compaction) *)
+
+let committed_many rm n =
+  for i = 1 to n do
+    let x = xid i in
+    Rm.xa_start rm ~xid:x;
+    ignore (Rm.exec rm ~xid:x [ Rm.Put (Printf.sprintf "k%d" i, Value.Int i) ]);
+    ignore (Rm.vote rm ~xid:x);
+    ignore (Rm.decide rm ~xid:x Rm.Commit)
+  done
+
+let test_checkpoint_compacts_log () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      committed_many rm 10;
+      Alcotest.(check int) "20 records before" 20 (Rm.wal_length rm);
+      Rm.checkpoint rm;
+      Alcotest.(check int) "1 record after" 1 (Rm.wal_length rm);
+      Rm.recover rm;
+      for i = 1 to 10 do
+        Alcotest.(check bool)
+          (Printf.sprintf "k%d survives" i)
+          true
+          (Rm.read_committed rm (Printf.sprintf "k%d" i) = Some (Value.Int i))
+      done;
+      Alcotest.(check int) "commit history preserved" 10
+        (List.length (Rm.committed_xids rm)))
+
+let test_checkpoint_preserves_decided_answers () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let xc = xid 1 and xa = xid 2 in
+      Rm.xa_start rm ~xid:xc;
+      ignore (Rm.exec rm ~xid:xc [ Rm.Put ("c", Value.Int 1) ]);
+      ignore (Rm.vote rm ~xid:xc);
+      ignore (Rm.decide rm ~xid:xc Rm.Commit);
+      Rm.xa_start rm ~xid:xa;
+      ignore (Rm.exec rm ~xid:xa [ Rm.Put ("a", Value.Int 1) ]);
+      ignore (Rm.vote rm ~xid:xa);
+      ignore (Rm.decide rm ~xid:xa Rm.Abort);
+      Rm.checkpoint rm;
+      Rm.recover rm;
+      (* idempotent re-decides still answer the recorded outcome *)
+      Alcotest.(check bool) "re-decide commit" true
+        (Rm.decide rm ~xid:xc Rm.Commit = Rm.Commit);
+      Alcotest.(check bool) "re-decide abort" true
+        (Rm.decide rm ~xid:xa Rm.Abort = Rm.Abort))
+
+let test_checkpoint_keeps_in_doubt () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 9) ]);
+      ignore (Rm.vote rm ~xid:x);
+      Rm.checkpoint rm;
+      Alcotest.(check int) "snapshot + prepared record" 2 (Rm.wal_length rm);
+      Rm.recover rm;
+      Alcotest.(check (list bool)) "still in doubt" [ true ]
+        (List.map (fun x' -> Xid.equal x' x) (Rm.in_doubt rm));
+      Alcotest.(check int) "lock re-acquired" 1 (List.length (Rm.locks_held rm));
+      Alcotest.(check bool) "late commit still works" true
+        (Rm.decide rm ~xid:x Rm.Commit = Rm.Commit);
+      Alcotest.(check bool) "write applied" true
+        (Rm.read_committed rm "k" = Some (Value.Int 9)))
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let prop_commit_applies_all_writes =
+  QCheck.Test.make ~name:"commit applies exactly the workspace" ~count:100
+    QCheck.(list (pair (string_gen_of_size (Gen.return 3) Gen.printable) small_int))
+    (fun writes ->
+      in_sim (fun _ ->
+          let rm = fresh_rm () in
+          let x = xid 1 in
+          Rm.xa_start rm ~xid:x;
+          ignore
+            (Rm.exec rm ~xid:x
+               (List.map (fun (k, v) -> Rm.Put ("w" ^ k, Value.Int v)) writes));
+          ignore (Rm.vote rm ~xid:x);
+          ignore (Rm.decide rm ~xid:x Rm.Commit);
+          List.for_all
+            (fun (k, _) ->
+              (* last write to each key wins *)
+              let expected =
+                List.fold_left
+                  (fun acc (k', v') -> if k' = k then Some v' else acc)
+                  None writes
+              in
+              match (Rm.read_committed rm ("w" ^ k), expected) with
+              | Some (Value.Int v), Some v' -> v = v'
+              | None, None -> true
+              | _ -> false)
+            writes))
+
+let prop_abort_applies_nothing =
+  QCheck.Test.make ~name:"abort leaves the store untouched" ~count:100
+    QCheck.(list (pair (string_gen_of_size (Gen.return 3) Gen.printable) small_int))
+    (fun writes ->
+      in_sim (fun _ ->
+          let rm = fresh_rm ~seed_data:[ ("seed", Value.Int 1) ] () in
+          let x = xid 1 in
+          Rm.xa_start rm ~xid:x;
+          ignore
+            (Rm.exec rm ~xid:x
+               (List.map (fun (k, v) -> Rm.Put ("w" ^ k, Value.Int v)) writes));
+          ignore (Rm.vote rm ~xid:x);
+          ignore (Rm.decide rm ~xid:x Rm.Abort);
+          List.for_all
+            (fun (k, _) -> Rm.read_committed rm ("w" ^ k) = None)
+            writes
+          && Rm.read_committed rm "seed" = Some (Value.Int 1)))
+
+let prop_recovery_preserves_committed_state =
+  QCheck.Test.make ~name:"recovery reconstructs committed state" ~count:50
+    QCheck.(list (pair (int_bound 5) small_int))
+    (fun txns ->
+      in_sim (fun _ ->
+          let rm = fresh_rm () in
+          List.iteri
+            (fun i (key_index, v) ->
+              let x = xid (i + 1) in
+              Rm.xa_start rm ~xid:x;
+              ignore
+                (Rm.exec rm ~xid:x
+                   [ Rm.Put (Printf.sprintf "k%d" key_index, Value.Int v) ]);
+              ignore (Rm.vote rm ~xid:x);
+              ignore (Rm.decide rm ~xid:x Rm.Commit))
+            txns;
+          let before =
+            List.init 6 (fun i -> Rm.read_committed rm (Printf.sprintf "k%d" i))
+          in
+          Rm.recover rm;
+          let after =
+            List.init 6 (fun i -> Rm.read_committed rm (Printf.sprintf "k%d" i))
+          in
+          before = after))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dbms"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "put/get" `Quick test_exec_put_get;
+          Alcotest.test_case "add" `Quick test_exec_add_semantics;
+          Alcotest.test_case "guards" `Quick test_exec_guard_pass_and_fail;
+          Alcotest.test_case "fail op" `Quick test_exec_fail_op_poisons;
+          Alcotest.test_case "type mismatch" `Quick
+            test_exec_type_mismatch_poisons;
+          Alcotest.test_case "requires xa_start" `Quick
+            test_exec_requires_xa_start;
+          Alcotest.test_case "rejected after prepare" `Quick
+            test_exec_after_prepare_rejected;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "conflict" `Quick test_lock_conflict;
+          Alcotest.test_case "atomic acquisition" `Quick
+            test_conflict_has_no_side_effect;
+          Alcotest.test_case "released on commit" `Quick
+            test_locks_released_on_decide;
+          Alcotest.test_case "released on abort" `Quick
+            test_locks_released_on_abort;
+        ] );
+      ( "vote-decide",
+        [
+          Alcotest.test_case "unknown votes no" `Quick test_vote_unknown_is_no;
+          Alcotest.test_case "vote idempotent" `Quick test_vote_idempotent;
+          Alcotest.test_case "rule (a)" `Quick
+            test_decide_rule_a_abort_in_abort_out;
+          Alcotest.test_case "rule (b)" `Quick test_decide_rule_b_yes_commit;
+          Alcotest.test_case "commit w/o prepare aborts" `Quick
+            test_decide_commit_without_prepare_aborts;
+          Alcotest.test_case "idempotent + sticky" `Quick
+            test_decide_idempotent_and_sticky;
+          Alcotest.test_case "unknown abort recorded" `Quick
+            test_decide_unknown_abort_recorded;
+          Alcotest.test_case "one-phase commit" `Quick test_commit_one_phase;
+          Alcotest.test_case "vote/decide race (regression)" `Quick
+            test_vote_decide_race;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "committed survive, active lost" `Quick
+            test_recovery_committed_survive_active_lost;
+          Alcotest.test_case "in-doubt keeps locks" `Quick
+            test_recovery_in_doubt_keeps_locks;
+          Alcotest.test_case "aborted stays aborted" `Quick
+            test_recovery_aborted_stays_aborted;
+          Alcotest.test_case "idempotent" `Quick test_recovery_idempotent;
+        ] );
+      ( "strict-2pl",
+        [
+          Alcotest.test_case "readers share" `Quick test_2pl_readers_share;
+          Alcotest.test_case "writer excludes reader" `Quick
+            test_2pl_writer_excludes_reader;
+          Alcotest.test_case "reader excludes writer" `Quick
+            test_2pl_reader_excludes_writer;
+          Alcotest.test_case "upgrade rules" `Quick test_2pl_upgrade;
+          Alcotest.test_case "shared released on abort" `Quick
+            test_2pl_shared_released_on_abort;
+          Alcotest.test_case "default: reads lock-free" `Quick
+            test_default_mode_reads_lock_free;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "full commit round" `Quick
+            test_server_full_commit_round;
+          Alcotest.test_case "independent handler fibers" `Quick
+            test_server_concurrent_decide_during_prepare_queue;
+          Alcotest.test_case "Ready on recovery" `Quick
+            test_server_ready_on_recovery;
+          Alcotest.test_case "in-doubt across crash" `Quick
+            test_server_in_doubt_across_crash;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "compacts the log" `Quick
+            test_checkpoint_compacts_log;
+          Alcotest.test_case "preserves decided answers" `Quick
+            test_checkpoint_preserves_decided_answers;
+          Alcotest.test_case "keeps in-doubt recoverable" `Quick
+            test_checkpoint_keeps_in_doubt;
+        ] );
+      ( "properties",
+        [
+          q prop_commit_applies_all_writes;
+          q prop_abort_applies_nothing;
+          q prop_recovery_preserves_committed_state;
+        ] );
+    ]

@@ -1,0 +1,767 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+open Dsim
+
+type Types.payload += Ping of int | Pong of int
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_peek () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_stable_on_ties =
+  (* With (key, seq) ordering, equal keys drain in insertion order — the
+     engine relies on this for determinism. *)
+  QCheck.Test.make ~name:"heap FIFO among equal keys" ~count:200
+    QCheck.(list (int_bound 5))
+    (fun keys ->
+      let h =
+        Heap.create
+          ~leq:(fun (k1, s1) (k2, s2) -> k1 < k2 || (k1 = k2 && s1 <= s2))
+          ()
+      in
+      List.iteri (fun i k -> Heap.push h (k, i)) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      let out = drain [] in
+      (* sequence numbers are increasing within each key class *)
+      let by_key = Hashtbl.create 8 in
+      List.for_all
+        (fun (k, s) ->
+          let prev = Option.value ~default:(-1) (Hashtbl.find_opt by_key k) in
+          Hashtbl.replace by_key k s;
+          s > prev)
+        out)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different" false (Rng.int64 a = Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  Alcotest.(check bool) "split differs" false (Rng.int64 a = Rng.int64 c)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"float in range" ~count:500 QCheck.(int_range 1 10000)
+    (fun seed ->
+      let r = Rng.create ~seed in
+      let v = Rng.float r 3.5 in
+      v >= 0. && v < 3.5)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"int in range" ~count:500
+    QCheck.(pair (int_range 1 1000) (int_range 1 50))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let test_rng_bool_bias () =
+  let r = Rng.create ~seed:3 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r 0.3 then incr hits
+  done;
+  let ratio = float_of_int !hits /. 10_000. in
+  Alcotest.(check bool) "near 0.3" true (ratio > 0.27 && ratio < 0.33)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:4 in
+  let sum = ref 0. in
+  for _ = 1 to 20_000 do
+    sum := !sum +. Rng.exponential r ~mean:5.0
+  done;
+  let mean = !sum /. 20_000. in
+  Alcotest.(check bool) "mean near 5" true (mean > 4.7 && mean < 5.3)
+
+(* ------------------------------------------------------------------ *)
+(* Engine basics *)
+
+let test_sleep_ordering () =
+  let t = Engine.create () in
+  let log = ref [] in
+  let mark tag = log := tag :: !log in
+  let _ =
+    Engine.spawn t ~name:"a" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 10.;
+        mark "a10";
+        Engine.sleep 20.;
+        mark "a30")
+  in
+  let _ =
+    Engine.spawn t ~name:"b" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 5.;
+        mark "b5";
+        Engine.sleep 20.;
+        mark "b25")
+  in
+  let outcome = Engine.run t in
+  Alcotest.(check bool) "quiescent" true (outcome = Engine.Quiescent);
+  Alcotest.(check (list string))
+    "order" [ "b5"; "a10"; "b25"; "a30" ] (List.rev !log)
+
+let test_virtual_time_advances () =
+  let t = Engine.create () in
+  let seen = ref 0. in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 42.5;
+        seen := Engine.now ())
+  in
+  ignore (Engine.run t);
+  check_float "time" 42.5 !seen;
+  check_float "engine clock" 42.5 (Engine.now_of t)
+
+let test_send_recv () =
+  let t = Engine.create () in
+  let got = ref None in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        match Engine.recv_any () with
+        | Some m -> got := Some m.Types.payload
+        | None -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 7))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check bool) "got ping" true (!got = Some (Ping 7))
+
+let test_selective_receive () =
+  let t = Engine.create () in
+  let order = ref [] in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        (* Wait for Pong first even though Ping arrives first. *)
+        (match
+           Engine.recv
+             ~filter:(fun m ->
+               match m.Types.payload with Pong _ -> true | _ -> false)
+             ()
+         with
+        | Some { payload = Pong n; _ } -> order := ("pong", n) :: !order
+        | _ -> ());
+        match Engine.recv_any () with
+        | Some { payload = Ping n; _ } -> order := ("ping", n) :: !order
+        | _ -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 1);
+        Engine.sleep 5.;
+        Engine.send receiver (Pong 2))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check (list (pair string int)))
+    "pong then queued ping"
+    [ ("pong", 2); ("ping", 1) ]
+    (List.rev !order)
+
+let test_recv_timeout () =
+  let t = Engine.create () in
+  let result = ref (Some ()) in
+  let at = ref 0. in
+  let _ =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        (match Engine.recv_any ~timeout:25. () with
+        | Some _ -> ()
+        | None -> result := None);
+        at := Engine.now ())
+  in
+  ignore (Engine.run t);
+  Alcotest.(check bool) "timed out" true (!result = None);
+  check_float "at timeout" 25. !at
+
+let test_recv_timeout_beaten_by_message () =
+  let t = Engine.create () in
+  let got = ref false in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        match Engine.recv_any ~timeout:50. () with
+        | Some _ -> got := true
+        | None -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 10.;
+        Engine.send receiver (Ping 0))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check bool) "message won" true !got
+
+let test_fork_shares_mailbox () =
+  let t = Engine.create () in
+  let tags = ref [] in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        Engine.fork "pong-handler" (fun () ->
+            match
+              Engine.recv
+                ~filter:(fun m ->
+                  match m.Types.payload with Pong _ -> true | _ -> false)
+                ()
+            with
+            | Some _ -> tags := "pong" :: !tags
+            | None -> ());
+        match
+          Engine.recv
+            ~filter:(fun m ->
+              match m.Types.payload with Ping _ -> true | _ -> false)
+            ()
+        with
+        | Some _ -> tags := "ping" :: !tags
+        | None -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 1.;
+        Engine.send receiver (Pong 0);
+        Engine.sleep 1.;
+        Engine.send receiver (Ping 0))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check (list string)) "both fibers got their message"
+    [ "pong"; "ping" ] (List.rev !tags)
+
+let test_work_traced () =
+  let t = Engine.create () in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        Engine.work "sql" 187.;
+        Engine.work "sql" 6.;
+        Engine.work "commit" 18.6)
+  in
+  ignore (Engine.run t);
+  let breakdown = Trace.work_by_category (Engine.trace t) in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "categories"
+    [ ("commit", 18.6); ("sql", 193.) ]
+    breakdown
+
+(* ------------------------------------------------------------------ *)
+(* Crash / recovery *)
+
+let test_crash_drops_sleeper () =
+  let t = Engine.create () in
+  let woke = ref false in
+  let victim =
+    Engine.spawn t ~name:"v" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 100.;
+        woke := true)
+  in
+  Engine.crash_at t 50. victim;
+  ignore (Engine.run t);
+  Alcotest.(check bool) "never woke" false !woke
+
+let test_recovery_flag () =
+  let t = Engine.create () in
+  let runs = ref [] in
+  let victim =
+    Engine.spawn t ~name:"v" ~main:(fun ~recovery () ->
+        runs := recovery :: !runs;
+        Engine.sleep 1000.)
+  in
+  Engine.crash_at t 10. victim;
+  Engine.recover_at t 20. victim;
+  ignore (Engine.run ~deadline:500. t);
+  Alcotest.(check (list bool)) "initial then recovery" [ false; true ]
+    (List.rev !runs)
+
+let test_message_to_down_process_lost () =
+  let t = Engine.create () in
+  let got = ref false in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        match Engine.recv_any () with Some _ -> got := true | None -> ())
+  in
+  Engine.crash_at t 1. receiver;
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 5.;
+        Engine.send receiver (Ping 1))
+  in
+  Engine.recover_at t 20. receiver;
+  ignore (Engine.run ~deadline:100. t);
+  Alcotest.(check bool) "message was lost" false !got
+
+let test_mailbox_cleared_on_crash () =
+  let t = Engine.create () in
+  let got = ref 0 in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery () ->
+        if recovery then
+          match Engine.recv_any ~timeout:100. () with
+          | Some _ -> incr got
+          | None -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 1))
+  in
+  (* Message delivered at t=1 into the mailbox; crash at t=5 must clear it. *)
+  Engine.crash_at t 5. receiver;
+  Engine.recover_at t 10. receiver;
+  ignore (Engine.run t);
+  Alcotest.(check int) "nothing survived the crash" 0 !got
+
+let test_incarnation_fences_stale_wakeups () =
+  let t = Engine.create () in
+  let wakes = ref 0 in
+  let victim =
+    Engine.spawn t ~name:"v" ~main:(fun ~recovery () ->
+        if not recovery then begin
+          Engine.sleep 100.;
+          incr wakes
+        end)
+  in
+  Engine.crash_at t 50. victim;
+  Engine.recover_at t 60. victim;
+  ignore (Engine.run t);
+  (* The pre-crash sleep must not fire after recovery. *)
+  Alcotest.(check int) "no stale wake" 0 !wakes
+
+let test_is_up () =
+  let t = Engine.create () in
+  let p = Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () -> ()) in
+  Alcotest.(check bool) "up" true (Engine.is_up t p);
+  Engine.crash t p;
+  Alcotest.(check bool) "down" false (Engine.is_up t p);
+  Engine.recover t p;
+  Alcotest.(check bool) "up again" true (Engine.is_up t p)
+
+(* ------------------------------------------------------------------ *)
+(* Network model, determinism, run control *)
+
+let test_lossy_network_drops () =
+  let net _rng ~src:_ ~dst:_ = [] in
+  let t = Engine.create ~net () in
+  let got = ref false in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        match Engine.recv_any ~timeout:100. () with
+        | Some _ -> got := true
+        | None -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 1))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check bool) "dropped" false !got
+
+let test_duplicating_network () =
+  let net _rng ~src:_ ~dst:_ = [ 1.0; 2.0; 3.0 ] in
+  let t = Engine.create ~net () in
+  let count = ref 0 in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        let rec loop () =
+          match Engine.recv_any ~timeout:50. () with
+          | Some _ ->
+              incr count;
+              loop ()
+          | None -> ()
+        in
+        loop ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 1))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check int) "three copies" 3 !count
+
+let test_self_send_bypasses_loss () =
+  let net _rng ~src:_ ~dst:_ = [] in
+  let t = Engine.create ~net () in
+  let got = ref false in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        Engine.send (Engine.self ()) (Ping 9);
+        match Engine.recv_any ~timeout:10. () with
+        | Some _ -> got := true
+        | None -> ())
+  in
+  ignore (Engine.run t);
+  Alcotest.(check bool) "self delivery" true !got
+
+let test_redeliver () =
+  let t = Engine.create () in
+  let src_seen = ref (-1) in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        Engine.redeliver ~src:42 (Ping 5);
+        match Engine.recv_any ~timeout:10. () with
+        | Some m -> src_seen := m.Types.src
+        | None -> ())
+  in
+  ignore (Engine.run t);
+  Alcotest.(check int) "attributed src" 42 !src_seen
+
+let run_trace_of seed =
+  let t = Engine.create ~seed () in
+  let events = ref [] in
+  let b =
+    Engine.spawn t ~name:"b" ~main:(fun ~recovery:_ () ->
+        let rec loop () =
+          match Engine.recv_any ~timeout:30. () with
+          | Some m ->
+              events := (Engine.now (), m.Types.msg_id) :: !events;
+              loop ()
+          | None -> ()
+        in
+        loop ())
+  in
+  let _ =
+    Engine.spawn t ~name:"a" ~main:(fun ~recovery:_ () ->
+        for i = 1 to 10 do
+          Engine.sleep (Engine.random_float 3.);
+          Engine.send b (Ping i)
+        done)
+  in
+  ignore (Engine.run t);
+  !events
+
+let test_determinism_same_seed () =
+  Alcotest.(check bool)
+    "identical traces" true
+    (run_trace_of 123 = run_trace_of 123)
+
+let test_determinism_different_seed () =
+  Alcotest.(check bool)
+    "different traces" false
+    (run_trace_of 123 = run_trace_of 124)
+
+let test_run_deadline () =
+  let t = Engine.create () in
+  let ticks = ref 0 in
+  let _ =
+    Engine.spawn t ~name:"ticker" ~main:(fun ~recovery:_ () ->
+        let rec loop () =
+          Engine.sleep 10.;
+          incr ticks;
+          loop ()
+        in
+        loop ())
+  in
+  let outcome = Engine.run ~deadline:95. t in
+  Alcotest.(check bool) "deadline" true (outcome = Engine.Deadline_reached);
+  Alcotest.(check int) "nine ticks" 9 !ticks
+
+let test_run_until_pred () =
+  let t = Engine.create () in
+  let ticks = ref 0 in
+  let _ =
+    Engine.spawn t ~name:"ticker" ~main:(fun ~recovery:_ () ->
+        let rec loop () =
+          Engine.sleep 10.;
+          incr ticks;
+          loop ()
+        in
+        loop ())
+  in
+  let ok = Engine.run_until ~deadline:1000. t (fun () -> !ticks >= 5) in
+  Alcotest.(check bool) "pred reached" true ok;
+  Alcotest.(check int) "stopped promptly" 5 !ticks
+
+let test_post_from_orchestration () =
+  let t = Engine.create () in
+  let got = ref false in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        match Engine.recv_any ~timeout:100. () with
+        | Some _ -> got := true
+        | None -> ())
+  in
+  Engine.schedule t ~delay:5. (fun () ->
+      Engine.post t ~src:99 ~dst:receiver (Ping 1));
+  ignore (Engine.run t);
+  Alcotest.(check bool) "posted" true !got
+
+let test_stop_interrupts_run () =
+  let t = Engine.create () in
+  let ticks = ref 0 in
+  let _ =
+    Engine.spawn t ~name:"ticker" ~main:(fun ~recovery:_ () ->
+        let rec loop () =
+          Engine.sleep 10.;
+          incr ticks;
+          if !ticks = 3 then Engine.stop t;
+          loop ()
+        in
+        loop ())
+  in
+  let outcome = Engine.run t in
+  Alcotest.(check bool) "stopped" true (outcome = Engine.Stopped);
+  Alcotest.(check int) "exactly three" 3 !ticks
+
+let test_exit_fiber () =
+  let t = Engine.create () in
+  let after = ref false in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        Engine.fork "child" (fun () ->
+            Engine.exit_fiber () |> ignore);
+        Engine.sleep 1.;
+        after := true)
+  in
+  let outcome = Engine.run t in
+  Alcotest.(check bool) "clean quiescence" true (outcome = Engine.Quiescent);
+  Alcotest.(check bool) "siblings unaffected" true !after
+
+let test_zero_sleep_and_timeout () =
+  let t = Engine.create () in
+  let order = ref [] in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        order := "before" :: !order;
+        Engine.sleep 0.;
+        order := "after-sleep0" :: !order;
+        (match Engine.recv_any ~timeout:0. () with
+        | None -> order := "timeout0" :: !order
+        | Some _ -> ());
+        order := "done" :: !order)
+  in
+  ignore (Engine.run t);
+  Alcotest.(check (list string))
+    "zero delays are fine"
+    [ "before"; "after-sleep0"; "timeout0"; "done" ]
+    (List.rev !order)
+
+let test_nested_fork () =
+  let t = Engine.create () in
+  let depth = ref 0 in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        Engine.fork "child" (fun () ->
+            incr depth;
+            Engine.fork "grandchild" (fun () ->
+                incr depth;
+                Engine.fork "great" (fun () -> incr depth))))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check int) "all generations ran" 3 !depth
+
+let test_fork_dies_with_process () =
+  let t = Engine.create () in
+  let child_woke = ref false in
+  let p =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery () ->
+        if not recovery then begin
+          Engine.fork "child" (fun () ->
+              Engine.sleep 100.;
+              child_woke := true);
+          Engine.sleep 1_000.
+        end)
+  in
+  Engine.crash_at t 50. p;
+  Engine.recover_at t 60. p;
+  ignore (Engine.run t);
+  Alcotest.(check bool) "forked fiber died with the crash" false !child_woke
+
+let test_send_all_and_random_int () =
+  let t = Engine.create () in
+  let got = ref 0 in
+  let receivers =
+    List.init 3 (fun i ->
+        Engine.spawn t
+          ~name:(Printf.sprintf "rx%d" i)
+          ~main:(fun ~recovery:_ () ->
+            match Engine.recv_any ~timeout:100. () with
+            | Some _ -> incr got
+            | None -> ()))
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        let n = Engine.random_int 5 in
+        Alcotest.(check bool) "random_int in range" true (n >= 0 && n < 5);
+        Engine.send_all receivers (Ping n))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check int) "all three got it" 3 !got
+
+let test_name_and_is_up_accessors () =
+  let t = Engine.create () in
+  let p = Engine.spawn t ~name:"alice" ~main:(fun ~recovery:_ () -> ()) in
+  Alcotest.(check string) "name" "alice" (Engine.name_of t p);
+  Alcotest.check_raises "unknown pid"
+    (Invalid_argument "Engine: unknown process 99") (fun () ->
+      ignore (Engine.name_of t 99))
+
+(* ------------------------------------------------------------------ *)
+(* Trace analyses *)
+
+let test_communication_steps_chain () =
+  let t = Engine.create () in
+  (* a -> b -> c is two sequential steps. *)
+  let c =
+    Engine.spawn t ~name:"c" ~main:(fun ~recovery:_ () ->
+        ignore (Engine.recv_any ~timeout:100. ()))
+  in
+  let b =
+    Engine.spawn t ~name:"b" ~main:(fun ~recovery:_ () ->
+        match Engine.recv_any ~timeout:100. () with
+        | Some _ -> Engine.send c (Ping 2)
+        | None -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"a" ~main:(fun ~recovery:_ () ->
+        Engine.send b (Ping 1))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check int) "messages" 2 (Trace.message_count (Engine.trace t));
+  Alcotest.(check int) "steps" 2
+    (Trace.communication_steps (Engine.trace t))
+
+let test_communication_steps_parallel () =
+  let t = Engine.create () in
+  (* a multicasts to b and c in parallel: 2 messages but 1 step. *)
+  let b =
+    Engine.spawn t ~name:"b" ~main:(fun ~recovery:_ () ->
+        ignore (Engine.recv_any ~timeout:100. ()))
+  in
+  let c =
+    Engine.spawn t ~name:"c" ~main:(fun ~recovery:_ () ->
+        ignore (Engine.recv_any ~timeout:100. ()))
+  in
+  let _ =
+    Engine.spawn t ~name:"a" ~main:(fun ~recovery:_ () ->
+        Engine.send_all [ b; c ] (Ping 1))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check int) "messages" 2 (Trace.message_count (Engine.trace t));
+  Alcotest.(check int) "steps" 1
+    (Trace.communication_steps (Engine.trace t))
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine deterministic per seed" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed -> run_trace_of seed = run_trace_of seed)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dsim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "peek/length" `Quick test_heap_peek;
+          q prop_heap_sorts;
+          q prop_heap_stable_on_ties;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "bool bias" `Quick test_rng_bool_bias;
+          Alcotest.test_case "exponential mean" `Quick
+            test_rng_exponential_mean;
+          q prop_rng_float_range;
+          q prop_rng_int_range;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+          Alcotest.test_case "virtual time" `Quick test_virtual_time_advances;
+          Alcotest.test_case "send/recv" `Quick test_send_recv;
+          Alcotest.test_case "selective receive" `Quick test_selective_receive;
+          Alcotest.test_case "recv timeout" `Quick test_recv_timeout;
+          Alcotest.test_case "message beats timeout" `Quick
+            test_recv_timeout_beaten_by_message;
+          Alcotest.test_case "fork shares mailbox" `Quick
+            test_fork_shares_mailbox;
+          Alcotest.test_case "work traced" `Quick test_work_traced;
+          q prop_engine_deterministic;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "crash drops sleeper" `Quick
+            test_crash_drops_sleeper;
+          Alcotest.test_case "recovery flag" `Quick test_recovery_flag;
+          Alcotest.test_case "message to down process lost" `Quick
+            test_message_to_down_process_lost;
+          Alcotest.test_case "mailbox cleared on crash" `Quick
+            test_mailbox_cleared_on_crash;
+          Alcotest.test_case "incarnation fencing" `Quick
+            test_incarnation_fences_stale_wakeups;
+          Alcotest.test_case "is_up" `Quick test_is_up;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "lossy drops" `Quick test_lossy_network_drops;
+          Alcotest.test_case "duplication" `Quick test_duplicating_network;
+          Alcotest.test_case "self send immune" `Quick
+            test_self_send_bypasses_loss;
+          Alcotest.test_case "redeliver" `Quick test_redeliver;
+        ] );
+      ( "run-control",
+        [
+          Alcotest.test_case "determinism same seed" `Quick
+            test_determinism_same_seed;
+          Alcotest.test_case "determinism different seed" `Quick
+            test_determinism_different_seed;
+          Alcotest.test_case "deadline" `Quick test_run_deadline;
+          Alcotest.test_case "run_until" `Quick test_run_until_pred;
+          Alcotest.test_case "orchestration post" `Quick
+            test_post_from_orchestration;
+          Alcotest.test_case "stop" `Quick test_stop_interrupts_run;
+          Alcotest.test_case "exit_fiber" `Quick test_exit_fiber;
+          Alcotest.test_case "zero delays" `Quick test_zero_sleep_and_timeout;
+          Alcotest.test_case "nested fork" `Quick test_nested_fork;
+          Alcotest.test_case "fork dies with process" `Quick
+            test_fork_dies_with_process;
+          Alcotest.test_case "send_all/random_int" `Quick
+            test_send_all_and_random_int;
+          Alcotest.test_case "accessors" `Quick test_name_and_is_up_accessors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "steps: chain" `Quick
+            test_communication_steps_chain;
+          Alcotest.test_case "steps: parallel" `Quick
+            test_communication_steps_parallel;
+        ] );
+    ]

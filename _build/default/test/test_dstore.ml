@@ -1,0 +1,152 @@
+(* Tests for the stable-storage substrate: simulated disk, write-ahead log,
+   stable key-value store. *)
+
+open Dsim
+
+(* Run [f] inside a single-process simulation and return its result. *)
+let in_sim f =
+  let t = Engine.create () in
+  let result = ref None in
+  let _ = Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () -> result := Some (f t)) in
+  ignore (Engine.run t);
+  match !result with Some r -> r | None -> Alcotest.fail "fiber did not run"
+
+let test_disk_charges_time () =
+  let elapsed =
+    in_sim (fun _ ->
+        let disk = Dstore.Disk.create ~force_latency:12.5 ~label:"log" () in
+        let t0 = Engine.now () in
+        Dstore.Disk.force disk;
+        Dstore.Disk.force disk;
+        Engine.now () -. t0)
+  in
+  Alcotest.(check (float 1e-9)) "two forced writes" 25.0 elapsed
+
+let test_disk_counts () =
+  in_sim (fun _ ->
+      let disk = Dstore.Disk.create ~label:"log" () in
+      Alcotest.(check int) "fresh" 0 (Dstore.Disk.forced_writes disk);
+      Dstore.Disk.force disk;
+      Dstore.Disk.force ~label:"special" disk;
+      Alcotest.(check int) "counted" 2 (Dstore.Disk.forced_writes disk);
+      Alcotest.(check (float 1e-9)) "latency accessor" 12.5
+        (Dstore.Disk.force_latency disk))
+
+let test_disk_trace_labels () =
+  let t = Engine.create () in
+  let _ =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        let disk = Dstore.Disk.create ~force_latency:5. ~label:"log" () in
+        Dstore.Disk.force disk;
+        Dstore.Disk.force ~label:"log-start" disk)
+  in
+  ignore (Engine.run t);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "labels"
+    [ ("log", 5.); ("log-start", 5.) ]
+    (Trace.work_by_category (Engine.trace t))
+
+let test_wal_append_records () =
+  in_sim (fun _ ->
+      let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
+      let wal = Dstore.Wal.create ~disk () in
+      Alcotest.(check int) "empty" 0 (Dstore.Wal.length wal);
+      Dstore.Wal.append wal "a";
+      Dstore.Wal.append wal "b";
+      Dstore.Wal.append wal "c";
+      Alcotest.(check int) "three" 3 (Dstore.Wal.length wal);
+      Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ]
+        (Dstore.Wal.records wal);
+      Alcotest.(check int) "one forced write per append" 3
+        (Dstore.Disk.forced_writes disk))
+
+let test_wal_replay () =
+  in_sim (fun _ ->
+      let disk = Dstore.Disk.create ~force_latency:0.1 ~label:"log" () in
+      let wal = Dstore.Wal.create ~disk () in
+      List.iter (Dstore.Wal.append wal) [ 1; 2; 3; 4 ];
+      Alcotest.(check int) "fold sum" 10
+        (Dstore.Wal.replay wal ~init:0 ~f:( + )))
+
+let test_wal_truncate () =
+  in_sim (fun _ ->
+      let disk = Dstore.Disk.create ~force_latency:0.1 ~label:"log" () in
+      let wal = Dstore.Wal.create ~disk () in
+      Dstore.Wal.append wal "x";
+      Dstore.Wal.truncate wal;
+      Alcotest.(check int) "empty after truncate" 0 (Dstore.Wal.length wal);
+      Alcotest.(check (list string)) "no records" [] (Dstore.Wal.records wal))
+
+let test_stable_kv () =
+  in_sim (fun _ ->
+      let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
+      let kv = Dstore.Stable_kv.create ~disk () in
+      Dstore.Stable_kv.put kv "a" 1;
+      Dstore.Stable_kv.put kv "b" 2;
+      Dstore.Stable_kv.put kv "a" 3;
+      Alcotest.(check (option int)) "latest wins" (Some 3)
+        (Dstore.Stable_kv.get kv "a");
+      Alcotest.(check (option int)) "other" (Some 2)
+        (Dstore.Stable_kv.get kv "b");
+      Dstore.Stable_kv.remove kv "a";
+      Alcotest.(check (option int)) "removed" None (Dstore.Stable_kv.get kv "a");
+      Alcotest.(check (list (pair string int))) "bindings"
+        [ ("b", 2) ]
+        (Dstore.Stable_kv.bindings kv);
+      Alcotest.(check int) "4 forced writes" 4 (Dstore.Disk.forced_writes disk))
+
+let test_wal_survives_crash () =
+  (* The WAL object lives outside the process; a crash between appends must
+     not lose acknowledged records. *)
+  let t = Engine.create () in
+  let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
+  let wal = Dstore.Wal.create ~disk () in
+  let after_recovery = ref [] in
+  let p =
+    Engine.spawn t ~name:"p" ~main:(fun ~recovery () ->
+        if recovery then after_recovery := Dstore.Wal.records wal
+        else begin
+          Dstore.Wal.append wal "committed-1";
+          Engine.sleep 100.;
+          Dstore.Wal.append wal "never-happens"
+        end)
+  in
+  Engine.crash_at t 50. p;
+  Engine.recover_at t 60. p;
+  ignore (Engine.run t);
+  Alcotest.(check (list string))
+    "only the pre-crash record" [ "committed-1" ] !after_recovery
+
+let prop_wal_replay_equals_fold =
+  QCheck.Test.make ~name:"wal replay = list fold" ~count:100
+    QCheck.(list small_int)
+    (fun xs ->
+      in_sim (fun _ ->
+          let disk = Dstore.Disk.create ~force_latency:0.01 ~label:"l" () in
+          let wal = Dstore.Wal.create ~disk () in
+          List.iter (Dstore.Wal.append wal) xs;
+          Dstore.Wal.replay wal ~init:[] ~f:(fun acc x -> x :: acc)
+          = List.fold_left (fun acc x -> x :: acc) [] xs))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dstore"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "charges virtual time" `Quick
+            test_disk_charges_time;
+          Alcotest.test_case "counts forced writes" `Quick test_disk_counts;
+          Alcotest.test_case "trace labels" `Quick test_disk_trace_labels;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "append/records" `Quick test_wal_append_records;
+          Alcotest.test_case "replay" `Quick test_wal_replay;
+          Alcotest.test_case "truncate" `Quick test_wal_truncate;
+          Alcotest.test_case "survives crash" `Quick test_wal_survives_crash;
+          q prop_wal_replay_equals_fold;
+        ] );
+      ( "stable-kv",
+        [ Alcotest.test_case "put/get/remove" `Quick test_stable_kv ] );
+    ]

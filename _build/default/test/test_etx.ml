@@ -1,0 +1,864 @@
+(* End-to-end tests of the e-Transaction protocol against the paper's
+   specification (Section 3): Termination T.1/T.2, Agreement A.1/A.2/A.3,
+   Validity V.1/V.2 — in nice runs, under fail-over, and under random fault
+   injection. *)
+
+open Etx
+
+let check_no_violations label d =
+  let violations = Spec.check_all d in
+  if violations <> [] then
+    Alcotest.failf "%s: %s" label (String.concat "; " violations)
+
+(* A bank-ish business per the paper's footnote 4: attempt 1 fails a guard
+   when the seed balance is too low (user-level abort → that try's
+   transaction is poisoned and votes No); later attempts compute a
+   committable informational result instead. *)
+let debit_or_report ~amount =
+  {
+    Business.label = "debit-or-report";
+    run =
+      (fun ctx ~body ->
+        let db = List.hd ctx.Business.dbs in
+        if ctx.Business.attempt = 1 then
+          match
+            ctx.Business.exec ~db
+              [
+                Dbms.Rm.Ensure_min ("balance", amount);
+                Dbms.Rm.Add ("balance", -amount);
+              ]
+          with
+          | Dbms.Rm.Exec_ok { business_ok = true; _ } ->
+              Printf.sprintf "debited:%d:%s" amount body
+          | Dbms.Rm.Exec_ok { business_ok = false; _ } -> "insufficient-funds"
+          | Dbms.Rm.Exec_conflict _ | Dbms.Rm.Exec_rejected -> "error"
+        else
+          (* informational result: no writes, commits trivially *)
+          match ctx.Business.exec ~db [ Dbms.Rm.Get "balance" ] with
+          | Dbms.Rm.Exec_ok { values = [ v ]; _ } ->
+              Printf.sprintf "report:balance=%s"
+                (match v with
+                | Some value -> Dbms.Value.to_string value
+                | None -> "none")
+          | _ -> "report:unavailable");
+  }
+
+let one_request ?seed ?net ?n_app_servers ?n_dbs ?fd_spec ?seed_data
+    ?client_period ?business () =
+  let business = Option.value ~default:Business.trivial business in
+  Deployment.build ?seed ?net ?n_app_servers ?n_dbs ?fd_spec ?seed_data
+    ?client_period ~business
+    ~script:(fun ~issue -> ignore (issue "req-1"))
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Nice runs *)
+
+let test_nice_run_commits () =
+  let d = one_request () in
+  let ok = Deployment.run_to_quiescence d in
+  Alcotest.(check bool) "quiesced" true ok;
+  (match Client.records d.client with
+  | [ r ] ->
+      Alcotest.(check int) "single try" 1 r.tries;
+      Alcotest.(check string) "result" "ok:req-1" r.result
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs));
+  check_no_violations "nice run" d
+
+let test_three_sequential_requests () =
+  let d =
+    Deployment.build ~business:Business.trivial
+      ~script:(fun ~issue ->
+        ignore (issue "alpha");
+        ignore (issue "beta");
+        ignore (issue "gamma"))
+      ()
+  in
+  let ok = Deployment.run_to_quiescence d in
+  Alcotest.(check bool) "quiesced" true ok;
+  Alcotest.(check int) "three results" 3 (List.length (Client.records d.client));
+  List.iter
+    (fun (r : Client.record) ->
+      Alcotest.(check int) "first try each" 1 r.tries)
+    (Client.records d.client);
+  check_no_violations "sequential requests" d
+
+let test_nice_run_latency_matches_paper_shape () =
+  (* With the calibrated model a committed e-Transaction should take around
+     250 ms as seen by the client (the paper measured 252.3). *)
+  let d = one_request () in
+  ignore (Deployment.run_to_quiescence d);
+  match Client.records d.client with
+  | [ r ] ->
+      let latency = r.delivered_at -. r.issued_at in
+      Alcotest.(check bool)
+        (Printf.sprintf "latency %.1f in [230,280]" latency)
+        true
+        (latency > 230. && latency < 280.)
+  | _ -> Alcotest.fail "expected one record"
+
+let test_user_level_abort_then_commit () =
+  (* balance 10 < 100: attempt 1 poisons and aborts; attempt 2 reports and
+     commits. Exactly the paper's footnote-4 behaviour. *)
+  let d =
+    Deployment.build
+      ~seed_data:[ ("balance", Dbms.Value.Int 10) ]
+      ~business:(debit_or_report ~amount:100)
+      ~script:(fun ~issue -> ignore (issue "pay"))
+      ()
+  in
+  let ok = Deployment.run_to_quiescence d in
+  Alcotest.(check bool) "quiesced" true ok;
+  (match Client.records d.client with
+  | [ r ] ->
+      Alcotest.(check int) "two tries" 2 r.tries;
+      Alcotest.(check string) "report delivered" "report:balance=10" r.result
+  | _ -> Alcotest.fail "expected one record");
+  check_no_violations "user-level abort" d;
+  (* the failed debit must not have applied *)
+  let _, rm = List.hd d.dbs in
+  Alcotest.(check bool) "balance untouched" true
+    (Dbms.Rm.read_committed rm "balance" = Some (Dbms.Value.Int 10))
+
+let test_successful_debit_applies_once () =
+  let d =
+    Deployment.build
+      ~seed_data:[ ("balance", Dbms.Value.Int 500) ]
+      ~business:(debit_or_report ~amount:100)
+      ~script:(fun ~issue -> ignore (issue "pay"))
+      ()
+  in
+  ignore (Deployment.run_to_quiescence d);
+  check_no_violations "successful debit" d;
+  let _, rm = List.hd d.dbs in
+  Alcotest.(check bool) "balance debited exactly once" true
+    (Dbms.Rm.read_committed rm "balance" = Some (Dbms.Value.Int 400))
+
+let test_multiple_dbs_all_commit () =
+  let d = one_request ~n_dbs:3 () in
+  let ok = Deployment.run_to_quiescence d in
+  Alcotest.(check bool) "quiesced" true ok;
+  check_no_violations "multi-db" d;
+  match Client.records d.client with
+  | [ r ] ->
+      let xid = Dbms.Xid.make ~rid:r.rid ~j:r.tries in
+      List.iter
+        (fun (_, rm) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "committed at %s" (Dbms.Rm.name rm))
+            true
+            (Dbms.Rm.phase_of rm xid = Some Dbms.Rm.Committed))
+        d.dbs
+  | _ -> Alcotest.fail "expected one record"
+
+(* ------------------------------------------------------------------ *)
+(* Fail-over *)
+
+let test_failover_abort_midcompute () =
+  (* Primary crashes mid-SQL (t=100ms): Fig. 1(d). The cleaner aborts try 1,
+     the client retries, another server commits try 2. *)
+  let d = one_request ~client_period:300. () in
+  Dsim.Engine.crash_at d.engine 100. (Deployment.primary d);
+  let ok = Deployment.run_to_quiescence d ~deadline:60_000. in
+  Alcotest.(check bool) "quiesced" true ok;
+  (match Client.records d.client with
+  | [ r ] -> Alcotest.(check bool) "retried" true (r.tries >= 2)
+  | _ -> Alcotest.fail "expected one record");
+  check_no_violations "fail-over abort" d
+
+let test_failover_commit_after_regd () =
+  (* Primary crashes after the decision landed in regD but before it could
+     terminate: Fig. 1(c). The cleaner must finish the COMMIT and the client
+     must deliver try 1's result. *)
+  let d = one_request ~client_period:300. () in
+  (* regD write completes around t≈225ms with the calibrated model *)
+  Dsim.Engine.crash_at d.engine 230. (Deployment.primary d);
+  let ok = Deployment.run_to_quiescence d ~deadline:60_000. in
+  Alcotest.(check bool) "quiesced" true ok;
+  check_no_violations "fail-over commit" d
+
+let test_client_crash_t2_holds () =
+  (* The client crashes mid-request. Nothing is delivered, but no database
+     may stay blocked (T.2) — the cleaning thread unblocks them. *)
+  let d = one_request ~client_period:300. () in
+  Dsim.Engine.crash_at d.engine 100. (Deployment.primary d);
+  Dsim.Engine.crash_at d.engine 150. (Client.pid d.client);
+  ignore (Dsim.Engine.run ~deadline:60_000. d.engine);
+  Alcotest.(check (list string)) "T.2" [] (Spec.termination_t2 d);
+  Alcotest.(check (list string)) "A.3" [] (Spec.agreement_a3 d);
+  Alcotest.(check int) "nothing delivered" 0
+    (List.length (Client.records d.client))
+
+let test_db_crash_recovery () =
+  (* The (good) database crashes during the run and recovers; the protocol
+     must still terminate with a committed result. *)
+  let d = one_request ~client_period:300. () in
+  let db = fst (List.hd d.dbs) in
+  Dsim.Engine.crash_at d.engine 120. db;
+  Dsim.Engine.recover_at d.engine 400. db;
+  let ok = Deployment.run_to_quiescence d ~deadline:120_000. in
+  Alcotest.(check bool) "quiesced" true ok;
+  check_no_violations "db crash+recovery" d
+
+let test_two_of_five_appservers_crash () =
+  let d = one_request ~n_app_servers:5 ~client_period:300. () in
+  (match d.app_servers with
+  | a1 :: a2 :: _ ->
+      Dsim.Engine.crash_at d.engine 50. a1;
+      Dsim.Engine.crash_at d.engine 180. a2
+  | _ -> Alcotest.fail "expected five servers");
+  let ok = Deployment.run_to_quiescence d ~deadline:120_000. in
+  Alcotest.(check bool) "quiesced" true ok;
+  check_no_violations "minority crash (5 servers)" d
+
+(* ------------------------------------------------------------------ *)
+(* Systematic coverage and extensions *)
+
+let test_crash_at_every_point () =
+  (* Sweep the primary's crash time across the whole protocol timeline
+     (registration, compute, prepare, regD write, terminate, reply): the
+     specification must hold at EVERY cut point. *)
+  let t = ref 5. in
+  while !t < 270. do
+    let d = one_request ~client_period:300. () in
+    Dsim.Engine.crash_at d.engine !t (Deployment.primary d);
+    let ok = Deployment.run_to_quiescence ~deadline:120_000. d in
+    if not ok then Alcotest.failf "crash at %.1f: did not quiesce" !t;
+    (match Spec.check_all d with
+    | [] -> ()
+    | vs ->
+        Alcotest.failf "crash at %.1f: %s" !t (String.concat "; " vs));
+    (match Client.records d.client with
+    | [ _ ] -> ()
+    | rs -> Alcotest.failf "crash at %.1f: %d records" !t (List.length rs));
+    t := !t +. 12.
+  done
+
+let test_heartbeat_fd_nice_run () =
+  (* With a real (imperfect) detector and default parameters, a failure-free
+     run must behave exactly like the oracle run: one try, no cleaner
+     interference from false suspicions. *)
+  let d =
+    one_request
+      ~fd_spec:
+        (Appserver.Fd_heartbeat
+           { period = 10.; initial_timeout = 60.; timeout_bump = 30. })
+      ()
+  in
+  let ok = Deployment.run_to_quiescence ~deadline:60_000. d in
+  Alcotest.(check bool) "quiesced" true ok;
+  (match Client.records d.client with
+  | [ r ] -> Alcotest.(check int) "one try" 1 r.tries
+  | _ -> Alcotest.fail "expected one record");
+  check_no_violations "heartbeat nice run" d
+
+let test_partitioned_minority_server () =
+  (* One (non-primary) application server is partitioned away for a while:
+     the majority makes progress; after healing everything settles. *)
+  let partition, net =
+    Dnet.Netmodel.partitionable (Dnet.Netmodel.three_tier ~n_dbs:1 ())
+  in
+  let d =
+    Deployment.build ~net ~business:Business.trivial
+      ~script:(fun ~issue ->
+        ignore (issue "during-partition");
+        ignore (issue "after-heal"))
+      ()
+  in
+  let a3 = List.nth d.app_servers 2 in
+  Dnet.Netmodel.isolate partition a3;
+  Dsim.Engine.schedule d.engine ~delay:400. (fun () ->
+      Dnet.Netmodel.heal partition);
+  let ok = Deployment.run_to_quiescence ~deadline:120_000. d in
+  Alcotest.(check bool) "quiesced" true ok;
+  Alcotest.(check int) "both delivered" 2
+    (List.length (Client.records d.client));
+  check_no_violations "partition" d
+
+let test_multiple_clients_contention () =
+  (* Three clients hammer the same account concurrently: lock conflicts are
+     retried, and the final balance reflects every transfer exactly once. *)
+  let d =
+    Deployment.build
+      ~seed_data:(Workload.Bank.seed_accounts [ ("hot", 0) ])
+      ~business:Workload.Bank.update
+      ~script:(fun ~issue ->
+        for _ = 1 to 3 do
+          ignore (issue "hot:1")
+        done)
+      ()
+  in
+  let extra_clients =
+    List.map
+      (fun name ->
+        Client.spawn d.engine ~name ~period:400. ~servers:d.app_servers
+          ~script:(fun ~issue ->
+            for _ = 1 to 3 do
+              ignore (issue "hot:10")
+            done)
+          ())
+      [ "client-b"; "client-c" ]
+  in
+  let all_done () =
+    Client.script_done d.client
+    && List.for_all Client.script_done extra_clients
+  in
+  let ok = Dsim.Engine.run_until ~deadline:600_000. d.engine all_done in
+  Alcotest.(check bool) "all clients served" true ok;
+  check_no_violations "multi-client" d;
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "three results each" 3
+        (List.length (Client.records c)))
+    (d.client :: extra_clients);
+  let _, rm = List.hd d.dbs in
+  Alcotest.(check bool) "every update applied exactly once" true
+    (Dbms.Rm.read_committed rm "hot" = Some (Dbms.Value.Int 63))
+
+let test_impatient_client_active_replication () =
+  (* The paper: "with an impatient client ... we may easily end up in the
+     situation where all application servers try to concurrently commit or
+     abort a result. In this case, like in an active replication scheme,
+     there is no single primary". A 5 ms back-off makes the client broadcast
+     almost immediately; several servers then race on regA[1], and the
+     write-once register keeps execution exactly-once anyway. *)
+  let d = one_request ~client_period:5. () in
+  let ok = Deployment.run_to_quiescence ~deadline:60_000. d in
+  Alcotest.(check bool) "quiesced" true ok;
+  (match Client.records d.client with
+  | [ r ] -> Alcotest.(check int) "still one try" 1 r.tries
+  | _ -> Alcotest.fail "expected one record");
+  check_no_violations "impatient client" d;
+  (* every server received the request (the broadcast raced the primary) *)
+  let deliveries =
+    List.filter
+      (fun (e : Dsim.Trace.entry) ->
+        match e.event with
+        | Dsim.Trace.Delivered
+            { payload = Etx_types.Request_msg { j = 1; _ }; dst; _ } ->
+            List.mem dst d.app_servers
+        | _ -> false)
+      (Dsim.Trace.entries (Dsim.Engine.trace d.engine))
+  in
+  Alcotest.(check bool) "more than one server engaged" true
+    (List.length deliveries >= 2);
+  (* and exactly one computation happened *)
+  let computed =
+    List.filter
+      (fun (e : Dsim.Trace.entry) ->
+        match e.event with
+        | Dsim.Trace.Note (_, s) ->
+            String.length s > 9 && String.sub s 0 9 = "computed:"
+        | _ -> false)
+      (Dsim.Trace.entries (Dsim.Engine.trace d.engine))
+  in
+  Alcotest.(check int) "exactly one execution" 1 (List.length computed)
+
+(* --- the client protocol (Fig. 2) details --- *)
+
+let request_deliveries d =
+  (* count Request deliveries per application-server pid *)
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Dsim.Trace.entry) ->
+      match e.event with
+      | Dsim.Trace.Delivered m -> (
+          match m.Dsim.Types.payload with
+          | Etx_types.Request_msg _ ->
+              let c =
+                Option.value ~default:0 (Hashtbl.find_opt counts m.dst)
+              in
+              Hashtbl.replace counts m.dst (c + 1)
+          | _ -> ())
+      | _ -> ())
+    (Dsim.Trace.entries (Dsim.Engine.trace d.Deployment.engine));
+  counts
+
+let test_client_backoff_then_broadcast () =
+  (* The primary is dead from the start: the client first times out on it,
+     then broadcasts to every server (Fig. 2 lines 5-7). *)
+  let d = one_request ~client_period:300. () in
+  Dsim.Engine.crash_at d.engine 0.5 (Deployment.primary d);
+  let ok = Deployment.run_to_quiescence ~deadline:60_000. d in
+  Alcotest.(check bool) "quiesced" true ok;
+  let counts = request_deliveries d in
+  List.iteri
+    (fun i server ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "server %d reached by broadcast" i)
+          true
+          (Hashtbl.find_opt counts server <> None))
+    d.app_servers;
+  (match Client.records d.client with
+  | [ r ] ->
+      (* the whole first back-off period was spent on the dead primary *)
+      Alcotest.(check bool) "latency includes the back-off" true
+        (r.delivered_at -. r.issued_at > 300.)
+  | _ -> Alcotest.fail "expected one record");
+  check_no_violations "backoff broadcast" d
+
+let test_client_no_broadcast_in_nice_run () =
+  (* In a failure-free run the optimisation holds: only the primary ever
+     sees the request. *)
+  let d = one_request () in
+  ignore (Deployment.run_to_quiescence d);
+  let counts = request_deliveries d in
+  List.iteri
+    (fun i server ->
+      if i > 0 then
+        Alcotest.(check (option int))
+          (Printf.sprintf "server %d never contacted" i)
+          None
+          (Hashtbl.find_opt counts server))
+    d.app_servers
+
+let test_client_ignores_stale_result () =
+  (* A stray Result for a different (rid, j) must not fool the client. *)
+  let d =
+    Deployment.build ~business:Business.trivial
+      ~script:(fun ~issue ->
+        let r = issue "real" in
+        Alcotest.(check string) "genuine result" "ok:real" r.result)
+      ()
+  in
+  (* inject a forged result for a nonexistent request before the run *)
+  Dsim.Engine.schedule d.engine ~delay:1. (fun () ->
+      Dsim.Engine.post d.engine ~src:(Deployment.primary d)
+        ~dst:(Client.pid d.client)
+        (Etx_types.Result_msg
+           {
+             rid = 999_999;
+             j = 1;
+             decision =
+               { result = Some "forged"; outcome = Dbms.Rm.Commit };
+           }));
+  let ok = Deployment.run_to_quiescence d in
+  Alcotest.(check bool) "quiesced" true ok;
+  check_no_violations "stale result" d
+
+(* --- §5 extension: register garbage collection --- *)
+
+let gc_notes d =
+  List.filter_map
+    (fun (e : Dsim.Trace.entry) ->
+      match e.event with
+      | Dsim.Trace.Note (_, s)
+        when String.length s > 3 && String.sub s 0 3 = "gc:" ->
+          Some s
+      | _ -> None)
+    (Dsim.Trace.entries (Dsim.Engine.trace d.Deployment.engine))
+
+let computed_try1_notes d rid =
+  let prefix = Printf.sprintf "computed:%d:1:" rid in
+  List.filter
+    (fun (e : Dsim.Trace.entry) ->
+      match e.event with
+      | Dsim.Trace.Note (_, s) ->
+          String.length s >= String.length prefix
+          && String.sub s 0 (String.length prefix) = prefix
+      | _ -> false)
+    (Dsim.Trace.entries (Dsim.Engine.trace d.Deployment.engine))
+  |> List.length
+
+let test_gc_collects_registers () =
+  let d = Deployment.build ~gc_after:500. ~business:Business.trivial
+      ~script:(fun ~issue ->
+        ignore (issue "one");
+        ignore (issue "two"))
+      ()
+  in
+  let ok = Deployment.run_to_quiescence d in
+  Alcotest.(check bool) "quiesced" true ok;
+  (* let the grace period elapse and the GC threads run *)
+  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of d.engine +. 2_000.) d.engine);
+  let notes = gc_notes d in
+  (* every server sweeps at least once *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 3 sweeps (got %d)" (List.length notes))
+    true
+    (List.length notes >= 3);
+  let ends_with_zero s =
+    String.length s > 12
+    && String.sub s (String.length s - 11) 11 = "instances=0"
+  in
+  (* the LAST sweep of every server frees everything: there are exactly as
+     many zero-instance sweeps as servers *)
+  Alcotest.(check int) "all three servers end empty" 3
+    (List.length (List.filter ends_with_zero notes))
+
+let test_gc_timed_at_most_once_caveat () =
+  (* The paper's caveat, demonstrated: after the grace period the servers
+     have genuinely forgotten the request, so a (rule-breaking) late
+     retransmission is re-executed as if new. *)
+  let d =
+    Deployment.build ~gc_after:300. ~business:Business.trivial
+      ~script:(fun ~issue -> ignore (issue "pay"))
+      ()
+  in
+  let ok = Deployment.run_to_quiescence d in
+  Alcotest.(check bool) "quiesced" true ok;
+  let rid =
+    match Client.records d.client with
+    | [ r ] -> r.rid
+    | _ -> Alcotest.fail "expected one record"
+  in
+  Alcotest.(check int) "computed once" 1 (computed_try1_notes d rid);
+  (* grace period passes; GC runs *)
+  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of d.engine +. 1_000.) d.engine);
+  Alcotest.(check bool) "collected" true (gc_notes d <> []);
+  (* a late retransmission of (rid, j=1) straight to the primary *)
+  let request = { Etx_types.rid; body = "pay" } in
+  Dsim.Engine.post d.engine ~src:(Client.pid d.client)
+    ~dst:(Deployment.primary d)
+    (Etx_types.Request_msg { request; j = 1 });
+  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of d.engine +. 2_000.) d.engine);
+  Alcotest.(check int) "re-executed after GC (the timed caveat)" 2
+    (computed_try1_notes d rid)
+
+(* --- the Synod (Paxos) register backend at the protocol level --- *)
+
+let test_synod_backend_nice_run () =
+  let d =
+    Deployment.build ~backend:Appserver.Reg_synod ~business:Business.trivial
+      ~script:(fun ~issue -> ignore (issue "via-paxos"))
+      ()
+  in
+  let ok = Deployment.run_to_quiescence ~deadline:60_000. d in
+  Alcotest.(check bool) "quiesced" true ok;
+  (match Client.records d.client with
+  | [ r ] ->
+      Alcotest.(check int) "one try" 1 r.tries;
+      Alcotest.(check string) "result" "ok:via-paxos" r.result;
+      (* the fast path is preserved: same latency band as the CT backend *)
+      let latency = r.delivered_at -. r.issued_at in
+      Alcotest.(check bool)
+        (Printf.sprintf "latency %.1f in [230,280]" latency)
+        true
+        (latency > 230. && latency < 280.)
+  | _ -> Alcotest.fail "expected one record");
+  check_no_violations "synod nice run" d
+
+let test_synod_backend_failover () =
+  (* both fail-over shapes of Fig. 1, on the Paxos substrate *)
+  List.iter
+    (fun (crash_at, expect_tries) ->
+      let d =
+        Deployment.build ~backend:Appserver.Reg_synod ~client_period:300.
+          ~business:Business.trivial
+          ~script:(fun ~issue -> ignore (issue "x"))
+          ()
+      in
+      Dsim.Engine.crash_at d.engine crash_at (Deployment.primary d);
+      let ok = Deployment.run_to_quiescence ~deadline:120_000. d in
+      Alcotest.(check bool)
+        (Printf.sprintf "quiesced (crash at %.0f)" crash_at)
+        true ok;
+      (match Client.records d.client with
+      | [ r ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tries at crash %.0f" crash_at)
+            true (r.tries >= expect_tries)
+      | _ -> Alcotest.fail "expected one record");
+      check_no_violations "synod failover" d)
+    [ (230., 1); (100., 2) ]
+
+let prop_synod_backend_random_faults =
+  QCheck.Test.make ~name:"spec holds on the Synod backend under faults"
+    ~count:15
+    QCheck.(pair (int_range 0 100_000) (float_range 1. 400.))
+    (fun (seed, crash_time) ->
+      let d =
+        Deployment.build ~seed ~backend:Appserver.Reg_synod
+          ~client_period:300. ~business:Business.trivial
+          ~script:(fun ~issue -> ignore (issue "x"))
+          ()
+      in
+      Dsim.Engine.crash_at d.engine crash_time (Deployment.primary d);
+      Etx.Deployment.run_to_quiescence ~deadline:300_000. d
+      && Spec.check_all d = [])
+
+(* --- §5 extension: crash-recovery application servers --- *)
+
+let test_recoverable_all_servers_crash () =
+  (* With persistent registers even ALL application servers may crash (and
+     recover): the crash-stop protocol's majority assumption is gone. The
+     delivered result may degrade to an error report when the re-elected
+     winner cannot reconstruct the original result string, but the
+     transaction's effect applies exactly once. *)
+  let d =
+    Deployment.build ~recoverable:true ~client_period:300.
+      ~seed_data:(Workload.Bank.seed_accounts [ ("acct", 1000) ])
+      ~business:Workload.Bank.update
+      ~script:(fun ~issue -> ignore (issue "acct:-100"))
+      ()
+  in
+  List.iteri
+    (fun i server ->
+      let at = 60. +. (float_of_int i *. 40.) in
+      Dsim.Engine.crash_at d.engine at server;
+      Dsim.Engine.recover_at d.engine (at +. 500.) server)
+    d.app_servers;
+  let ok = Deployment.run_to_quiescence ~deadline:300_000. d in
+  Alcotest.(check bool) "recovered cluster finished the request" true ok;
+  Alcotest.(check int) "delivered" 1 (List.length (Client.records d.client));
+  (* the money moved exactly once, whatever the report said *)
+  let _, rm = List.hd d.dbs in
+  Alcotest.(check bool) "debited exactly once" true
+    (Dbms.Rm.read_committed rm "acct" = Some (Dbms.Value.Int 900));
+  (* agreement and non-blocking hold *)
+  Alcotest.(check (list string)) "A.2" [] (Spec.agreement_a2 d);
+  Alcotest.(check (list string)) "A.3" [] (Spec.agreement_a3 d);
+  Alcotest.(check (list string)) "T.2" [] (Spec.termination_t2 d)
+
+let test_recoverable_majority_down_blocks_then_resumes () =
+  (* Two of three servers down: no majority, no progress (consensus needs
+     it); once they come back the request completes — "a majority is
+     eventually up together" replaces "a majority never crashes". *)
+  let d =
+    Deployment.build ~recoverable:true ~client_period:300.
+      ~business:Business.trivial
+      ~script:(fun ~issue -> ignore (issue "x"))
+      ()
+  in
+  (match d.app_servers with
+  | a1 :: a2 :: _ ->
+      Dsim.Engine.crash_at d.engine 20. a1;
+      Dsim.Engine.crash_at d.engine 20. a2;
+      Dsim.Engine.recover_at d.engine 8_000. a1;
+      Dsim.Engine.recover_at d.engine 8_000. a2
+  | _ -> Alcotest.fail "expected three servers");
+  (* blocked while the majority is down *)
+  ignore (Dsim.Engine.run ~deadline:7_000. d.engine);
+  Alcotest.(check int) "no delivery without a majority" 0
+    (List.length (Client.records d.client));
+  (* resumes after recovery *)
+  let ok = Deployment.run_to_quiescence ~deadline:300_000. d in
+  Alcotest.(check bool) "completed after the majority returned" true ok;
+  Alcotest.(check int) "delivered" 1 (List.length (Client.records d.client));
+  Alcotest.(check (list string)) "A.3" [] (Spec.agreement_a3 d)
+
+let test_recoverable_register_write_cost () =
+  (* The ablation's point in unit-test form: persistent registers put
+     forced IO back on the critical path, so the nice-run latency climbs
+     from ~243 ms to beyond 2PC's ~260 ms — which is exactly why the paper
+     keeps the middle tier diskless. *)
+  let run ~recoverable =
+    let d =
+      Deployment.build ~recoverable
+        ~seed_data:(Workload.Bank.seed_accounts [ ("a", 100) ])
+        ~business:Workload.Bank.update
+        ~script:(fun ~issue -> ignore (issue "a:1"))
+        ()
+    in
+    assert (Deployment.run_to_quiescence ~deadline:60_000. d);
+    match Client.records d.client with
+    | [ r ] -> r.delivered_at -. r.issued_at
+    | _ -> Alcotest.fail "expected one record"
+  in
+  let volatile = run ~recoverable:false in
+  let persistent = run ~recoverable:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "persistent (%.1f) ≥ volatile (%.1f) + 30ms" persistent
+       volatile)
+    true
+    (persistent > volatile +. 30.)
+
+(* ------------------------------------------------------------------ *)
+(* Random fault injection *)
+
+let prop_spec_under_random_faults =
+  QCheck.Test.make ~name:"e-Transaction spec under random faults" ~count:25
+    QCheck.(
+      quad (int_range 0 100_000) (float_range 0. 0.15) (float_range 1. 500.)
+        (int_range 0 2))
+    (fun (seed, loss, crash_time, victim_index) ->
+      let net = Dnet.Netmodel.lossy ~loss (Dnet.Netmodel.lan ()) in
+      let d =
+        Deployment.build ~seed ~net ~client_period:300.
+          ~fd_spec:
+            (Appserver.Fd_heartbeat
+               { period = 10.; initial_timeout = 60.; timeout_bump = 30. })
+          ~business:Business.trivial
+          ~script:(fun ~issue -> ignore (issue "x"))
+          ()
+      in
+      let victim = List.nth d.app_servers victim_index in
+      Dsim.Engine.crash_at d.engine crash_time victim;
+      let ok = Deployment.run_to_quiescence d ~deadline:300_000. in
+      ok && Spec.check_all d = [])
+
+let prop_crash_recovery_servers =
+  QCheck.Test.make ~name:"crash-recovery servers under random schedules"
+    ~count:15
+    QCheck.(
+      triple (int_range 0 100_000) (float_range 10. 400.) (int_range 1 3))
+    (fun (seed, first_crash, n_victims) ->
+      let d =
+        Etx.Deployment.build ~seed ~recoverable:true ~client_period:300.
+          ~seed_data:(Workload.Bank.seed_accounts [ ("acct", 1000) ])
+          ~business:Workload.Bank.update
+          ~script:(fun ~issue -> ignore (issue "acct:-100"))
+          ()
+      in
+      List.iteri
+        (fun i server ->
+          if i < n_victims then begin
+            let at = first_crash +. (float_of_int i *. 70.) in
+            Dsim.Engine.crash_at d.engine at server;
+            Dsim.Engine.recover_at d.engine (at +. 600.) server
+          end)
+        d.app_servers;
+      let ok = Etx.Deployment.run_to_quiescence ~deadline:600_000. d in
+      ok
+      && Etx.Spec.agreement_a2 d = []
+      && Etx.Spec.agreement_a3 d = []
+      && Etx.Spec.termination_t2 d = []
+      &&
+      let _, rm = List.hd d.dbs in
+      Dbms.Rm.read_committed rm "acct" = Some (Dbms.Value.Int 900))
+
+let prop_spec_with_db_restarts =
+  QCheck.Test.make ~name:"spec with database crash-recovery cycles" ~count:15
+    QCheck.(pair (int_range 0 100_000) (float_range 10. 300.))
+    (fun (seed, crash_time) ->
+      let d =
+        Deployment.build ~seed ~client_period:300. ~business:Business.trivial
+          ~script:(fun ~issue ->
+            ignore (issue "x");
+            ignore (issue "y"))
+          ()
+      in
+      let db = fst (List.hd d.dbs) in
+      Dsim.Engine.crash_at d.engine crash_time db;
+      Dsim.Engine.recover_at d.engine (crash_time +. 150.) db;
+      Dsim.Engine.crash_at d.engine (crash_time +. 320.) db;
+      Dsim.Engine.recover_at d.engine (crash_time +. 470.) db;
+      let ok = Deployment.run_to_quiescence d ~deadline:300_000. in
+      ok && Spec.check_all d = [])
+
+(* Everything at once: loss, an imperfect detector, an application-server
+   crash, a database restart, an impatient client, several requests, and a
+   randomly chosen register backend. *)
+let prop_kitchen_sink =
+  QCheck.Test.make ~name:"kitchen sink: combined fault schedules" ~count:12
+    QCheck.(
+      quad (int_range 0 100_000) (float_range 0. 0.1) (float_range 50. 600.)
+        (int_range 0 1))
+    (fun (seed, loss, crash_time, backend_choice) ->
+      let backend =
+        if backend_choice = 0 then Appserver.Reg_ct else Appserver.Reg_synod
+      in
+      let net = Dnet.Netmodel.lossy ~loss (Dnet.Netmodel.three_tier ~n_dbs:1 ()) in
+      let d =
+        Deployment.build ~seed ~net ~backend
+          ~client_period:(50. +. float_of_int (seed mod 400))
+          ~fd_spec:
+            (Appserver.Fd_heartbeat
+               { period = 10.; initial_timeout = 60.; timeout_bump = 30. })
+          ~seed_data:(Workload.Bank.seed_accounts [ ("k", 10_000) ])
+          ~business:Workload.Bank.update
+          ~script:(fun ~issue ->
+            for _ = 1 to 3 do
+              ignore (issue "k:7")
+            done)
+          ()
+      in
+      let victim = List.nth d.app_servers (seed mod 3) in
+      Dsim.Engine.crash_at d.engine crash_time victim;
+      let db = fst (List.hd d.dbs) in
+      Dsim.Engine.crash_at d.engine (crash_time +. 180.) db;
+      Dsim.Engine.recover_at d.engine (crash_time +. 380.) db;
+      let ok = Deployment.run_to_quiescence ~deadline:600_000. d in
+      ok
+      && Spec.check_all d = []
+      &&
+      (* three committed updates of +7 each, exactly once *)
+      let _, rm = List.hd d.dbs in
+      Dbms.Rm.read_committed rm "k" = Some (Dbms.Value.Int 10_021))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "etx"
+    [
+      ( "nice-runs",
+        [
+          Alcotest.test_case "single request commits" `Quick
+            test_nice_run_commits;
+          Alcotest.test_case "sequential requests" `Quick
+            test_three_sequential_requests;
+          Alcotest.test_case "latency matches paper shape" `Quick
+            test_nice_run_latency_matches_paper_shape;
+          Alcotest.test_case "user-level abort then commit" `Quick
+            test_user_level_abort_then_commit;
+          Alcotest.test_case "debit applies exactly once" `Quick
+            test_successful_debit_applies_once;
+          Alcotest.test_case "multiple databases" `Quick
+            test_multiple_dbs_all_commit;
+        ] );
+      ( "fail-over",
+        [
+          Alcotest.test_case "abort mid-compute (Fig 1d)" `Quick
+            test_failover_abort_midcompute;
+          Alcotest.test_case "commit after regD (Fig 1c)" `Quick
+            test_failover_commit_after_regd;
+          Alcotest.test_case "client crash: T.2 holds" `Quick
+            test_client_crash_t2_holds;
+          Alcotest.test_case "db crash + recovery" `Quick
+            test_db_crash_recovery;
+          Alcotest.test_case "two of five servers crash" `Quick
+            test_two_of_five_appservers_crash;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "crash at every point" `Quick
+            test_crash_at_every_point;
+          Alcotest.test_case "heartbeat fd nice run" `Quick
+            test_heartbeat_fd_nice_run;
+          Alcotest.test_case "partitioned minority" `Quick
+            test_partitioned_minority_server;
+          Alcotest.test_case "three concurrent clients" `Quick
+            test_multiple_clients_contention;
+          Alcotest.test_case "impatient client (active replication)" `Quick
+            test_impatient_client_active_replication;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "back-off then broadcast" `Quick
+            test_client_backoff_then_broadcast;
+          Alcotest.test_case "no broadcast in nice run" `Quick
+            test_client_no_broadcast_in_nice_run;
+          Alcotest.test_case "ignores stale results" `Quick
+            test_client_ignores_stale_result;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "collects registers" `Quick
+            test_gc_collects_registers;
+          Alcotest.test_case "timed at-most-once caveat" `Quick
+            test_gc_timed_at_most_once_caveat;
+        ] );
+      ( "synod-backend",
+        [
+          Alcotest.test_case "nice run" `Quick test_synod_backend_nice_run;
+          Alcotest.test_case "fail-over (both shapes)" `Quick
+            test_synod_backend_failover;
+          q prop_synod_backend_random_faults;
+        ] );
+      ( "crash-recovery-servers",
+        [
+          Alcotest.test_case "all servers crash and recover" `Quick
+            test_recoverable_all_servers_crash;
+          Alcotest.test_case "majority down blocks, then resumes" `Quick
+            test_recoverable_majority_down_blocks_then_resumes;
+          Alcotest.test_case "persistence costs forced IO" `Quick
+            test_recoverable_register_write_cost;
+        ] );
+      ( "random-faults",
+        [
+          q prop_spec_under_random_faults;
+          q prop_spec_with_db_restarts;
+          q prop_crash_recovery_servers;
+          q prop_kitchen_sink;
+        ] );
+    ]

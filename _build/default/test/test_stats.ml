@@ -1,0 +1,134 @@
+(* Tests for the statistics library: summaries, confidence intervals,
+   latency-component breakdowns, table rendering. *)
+
+let close = Alcotest.(check (float 1e-6))
+
+let test_mean_stddev () =
+  close "mean" 3. (Stats.Summary.mean [ 1.; 2.; 3.; 4.; 5. ]);
+  close "stddev" (sqrt 2.5) (Stats.Summary.stddev [ 1.; 2.; 3.; 4.; 5. ]);
+  close "stddev singleton" 0. (Stats.Summary.stddev [ 7. ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  close "p50" 50. (Stats.Summary.percentile xs 50.);
+  close "p95" 95. (Stats.Summary.percentile xs 95.);
+  close "p99" 99. (Stats.Summary.percentile xs 99.);
+  close "p100 = max" 100. (Stats.Summary.percentile xs 100.);
+  close "p0 = min" 1. (Stats.Summary.percentile xs 0.)
+
+let test_of_samples () =
+  let s = Stats.Summary.of_samples [ 10.; 12.; 14.; 16.; 18. ] in
+  Alcotest.(check int) "n" 5 s.n;
+  close "mean" 14. s.mean;
+  close "min" 10. s.min;
+  close "max" 18. s.max;
+  Alcotest.(check bool) "ci brackets mean" true
+    (s.ci90_low < s.mean && s.mean < s.ci90_high)
+
+let test_ci_width_shrinks_with_n () =
+  let narrow = Stats.Summary.of_samples (List.init 400 (fun i -> 100. +. float_of_int (i mod 10))) in
+  let wide = Stats.Summary.of_samples (List.init 4 (fun i -> 100. +. float_of_int (i mod 10) *. 1.0)) in
+  Alcotest.(check bool) "more samples, tighter CI" true
+    (Stats.Summary.ci90_width_ratio narrow < Stats.Summary.ci90_width_ratio wide)
+
+let test_of_samples_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_samples: empty")
+    (fun () -> ignore (Stats.Summary.of_samples []))
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_range 0. 1000.)) (float_range 0. 100.))
+    (fun (xs, p) ->
+      let v = Stats.Summary.percentile xs p in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      lo <= v && v <= hi)
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0. 1000.))
+    (fun xs ->
+      let m = Stats.Summary.mean xs in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      lo -. 1e-9 <= m && m <= hi +. 1e-9)
+
+(* breakdown: span needs an engine *)
+let test_breakdown_span_and_rows () =
+  let t = Dsim.Engine.create () in
+  let bd = Stats.Breakdown.create () in
+  let _ =
+    Dsim.Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
+        Stats.Breakdown.span bd "sql" (fun () -> Dsim.Engine.sleep 100.);
+        Stats.Breakdown.tick bd;
+        Stats.Breakdown.span bd "sql" (fun () -> Dsim.Engine.sleep 200.);
+        Stats.Breakdown.span bd "commit" (fun () -> Dsim.Engine.sleep 10.);
+        Stats.Breakdown.tick bd)
+  in
+  ignore (Dsim.Engine.run t);
+  Alcotest.(check int) "txns" 2 (Stats.Breakdown.transactions bd);
+  close "sql mean" 150. (Stats.Breakdown.row bd "sql");
+  close "commit mean" 5. (Stats.Breakdown.row bd "commit");
+  close "unknown row" 0. (Stats.Breakdown.row bd "nope");
+  Alcotest.(check (list string)) "categories" [ "commit"; "sql" ]
+    (Stats.Breakdown.categories bd);
+  close "other" 45. (Stats.Breakdown.other bd ~total:200.);
+  Stats.Breakdown.reset bd;
+  Alcotest.(check int) "reset" 0 (Stats.Breakdown.transactions bd)
+
+let test_breakdown_add () =
+  let bd = Stats.Breakdown.create () in
+  Stats.Breakdown.add bd "x" 3.;
+  Stats.Breakdown.add bd "x" 5.;
+  Stats.Breakdown.tick bd;
+  close "direct add" 8. (Stats.Breakdown.row bd "x")
+
+let test_table_render () =
+  let s =
+    Stats.Table.render ~headers:[ "name"; "v" ]
+      ~rows:[ [ "alpha"; "1.0" ]; [ "b"; "22.5" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (* all lines share the same width *)
+  (match lines with
+  | first :: rest ->
+      List.iter
+        (fun l ->
+          Alcotest.(check int) "aligned" (String.length first) (String.length l))
+        rest
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "contains row" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = 'a') lines)
+
+let test_fmt () =
+  Alcotest.(check string) "ms" "216.4" (Stats.Table.fmt_ms 216.44);
+  Alcotest.(check string) "pct+" "+16%" (Stats.Table.fmt_pct 16.1);
+  Alcotest.(check string) "pct0" "+0%" (Stats.Table.fmt_pct 0.)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "of_samples" `Quick test_of_samples;
+          Alcotest.test_case "ci width vs n" `Quick test_ci_width_shrinks_with_n;
+          Alcotest.test_case "empty raises" `Quick test_of_samples_empty_raises;
+          q prop_percentile_bounded;
+          q prop_mean_bounded;
+        ] );
+      ( "breakdown",
+        [
+          Alcotest.test_case "span/rows/other" `Quick
+            test_breakdown_span_and_rows;
+          Alcotest.test_case "add" `Quick test_breakdown_add;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formatting" `Quick test_fmt;
+        ] );
+    ]

@@ -1,0 +1,262 @@
+(* Tests for the business-logic workloads (bank, travel, generators),
+   exercised through full deployments. *)
+
+let run ?(n_dbs = 1) ?seed_data ~business bodies =
+  let d =
+    Etx.Deployment.build ~n_dbs ?seed_data ~business
+      ~script:(fun ~issue -> List.iter (fun b -> ignore (issue b)) bodies)
+      ()
+  in
+  let ok = Etx.Deployment.run_to_quiescence ~deadline:300_000. d in
+  Alcotest.(check bool) "quiesced" true ok;
+  Alcotest.(check (list string)) "spec" [] (Etx.Spec.check_all d);
+  d
+
+let read_int d db_index key =
+  let _, rm = List.nth d.Etx.Deployment.dbs db_index in
+  match Dbms.Rm.read_committed rm key with
+  | Some (Dbms.Value.Int v) -> v
+  | Some (Dbms.Value.Str _) -> Alcotest.fail (key ^ " is not an int")
+  | None -> Alcotest.fail (key ^ " missing")
+
+let results (d : Etx.Deployment.t) =
+  List.map
+    (fun (r : Etx.Client.record) -> r.result)
+    (Etx.Client.records d.client)
+
+(* ------------------------------------------------------------------ *)
+(* bank *)
+
+let test_bank_update () =
+  let d =
+    run
+      ~seed_data:(Workload.Bank.seed_accounts [ ("a", 100) ])
+      ~business:Workload.Bank.update [ "a:25"; "a:-50" ]
+  in
+  Alcotest.(check int) "balance" 75 (read_int d 0 "a");
+  Alcotest.(check (list string)) "results"
+    [ "updated:a:125"; "updated:a:75" ]
+    (results d)
+
+let test_bank_update_creates_account () =
+  let d = run ~business:Workload.Bank.update [ "fresh:10" ] in
+  Alcotest.(check int) "created from zero" 10 (read_int d 0 "fresh")
+
+let test_bank_transfer_moves_money () =
+  let d =
+    run
+      ~seed_data:(Workload.Bank.seed_accounts [ ("a", 100); ("b", 5) ])
+      ~business:Workload.Bank.transfer [ "a:b:30" ]
+  in
+  Alcotest.(check int) "a debited" 70 (read_int d 0 "a");
+  Alcotest.(check int) "b credited" 35 (read_int d 0 "b")
+
+let test_bank_transfer_insufficient () =
+  let d =
+    run
+      ~seed_data:(Workload.Bank.seed_accounts [ ("a", 10); ("b", 0) ])
+      ~business:Workload.Bank.transfer [ "a:b:30" ]
+  in
+  Alcotest.(check int) "a untouched" 10 (read_int d 0 "a");
+  Alcotest.(check int) "b untouched" 0 (read_int d 0 "b");
+  (match Etx.Client.records d.client with
+  | [ r ] ->
+      Alcotest.(check bool) "aborted once then reported" true (r.tries = 2);
+      Alcotest.(check string) "failure report"
+        "failed:insufficient-funds:a=10" r.result
+  | _ -> Alcotest.fail "expected one record")
+
+let test_bank_audit_read_only () =
+  let d =
+    run
+      ~seed_data:(Workload.Bank.seed_accounts [ ("a", 42) ])
+      ~business:Workload.Bank.audit [ "a"; "missing" ]
+  in
+  Alcotest.(check (list string)) "results"
+    [ "balance:a:42"; "balance:missing:none" ]
+    (results d)
+
+let test_bank_parse_errors () =
+  (* a malformed request body is a programming error: it aborts the whole
+     simulation loudly rather than silently corrupting the run *)
+  Alcotest.check_raises "update body"
+    (Invalid_argument "Bank.update: bad request body nope") (fun () ->
+      let d =
+        Etx.Deployment.build ~business:Workload.Bank.update
+          ~script:(fun ~issue -> ignore (issue "nope"))
+          ()
+      in
+      ignore (Etx.Deployment.run_to_quiescence ~deadline:10_000. d))
+
+(* ------------------------------------------------------------------ *)
+(* travel *)
+
+let inventory destinations =
+  Workload.Travel.seed_inventory ~destinations ~seats:4 ~rooms:2 ~cars:3
+
+let test_travel_booking_decrements_all_three () =
+  let d =
+    run ~n_dbs:3 ~seed_data:(inventory [ "rome" ])
+      ~business:Workload.Travel.book [ "rome:2" ]
+  in
+  (* resources spread round-robin across the three databases *)
+  Alcotest.(check int) "seats on db1" 2
+    (read_int d 0 (Workload.Travel.seats_key "rome"));
+  Alcotest.(check int) "rooms on db2" 1
+    (read_int d 1 (Workload.Travel.rooms_key "rome"));
+  Alcotest.(check int) "cars on db3" 2
+    (read_int d 2 (Workload.Travel.cars_key "rome"))
+
+let test_travel_single_db_layout () =
+  let d =
+    run ~n_dbs:1 ~seed_data:(inventory [ "rome" ])
+      ~business:Workload.Travel.book [ "rome:1" ]
+  in
+  Alcotest.(check int) "seats" 3 (read_int d 0 (Workload.Travel.seats_key "rome"));
+  Alcotest.(check int) "rooms" 1 (read_int d 0 (Workload.Travel.rooms_key "rome"))
+
+let test_travel_sellout_reports () =
+  (* rooms = 2: the third booking must fail with a committed report, and
+     inventory must never go negative *)
+  let d =
+    run ~n_dbs:3 ~seed_data:(inventory [ "oslo" ])
+      ~business:Workload.Travel.book [ "oslo:1"; "oslo:1"; "oslo:1" ]
+  in
+  Alcotest.(check int) "rooms exhausted, not negative" 0
+    (read_int d 1 (Workload.Travel.rooms_key "oslo"));
+  match results d with
+  | [ r1; r2; r3 ] ->
+      Alcotest.(check bool) "first two booked" true
+        (String.length r1 > 6
+        && String.sub r1 0 6 = "booked"
+        && String.sub r2 0 6 = "booked");
+      Alcotest.(check bool) "third reported unavailable" true
+        (String.length r3 > 11 && String.sub r3 0 11 = "unavailable")
+  | _ -> Alcotest.fail "expected three records"
+
+let test_travel_party_too_big () =
+  let d =
+    run ~n_dbs:3 ~seed_data:(inventory [ "lima" ])
+      ~business:Workload.Travel.book [ "lima:9" ]
+  in
+  (match results d with
+  | [ r ] ->
+      Alcotest.(check bool) "unavailable" true
+        (String.length r > 11 && String.sub r 0 11 = "unavailable")
+  | _ -> Alcotest.fail "expected one record");
+  Alcotest.(check int) "seats untouched" 4
+    (read_int d 0 (Workload.Travel.seats_key "lima"))
+
+(* ------------------------------------------------------------------ *)
+(* generator *)
+
+let test_generator_deterministic () =
+  let kind = Workload.Generator.Bank_updates { accounts = 4; max_delta = 9 } in
+  let a = Workload.Generator.bodies ~seed:3 ~n:20 kind in
+  let b = Workload.Generator.bodies ~seed:3 ~n:20 kind in
+  let c = Workload.Generator.bodies ~seed:4 ~n:20 kind in
+  Alcotest.(check (list string)) "same seed" a b;
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  Alcotest.(check int) "n bodies" 20 (List.length a)
+
+let test_generator_bodies_parse () =
+  (* every generated body must be accepted by its business logic *)
+  let kinds =
+    [
+      Workload.Generator.Bank_updates { accounts = 3; max_delta = 5 };
+      Workload.Generator.Bank_transfers { accounts = 3; max_amount = 5 };
+      Workload.Generator.Travel_bookings
+        { destinations = [ "x"; "y" ]; max_party = 2 };
+    ]
+  in
+  List.iter
+    (fun kind ->
+      let bodies = Workload.Generator.bodies ~seed:1 ~n:5 kind in
+      let d =
+        run
+          ~n_dbs:(match kind with Workload.Generator.Travel_bookings _ -> 3 | _ -> 1)
+          ~seed_data:(Workload.Generator.seed_data_of kind)
+          ~business:(Workload.Generator.business_of kind)
+          bodies
+      in
+      Alcotest.(check int) "all delivered" 5
+        (List.length (Etx.Client.records d.client)))
+    kinds
+
+let test_generator_transfer_distinct_accounts () =
+  let kind = Workload.Generator.Bank_transfers { accounts = 5; max_amount = 9 } in
+  List.iter
+    (fun body ->
+      match String.split_on_char ':' body with
+      | [ a; b; _ ] ->
+          Alcotest.(check bool) "from <> to" true (not (String.equal a b))
+      | _ -> Alcotest.fail "bad transfer body")
+    (Workload.Generator.bodies ~seed:5 ~n:50 kind)
+
+let prop_travel_inventory_conserved =
+  QCheck.Test.make ~name:"travel inventory never negative, exactly booked"
+    ~count:15
+    QCheck.(pair (int_range 0 10_000) (int_range 1 6))
+    (fun (seed, n_requests) ->
+      let bodies = List.init n_requests (fun _ -> "ibiza:1") in
+      let d =
+        Etx.Deployment.build ~seed ~n_dbs:3
+          ~seed_data:
+            (Workload.Travel.seed_inventory ~destinations:[ "ibiza" ] ~seats:3
+               ~rooms:3 ~cars:3)
+          ~business:Workload.Travel.book
+          ~script:(fun ~issue -> List.iter (fun b -> ignore (issue b)) bodies)
+          ()
+      in
+      let ok = Etx.Deployment.run_to_quiescence ~deadline:300_000. d in
+      ok
+      && Etx.Spec.check_all d = []
+      &&
+      let booked =
+        List.length
+          (List.filter
+             (fun (r : Etx.Client.record) ->
+               String.length r.result > 6 && String.sub r.result 0 6 = "booked")
+             (Etx.Client.records d.client))
+      in
+      let _, rm = List.nth d.dbs 0 in
+      match Dbms.Rm.read_committed rm (Workload.Travel.seats_key "ibiza") with
+      | Some (Dbms.Value.Int seats) ->
+          seats = 3 - booked && seats >= 0 && booked <= 3
+      | Some (Dbms.Value.Str _) | None -> false)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "bank",
+        [
+          Alcotest.test_case "update" `Quick test_bank_update;
+          Alcotest.test_case "update creates" `Quick
+            test_bank_update_creates_account;
+          Alcotest.test_case "transfer" `Quick test_bank_transfer_moves_money;
+          Alcotest.test_case "insufficient funds" `Quick
+            test_bank_transfer_insufficient;
+          Alcotest.test_case "audit" `Quick test_bank_audit_read_only;
+          Alcotest.test_case "parse errors are loud" `Quick
+            test_bank_parse_errors;
+        ] );
+      ( "travel",
+        [
+          Alcotest.test_case "books across 3 dbs" `Quick
+            test_travel_booking_decrements_all_three;
+          Alcotest.test_case "single-db layout" `Quick
+            test_travel_single_db_layout;
+          Alcotest.test_case "sell-out reports" `Quick
+            test_travel_sellout_reports;
+          Alcotest.test_case "party too big" `Quick test_travel_party_too_big;
+          q prop_travel_inventory_conserved;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "bodies parse" `Quick test_generator_bodies_parse;
+          Alcotest.test_case "transfer accounts distinct" `Quick
+            test_generator_transfer_distinct_accounts;
+        ] );
+    ]
