@@ -7,66 +7,182 @@
    substrate.
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- figure8 # one artefact
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- figure8      # one artefact
+     dune exec bench/main.exe -- --domains 4 figure8
+     dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
-      persistence consensus-failover throughput micro) *)
+      persistence consensus-failover throughput registers fd-quality
+      parallel micro)
+
+   Each invocation also writes BENCH_harness.json — per-artefact wall-clock
+   seconds, machine-readable:
+     { "schema": "etx-bench-harness/1", "domains": N,
+       "artefacts": [ { "name": "figure8", "wall_s": 1.234 }, ... ] } *)
+
+let domains = ref 1
 
 let section title body =
   Printf.printf "== %s ==\n%s\n\n%!" title body
 
+(* wall-clock ledger, dumped to BENCH_harness.json on exit *)
+let timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := !timings @ [ (name, dt) ];
+  r
+
+let write_bench_json () =
+  let oc = open_out "BENCH_harness.json" in
+  let artefacts =
+    String.concat ",\n"
+      (List.map
+         (fun (name, wall_s) ->
+           Printf.sprintf "    { \"name\": %S, \"wall_s\": %.6f }" name wall_s)
+         !timings)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"etx-bench-harness/1\",\n\
+    \  \"domains\": %d,\n\
+    \  \"artefacts\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    !domains artefacts;
+  close_out oc;
+  Printf.printf "wrote BENCH_harness.json (%d artefacts, domains=%d)\n%!"
+    (List.length !timings) !domains
+
 let run_figure8 () =
+  timed "figure8" @@ fun () ->
   section "E1/E4 (paper Figure 8)"
-    (Harness.Experiments.render_figure8 (Harness.Experiments.figure8 ()))
+    (Harness.Experiments.render_figure8
+       (Harness.Experiments.figure8 ~domains:!domains ()))
 
 let run_figure7 () =
+  timed "figure7" @@ fun () ->
   section "E2 (paper Figure 7)"
-    (Harness.Experiments.render_figure7 (Harness.Experiments.figure7 ()))
+    (Harness.Experiments.render_figure7
+       (Harness.Experiments.figure7 ~domains:!domains ()))
 
 let run_figure1 () =
+  timed "figure1" @@ fun () ->
   section "E3 (paper Figure 1)"
-    (Harness.Experiments.render_figure1 (Harness.Experiments.figure1 ()))
+    (Harness.Experiments.render_figure1
+       (Harness.Experiments.figure1 ~domains:!domains ()))
 
 let run_failover () =
+  timed "failover" @@ fun () ->
   section "A1 (ablation)"
-    (Harness.Experiments.render_failover (Harness.Experiments.failover_sweep ()))
+    (Harness.Experiments.render_failover
+       (Harness.Experiments.failover_sweep ~domains:!domains ()))
 
 let run_backoff () =
+  timed "backoff" @@ fun () ->
   section "A2 (ablation)"
-    (Harness.Experiments.render_backoff (Harness.Experiments.backoff_sweep ()))
+    (Harness.Experiments.render_backoff
+       (Harness.Experiments.backoff_sweep ~domains:!domains ()))
 
 let run_loss () =
+  timed "loss" @@ fun () ->
   section "A3 (ablation)"
-    (Harness.Experiments.render_loss (Harness.Experiments.loss_sweep ()))
+    (Harness.Experiments.render_loss
+       (Harness.Experiments.loss_sweep ~domains:!domains ()))
 
 let run_dbs () =
+  timed "dbs" @@ fun () ->
   section "A4 (ablation)"
-    (Harness.Experiments.render_dbs (Harness.Experiments.db_sweep ()))
+    (Harness.Experiments.render_dbs
+       (Harness.Experiments.db_sweep ~domains:!domains ()))
 
 let run_persistence () =
+  timed "persistence" @@ fun () ->
   section "A5 (ablation)"
     (Harness.Experiments.render_persistence
-       (Harness.Experiments.persistence_ablation ()))
+       (Harness.Experiments.persistence_ablation ~domains:!domains ()))
 
 let run_consensus_failover () =
+  timed "consensus-failover" @@ fun () ->
   section "A6 (ablation)"
     (Harness.Experiments.render_consensus_failover
-       (Harness.Experiments.consensus_failover_sweep ()))
+       (Harness.Experiments.consensus_failover_sweep ~domains:!domains ()))
 
 let run_throughput () =
+  timed "throughput" @@ fun () ->
   section "A7 (ablation)"
     (Harness.Experiments.render_throughput
-       (Harness.Experiments.throughput_sweep ()))
+       (Harness.Experiments.throughput_sweep ~domains:!domains ()))
 
 let run_register_backends () =
+  timed "registers" @@ fun () ->
   section "A8 (ablation)"
     (Harness.Experiments.render_register_backends
-       (Harness.Experiments.register_backend_comparison ()))
+       (Harness.Experiments.register_backend_comparison ~domains:!domains ()))
 
 let run_fd_quality () =
+  timed "fd-quality" @@ fun () ->
   section "A9 (ablation)"
     (Harness.Experiments.render_fd_quality
-       (Harness.Experiments.fd_quality_sweep ()))
+       (Harness.Experiments.fd_quality_sweep ~domains:!domains ()))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel artefact: 1 domain vs N domains, byte-identity asserted *)
+
+let run_parallel () =
+  let n =
+    if !domains > 1 then !domains
+    else min 4 (max 2 (Dsim.Pool.default_domains ()))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let compare_artefact name render_seq render_par =
+    let seq, t_seq = time render_seq in
+    let par, t_par = time render_par in
+    if not (String.equal seq par) then begin
+      Printf.eprintf
+        "parallel: %s output differs between 1 and %d domains!\n" name n;
+      exit 1
+    end;
+    timings := !timings @ [ (name ^ "-1dom", t_seq);
+                            (Printf.sprintf "%s-%ddom" name n, t_par) ];
+    (name, t_seq, t_par)
+  in
+  let rows =
+    [
+      compare_artefact "figure7"
+        (fun () ->
+          Harness.Experiments.render_figure7
+            (Harness.Experiments.figure7 ~domains:1 ()))
+        (fun () ->
+          Harness.Experiments.render_figure7
+            (Harness.Experiments.figure7 ~domains:n ()));
+      compare_artefact "figure8"
+        (fun () ->
+          Harness.Experiments.render_figure8
+            (Harness.Experiments.figure8 ~domains:1 ()))
+        (fun () ->
+          Harness.Experiments.render_figure8
+            (Harness.Experiments.figure8 ~domains:n ()));
+    ]
+  in
+  Printf.printf
+    "== parallel harness: 1 domain vs %d domains (outputs byte-identical) ==\n"
+    n;
+  Printf.printf "  (%d cores recommended by this machine)\n"
+    (Dsim.Pool.default_domains ());
+  List.iter
+    (fun (name, t_seq, t_par) ->
+      Printf.printf "  %-10s  1-dom %6.2fs   %d-dom %6.2fs   speedup %.2fx\n"
+        name t_seq n t_par (t_seq /. t_par))
+    rows;
+  print_newline ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite *)
@@ -183,9 +299,25 @@ let all () =
   run_micro ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> all ()
-  | _ :: args ->
+  (* peel off --domains N before dispatching artefact names *)
+  let rec parse acc = function
+    | "--domains" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some d when d >= 1 -> domains := d
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+            exit 2);
+        parse acc rest
+    | "--domains" :: [] ->
+        Printf.eprintf "--domains expects an argument\n";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  (match args with
+  | [] -> all ()
+  | args ->
       List.iter
         (function
           | "figure8" -> run_figure8 ()
@@ -200,12 +332,13 @@ let () =
           | "throughput" -> run_throughput ()
           | "registers" -> run_register_backends ()
           | "fd-quality" -> run_fd_quality ()
+          | "parallel" -> run_parallel ()
           | "micro" -> run_micro ()
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|parallel|micro)\n"
                 other;
               exit 2)
-        args
-  | [] -> all ()
+        args);
+  write_bench_json ()

@@ -14,6 +14,15 @@ let csv_arg =
   let doc = "Also write the result as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let domains_arg =
+  let doc =
+    "Run the sweep's trials on $(docv) domains in parallel. Results are \
+     bit-identical to --domains 1; only wall-clock time changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
+
+let set_domains d = Harness.Experiments.default_domains := max 1 d
+
 let emit ~csv table csv_string =
   print_endline table;
   match csv with
@@ -32,7 +41,8 @@ let figure8_cmd =
     let doc = "Number of identical transactions per protocol." in
     Arg.(value & opt int 40 & info [ "n"; "transactions" ] ~docv:"N" ~doc)
   in
-  let run transactions seed csv =
+  let run transactions seed csv domains =
+    set_domains domains;
     let f = Harness.Experiments.figure8 ~transactions ~seed () in
     emit ~csv
       (Harness.Experiments.render_figure8 f)
@@ -40,10 +50,11 @@ let figure8_cmd =
   in
   Cmd.v
     (Cmd.info "figure8" ~doc:"Latency components table (paper Figure 8).")
-    Term.(const run $ transactions $ seed_arg $ csv_arg)
+    Term.(const run $ transactions $ seed_arg $ csv_arg $ domains_arg)
 
 let figure7_cmd =
-  let run seed csv =
+  let run seed csv domains =
+    set_domains domains;
     let rows = Harness.Experiments.figure7 ~seed () in
     emit ~csv
       (Harness.Experiments.render_figure7 rows)
@@ -52,10 +63,11 @@ let figure7_cmd =
   Cmd.v
     (Cmd.info "figure7"
        ~doc:"Communication steps in failure-free runs (paper Figure 7).")
-    Term.(const run $ seed_arg $ csv_arg)
+    Term.(const run $ seed_arg $ csv_arg $ domains_arg)
 
 let figure1_cmd =
-  let run seed csv =
+  let run seed csv domains =
+    set_domains domains;
     let scenarios = Harness.Experiments.figure1 ~seed () in
     emit ~csv
       (Harness.Experiments.render_figure1 scenarios)
@@ -63,14 +75,15 @@ let figure1_cmd =
   in
   Cmd.v
     (Cmd.info "figure1" ~doc:"The four canonical executions (paper Figure 1).")
-    Term.(const run $ seed_arg $ csv_arg)
+    Term.(const run $ seed_arg $ csv_arg $ domains_arg)
 
 let sweep_cmd name doc render to_csv sweep =
-  let run seed csv =
+  let run seed csv domains =
+    set_domains domains;
     let rows = sweep ~seed () in
     emit ~csv (render rows) (to_csv rows)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg $ csv_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg $ csv_arg $ domains_arg)
 
 let failover_cmd =
   sweep_cmd "failover" "Ablation A1: fail-over latency vs detector timeout."
@@ -95,7 +108,8 @@ let dbs_cmd =
     (fun ~seed () -> Harness.Experiments.db_sweep ~seed ())
 
 let persistence_cmd =
-  let run seed =
+  let run seed domains =
+    set_domains domains;
     print_endline
       (Harness.Experiments.render_persistence
          (Harness.Experiments.persistence_ablation ~seed ()))
@@ -104,10 +118,11 @@ let persistence_cmd =
     (Cmd.info "persistence"
        ~doc:"Ablation A5: the latency cost of recoverable (disk-backed) \
              application servers.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ domains_arg)
 
 let consensus_failover_cmd =
-  let run seed =
+  let run seed domains =
+    set_domains domains;
     print_endline
       (Harness.Experiments.render_consensus_failover
          (Harness.Experiments.consensus_failover_sweep ~seed ()))
@@ -116,10 +131,11 @@ let consensus_failover_cmd =
     (Cmd.info "consensus-failover"
        ~doc:"Ablation A6: register-write latency under a crashed coordinator \
              vs the consensus round timeout.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ domains_arg)
 
 let fd_quality_cmd =
-  let run seed =
+  let run seed domains =
+    set_domains domains;
     print_endline
       (Harness.Experiments.render_fd_quality
          (Harness.Experiments.fd_quality_sweep ~seed ()))
@@ -128,10 +144,11 @@ let fd_quality_cmd =
     (Cmd.info "fd-quality"
        ~doc:"Ablation A9: spurious cleanings and retries vs the suspicion \
              timeout.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ domains_arg)
 
 let throughput_cmd =
-  let run seed =
+  let run seed domains =
+    set_domains domains;
     print_endline
       (Harness.Experiments.render_throughput
          (Harness.Experiments.throughput_sweep ~seed ()))
@@ -139,7 +156,7 @@ let throughput_cmd =
   Cmd.v
     (Cmd.info "throughput"
        ~doc:"Ablation A7: aggregate throughput vs concurrent clients.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ domains_arg)
 
 (* ---------------- demo subcommand ---------------- *)
 

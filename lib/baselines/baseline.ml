@@ -13,10 +13,10 @@ let spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data ~observers =
       let pid = Dbms.Server.spawn engine ~name ~rm ~observers () in
       (pid, rm))
 
-(* Fresh transaction identifiers, unique across server incarnations: a
-   recovered server must never collide with a transaction it ran before the
-   crash (offset 1000 keeps them disjoint from the client's try numbers). *)
-let next_txn = ref 1000
+(* Fresh transaction identifiers come from the engine's uid counter: unique
+   across server incarnations (a recovered server must never collide with a
+   transaction it ran before the crash) and ≥ 1000, disjoint from the
+   client's try numbers. *)
 
 let span breakdown label f =
   match breakdown with
@@ -94,9 +94,8 @@ let spawn engine ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs ~business
                   match Hashtbl.find_opt served (request.rid, j) with
                   | Some d -> d (* volatile duplicate suppression *)
                   | None ->
-                      incr next_txn;
                       let xid =
-                        Dbms.Xid.make ~rid:request.rid ~j:!next_txn
+                        Dbms.Xid.make ~rid:request.rid ~j:(Engine.fresh_uid ())
                       in
                       let d =
                         serve ?breakdown ~poll ~dbs ~business ch rd request ~j
@@ -121,11 +120,11 @@ type t = {
 
 let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
-    ?breakdown ~business ~script () =
+    ?breakdown ?(tracing = true) ~business ~script () =
   let net =
     match net with Some n -> n | None -> Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net () in
+  let engine = Engine.create ~seed ~net ~tracing () in
   let server_pid = ref [] in
   let dbs =
     spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data

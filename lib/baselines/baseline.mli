@@ -47,9 +47,11 @@ val build :
   ?seed_data:(string * Dbms.Value.t) list ->
   ?client_period:float ->
   ?breakdown:Stats.Breakdown.t ->
+  ?tracing:bool ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->
   t
 (** Same shape as {!Etx.Deployment.build}, with one server and the paper's
-    Figure 2 client driving it. *)
+    Figure 2 client driving it. [~tracing:false] disables the engine's
+    trace sink (see {!Dsim.Engine.create}). *)

@@ -234,12 +234,12 @@ type t = {
 
 let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
-    ?breakdown ?(backup_fd = Fdetect.oracle) ?(takeover_check = 20.)
-    ~business ~script () =
+    ?breakdown ?(tracing = true) ?(backup_fd = Fdetect.oracle)
+    ?(takeover_check = 20.) ~business ~script () =
   let net =
     match net with Some n -> n | None -> Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net () in
+  let engine = Engine.create ~seed ~net ~tracing () in
   let server_pids = ref [] in
   let dbs =
     Baseline.spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data

@@ -35,6 +35,7 @@ val build :
   ?seed_data:(string * Dbms.Value.t) list ->
   ?client_period:float ->
   ?breakdown:Stats.Breakdown.t ->
+  ?tracing:bool ->
   ?backup_fd:(Engine.t -> Dnet.Fdetect.t) ->
   ?takeover_check:float ->
   business:Etx.Business.t ->

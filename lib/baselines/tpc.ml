@@ -6,10 +6,10 @@ type log_record =
   | L_start of Dbms.Xid.t
   | L_outcome of Dbms.Xid.t * Dbms.Rm.outcome
 
-(* Fresh transaction identifiers, unique across server incarnations: a
-   recovered server must never collide with a transaction it ran before the
-   crash (offset 1000 keeps them disjoint from the client's try numbers). *)
-let next_txn = ref 1000
+(* Fresh transaction identifiers come from the engine's uid counter: unique
+   across server incarnations (a recovered server must never collide with a
+   transaction it ran before the crash) and ≥ 1000, disjoint from the
+   client's try numbers. *)
 
 let span breakdown label f =
   match breakdown with
@@ -121,9 +121,8 @@ let spawn engine ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log ~dbs
                   match Hashtbl.find_opt served (request.rid, j) with
                   | Some d -> d
                   | None ->
-                      incr next_txn;
                       let xid =
-                        Dbms.Xid.make ~rid:request.rid ~j:!next_txn
+                        Dbms.Xid.make ~rid:request.rid ~j:(Engine.fresh_uid ())
                       in
                       let d =
                         serve ?breakdown ~poll ~log ~dbs ~business ch rd
@@ -150,11 +149,11 @@ type t = {
 
 let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
-    ?breakdown ~business ~script () =
+    ?breakdown ?(tracing = true) ~business ~script () =
   let net =
     match net with Some n -> n | None -> Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net () in
+  let engine = Engine.create ~seed ~net ~tracing () in
   let coord_pid = ref [] in
   let dbs =
     Baseline.spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data

@@ -52,6 +52,7 @@ val build :
   ?seed_data:(string * Dbms.Value.t) list ->
   ?client_period:float ->
   ?breakdown:Stats.Breakdown.t ->
+  ?tracing:bool ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->

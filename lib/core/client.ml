@@ -16,11 +16,10 @@ type handle = {
   finished : bool ref;
 }
 
-let next_rid = ref 0
-
-let fresh_rid () =
-  incr next_rid;
-  !next_rid
+(* Request ids come from the engine's per-trial uid counter so concurrent
+   clients in one engine never collide, and independent trials (possibly
+   running in parallel domains) never share state. *)
+let fresh_rid () = Engine.fresh_uid ()
 
 let wants_result rid j m =
   match m.Types.payload with

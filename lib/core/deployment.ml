@@ -12,13 +12,14 @@ let build ?(seed = 1) ?net ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ?breakdown ~business ~script () =
+    ?(register_disk_latency = 12.5) ?breakdown ?(tracing = true) ~business
+    ~script () =
   let net =
     match net with
     | Some n -> n
     | None -> Dnet.Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net () in
+  let engine = Engine.create ~seed ~net ~tracing () in
   (* databases first: pids 0 .. n_dbs-1 *)
   let app_pids = ref [] in
   let dbs =

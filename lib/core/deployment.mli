@@ -29,6 +29,7 @@ val build :
   ?recoverable:bool ->
   ?register_disk_latency:float ->
   ?breakdown:Stats.Breakdown.t ->
+  ?tracing:bool ->
   business:Business.t ->
   script:(issue:(string -> Client.record) -> unit) ->
   unit ->

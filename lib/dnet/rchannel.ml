@@ -28,14 +28,13 @@ type t = {
   seen : (Types.proc_id * int * int, unit) Hashtbl.t;
 }
 
-let next_ep = ref 0
-
 let create ?(retransmit_after = 10.) ?(backoff_factor = 2.)
     ?(max_backoff = 200.) () =
-  incr next_ep;
   {
     owner = Engine.self ();
-    ep = !next_ep;
+    (* endpoint ids are engine-scoped (unique across incarnations within a
+       trial) so independent trials stay self-contained *)
+    ep = Engine.fresh_uid ();
     retransmit_after;
     backoff_factor;
     max_backoff;

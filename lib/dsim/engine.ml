@@ -19,8 +19,8 @@ type proc = {
   pname : string;
   mutable up : bool;
   mutable incarnation : int;
-  mutable mailbox : message list;  (** oldest first *)
-  mutable waiters : waiter list;  (** registration order *)
+  mailbox : message Fifo.t;  (** oldest first *)
+  waiters : waiter Fifo.t;  (** registration order *)
   main : recovery:bool -> unit -> unit;
 }
 
@@ -34,8 +34,10 @@ type t = {
   net_rng : Rng.t;
   mutable net : netmodel;
   tracer : Trace.t;
+  trace_on : bool;  (** guards event construction, not just recording *)
   mutable next_msg_id : int;
   mutable next_wid : int;
+  mutable next_uid : int;
   mutable current : proc option;
   mutable stopping : bool;
 }
@@ -54,8 +56,9 @@ type _ Effect.t +=
   | E_random_float : float -> float Effect.t
   | E_random_int : int -> int Effect.t
   | E_note : string -> unit Effect.t
+  | E_fresh_uid : int Effect.t
 
-let create ?(seed = 0xC0FFEE) ?(net = default_net) () =
+let create ?(seed = 0xC0FFEE) ?(net = default_net) ?(tracing = true) () =
   let grng = Rng.create ~seed in
   {
     vnow = 0.;
@@ -69,9 +72,13 @@ let create ?(seed = 0xC0FFEE) ?(net = default_net) () =
     grng;
     net_rng = Rng.split grng;
     net;
-    tracer = Trace.create ();
+    tracer = Trace.create ~enabled:tracing ();
+    trace_on = tracing;
     next_msg_id = 0;
     next_wid = 0;
+    (* uids start above any client try counter j so identifiers drawn here
+       (transaction ids in the comparison protocols) stay disjoint from j *)
+    next_uid = 1000;
     current = None;
     stopping = false;
   }
@@ -115,10 +122,16 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
         | E_self -> Some (fun k -> continue k p.pid)
         | E_random_float bound -> Some (fun k -> continue k (Rng.float t.grng bound))
         | E_random_int bound -> Some (fun k -> continue k (Rng.int t.grng bound))
+        | E_fresh_uid ->
+            Some
+              (fun k ->
+                t.next_uid <- t.next_uid + 1;
+                continue k t.next_uid)
         | E_note s ->
             Some
               (fun k ->
-                Trace.record t.tracer t.vnow (Trace.Note (p.pid, s));
+                if t.trace_on then
+                  Trace.record t.tracer t.vnow (Trace.Note (p.pid, s));
                 continue k ())
         | E_sleep d ->
             Some
@@ -129,7 +142,8 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
         | E_work (label, d) ->
             Some
               (fun k ->
-                Trace.record t.tracer t.vnow (Trace.Work (p.pid, label, d));
+                if t.trace_on then
+                  Trace.record t.tracer t.vnow (Trace.Work (p.pid, label, d));
                 let inc = p.incarnation in
                 schedule t ~delay:d (fun () ->
                     if p.up && p.incarnation = inc then resume t p k ()))
@@ -160,7 +174,7 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
                 | None -> (
                     t.next_wid <- t.next_wid + 1;
                     let wid = t.next_wid in
-                    p.waiters <- p.waiters @ [ { wid; filter; wk = k } ];
+                    Fifo.push p.waiters { wid; filter; wk = k };
                     match timeout with
                     | None -> ()
                     | Some d ->
@@ -168,20 +182,20 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
                         schedule t ~delay:d (fun () ->
                             if p.up && p.incarnation = inc then
                               match
-                                List.partition (fun w -> w.wid = wid) p.waiters
+                                Fifo.take_first p.waiters (fun w ->
+                                    w.wid = wid)
                               with
-                              | [ w ], rest ->
-                                  p.waiters <- rest;
-                                  resume t p w.wk None
-                              | _ -> ())))
+                              | Some w -> resume t p w.wk None
+                              | None -> ())))
         | E_fork (fname, f) ->
             Some
               (fun k ->
                 let inc = p.incarnation in
                 schedule t ~delay:0. (fun () ->
                     if p.up && p.incarnation = inc then run_fiber t p f);
-                Trace.record t.tracer t.vnow
-                  (Trace.Note (p.pid, "fork " ^ fname));
+                if t.trace_on then
+                  Trace.record t.tracer t.vnow
+                    (Trace.Note (p.pid, "fork " ^ fname));
                 continue k ())
         | _ -> None);
   }
@@ -204,33 +218,12 @@ and fresh_msg_id t =
   t.next_msg_id <- t.next_msg_id + 1;
   t.next_msg_id
 
-and take_matching p filter =
-  let rec scan acc = function
-    | [] -> None
-    | m :: rest ->
-        if filter m then begin
-          p.mailbox <- List.rev_append acc rest;
-          Some m
-        end
-        else scan (m :: acc) rest
-  in
-  scan [] p.mailbox
+and take_matching p filter = Fifo.take_first p.mailbox filter
 
 and enqueue_message t p m =
-  Trace.record t.tracer t.vnow (Trace.Delivered m);
-  let rec offer acc = function
-    | [] ->
-        p.mailbox <- p.mailbox @ [ m ];
-        None
-    | w :: rest ->
-        if w.filter m then begin
-          p.waiters <- List.rev_append acc rest;
-          Some w
-        end
-        else offer (w :: acc) rest
-  in
-  match offer [] p.waiters with
-  | None -> ()
+  if t.trace_on then Trace.record t.tracer t.vnow (Trace.Delivered m);
+  match Fifo.take_first p.waiters (fun w -> w.filter m) with
+  | None -> Fifo.push p.mailbox m
   | Some w -> resume t p w.wk (Some m)
 
 and transmit t ~src ~dst payload =
@@ -239,16 +232,18 @@ and transmit t ~src ~dst payload =
     if src = dst then [ 0.001 ] else t.net t.net_rng ~src ~dst
   in
   match delays with
-  | [] -> Trace.record t.tracer t.vnow (Trace.Dropped m)
+  | [] -> if t.trace_on then Trace.record t.tracer t.vnow (Trace.Dropped m)
   | delays ->
       List.iter
         (fun d ->
-          Trace.record t.tracer t.vnow (Trace.Sent (m, t.vnow +. d));
+          if t.trace_on then
+            Trace.record t.tracer t.vnow (Trace.Sent (m, t.vnow +. d));
           schedule t ~delay:d (fun () ->
               match t.procs.(dst).up with
               | true -> enqueue_message t t.procs.(dst) m
               | false ->
-                  Trace.record t.tracer t.vnow (Trace.Dead_letter m)))
+                  if t.trace_on then
+                    Trace.record t.tracer t.vnow (Trace.Dead_letter m)))
         delays
 
 (* Orchestration ------------------------------------------------------ *)
@@ -261,8 +256,8 @@ let spawn t ~name ~main =
       pname = name;
       up = true;
       incarnation = 0;
-      mailbox = [];
-      waiters = [];
+      mailbox = Fifo.create ();
+      waiters = Fifo.create ();
       main;
     }
   in
@@ -274,7 +269,7 @@ let spawn t ~name ~main =
   end;
   t.procs.(t.nprocs) <- p;
   t.nprocs <- t.nprocs + 1;
-  Trace.record t.tracer t.vnow (Trace.Spawned (pid, name));
+  if t.trace_on then Trace.record t.tracer t.vnow (Trace.Spawned (pid, name));
   schedule t ~delay:0. (fun () ->
       if p.up && p.incarnation = 0 then run_fiber t p (main ~recovery:false));
   pid
@@ -284,9 +279,9 @@ let crash t pid =
   if p.up then begin
     p.up <- false;
     p.incarnation <- p.incarnation + 1;
-    p.mailbox <- [];
-    p.waiters <- [];
-    Trace.record t.tracer t.vnow (Trace.Crashed pid)
+    Fifo.clear p.mailbox;
+    Fifo.clear p.waiters;
+    if t.trace_on then Trace.record t.tracer t.vnow (Trace.Crashed pid)
   end
 
 let recover t pid =
@@ -294,9 +289,9 @@ let recover t pid =
   if not p.up then begin
     p.up <- true;
     p.incarnation <- p.incarnation + 1;
-    p.mailbox <- [];
-    p.waiters <- [];
-    Trace.record t.tracer t.vnow (Trace.Recovered pid);
+    Fifo.clear p.mailbox;
+    Fifo.clear p.waiters;
+    if t.trace_on then Trace.record t.tracer t.vnow (Trace.Recovered pid);
     let inc = p.incarnation in
     schedule t ~delay:0. (fun () ->
         if p.up && p.incarnation = inc then
@@ -375,5 +370,6 @@ let recv_any ?timeout () = recv ?timeout ~filter:(fun _ -> true) ()
 let fork name f = Effect.perform (E_fork (name, f))
 let random_float bound = Effect.perform (E_random_float bound)
 let random_int bound = Effect.perform (E_random_int bound)
+let fresh_uid () = Effect.perform E_fresh_uid
 let note s = Effect.perform (E_note s)
 let exit_fiber () = raise Exit_fiber

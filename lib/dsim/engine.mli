@@ -27,7 +27,13 @@ type netmodel = Rng.t -> src:proc_id -> dst:proc_id -> float list
 val default_net : netmodel
 (** Constant 1.0 ms delivery, no loss. *)
 
-val create : ?seed:int -> ?net:netmodel -> unit -> t
+val create : ?seed:int -> ?net:netmodel -> ?tracing:bool -> unit -> t
+(** [~tracing:false] disables the trace sink entirely: no trace event is
+    allocated or recorded anywhere in the hot path, and {!trace} returns an
+    empty collector. Use it for trials that never read their trace (most
+    harness sweeps); analyses such as {!Trace.communication_steps} or
+    [Spec.check_all] (which replays [computed:] notes) need the default
+    [~tracing:true]. *)
 
 val trace : t -> Trace.t
 val rng : t -> Rng.t
@@ -104,6 +110,13 @@ val fork : string -> (unit -> unit) -> unit
 
 val random_float : float -> float
 val random_int : int -> int
+
+val fresh_uid : unit -> int
+(** A fresh identifier unique within this engine, monotonically increasing
+    from 1000 (so values stay disjoint from client try counters). Used for
+    request ids, channel endpoints and comparison-protocol transaction ids;
+    keeping the counter per-engine (rather than process-global) makes
+    trials self-contained, so parallel runs stay deterministic. *)
 
 val note : string -> unit
 (** Free-form trace annotation by the calling process. *)

@@ -1,0 +1,66 @@
+type 'a cell = Nil | Cons of { v : 'a; mutable next : 'a cell }
+
+type 'a t = {
+  mutable head : 'a cell;
+  mutable tail : 'a cell;  (** last cell when non-empty, [Nil] otherwise *)
+  mutable len : int;
+}
+
+let create () = { head = Nil; tail = Nil; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let push t v =
+  let c = Cons { v; next = Nil } in
+  (match t.tail with Nil -> t.head <- c | Cons last -> last.next <- c);
+  t.tail <- c;
+  t.len <- t.len + 1
+
+let take_first t pred =
+  let rec scan prev cell =
+    match cell with
+    | Nil -> None
+    | Cons c ->
+        if pred c.v then begin
+          (match prev with
+          | Nil -> t.head <- c.next
+          | Cons p -> p.next <- c.next);
+          (match c.next with Nil -> t.tail <- prev | Cons _ -> ());
+          t.len <- t.len - 1;
+          Some c.v
+        end
+        else scan cell c.next
+  in
+  scan Nil t.head
+
+let pop t =
+  match t.head with
+  | Nil -> None
+  | Cons c ->
+      t.head <- c.next;
+      (match c.next with Nil -> t.tail <- Nil | Cons _ -> ());
+      t.len <- t.len - 1;
+      Some c.v
+
+let clear t =
+  t.head <- Nil;
+  t.tail <- Nil;
+  t.len <- 0
+
+let iter f t =
+  let rec go = function
+    | Nil -> ()
+    | Cons c ->
+        f c.v;
+        go c.next
+  in
+  go t.head
+
+let to_list t =
+  let rec go acc = function
+    | Nil -> List.rev acc
+    | Cons c -> go (c.v :: acc) c.next
+  in
+  go [] t.head

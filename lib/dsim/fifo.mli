@@ -1,0 +1,33 @@
+(** Mutable FIFO with O(1) append and in-place selective removal.
+
+    Backs the engine's per-process mailbox and waiter list. The seed kept
+    both as immutable lists appended with [xs @ [x]] — O(n) copying per
+    delivery, O(n²) for a busy mailbox. Here append links one cell at the
+    tail, and a selective take scans front-to-back and unlinks the match
+    without rebuilding the spine. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the tail. O(1). *)
+
+val take_first : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the oldest element satisfying the predicate. O(k)
+    where k is the position of the match; no re-copying. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the oldest element. O(1). *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front (oldest) to back. *)
+
+val to_list : 'a t -> 'a list
+(** Front (oldest) first. *)

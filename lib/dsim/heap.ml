@@ -22,8 +22,9 @@ let grow h x =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.leq h.data.(i) h.data.(parent) && not (h.leq h.data.(parent) h.data.(i))
-    then begin
+    (* swap only when strictly smaller than the parent; for a total [leq]
+       that is [not (leq parent child)], one comparison instead of two *)
+    if not (h.leq h.data.(parent) h.data.(i)) then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;

@@ -1,0 +1,27 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+let map ?(domains = 1) f items =
+  let n = List.length items in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then List.map f items
+  else begin
+    let input = Array.of_list items in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = try Ok (f input.(i)) with e -> Error e in
+        results.(i) <- Some r;
+        worker ()
+      end
+    in
+    let helpers = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

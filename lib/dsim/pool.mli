@@ -1,0 +1,26 @@
+(** Parallel map over OCaml 5 domains.
+
+    The experiment harness runs many independent, deterministically-seeded
+    simulation trials; this pool spreads them over domains. Work is handed
+    out by an atomic next-index counter, so uneven trial costs balance
+    without static chunking. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f items] applies [f] to every item and returns the
+    results in input order.
+
+    [f] must be self-contained per item — no shared mutable state between
+    items (harness trials each own their engine, RNG and trace). Under that
+    condition the result is bit-identical to [List.map f items] whatever
+    [domains] is.
+
+    Exceptions raised by [f] are caught in the worker and re-raised in the
+    caller once all workers have joined; the earliest item (in input order)
+    that failed wins. Unlike sequential [List.map], items after a failing
+    one are still evaluated.
+
+    [domains <= 1] (or a single item) runs inline in the calling domain,
+    spawning nothing. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism cap. *)

@@ -11,13 +11,21 @@ type event =
 
 type entry = { at : Types.time; event : event }
 
-type t = { mutable rev_entries : entry list; mutable count : int }
+type t = {
+  mutable rev_entries : entry list;
+  mutable count : int;
+  enabled : bool;
+}
 
-let create () = { rev_entries = []; count = 0 }
+let create ?(enabled = true) () = { rev_entries = []; count = 0; enabled }
+
+let enabled t = t.enabled
 
 let record t at event =
-  t.rev_entries <- { at; event } :: t.rev_entries;
-  t.count <- t.count + 1
+  if t.enabled then begin
+    t.rev_entries <- { at; event } :: t.rev_entries;
+    t.count <- t.count + 1
+  end
 
 let entries t = List.rev t.rev_entries
 

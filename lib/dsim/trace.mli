@@ -20,9 +20,16 @@ type entry = { at : Types.time; event : event }
 type t
 (** A collector accumulating entries in order. *)
 
-val create : unit -> t
+val create : ?enabled:bool -> unit -> t
+(** [~enabled:false] gives a no-op sink: [record] discards everything and
+    [entries] stays empty. Trials that never read their trace use this to
+    keep the simulator hot path allocation-free (the engine also skips
+    building the event values — see {!Engine.create}). *)
+
+val enabled : t -> bool
 
 val record : t -> Types.time -> event -> unit
+(** No-op when the collector is disabled. *)
 
 val entries : t -> entry list
 (** Entries in chronological (record) order. *)

@@ -8,6 +8,24 @@ let latencies records =
     records
 
 (* ------------------------------------------------------------------ *)
+(* Trial records
+
+   Every sweep below is a list of self-contained trials mapped over a
+   domain pool: each trial owns its private engine, RNG, trace and
+   breakdown, built inside [run], so trials share no mutable state and the
+   results are bit-identical whatever the domain count. *)
+
+type 'a trial = { label : string; seed : int; run : seed:int -> 'a }
+
+let default_domains = ref 1
+
+let run_trials ?domains trials =
+  let domains =
+    match domains with Some d -> d | None -> !default_domains
+  in
+  Dsim.Pool.map ~domains (fun tr -> tr.run ~seed:tr.seed) trials
+
+(* ------------------------------------------------------------------ *)
 (* Figure 8 *)
 
 type fig8_protocol = {
@@ -64,8 +82,8 @@ let run_ar ~transactions ~seed =
 let run_baseline ~transactions ~seed =
   let bd = Stats.Breakdown.create () in
   let b =
-    Baselines.Baseline.build ~seed ~breakdown:bd ~seed_data:bank_seed
-      ~business:Workload.Bank.update
+    Baselines.Baseline.build ~seed ~breakdown:bd ~tracing:false
+      ~seed_data:bank_seed ~business:Workload.Bank.update
       ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
       ()
   in
@@ -77,8 +95,8 @@ let run_baseline ~transactions ~seed =
 let run_tpc ~transactions ~seed =
   let bd = Stats.Breakdown.create () in
   let t =
-    Baselines.Tpc.build ~seed ~breakdown:bd ~seed_data:bank_seed
-      ~business:Workload.Bank.update
+    Baselines.Tpc.build ~seed ~breakdown:bd ~tracing:false
+      ~seed_data:bank_seed ~business:Workload.Bank.update
       ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
       ()
   in
@@ -90,8 +108,8 @@ let run_tpc ~transactions ~seed =
 let run_pb ~transactions ~seed =
   let bd = Stats.Breakdown.create () in
   let p =
-    Baselines.Pbackup.build ~seed ~breakdown:bd ~seed_data:bank_seed
-      ~business:Workload.Bank.update
+    Baselines.Pbackup.build ~seed ~breakdown:bd ~tracing:false
+      ~seed_data:bank_seed ~business:Workload.Bank.update
       ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
       ()
   in
@@ -100,11 +118,23 @@ let run_pb ~transactions ~seed =
     failwith "figure8: primary-backup run did not finish";
   summarize ~protocol:"primary-backup" ~bd (Etx.Client.records p.client)
 
-let figure8 ?(transactions = 40) ?(seed = 42) () =
-  let baseline = run_baseline ~transactions ~seed in
-  let ar = run_ar ~transactions ~seed in
-  let tpc = run_tpc ~transactions ~seed in
-  let pb = run_pb ~transactions ~seed in
+let figure8 ?(transactions = 40) ?(seed = 42) ?domains () =
+  (* the AR trial keeps tracing on: [Spec.check_all] replays trace notes *)
+  let trial label run = { label; seed; run } in
+  let results =
+    run_trials ?domains
+      [
+        trial "baseline" (fun ~seed -> run_baseline ~transactions ~seed);
+        trial "ar" (fun ~seed -> run_ar ~transactions ~seed);
+        trial "tpc" (fun ~seed -> run_tpc ~transactions ~seed);
+        trial "pb" (fun ~seed -> run_pb ~transactions ~seed);
+      ]
+  in
+  let baseline, ar, tpc, pb =
+    match results with
+    | [ baseline; ar; tpc; pb ] -> (baseline, ar, tpc, pb)
+    | _ -> assert false
+  in
   let with_overhead p =
     {
       p with
@@ -156,7 +186,8 @@ type fig7_row = {
 
 let one_request_script ~issue = ignore (issue update_body)
 
-let figure7 ?(seed = 42) () =
+let figure7 ?(seed = 42) ?domains () =
+  (* every trial needs its trace: the whole figure is message counting *)
   let measure proto engine ~forced_ios =
     let trace = Dsim.Engine.trace engine in
     {
@@ -167,46 +198,45 @@ let figure7 ?(seed = 42) () =
       forced_ios;
     }
   in
-  let baseline =
-    let b =
-      Baselines.Baseline.build ~seed ~seed_data:bank_seed
-        ~business:Workload.Bank.update ~script:one_request_script ()
-    in
-    ignore
-      (Dsim.Engine.run_until ~deadline:60_000. b.engine (fun () ->
-           Etx.Client.script_done b.client));
-    measure "baseline" b.engine ~forced_ios:0
-  in
-  let tpc =
-    let t =
-      Baselines.Tpc.build ~seed ~seed_data:bank_seed
-        ~business:Workload.Bank.update ~script:one_request_script ()
-    in
-    ignore
-      (Dsim.Engine.run_until ~deadline:60_000. t.engine (fun () ->
-           Etx.Client.script_done t.client));
-    measure "2PC" t.engine
-      ~forced_ios:(Dstore.Disk.forced_writes t.coordinator_disk)
-  in
-  let pb =
-    let p =
-      Baselines.Pbackup.build ~seed ~seed_data:bank_seed
-        ~business:Workload.Bank.update ~script:one_request_script ()
-    in
-    ignore
-      (Dsim.Engine.run_until ~deadline:60_000. p.engine (fun () ->
-           Etx.Client.script_done p.client));
-    measure "primary-backup" p.engine ~forced_ios:0
-  in
-  let ar =
-    let d =
-      Etx.Deployment.build ~seed ~seed_data:bank_seed
-        ~business:Workload.Bank.update ~script:one_request_script ()
-    in
-    ignore (Etx.Deployment.run_to_quiescence d);
-    measure "AR (e-Transactions)" d.engine ~forced_ios:0
-  in
-  [ baseline; tpc; pb; ar ]
+  let trial label run = { label; seed; run } in
+  run_trials ?domains
+    [
+      trial "baseline" (fun ~seed ->
+          let b =
+            Baselines.Baseline.build ~seed ~seed_data:bank_seed
+              ~business:Workload.Bank.update ~script:one_request_script ()
+          in
+          ignore
+            (Dsim.Engine.run_until ~deadline:60_000. b.engine (fun () ->
+                 Etx.Client.script_done b.client));
+          measure "baseline" b.engine ~forced_ios:0);
+      trial "2PC" (fun ~seed ->
+          let t =
+            Baselines.Tpc.build ~seed ~seed_data:bank_seed
+              ~business:Workload.Bank.update ~script:one_request_script ()
+          in
+          ignore
+            (Dsim.Engine.run_until ~deadline:60_000. t.engine (fun () ->
+                 Etx.Client.script_done t.client));
+          measure "2PC" t.engine
+            ~forced_ios:(Dstore.Disk.forced_writes t.coordinator_disk));
+      trial "primary-backup" (fun ~seed ->
+          let p =
+            Baselines.Pbackup.build ~seed ~seed_data:bank_seed
+              ~business:Workload.Bank.update ~script:one_request_script ()
+          in
+          ignore
+            (Dsim.Engine.run_until ~deadline:60_000. p.engine (fun () ->
+                 Etx.Client.script_done p.client));
+          measure "primary-backup" p.engine ~forced_ios:0);
+      trial "AR" (fun ~seed ->
+          let d =
+            Etx.Deployment.build ~seed ~seed_data:bank_seed
+              ~business:Workload.Bank.update ~script:one_request_script ()
+          in
+          ignore (Etx.Deployment.run_to_quiescence d);
+          measure "AR (e-Transactions)" d.engine ~forced_ios:0);
+    ]
 
 let render_figure7 rows =
   let headers =
@@ -275,18 +305,25 @@ let fig1_run ~label ~seed ?(crash_primary_at = None) ?business
     violations = Etx.Spec.check_all d;
   }
 
-let figure1 ?(seed = 42) () =
-  [
-    fig1_run ~label:"(a) failure-free commit" ~seed ();
-    fig1_run ~label:"(b) failure-free abort (user-level)" ~seed
-      ~business:Workload.Bank.transfer
-      ~seed_data:(Workload.Bank.seed_accounts [ ("acct0", 5); ("acct1", 0) ])
-      ~body:"acct0:acct1:100" ();
-    fig1_run ~label:"(c) fail-over with commit" ~seed
-      ~crash_primary_at:(Some 230.) ();
-    fig1_run ~label:"(d) fail-over with abort" ~seed
-      ~crash_primary_at:(Some 100.) ();
-  ]
+let figure1 ?(seed = 42) ?domains () =
+  let trial label run = { label; seed; run } in
+  run_trials ?domains
+    [
+      trial "(a)" (fun ~seed ->
+          fig1_run ~label:"(a) failure-free commit" ~seed ());
+      trial "(b)" (fun ~seed ->
+          fig1_run ~label:"(b) failure-free abort (user-level)" ~seed
+            ~business:Workload.Bank.transfer
+            ~seed_data:
+              (Workload.Bank.seed_accounts [ ("acct0", 5); ("acct1", 0) ])
+            ~body:"acct0:acct1:100" ());
+      trial "(c)" (fun ~seed ->
+          fig1_run ~label:"(c) fail-over with commit" ~seed
+            ~crash_primary_at:(Some 230.) ());
+      trial "(d)" (fun ~seed ->
+          fig1_run ~label:"(d) fail-over with abort" ~seed
+            ~crash_primary_at:(Some 100.) ());
+    ]
 
 let render_figure1 scenarios =
   let headers = [ "scenario"; "delivered"; "tries"; "cleaner"; "violations" ] in
@@ -311,28 +348,36 @@ let render_figure1 scenarios =
 (* Ablations *)
 
 let failover_sweep ?(seed = 42) ?(timeouts = [ 20.; 50.; 100.; 200.; 400. ])
-    () =
-  List.map
-    (fun timeout ->
-      let d =
-        Etx.Deployment.build ~seed ~client_period:300.
-          ~fd_spec:
-            (Etx.Appserver.Fd_heartbeat
-               {
-                 period = 10.;
-                 initial_timeout = timeout;
-                 timeout_bump = 25.;
-               })
-          ~seed_data:bank_seed ~business:Workload.Bank.update
-          ~script:one_request_script ()
-      in
-      Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
-      if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d) then
-        failwith "failover_sweep: run did not quiesce";
-      match Etx.Client.records d.client with
-      | [ r ] -> (timeout, r.delivered_at -. r.issued_at, r.tries)
-      | _ -> failwith "failover_sweep: expected one record")
-    timeouts
+    ?domains () =
+  run_trials ?domains
+    (List.map
+       (fun timeout ->
+         {
+           label = Printf.sprintf "fd-timeout-%g" timeout;
+           seed;
+           run =
+             (fun ~seed ->
+               let d =
+                 Etx.Deployment.build ~seed ~client_period:300.
+                   ~tracing:false
+                   ~fd_spec:
+                     (Etx.Appserver.Fd_heartbeat
+                        {
+                          period = 10.;
+                          initial_timeout = timeout;
+                          timeout_bump = 25.;
+                        })
+                   ~seed_data:bank_seed ~business:Workload.Bank.update
+                   ~script:one_request_script ()
+               in
+               Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
+               if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d)
+               then failwith "failover_sweep: run did not quiesce";
+               match Etx.Client.records d.client with
+               | [ r ] -> (timeout, r.delivered_at -. r.issued_at, r.tries)
+               | _ -> failwith "failover_sweep: expected one record");
+         })
+       timeouts)
 
 let render_failover rows =
   let headers = [ "fd timeout (ms)"; "latency (ms)"; "tries" ] in
@@ -347,36 +392,45 @@ let render_failover rows =
   ^ Stats.Table.render ~headers ~rows:body
 
 let backoff_sweep ?(seed = 42) ?(periods = [ 100.; 200.; 400.; 800.; 1600. ])
-    () =
-  List.map
-    (fun period ->
-      let nice =
-        let d =
-          Etx.Deployment.build ~seed ~client_period:period
-            ~seed_data:bank_seed ~business:Workload.Bank.update
-            ~script:one_request_script ()
-        in
-        if not (Etx.Deployment.run_to_quiescence ~deadline:120_000. d) then
-          failwith "backoff_sweep: nice run did not quiesce";
-        match Etx.Client.records d.client with
-        | [ r ] -> r.delivered_at -. r.issued_at
-        | _ -> failwith "backoff_sweep: expected one record"
-      in
-      let failover =
-        let d =
-          Etx.Deployment.build ~seed ~client_period:period
-            ~seed_data:bank_seed ~business:Workload.Bank.update
-            ~script:one_request_script ()
-        in
-        Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
-        if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d) then
-          failwith "backoff_sweep: failover run did not quiesce";
-        match Etx.Client.records d.client with
-        | [ r ] -> r.delivered_at -. r.issued_at
-        | _ -> failwith "backoff_sweep: expected one record"
-      in
-      (period, nice, failover))
-    periods
+    ?domains () =
+  run_trials ?domains
+    (List.map
+       (fun period ->
+         {
+           label = Printf.sprintf "backoff-%g" period;
+           seed;
+           run =
+             (fun ~seed ->
+               let nice =
+                 let d =
+                   Etx.Deployment.build ~seed ~client_period:period
+                     ~tracing:false ~seed_data:bank_seed
+                     ~business:Workload.Bank.update ~script:one_request_script
+                     ()
+                 in
+                 if not (Etx.Deployment.run_to_quiescence ~deadline:120_000. d)
+                 then failwith "backoff_sweep: nice run did not quiesce";
+                 match Etx.Client.records d.client with
+                 | [ r ] -> r.delivered_at -. r.issued_at
+                 | _ -> failwith "backoff_sweep: expected one record"
+               in
+               let failover =
+                 let d =
+                   Etx.Deployment.build ~seed ~client_period:period
+                     ~tracing:false ~seed_data:bank_seed
+                     ~business:Workload.Bank.update ~script:one_request_script
+                     ()
+                 in
+                 Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
+                 if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d)
+                 then failwith "backoff_sweep: failover run did not quiesce";
+                 match Etx.Client.records d.client with
+                 | [ r ] -> r.delivered_at -. r.issued_at
+                 | _ -> failwith "backoff_sweep: expected one record"
+               in
+               (period, nice, failover));
+         })
+       periods)
 
 let render_backoff rows =
   let headers =
@@ -391,26 +445,41 @@ let render_backoff rows =
   "A2 — client back-off period: failure-free vs fail-over latency\n"
   ^ Stats.Table.render ~headers ~rows:body
 
-let loss_sweep ?(seed = 42) ?(rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) () =
-  List.map
-    (fun rate ->
-      let net = Dnet.Netmodel.lossy ~loss:rate (Dnet.Netmodel.lan ()) in
-      let n = 10 in
-      let d =
-        Etx.Deployment.build ~seed ~net ~client_period:300.
-          ~seed_data:bank_seed ~business:Workload.Bank.update
-          ~script:(fun ~issue ->
-            for _ = 1 to n do
-              ignore (issue update_body)
-            done)
-          ()
-      in
-      if not (Etx.Deployment.run_to_quiescence ~deadline:600_000. d) then
-        failwith "loss_sweep: run did not quiesce";
-      let mean = Stats.Summary.mean (latencies (Etx.Client.records d.client)) in
-      let msgs = Msgclass.protocol_messages (Dsim.Engine.trace d.engine) / n in
-      (rate, mean, msgs))
-    rates
+let loss_sweep ?(seed = 42) ?(rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?domains ()
+    =
+  (* tracing stays on: msgs/request is counted from the trace *)
+  run_trials ?domains
+    (List.map
+       (fun rate ->
+         {
+           label = Printf.sprintf "loss-%g" rate;
+           seed;
+           run =
+             (fun ~seed ->
+               let net =
+                 Dnet.Netmodel.lossy ~loss:rate (Dnet.Netmodel.lan ())
+               in
+               let n = 10 in
+               let d =
+                 Etx.Deployment.build ~seed ~net ~client_period:300.
+                   ~seed_data:bank_seed ~business:Workload.Bank.update
+                   ~script:(fun ~issue ->
+                     for _ = 1 to n do
+                       ignore (issue update_body)
+                     done)
+                   ()
+               in
+               if not (Etx.Deployment.run_to_quiescence ~deadline:600_000. d)
+               then failwith "loss_sweep: run did not quiesce";
+               let mean =
+                 Stats.Summary.mean (latencies (Etx.Client.records d.client))
+               in
+               let msgs =
+                 Msgclass.protocol_messages (Dsim.Engine.trace d.engine) / n
+               in
+               (rate, mean, msgs));
+         })
+       rates)
 
 let render_loss rows =
   let headers = [ "loss rate"; "mean latency (ms)"; "msgs/request" ] in
@@ -427,46 +496,56 @@ let render_loss rows =
   "A3 — message loss: reliable-channel retransmission cost\n"
   ^ Stats.Table.render ~headers ~rows:body
 
-let db_sweep ?(seed = 42) ?(counts = [ 1; 2; 4; 8 ]) () =
-  List.map
-    (fun n_dbs ->
-      let baseline =
-        let b =
-          Baselines.Baseline.build ~seed ~n_dbs ~seed_data:bank_seed
-            ~business:Workload.Bank.update ~script:one_request_script ()
-        in
-        ignore
-          (Dsim.Engine.run_until ~deadline:120_000. b.engine (fun () ->
-               Etx.Client.script_done b.client));
-        match Etx.Client.records b.client with
-        | [ r ] -> r.delivered_at -. r.issued_at
-        | _ -> failwith "db_sweep: baseline"
-      in
-      let ar =
-        let d =
-          Etx.Deployment.build ~seed ~n_dbs ~seed_data:bank_seed
-            ~business:Workload.Bank.update ~script:one_request_script ()
-        in
-        if not (Etx.Deployment.run_to_quiescence ~deadline:120_000. d) then
-          failwith "db_sweep: AR did not quiesce";
-        match Etx.Client.records d.client with
-        | [ r ] -> r.delivered_at -. r.issued_at
-        | _ -> failwith "db_sweep: AR"
-      in
-      let tpc =
-        let t =
-          Baselines.Tpc.build ~seed ~n_dbs ~seed_data:bank_seed
-            ~business:Workload.Bank.update ~script:one_request_script ()
-        in
-        ignore
-          (Dsim.Engine.run_until ~deadline:120_000. t.engine (fun () ->
-               Etx.Client.script_done t.client));
-        match Etx.Client.records t.client with
-        | [ r ] -> r.delivered_at -. r.issued_at
-        | _ -> failwith "db_sweep: 2PC"
-      in
-      (n_dbs, baseline, ar, tpc))
-    counts
+let db_sweep ?(seed = 42) ?(counts = [ 1; 2; 4; 8 ]) ?domains () =
+  run_trials ?domains
+    (List.map
+       (fun n_dbs ->
+         {
+           label = Printf.sprintf "dbs-%d" n_dbs;
+           seed;
+           run =
+             (fun ~seed ->
+               let baseline =
+                 let b =
+                   Baselines.Baseline.build ~seed ~n_dbs ~tracing:false
+                     ~seed_data:bank_seed ~business:Workload.Bank.update
+                     ~script:one_request_script ()
+                 in
+                 ignore
+                   (Dsim.Engine.run_until ~deadline:120_000. b.engine
+                      (fun () -> Etx.Client.script_done b.client));
+                 match Etx.Client.records b.client with
+                 | [ r ] -> r.delivered_at -. r.issued_at
+                 | _ -> failwith "db_sweep: baseline"
+               in
+               let ar =
+                 let d =
+                   Etx.Deployment.build ~seed ~n_dbs ~tracing:false
+                     ~seed_data:bank_seed ~business:Workload.Bank.update
+                     ~script:one_request_script ()
+                 in
+                 if not (Etx.Deployment.run_to_quiescence ~deadline:120_000. d)
+                 then failwith "db_sweep: AR did not quiesce";
+                 match Etx.Client.records d.client with
+                 | [ r ] -> r.delivered_at -. r.issued_at
+                 | _ -> failwith "db_sweep: AR"
+               in
+               let tpc =
+                 let t =
+                   Baselines.Tpc.build ~seed ~n_dbs ~tracing:false
+                     ~seed_data:bank_seed ~business:Workload.Bank.update
+                     ~script:one_request_script ()
+                 in
+                 ignore
+                   (Dsim.Engine.run_until ~deadline:120_000. t.engine
+                      (fun () -> Etx.Client.script_done t.client));
+                 match Etx.Client.records t.client with
+                 | [ r ] -> r.delivered_at -. r.issued_at
+                 | _ -> failwith "db_sweep: 2PC"
+               in
+               (n_dbs, baseline, ar, tpc));
+         })
+       counts)
 
 let render_dbs rows =
   let headers = [ "databases"; "baseline (ms)"; "AR (ms)"; "2PC (ms)" ] in
@@ -484,24 +563,24 @@ let render_dbs rows =
   "A4 — prepare fan-out: latency vs number of databases\n"
   ^ Stats.Table.render ~headers ~rows:body
 
-let persistence_ablation ?(seed = 42) ?(transactions = 15) () =
+let persistence_ablation ?(seed = 42) ?(transactions = 15) ?domains () =
   let script ~issue =
     for _ = 1 to transactions do
       ignore (issue update_body)
     done
   in
-  let ar_mean ~recoverable =
+  let ar_mean ~recoverable ~seed =
     let d =
-      Etx.Deployment.build ~seed ~recoverable ~seed_data:bank_seed
-        ~business:Workload.Bank.update ~script ()
+      Etx.Deployment.build ~seed ~recoverable ~tracing:false
+        ~seed_data:bank_seed ~business:Workload.Bank.update ~script ()
     in
     if not (Etx.Deployment.run_to_quiescence ~deadline:600_000. d) then
       failwith "persistence_ablation: run did not quiesce";
     Stats.Summary.mean (latencies (Etx.Client.records d.client))
   in
-  let tpc_mean =
+  let tpc_mean ~seed =
     let t =
-      Baselines.Tpc.build ~seed ~seed_data:bank_seed
+      Baselines.Tpc.build ~seed ~tracing:false ~seed_data:bank_seed
         ~business:Workload.Bank.update ~script ()
     in
     ignore
@@ -509,11 +588,17 @@ let persistence_ablation ?(seed = 42) ?(transactions = 15) () =
            Etx.Client.script_done t.client));
     Stats.Summary.mean (latencies (Etx.Client.records t.client))
   in
-  [
-    ("AR, diskless (the paper's choice)", ar_mean ~recoverable:false);
-    ("AR, persistent registers (crash-recovery)", ar_mean ~recoverable:true);
-    ("2PC (reference)", tpc_mean);
-  ]
+  let trial label run = { label; seed; run } in
+  run_trials ?domains
+    [
+      trial "AR, diskless (the paper's choice)" (fun ~seed ->
+          ( "AR, diskless (the paper's choice)",
+            ar_mean ~recoverable:false ~seed ));
+      trial "AR, persistent registers (crash-recovery)" (fun ~seed ->
+          ( "AR, persistent registers (crash-recovery)",
+            ar_mean ~recoverable:true ~seed ));
+      trial "2PC (reference)" (fun ~seed -> ("2PC (reference)", tpc_mean ~seed));
+    ]
 
 let render_persistence rows =
   let headers = [ "configuration"; "mean latency (ms)" ] in
@@ -527,9 +612,11 @@ let render_persistence rows =
 type Dsim.Types.payload += Sweep_value
 
 let consensus_failover_sweep ?(seed = 42)
-    ?(round_timeouts = [ 25.; 50.; 100.; 200.; 400. ]) () =
-  let one round_timeout =
-    let t = Dsim.Engine.create ~seed ~net:(Dnet.Netmodel.lan ()) () in
+    ?(round_timeouts = [ 25.; 50.; 100.; 200.; 400. ]) ?domains () =
+  let one round_timeout ~seed =
+    let t =
+      Dsim.Engine.create ~seed ~net:(Dnet.Netmodel.lan ()) ~tracing:false ()
+    in
     let peers = [ 0; 1; 2 ] in
     let latency = ref infinity in
     let spawn_member i =
@@ -568,7 +655,15 @@ let consensus_failover_sweep ?(seed = 42)
     then failwith "consensus_failover_sweep: no decision";
     (round_timeout, !latency)
   in
-  List.map one round_timeouts
+  run_trials ?domains
+    (List.map
+       (fun rt ->
+         {
+           label = Printf.sprintf "round-timeout-%g" rt;
+           seed;
+           run = (fun ~seed -> one rt ~seed);
+         })
+       round_timeouts)
 
 let render_consensus_failover rows =
   let headers = [ "round timeout (ms)"; "register-write latency (ms)" ] in
@@ -582,8 +677,8 @@ let render_consensus_failover rows =
   ^ Stats.Table.render ~headers ~rows:body
 
 let throughput_sweep ?(seed = 42) ?(clients = [ 1; 2; 4; 8 ])
-    ?(requests_per_client = 5) () =
-  let run ~n_clients ~contended =
+    ?(requests_per_client = 5) ?domains () =
+  let run ~n_clients ~contended ~seed =
     let account i = if contended then "hot" else Printf.sprintf "acct%d" i in
     let seed_data =
       Workload.Bank.seed_accounts
@@ -597,8 +692,8 @@ let throughput_sweep ?(seed = 42) ?(clients = [ 1; 2; 4; 8 ])
       done
     in
     let d =
-      Etx.Deployment.build ~seed ~seed_data ~business:Workload.Bank.update
-        ~script:(script_for 0) ()
+      Etx.Deployment.build ~seed ~tracing:false ~seed_data
+        ~business:Workload.Bank.update ~script:(script_for 0) ()
     in
     let extra =
       List.init (n_clients - 1) (fun i ->
@@ -616,12 +711,19 @@ let throughput_sweep ?(seed = 42) ?(clients = [ 1; 2; 4; 8 ])
     let total = float_of_int (n_clients * requests_per_client) in
     total /. (Dsim.Engine.now_of d.engine /. 1_000.)
   in
-  List.map
-    (fun n_clients ->
-      ( n_clients,
-        run ~n_clients ~contended:true,
-        run ~n_clients ~contended:false ))
-    clients
+  run_trials ?domains
+    (List.map
+       (fun n_clients ->
+         {
+           label = Printf.sprintf "clients-%d" n_clients;
+           seed;
+           run =
+             (fun ~seed ->
+               ( n_clients,
+                 run ~n_clients ~contended:true ~seed,
+                 run ~n_clients ~contended:false ~seed ));
+         })
+       clients)
 
 let render_throughput rows =
   let headers =
@@ -640,12 +742,14 @@ let render_throughput rows =
   "A7 — aggregate throughput vs concurrent clients (single database)\n"
   ^ Stats.Table.render ~headers ~rows:body
 
-let register_backend_comparison ?(seed = 42) () =
+let register_backend_comparison ?(seed = 42) ?domains () =
   (* one register write among three members; [writer] proposes, the member
      being measured records the elapsed time; optionally member 0 (the
      primary / ballot-0 owner) is crashed at t=1 *)
-  let run ~make_agent ~writer ~crash_primary =
-    let t = Dsim.Engine.create ~seed ~net:(Dnet.Netmodel.lan ()) () in
+  let run ~make_agent ~writer ~crash_primary ~seed =
+    let t =
+      Dsim.Engine.create ~seed ~net:(Dnet.Netmodel.lan ()) ~tracing:false ()
+    in
     let peers = [ 0; 1; 2 ] in
     let latency = ref infinity in
     List.iter
@@ -693,15 +797,22 @@ let register_backend_comparison ?(seed = 42) () =
     fun ~key v -> Consensus.Synod.propose s ~key v
   in
   let measure name make_agent =
-    ( name,
-      run ~make_agent ~writer:0 ~crash_primary:false,
-      run ~make_agent ~writer:1 ~crash_primary:true )
+    {
+      label = name;
+      seed;
+      run =
+        (fun ~seed ->
+          ( name,
+            run ~make_agent ~writer:0 ~crash_primary:false ~seed,
+            run ~make_agent ~writer:1 ~crash_primary:true ~seed ));
+    }
   in
-  [
-    measure "CT agent, perfect detector" ct_oracle;
-    measure "CT agent, useless detector (100ms rounds)" ct_blind;
-    measure "Synod (Paxos), no detector" synod;
-  ]
+  run_trials ?domains
+    [
+      measure "CT agent, perfect detector" ct_oracle;
+      measure "CT agent, useless detector (100ms rounds)" ct_blind;
+      measure "Synod (Paxos), no detector" synod;
+    ]
 
 let render_register_backends rows =
   let headers =
@@ -717,8 +828,10 @@ let render_register_backends rows =
   ^ Stats.Table.render ~headers ~rows:body
 
 let fd_quality_sweep ?(seed = 42) ?(requests = 10)
-    ?(timeouts = [ 15.; 25.; 50.; 100.; 200. ]) () =
-  let one timeout =
+    ?(timeouts = [ 15.; 25.; 50.; 100.; 200. ]) ?domains () =
+  (* tracing stays on: cleanings are counted from trace notes and
+     [Spec.check_all] replays them too *)
+  let one timeout ~seed =
     (* jitter plus heartbeat loss: a dropped heartbeat stretches the
        silence past an aggressive timeout *)
     let net =
@@ -766,7 +879,15 @@ let fd_quality_sweep ?(seed = 42) ?(requests = 10)
     let mean = Stats.Summary.mean (latencies (Etx.Client.records d.client)) in
     (timeout, cleanings, extra_tries, mean)
   in
-  List.map one timeouts
+  run_trials ?domains
+    (List.map
+       (fun timeout ->
+         {
+           label = Printf.sprintf "fd-quality-%g" timeout;
+           seed;
+           run = (fun ~seed -> one timeout ~seed);
+         })
+       timeouts)
 
 let render_fd_quality rows =
   let headers =

@@ -3,7 +3,28 @@
 
     Each driver returns structured data and has a [render_*] companion that
     prints a table in the shape the paper uses. All runs are deterministic
-    for a given seed. *)
+    for a given seed.
+
+    Every sweep is a list of self-contained {!trial}s mapped over a domain
+    pool ({!Dsim.Pool}): each trial builds its own engine, RNG, trace and
+    statistics inside its [run] function, so trials share no mutable state
+    and the results are bit-identical whatever the [?domains] argument —
+    parallelism only changes wall-clock time. *)
+
+(** {1 Trials and the domain pool} *)
+
+type 'a trial = { label : string; seed : int; run : seed:int -> 'a }
+(** A self-contained unit of experimental work: [run ~seed] must build
+    everything it touches (engine, processes, statistics) internally. *)
+
+val default_domains : int ref
+(** Domain count used by every sweep whose [?domains] argument is omitted.
+    Defaults to 1 (fully sequential). Mutate once at startup (e.g. from a
+    [--domains] flag); do not mutate concurrently with running sweeps. *)
+
+val run_trials : ?domains:int -> 'a trial list -> 'a list
+(** Map [trial.run] over the list via {!Dsim.Pool.map}, preserving input
+    order. [?domains] defaults to [!default_domains]. *)
 
 (** {1 E1/E4 — Figure 8: latency components and the cost of reliability} *)
 
@@ -19,7 +40,7 @@ type fig8_protocol = {
 
 type fig8 = { transactions : int; protocols : fig8_protocol list }
 
-val figure8 : ?transactions:int -> ?seed:int -> unit -> fig8
+val figure8 : ?transactions:int -> ?seed:int -> ?domains:int -> unit -> fig8
 (** Runs baseline, asynchronous replication (this paper), 2PC, and — as a
     validation the paper argued analytically — primary-backup, each over
     [transactions] identical bank-account updates (default 40). *)
@@ -36,7 +57,7 @@ type fig7_row = {
   forced_ios : int;  (** eager log writes at the application tier *)
 }
 
-val figure7 : ?seed:int -> unit -> fig7_row list
+val figure7 : ?seed:int -> ?domains:int -> unit -> fig7_row list
 
 val render_figure7 : fig7_row list -> string
 
@@ -51,34 +72,50 @@ type fig1_scenario = {
   violations : string list;  (** must be empty *)
 }
 
-val figure1 : ?seed:int -> unit -> fig1_scenario list
+val figure1 : ?seed:int -> ?domains:int -> unit -> fig1_scenario list
 
 val render_figure1 : fig1_scenario list -> string
 
 (** {1 A1–A4 — ablations} *)
 
 val failover_sweep :
-  ?seed:int -> ?timeouts:float list -> unit -> (float * float * int) list
+  ?seed:int ->
+  ?timeouts:float list ->
+  ?domains:int ->
+  unit ->
+  (float * float * int) list
 (** Heartbeat-detector timeout vs client-visible latency (and tries) of a
     request whose primary crashes mid-compute. *)
 
 val render_failover : (float * float * int) list -> string
 
 val backoff_sweep :
-  ?seed:int -> ?periods:float list -> unit -> (float * float * float) list
+  ?seed:int ->
+  ?periods:float list ->
+  ?domains:int ->
+  unit ->
+  (float * float * float) list
 (** Client back-off period vs (nice-run latency, fail-over latency). *)
 
 val render_backoff : (float * float * float) list -> string
 
 val loss_sweep :
-  ?seed:int -> ?rates:float list -> unit -> (float * float * int) list
+  ?seed:int ->
+  ?rates:float list ->
+  ?domains:int ->
+  unit ->
+  (float * float * int) list
 (** Message-loss rate vs mean latency and protocol message count (the
     reliable-channel retransmission cost). *)
 
 val render_loss : (float * float * int) list -> string
 
 val db_sweep :
-  ?seed:int -> ?counts:int list -> unit -> (int * float * float * float) list
+  ?seed:int ->
+  ?counts:int list ->
+  ?domains:int ->
+  unit ->
+  (int * float * float * float) list
 (** Number of databases vs mean latency for baseline / AR / 2PC (prepare
     fan-out happens in parallel, so the curves should stay nearly flat —
     the three-tier scalability argument). *)
@@ -86,7 +123,7 @@ val db_sweep :
 val render_dbs : (int * float * float * float) list -> string
 
 val persistence_ablation :
-  ?seed:int -> ?transactions:int -> unit -> (string * float) list
+  ?seed:int -> ?transactions:int -> ?domains:int -> unit -> (string * float) list
 (** A5: why the paper keeps the middle tier diskless. Mean nice-run latency
     of (i) the diskless protocol, (ii) the crash-recovery variant with
     persistent registers (forced IO on every register write, enabling
@@ -96,7 +133,11 @@ val persistence_ablation :
 val render_persistence : (string * float) list -> string
 
 val consensus_failover_sweep :
-  ?seed:int -> ?round_timeouts:float list -> unit -> (float * float) list
+  ?seed:int ->
+  ?round_timeouts:float list ->
+  ?domains:int ->
+  unit ->
+  (float * float) list
 (** A6: the paper's closing remark — response time under failures depends on
     the consensus being optimised for failure cases. Measures the latency of
     a wo-register write whose round-0 coordinator has crashed, as a function
@@ -110,6 +151,7 @@ val throughput_sweep :
   ?seed:int ->
   ?clients:int list ->
   ?requests_per_client:int ->
+  ?domains:int ->
   unit ->
   (int * float * float) list
 (** A7: aggregate throughput vs number of concurrent clients, with all
@@ -120,7 +162,7 @@ val throughput_sweep :
 val render_throughput : (int * float * float) list -> string
 
 val register_backend_comparison :
-  ?seed:int -> unit -> (string * float * float) list
+  ?seed:int -> ?domains:int -> unit -> (string * float * float) list
 (** A8: the two wo-register substrates compared — the Chandra–Toueg agent
     (with a perfect and with a useless failure detector) and the Synod
     (Paxos) backend. For each: latency of a failure-free write by the
@@ -134,6 +176,7 @@ val fd_quality_sweep :
   ?seed:int ->
   ?requests:int ->
   ?timeouts:float list ->
+  ?domains:int ->
   unit ->
   (float * int * int * float) list
 (** A9: the paper's §5 claim that failure-suspicion mistakes never cost

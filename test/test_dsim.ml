@@ -678,6 +678,98 @@ let prop_engine_deterministic =
     (fun seed -> run_trace_of seed = run_trace_of seed)
 
 (* ------------------------------------------------------------------ *)
+(* Fifo *)
+
+let test_fifo_order () =
+  let f = Fifo.create () in
+  List.iter (Fifo.push f) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Fifo.length f);
+  let rec drain acc =
+    match Fifo.pop f with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4 ] (drain []);
+  Alcotest.(check bool) "empty after drain" true (Fifo.is_empty f)
+
+let test_fifo_take_first () =
+  let f = Fifo.create () in
+  List.iter (Fifo.push f) [ 1; 2; 3; 4; 5 ];
+  (* remove from the middle *)
+  Alcotest.(check (option int)) "first even" (Some 2)
+    (Fifo.take_first f (fun x -> x mod 2 = 0));
+  Alcotest.(check (list int)) "rest intact" [ 1; 3; 4; 5 ] (Fifo.to_list f);
+  (* remove the tail, then push again: the tail pointer must be fixed up *)
+  Alcotest.(check (option int)) "take tail" (Some 5)
+    (Fifo.take_first f (fun x -> x = 5));
+  Fifo.push f 6;
+  Alcotest.(check (list int)) "append after tail removal" [ 1; 3; 4; 6 ]
+    (Fifo.to_list f);
+  Alcotest.(check (option int)) "no match" None
+    (Fifo.take_first f (fun x -> x = 99))
+
+let test_fifo_clear () =
+  let f = Fifo.create () in
+  List.iter (Fifo.push f) [ 1; 2; 3 ];
+  Fifo.clear f;
+  Alcotest.(check int) "cleared" 0 (Fifo.length f);
+  Fifo.push f 7;
+  Alcotest.(check (list int)) "usable after clear" [ 7 ] (Fifo.to_list f)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_preserves_order () =
+  let items = List.init 100 Fun.id in
+  let out = Pool.map ~domains:4 (fun x -> x * x) items in
+  Alcotest.(check (list int)) "order" (List.map (fun x -> x * x) items) out
+
+let test_pool_matches_sequential () =
+  let items = List.init 37 (fun i -> i * 13) in
+  let f x = Printf.sprintf "%d:%d" x (x mod 7) in
+  Alcotest.(check (list string)) "parity" (Pool.map ~domains:1 f items)
+    (Pool.map ~domains:4 f items)
+
+exception Pool_boom of int
+
+let test_pool_propagates_exception () =
+  Alcotest.check_raises "raises" (Pool_boom 5) (fun () ->
+      ignore
+        (Pool.map ~domains:4
+           (fun x -> if x = 5 then raise (Pool_boom 5) else x)
+           (List.init 20 Fun.id)))
+
+let test_pool_empty_and_oversized () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:8 Fun.id []);
+  (* more domains than items must clamp, not spawn idle domains *)
+  Alcotest.(check (list int)) "clamped" [ 1; 2 ]
+    (Pool.map ~domains:64 Fun.id [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox growth regression: enqueueing n messages into a process that
+   never receives must be ~O(n). The pre-Fifo representation appended with
+   [mailbox @ [m]] — O(n) each, quadratic overall — which takes tens of
+   seconds at this size; the deque version finishes in milliseconds. *)
+
+let test_mailbox_enqueue_linear () =
+  let n = 20_000 in
+  let t = Engine.create ~tracing:false () in
+  let sink =
+    Engine.spawn t ~name:"sink" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 1e12)
+  in
+  let _ =
+    Engine.spawn t ~name:"src" ~main:(fun ~recovery:_ () ->
+        for i = 1 to n do
+          Engine.send sink (Ping i)
+        done)
+  in
+  let t0 = Sys.time () in
+  ignore (Engine.run ~deadline:1e9 t);
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "20k enqueues in %.3fs (< 5s)" elapsed)
+    true (elapsed < 5.0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -689,6 +781,24 @@ let () =
           Alcotest.test_case "peek/length" `Quick test_heap_peek;
           q prop_heap_sorts;
           q prop_heap_stable_on_ties;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "take_first" `Quick test_fifo_take_first;
+          Alcotest.test_case "clear" `Quick test_fifo_clear;
+          Alcotest.test_case "mailbox enqueue linear" `Quick
+            test_mailbox_enqueue_linear;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "preserves order" `Quick test_pool_preserves_order;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_pool_matches_sequential;
+          Alcotest.test_case "propagates exception" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "empty/clamped" `Quick
+            test_pool_empty_and_oversized;
         ] );
       ( "rng",
         [

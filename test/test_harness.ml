@@ -114,6 +114,18 @@ let fig7_find name =
           String.length r.proto >= 2 && String.sub r.proto 0 2 = "AR")
         rows
 
+let test_fig7_parallel_determinism () =
+  (* the tentpole guarantee: mapping the trial list over 4 domains renders
+     byte-for-byte the same table as the sequential run *)
+  let seq = Experiments.render_figure7 (Experiments.figure7 ~domains:1 ()) in
+  let par = Experiments.render_figure7 (Experiments.figure7 ~domains:4 ()) in
+  Alcotest.(check string) "4-domain table byte-identical to 1-domain" seq par
+
+let test_fig1_parallel_determinism () =
+  let seq = Experiments.render_figure1 (Experiments.figure1 ~domains:1 ()) in
+  let par = Experiments.render_figure1 (Experiments.figure1 ~domains:4 ()) in
+  Alcotest.(check string) "4-domain table byte-identical to 1-domain" seq par
+
 let test_fig7_message_ordering () =
   let baseline = fig7_find "baseline" in
   let tpc = fig7_find "2PC" in
@@ -381,9 +393,15 @@ let () =
             test_fig7_message_ordering;
           Alcotest.test_case "steps ordering" `Quick test_fig7_steps_ordering;
           Alcotest.test_case "forced IOs" `Quick test_fig7_forced_ios;
+          Alcotest.test_case "parallel determinism" `Quick
+            test_fig7_parallel_determinism;
         ] );
       ( "figure1",
-        [ Alcotest.test_case "four executions" `Quick test_fig1_scenarios ] );
+        [
+          Alcotest.test_case "four executions" `Quick test_fig1_scenarios;
+          Alcotest.test_case "parallel determinism" `Quick
+            test_fig1_parallel_determinism;
+        ] );
       ( "ablations",
         [
           Alcotest.test_case "backoff sweep" `Quick
