@@ -13,20 +13,27 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      parallel micro)
+      scale scale-smoke parallel micro)
 
    Each invocation also writes BENCH_harness.json — per-artefact wall-clock
-   seconds, machine-readable:
-     { "schema": "etx-bench-harness/1", "domains": N,
-       "artefacts": [ { "name": "figure8", "wall_s": 1.234 }, ... ] } *)
+   seconds plus the cluster-scale sweep points, machine-readable:
+     { "schema": "etx-bench-harness/2", "domains": N, "host_cores": C,
+       "artefacts": [ { "name": "figure8", "wall_s": 1.234 }, ... ],
+       "scale": [ { "servers": 3, "clients": 1, "events": 12345,
+                    "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ] } *)
 
 let domains = ref 1
 
 let section title body =
   Printf.printf "== %s ==\n%s\n\n%!" title body
 
+let host_cores = Domain.recommended_domain_count ()
+
 (* wall-clock ledger, dumped to BENCH_harness.json on exit *)
 let timings : (string * float) list ref = ref []
+
+(* (servers, clients, events, wall_s, events/s) points from the scale sweep *)
+let scale_rows : (int * int * int * float * float) list ref = ref []
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
@@ -44,18 +51,37 @@ let write_bench_json () =
            Printf.sprintf "    { \"name\": %S, \"wall_s\": %.6f }" name wall_s)
          !timings)
   in
+  let scale =
+    String.concat ",\n"
+      (List.map
+         (fun (s, c, ev, wall, rate) ->
+           Printf.sprintf
+             "    { \"servers\": %d, \"clients\": %d, \"events\": %d, \
+              \"wall_s\": %.6f, \"events_per_sec\": %.1f }"
+             s c ev wall rate)
+         !scale_rows)
+  in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"etx-bench-harness/1\",\n\
+    \  \"schema\": \"etx-bench-harness/2\",\n\
     \  \"domains\": %d,\n\
+    \  \"host_cores\": %d,\n\
     \  \"artefacts\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"scale\": [\n\
      %s\n\
     \  ]\n\
      }\n"
-    !domains artefacts;
+    !domains host_cores artefacts scale;
   close_out oc;
-  Printf.printf "wrote BENCH_harness.json (%d artefacts, domains=%d)\n%!"
-    (List.length !timings) !domains
+  Printf.printf
+    "wrote BENCH_harness.json (%d artefacts, %d scale points, domains=%d, \
+     host_cores=%d)\n\
+     %!"
+    (List.length !timings)
+    (List.length !scale_rows)
+    !domains host_cores
 
 let run_figure8 () =
   timed "figure8" @@ fun () ->
@@ -129,6 +155,18 @@ let run_fd_quality () =
     (Harness.Experiments.render_fd_quality
        (Harness.Experiments.fd_quality_sweep ~domains:!domains ()))
 
+let run_scale ?points () =
+  let rows =
+    timed "scale" @@ fun () -> Harness.Experiments.scale_sweep ?points ()
+  in
+  scale_rows := !scale_rows @ rows;
+  section "A10 (cluster-scale sweep)" (Harness.Experiments.render_scale rows)
+
+(* the cheapest point only: keeps the sweep code exercised in CI without
+   paying for the 25-server × 512-client run *)
+let run_scale_smoke () =
+  run_scale ~points:[ List.hd Harness.Experiments.scale_points ] ()
+
 (* ------------------------------------------------------------------ *)
 (* Parallel artefact: 1 domain vs N domains, byte-identity asserted *)
 
@@ -177,6 +215,10 @@ let run_parallel () =
     n;
   Printf.printf "  (%d cores recommended by this machine)\n"
     (Dsim.Pool.default_domains ());
+  if host_cores <= 1 then
+    Printf.printf
+      "  note: single-core host — speedup not expected; domains time-slice \
+       one core\n";
   List.iter
     (fun (name, t_seq, t_par) ->
       Printf.printf "  %-10s  1-dom %6.2fs   %d-dom %6.2fs   speedup %.2fx\n"
@@ -296,6 +338,7 @@ let all () =
   run_throughput ();
   run_register_backends ();
   run_fd_quality ();
+  run_scale ();
   run_micro ()
 
 let () =
@@ -332,12 +375,14 @@ let () =
           | "throughput" -> run_throughput ()
           | "registers" -> run_register_backends ()
           | "fd-quality" -> run_fd_quality ()
+          | "scale" -> run_scale ()
+          | "scale-smoke" -> run_scale_smoke ()
           | "parallel" -> run_parallel ()
           | "micro" -> run_micro ()
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|parallel|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|scale|scale-smoke|parallel|micro)\n"
                 other;
               exit 2)
         args);

@@ -17,6 +17,21 @@ type Types.payload +=
          instance so that every correct peer participates from round 0 —
          CT liveness needs all correct processes in the round schedule *)
 
+(* demux classes. All CT network traffic shares one bucket: the dispatcher
+   and the per-instance drivers both wait on it (with filters narrowing to
+   their share — driver-claimed round messages vs everything else), so
+   neither ever scans the process's other backlogs (e.g. the primary's
+   queued client requests). The local decision wakeup is its own bucket. *)
+let cls_net =
+  Engine.register_class ~name:"ct-net" (function
+    | C_estimate _ | C_propose _ | C_ack _ | C_decide _ | C_start _ -> true
+    | _ -> false)
+
+let cls_decided =
+  Engine.register_class ~name:"ct-decided" (function
+    | C_decided_local _ -> true
+    | _ -> false)
+
 type instance = {
   key : string;
   mutable my_proposal : Types.payload option;
@@ -230,7 +245,7 @@ let driver t inst () =
             | true, Some (v, _) -> propose r v
             | _ -> (
                 match
-                  Engine.recv ~timeout:t.poll ~filter:wants_instance ()
+                  Engine.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance ()
                 with
                 | Some
                     ({ payload = C_estimate { round; est; ts; _ }; src; _ } as
@@ -267,7 +282,7 @@ let driver t inst () =
           else if !yes + !no >= t.majority && !no >= 1 then
             go (r + 1) (Some v) r
           else begin
-            match Engine.recv ~timeout:t.poll ~filter:wants_instance () with
+            match Engine.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance () with
             | Some { payload = C_ack { round; ok; _ }; _ } when round = r ->
                 if ok then incr yes else incr no;
                 collect ()
@@ -290,7 +305,7 @@ let driver t inst () =
       match inst.decided with
       | Some _ -> ()
       | None -> (
-          match Engine.recv ~timeout:t.poll ~filter:wants_instance () with
+          match Engine.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance () with
           | Some { payload = C_propose { round; value; _ }; src; _ }
             when round = r ->
               adopt_and_ack ~round:r value ~coordinator:src;
@@ -335,7 +350,7 @@ let dispatcher t () =
     | _ -> false
   in
   let rec loop () =
-    (match Engine.recv ~filter:wants () with
+    (match Engine.recv ~cls:cls_net ~filter:wants () with
     | None -> ()
     | Some m -> (
         match m.payload with
@@ -385,7 +400,7 @@ let propose t ~key value =
         match inst.decided with
         | Some v -> v
         | None ->
-            ignore (Engine.recv ~timeout:(t.poll *. 5.) ~filter:wants ());
+            ignore (Engine.recv ~timeout:(t.poll *. 5.) ~cls:cls_decided ~filter:wants ());
             wait ()
       in
       wait ()

@@ -16,6 +16,23 @@ type Types.payload +=
   | S_learn of { key : string; value : Types.payload }
   | S_decided_local of { key : string }
 
+(* demux classes: acceptor-side requests, proposer-side replies, and the
+   local decision wakeup each get their own mailbox bucket *)
+let cls_request =
+  Engine.register_class ~name:"synod-request" (function
+    | S_prepare _ | S_accept _ | S_learn _ -> true
+    | _ -> false)
+
+let cls_reply =
+  Engine.register_class ~name:"synod-reply" (function
+    | S_promise _ | S_accepted _ | S_nack _ -> true
+    | _ -> false)
+
+let cls_decided =
+  Engine.register_class ~name:"synod-decided" (function
+    | S_decided_local _ -> true
+    | _ -> false)
+
 (* acceptor + learner + proposer state for one instance at one process *)
 type instance = {
   key : string;
@@ -79,13 +96,8 @@ let learn t inst value =
 (* ---------------- acceptor / learner ---------------- *)
 
 let dispatcher t () =
-  let wants m =
-    match m.Types.payload with
-    | S_prepare _ | S_accept _ | S_learn _ -> true
-    | _ -> false
-  in
   let rec loop () =
-    (match Engine.recv ~filter:wants () with
+    (match Engine.recv_cls cls_request with
     | None -> ()
     | Some m -> (
         match m.payload with
@@ -127,9 +139,11 @@ type 'a phase_result = Quorum of 'a list | Preempted | Timed_out
 
 let collect_phase t inst ~matches =
   let deadline = Engine.now () +. t.attempt_timeout in
-  let rec wait replies =
+  (* [n_replies] rides along so reaching a quorum is O(1) per reply rather
+     than re-counting the accumulated list each time *)
+  let rec wait n_replies replies =
     if inst.decided <> None then Preempted
-    else if List.length replies >= t.majority then Quorum replies
+    else if n_replies >= t.majority then Quorum replies
     else
       let remaining = deadline -. Engine.now () in
       if remaining <= 0. then Timed_out
@@ -139,15 +153,17 @@ let collect_phase t inst ~matches =
           | `Reply _ | `Nack -> true
           | `Other -> false
         in
-        match Engine.recv ~timeout:(Float.min remaining 5.) ~filter () with
+        match
+          Engine.recv ~timeout:(Float.min remaining 5.) ~cls:cls_reply ~filter ()
+        with
         | Some m -> (
             match matches m.Types.payload with
-            | `Reply r -> wait (r :: replies)
+            | `Reply r -> wait (n_replies + 1) (r :: replies)
             | `Nack -> Preempted
-            | `Other -> wait replies)
-        | None -> wait replies
+            | `Other -> wait n_replies replies)
+        | None -> wait n_replies replies
   in
-  wait []
+  wait 0 []
 
 let proposer t inst my_value () =
   let rec attempt ballot =
@@ -233,7 +249,7 @@ let propose t ~key value =
         match inst.decided with
         | Some v -> v
         | None ->
-            ignore (Engine.recv ~timeout:10. ~filter:wants ());
+            ignore (Engine.recv ~timeout:10. ~cls:cls_decided ~filter:wants ());
             wait ()
       in
       wait ()

@@ -204,11 +204,8 @@ let compute_try ctx st ~(request : request) ~j =
   | _ -> ()
 
 let compute_thread ctx () =
-  let wants m =
-    match m.Types.payload with Request_msg _ -> true | _ -> false
-  in
   let rec loop () =
-    (match Engine.recv ~filter:wants () with
+    (match Engine.recv_cls cls_request with
     | None -> ()
     | Some m -> (
         match m.payload with

@@ -49,7 +49,8 @@ let spawn engine ?(name = "client") ?(period = 400.) ~servers ~script () =
               Rchannel.send ch primary
                 (Etx_types.Request_msg { request; j });
               match
-                Engine.recv ~timeout:period ~filter:(wants_result rid j) ()
+                Engine.recv ~timeout:period ~cls:Etx_types.cls_result
+                  ~filter:(wants_result rid j) ()
               with
               | Some m -> conclude j m
               | None -> broadcast_phase j
@@ -57,7 +58,8 @@ let spawn engine ?(name = "client") ?(period = 400.) ~servers ~script () =
               Rchannel.broadcast ch servers
                 (Etx_types.Request_msg { request; j });
               match
-                Engine.recv ~timeout:period ~filter:(wants_result rid j) ()
+                Engine.recv ~timeout:period ~cls:Etx_types.cls_result
+                  ~filter:(wants_result rid j) ()
               with
               | Some m -> conclude j m
               | None -> broadcast_phase j

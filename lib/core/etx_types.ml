@@ -25,6 +25,17 @@ type Dsim.Types.payload +=
       (** content of [regA\[j\]]: which server computes result [j] *)
   | Reg_d_value of decision  (** content of [regD\[j\]] *)
 
+(* demux classes for the two client/server message streams *)
+let cls_request =
+  Dsim.Engine.register_class ~name:"etx-request" (function
+    | Request_msg _ -> true
+    | _ -> false)
+
+let cls_result =
+  Dsim.Engine.register_class ~name:"etx-result" (function
+    | Result_msg _ -> true
+    | _ -> false)
+
 let pp_decision ppf d =
   Format.fprintf ppf "(%s,%s)"
     (match d.result with None -> "nil" | Some r -> r)

@@ -20,3 +20,32 @@ type Dsim.Types.payload +=
   | Ready
   | Commit1 of { xid : Xid.t }
   | Commit1_reply of { xid : Xid.t; outcome : Rm.outcome }
+
+(* demux classes, one per server-side handler loop plus the stub-side
+   reply and readiness streams *)
+let cls_exec =
+  Dsim.Engine.register_class ~name:"db-exec" (function
+    | Exec_req _ | Commit1 _ | Xa_start _ | Xa_end _ -> true
+    | _ -> false)
+
+let cls_prepare =
+  Dsim.Engine.register_class ~name:"db-prepare" (function
+    | Prepare _ -> true
+    | _ -> false)
+
+let cls_decide =
+  Dsim.Engine.register_class ~name:"db-decide" (function
+    | Decide _ -> true
+    | _ -> false)
+
+let cls_reply =
+  Dsim.Engine.register_class ~name:"db-reply" (function
+    | Exec_reply _ | Vote_msg _ | Ack_decide _ | Xa_started _ | Xa_ended _
+    | Commit1_reply _ ->
+        true
+    | _ -> false)
+
+let cls_ready =
+  Dsim.Engine.register_class ~name:"db-ready" (function
+    | Ready -> true
+    | _ -> false)

@@ -2,13 +2,8 @@ open Dsim
 open Dnet
 
 let exec_handler rm ch () =
-  let wants m =
-    match m.Types.payload with
-    | Msg.Exec_req _ | Msg.Commit1 _ | Msg.Xa_start _ | Msg.Xa_end _ -> true
-    | _ -> false
-  in
   let rec loop () =
-    match Engine.recv ~filter:wants () with
+    match Engine.recv_cls Msg.cls_exec with
     | None -> ()
     | Some m ->
         (match m.payload with
@@ -35,11 +30,8 @@ let exec_handler rm ch () =
   loop ()
 
 let prepare_handler rm ch () =
-  let wants m =
-    match m.Types.payload with Msg.Prepare _ -> true | _ -> false
-  in
   let rec loop () =
-    match Engine.recv ~filter:wants () with
+    match Engine.recv_cls Msg.cls_prepare with
     | None -> ()
     | Some m ->
         (match m.payload with
@@ -52,11 +44,8 @@ let prepare_handler rm ch () =
   loop ()
 
 let decide_handler rm ch () =
-  let wants m =
-    match m.Types.payload with Msg.Decide _ -> true | _ -> false
-  in
   let rec loop () =
-    match Engine.recv ~filter:wants () with
+    match Engine.recv_cls Msg.cls_decide with
     | None -> ()
     | Some m ->
         (match m.payload with

@@ -10,9 +10,8 @@ module Readiness = struct
     { epochs }
 
   let listener t () =
-    let wants m = match m.Types.payload with Msg.Ready -> true | _ -> false in
     let rec loop () =
-      match Engine.recv ~filter:wants () with
+      match Engine.recv_cls Msg.cls_ready with
       | None -> ()
       | Some m ->
           let cur = Option.value ~default:0 (Hashtbl.find_opt t.epochs m.src) in
@@ -33,8 +32,10 @@ let rpc ~poll ch rd ~db ~request ~matches =
     Rchannel.send ch db request;
     wait epoch
   and wait epoch =
+    (* [matches] only ever accepts db reply payloads ([Msg.cls_reply]), so
+       the scan can stay inside that bucket *)
     let filter m = m.Types.src = db && matches m.Types.payload <> None in
-    match Engine.recv ~timeout:poll ~filter () with
+    match Engine.recv ~timeout:poll ~cls:Msg.cls_reply ~filter () with
     | Some m -> (
         match matches m.Types.payload with
         | Some reply -> reply
@@ -109,7 +110,7 @@ let broadcast_collect ?(poll = default_poll) ch rd ~dbs ~request ~matches =
   let collect db =
     let filter m = m.Types.src = db && matches m.Types.payload <> None in
     let rec wait epoch =
-      match Engine.recv ~timeout:poll ~filter () with
+      match Engine.recv ~timeout:poll ~cls:Msg.cls_reply ~filter () with
       | Some m -> (
           match matches m.Types.payload with
           | Some reply -> reply

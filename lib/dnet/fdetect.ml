@@ -1,6 +1,18 @@
 open Dsim
 
-type Types.payload += Fd_heartbeat
+type Types.payload +=
+  | Fd_heartbeat
+  | Fd_wake  (** self-delivered poke: re-plan the coalesced monitor timer *)
+
+let cls_hb =
+  Engine.register_class ~name:"fd-heartbeat" (function
+    | Fd_heartbeat -> true
+    | _ -> false)
+
+let cls_wake =
+  Engine.register_class ~name:"fd-wake" (function
+    | Fd_wake -> true
+    | _ -> false)
 
 type peer_state = {
   mutable last_heard : float;
@@ -11,7 +23,9 @@ type peer_state = {
 type hb = {
   period : float;
   bump : float;
-  peers : (Types.proc_id * peer_state) list;
+  owner : Types.proc_id;
+  peer_ids : Types.proc_id list;  (** broadcaster fan-out order *)
+  states : peer_state option array;  (** indexed by pid; O(1) per lookup *)
 }
 
 type t = Heartbeat of hb | Oracle of Engine.t | Scripted of (Types.proc_id -> bool)
@@ -19,59 +33,111 @@ type t = Heartbeat of hb | Oracle of Engine.t | Scripted of (Types.proc_id -> bo
 let heartbeat ?(period = 10.) ?(initial_timeout = 50.) ?(timeout_bump = 25.)
     ~peers () =
   let now = Engine.now () in
-  let states =
-    List.map
-      (fun pid ->
-        (pid, { last_heard = now; timeout = initial_timeout; suspected = false }))
-      peers
-  in
-  Heartbeat { period; bump = timeout_bump; peers = states }
+  let cap = 1 + List.fold_left max 0 peers in
+  let states = Array.make cap None in
+  List.iter
+    (fun pid ->
+      states.(pid) <-
+        Some { last_heard = now; timeout = initial_timeout; suspected = false })
+    peers;
+  Heartbeat
+    { period; bump = timeout_bump; owner = Engine.self (); peer_ids = peers; states }
 
 let oracle engine = Oracle engine
 
 let of_fun f = Scripted f
 
+let state_of hb pid =
+  if pid < 0 || pid >= Array.length hb.states then None else hb.states.(pid)
+
 let broadcaster hb () =
   let self = Engine.self () in
   let rec loop () =
     List.iter
-      (fun (pid, _) -> if pid <> self then Engine.send pid Fd_heartbeat)
-      hb.peers;
+      (fun pid -> if pid <> self then Engine.send pid Fd_heartbeat)
+      hb.peer_ids;
     Engine.sleep hb.period;
     loop ()
   in
   loop ()
 
 let listener hb () =
-  let is_hb m = match m.Types.payload with Fd_heartbeat -> true | _ -> false in
   let rec loop () =
-    match Engine.recv ~filter:is_hb () with
+    match Engine.recv_cls cls_hb with
     | None -> ()
     | Some m ->
-        (match List.assoc_opt m.src hb.peers with
+        (match state_of hb m.src with
         | None -> ()
         | Some st ->
             st.last_heard <- Engine.now ();
             if st.suspected then begin
-              (* false suspicion: the ◇P adaptation rule *)
+              (* false suspicion: the ◇P adaptation rule. The cleared peer
+                 re-enters the monitor's deadline computation, possibly
+                 earlier than its current timer — poke it to re-plan. *)
               st.suspected <- false;
-              st.timeout <- st.timeout +. hb.bump
+              st.timeout <- st.timeout +. hb.bump;
+              Engine.redeliver ~src:hb.owner Fd_wake
             end);
         loop ()
   in
   loop ()
 
+(* One coalesced timer instead of scanning every peer each half-period.
+   Suspicions still happen on the same half-period tick grid (the [tick]
+   cursor accumulates [period/2] exactly as the old sleep-per-tick loop
+   did), but the monitor only wakes at ticks where some unsuspected peer's
+   [last_heard + timeout] deadline can actually have expired — O(peers)
+   work per deadline rather than per half-period. *)
 let monitor hb () =
   let self = Engine.self () in
+  let h = hb.period /. 2. in
+  let tick = ref (Engine.now ()) in
+  (* next unexamined grid point is [!tick +. h] *)
+  let next_deadline () =
+    let d = ref infinity in
+    Array.iteri
+      (fun pid st_opt ->
+        match st_opt with
+        | Some st when pid <> self && not st.suspected ->
+            let dl = st.last_heard +. st.timeout in
+            if dl < !d then d := dl
+        | _ -> ())
+      hb.states;
+    !d
+  in
   let rec loop () =
-    Engine.sleep (hb.period /. 2.);
-    let now = Engine.now () in
-    List.iter
-      (fun (pid, st) ->
-        if pid <> self && (not st.suspected) && now -. st.last_heard > st.timeout
-        then st.suspected <- true)
-      hb.peers;
-    loop ()
+    let deadline = next_deadline () in
+    if deadline = infinity then begin
+      (* nothing to monitor until a suspicion is cleared *)
+      ignore (Engine.recv_cls cls_wake);
+      loop ()
+    end
+    else begin
+      (* first grid point strictly past the deadline (suspicion uses
+         [now -. last_heard > timeout], i.e. strict) *)
+      let target = ref (!tick +. h) in
+      while !target <= deadline do
+        target := !target +. h
+      done;
+      let delay = !target -. Engine.now () in
+      if delay > 0. then ignore (Engine.recv_cls ~timeout:delay cls_wake);
+      let now = Engine.now () in
+      if now >= !target then begin
+        Array.iteri
+          (fun pid st_opt ->
+            match st_opt with
+            | Some st
+              when pid <> self
+                   && (not st.suspected)
+                   && now -. st.last_heard > st.timeout ->
+                st.suspected <- true
+            | _ -> ())
+          hb.states;
+        tick := !target
+      end;
+      (* else: woken by a poke — re-plan from the unchanged cursor *)
+      loop ()
+    end
   in
   loop ()
 
@@ -87,9 +153,7 @@ let suspects t pid =
   | Oracle engine -> not (Engine.is_up engine pid)
   | Scripted f -> f pid
   | Heartbeat hb -> (
-      match List.assoc_opt pid hb.peers with
-      | None -> false
-      | Some st -> st.suspected)
+      match state_of hb pid with None -> false | Some st -> st.suspected)
 
 let is_heartbeat = function Fd_heartbeat -> true | _ -> false
 
@@ -97,6 +161,4 @@ let current_timeout t pid =
   match t with
   | Oracle _ | Scripted _ -> None
   | Heartbeat hb -> (
-      match List.assoc_opt pid hb.peers with
-      | None -> None
-      | Some st -> Some st.timeout)
+      match state_of hb pid with None -> None | Some st -> Some st.timeout)

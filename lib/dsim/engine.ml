@@ -8,9 +8,40 @@ let default_net _rng ~src:_ ~dst:_ = [ 1.0 ]
 
 type event = { at : time; seq : int; run : unit -> unit }
 
+(* Message classes ---------------------------------------------------- *)
+
+type cls = int
+
+(* The registry is global: protocol modules register their classes at
+   module-initialisation time (single-domain, before any engine runs), and
+   afterwards it is only read — so sharing it across Pool domains is safe.
+   Classification order is registration order: the first predicate that
+   accepts a payload names its class. *)
+let class_table : (string * (payload -> bool)) array ref = ref [||]
+
+let register_class ?name pred =
+  let id = Array.length !class_table in
+  let name =
+    match name with Some n -> n | None -> "cls" ^ string_of_int id
+  in
+  class_table := Array.append !class_table [| (name, pred) |];
+  id
+
+let class_name c =
+  if c < 0 || c >= Array.length !class_table then "unclassed"
+  else fst !class_table.(c)
+
+let classify pl =
+  let tbl = !class_table in
+  let n = Array.length tbl in
+  let rec go i = if i >= n then -1 else if snd tbl.(i) pl then i else go (i + 1) in
+  go 0
+
+let registered_classes () =
+  Array.to_list (Array.mapi (fun i (n, _) -> (i, n)) !class_table)
+
 type waiter = {
-  wid : int;
-  filter : message -> bool;
+  wfilter : (message -> bool) option;  (** [None]: any message of the class *)
   wk : (message option, unit) Effect.Deep.continuation;
 }
 
@@ -19,8 +50,8 @@ type proc = {
   pname : string;
   mutable up : bool;
   mutable incarnation : int;
-  mailbox : message Fifo.t;  (** oldest first *)
-  waiters : waiter Fifo.t;  (** registration order *)
+  mailbox : message Cq.t;  (** oldest first, bucketed by class *)
+  waiters : waiter Cq.t;  (** registration order, bucketed by class *)
   main : recovery:bool -> unit -> unit;
 }
 
@@ -36,8 +67,8 @@ type t = {
   tracer : Trace.t;
   trace_on : bool;  (** guards event construction, not just recording *)
   mutable next_msg_id : int;
-  mutable next_wid : int;
   mutable next_uid : int;
+  mutable nevents : int;  (** events executed by {!step}, for throughput *)
   mutable current : proc option;
   mutable stopping : bool;
 }
@@ -51,7 +82,9 @@ type _ Effect.t +=
   | E_work : string * time -> unit Effect.t
   | E_send : proc_id * payload -> unit Effect.t
   | E_redeliver : proc_id * payload -> unit Effect.t
-  | E_recv : (message -> bool) * time option -> message option Effect.t
+  | E_recv :
+      cls option * (message -> bool) option * time option
+      -> message option Effect.t
   | E_fork : string * (unit -> unit) -> unit Effect.t
   | E_random_float : float -> float Effect.t
   | E_random_int : int -> int Effect.t
@@ -75,7 +108,7 @@ let create ?(seed = 0xC0FFEE) ?(net = default_net) ?(tracing = true) () =
     tracer = Trace.create ~enabled:tracing ();
     trace_on = tracing;
     next_msg_id = 0;
-    next_wid = 0;
+    nevents = 0;
     (* uids start above any client try counter j so identifiers drawn here
        (transaction ids in the comparison protocols) stay disjoint from j *)
     next_uid = 1000;
@@ -87,6 +120,7 @@ let trace t = t.tracer
 let rng t = t.grng
 let set_net t net = t.net <- net
 let now_of t = t.vnow
+let events_of t = t.nevents
 
 let schedule t ~delay run =
   assert (delay >= 0.);
@@ -166,27 +200,31 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
                 in
                 enqueue_message t p m;
                 continue k ())
-        | E_recv (filter, timeout) ->
+        | E_recv (cls, filter, timeout) ->
             Some
               (fun k ->
-                match take_matching p filter with
+                let taken =
+                  match (cls, filter) with
+                  | Some c, None -> Cq.pop_cls p.mailbox c
+                  | Some c, Some f -> Cq.take_first_in_cls p.mailbox c f
+                  | None, Some f -> Cq.take_first p.mailbox f
+                  | None, None -> Cq.pop p.mailbox
+                in
+                match taken with
                 | Some m -> continue k (Some m)
                 | None -> (
-                    t.next_wid <- t.next_wid + 1;
-                    let wid = t.next_wid in
-                    Fifo.push p.waiters { wid; filter; wk = k };
+                    let wcls = match cls with Some c -> c | None -> -1 in
+                    let node =
+                      Cq.push p.waiters ~cls:wcls { wfilter = filter; wk = k }
+                    in
                     match timeout with
                     | None -> ()
                     | Some d ->
                         let inc = p.incarnation in
                         schedule t ~delay:d (fun () ->
                             if p.up && p.incarnation = inc then
-                              match
-                                Fifo.take_first p.waiters (fun w ->
-                                    w.wid = wid)
-                              with
-                              | Some w -> resume t p w.wk None
-                              | None -> ())))
+                              if Cq.remove p.waiters node then
+                                resume t p (Cq.node_value node).wk None)))
         | E_fork (fname, f) ->
             Some
               (fun k ->
@@ -218,13 +256,30 @@ and fresh_msg_id t =
   t.next_msg_id <- t.next_msg_id + 1;
   t.next_msg_id
 
-and take_matching p filter = Fifo.take_first p.mailbox filter
-
 and enqueue_message t p m =
   if t.trace_on then Trace.record t.tracer t.vnow (Trace.Delivered m);
-  match Fifo.take_first p.waiters (fun w -> w.filter m) with
-  | None -> Fifo.push p.mailbox m
-  | Some w -> resume t p w.wk (Some m)
+  (* A message of class [c] can be claimed by a class-[c] waiter or by a
+     legacy predicate (unclassed) waiter; of the acceptors, the one that
+     registered first wins — exactly the old single-list scan order. *)
+  let c = classify m.payload in
+  let accepts (w : waiter) =
+    match w.wfilter with None -> true | Some f -> f m
+  in
+  let cand_u = Cq.first_matching_in_cls p.waiters (-1) accepts in
+  let cand_c =
+    if c >= 0 then Cq.first_matching_in_cls p.waiters c accepts else None
+  in
+  let best =
+    match (cand_u, cand_c) with
+    | None, x | x, None -> x
+    | Some a, Some b ->
+        if Cq.node_seq a <= Cq.node_seq b then Some a else Some b
+  in
+  match best with
+  | None -> ignore (Cq.push p.mailbox ~cls:c m)
+  | Some n ->
+      ignore (Cq.remove p.waiters n);
+      resume t p (Cq.node_value n).wk (Some m)
 
 and transmit t ~src ~dst payload =
   let m = { src; dst; payload; msg_id = fresh_msg_id t; sent_at = t.vnow } in
@@ -256,8 +311,8 @@ let spawn t ~name ~main =
       pname = name;
       up = true;
       incarnation = 0;
-      mailbox = Fifo.create ();
-      waiters = Fifo.create ();
+      mailbox = Cq.create ();
+      waiters = Cq.create ();
       main;
     }
   in
@@ -279,8 +334,8 @@ let crash t pid =
   if p.up then begin
     p.up <- false;
     p.incarnation <- p.incarnation + 1;
-    Fifo.clear p.mailbox;
-    Fifo.clear p.waiters;
+    Cq.clear p.mailbox;
+    Cq.clear p.waiters;
     if t.trace_on then Trace.record t.tracer t.vnow (Trace.Crashed pid)
   end
 
@@ -289,8 +344,8 @@ let recover t pid =
   if not p.up then begin
     p.up <- true;
     p.incarnation <- p.incarnation + 1;
-    Fifo.clear p.mailbox;
-    Fifo.clear p.waiters;
+    Cq.clear p.mailbox;
+    Cq.clear p.waiters;
     if t.trace_on then Trace.record t.tracer t.vnow (Trace.Recovered pid);
     let inc = p.incarnation in
     schedule t ~delay:0. (fun () ->
@@ -318,6 +373,7 @@ let step t =
   | Some ev ->
       assert (ev.at >= t.vnow);
       t.vnow <- ev.at;
+      t.nevents <- t.nevents + 1;
       ev.run ();
       Some ev.at
 
@@ -365,8 +421,11 @@ let work label d = Effect.perform (E_work (label, d))
 let send dst payload = Effect.perform (E_send (dst, payload))
 let send_all dsts payload = List.iter (fun dst -> send dst payload) dsts
 let redeliver ~src payload = Effect.perform (E_redeliver (src, payload))
-let recv ?timeout ~filter () = Effect.perform (E_recv (filter, timeout))
-let recv_any ?timeout () = recv ?timeout ~filter:(fun _ -> true) ()
+let recv ?timeout ?cls ~filter () =
+  Effect.perform (E_recv (cls, Some filter, timeout))
+
+let recv_cls ?timeout c = Effect.perform (E_recv (Some c, None, timeout))
+let recv_any ?timeout () = Effect.perform (E_recv (None, None, timeout))
 let fork name f = Effect.perform (E_fork (name, f))
 let random_float bound = Effect.perform (E_random_float bound)
 let random_int bound = Effect.perform (E_random_int bound)

@@ -39,6 +39,31 @@ val trace : t -> Trace.t
 val rng : t -> Rng.t
 val set_net : t -> netmodel -> unit
 
+(** {1 Message classes}
+
+    A class is a small integer naming a disjoint family of payloads, used to
+    demultiplex deliveries in O(1) instead of predicate-scanning mailboxes
+    and waiter lists. Protocol modules register their classes once at
+    module-initialisation time (before any engine runs; the registry is
+    read-only afterwards, so it is safe to share across {!Pool} domains).
+    Classification order is registration order: the first predicate
+    accepting a payload names its class; payloads no predicate accepts are
+    "unclassed" and reachable only through the predicate receive path. *)
+
+type cls = int
+
+val register_class : ?name:string -> (Types.payload -> bool) -> cls
+(** Register a payload family; returns its class id. Call only from
+    module-level initialisation code. *)
+
+val classify : Types.payload -> cls
+(** First registered class accepting the payload, [-1] if none. *)
+
+val class_name : cls -> string
+
+val registered_classes : unit -> (cls * string) list
+(** Registration order; for diagnostics and docs. *)
+
 (** {1 Orchestration} *)
 
 val spawn : t -> name:string -> main:(recovery:bool -> unit -> unit) -> proc_id
@@ -63,6 +88,11 @@ val schedule : t -> delay:time -> (unit -> unit) -> unit
 (** Raw event at [now + delay]; not fenced by any incarnation. *)
 
 val now_of : t -> time
+
+val events_of : t -> int
+(** Number of simulation events executed so far — the denominator-free
+    "simulated events" measure the throughput benchmarks report per
+    wall-clock second. *)
 
 type outcome =
   | Quiescent  (** event queue drained *)
@@ -98,9 +128,18 @@ val redeliver : src:proc_id -> payload -> unit
     [src], bypassing the network. Used by the reliable-channel layer to hand
     deduplicated payloads to the protocol above. *)
 
-val recv : ?timeout:time -> filter:(message -> bool) -> unit -> message option
+val recv :
+  ?timeout:time -> ?cls:cls -> filter:(message -> bool) -> unit -> message option
 (** Selective receive: first scans the mailbox, then blocks. [None] only on
-    timeout. Messages rejected by every waiting fiber stay queued. *)
+    timeout. Messages rejected by every waiting fiber stay queued.
+
+    With [?cls] the scan is confined to that class's bucket (the filter then
+    only refines within the class — callers must ensure the filter accepts
+    no payload outside the class, or those messages become unreachable). *)
+
+val recv_cls : ?timeout:time -> cls -> message option
+(** O(1) classed receive: pops the oldest message of the class, or blocks
+    in the class's waiter bucket. The fast path for converted hot loops. *)
 
 val recv_any : ?timeout:time -> unit -> message option
 

@@ -742,6 +742,67 @@ let render_throughput rows =
   "A7 — aggregate throughput vs concurrent clients (single database)\n"
   ^ Stats.Table.render ~headers ~rows:body
 
+let scale_points = [ (3, 1); (3, 8); (5, 32); (10, 128); (25, 512) ]
+
+let scale_sweep ?(seed = 42) ?(points = scale_points)
+    ?(requests_per_client = 1) () =
+  (* disjoint accounts: we are measuring substrate cost per simulated event,
+     not lock contention, so the protocol work should scale with the cluster
+     and not with retry storms *)
+  let one (n_servers, n_clients) =
+    let seed_data =
+      Workload.Bank.seed_accounts
+        (List.init n_clients (fun i -> (Printf.sprintf "acct%d" i, 1_000_000)))
+    in
+    let script_for i ~issue =
+      for _ = 1 to requests_per_client do
+        ignore (issue (Printf.sprintf "acct%d:1" i))
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let d =
+      Etx.Deployment.build ~seed ~tracing:false ~n_app_servers:n_servers
+        ~seed_data ~business:Workload.Bank.update ~script:(script_for 0) ()
+    in
+    let extra =
+      List.init (n_clients - 1) (fun i ->
+          Etx.Client.spawn d.engine
+            ~name:(Printf.sprintf "client%d" (i + 1))
+            ~period:400. ~servers:d.app_servers
+            ~script:(script_for (i + 1))
+            ())
+    in
+    let all_done () =
+      Etx.Client.script_done d.client && List.for_all Etx.Client.script_done extra
+    in
+    if not (Dsim.Engine.run_until ~deadline:7_200_000. d.engine all_done) then
+      failwith "scale_sweep: run did not finish";
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let events = Dsim.Engine.events_of d.engine in
+    (n_servers, n_clients, events, wall_s, float_of_int events /. wall_s)
+  in
+  List.map one points
+
+let render_scale rows =
+  let headers =
+    [ "app servers"; "clients"; "sim events"; "wall (s)"; "events/s" ]
+  in
+  let body =
+    List.map
+      (fun (s, c, ev, wall, rate) ->
+        [
+          string_of_int s;
+          string_of_int c;
+          string_of_int ev;
+          Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.0f" rate;
+        ])
+      rows
+  in
+  "A10 — substrate scalability: events/sec across cluster sizes (wall-clock, \
+   host-dependent)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
 let register_backend_comparison ?(seed = 42) ?domains () =
   (* one register write among three members; [writer] proposes, the member
      being measured records the elapsed time; optionally member 0 (the

@@ -161,6 +161,25 @@ val throughput_sweep :
 
 val render_throughput : (int * float * float) list -> string
 
+val scale_points : (int * int) list
+(** Default (app servers, clients) points for {!scale_sweep}:
+    (3,1) (3,8) (5,32) (10,128) (25,512). *)
+
+val scale_sweep :
+  ?seed:int ->
+  ?points:(int * int) list ->
+  ?requests_per_client:int ->
+  unit ->
+  (int * int * int * float * float) list
+(** A10: substrate scalability. For each (app servers, clients) point, run a
+    full deployment with disjoint accounts until every client script
+    finishes, and report (servers, clients, simulated events, wall-clock
+    seconds, events/sec). Unlike the other experiments this measures the
+    simulator itself (wall-clock, host-dependent), so points run
+    sequentially on one domain. *)
+
+val render_scale : (int * int * int * float * float) list -> string
+
 val register_backend_comparison :
   ?seed:int -> ?domains:int -> unit -> (string * float * float) list
 (** A8: the two wo-register substrates compared — the Chandra–Toueg agent

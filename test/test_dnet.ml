@@ -142,6 +142,46 @@ let test_rchannel_pending_drains () =
   ignore (Engine.run ~deadline:5_000. t);
   Alcotest.(check int) "outbox drained after ack" 0 !pending_after
 
+let test_rchannel_pending_exact () =
+  (* pending must equal sends minus acked sends at every step: it counts
+     unacknowledged messages, not heap entries or table size *)
+  let t = Engine.create ~net:(Netmodel.lan ()) () in
+  let received = ref [] in
+  let recorder = spawn_recorder t received in
+  let observed = ref [] in
+  let _ =
+    Engine.spawn t ~name:"sender" ~main:(fun ~recovery:_ () ->
+        let ch = Rchannel.create () in
+        Rchannel.start ch;
+        let snap tag = observed := (tag, Rchannel.pending ch) :: !observed in
+        snap "start";
+        for i = 1 to 5 do
+          Rchannel.send ch recorder (App i)
+        done;
+        (* no yield since the sends: nothing can have been acked yet *)
+        snap "after-5-sends";
+        Engine.sleep 1_000.;
+        snap "after-acks";
+        Rchannel.send ch recorder (App 6);
+        Rchannel.send ch recorder (App 7);
+        snap "after-2-more";
+        Engine.sleep 1_000.;
+        snap "end")
+  in
+  ignore (Engine.run ~deadline:10_000. t);
+  Alcotest.(check (list (pair string int)))
+    "pending tracks unacked sends exactly"
+    [
+      ("start", 0);
+      ("after-5-sends", 5);
+      ("after-acks", 0);
+      ("after-2-more", 2);
+      ("end", 0);
+    ]
+    (List.rev !observed);
+  Alcotest.(check (list int)) "all delivered" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare !received)
+
 let test_rchannel_quiesces () =
   (* With no loss the run must reach quiescence: retransmitters block. *)
   let t = Engine.create ~net:(Netmodel.lan ()) () in
@@ -291,6 +331,7 @@ let () =
           Alcotest.test_case "integrity" `Quick
             test_rchannel_integrity_only_if_sent;
           Alcotest.test_case "outbox drains" `Quick test_rchannel_pending_drains;
+          Alcotest.test_case "pending exact" `Quick test_rchannel_pending_exact;
           Alcotest.test_case "quiesces" `Quick test_rchannel_quiesces;
           Alcotest.test_case "crashed receiver" `Quick
             test_rchannel_crashed_receiver_no_delivery;

@@ -4,6 +4,19 @@ open Dsim
 
 type Types.payload += Ping of int | Pong of int
 
+(* demux classes for the engine tests below; classification is global, so
+   every Ping/Pong in this binary lands in these buckets — semantically
+   invisible to the predicate-based tests *)
+let cls_ping =
+  Engine.register_class ~name:"test-ping" (function
+    | Ping _ -> true
+    | _ -> false)
+
+let cls_pong =
+  Engine.register_class ~name:"test-pong" (function
+    | Pong _ -> true
+    | _ -> false)
+
 let check_float = Alcotest.(check (float 1e-9))
 
 (* ------------------------------------------------------------------ *)
@@ -770,6 +783,170 @@ let test_mailbox_enqueue_linear () =
     true (elapsed < 5.0)
 
 (* ------------------------------------------------------------------ *)
+(* Classed queue (Cq) and message demultiplexing *)
+
+let test_cq_order () =
+  let q = Cq.create () in
+  ignore (Cq.push q ~cls:0 "a");
+  ignore (Cq.push q ~cls:1 "b");
+  ignore (Cq.push q ~cls:0 "c");
+  ignore (Cq.push q ~cls:(-1) "d");
+  Alcotest.(check int) "length" 4 (Cq.length q);
+  Alcotest.(check (list string)) "global order" [ "a"; "b"; "c"; "d" ]
+    (Cq.to_list q);
+  Alcotest.(check (option string)) "pop_cls 1" (Some "b") (Cq.pop_cls q 1);
+  Alcotest.(check (option string)) "pop_cls 0" (Some "a") (Cq.pop_cls q 0);
+  Alcotest.(check (option string)) "global pop" (Some "c") (Cq.pop q);
+  Alcotest.(check (option string)) "unclassed" (Some "d") (Cq.pop q);
+  Alcotest.(check bool) "empty" true (Cq.is_empty q)
+
+let test_cq_take_first () =
+  let q = Cq.create () in
+  ignore (Cq.push q ~cls:0 1);
+  ignore (Cq.push q ~cls:1 2);
+  ignore (Cq.push q ~cls:0 3);
+  ignore (Cq.push q ~cls:1 4);
+  (* global scan crosses classes, oldest first *)
+  Alcotest.(check (option int)) "take_first even" (Some 2)
+    (Cq.take_first q (fun x -> x mod 2 = 0));
+  (* bucket scan only sees its own class *)
+  Alcotest.(check (option int)) "in-cls miss" None
+    (Cq.take_first_in_cls q 0 (fun x -> x mod 2 = 0));
+  Alcotest.(check (option int)) "in-cls hit" (Some 3)
+    (Cq.take_first_in_cls q 0 (fun x -> x > 1));
+  Alcotest.(check (list int)) "rest in order" [ 1; 4 ] (Cq.to_list q)
+
+let test_cq_remove_and_clear () =
+  let q = Cq.create () in
+  let a = Cq.push q ~cls:0 "a" in
+  let b = Cq.push q ~cls:0 "b" in
+  Alcotest.(check bool) "remove live" true (Cq.remove q a);
+  Alcotest.(check bool) "remove twice" false (Cq.remove q a);
+  Alcotest.(check (list string)) "b left" [ "b" ] (Cq.to_list q);
+  Cq.clear q;
+  Alcotest.(check bool) "stale after clear" false (Cq.remove q b);
+  Alcotest.(check int) "cleared" 0 (Cq.length q);
+  (* handles from before the clear must not resurrect new-generation nodes *)
+  let c = Cq.push q ~cls:0 "c" in
+  Alcotest.(check bool) "remove b again" false (Cq.remove q b);
+  Alcotest.(check bool) "new node fine" true (Cq.remove q c)
+
+let test_demux_interleaved_waiters () =
+  let t = Engine.create () in
+  let log = ref [] in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        (* classed waiter registered before a predicate waiter that also
+           matches Ping: registration order must decide who gets it *)
+        Engine.fork "classed" (fun () ->
+            match Engine.recv_cls cls_ping with
+            | Some { Types.payload = Ping n; _ } -> log := ("cls", n) :: !log
+            | _ -> ());
+        Engine.fork "pred" (fun () ->
+            match
+              Engine.recv
+                ~filter:(fun m ->
+                  match m.Types.payload with
+                  | Ping _ | Pong _ -> true
+                  | _ -> false)
+                ()
+            with
+            | Some { Types.payload = Ping n; _ } -> log := ("pred-ping", n) :: !log
+            | Some { Types.payload = Pong n; _ } -> log := ("pred-pong", n) :: !log
+            | _ -> ()))
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 1);
+        Engine.sleep 5.;
+        Engine.send receiver (Ping 2))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check (list (pair string int)))
+    "classed waiter wins, predicate takes the next"
+    [ ("cls", 1); ("pred-ping", 2) ]
+    (List.rev !log)
+
+let test_demux_classed_skips_other_classes () =
+  let t = Engine.create () in
+  let log = ref [] in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery:_ () ->
+        Engine.sleep 10.;
+        (* mailbox now holds Ping 1, Ping 2, Pong 7 *)
+        (match Engine.recv_cls cls_pong with
+        | Some { Types.payload = Pong n; _ } -> log := ("pong", n) :: !log
+        | _ -> ());
+        (match Engine.recv_any () with
+        | Some { Types.payload = Ping n; _ } -> log := ("ping", n) :: !log
+        | _ -> ());
+        match Engine.recv_any () with
+        | Some { Types.payload = Ping n; _ } -> log := ("ping", n) :: !log
+        | _ -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 1);
+        Engine.send receiver (Ping 2);
+        Engine.send receiver (Pong 7))
+  in
+  ignore (Engine.run t);
+  Alcotest.(check (list (pair string int)))
+    "classed pop skips other classes; global order intact for the rest"
+    [ ("pong", 7); ("ping", 1); ("ping", 2) ]
+    (List.rev !log)
+
+let test_demux_crash_clears_class_buckets () =
+  let t = Engine.create () in
+  let got = ref 0 in
+  let receiver =
+    Engine.spawn t ~name:"rx" ~main:(fun ~recovery () ->
+        if recovery then
+          match Engine.recv_cls ~timeout:100. cls_ping with
+          | Some _ -> incr got
+          | None -> ())
+  in
+  let _ =
+    Engine.spawn t ~name:"tx" ~main:(fun ~recovery:_ () ->
+        Engine.send receiver (Ping 1))
+  in
+  (* classed message buffered at t=1; crash at t=5 must clear its bucket *)
+  Engine.crash_at t 5. receiver;
+  Engine.recover_at t 10. receiver;
+  ignore (Engine.run t);
+  Alcotest.(check int) "class bucket cleared by crash" 0 !got
+
+(* Receiving n classed messages while n messages of another class sit in the
+   mailbox must be ~O(n): each classed receive touches only its bucket. The
+   predicate path re-scanned the whole mailbox per receive — O(n²), tens of
+   seconds at this size. *)
+let test_demux_classed_recv_linear () =
+  let n = 20_000 in
+  let t = Engine.create ~tracing:false () in
+  let sink =
+    Engine.spawn t ~name:"sink" ~main:(fun ~recovery:_ () ->
+        for _ = 1 to n do
+          ignore (Engine.recv_cls cls_pong)
+        done;
+        Engine.sleep 1e12)
+  in
+  let _ =
+    Engine.spawn t ~name:"src" ~main:(fun ~recovery:_ () ->
+        for i = 1 to n do
+          Engine.send sink (Ping i)
+        done;
+        for i = 1 to n do
+          Engine.send sink (Pong i)
+        done)
+  in
+  let t0 = Sys.time () in
+  ignore (Engine.run ~deadline:1e9 t);
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "20k classed recvs in %.3fs (< 5s)" elapsed)
+    true (elapsed < 5.0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -789,6 +966,20 @@ let () =
           Alcotest.test_case "clear" `Quick test_fifo_clear;
           Alcotest.test_case "mailbox enqueue linear" `Quick
             test_mailbox_enqueue_linear;
+        ] );
+      ( "demux",
+        [
+          Alcotest.test_case "cq order" `Quick test_cq_order;
+          Alcotest.test_case "cq take_first" `Quick test_cq_take_first;
+          Alcotest.test_case "cq remove/clear" `Quick test_cq_remove_and_clear;
+          Alcotest.test_case "interleaved waiters" `Quick
+            test_demux_interleaved_waiters;
+          Alcotest.test_case "classed skips other classes" `Quick
+            test_demux_classed_skips_other_classes;
+          Alcotest.test_case "crash clears class buckets" `Quick
+            test_demux_crash_clears_class_buckets;
+          Alcotest.test_case "classed recv linear" `Quick
+            test_demux_classed_recv_linear;
         ] );
       ( "pool",
         [

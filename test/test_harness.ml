@@ -162,6 +162,43 @@ let test_fig7_forced_ios () =
   Alcotest.(check int) "baseline: none" 0 baseline.forced_ios
 
 (* ------------------------------------------------------------------ *)
+(* byte-identity: renders captured on the commit before the classed-demux
+   and indexed-outbox rework; same seeds must render the same bytes *)
+
+let find_sub haystack needle from =
+  let n = String.length needle in
+  let rec scan i =
+    if i + n > String.length haystack then
+      Alcotest.failf "marker %s missing from figures.golden" needle
+    else if String.sub haystack i n = needle then i
+    else scan (i + 1)
+  in
+  scan from
+
+let golden_figures =
+  lazy
+    (let ic = open_in "figures.golden" in
+     let s = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     let m7 = "===FIG7===\n" and m8 = "===FIG8===\n" in
+     let i7 = find_sub s m7 0 + String.length m7 in
+     let i8 = find_sub s m8 i7 in
+     ( String.sub s i7 (i8 - i7),
+       String.sub s
+         (i8 + String.length m8)
+         (String.length s - i8 - String.length m8) ))
+
+let test_fig7_golden_identity () =
+  let g7, _ = Lazy.force golden_figures in
+  Alcotest.(check string) "figure7 byte-identical to pre-demux render" g7
+    (Experiments.render_figure7 (Lazy.force fig7))
+
+let test_fig8_golden_identity () =
+  let _, g8 = Lazy.force golden_figures in
+  Alcotest.(check string) "figure8 byte-identical to pre-demux render" g8
+    (Experiments.render_figure8 (Experiments.figure8 ~transactions:3 ()))
+
+(* ------------------------------------------------------------------ *)
 
 let test_fig1_scenarios () =
   let scenarios = Experiments.figure1 () in
@@ -386,6 +423,8 @@ let () =
             test_fig8_overhead_ordering;
           Alcotest.test_case "CI methodology" `Quick test_fig8_ci_methodology;
           Alcotest.test_case "rendering" `Quick test_fig8_rendering;
+          Alcotest.test_case "golden byte-identity" `Quick
+            test_fig8_golden_identity;
         ] );
       ( "figure7",
         [
@@ -395,6 +434,8 @@ let () =
           Alcotest.test_case "forced IOs" `Quick test_fig7_forced_ios;
           Alcotest.test_case "parallel determinism" `Quick
             test_fig7_parallel_determinism;
+          Alcotest.test_case "golden byte-identity" `Quick
+            test_fig7_golden_identity;
         ] );
       ( "figure1",
         [
