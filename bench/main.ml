@@ -13,14 +13,20 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      scale scale-smoke parallel micro)
+      scale scale-smoke parallel live micro)
 
    Each invocation also writes BENCH_harness.json — per-artefact wall-clock
    seconds plus the cluster-scale sweep points, machine-readable:
-     { "schema": "etx-bench-harness/2", "domains": N, "host_cores": C,
-       "artefacts": [ { "name": "figure8", "wall_s": 1.234 }, ... ],
+     { "schema": "etx-bench-harness/3", "domains": N, "host_cores": C,
+       "artefacts": [ { "name": "figure8", "backend": "sim",
+                        "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
-                    "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ] } *)
+                    "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ],
+       "live": [ { "clients": 2, "requests": 6, "wall_s": 1.2,
+                   "requests_per_sec": 5.0 }, ... ] }
+   Every artefact records which runtime backend produced it: "sim" for the
+   deterministic discrete-event engine, "live" for the wall-clock threads
+   backend (the [live] artefact). *)
 
 let domains = ref 1
 
@@ -29,17 +35,21 @@ let section title body =
 
 let host_cores = Domain.recommended_domain_count ()
 
-(* wall-clock ledger, dumped to BENCH_harness.json on exit *)
-let timings : (string * float) list ref = ref []
+(* wall-clock ledger (name, backend, seconds), dumped to BENCH_harness.json
+   on exit *)
+let timings : (string * string * float) list ref = ref []
 
 (* (servers, clients, events, wall_s, events/s) points from the scale sweep *)
 let scale_rows : (int * int * int * float * float) list ref = ref []
 
-let timed name f =
+(* (clients, total requests, wall_s, requests/s) from the live artefact *)
+let live_rows : (int * int * float * float) list ref = ref []
+
+let timed ?(backend = "sim") name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in
-  timings := !timings @ [ (name, dt) ];
+  timings := !timings @ [ (name, backend, dt) ];
   r
 
 let write_bench_json () =
@@ -47,8 +57,10 @@ let write_bench_json () =
   let artefacts =
     String.concat ",\n"
       (List.map
-         (fun (name, wall_s) ->
-           Printf.sprintf "    { \"name\": %S, \"wall_s\": %.6f }" name wall_s)
+         (fun (name, backend, wall_s) ->
+           Printf.sprintf
+             "    { \"name\": %S, \"backend\": %S, \"wall_s\": %.6f }" name
+             backend wall_s)
          !timings)
   in
   let scale =
@@ -61,9 +73,19 @@ let write_bench_json () =
              s c ev wall rate)
          !scale_rows)
   in
+  let live =
+    String.concat ",\n"
+      (List.map
+         (fun (clients, reqs, wall, rate) ->
+           Printf.sprintf
+             "    { \"clients\": %d, \"requests\": %d, \"wall_s\": %.6f, \
+              \"requests_per_sec\": %.2f }"
+             clients reqs wall rate)
+         !live_rows)
+  in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"etx-bench-harness/2\",\n\
+    \  \"schema\": \"etx-bench-harness/3\",\n\
     \  \"domains\": %d,\n\
     \  \"host_cores\": %d,\n\
     \  \"artefacts\": [\n\
@@ -71,9 +93,12 @@ let write_bench_json () =
     \  ],\n\
     \  \"scale\": [\n\
      %s\n\
+    \  ],\n\
+    \  \"live\": [\n\
+     %s\n\
     \  ]\n\
      }\n"
-    !domains host_cores artefacts scale;
+    !domains host_cores artefacts scale live;
   close_out oc;
   Printf.printf
     "wrote BENCH_harness.json (%d artefacts, %d scale points, domains=%d, \
@@ -168,6 +193,61 @@ let run_scale_smoke () =
   run_scale ~points:[ List.hd Harness.Experiments.scale_points ] ()
 
 (* ------------------------------------------------------------------ *)
+(* Live-backend artefact: wall-clock requests/sec on a small cluster.
+   The only artefact that does not run on the simulator — sleeps, disk
+   forces and network delays cost real milliseconds, so the figure of merit
+   is end-to-end requests per wall-clock second, not events/sec. *)
+
+let run_live () =
+  let n_clients = 2 and n_requests = 3 in
+  timed ~backend:"live" "live" @@ fun () ->
+  let lt = Runtime_live.create ~seed:1 () in
+  let rt = Runtime_live.runtime lt in
+  let seed_data =
+    Workload.Bank.seed_accounts
+      (List.init n_clients (fun i -> (Printf.sprintf "acct%d" i, 1000)))
+  in
+  let script_for i ~issue =
+    for _ = 1 to n_requests do
+      ignore (issue (Printf.sprintf "acct%d:1" i))
+    done
+  in
+  let d =
+    Etx.Deployment.build ~rt ~seed_data ~business:Workload.Bank.update
+      ~script:(script_for 0) ()
+  in
+  let extra =
+    List.init (n_clients - 1) (fun i ->
+        Etx.Client.spawn rt
+          ~name:(Printf.sprintf "client%d" (i + 1))
+          ~servers:d.app_servers
+          ~script:(script_for (i + 1))
+          ())
+  in
+  let clients = d.client :: extra in
+  let t0 = Unix.gettimeofday () in
+  (* wait for every client (run_to_quiescence only watches the deployment's
+     own), then let the databases settle *)
+  let all_done () = List.for_all Etx.Client.script_done clients in
+  let ok =
+    rt.run_until ~deadline:120_000. all_done
+    && Etx.Deployment.run_to_quiescence ~deadline:30_000. d
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Runtime_live.shutdown lt;
+  let total = n_clients * n_requests in
+  let delivered =
+    List.fold_left (fun acc c -> acc + List.length (Etx.Client.records c)) 0 clients
+  in
+  let rate = float_of_int delivered /. wall in
+  live_rows := !live_rows @ [ (n_clients, total, wall, rate) ];
+  section "Live backend (wall clock)"
+    (Printf.sprintf
+       "%d clients x %d requests on the threads backend: %d/%d delivered in \
+        %.2f s wall = %.2f requests/sec (quiesced: %b)"
+       n_clients n_requests delivered total wall rate ok)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel artefact: 1 domain vs N domains, byte-identity asserted *)
 
 let run_parallel () =
@@ -188,8 +268,12 @@ let run_parallel () =
         "parallel: %s output differs between 1 and %d domains!\n" name n;
       exit 1
     end;
-    timings := !timings @ [ (name ^ "-1dom", t_seq);
-                            (Printf.sprintf "%s-%ddom" name n, t_par) ];
+    timings :=
+      !timings
+      @ [
+          (name ^ "-1dom", "sim", t_seq);
+          (Printf.sprintf "%s-%ddom" name n, "sim", t_par);
+        ];
     (name, t_seq, t_par)
   in
   let rows =
@@ -249,8 +333,8 @@ let micro_tests =
     !acc
   in
   let one_etx () =
-    let d =
-      Etx.Deployment.build ~business:Etx.Business.trivial
+    let _e, d =
+      Harness.Simrun.deployment ~business:Etx.Business.trivial
         ~script:(fun ~issue -> ignore (issue "x"))
         ()
     in
@@ -260,6 +344,7 @@ let micro_tests =
     (* a full three-member wo-register write *)
     let value = Etx.Etx_types.Reg_a_value 0 in
     let t = Dsim.Engine.create () in
+    let rt = Dsim.Runtime_sim.of_engine t in
     let peers = [ 0; 1; 2 ] in
     let decided = ref false in
     List.iter
@@ -269,7 +354,7 @@ let micro_tests =
             ~main:(fun ~recovery:_ () ->
               let ch = Dnet.Rchannel.create () in
               Dnet.Rchannel.start ch;
-              let fd = Dnet.Fdetect.oracle t in
+              let fd = Dnet.Fdetect.oracle rt in
               let agent = Consensus.Agent.create ~peers ~fd ~ch () in
               Consensus.Agent.start agent;
               if i = 0 then begin
@@ -339,6 +424,7 @@ let all () =
   run_register_backends ();
   run_fd_quality ();
   run_scale ();
+  run_live ();
   run_micro ()
 
 let () =
@@ -378,11 +464,12 @@ let () =
           | "scale" -> run_scale ()
           | "scale-smoke" -> run_scale_smoke ()
           | "parallel" -> run_parallel ()
+          | "live" -> run_live ()
           | "micro" -> run_micro ()
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|scale|scale-smoke|parallel|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|scale|scale-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

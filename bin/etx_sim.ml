@@ -196,8 +196,8 @@ let demo_run seed workload requests n_app_servers n_dbs crash_primary_at
             ~seats:5 ~rooms:5 ~cars:5,
           fun i -> if i mod 2 = 0 then "paris:2" else "tokyo:1" )
   in
-  let d =
-    Etx.Deployment.build ~seed ~n_app_servers ~n_dbs ~client_period:300.
+  let engine, d =
+    Harness.Simrun.deployment ~seed ~n_app_servers ~n_dbs ~client_period:300.
       ~seed_data ~business
       ~script:(fun ~issue ->
         for i = 0 to requests - 1 do
@@ -206,17 +206,17 @@ let demo_run seed workload requests n_app_servers n_dbs crash_primary_at
       ()
   in
   (match crash_primary_at with
-  | Some t -> Dsim.Engine.crash_at d.engine t (Etx.Deployment.primary d)
+  | Some t -> Dsim.Engine.crash_at engine t (Etx.Deployment.primary d)
   | None -> ());
   (match crash_db with
   | Some t ->
       let db = fst (List.hd d.dbs) in
-      Dsim.Engine.crash_at d.engine t db;
-      Dsim.Engine.recover_at d.engine (t +. 200.) db
+      Dsim.Engine.crash_at engine t db;
+      Dsim.Engine.recover_at engine (t +. 200.) db
   | None -> ());
   let quiesced = Etx.Deployment.run_to_quiescence ~deadline:600_000. d in
   Printf.printf "quiesced: %b (virtual time %.1f ms)\n" quiesced
-    (Dsim.Engine.now_of d.engine);
+    (Dsim.Engine.now_of engine);
   List.iter
     (fun (r : Etx.Client.record) ->
       Printf.printf
@@ -231,7 +231,7 @@ let demo_run seed workload requests n_app_servers n_dbs crash_primary_at
       print_endline "SPECIFICATION VIOLATIONS:";
       List.iter (fun v -> print_endline ("  " ^ v)) vs);
   if verbose then begin
-    let trace = Dsim.Engine.trace d.engine in
+    let trace = Dsim.Engine.trace engine in
     Printf.printf "protocol messages: %d, communication steps: %d\n"
       (Harness.Msgclass.protocol_messages trace)
       (Harness.Msgclass.protocol_steps trace);
@@ -243,7 +243,7 @@ let demo_run seed workload requests n_app_servers n_dbs crash_primary_at
   end;
   if diagram then begin
     print_endline "--- message sequence diagram ---";
-    print_string (Harness.Seqdiag.of_engine d.engine)
+    print_string (Harness.Seqdiag.of_engine engine)
   end;
   if (not quiesced) || violations <> [] then exit 1
 

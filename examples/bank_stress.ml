@@ -9,8 +9,8 @@ let () =
   let kind = Workload.Generator.Bank_transfers { accounts = 8; max_amount = 50 } in
   let bodies = Workload.Generator.bodies ~seed:7 ~n:40 kind in
   let net = Dnet.Netmodel.lossy ~loss:0.10 (Dnet.Netmodel.three_tier ~n_dbs:1 ()) in
-  let deployment =
-    Etx.Deployment.build ~seed:7 ~net ~client_period:300.
+  let engine, deployment =
+    Harness.Simrun.deployment ~seed:7 ~net ~client_period:300.
       ~fd_spec:
         (Etx.Appserver.Fd_heartbeat
            { period = 10.; initial_timeout = 60.; timeout_bump = 30. })
@@ -20,19 +20,18 @@ let () =
       ()
   in
   (* fault schedule *)
-  Dsim.Engine.crash_at deployment.engine 1_500.
-    (Etx.Deployment.primary deployment);
+  Dsim.Engine.crash_at engine 1_500. (Etx.Deployment.primary deployment);
   let db = fst (List.hd deployment.dbs) in
-  Dsim.Engine.crash_at deployment.engine 3_000. db;
-  Dsim.Engine.recover_at deployment.engine 3_400. db;
-  Dsim.Engine.crash_at deployment.engine 6_000. db;
-  Dsim.Engine.recover_at deployment.engine 6_500. db;
+  Dsim.Engine.crash_at engine 3_000. db;
+  Dsim.Engine.recover_at engine 3_400. db;
+  Dsim.Engine.crash_at engine 6_000. db;
+  Dsim.Engine.recover_at engine 6_500. db;
 
   let quiesced =
     Etx.Deployment.run_to_quiescence ~deadline:600_000. deployment
   in
   Printf.printf "quiesced: %b at %.1f virtual ms\n" quiesced
-    (Dsim.Engine.now_of deployment.engine);
+    (Dsim.Engine.now_of engine);
 
   let records = Etx.Client.records deployment.client in
   let latencies =

@@ -22,8 +22,8 @@ let baseline_crash = 200.
 let etx_crash = 230.
 
 let baseline_run () =
-  let b =
-    Baselines.Baseline.build ~client_period:300. ~seed_data
+  let engine, b =
+    Harness.Simrun.baseline ~client_period:300. ~seed_data
       ~business:Workload.Bank.update
       ~script:(fun ~issue ->
         let r = issue "card:-100" in
@@ -31,10 +31,10 @@ let baseline_run () =
           r.tries)
       ()
   in
-  Dsim.Engine.crash_at b.engine baseline_crash b.server;
-  Dsim.Engine.recover_at b.engine (baseline_crash +. 100.) b.server;
+  Dsim.Engine.crash_at engine baseline_crash b.server;
+  Dsim.Engine.recover_at engine (baseline_crash +. 100.) b.server;
   ignore
-    (Dsim.Engine.run_until ~deadline:120_000. b.engine (fun () ->
+    (Dsim.Engine.run_until ~deadline:120_000. engine (fun () ->
          Etx.Client.script_done b.client));
   let _, rm = List.hd b.dbs in
   match Dbms.Rm.read_committed rm "card" with
@@ -42,8 +42,8 @@ let baseline_run () =
   | Some (Dbms.Value.Str _) | None -> assert false
 
 let etransaction_run () =
-  let d =
-    Etx.Deployment.build ~client_period:300. ~seed_data
+  let engine, d =
+    Harness.Simrun.deployment ~client_period:300. ~seed_data
       ~business:Workload.Bank.update
       ~script:(fun ~issue ->
         let r = issue "card:-100" in
@@ -51,7 +51,7 @@ let etransaction_run () =
           r.result r.tries)
       ()
   in
-  Dsim.Engine.crash_at d.engine etx_crash (Etx.Deployment.primary d);
+  Dsim.Engine.crash_at engine etx_crash (Etx.Deployment.primary d);
   let quiesced = Etx.Deployment.run_to_quiescence ~deadline:120_000. d in
   assert quiesced;
   (match Etx.Spec.check_all d with

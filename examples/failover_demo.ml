@@ -27,8 +27,8 @@ let cleaner_notes engine =
 
 let scenario ~label ~crash_at =
   Printf.printf "--- %s (primary crashes at t=%.0f ms) ---\n" label crash_at;
-  let deployment =
-    Etx.Deployment.build ~client_period:300.
+  let engine, deployment =
+    Harness.Simrun.deployment ~client_period:300.
       ~seed_data:(Workload.Bank.seed_accounts [ ("acct", 1000) ])
       ~business:Workload.Bank.update
       ~script:(fun ~issue ->
@@ -39,13 +39,12 @@ let scenario ~label ~crash_at =
           (r.delivered_at -. r.issued_at))
       ()
   in
-  Dsim.Engine.crash_at deployment.engine crash_at
-    (Etx.Deployment.primary deployment);
+  Dsim.Engine.crash_at engine crash_at (Etx.Deployment.primary deployment);
   let quiesced =
     Etx.Deployment.run_to_quiescence ~deadline:120_000. deployment
   in
   assert quiesced;
-  List.iter print_endline (cleaner_notes deployment.engine);
+  List.iter print_endline (cleaner_notes engine);
   let _, rm = List.hd deployment.dbs in
   (match Dbms.Rm.read_committed rm "acct" with
   | Some (Dbms.Value.Int balance) ->
@@ -57,7 +56,7 @@ let scenario ~label ~crash_at =
       List.iter print_endline violations;
       exit 1);
   print_endline "  message sequence diagram:";
-  String.split_on_char '\n' (Harness.Seqdiag.of_engine deployment.engine)
+  String.split_on_char '\n' (Harness.Seqdiag.of_engine engine)
   |> List.iter (fun line -> if line <> "" then print_endline ("    " ^ line));
   print_newline ()
 

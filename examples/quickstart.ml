@@ -8,8 +8,8 @@ let () =
      and a client. The [script] runs inside the client process; [issue]
      blocks until a COMMITTED result is delivered — that is the
      exactly-once contract. *)
-  let deployment =
-    Etx.Deployment.build
+  let _engine, deployment =
+    Harness.Simrun.deployment
       ~seed_data:(Workload.Bank.seed_accounts [ ("alice", 100) ])
       ~business:Workload.Bank.update
       ~script:(fun ~issue ->

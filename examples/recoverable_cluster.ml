@@ -10,8 +10,8 @@
    Run with:  dune exec examples/recoverable_cluster.exe *)
 
 let () =
-  let deployment =
-    Etx.Deployment.build ~recoverable:true ~client_period:300.
+  let engine, deployment =
+    Harness.Simrun.deployment ~recoverable:true ~client_period:300.
       ~seed_data:(Workload.Bank.seed_accounts [ ("acct", 1000) ])
       ~business:Workload.Bank.update
       ~script:(fun ~issue ->
@@ -25,8 +25,8 @@ let () =
   List.iteri
     (fun i server ->
       let at = 60. +. (float_of_int i *. 40.) in
-      Dsim.Engine.crash_at deployment.engine at server;
-      Dsim.Engine.recover_at deployment.engine (at +. 500.) server)
+      Dsim.Engine.crash_at engine at server;
+      Dsim.Engine.recover_at engine (at +. 500.) server)
     deployment.app_servers;
 
   let quiesced =

@@ -14,8 +14,8 @@ let () =
   let inventory =
     Workload.Travel.seed_inventory ~destinations ~seats:3 ~rooms:10 ~cars:10
   in
-  let deployment =
-    Etx.Deployment.build ~n_dbs:3 (* flights / hotels / cars databases *)
+  let _engine, deployment =
+    Harness.Simrun.deployment ~n_dbs:3 (* flights / hotels / cars databases *)
       ~seed_data:inventory ~business:Workload.Travel.book
       ~script:(fun ~issue ->
         (* Party of two, then party of two again: 3 seats only — the second

@@ -1,19 +1,20 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 open Etx.Etx_types
 
 (* Shared by the comparison protocols: spawn the database tier. *)
-let spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data ~observers =
+let spawn_dbs rt ~n_dbs ~timing ~disk_force_latency ~seed_data ~observers =
   List.init n_dbs (fun i ->
       let name = Printf.sprintf "db%d" (i + 1) in
       let disk =
         Dstore.Disk.create ~force_latency:disk_force_latency ~label:"log" ()
       in
       let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
-      let pid = Dbms.Server.spawn engine ~name ~rm ~observers () in
+      let pid = Dbms.Server.spawn rt ~name ~rm ~observers () in
       (pid, rm))
 
-(* Fresh transaction identifiers come from the engine's uid counter: unique
+(* Fresh transaction identifiers come from the runtime's uid counter: unique
    across server incarnations (a recovered server must never collide with a
    transaction it ran before the crash) and ≥ 1000, disjoint from the
    client's try numbers. *)
@@ -48,7 +49,7 @@ let serve ?breakdown ~poll ~dbs ~business ch rd (request : request) ~j ~xid =
           { Etx.Business.xid; dbs; exec; attempt = j }
           ~body:request.body)
   in
-  Engine.note (Printf.sprintf "computed:%d:%d:%s" request.rid j result);
+  Rt.note (Printf.sprintf "computed:%d:%d:%s" request.rid j result);
   collect "end"
     (fun _ -> Dbms.Msg.Xa_end { xid })
     (function
@@ -71,9 +72,9 @@ let serve ?breakdown ~poll ~dbs ~business ch rd (request : request) ~j ~xid =
   in
   { result = Some result; outcome }
 
-let spawn engine ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs ~business
-    () =
-  Engine.spawn engine ~name ~main:(fun ~recovery:_ () ->
+let spawn (rt : Rt.t) ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs
+    ~business () =
+  rt.spawn ~name ~main:(fun ~recovery:_ () ->
       (* stateless: a recovery simply starts serving afresh — which is
          exactly why a retried request can execute twice *)
       let ch = Rchannel.create () in
@@ -85,7 +86,7 @@ let spawn engine ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs ~business
         match m.Types.payload with Request_msg _ -> true | _ -> false
       in
       let rec loop () =
-        (match Engine.recv ~filter:wants () with
+        (match Rt.recv ~filter:wants () with
         | None -> ()
         | Some m -> (
             match m.payload with
@@ -95,7 +96,7 @@ let spawn engine ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs ~business
                   | Some d -> d (* volatile duplicate suppression *)
                   | None ->
                       let xid =
-                        Dbms.Xid.make ~rid:request.rid ~j:(Engine.fresh_uid ())
+                        Dbms.Xid.make ~rid:request.rid ~j:(Rt.fresh_uid ())
                       in
                       let d =
                         serve ?breakdown ~poll ~dbs ~business ch rd request ~j
@@ -112,30 +113,27 @@ let spawn engine ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs ~business
       loop ())
 
 type t = {
-  engine : Engine.t;
+  rt : Rt.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   server : Types.proc_id;
   client : Etx.Client.handle;
 }
 
-let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
+let build ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
-    ?breakdown ?(tracing = true) ~business ~script () =
+    ?breakdown ~rt ~business ~script () =
   let net =
     match net with Some n -> n | None -> Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net ~tracing () in
+  (rt : Rt.t).set_net net;
   let server_pid = ref [] in
   let dbs =
-    spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data
+    spawn_dbs rt ~n_dbs ~timing ~disk_force_latency ~seed_data
       ~observers:(fun () -> !server_pid)
   in
-  let server =
-    spawn engine ?breakdown ~dbs:(List.map fst dbs) ~business ()
-  in
+  let server = spawn rt ?breakdown ~dbs:(List.map fst dbs) ~business () in
   server_pid := [ server ];
   let client =
-    Etx.Client.spawn engine ~period:client_period ~servers:[ server ] ~script
-      ()
+    Etx.Client.spawn rt ~period:client_period ~servers:[ server ] ~script ()
   in
-  { engine; dbs; server; client }
+  { rt; dbs; server; client }

@@ -9,10 +9,10 @@
 
     The paper's Figure 8 uses this protocol as the 0%-overhead reference. *)
 
-open Dsim
+open Runtime
 
 val spawn_dbs :
-  Engine.t ->
+  Etx_runtime.t ->
   n_dbs:int ->
   timing:Dbms.Rm.timing ->
   disk_force_latency:float ->
@@ -22,7 +22,7 @@ val spawn_dbs :
 (** Spawn the database tier (shared by the comparison-protocol builders). *)
 
 val spawn :
-  Engine.t ->
+  Etx_runtime.t ->
   ?name:string ->
   ?poll:float ->
   ?breakdown:Stats.Breakdown.t ->
@@ -32,26 +32,24 @@ val spawn :
   Types.proc_id
 
 type t = {
-  engine : Engine.t;
+  rt : Etx_runtime.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   server : Types.proc_id;
   client : Etx.Client.handle;
 }
 
 val build :
-  ?seed:int ->
-  ?net:Engine.netmodel ->
+  ?net:Etx_runtime.netmodel ->
   ?n_dbs:int ->
   ?timing:Dbms.Rm.timing ->
   ?disk_force_latency:float ->
   ?seed_data:(string * Dbms.Value.t) list ->
   ?client_period:float ->
   ?breakdown:Stats.Breakdown.t ->
-  ?tracing:bool ->
+  rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->
   t
-(** Same shape as {!Etx.Deployment.build}, with one server and the paper's
-    Figure 2 client driving it. [~tracing:false] disables the engine's
-    trace sink (see {!Dsim.Engine.create}). *)
+(** Same shape as {!Etx.Deployment.build}: builds on a fresh [rt], with one
+    server and the paper's Figure 2 client driving it. *)

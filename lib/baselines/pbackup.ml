@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 open Etx.Etx_types
 
@@ -45,7 +46,7 @@ let execute ?breakdown ~poll ~dbs ~business ch rd (request : request) ~j =
           { Etx.Business.xid; dbs; exec; attempt = j }
           ~body:request.body)
   in
-  Engine.note (Printf.sprintf "computed:%d:%d:%s" request.rid j result);
+  Rt.note (Printf.sprintf "computed:%d:%d:%s" request.rid j result);
   collect "end"
     (fun _ -> Dbms.Msg.Xa_end { xid })
     (function
@@ -70,10 +71,11 @@ let backup_rpc ch ~backup ~request_payload ~matches =
   Rchannel.send ch backup request_payload;
   let filter m = m.Types.src = backup && matches m.Types.payload in
   (* the backup never crashes in this scheme's assumptions; a plain wait *)
-  ignore (Engine.recv ~filter ())
+  ignore (Rt.recv ~filter ())
 
-let spawn_primary engine ?(poll = 10.) ?breakdown ~backup ~dbs ~business () =
-  Engine.spawn engine ~name:"pb-primary" ~main:(fun ~recovery:_ () ->
+let spawn_primary (rt : Rt.t) ?(poll = 10.) ?breakdown ~backup ~dbs
+    ~business () =
+  rt.spawn ~name:"pb-primary" ~main:(fun ~recovery:_ () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
       let rd = Dbms.Stub.Readiness.create ~dbs in
@@ -83,7 +85,7 @@ let spawn_primary engine ?(poll = 10.) ?breakdown ~backup ~dbs ~business () =
         match m.Types.payload with Request_msg _ -> true | _ -> false
       in
       let rec loop () =
-        (match Engine.recv ~filter:wants () with
+        (match Rt.recv ~filter:wants () with
         | None -> ()
         | Some m -> (
             match m.payload with
@@ -132,27 +134,27 @@ type record_entry = {
   mutable decision : decision option;
 }
 
-let spawn_backup engine ?(poll = 10.) ?breakdown ~fd ~takeover_check ~primary
-    ~dbs ~business () =
-  Engine.spawn engine ~name:"pb-backup" ~main:(fun ~recovery:_ () ->
+let spawn_backup (rt : Rt.t) ?(poll = 10.) ?breakdown ~fd ~takeover_check
+    ~primary ~dbs ~business () =
+  rt.spawn ~name:"pb-backup" ~main:(fun ~recovery:_ () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
       let rd = Dbms.Stub.Readiness.create ~dbs in
       Dbms.Stub.Readiness.start rd;
-      let fd = fd engine in
+      let fd = fd rt in
       Fdetect.start fd;
       let table : (Dbms.Xid.t, record_entry) Hashtbl.t = Hashtbl.create 32 in
       let promoted = ref false in
       let served = Hashtbl.create 32 in
       (* recording fiber: accept the primary's start/outcome records *)
-      Engine.fork "pb-records" (fun () ->
+      Rt.fork "pb-records" (fun () ->
           let wants m =
             match m.Types.payload with
             | Pb_start _ | Pb_outcome _ -> true
             | _ -> false
           in
           let rec loop () =
-            (match Engine.recv ~filter:wants () with
+            (match Rt.recv ~filter:wants () with
             | None -> ()
             | Some m -> (
                 match m.payload with
@@ -171,14 +173,14 @@ let spawn_backup engine ?(poll = 10.) ?breakdown ~fd ~takeover_check ~primary
           in
           loop ());
       (* serving fiber: only active after promotion *)
-      Engine.fork "pb-serve" (fun () ->
+      Rt.fork "pb-serve" (fun () ->
           let wants m =
             match m.Types.payload with
             | Request_msg _ -> !promoted
             | _ -> false
           in
           let rec loop () =
-            (match Engine.recv ~filter:wants () with
+            (match Rt.recv ~filter:wants () with
             | None -> ()
             | Some m -> (
                 match m.payload with
@@ -203,7 +205,7 @@ let spawn_backup engine ?(poll = 10.) ?breakdown ~fd ~takeover_check ~primary
           loop ());
       (* take-over monitor *)
       let rec watch () =
-        Engine.sleep takeover_check;
+        Rt.sleep takeover_check;
         if Fdetect.suspects fd primary then begin
           promoted := true;
           Hashtbl.iter
@@ -225,41 +227,40 @@ let spawn_backup engine ?(poll = 10.) ?breakdown ~fd ~takeover_check ~primary
       watch ())
 
 type t = {
-  engine : Engine.t;
+  rt : Rt.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   primary : Types.proc_id;
   backup : Types.proc_id;
   client : Etx.Client.handle;
 }
 
-let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
+let build ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
-    ?breakdown ?(tracing = true) ?(backup_fd = Fdetect.oracle)
-    ?(takeover_check = 20.) ~business ~script () =
+    ?breakdown ?(backup_fd = Fdetect.oracle) ?(takeover_check = 20.) ~rt
+    ~business ~script () =
   let net =
     match net with Some n -> n | None -> Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net ~tracing () in
+  (rt : Rt.t).set_net net;
   let server_pids = ref [] in
   let dbs =
-    Baseline.spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data
+    Baseline.spawn_dbs rt ~n_dbs ~timing ~disk_force_latency ~seed_data
       ~observers:(fun () -> !server_pids)
   in
   let db_pids = List.map fst dbs in
   let n_db = List.length dbs in
   (* pids are sequential: primary = n_db, backup = n_db + 1 *)
   let primary =
-    spawn_primary engine ?breakdown ~backup:(n_db + 1) ~dbs:db_pids ~business
-      ()
+    spawn_primary rt ?breakdown ~backup:(n_db + 1) ~dbs:db_pids ~business ()
   in
   let backup =
-    spawn_backup engine ?breakdown ~fd:backup_fd ~takeover_check ~primary
+    spawn_backup rt ?breakdown ~fd:backup_fd ~takeover_check ~primary
       ~dbs:db_pids ~business ()
   in
   assert (primary = n_db && backup = n_db + 1);
   server_pids := [ primary; backup ];
   let client =
-    Etx.Client.spawn engine ~period:client_period
-      ~servers:[ primary; backup ] ~script ()
+    Etx.Client.spawn rt ~period:client_period ~servers:[ primary; backup ]
+      ~script ()
   in
-  { engine; dbs; primary; backup; client }
+  { rt; dbs; primary; backup; client }

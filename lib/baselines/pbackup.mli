@@ -16,10 +16,10 @@
     e-Transaction protocol's wo-registers are how the paper closes this
     hole. *)
 
-open Dsim
+open Runtime
 
 type t = {
-  engine : Engine.t;
+  rt : Etx_runtime.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   primary : Types.proc_id;
   backup : Types.proc_id;
@@ -27,17 +27,16 @@ type t = {
 }
 
 val build :
-  ?seed:int ->
-  ?net:Engine.netmodel ->
+  ?net:Etx_runtime.netmodel ->
   ?n_dbs:int ->
   ?timing:Dbms.Rm.timing ->
   ?disk_force_latency:float ->
   ?seed_data:(string * Dbms.Value.t) list ->
   ?client_period:float ->
   ?breakdown:Stats.Breakdown.t ->
-  ?tracing:bool ->
-  ?backup_fd:(Engine.t -> Dnet.Fdetect.t) ->
+  ?backup_fd:(Etx_runtime.t -> Dnet.Fdetect.t) ->
   ?takeover_check:float ->
+  rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->

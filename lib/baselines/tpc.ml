@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 open Etx.Etx_types
 
@@ -6,7 +7,7 @@ type log_record =
   | L_start of Dbms.Xid.t
   | L_outcome of Dbms.Xid.t * Dbms.Rm.outcome
 
-(* Fresh transaction identifiers come from the engine's uid counter: unique
+(* Fresh transaction identifiers come from the runtime's uid counter: unique
    across server incarnations (a recovered server must never collide with a
    transaction it ran before the crash) and ≥ 1000, disjoint from the
    client's try numbers. *)
@@ -53,7 +54,7 @@ let serve ?breakdown ~poll ~log ~dbs ~business ch rd (request : request) ~j
           { Etx.Business.xid; dbs; exec; attempt = j }
           ~body:request.body)
   in
-  Engine.note (Printf.sprintf "computed:%d:%d:%s" request.rid j result);
+  Rt.note (Printf.sprintf "computed:%d:%d:%s" request.rid j result);
   collect "end"
     (fun _ -> Dbms.Msg.Xa_end { xid })
     (function
@@ -99,9 +100,9 @@ let recover_log ~poll ~log ~dbs ch rd =
           decide_all ~poll ch rd ~dbs ~xid Dbms.Rm.Abort)
     (List.rev !started)
 
-let spawn engine ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log ~dbs
-    ~business () =
-  Engine.spawn engine ~name ~main:(fun ~recovery () ->
+let spawn (rt : Rt.t) ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log
+    ~dbs ~business () =
+  rt.spawn ~name ~main:(fun ~recovery () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
       let rd = Dbms.Stub.Readiness.create ~dbs in
@@ -112,7 +113,7 @@ let spawn engine ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log ~dbs
         match m.Types.payload with Request_msg _ -> true | _ -> false
       in
       let rec loop () =
-        (match Engine.recv ~filter:wants () with
+        (match Rt.recv ~filter:wants () with
         | None -> ()
         | Some m -> (
             match m.payload with
@@ -122,7 +123,7 @@ let spawn engine ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log ~dbs
                   | Some d -> d
                   | None ->
                       let xid =
-                        Dbms.Xid.make ~rid:request.rid ~j:(Engine.fresh_uid ())
+                        Dbms.Xid.make ~rid:request.rid ~j:(Rt.fresh_uid ())
                       in
                       let d =
                         serve ?breakdown ~poll ~log ~dbs ~business ch rd
@@ -139,7 +140,7 @@ let spawn engine ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log ~dbs
       loop ())
 
 type t = {
-  engine : Engine.t;
+  rt : Rt.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   coordinator : Types.proc_id;
   log : log_record Dstore.Wal.t;
@@ -147,16 +148,16 @@ type t = {
   client : Etx.Client.handle;
 }
 
-let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
+let build ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
-    ?breakdown ?(tracing = true) ~business ~script () =
+    ?breakdown ~rt ~business ~script () =
   let net =
     match net with Some n -> n | None -> Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net ~tracing () in
+  (rt : Rt.t).set_net net;
   let coord_pid = ref [] in
   let dbs =
-    Baseline.spawn_dbs engine ~n_dbs ~timing ~disk_force_latency ~seed_data
+    Baseline.spawn_dbs rt ~n_dbs ~timing ~disk_force_latency ~seed_data
       ~observers:(fun () -> !coord_pid)
   in
   let coordinator_disk =
@@ -164,11 +165,11 @@ let build ?(seed = 1) ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
   in
   let log = Dstore.Wal.create ~disk:coordinator_disk () in
   let coordinator =
-    spawn engine ?breakdown ~log ~dbs:(List.map fst dbs) ~business ()
+    spawn rt ?breakdown ~log ~dbs:(List.map fst dbs) ~business ()
   in
   coord_pid := [ coordinator ];
   let client =
-    Etx.Client.spawn engine ~period:client_period ~servers:[ coordinator ]
+    Etx.Client.spawn rt ~period:client_period ~servers:[ coordinator ]
       ~script ()
   in
-  { engine; dbs; coordinator; log; coordinator_disk; client }
+  { rt; dbs; coordinator; log; coordinator_disk; client }

@@ -15,14 +15,14 @@
     e-Transaction protocol, where any application server terminates the
     result.) [in_doubt_hold] in the tests demonstrates this. *)
 
-open Dsim
+open Runtime
 
 type log_record =
   | L_start of Dbms.Xid.t
   | L_outcome of Dbms.Xid.t * Dbms.Rm.outcome
 
 val spawn :
-  Engine.t ->
+  Etx_runtime.t ->
   ?name:string ->
   ?poll:float ->
   ?breakdown:Stats.Breakdown.t ->
@@ -35,7 +35,7 @@ val spawn :
     coordinator crashes. *)
 
 type t = {
-  engine : Engine.t;
+  rt : Etx_runtime.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   coordinator : Types.proc_id;
   log : log_record Dstore.Wal.t;
@@ -44,15 +44,14 @@ type t = {
 }
 
 val build :
-  ?seed:int ->
-  ?net:Engine.netmodel ->
+  ?net:Etx_runtime.netmodel ->
   ?n_dbs:int ->
   ?timing:Dbms.Rm.timing ->
   ?disk_force_latency:float ->
   ?seed_data:(string * Dbms.Value.t) list ->
   ?client_period:float ->
   ?breakdown:Stats.Breakdown.t ->
-  ?tracing:bool ->
+  rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->

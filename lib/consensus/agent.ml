@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 
 type Types.payload +=
@@ -23,12 +24,12 @@ type Types.payload +=
    neither ever scans the process's other backlogs (e.g. the primary's
    queued client requests). The local decision wakeup is its own bucket. *)
 let cls_net =
-  Engine.register_class ~name:"ct-net" (function
+  Rt.register_class ~name:"ct-net" (function
     | C_estimate _ | C_propose _ | C_ack _ | C_decide _ | C_start _ -> true
     | _ -> false)
 
 let cls_decided =
-  Engine.register_class ~name:"ct-decided" (function
+  Rt.register_class ~name:"ct-decided" (function
     | C_decided_local _ -> true
     | _ -> false)
 
@@ -117,7 +118,7 @@ let recover_from_log t p =
         let inst = ensure t key in
         if inst.decided = None then begin
           inst.decided <- Some value;
-          inst.decided_at <- Engine.now ()
+          inst.decided_at <- Rt.now ()
         end
   in
   Dstore.Wal.replay p.plog ~init:() ~f:(fun () r -> restore r)
@@ -126,7 +127,7 @@ let create ?(poll = 2.0) ?(round_timeout = 100.) ?persist ~peers ~fd ~ch () =
   let n = List.length peers in
   let t =
     {
-      self = Engine.self ();
+      self = Rt.self ();
       peers;
       n;
       majority = (n / 2) + 1;
@@ -149,9 +150,9 @@ let record_decision t inst value =
   | None ->
       log_decision t inst value;
       inst.decided <- Some value;
-      inst.decided_at <- Engine.now ();
+      inst.decided_at <- Rt.now ();
       (* wake any local proposer blocked in [propose] *)
-      Engine.redeliver ~src:t.self (C_decided_local { key = inst.key });
+      Rt.redeliver ~src:t.self (C_decided_local { key = inst.key });
       (* reliable broadcast: forward on first learn *)
       List.iter
         (fun p ->
@@ -207,7 +208,7 @@ let driver t inst () =
     | C_estimate { round = r'; _ }
       when r' > current && coordinator t r' = t.self ->
         (* we coordinate that later round: requeue the estimate and go *)
-        Engine.redeliver ~src:m.src m.payload;
+        Rt.redeliver ~src:m.src m.payload;
         go r' est ts;
         true
     | C_estimate _ | C_propose _ | C_ack _ | _ -> false
@@ -236,7 +237,7 @@ let driver t inst () =
             | Some v, _ -> Some (v, s))
           None (own @ candidates)
       in
-      let deadline = Engine.now () +. t.round_timeout in
+      let deadline = Rt.now () +. t.round_timeout in
       let rec gather () =
         match inst.decided with
         | Some _ -> ()
@@ -245,7 +246,7 @@ let driver t inst () =
             | true, Some (v, _) -> propose r v
             | _ -> (
                 match
-                  Engine.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance ()
+                  Rt.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance ()
                 with
                 | Some
                     ({ payload = C_estimate { round; est; ts; _ }; src; _ } as
@@ -258,7 +259,7 @@ let driver t inst () =
                 | Some m ->
                     if not (jump_on m ~current:r est ts) then gather ()
                 | None ->
-                    if Engine.now () > deadline then go (r + 1) est ts
+                    if Rt.now () > deadline then go (r + 1) est ts
                     else gather ()))
       in
       gather ()
@@ -273,7 +274,7 @@ let driver t inst () =
           Rchannel.send t.ch p (C_propose { key = inst.key; round = r; value = v }))
       t.peers;
     let yes = ref 1 and no = ref 0 in
-    let deadline = Engine.now () +. t.round_timeout in
+    let deadline = Rt.now () +. t.round_timeout in
     let rec collect () =
       match inst.decided with
       | Some _ -> ()
@@ -282,21 +283,21 @@ let driver t inst () =
           else if !yes + !no >= t.majority && !no >= 1 then
             go (r + 1) (Some v) r
           else begin
-            match Engine.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance () with
+            match Rt.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance () with
             | Some { payload = C_ack { round; ok; _ }; _ } when round = r ->
                 if ok then incr yes else incr no;
                 collect ()
             | Some m ->
                 if not (jump_on m ~current:r (Some v) r) then collect ()
             | None ->
-                if Engine.now () > deadline then go (r + 1) (Some v) r
+                if Rt.now () > deadline then go (r + 1) (Some v) r
                 else collect ()
           end
     in
     collect ()
   and run_participant r est ts c =
     Rchannel.send t.ch c (C_estimate { key = inst.key; round = r; est; ts });
-    let deadline = Engine.now () +. t.round_timeout in
+    let deadline = Rt.now () +. t.round_timeout in
     let give_up () =
       Rchannel.send t.ch c (C_ack { key = inst.key; round = r; ok = false });
       go (r + 1) est ts
@@ -305,14 +306,14 @@ let driver t inst () =
       match inst.decided with
       | Some _ -> ()
       | None -> (
-          match Engine.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance () with
+          match Rt.recv ~timeout:t.poll ~cls:cls_net ~filter:wants_instance () with
           | Some { payload = C_propose { round; value; _ }; src; _ }
             when round = r ->
               adopt_and_ack ~round:r value ~coordinator:src;
               go (r + 1) (Some value) r
           | Some m -> if not (jump_on m ~current:r est ts) then wait ()
           | None ->
-              if Fdetect.suspects t.fd c || Engine.now () > deadline then
+              if Fdetect.suspects t.fd c || Rt.now () > deadline then
                 give_up ()
               else wait ())
     in
@@ -320,12 +321,14 @@ let driver t inst () =
   in
   (* A recovered adoption dominates a fresh proposal as the initial
      estimate, and the driver must start above any round it acknowledged
-     before a crash. *)
+     before a crash. A fresh proposal carries ts = -1: any timestamp >= 0
+     claims "adopted from the coordinator of round ts", and two distinct
+     values may never make that claim for the same round — a fresh proposal
+     stamped 0 could tie a genuine round-0 adoption and steal the lock. *)
   let est0, ts0 =
     match inst.saved_est with
     | Some _ as est -> (est, inst.saved_ts)
-    | None ->
-        (inst.my_proposal, if inst.my_proposal = None then -1 else 0)
+    | None -> (inst.my_proposal, -1)
   in
   go inst.restart_round est0 ts0;
   inst.driver_running <- false
@@ -333,7 +336,7 @@ let driver t inst () =
 let start_driver t inst =
   if (not inst.driver_running) && inst.decided = None then begin
     inst.driver_running <- true;
-    Engine.fork ("consensus:" ^ inst.key) (driver t inst)
+    Rt.fork ("consensus:" ^ inst.key) (driver t inst)
   end
 
 (* --- dispatcher: auto-join, decisions, and stale-message service --- *)
@@ -350,7 +353,7 @@ let dispatcher t () =
     | _ -> false
   in
   let rec loop () =
-    (match Engine.recv ~cls:cls_net ~filter:wants () with
+    (match Rt.recv ~cls:cls_net ~filter:wants () with
     | None -> ()
     | Some m -> (
         match m.payload with
@@ -369,13 +372,13 @@ let dispatcher t () =
             | None ->
                 (* auto-join: start a driver and let it find the message *)
                 start_driver t inst;
-                Engine.redeliver ~src:m.src m.payload)
+                Rt.redeliver ~src:m.src m.payload)
         | _ -> ()));
     loop ()
   in
   loop ()
 
-let start t = Engine.fork "consensus-dispatcher" (dispatcher t)
+let start t = Rt.fork "consensus-dispatcher" (dispatcher t)
 
 let propose t ~key value =
   let inst = ensure t key in
@@ -400,7 +403,7 @@ let propose t ~key value =
         match inst.decided with
         | Some v -> v
         | None ->
-            ignore (Engine.recv ~timeout:(t.poll *. 5.) ~cls:cls_decided ~filter:wants ());
+            ignore (Rt.recv ~timeout:(t.poll *. 5.) ~cls:cls_decided ~filter:wants ());
             wait ()
       in
       wait ()

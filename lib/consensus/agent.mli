@@ -29,7 +29,7 @@
     eventually perfect. Safety (agreement, validity, write-once) holds even
     if the detector misbehaves; only liveness needs ◇P. *)
 
-open Dsim
+open Runtime
 
 type t
 

@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 
 type Types.payload +=
@@ -19,17 +20,17 @@ type Types.payload +=
 (* demux classes: acceptor-side requests, proposer-side replies, and the
    local decision wakeup each get their own mailbox bucket *)
 let cls_request =
-  Engine.register_class ~name:"synod-request" (function
+  Rt.register_class ~name:"synod-request" (function
     | S_prepare _ | S_accept _ | S_learn _ -> true
     | _ -> false)
 
 let cls_reply =
-  Engine.register_class ~name:"synod-reply" (function
+  Rt.register_class ~name:"synod-reply" (function
     | S_promise _ | S_accepted _ | S_nack _ -> true
     | _ -> false)
 
 let cls_decided =
-  Engine.register_class ~name:"synod-decided" (function
+  Rt.register_class ~name:"synod-decided" (function
     | S_decided_local _ -> true
     | _ -> false)
 
@@ -55,7 +56,7 @@ type t = {
 }
 
 let create ?(attempt_timeout = 50.) ?(backoff = 20.) ~peers ~ch () =
-  let self = Engine.self () in
+  let self = Rt.self () in
   let index =
     match List.find_index (fun p -> p = self) peers with
     | Some i -> i
@@ -86,7 +87,7 @@ let ensure t key =
 let learn t inst value =
   if inst.decided = None then begin
     inst.decided <- Some value;
-    Engine.redeliver ~src:t.self (S_decided_local { key = inst.key });
+    Rt.redeliver ~src:t.self (S_decided_local { key = inst.key });
     List.iter
       (fun p ->
         if p <> t.self then Rchannel.send t.ch p (S_learn { key = inst.key; value }))
@@ -97,7 +98,7 @@ let learn t inst value =
 
 let dispatcher t () =
   let rec loop () =
-    (match Engine.recv_cls cls_request with
+    (match Rt.recv_cls cls_request with
     | None -> ()
     | Some m -> (
         match m.payload with
@@ -129,7 +130,7 @@ let dispatcher t () =
   in
   loop ()
 
-let start t = Engine.fork "synod-dispatcher" (dispatcher t)
+let start t = Rt.fork "synod-dispatcher" (dispatcher t)
 
 (* ---------------- proposer ---------------- *)
 
@@ -138,14 +139,14 @@ let start t = Engine.fork "synod-dispatcher" (dispatcher t)
 type 'a phase_result = Quorum of 'a list | Preempted | Timed_out
 
 let collect_phase t inst ~matches =
-  let deadline = Engine.now () +. t.attempt_timeout in
+  let deadline = Rt.now () +. t.attempt_timeout in
   (* [n_replies] rides along so reaching a quorum is O(1) per reply rather
      than re-counting the accumulated list each time *)
   let rec wait n_replies replies =
     if inst.decided <> None then Preempted
     else if n_replies >= t.majority then Quorum replies
     else
-      let remaining = deadline -. Engine.now () in
+      let remaining = deadline -. Rt.now () in
       if remaining <= 0. then Timed_out
       else
         let filter m =
@@ -154,7 +155,7 @@ let collect_phase t inst ~matches =
           | `Other -> false
         in
         match
-          Engine.recv ~timeout:(Float.min remaining 5.) ~cls:cls_reply ~filter ()
+          Rt.recv ~timeout:(Float.min remaining 5.) ~cls:cls_reply ~filter ()
         with
         | Some m -> (
             match matches m.Types.payload with
@@ -172,7 +173,7 @@ let proposer t inst my_value () =
     | None ->
         let next () =
           (* jittered back-off keeps duelling proposers from lock-step *)
-          Engine.sleep (t.backoff +. Engine.random_float t.backoff);
+          Rt.sleep (t.backoff +. Rt.random_float t.backoff);
           attempt (ballot + t.n)
         in
         if ballot = 0 then
@@ -238,7 +239,7 @@ let propose t ~key value =
   | None ->
       if not inst.proposing then begin
         inst.proposing <- true;
-        Engine.fork ("synod:" ^ key) (proposer t inst value)
+        Rt.fork ("synod:" ^ key) (proposer t inst value)
       end;
       let wants m =
         match m.Types.payload with
@@ -249,7 +250,7 @@ let propose t ~key value =
         match inst.decided with
         | Some v -> v
         | None ->
-            ignore (Engine.recv ~timeout:10. ~cls:cls_decided ~filter:wants ());
+            ignore (Rt.recv ~timeout:10. ~cls:cls_decided ~filter:wants ());
             wait ()
       in
       wait ()

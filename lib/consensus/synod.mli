@@ -21,7 +21,7 @@
     attempts back off with jitter. Safety needs no assumptions beyond a
     majority of acceptors being up to make progress. *)
 
-open Dsim
+open Runtime
 
 type t
 

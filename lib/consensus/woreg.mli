@@ -10,7 +10,7 @@
     a request: the protocol's [regA] (which application server computes
     result [j]) and [regD] (the decision — result and outcome — for [j]). *)
 
-open Dsim
+open Runtime
 
 type t
 (** A register array backed by one consensus agent. *)

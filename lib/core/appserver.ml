@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 open Etx_types
 
@@ -13,6 +14,7 @@ type fd_spec =
 type register_backend = Reg_ct | Reg_synod
 
 type config = {
+  rt : Rt.t;  (** the execution substrate hosting this server *)
   index : int;
   servers : Types.proc_id list;
   dbs : Types.proc_id list;
@@ -29,13 +31,14 @@ type config = {
 
 let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
-    ~index ~servers ~dbs ~business () =
+    ~rt ~index ~servers ~dbs ~business () =
   (match (backend, persist) with
   | Reg_synod, Some _ ->
       invalid_arg
         "Appserver.config: the Synod backend does not support persistence"
   | (Reg_ct | Reg_synod), _ -> ());
   {
+    rt;
     index;
     servers;
     dbs;
@@ -123,7 +126,7 @@ let terminate ctx st ~rid ~j (decision : decision) =
   (match st.last with
   | Some (j', _) when j' >= j -> ()
   | Some _ | None -> st.last <- Some (j, decision));
-  st.terminated_at <- Some (Engine.now ())
+  st.terminated_at <- Some (Rt.now ())
 
 (* ---------------- Fig. 4: prepare() ---------------- *)
 
@@ -178,7 +181,7 @@ let compute_try ctx st ~(request : request) ~j =
         span ctx "SQL" (fun () ->
             run_business ctx ~xid ~attempt:j ~body:request.body)
       in
-      Engine.note (Printf.sprintf "computed:%d:%d:%s" rid j result);
+      Rt.note (Printf.sprintf "computed:%d:%d:%s" rid j result);
       xa_broadcast ctx ~xid ~label:"end"
         ~request:(fun _ -> Dbms.Msg.Xa_end { xid })
         ~matches:(function
@@ -205,7 +208,7 @@ let compute_try ctx st ~(request : request) ~j =
 
 let compute_thread ctx () =
   let rec loop () =
-    (match Engine.recv_cls cls_request with
+    (match Rt.recv_cls cls_request with
     | None -> ()
     | Some m -> (
         match m.payload with
@@ -251,7 +254,7 @@ let clean_request ctx ~suspect ~rid =
             | Reg_d_value d -> d
             | _ -> abort_decision
           in
-          Engine.note
+          Rt.note
             (Printf.sprintf "cleaned:%d:%d:%s" rid j
                (match final.outcome with
                | Dbms.Rm.Commit -> "commit"
@@ -266,7 +269,7 @@ let clean_request ctx ~suspect ~rid =
 
 let clean_thread ctx () =
   let rec loop () =
-    Engine.sleep ctx.cfg.clean_period;
+    Rt.sleep ctx.cfg.clean_period;
     List.iter
       (fun ai ->
         if ai <> ctx.self && Fdetect.suspects ctx.fd ai then
@@ -290,8 +293,8 @@ let clean_thread ctx () =
    register. *)
 let gc_thread ctx ~after () =
   let rec loop () =
-    Engine.sleep (Float.max 1. (after /. 2.));
-    let now = Engine.now () in
+    Rt.sleep (Float.max 1. (after /. 2.));
+    let now = Rt.now () in
     let expired =
       Hashtbl.fold
         (fun rid st acc ->
@@ -303,7 +306,7 @@ let gc_thread ctx ~after () =
     List.iter (fun rid -> Hashtbl.remove ctx.rids rid) expired;
     let swept = ctx.regs.reg_collect ~older_than:(now -. after) in
     if expired <> [] || swept > 0 then
-      Engine.note
+      Rt.note
         (Printf.sprintf "gc:rids=%d:swept=%d:instances=%d"
            (List.length expired) swept
            (ctx.regs.reg_instances ()));
@@ -313,21 +316,21 @@ let gc_thread ctx ~after () =
 
 (* ---------------- Fig. 4: main() ---------------- *)
 
-let spawn engine cfg =
+let spawn cfg =
   let name = Printf.sprintf "a%d" (cfg.index + 1) in
-  Engine.spawn engine ~name ~main:(fun ~recovery () ->
+  cfg.rt.spawn ~name ~main:(fun ~recovery () ->
       if recovery && cfg.persist = None then
         (* the paper's base protocol assumes crashed application servers
            stay down (a majority is always up); rejoining with amnesia
            would be unsound, so a recovered diskless server stays passive *)
-        Engine.note "appserver-recovery-unsupported"
+        Rt.note "appserver-recovery-unsupported"
       else begin
-        if recovery then Engine.note "appserver-recovered";
+        if recovery then Rt.note "appserver-recovered";
         let ch = Rchannel.create () in
         Rchannel.start ch;
         let fd =
           match cfg.fd_spec with
-          | Fd_oracle -> Fdetect.oracle engine
+          | Fd_oracle -> Fdetect.oracle cfg.rt
           | Fd_heartbeat { period; initial_timeout; timeout_bump } ->
               Fdetect.heartbeat ~period ~initial_timeout ~timeout_bump
                 ~peers:cfg.servers ()
@@ -378,7 +381,7 @@ let spawn engine cfg =
         let ctx =
           {
             cfg;
-            self = Engine.self ();
+            self = Rt.self ();
             ch;
             fd;
             regs;
@@ -386,9 +389,9 @@ let spawn engine cfg =
             rids = Hashtbl.create 16;
           }
         in
-        Engine.fork "clean" (clean_thread ctx);
+        Rt.fork "clean" (clean_thread ctx);
         (match cfg.gc_after with
-        | Some after -> Engine.fork "gc" (gc_thread ctx ~after)
+        | Some after -> Rt.fork "gc" (gc_thread ctx ~after)
         | None -> ());
         compute_thread ctx ()
       end)

@@ -27,10 +27,10 @@
     names: "start", "SQL", "end", "prepare", "commit", "log-start" (the
     [regA] write) and "log-outcome" (the [regD] write). *)
 
-open Dsim
+open Runtime
 
 type fd_spec =
-  | Fd_oracle  (** perfect detector from engine ground truth *)
+  | Fd_oracle  (** perfect detector from runtime ground truth *)
   | Fd_heartbeat of {
       period : float;
       initial_timeout : float;
@@ -46,6 +46,7 @@ type register_backend =
           persistence and garbage-collection extensions *)
 
 type config = {
+  rt : Etx_runtime.t;  (** the execution substrate hosting this server *)
   index : int;  (** position in [servers]; 0 is the default primary *)
   servers : Types.proc_id list;  (** all application servers, fixed order *)
   dbs : Types.proc_id list;
@@ -84,6 +85,7 @@ val config :
   ?backend:register_backend ->
   ?persist:Consensus.Agent.persistence ->
   ?breakdown:Stats.Breakdown.t ->
+  rt:Etx_runtime.t ->
   index:int ->
   servers:Types.proc_id list ->
   dbs:Types.proc_id list ->
@@ -93,4 +95,5 @@ val config :
 (** Defaults: oracle failure detector, 20 ms clean period, 10 ms poll,
     40 ms exec back-off, no garbage collection, no breakdown accounting. *)
 
-val spawn : Engine.t -> config -> Types.proc_id
+val spawn : config -> Types.proc_id
+(** Spawns on the backend in [cfg.rt]. *)

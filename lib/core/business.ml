@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 
 type context = {
   xid : Dbms.Xid.t;

@@ -9,7 +9,7 @@
     compute a result that merely {e reports} the problem, which the
     databases will happily commit. *)
 
-open Dsim
+open Runtime
 
 type context = {
   xid : Dbms.Xid.t;  (** the transaction this computation runs in *)

@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 
 type record = {
@@ -16,17 +17,17 @@ type handle = {
   finished : bool ref;
 }
 
-(* Request ids come from the engine's per-trial uid counter so concurrent
-   clients in one engine never collide, and independent trials (possibly
-   running in parallel domains) never share state. *)
-let fresh_rid () = Engine.fresh_uid ()
+(* Request ids come from the runtime's per-instance uid counter so
+   concurrent clients in one runtime never collide, and independent trials
+   (possibly running in parallel domains) never share state. *)
+let fresh_rid () = Rt.fresh_uid ()
 
 let wants_result rid j m =
   match m.Types.payload with
   | Etx_types.Result_msg { rid = r; j = j'; _ } -> r = rid && j' = j
   | _ -> false
 
-let spawn engine ?(name = "client") ?(period = 400.) ~servers ~script () =
+let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ~servers ~script () =
   let records = ref [] in
   let finished = ref false in
   let primary =
@@ -35,21 +36,21 @@ let spawn engine ?(name = "client") ?(period = 400.) ~servers ~script () =
     | [] -> invalid_arg "Client.spawn: no application servers"
   in
   let pid =
-    Engine.spawn engine ~name ~main:(fun ~recovery () ->
-        if recovery then Engine.note "client-recovery:staying-silent"
+    rt.spawn ~name ~main:(fun ~recovery () ->
+        if recovery then Rt.note "client-recovery:staying-silent"
         else begin
           let ch = Rchannel.create () in
           Rchannel.start ch;
           let issue body =
             let rid = fresh_rid () in
             let request = { Etx_types.rid; body } in
-            let issued_at = Engine.now () in
+            let issued_at = Rt.now () in
             (* one try = one result identifier j (Fig. 2 main loop) *)
             let rec try_j j =
               Rchannel.send ch primary
                 (Etx_types.Request_msg { request; j });
               match
-                Engine.recv ~timeout:period ~cls:Etx_types.cls_result
+                Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
               with
               | Some m -> conclude j m
@@ -58,7 +59,7 @@ let spawn engine ?(name = "client") ?(period = 400.) ~servers ~script () =
               Rchannel.broadcast ch servers
                 (Etx_types.Request_msg { request; j });
               match
-                Engine.recv ~timeout:period ~cls:Etx_types.cls_result
+                Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
               with
               | Some m -> conclude j m
@@ -75,7 +76,7 @@ let spawn engine ?(name = "client") ?(period = 400.) ~servers ~script () =
                           result;
                           tries = j;
                           issued_at;
-                          delivered_at = Engine.now ();
+                          delivered_at = Rt.now ();
                         }
                       in
                       records := !records @ [ record ];

@@ -13,7 +13,7 @@
     paper's stated design ("clients use a simple timeout mechanism to
     re-submit requests"). *)
 
-open Dsim
+open Runtime
 
 type record = {
   rid : int;
@@ -27,7 +27,7 @@ type record = {
 type handle
 
 val spawn :
-  Engine.t ->
+  Etx_runtime.t ->
   ?name:string ->
   ?period:float ->
   servers:Types.proc_id list ->

@@ -1,25 +1,25 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 
 type t = {
-  engine : Engine.t;
+  rt : Rt.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   app_servers : Types.proc_id list;
   client : Client.handle;
 }
 
-let build ?(seed = 1) ?net ?(n_app_servers = 3) ?(n_dbs = 1)
+let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(fd_spec = Appserver.Fd_oracle) ?(timing = Dbms.Rm.paper_timing)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ?breakdown ?(tracing = true) ~business
-    ~script () =
+    ?(register_disk_latency = 12.5) ?breakdown ~rt ~business ~script () =
   let net =
     match net with
     | Some n -> n
     | None -> Dnet.Netmodel.three_tier ~n_dbs ()
   in
-  let engine = Engine.create ~seed ~net ~tracing () in
+  (rt : Rt.t).set_net net;
   (* databases first: pids 0 .. n_dbs-1 *)
   let app_pids = ref [] in
   let dbs =
@@ -30,7 +30,7 @@ let build ?(seed = 1) ?net ?(n_app_servers = 3) ?(n_dbs = 1)
         in
         let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
         let pid =
-          Dbms.Server.spawn engine ~name ~rm ~observers:(fun () -> !app_pids) ()
+          Dbms.Server.spawn rt ~name ~rm ~observers:(fun () -> !app_pids) ()
         in
         (pid, rm))
   in
@@ -50,14 +50,14 @@ let build ?(seed = 1) ?net ?(n_app_servers = 3) ?(n_dbs = 1)
         in
         let cfg =
           Appserver.config ~fd_spec ~clean_period ~poll ?gc_after ~backend
-            ?persist ?breakdown ~index ~servers ~dbs:db_pids ~business ()
+            ?persist ?breakdown ~rt ~index ~servers ~dbs:db_pids ~business ()
         in
-        Appserver.spawn engine cfg)
+        Appserver.spawn cfg)
   in
   assert (spawned = servers);
   app_pids := servers;
-  let client = Client.spawn engine ~period:client_period ~servers ~script () in
-  { engine; dbs; app_servers = servers; client }
+  let client = Client.spawn rt ~period:client_period ~servers ~script () in
+  { rt; dbs; app_servers = servers; client }
 
 let run_to_quiescence ?(deadline = 600_000.) t =
   (* A yes vote must reach a durable decision; a no vote aborted on the
@@ -80,7 +80,7 @@ let run_to_quiescence ?(deadline = 600_000.) t =
                 (Dbms.Rm.votes_cast rm))
          t.dbs
   in
-  Engine.run_until ~deadline t.engine settled
+  t.rt.run_until ~deadline settled
 
 let primary t = List.hd t.app_servers
 

@@ -1,20 +1,24 @@
-(** One-call wiring of a complete three-tier deployment in a fresh engine:
-    [n_dbs] database servers (each with its own resource manager and disk),
-    [n_app_servers] application servers running the e-Transaction protocol,
-    and one client executing a script. *)
+(** One-call wiring of a complete three-tier deployment on a runtime
+    backend: [n_dbs] database servers (each with its own resource manager
+    and disk), [n_app_servers] application servers running the
+    e-Transaction protocol, and one client executing a script.
 
-open Dsim
+    The deployment is backend-agnostic: pass the capability of a simulator
+    engine ([Runtime_sim.of_engine]) for deterministic virtual-time
+    runs, or of a live runtime ([Runtime_live.runtime]) for wall-clock
+    execution on OS threads. *)
+
+open Runtime
 
 type t = {
-  engine : Engine.t;
+  rt : Etx_runtime.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   app_servers : Types.proc_id list;  (** ordered; head = default primary *)
   client : Client.handle;
 }
 
 val build :
-  ?seed:int ->
-  ?net:Engine.netmodel ->
+  ?net:Etx_runtime.netmodel ->
   ?n_app_servers:int ->
   ?n_dbs:int ->
   ?fd_spec:Appserver.fd_spec ->
@@ -29,15 +33,17 @@ val build :
   ?recoverable:bool ->
   ?register_disk_latency:float ->
   ?breakdown:Stats.Breakdown.t ->
-  ?tracing:bool ->
+  rt:Etx_runtime.t ->
   business:Business.t ->
   script:(issue:(string -> Client.record) -> unit) ->
   unit ->
   t
-(** Defaults: LAN network, 3 application servers (tolerating one crash, as
-    in the paper's measurements), 1 database (the paper's configuration),
-    oracle failure detector, paper-calibrated timing, 400 ms client
-    back-off.
+(** Builds on [rt], which must be fresh (no processes spawned yet — the
+    deployment relies on pids 0..n_dbs-1 being the databases). Defaults:
+    three-tier network model (installed via [rt.set_net]), 3 application
+    servers (tolerating one crash, as in the paper's measurements), 1
+    database (the paper's configuration), oracle failure detector,
+    paper-calibrated timing, 400 ms client back-off.
 
     [recoverable:true] equips each application server with stable register
     storage (forced write cost [register_disk_latency], default 12.5 ms),
@@ -47,7 +53,7 @@ val build :
 val run_to_quiescence : ?deadline:float -> t -> bool
 (** Run until the client script finishes and every database transaction is
     decided (no in-doubt leftovers); returns whether that state was reached
-    before the deadline (default 600 s of virtual time). *)
+    before the deadline (default 600 s on the backend's clock). *)
 
 val primary : t -> Types.proc_id
 val rm_of : t -> Types.proc_id -> Dbms.Rm.t

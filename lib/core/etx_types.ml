@@ -16,23 +16,23 @@ type decision = { result : result_value option; outcome : Dbms.Rm.outcome }
 
 let abort_decision = { result = None; outcome = Dbms.Rm.Abort }
 
-type Dsim.Types.payload +=
+type Runtime.Types.payload +=
   | Request_msg of { request : request; j : int }
       (** client → application server: [\[Request, request, j\]] *)
   | Result_msg of { rid : int; j : int; decision : decision }
       (** application server → client: [\[Result, j, decision\]] *)
-  | Reg_a_value of Dsim.Types.proc_id
+  | Reg_a_value of Runtime.Types.proc_id
       (** content of [regA\[j\]]: which server computes result [j] *)
   | Reg_d_value of decision  (** content of [regD\[j\]] *)
 
 (* demux classes for the two client/server message streams *)
 let cls_request =
-  Dsim.Engine.register_class ~name:"etx-request" (function
+  Runtime.Etx_runtime.register_class ~name:"etx-request" (function
     | Request_msg _ -> true
     | _ -> false)
 
 let cls_result =
-  Dsim.Engine.register_class ~name:"etx-result" (function
+  Runtime.Etx_runtime.register_class ~name:"etx-result" (function
     | Result_msg _ -> true
     | _ -> false)
 

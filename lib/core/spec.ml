@@ -77,13 +77,10 @@ let agreement_a3 (d : Deployment.t) =
 
 let computed_notes (d : Deployment.t) =
   List.filter_map
-    (fun (e : Dsim.Trace.entry) ->
-      match e.event with
-      | Dsim.Trace.Note (_, s) when String.length s > 9 && String.sub s 0 9 = "computed:"
-        ->
-          Some s
-      | _ -> None)
-    (Dsim.Trace.entries (Dsim.Engine.trace d.engine))
+    (fun (_, s) ->
+      if String.length s > 9 && String.sub s 0 9 = "computed:" then Some s
+      else None)
+    (d.rt.notes ())
 
 let validity_v1 (d : Deployment.t) =
   let notes = computed_notes d in

@@ -6,7 +6,7 @@
     [Commit1]/[Commit1_reply] support the unreliable baseline protocol's
     single-phase commit (Fig. 7a). *)
 
-type Dsim.Types.payload +=
+type Runtime.Types.payload +=
   | Xa_start of { xid : Xid.t }
   | Xa_started of { xid : Xid.t }
   | Xa_end of { xid : Xid.t }
@@ -24,28 +24,28 @@ type Dsim.Types.payload +=
 (* demux classes, one per server-side handler loop plus the stub-side
    reply and readiness streams *)
 let cls_exec =
-  Dsim.Engine.register_class ~name:"db-exec" (function
+  Runtime.Etx_runtime.register_class ~name:"db-exec" (function
     | Exec_req _ | Commit1 _ | Xa_start _ | Xa_end _ -> true
     | _ -> false)
 
 let cls_prepare =
-  Dsim.Engine.register_class ~name:"db-prepare" (function
+  Runtime.Etx_runtime.register_class ~name:"db-prepare" (function
     | Prepare _ -> true
     | _ -> false)
 
 let cls_decide =
-  Dsim.Engine.register_class ~name:"db-decide" (function
+  Runtime.Etx_runtime.register_class ~name:"db-decide" (function
     | Decide _ -> true
     | _ -> false)
 
 let cls_reply =
-  Dsim.Engine.register_class ~name:"db-reply" (function
+  Runtime.Etx_runtime.register_class ~name:"db-reply" (function
     | Exec_reply _ | Vote_msg _ | Ack_decide _ | Xa_started _ | Xa_ended _
     | Commit1_reply _ ->
         true
     | _ -> false)
 
 let cls_ready =
-  Dsim.Engine.register_class ~name:"db-ready" (function
+  Runtime.Etx_runtime.register_class ~name:"db-ready" (function
     | Ready -> true
     | _ -> false)

@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 
 type outcome = Commit | Abort
 
@@ -215,7 +216,7 @@ let abort_local t txn ~log =
 
 let xa_start t ~xid =
   let (_ : txn) = get_txn t xid in
-  Engine.work "start" t.timing.start_cpu
+  Rt.work "start" t.timing.start_cpu
 
 let xa_end t ~xid =
   (* Must NOT create the transaction: if a crash wiped it after xa_start,
@@ -223,7 +224,7 @@ let xa_end t ~xid =
      spurious no-op — the update would be silently lost. An unknown branch
      is simply detached; the prepare phase will then vote No. *)
   let (_ : txn option) = find_txn t xid in
-  Engine.work "end" t.timing.end_cpu
+  Rt.work "end" t.timing.end_cpu
 
 let exec t ~xid ops =
   match find_txn t xid with
@@ -235,7 +236,7 @@ let exec t ~xid ops =
       match try_lock_all t xid ops with
       | Error key -> Exec_conflict key
       | Ok () ->
-          Engine.work "SQL" t.timing.sql_cpu;
+          Rt.work "SQL" t.timing.sql_cpu;
           (* re-validate: a concurrent decide may have aborted us while the
              simulated SQL was running *)
           if txn.phase <> Active then Exec_rejected
@@ -284,12 +285,12 @@ let vote t ~xid =
       | Aborted -> No
       | Active ->
           if txn.poisoned then begin
-            Engine.work "abort" t.timing.abort_cpu;
+            Rt.work "abort" t.timing.abort_cpu;
             abort_local t txn ~log:false;
             No
           end
           else begin
-            Engine.work "prepare" t.timing.prepare_cpu;
+            Rt.work "prepare" t.timing.prepare_cpu;
             (* Both the CPU charge and the forced log write suspend this
                fiber; a concurrent decide (e.g. a cleaning thread's abort)
                may have terminated the transaction meanwhile, so re-validate
@@ -321,7 +322,7 @@ let apply_writes t writes =
   List.iter (fun (k, v) -> Hashtbl.replace t.store k v) writes
 
 let commit_prepared t txn =
-  Engine.work "commit" t.timing.commit_cpu;
+  Rt.work "commit" t.timing.commit_cpu;
   Dstore.Wal.append ~label:"commit" t.wal (W_committed (txn.xid, txn.writes));
   apply_writes t txn.writes;
   release_locks t txn.xid;
@@ -343,12 +344,12 @@ let decide t ~xid outcome =
           commit_prepared t txn;
           Commit
       | Prepared, Abort ->
-          Engine.work "abort" t.timing.abort_cpu;
+          Rt.work "abort" t.timing.abort_cpu;
           abort_local t txn ~log:true;
           Abort
       | Active, (Commit | Abort) ->
           (* commit without prepare violates V.2; abort defensively *)
-          Engine.work "abort" t.timing.abort_cpu;
+          Rt.work "abort" t.timing.abort_cpu;
           abort_local t txn ~log:false;
           Abort)
 

@@ -14,7 +14,7 @@
       their locks are re-acquired and they wait for a [decide].
 
     Timing model: each operation charges virtual time with
-    {!Dsim.Engine.work} using the category labels of the paper's Figure 8
+    [Etx_runtime.work] using the category labels of the paper's Figure 8
     ("start", "SQL", "end", "prepare", "commit"), so latency-breakdown
     accounting falls out of the trace. Calls must therefore run inside a
     fiber. *)

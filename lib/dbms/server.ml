@@ -1,9 +1,10 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 
 let exec_handler rm ch () =
   let rec loop () =
-    match Engine.recv_cls Msg.cls_exec with
+    match Rt.recv_cls Msg.cls_exec with
     | None -> ()
     | Some m ->
         (match m.payload with
@@ -18,7 +19,7 @@ let exec_handler rm ch () =
                SQL of one transaction must not serialize other clients'
                transactions behind it (locks, not the server loop, are the
                concurrency control) *)
-            Engine.fork "db-session" (fun () ->
+            Rt.fork "db-session" (fun () ->
                 let reply = Rm.exec rm ~xid ops in
                 Rchannel.send ch m.src (Msg.Exec_reply { xid; reply }))
         | Msg.Commit1 { xid } ->
@@ -31,7 +32,7 @@ let exec_handler rm ch () =
 
 let prepare_handler rm ch () =
   let rec loop () =
-    match Engine.recv_cls Msg.cls_prepare with
+    match Rt.recv_cls Msg.cls_prepare with
     | None -> ()
     | Some m ->
         (match m.payload with
@@ -45,7 +46,7 @@ let prepare_handler rm ch () =
 
 let decide_handler rm ch () =
   let rec loop () =
-    match Engine.recv_cls Msg.cls_decide with
+    match Rt.recv_cls Msg.cls_decide with
     | None -> ()
     | Some m ->
         (match m.payload with
@@ -57,14 +58,14 @@ let decide_handler rm ch () =
   in
   loop ()
 
-let spawn engine ~name ~rm ~observers () =
-  Engine.spawn engine ~name ~main:(fun ~recovery () ->
+let spawn (rt : Rt.t) ~name ~rm ~observers () =
+  rt.spawn ~name ~main:(fun ~recovery () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
       if recovery then begin
         Rm.recover rm;
         Rchannel.broadcast ch (observers ()) Msg.Ready
       end;
-      Engine.fork "db-exec" (exec_handler rm ch);
-      Engine.fork "db-prepare" (prepare_handler rm ch);
+      Rt.fork "db-exec" (exec_handler rm ch);
+      Rt.fork "db-prepare" (prepare_handler rm ch);
       decide_handler rm ch ())

@@ -7,10 +7,10 @@
     broadcasts [Ready] to the application servers ("coming back", Fig. 3
     line 2), which un-blocks any of them waiting on a vote or an ack. *)
 
-open Dsim
+open Runtime
 
 val spawn :
-  Engine.t ->
+  Etx_runtime.t ->
   name:string ->
   rm:Rm.t ->
   observers:(unit -> Types.proc_id list) ->

@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 open Dnet
 
 module Readiness = struct
@@ -11,7 +12,7 @@ module Readiness = struct
 
   let listener t () =
     let rec loop () =
-      match Engine.recv_cls Msg.cls_ready with
+      match Rt.recv_cls Msg.cls_ready with
       | None -> ()
       | Some m ->
           let cur = Option.value ~default:0 (Hashtbl.find_opt t.epochs m.src) in
@@ -20,7 +21,7 @@ module Readiness = struct
     in
     loop ()
 
-  let start t = Engine.fork "readiness" (listener t)
+  let start t = Rt.fork "readiness" (listener t)
 
   let epoch t db = Option.value ~default:0 (Hashtbl.find_opt t.epochs db)
 end
@@ -35,7 +36,7 @@ let rpc ~poll ch rd ~db ~request ~matches =
     (* [matches] only ever accepts db reply payloads ([Msg.cls_reply]), so
        the scan can stay inside that bucket *)
     let filter m = m.Types.src = db && matches m.Types.payload <> None in
-    match Engine.recv ~timeout:poll ~cls:Msg.cls_reply ~filter () with
+    match Rt.recv ~timeout:poll ~cls:Msg.cls_reply ~filter () with
     | Some m -> (
         match matches m.Types.payload with
         | Some reply -> reply
@@ -76,7 +77,7 @@ let exec_retry ?(poll = default_poll) ?(backoff = 40.) ?(max_tries = 20) ch rd
     | Rm.Exec_conflict _ as conflict ->
         if tries >= max_tries then conflict
         else begin
-          Engine.sleep backoff;
+          Rt.sleep backoff;
           go (tries + 1)
         end
     | reply -> reply
@@ -110,7 +111,7 @@ let broadcast_collect ?(poll = default_poll) ch rd ~dbs ~request ~matches =
   let collect db =
     let filter m = m.Types.src = db && matches m.Types.payload <> None in
     let rec wait epoch =
-      match Engine.recv ~timeout:poll ~cls:Msg.cls_reply ~filter () with
+      match Rt.recv ~timeout:poll ~cls:Msg.cls_reply ~filter () with
       | Some m -> (
           match matches m.Types.payload with
           | Some reply -> reply

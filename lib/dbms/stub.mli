@@ -12,7 +12,7 @@
     (e.g. a compute thread in [prepare] and a cleaning thread in
     [terminate]). *)
 
-open Dsim
+open Runtime
 
 module Readiness : sig
   type t

@@ -1,16 +1,17 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 
 type Types.payload +=
   | Fd_heartbeat
   | Fd_wake  (** self-delivered poke: re-plan the coalesced monitor timer *)
 
 let cls_hb =
-  Engine.register_class ~name:"fd-heartbeat" (function
+  Rt.register_class ~name:"fd-heartbeat" (function
     | Fd_heartbeat -> true
     | _ -> false)
 
 let cls_wake =
-  Engine.register_class ~name:"fd-wake" (function
+  Rt.register_class ~name:"fd-wake" (function
     | Fd_wake -> true
     | _ -> false)
 
@@ -28,11 +29,11 @@ type hb = {
   states : peer_state option array;  (** indexed by pid; O(1) per lookup *)
 }
 
-type t = Heartbeat of hb | Oracle of Engine.t | Scripted of (Types.proc_id -> bool)
+type t = Heartbeat of hb | Oracle of Rt.t | Scripted of (Types.proc_id -> bool)
 
 let heartbeat ?(period = 10.) ?(initial_timeout = 50.) ?(timeout_bump = 25.)
     ~peers () =
-  let now = Engine.now () in
+  let now = Rt.now () in
   let cap = 1 + List.fold_left max 0 peers in
   let states = Array.make cap None in
   List.iter
@@ -41,7 +42,7 @@ let heartbeat ?(period = 10.) ?(initial_timeout = 50.) ?(timeout_bump = 25.)
         Some { last_heard = now; timeout = initial_timeout; suspected = false })
     peers;
   Heartbeat
-    { period; bump = timeout_bump; owner = Engine.self (); peer_ids = peers; states }
+    { period; bump = timeout_bump; owner = Rt.self (); peer_ids = peers; states }
 
 let oracle engine = Oracle engine
 
@@ -51,32 +52,32 @@ let state_of hb pid =
   if pid < 0 || pid >= Array.length hb.states then None else hb.states.(pid)
 
 let broadcaster hb () =
-  let self = Engine.self () in
+  let self = Rt.self () in
   let rec loop () =
     List.iter
-      (fun pid -> if pid <> self then Engine.send pid Fd_heartbeat)
+      (fun pid -> if pid <> self then Rt.send pid Fd_heartbeat)
       hb.peer_ids;
-    Engine.sleep hb.period;
+    Rt.sleep hb.period;
     loop ()
   in
   loop ()
 
 let listener hb () =
   let rec loop () =
-    match Engine.recv_cls cls_hb with
+    match Rt.recv_cls cls_hb with
     | None -> ()
     | Some m ->
         (match state_of hb m.src with
         | None -> ()
         | Some st ->
-            st.last_heard <- Engine.now ();
+            st.last_heard <- Rt.now ();
             if st.suspected then begin
               (* false suspicion: the ◇P adaptation rule. The cleared peer
                  re-enters the monitor's deadline computation, possibly
                  earlier than its current timer — poke it to re-plan. *)
               st.suspected <- false;
               st.timeout <- st.timeout +. hb.bump;
-              Engine.redeliver ~src:hb.owner Fd_wake
+              Rt.redeliver ~src:hb.owner Fd_wake
             end);
         loop ()
   in
@@ -89,9 +90,9 @@ let listener hb () =
    [last_heard + timeout] deadline can actually have expired — O(peers)
    work per deadline rather than per half-period. *)
 let monitor hb () =
-  let self = Engine.self () in
+  let self = Rt.self () in
   let h = hb.period /. 2. in
-  let tick = ref (Engine.now ()) in
+  let tick = ref (Rt.now ()) in
   (* next unexamined grid point is [!tick +. h] *)
   let next_deadline () =
     let d = ref infinity in
@@ -109,7 +110,7 @@ let monitor hb () =
     let deadline = next_deadline () in
     if deadline = infinity then begin
       (* nothing to monitor until a suspicion is cleared *)
-      ignore (Engine.recv_cls cls_wake);
+      ignore (Rt.recv_cls cls_wake);
       loop ()
     end
     else begin
@@ -119,9 +120,9 @@ let monitor hb () =
       while !target <= deadline do
         target := !target +. h
       done;
-      let delay = !target -. Engine.now () in
-      if delay > 0. then ignore (Engine.recv_cls ~timeout:delay cls_wake);
-      let now = Engine.now () in
+      let delay = !target -. Rt.now () in
+      if delay > 0. then ignore (Rt.recv_cls ~timeout:delay cls_wake);
+      let now = Rt.now () in
       if now >= !target then begin
         Array.iteri
           (fun pid st_opt ->
@@ -144,13 +145,13 @@ let monitor hb () =
 let start = function
   | Oracle _ | Scripted _ -> ()
   | Heartbeat hb ->
-      Engine.fork "fd-broadcast" (broadcaster hb);
-      Engine.fork "fd-listen" (listener hb);
-      Engine.fork "fd-monitor" (monitor hb)
+      Rt.fork "fd-broadcast" (broadcaster hb);
+      Rt.fork "fd-listen" (listener hb);
+      Rt.fork "fd-monitor" (monitor hb)
 
 let suspects t pid =
   match t with
-  | Oracle engine -> not (Engine.is_up engine pid)
+  | Oracle engine -> not (engine.Rt.is_up pid)
   | Scripted f -> f pid
   | Heartbeat hb -> (
       match state_of hb pid with None -> false | Some st -> st.suspected)

@@ -14,7 +14,7 @@
     paper points out a false suspicion there leads to inconsistency), and
     tests use it to isolate protocol logic from detector quality. *)
 
-open Dsim
+open Runtime
 
 type t
 
@@ -29,7 +29,7 @@ val heartbeat :
     heartbeat every 10 ms, initial suspicion timeout 50 ms, bump +25 ms on
     each false suspicion. *)
 
-val oracle : Engine.t -> t
+val oracle : Etx_runtime.t -> t
 (** Perfect detector reading the engine's process states. *)
 
 val of_fun : (Types.proc_id -> bool) -> t

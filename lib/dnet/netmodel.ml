@@ -1,18 +1,19 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 
-let constant d : Engine.netmodel = fun _rng ~src:_ ~dst:_ -> [ d ]
+let constant d : Rt.netmodel = fun _rng ~src:_ ~dst:_ -> [ d ]
 
-let uniform ~lo ~hi : Engine.netmodel =
+let uniform ~lo ~hi : Rt.netmodel =
  fun rng ~src:_ ~dst:_ -> [ lo +. Rng.float rng (hi -. lo) ]
 
 let lan () = uniform ~lo:1.5 ~hi:2.5
 
-let three_tier ~n_dbs () : Engine.netmodel =
+let three_tier ~n_dbs () : Rt.netmodel =
  fun rng ~src ~dst ->
   if src < n_dbs || dst < n_dbs then [ 1.0 +. Rng.float rng 0.4 ]
   else [ 1.5 +. Rng.float rng 1.0 ]
 
-let lossy ?(loss = 0.) ?(dup = 0.) base : Engine.netmodel =
+let lossy ?(loss = 0.) ?(dup = 0.) base : Rt.netmodel =
  fun rng ~src ~dst ->
   if Rng.bool rng loss then []
   else
@@ -23,7 +24,7 @@ type partition = { mutable isolated : Types.proc_id list }
 
 let partitionable base =
   let p = { isolated = [] } in
-  let model : Engine.netmodel =
+  let model : Rt.netmodel =
    fun rng ~src ~dst ->
     if List.mem src p.isolated || List.mem dst p.isolated then []
     else base rng ~src ~dst

@@ -4,27 +4,27 @@
     All distributions draw from the engine's dedicated network RNG stream, so
     workload randomness and fault randomness stay decorrelated. *)
 
-open Dsim
+open Runtime
 
-val constant : float -> Engine.netmodel
+val constant : float -> Etx_runtime.netmodel
 (** Fixed one-way delivery delay. *)
 
-val uniform : lo:float -> hi:float -> Engine.netmodel
+val uniform : lo:float -> hi:float -> Etx_runtime.netmodel
 (** One-way delay uniform in [\[lo, hi\]]. *)
 
-val lan : unit -> Engine.netmodel
+val lan : unit -> Etx_runtime.netmodel
 (** Calibrated to the paper's environment: an Orbix RPC round trip took
     3–5 ms on their 10 Mbit ethernet, so a one-way message costs
     1.5–2.5 ms. *)
 
-val three_tier : n_dbs:int -> unit -> Engine.netmodel
+val three_tier : n_dbs:int -> unit -> Etx_runtime.netmodel
 (** The measurement topology: links that touch a database process (the
     first [n_dbs] pids by the deployment convention) are faster (1.0–1.4 ms
     one-way — the DB client library path) than the Orbix RPC links between
     clients and application servers ({!lan}). Calibrated so the Figure 8
     component rows land on the paper's values. *)
 
-val lossy : ?loss:float -> ?dup:float -> Engine.netmodel -> Engine.netmodel
+val lossy : ?loss:float -> ?dup:float -> Etx_runtime.netmodel -> Etx_runtime.netmodel
 (** [lossy ~loss ~dup base] drops each message with probability [loss] and
     duplicates it with probability [dup] (second copy delayed by another
     draw of [base]). Defaults: [loss = 0.], [dup = 0.]. *)
@@ -33,7 +33,7 @@ type partition
 (** Mutable partition controller: isolated processes can neither send nor
     receive across the cut. *)
 
-val partitionable : Engine.netmodel -> partition * Engine.netmodel
+val partitionable : Etx_runtime.netmodel -> partition * Etx_runtime.netmodel
 
 val isolate : partition -> Types.proc_id -> unit
 val rejoin : partition -> Types.proc_id -> unit

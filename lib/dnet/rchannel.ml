@@ -1,4 +1,5 @@
-open Dsim
+open Runtime
+module Rt = Etx_runtime
 
 (* [rc_ep] identifies the sending endpoint incarnation: a process that
    crashes and recovers gets a fresh endpoint whose sequence numbers restart,
@@ -17,12 +18,12 @@ type Types.payload +=
   | Rc_kick
 
 let cls_frame =
-  Engine.register_class ~name:"rc-frame" (function
+  Rt.register_class ~name:"rc-frame" (function
     | Rc_data _ | Rc_ack _ -> true
     | _ -> false)
 
 let cls_kick =
-  Engine.register_class ~name:"rc-kick" (function
+  Rt.register_class ~name:"rc-kick" (function
     | Rc_kick -> true
     | _ -> false)
 
@@ -71,10 +72,10 @@ type t = {
 let create ?(retransmit_after = 10.) ?(backoff_factor = 2.)
     ?(max_backoff = 200.) () =
   {
-    owner = Engine.self ();
+    owner = Rt.self ();
     (* endpoint ids are engine-scoped (unique across incarnations within a
        trial) so independent trials stay self-contained *)
-    ep = Engine.fresh_uid ();
+    ep = Rt.fresh_uid ();
     retransmit_after;
     backoff_factor;
     max_backoff;
@@ -147,10 +148,10 @@ let handle_incoming t (m : Types.message) =
           done
         end
         else Hashtbl.add rs.ooo rc_seq ();
-        Engine.send m.src (Rc_ack { rc_ep; rc_seq; rc_cum = rs.cum });
-        Engine.redeliver ~src:m.src inner
+        Rt.send m.src (Rc_ack { rc_ep; rc_seq; rc_cum = rs.cum });
+        Rt.redeliver ~src:m.src inner
       end
-      else Engine.send m.src (Rc_ack { rc_ep; rc_seq; rc_cum = rs.cum })
+      else Rt.send m.src (Rc_ack { rc_ep; rc_seq; rc_cum = rs.cum })
   | Rc_ack { rc_ep; rc_seq; rc_cum } ->
       if rc_ep = t.ep then
         (match Hashtbl.find_opt t.streams m.src with
@@ -160,7 +161,7 @@ let handle_incoming t (m : Types.message) =
 
 let receiver_loop t () =
   let rec loop () =
-    match Engine.recv_cls cls_frame with
+    match Rt.recv_cls cls_frame with
     | None -> ()
     | Some m ->
         handle_incoming t m;
@@ -194,7 +195,7 @@ let retransmitter_loop t () =
         else if h.hdue <= now then begin
           ignore (Heap.pop t.timers);
           let e = h.entry in
-          Engine.send e.dst
+          Rt.send e.dst
             (Rc_data { rc_ep = t.ep; rc_seq = e.seq; inner = e.inner });
           e.next_delay <-
             Float.min t.max_backoff (e.next_delay *. t.backoff_factor);
@@ -206,7 +207,7 @@ let retransmitter_loop t () =
   let rec loop () =
     if t.pending = 0 then begin
       Heap.clear t.timers;
-      ignore (Engine.recv_cls cls_kick);
+      ignore (Rt.recv_cls cls_kick);
       loop ()
     end
     else
@@ -214,19 +215,19 @@ let retransmitter_loop t () =
       | None ->
           (* unreachable while the every-live-entry-has-a-timer invariant
              holds; blocking on a kick keeps quiescence safe regardless *)
-          ignore (Engine.recv_cls cls_kick);
+          ignore (Rt.recv_cls cls_kick);
           loop ()
       | Some due ->
-          let delay = Float.max 0.01 (due -. Engine.now ()) in
-          ignore (Engine.recv_cls ~timeout:delay cls_kick);
-          fire (Engine.now ());
+          let delay = Float.max 0.01 (due -. Rt.now ()) in
+          ignore (Rt.recv_cls ~timeout:delay cls_kick);
+          fire (Rt.now ());
           loop ()
   in
   loop ()
 
 let start t =
-  Engine.fork "rchannel-rx" (receiver_loop t);
-  Engine.fork "rchannel-retransmit" (retransmitter_loop t)
+  Rt.fork "rchannel-rx" (receiver_loop t);
+  Rt.fork "rchannel-retransmit" (retransmitter_loop t)
 
 let send t dst inner =
   let ds = stream_to t dst in
@@ -238,7 +239,7 @@ let send t dst inner =
       seq;
       inner;
       next_delay = t.retransmit_after;
-      due = Engine.now () +. t.retransmit_after;
+      due = Rt.now () +. t.retransmit_after;
       acked = false;
     }
   in
@@ -246,8 +247,8 @@ let send t dst inner =
   let was_idle = t.pending = 0 in
   t.pending <- t.pending + 1;
   push_timer t entry;
-  Engine.send dst (Rc_data { rc_ep = t.ep; rc_seq = seq; inner });
-  if was_idle then Engine.redeliver ~src:t.owner Rc_kick
+  Rt.send dst (Rc_data { rc_ep = t.ep; rc_seq = seq; inner });
+  if was_idle then Rt.redeliver ~src:t.owner Rc_kick
 
 let broadcast t dsts inner = List.iter (fun dst -> send t dst inner) dsts
 

@@ -11,14 +11,14 @@
     per-destination sequence number and are retransmitted (with exponential
     back-off) until acknowledged; incoming data messages are acknowledged,
     deduplicated by [(source, sequence)] and handed to the owning process's
-    mailbox via {!Dsim.Engine.redeliver}, so protocol code above receives
+    mailbox via [Etx_runtime.redeliver], so protocol code above receives
     ordinary messages and stays oblivious to this layer.
 
     Endpoint state is volatile: it dies with the process, which is the
     correct semantics — a crashed process forgets what it sent, and the
     paper's protocols tolerate exactly that. *)
 
-open Dsim
+open Runtime
 
 type t
 

@@ -1,166 +1,2 @@
-type 'a node = {
-  v : 'a;
-  cls : int;
-  seq : int;
-  gen : int;
-  mutable gprev : 'a node option;
-  mutable gnext : 'a node option;
-  mutable cprev : 'a node option;
-  mutable cnext : 'a node option;
-  mutable in_q : bool;
-}
-
-type 'a dl = { mutable head : 'a node option; mutable tail : 'a node option }
-
-let dl_create () = { head = None; tail = None }
-
-type 'a t = {
-  g : 'a dl;
-  mutable buckets : 'a dl array;  (** index [cls + 1]; slot 0 is unclassed *)
-  mutable len : int;
-  mutable seqc : int;
-  mutable gen : int;
-}
-
-let create () = { g = dl_create (); buckets = [||]; len = 0; seqc = 0; gen = 0 }
-
-let length t = t.len
-let is_empty t = t.len = 0
-let node_value n = n.v
-let node_seq n = n.seq
-
-let bucket_of t cls =
-  let i = cls + 1 in
-  if i < 0 then invalid_arg "Cq: class below -1";
-  let cap = Array.length t.buckets in
-  if i >= cap then begin
-    let buckets' =
-      Array.init (max 8 (max (i + 1) (cap * 2))) (fun j ->
-          if j < cap then t.buckets.(j) else dl_create ())
-    in
-    t.buckets <- buckets'
-  end;
-  t.buckets.(i)
-
-let push t ~cls v =
-  t.seqc <- t.seqc + 1;
-  let n =
-    {
-      v;
-      cls;
-      seq = t.seqc;
-      gen = t.gen;
-      gprev = t.g.tail;
-      gnext = None;
-      cprev = None;
-      cnext = None;
-      in_q = true;
-    }
-  in
-  (match t.g.tail with None -> t.g.head <- Some n | Some p -> p.gnext <- Some n);
-  t.g.tail <- Some n;
-  let b = bucket_of t cls in
-  n.cprev <- b.tail;
-  (match b.tail with None -> b.head <- Some n | Some p -> p.cnext <- Some n);
-  b.tail <- Some n;
-  t.len <- t.len + 1;
-  n
-
-let unlink t n =
-  (match n.gprev with None -> t.g.head <- n.gnext | Some p -> p.gnext <- n.gnext);
-  (match n.gnext with None -> t.g.tail <- n.gprev | Some s -> s.gprev <- n.gprev);
-  let b = t.buckets.(n.cls + 1) in
-  (match n.cprev with None -> b.head <- n.cnext | Some p -> p.cnext <- n.cnext);
-  (match n.cnext with None -> b.tail <- n.cprev | Some s -> s.cprev <- n.cprev);
-  n.gprev <- None;
-  n.gnext <- None;
-  n.cprev <- None;
-  n.cnext <- None;
-  n.in_q <- false;
-  t.len <- t.len - 1
-
-let remove t n =
-  if n.in_q && n.gen = t.gen then begin
-    unlink t n;
-    true
-  end
-  else false
-
-let pop t =
-  match t.g.head with
-  | None -> None
-  | Some n ->
-      unlink t n;
-      Some n.v
-
-let pop_cls t cls =
-  let i = cls + 1 in
-  if i < 0 || i >= Array.length t.buckets then None
-  else
-    match t.buckets.(i).head with
-    | None -> None
-    | Some n ->
-        unlink t n;
-        Some n.v
-
-let rec find_g pred = function
-  | None -> None
-  | Some n -> if pred n.v then Some n else find_g pred n.gnext
-
-let rec find_c pred = function
-  | None -> None
-  | Some n -> if pred n.v then Some n else find_c pred n.cnext
-
-let take_first t pred =
-  match find_g pred t.g.head with
-  | None -> None
-  | Some n ->
-      unlink t n;
-      Some n.v
-
-let first_matching_in_cls t cls pred =
-  let i = cls + 1 in
-  if i < 0 || i >= Array.length t.buckets then None
-  else find_c pred t.buckets.(i).head
-
-let take_first_in_cls t cls pred =
-  match first_matching_in_cls t cls pred with
-  | None -> None
-  | Some n ->
-      unlink t n;
-      Some n.v
-
-let cls_length t cls =
-  let i = cls + 1 in
-  if i < 0 || i >= Array.length t.buckets then 0
-  else
-    let rec go acc = function
-      | None -> acc
-      | Some n -> go (acc + 1) n.cnext
-    in
-    go 0 t.buckets.(i).head
-
-let clear t =
-  t.g.head <- None;
-  t.g.tail <- None;
-  Array.iter
-    (fun b ->
-      b.head <- None;
-      b.tail <- None)
-    t.buckets;
-  t.len <- 0;
-  t.gen <- t.gen + 1
-
-let iter f t =
-  let rec go = function
-    | None -> ()
-    | Some n ->
-        f n.v;
-        go n.gnext
-  in
-  go t.g.head
-
-let to_list t =
-  let acc = ref [] in
-  iter (fun v -> acc := v :: !acc) t;
-  List.rev !acc
+(* Re-export: the runtime class-bucketed queue. *)
+include Runtime.Cq

@@ -1,44 +1,29 @@
 open Types
+module ER = Runtime.Etx_runtime
 
-exception Exit_fiber
+(* The engine is one backend of the Etx_runtime substrate: the effect
+   declarations, message-class registry and fiber-side wrappers live in
+   Runtime.Etx_runtime and are re-exported here so existing [Dsim.Engine]
+   call sites keep working. The adapter packaging an engine as a runtime
+   capability is {!Runtime_sim.of_engine}. *)
 
-type netmodel = Rng.t -> src:proc_id -> dst:proc_id -> float list
+exception Exit_fiber = ER.Exit_fiber
 
-let default_net _rng ~src:_ ~dst:_ = [ 1.0 ]
+type netmodel = ER.netmodel
+
+let default_net = ER.default_net
 
 type event = { at : time; seq : int; run : unit -> unit }
 
-(* Message classes ---------------------------------------------------- *)
+(* Message classes: global, backend-independent registry (see
+   Etx_runtime). *)
 
-type cls = int
+type cls = ER.cls
 
-(* The registry is global: protocol modules register their classes at
-   module-initialisation time (single-domain, before any engine runs), and
-   afterwards it is only read — so sharing it across Pool domains is safe.
-   Classification order is registration order: the first predicate that
-   accepts a payload names its class. *)
-let class_table : (string * (payload -> bool)) array ref = ref [||]
-
-let register_class ?name pred =
-  let id = Array.length !class_table in
-  let name =
-    match name with Some n -> n | None -> "cls" ^ string_of_int id
-  in
-  class_table := Array.append !class_table [| (name, pred) |];
-  id
-
-let class_name c =
-  if c < 0 || c >= Array.length !class_table then "unclassed"
-  else fst !class_table.(c)
-
-let classify pl =
-  let tbl = !class_table in
-  let n = Array.length tbl in
-  let rec go i = if i >= n then -1 else if snd tbl.(i) pl then i else go (i + 1) in
-  go 0
-
-let registered_classes () =
-  Array.to_list (Array.mapi (fun i (n, _) -> (i, n)) !class_table)
+let register_class = ER.register_class
+let class_name = ER.class_name
+let classify = ER.classify
+let registered_classes = ER.registered_classes
 
 type waiter = {
   wfilter : (message -> bool) option;  (** [None]: any message of the class *)
@@ -72,24 +57,6 @@ type t = {
   mutable current : proc option;
   mutable stopping : bool;
 }
-
-(* Effects performed by fibers. The handler (installed per fiber) closes
-   over the engine, so the declarations carry no engine reference. *)
-type _ Effect.t +=
-  | E_now : time Effect.t
-  | E_self : proc_id Effect.t
-  | E_sleep : time -> unit Effect.t
-  | E_work : string * time -> unit Effect.t
-  | E_send : proc_id * payload -> unit Effect.t
-  | E_redeliver : proc_id * payload -> unit Effect.t
-  | E_recv :
-      cls option * (message -> bool) option * time option
-      -> message option Effect.t
-  | E_fork : string * (unit -> unit) -> unit Effect.t
-  | E_random_float : float -> float Effect.t
-  | E_random_int : int -> int Effect.t
-  | E_note : string -> unit Effect.t
-  | E_fresh_uid : int Effect.t
 
 let create ?(seed = 0xC0FFEE) ?(net = default_net) ?(tracing = true) () =
   let grng = Rng.create ~seed in
@@ -152,28 +119,30 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | E_now -> Some (fun (k : (a, unit) continuation) -> continue k t.vnow)
-        | E_self -> Some (fun k -> continue k p.pid)
-        | E_random_float bound -> Some (fun k -> continue k (Rng.float t.grng bound))
-        | E_random_int bound -> Some (fun k -> continue k (Rng.int t.grng bound))
-        | E_fresh_uid ->
+        | ER.E_now -> Some (fun (k : (a, unit) continuation) -> continue k t.vnow)
+        | ER.E_self -> Some (fun k -> continue k p.pid)
+        | ER.E_random_float bound ->
+            Some (fun k -> continue k (Rng.float t.grng bound))
+        | ER.E_random_int bound ->
+            Some (fun k -> continue k (Rng.int t.grng bound))
+        | ER.E_fresh_uid ->
             Some
               (fun k ->
                 t.next_uid <- t.next_uid + 1;
                 continue k t.next_uid)
-        | E_note s ->
+        | ER.E_note s ->
             Some
               (fun k ->
                 if t.trace_on then
                   Trace.record t.tracer t.vnow (Trace.Note (p.pid, s));
                 continue k ())
-        | E_sleep d ->
+        | ER.E_sleep d ->
             Some
               (fun k ->
                 let inc = p.incarnation in
                 schedule t ~delay:d (fun () ->
                     if p.up && p.incarnation = inc then resume t p k ()))
-        | E_work (label, d) ->
+        | ER.E_work (label, d) ->
             Some
               (fun k ->
                 if t.trace_on then
@@ -181,12 +150,12 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
                 let inc = p.incarnation in
                 schedule t ~delay:d (fun () ->
                     if p.up && p.incarnation = inc then resume t p k ()))
-        | E_send (dst, payload) ->
+        | ER.E_send (dst, payload) ->
             Some
               (fun k ->
                 transmit t ~src:p.pid ~dst payload;
                 continue k ())
-        | E_redeliver (src, payload) ->
+        | ER.E_redeliver (src, payload) ->
             Some
               (fun k ->
                 let m =
@@ -200,7 +169,7 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
                 in
                 enqueue_message t p m;
                 continue k ())
-        | E_recv (cls, filter, timeout) ->
+        | ER.E_recv (cls, filter, timeout) ->
             Some
               (fun k ->
                 let taken =
@@ -225,7 +194,7 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
                             if p.up && p.incarnation = inc then
                               if Cq.remove p.waiters node then
                                 resume t p (Cq.node_value node).wk None)))
-        | E_fork (fname, f) ->
+        | ER.E_fork (fname, f) ->
             Some
               (fun k ->
                 let inc = p.incarnation in
@@ -412,23 +381,22 @@ let run_until ?deadline t pred =
   in
   loop ()
 
-(* Fiber-side wrappers ------------------------------------------------ *)
+(* Fiber-side wrappers: shared with every backend, re-exported for existing
+   call sites. *)
 
-let now () = Effect.perform E_now
-let self () = Effect.perform E_self
-let sleep d = Effect.perform (E_sleep d)
-let work label d = Effect.perform (E_work (label, d))
-let send dst payload = Effect.perform (E_send (dst, payload))
-let send_all dsts payload = List.iter (fun dst -> send dst payload) dsts
-let redeliver ~src payload = Effect.perform (E_redeliver (src, payload))
-let recv ?timeout ?cls ~filter () =
-  Effect.perform (E_recv (cls, Some filter, timeout))
-
-let recv_cls ?timeout c = Effect.perform (E_recv (Some c, None, timeout))
-let recv_any ?timeout () = Effect.perform (E_recv (None, None, timeout))
-let fork name f = Effect.perform (E_fork (name, f))
-let random_float bound = Effect.perform (E_random_float bound)
-let random_int bound = Effect.perform (E_random_int bound)
-let fresh_uid () = Effect.perform E_fresh_uid
-let note s = Effect.perform (E_note s)
-let exit_fiber () = raise Exit_fiber
+let now = ER.now
+let self = ER.self
+let sleep = ER.sleep
+let work = ER.work
+let send = ER.send
+let send_all = ER.send_all
+let redeliver = ER.redeliver
+let recv = ER.recv
+let recv_cls = ER.recv_cls
+let recv_any = ER.recv_any
+let fork = ER.fork
+let random_float = ER.random_float
+let random_int = ER.random_int
+let fresh_uid = ER.fresh_uid
+let note = ER.note
+let exit_fiber = ER.exit_fiber

@@ -1,46 +1,2 @@
-type t = { mutable state : int64 }
-
-let golden_gamma = 0x9E3779B97F4A7C15L
-
-let create ~seed = { state = Int64.of_int seed }
-
-let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
-
-let split t =
-  let seed = int64 t in
-  { state = seed }
-
-let int t bound =
-  assert (bound > 0);
-  (* keep 62 bits so the value fits OCaml's native positive int range *)
-  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  v mod bound
-
-let float t bound =
-  assert (bound > 0.);
-  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
-  (* 53 significant bits, as in the stdlib implementation *)
-  v /. 9007199254740992.0 *. bound
-
-let bool t p = float t 1.0 < p
-
-let exponential t ~mean =
-  let u = float t 1.0 in
-  let u = if u <= 0. then epsilon_float else u in
-  -.mean *. log u
-
-let gaussian t ~mean ~stddev =
-  let rec non_zero () =
-    let u = float t 1.0 in
-    if u <= 0. then non_zero () else u
-  in
-  let u1 = non_zero () and u2 = float t 1.0 in
-  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
-  mean +. (stddev *. z)
+(* Re-export: the runtime RNG, kept under Dsim for existing call sites. *)
+include Runtime.Rng

@@ -1,0 +1,23 @@
+(* The single adapter between the protocol stack's runtime capability and
+   the discrete-event simulator: everything above lib/dsim reaches the
+   engine only through the record built here. *)
+
+let of_engine e =
+  {
+    Runtime.Etx_runtime.backend = "sim";
+    spawn = (fun ~name ~main -> Engine.spawn e ~name ~main);
+    is_up = (fun pid -> Engine.is_up e pid);
+    name_of = (fun pid -> Engine.name_of e pid);
+    crash = (fun pid -> Engine.crash e pid);
+    recover = (fun pid -> Engine.recover e pid);
+    set_net = (fun net -> Engine.set_net e net);
+    run_until = (fun ?deadline pred -> Engine.run_until ?deadline e pred);
+    notes =
+      (fun () ->
+        List.filter_map
+          (fun (en : Trace.entry) ->
+            match en.event with
+            | Trace.Note (pid, s) -> Some (pid, s)
+            | _ -> None)
+          (Trace.entries (Engine.trace e)));
+  }

@@ -9,7 +9,7 @@ let create ?(force_latency = 12.5) ~label () =
 
 let force ?label t =
   t.forced <- t.forced + 1;
-  Dsim.Engine.work (Option.value ~default:t.label label) t.latency
+  Runtime.Etx_runtime.work (Option.value ~default:t.label label) t.latency
 
 let forced_writes t = t.forced
 

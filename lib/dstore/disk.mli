@@ -10,7 +10,7 @@ type t
 
 val create : ?force_latency:float -> label:string -> unit -> t
 (** [force_latency] defaults to 12.5 ms — the paper's measured cost of an
-    eager log write on their hardware. [label] tags the {!Dsim.Trace.Work}
+    eager log write on their hardware. [label] tags the [Trace.Work]
     entries (e.g. ["log-start"] rows of Figure 8 use per-call labels). *)
 
 val force : ?label:string -> t -> unit

@@ -66,8 +66,8 @@ let identical_updates ~transactions ~bd ~issue =
 
 let run_ar ~transactions ~seed =
   let bd = Stats.Breakdown.create () in
-  let d =
-    Etx.Deployment.build ~seed ~breakdown:bd ~seed_data:bank_seed
+  let _e, d =
+    Simrun.deployment ~seed ~breakdown:bd ~seed_data:bank_seed
       ~business:Workload.Bank.update
       ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
       ()
@@ -81,40 +81,40 @@ let run_ar ~transactions ~seed =
 
 let run_baseline ~transactions ~seed =
   let bd = Stats.Breakdown.create () in
-  let b =
-    Baselines.Baseline.build ~seed ~breakdown:bd ~tracing:false
-      ~seed_data:bank_seed ~business:Workload.Bank.update
+  let e, b =
+    Simrun.baseline ~seed ~breakdown:bd ~tracing:false ~seed_data:bank_seed
+      ~business:Workload.Bank.update
       ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
       ()
   in
   let done_ () = Etx.Client.script_done b.client in
-  if not (Dsim.Engine.run_until ~deadline:600_000. b.engine done_) then
+  if not (Dsim.Engine.run_until ~deadline:600_000. e done_) then
     failwith "figure8: baseline run did not finish";
   summarize ~protocol:"baseline (unreliable)" ~bd (Etx.Client.records b.client)
 
 let run_tpc ~transactions ~seed =
   let bd = Stats.Breakdown.create () in
-  let t =
-    Baselines.Tpc.build ~seed ~breakdown:bd ~tracing:false
-      ~seed_data:bank_seed ~business:Workload.Bank.update
+  let e, t =
+    Simrun.tpc ~seed ~breakdown:bd ~tracing:false ~seed_data:bank_seed
+      ~business:Workload.Bank.update
       ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
       ()
   in
   let done_ () = Etx.Client.script_done t.client in
-  if not (Dsim.Engine.run_until ~deadline:600_000. t.engine done_) then
+  if not (Dsim.Engine.run_until ~deadline:600_000. e done_) then
     failwith "figure8: 2PC run did not finish";
   summarize ~protocol:"2PC (at-most-once)" ~bd (Etx.Client.records t.client)
 
 let run_pb ~transactions ~seed =
   let bd = Stats.Breakdown.create () in
-  let p =
-    Baselines.Pbackup.build ~seed ~breakdown:bd ~tracing:false
-      ~seed_data:bank_seed ~business:Workload.Bank.update
+  let e, p =
+    Simrun.pbackup ~seed ~breakdown:bd ~tracing:false ~seed_data:bank_seed
+      ~business:Workload.Bank.update
       ~script:(fun ~issue -> identical_updates ~transactions ~bd ~issue)
       ()
   in
   let done_ () = Etx.Client.script_done p.client in
-  if not (Dsim.Engine.run_until ~deadline:600_000. p.engine done_) then
+  if not (Dsim.Engine.run_until ~deadline:600_000. e done_) then
     failwith "figure8: primary-backup run did not finish";
   summarize ~protocol:"primary-backup" ~bd (Etx.Client.records p.client)
 
@@ -202,40 +202,40 @@ let figure7 ?(seed = 42) ?domains () =
   run_trials ?domains
     [
       trial "baseline" (fun ~seed ->
-          let b =
-            Baselines.Baseline.build ~seed ~seed_data:bank_seed
+          let e, b =
+            Simrun.baseline ~seed ~seed_data:bank_seed
               ~business:Workload.Bank.update ~script:one_request_script ()
           in
           ignore
-            (Dsim.Engine.run_until ~deadline:60_000. b.engine (fun () ->
+            (Dsim.Engine.run_until ~deadline:60_000. e (fun () ->
                  Etx.Client.script_done b.client));
-          measure "baseline" b.engine ~forced_ios:0);
+          measure "baseline" e ~forced_ios:0);
       trial "2PC" (fun ~seed ->
-          let t =
-            Baselines.Tpc.build ~seed ~seed_data:bank_seed
+          let e, t =
+            Simrun.tpc ~seed ~seed_data:bank_seed
               ~business:Workload.Bank.update ~script:one_request_script ()
           in
           ignore
-            (Dsim.Engine.run_until ~deadline:60_000. t.engine (fun () ->
+            (Dsim.Engine.run_until ~deadline:60_000. e (fun () ->
                  Etx.Client.script_done t.client));
-          measure "2PC" t.engine
+          measure "2PC" e
             ~forced_ios:(Dstore.Disk.forced_writes t.coordinator_disk));
       trial "primary-backup" (fun ~seed ->
-          let p =
-            Baselines.Pbackup.build ~seed ~seed_data:bank_seed
+          let e, p =
+            Simrun.pbackup ~seed ~seed_data:bank_seed
               ~business:Workload.Bank.update ~script:one_request_script ()
           in
           ignore
-            (Dsim.Engine.run_until ~deadline:60_000. p.engine (fun () ->
+            (Dsim.Engine.run_until ~deadline:60_000. e (fun () ->
                  Etx.Client.script_done p.client));
-          measure "primary-backup" p.engine ~forced_ios:0);
+          measure "primary-backup" e ~forced_ios:0);
       trial "AR" (fun ~seed ->
-          let d =
-            Etx.Deployment.build ~seed ~seed_data:bank_seed
+          let e, d =
+            Simrun.deployment ~seed ~seed_data:bank_seed
               ~business:Workload.Bank.update ~script:one_request_script ()
           in
           ignore (Etx.Deployment.run_to_quiescence d);
-          measure "AR (e-Transactions)" d.engine ~forced_ios:0);
+          measure "AR (e-Transactions)" e ~forced_ios:0);
     ]
 
 let render_figure7 rows =
@@ -268,7 +268,7 @@ type fig1_scenario = {
   violations : string list;
 }
 
-let cleaner_note d =
+let cleaner_note engine =
   List.find_map
     (fun (e : Dsim.Trace.entry) ->
       match e.event with
@@ -278,18 +278,18 @@ let cleaner_note d =
           | Some i -> Some (String.sub s (i + 1) (String.length s - i - 1))
           | None -> None)
       | _ -> None)
-    (Dsim.Trace.entries (Dsim.Engine.trace d.Etx.Deployment.engine))
+    (Dsim.Trace.entries (Dsim.Engine.trace engine))
 
 let fig1_run ~label ~seed ?(crash_primary_at = None) ?business
     ?(seed_data = bank_seed) ?(body = update_body) () =
   let business = Option.value ~default:Workload.Bank.update business in
-  let d =
-    Etx.Deployment.build ~seed ~client_period:300. ~seed_data ~business
+  let e, d =
+    Simrun.deployment ~seed ~client_period:300. ~seed_data ~business
       ~script:(fun ~issue -> ignore (issue body))
       ()
   in
   (match crash_primary_at with
-  | Some t -> Dsim.Engine.crash_at d.engine t (Etx.Deployment.primary d)
+  | Some t -> Dsim.Engine.crash_at e t (Etx.Deployment.primary d)
   | None -> ());
   let ok = Etx.Deployment.run_to_quiescence ~deadline:120_000. d in
   let tries =
@@ -301,7 +301,7 @@ let fig1_run ~label ~seed ?(crash_primary_at = None) ?business
     label;
     delivered = ok && Etx.Client.records d.client <> [];
     tries;
-    cleaner_outcome = cleaner_note d;
+    cleaner_outcome = cleaner_note e;
     violations = Etx.Spec.check_all d;
   }
 
@@ -357,9 +357,8 @@ let failover_sweep ?(seed = 42) ?(timeouts = [ 20.; 50.; 100.; 200.; 400. ])
            seed;
            run =
              (fun ~seed ->
-               let d =
-                 Etx.Deployment.build ~seed ~client_period:300.
-                   ~tracing:false
+               let e, d =
+                 Simrun.deployment ~seed ~client_period:300. ~tracing:false
                    ~fd_spec:
                      (Etx.Appserver.Fd_heartbeat
                         {
@@ -370,7 +369,7 @@ let failover_sweep ?(seed = 42) ?(timeouts = [ 20.; 50.; 100.; 200.; 400. ])
                    ~seed_data:bank_seed ~business:Workload.Bank.update
                    ~script:one_request_script ()
                in
-               Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
+               Dsim.Engine.crash_at e 100. (Etx.Deployment.primary d);
                if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d)
                then failwith "failover_sweep: run did not quiesce";
                match Etx.Client.records d.client with
@@ -402,8 +401,8 @@ let backoff_sweep ?(seed = 42) ?(periods = [ 100.; 200.; 400.; 800.; 1600. ])
            run =
              (fun ~seed ->
                let nice =
-                 let d =
-                   Etx.Deployment.build ~seed ~client_period:period
+                 let _e, d =
+                   Simrun.deployment ~seed ~client_period:period
                      ~tracing:false ~seed_data:bank_seed
                      ~business:Workload.Bank.update ~script:one_request_script
                      ()
@@ -415,13 +414,13 @@ let backoff_sweep ?(seed = 42) ?(periods = [ 100.; 200.; 400.; 800.; 1600. ])
                  | _ -> failwith "backoff_sweep: expected one record"
                in
                let failover =
-                 let d =
-                   Etx.Deployment.build ~seed ~client_period:period
+                 let e, d =
+                   Simrun.deployment ~seed ~client_period:period
                      ~tracing:false ~seed_data:bank_seed
                      ~business:Workload.Bank.update ~script:one_request_script
                      ()
                  in
-                 Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
+                 Dsim.Engine.crash_at e 100. (Etx.Deployment.primary d);
                  if not (Etx.Deployment.run_to_quiescence ~deadline:300_000. d)
                  then failwith "backoff_sweep: failover run did not quiesce";
                  match Etx.Client.records d.client with
@@ -460,8 +459,8 @@ let loss_sweep ?(seed = 42) ?(rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?domains ()
                  Dnet.Netmodel.lossy ~loss:rate (Dnet.Netmodel.lan ())
                in
                let n = 10 in
-               let d =
-                 Etx.Deployment.build ~seed ~net ~client_period:300.
+               let e, d =
+                 Simrun.deployment ~seed ~net ~client_period:300.
                    ~seed_data:bank_seed ~business:Workload.Bank.update
                    ~script:(fun ~issue ->
                      for _ = 1 to n do
@@ -475,7 +474,7 @@ let loss_sweep ?(seed = 42) ?(rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?domains ()
                  Stats.Summary.mean (latencies (Etx.Client.records d.client))
                in
                let msgs =
-                 Msgclass.protocol_messages (Dsim.Engine.trace d.engine) / n
+                 Msgclass.protocol_messages (Dsim.Engine.trace e) / n
                in
                (rate, mean, msgs));
          })
@@ -506,21 +505,21 @@ let db_sweep ?(seed = 42) ?(counts = [ 1; 2; 4; 8 ]) ?domains () =
            run =
              (fun ~seed ->
                let baseline =
-                 let b =
-                   Baselines.Baseline.build ~seed ~n_dbs ~tracing:false
+                 let e, b =
+                   Simrun.baseline ~seed ~n_dbs ~tracing:false
                      ~seed_data:bank_seed ~business:Workload.Bank.update
                      ~script:one_request_script ()
                  in
                  ignore
-                   (Dsim.Engine.run_until ~deadline:120_000. b.engine
-                      (fun () -> Etx.Client.script_done b.client));
+                   (Dsim.Engine.run_until ~deadline:120_000. e (fun () ->
+                        Etx.Client.script_done b.client));
                  match Etx.Client.records b.client with
                  | [ r ] -> r.delivered_at -. r.issued_at
                  | _ -> failwith "db_sweep: baseline"
                in
                let ar =
-                 let d =
-                   Etx.Deployment.build ~seed ~n_dbs ~tracing:false
+                 let _e, d =
+                   Simrun.deployment ~seed ~n_dbs ~tracing:false
                      ~seed_data:bank_seed ~business:Workload.Bank.update
                      ~script:one_request_script ()
                  in
@@ -531,14 +530,14 @@ let db_sweep ?(seed = 42) ?(counts = [ 1; 2; 4; 8 ]) ?domains () =
                  | _ -> failwith "db_sweep: AR"
                in
                let tpc =
-                 let t =
-                   Baselines.Tpc.build ~seed ~n_dbs ~tracing:false
+                 let e, t =
+                   Simrun.tpc ~seed ~n_dbs ~tracing:false
                      ~seed_data:bank_seed ~business:Workload.Bank.update
                      ~script:one_request_script ()
                  in
                  ignore
-                   (Dsim.Engine.run_until ~deadline:120_000. t.engine
-                      (fun () -> Etx.Client.script_done t.client));
+                   (Dsim.Engine.run_until ~deadline:120_000. e (fun () ->
+                        Etx.Client.script_done t.client));
                  match Etx.Client.records t.client with
                  | [ r ] -> r.delivered_at -. r.issued_at
                  | _ -> failwith "db_sweep: 2PC"
@@ -570,8 +569,8 @@ let persistence_ablation ?(seed = 42) ?(transactions = 15) ?domains () =
     done
   in
   let ar_mean ~recoverable ~seed =
-    let d =
-      Etx.Deployment.build ~seed ~recoverable ~tracing:false
+    let _e, d =
+      Simrun.deployment ~seed ~recoverable ~tracing:false
         ~seed_data:bank_seed ~business:Workload.Bank.update ~script ()
     in
     if not (Etx.Deployment.run_to_quiescence ~deadline:600_000. d) then
@@ -579,12 +578,12 @@ let persistence_ablation ?(seed = 42) ?(transactions = 15) ?domains () =
     Stats.Summary.mean (latencies (Etx.Client.records d.client))
   in
   let tpc_mean ~seed =
-    let t =
-      Baselines.Tpc.build ~seed ~tracing:false ~seed_data:bank_seed
+    let e, t =
+      Simrun.tpc ~seed ~tracing:false ~seed_data:bank_seed
         ~business:Workload.Bank.update ~script ()
     in
     ignore
-      (Dsim.Engine.run_until ~deadline:600_000. t.engine (fun () ->
+      (Dsim.Engine.run_until ~deadline:600_000. e (fun () ->
            Etx.Client.script_done t.client));
     Stats.Summary.mean (latencies (Etx.Client.records t.client))
   in
@@ -691,13 +690,13 @@ let throughput_sweep ?(seed = 42) ?(clients = [ 1; 2; 4; 8 ])
         ignore (issue (Printf.sprintf "%s:1" (account i)))
       done
     in
-    let d =
-      Etx.Deployment.build ~seed ~tracing:false ~seed_data
+    let e, d =
+      Simrun.deployment ~seed ~tracing:false ~seed_data
         ~business:Workload.Bank.update ~script:(script_for 0) ()
     in
     let extra =
       List.init (n_clients - 1) (fun i ->
-          Etx.Client.spawn d.engine
+          Etx.Client.spawn d.rt
             ~name:(Printf.sprintf "client%d" (i + 1))
             ~period:400. ~servers:d.app_servers
             ~script:(script_for (i + 1))
@@ -706,10 +705,10 @@ let throughput_sweep ?(seed = 42) ?(clients = [ 1; 2; 4; 8 ])
     let all_done () =
       Etx.Client.script_done d.client && List.for_all Etx.Client.script_done extra
     in
-    if not (Dsim.Engine.run_until ~deadline:3_600_000. d.engine all_done) then
+    if not (Dsim.Engine.run_until ~deadline:3_600_000. e all_done) then
       failwith "throughput_sweep: run did not finish";
     let total = float_of_int (n_clients * requests_per_client) in
-    total /. (Dsim.Engine.now_of d.engine /. 1_000.)
+    total /. (Dsim.Engine.now_of e /. 1_000.)
   in
   run_trials ?domains
     (List.map
@@ -760,13 +759,13 @@ let scale_sweep ?(seed = 42) ?(points = scale_points)
       done
     in
     let t0 = Unix.gettimeofday () in
-    let d =
-      Etx.Deployment.build ~seed ~tracing:false ~n_app_servers:n_servers
+    let e, d =
+      Simrun.deployment ~seed ~tracing:false ~n_app_servers:n_servers
         ~seed_data ~business:Workload.Bank.update ~script:(script_for 0) ()
     in
     let extra =
       List.init (n_clients - 1) (fun i ->
-          Etx.Client.spawn d.engine
+          Etx.Client.spawn d.rt
             ~name:(Printf.sprintf "client%d" (i + 1))
             ~period:400. ~servers:d.app_servers
             ~script:(script_for (i + 1))
@@ -775,10 +774,10 @@ let scale_sweep ?(seed = 42) ?(points = scale_points)
     let all_done () =
       Etx.Client.script_done d.client && List.for_all Etx.Client.script_done extra
     in
-    if not (Dsim.Engine.run_until ~deadline:7_200_000. d.engine all_done) then
+    if not (Dsim.Engine.run_until ~deadline:7_200_000. e all_done) then
       failwith "scale_sweep: run did not finish";
     let wall_s = Unix.gettimeofday () -. t0 in
-    let events = Dsim.Engine.events_of d.engine in
+    let events = Dsim.Engine.events_of e in
     (n_servers, n_clients, events, wall_s, float_of_int events /. wall_s)
   in
   List.map one points
@@ -811,6 +810,7 @@ let register_backend_comparison ?(seed = 42) ?domains () =
     let t =
       Dsim.Engine.create ~seed ~net:(Dnet.Netmodel.lan ()) ~tracing:false ()
     in
+    let rt = Dsim.Runtime_sim.of_engine t in
     let peers = [ 0; 1; 2 ] in
     let latency = ref infinity in
     List.iter
@@ -821,7 +821,7 @@ let register_backend_comparison ?(seed = 42) ?domains () =
             ~main:(fun ~recovery:_ () ->
               let ch = Dnet.Rchannel.create () in
               Dnet.Rchannel.start ch;
-              let write = make_agent t ~peers ~ch in
+              let write = make_agent rt ~peers ~ch in
               if i = writer then begin
                 Dsim.Engine.sleep 10.;
                 let t0 = Dsim.Engine.now () in
@@ -839,20 +839,20 @@ let register_backend_comparison ?(seed = 42) ?domains () =
     then failwith "register_backend_comparison: no decision";
     !latency
   in
-  let ct ~fd_of t ~peers ~ch =
-    let fd = fd_of t in
+  let ct ~fd_of rt ~peers ~ch =
+    let fd = fd_of rt in
     Dnet.Fdetect.start fd;
     let agent = Consensus.Agent.create ~peers ~fd ~ch () in
     Consensus.Agent.start agent;
     fun ~key v -> Consensus.Agent.propose agent ~key v
   in
-  let ct_oracle = ct ~fd_of:(fun t -> Dnet.Fdetect.oracle t) in
+  let ct_oracle = ct ~fd_of:(fun rt -> Dnet.Fdetect.oracle rt) in
   let ct_blind =
     ct ~fd_of:(fun _ ->
         Dnet.Fdetect.heartbeat ~initial_timeout:1_000_000. ~peers:[ 0; 1; 2 ]
           ())
   in
-  let synod _t ~peers ~ch =
+  let synod _rt ~peers ~ch =
     let s = Consensus.Synod.create ~peers ~ch () in
     Consensus.Synod.start s;
     fun ~key v -> Consensus.Synod.propose s ~key v
@@ -898,11 +898,11 @@ let fd_quality_sweep ?(seed = 42) ?(requests = 10)
     let net =
       Dnet.Netmodel.lossy ~loss:0.15 (Dnet.Netmodel.uniform ~lo:1.0 ~hi:6.0)
     in
-    let d =
+    let e, d =
       (* timeout_bump = 0 disables the ◇P adaptation so the sweep shows the
          raw cost of a mis-set timeout; with the default bump the detector
          absorbs this jitter after a couple of mistakes (tested) *)
-      Etx.Deployment.build ~seed ~net ~client_period:300. ~clean_period:10.
+      Simrun.deployment ~seed ~net ~client_period:300. ~clean_period:10.
         ~fd_spec:
           (Etx.Appserver.Fd_heartbeat
              { period = 10.; initial_timeout = timeout; timeout_bump = 0. })
@@ -929,7 +929,7 @@ let fd_quality_sweep ?(seed = 42) ?(requests = 10)
              | Dsim.Trace.Note (_, s) ->
                  String.length s > 8 && String.sub s 0 8 = "cleaned:"
              | _ -> false)
-           (Dsim.Trace.entries (Dsim.Engine.trace d.engine)))
+           (Dsim.Trace.entries (Dsim.Engine.trace e)))
     in
     let extra_tries =
       List.fold_left

@@ -1,0 +1,50 @@
+(* Convenience constructors: one call builds a deployment (or comparison
+   protocol) on a fresh simulator engine and returns both, so harness sweeps
+   and tests keep direct access to engine-only facilities (crash_at, trace,
+   seqdiag) alongside the backend-agnostic handle. *)
+
+let engine ?(seed = 1) ?(tracing = true) () =
+  let e = Dsim.Engine.create ~seed ~tracing () in
+  (e, Dsim.Runtime_sim.of_engine e)
+
+let deployment ?seed ?tracing ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
+    ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
+    ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown
+    ~business ~script () =
+  let e, rt = engine ?seed ?tracing () in
+  let d =
+    Etx.Deployment.build ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
+      ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
+      ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown ~rt
+      ~business ~script ()
+  in
+  (e, d)
+
+let baseline ?seed ?tracing ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+    ?client_period ?breakdown ~business ~script () =
+  let e, rt = engine ?seed ?tracing () in
+  let b =
+    Baselines.Baseline.build ?net ?n_dbs ?timing ?disk_force_latency
+      ?seed_data ?client_period ?breakdown ~rt ~business ~script ()
+  in
+  (e, b)
+
+let tpc ?seed ?tracing ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+    ?client_period ?breakdown ~business ~script () =
+  let e, rt = engine ?seed ?tracing () in
+  let t =
+    Baselines.Tpc.build ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+      ?client_period ?breakdown ~rt ~business ~script ()
+  in
+  (e, t)
+
+let pbackup ?seed ?tracing ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+    ?client_period ?breakdown ?backup_fd ?takeover_check ~business ~script ()
+    =
+  let e, rt = engine ?seed ?tracing () in
+  let p =
+    Baselines.Pbackup.build ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+      ?client_period ?breakdown ?backup_fd ?takeover_check ~rt ~business
+      ~script ()
+  in
+  (e, p)

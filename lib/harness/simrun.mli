@@ -1,0 +1,84 @@
+(** Build deployments on a fresh simulator engine in one call.
+
+    The protocol builders ({!Etx.Deployment.build} and the
+    {!Baselines} equivalents) are backend-agnostic: they take a runtime
+    capability and never see the engine. Simulator-based sweeps and tests,
+    however, routinely need the engine itself — for [crash_at], the trace,
+    sequence diagrams, or virtual-time inspection — so these wrappers create
+    the engine, adapt it with {!Dsim.Runtime_sim.of_engine}, run the builder,
+    and return both. *)
+
+val engine :
+  ?seed:int -> ?tracing:bool -> unit -> Dsim.Engine.t * Runtime.Etx_runtime.t
+(** A fresh engine plus its runtime capability (seed defaults to 1, tracing
+    on — the historical deployment defaults). *)
+
+val deployment :
+  ?seed:int ->
+  ?tracing:bool ->
+  ?net:Runtime.Etx_runtime.netmodel ->
+  ?n_app_servers:int ->
+  ?n_dbs:int ->
+  ?fd_spec:Etx.Appserver.fd_spec ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?clean_period:float ->
+  ?poll:float ->
+  ?gc_after:float ->
+  ?backend:Etx.Appserver.register_backend ->
+  ?recoverable:bool ->
+  ?register_disk_latency:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  business:Etx.Business.t ->
+  script:(issue:(string -> Etx.Client.record) -> unit) ->
+  unit ->
+  Dsim.Engine.t * Etx.Deployment.t
+
+val baseline :
+  ?seed:int ->
+  ?tracing:bool ->
+  ?net:Runtime.Etx_runtime.netmodel ->
+  ?n_dbs:int ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  business:Etx.Business.t ->
+  script:(issue:(string -> Etx.Client.record) -> unit) ->
+  unit ->
+  Dsim.Engine.t * Baselines.Baseline.t
+
+val tpc :
+  ?seed:int ->
+  ?tracing:bool ->
+  ?net:Runtime.Etx_runtime.netmodel ->
+  ?n_dbs:int ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  business:Etx.Business.t ->
+  script:(issue:(string -> Etx.Client.record) -> unit) ->
+  unit ->
+  Dsim.Engine.t * Baselines.Tpc.t
+
+val pbackup :
+  ?seed:int ->
+  ?tracing:bool ->
+  ?net:Runtime.Etx_runtime.netmodel ->
+  ?n_dbs:int ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?breakdown:Stats.Breakdown.t ->
+  ?backup_fd:(Runtime.Etx_runtime.t -> Dnet.Fdetect.t) ->
+  ?takeover_check:float ->
+  business:Etx.Business.t ->
+  script:(issue:(string -> Etx.Client.record) -> unit) ->
+  unit ->
+  Dsim.Engine.t * Baselines.Pbackup.t

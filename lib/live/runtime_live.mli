@@ -1,0 +1,39 @@
+(** Wall-clock runtime backend: protocol fibers on OS threads, real timers,
+    and an in-process transport that applies the same {!Runtime.Etx_runtime.netmodel}
+    delay/drop distributions as the simulator.
+
+    Semantics relative to the simulator backend:
+
+    - The clock is wall time in milliseconds since the run started
+      ([run_until] starts it; before that, spawned processes are parked on a
+      barrier and [now] reads 0) — sleeps, network delays and failure
+      detector timeouts all measure real time.
+    - Within one process, fibers are serialised by a per-process lock and
+      interleave only at blocking points ([sleep]/[work]/[recv]), matching
+      the simulator's cooperative scheduling; {e across} processes execution
+      is genuinely concurrent.
+    - [crash] takes effect at each fiber's next effect boundary: the victim
+      is woken if blocked and discontinued with [Exit_fiber]; its mailbox is
+      discarded. [recover] reruns the process main with [~recovery:true].
+    - Determinism is lost: arrival order, the winner among same-class
+      receivers and timer interleavings depend on the OS scheduler, so a
+      live run validates correctness properties (exactly-once, agreement),
+      not byte-identical traces. The seed only fixes the network model's
+      random draws per call sequence, not the call sequence itself. *)
+
+type t
+
+val create : ?seed:int -> ?net:Runtime.Etx_runtime.netmodel -> unit -> t
+
+val runtime : t -> Runtime.Etx_runtime.t
+(** The orchestration capability (backend tag ["live"]). [run_until] drives
+    the run: the first call releases the start barrier; the deadline is in
+    wall-clock milliseconds from that moment. A protocol exception raised in
+    any fiber is re-raised by [run_until]. *)
+
+val shutdown : t -> unit
+(** Stop the runtime: wakes every blocked fiber (they exit at the aliveness
+    check) and ends the timer thread. Idempotent; threads are not joined. *)
+
+val now_ms : t -> float
+val notes : t -> (Runtime.Types.proc_id * string) list

@@ -1,0 +1,147 @@
+open Types
+
+(* The execution substrate the protocol stack is written against. Protocol
+   fibers interact with their backend exclusively through effects (declared
+   here, handled by whichever backend hosts the fiber), so protocol modules
+   need no backend handle at all for the hot path. Orchestration-side
+   operations (spawning processes, injecting faults, driving the run) go
+   through the [t] capability record, built by a backend adapter:
+   [Dsim.Runtime_sim.of_engine] for the discrete-event simulator and
+   [Runtime_live.runtime] for the wall-clock threads backend. *)
+
+exception Exit_fiber
+
+type netmodel = Rng.t -> src:proc_id -> dst:proc_id -> float list
+
+let default_net _rng ~src:_ ~dst:_ = [ 1.0 ]
+
+(* Message classes ---------------------------------------------------- *)
+
+type cls = int
+
+(* The registry is global and backend-independent: protocol modules register
+   their classes at module-initialisation time (single-domain, before any
+   backend runs), and afterwards it is only read — so sharing it across Pool
+   domains and OS threads is safe. Classification order is registration
+   order: the first predicate that accepts a payload names its class. *)
+let class_table : (string * (payload -> bool)) array ref = ref [||]
+
+let register_class ?name pred =
+  let id = Array.length !class_table in
+  let name =
+    match name with Some n -> n | None -> "cls" ^ string_of_int id
+  in
+  class_table := Array.append !class_table [| (name, pred) |];
+  id
+
+let class_name c =
+  if c < 0 || c >= Array.length !class_table then "unclassed"
+  else fst !class_table.(c)
+
+let classify pl =
+  let tbl = !class_table in
+  let n = Array.length tbl in
+  let rec go i = if i >= n then -1 else if snd tbl.(i) pl then i else go (i + 1) in
+  go 0
+
+let registered_classes () =
+  Array.to_list (Array.mapi (fun i (n, _) -> (i, n)) !class_table)
+
+(* Effects performed by fibers. The handler (installed per fiber by the
+   hosting backend) closes over the backend state, so the declarations carry
+   no backend reference. *)
+type _ Effect.t +=
+  | E_now : time Effect.t
+  | E_self : proc_id Effect.t
+  | E_sleep : time -> unit Effect.t
+  | E_work : string * time -> unit Effect.t
+  | E_send : proc_id * payload -> unit Effect.t
+  | E_redeliver : proc_id * payload -> unit Effect.t
+  | E_recv :
+      cls option * (message -> bool) option * time option
+      -> message option Effect.t
+  | E_fork : string * (unit -> unit) -> unit Effect.t
+  | E_random_float : float -> float Effect.t
+  | E_random_int : int -> int Effect.t
+  | E_note : string -> unit Effect.t
+  | E_fresh_uid : int Effect.t
+
+(* Orchestration capability ------------------------------------------- *)
+
+(* What a backend must provide to host the cluster. [module type S] is the
+   first-class-module spelling; [t] is the record spelling threaded through
+   the protocol [config] records. They are interconvertible. *)
+module type S = sig
+  val backend : string
+  (** Short tag ("sim", "live") recorded in artefacts and summaries. *)
+
+  val spawn : name:string -> main:(recovery:bool -> unit -> unit) -> proc_id
+  (** Register a process; its [main] starts once the backend runs. Process
+      ids are assigned sequentially from 0 in spawn order. *)
+
+  val is_up : proc_id -> bool
+  val name_of : proc_id -> string
+
+  val crash : proc_id -> unit
+  (** Crash-stop: volatile state (mailbox, fibers) is discarded. *)
+
+  val recover : proc_id -> unit
+  (** Restart a crashed process; its [main] reruns with [~recovery:true]. *)
+
+  val set_net : netmodel -> unit
+
+  val run_until : ?deadline:time -> (unit -> bool) -> bool
+  (** Drive the backend until the predicate holds or the deadline (in ms on
+      the backend's own clock — virtual for sim, wall for live) passes;
+      returns the predicate's final value. *)
+
+  val notes : unit -> (proc_id * string) list
+  (** All [note] annotations recorded so far, oldest first. *)
+end
+
+type t = {
+  backend : string;
+  spawn : name:string -> main:(recovery:bool -> unit -> unit) -> proc_id;
+  is_up : proc_id -> bool;
+  name_of : proc_id -> string;
+  crash : proc_id -> unit;
+  recover : proc_id -> unit;
+  set_net : netmodel -> unit;
+  run_until : ?deadline:time -> (unit -> bool) -> bool;
+  notes : unit -> (proc_id * string) list;
+}
+
+let of_module (module M : S) =
+  {
+    backend = M.backend;
+    spawn = M.spawn;
+    is_up = M.is_up;
+    name_of = M.name_of;
+    crash = M.crash;
+    recover = M.recover;
+    set_net = M.set_net;
+    run_until = M.run_until;
+    notes = M.notes;
+  }
+
+(* Fiber-side operations ---------------------------------------------- *)
+
+let now () = Effect.perform E_now
+let self () = Effect.perform E_self
+let sleep d = Effect.perform (E_sleep d)
+let work label d = Effect.perform (E_work (label, d))
+let send dst payload = Effect.perform (E_send (dst, payload))
+let send_all dsts payload = List.iter (fun dst -> send dst payload) dsts
+let redeliver ~src payload = Effect.perform (E_redeliver (src, payload))
+
+let recv ?timeout ?cls ~filter () =
+  Effect.perform (E_recv (cls, Some filter, timeout))
+
+let recv_cls ?timeout c = Effect.perform (E_recv (Some c, None, timeout))
+let recv_any ?timeout () = Effect.perform (E_recv (None, None, timeout))
+let fork name f = Effect.perform (E_fork (name, f))
+let random_float bound = Effect.perform (E_random_float bound)
+let random_int bound = Effect.perform (E_random_int bound)
+let fresh_uid () = Effect.perform E_fresh_uid
+let note s = Effect.perform (E_note s)
+let exit_fiber () = raise Exit_fiber

@@ -1,0 +1,192 @@
+(** The execution substrate the e-Transaction protocol stack runs on.
+
+    The paper specifies the protocol independently of any execution engine;
+    this module is the contract that makes that separation real in code.
+    Protocol fibers interact with their backend exclusively through the
+    fiber-side operations below — OCaml effects handled by whichever backend
+    hosts the fiber — so protocol modules carry no backend handle on the hot
+    path. Orchestration (spawning processes, fault injection, driving the
+    run) goes through the {!t} capability record threaded through the
+    protocol [config] records.
+
+    Two backends exist:
+    - [Dsim.Engine] — deterministic discrete-event simulation (virtual
+      time); adapter: [Dsim.Runtime_sim.of_engine].
+    - [Runtime_live] — wall-clock real time on OS threads; constructor:
+      [Runtime_live.runtime].
+
+    Crash/recovery semantics follow the paper's model on both backends: a
+    crash kills every fiber of the process, clears its mailbox and drops
+    in-flight wakeups (incarnation fencing); volatile state — anything held
+    in fiber-local bindings — is lost, while state kept outside the fibers
+    (e.g. [Dstore] stable storage) survives. Recovery re-runs the process
+    main with [~recovery:true].
+
+    Fiber-side operations ([now], [send], [recv], ...) must be called from
+    inside a fiber; calling them outside raises [Effect.Unhandled]. *)
+
+open Types
+
+exception Exit_fiber
+
+type netmodel = Rng.t -> src:proc_id -> dst:proc_id -> float list
+(** Delivery delays for one send; the empty list drops the message, two or
+    more elements duplicate it. Self-sends bypass the model. *)
+
+val default_net : netmodel
+(** Constant 1.0 ms delivery, no loss. *)
+
+(** {1 Message classes}
+
+    A class is a small integer naming a disjoint family of payloads, used to
+    demultiplex deliveries in O(1) instead of predicate-scanning mailboxes
+    and waiter lists. The registry is global and backend-independent:
+    protocol modules register their classes once at module-initialisation
+    time (before any backend runs; the registry is read-only afterwards, so
+    it is safe to share across [Dsim.Pool] domains and OS threads).
+    Classification order is registration order: the first predicate
+    accepting a payload names its class; payloads no predicate accepts are
+    "unclassed" and reachable only through the predicate receive path. *)
+
+type cls = int
+
+val register_class : ?name:string -> (Types.payload -> bool) -> cls
+(** Register a payload family; returns its class id. Call only from
+    module-level initialisation code. *)
+
+val classify : Types.payload -> cls
+(** First registered class accepting the payload, [-1] if none. *)
+
+val class_name : cls -> string
+
+val registered_classes : unit -> (cls * string) list
+(** Registration order; for diagnostics and docs. *)
+
+(** {1 Effects}
+
+    Exposed so backends can install handlers; protocol code should use the
+    fiber-side wrappers below instead of performing these directly. *)
+
+type _ Effect.t +=
+  | E_now : time Effect.t
+  | E_self : proc_id Effect.t
+  | E_sleep : time -> unit Effect.t
+  | E_work : string * time -> unit Effect.t
+  | E_send : proc_id * payload -> unit Effect.t
+  | E_redeliver : proc_id * payload -> unit Effect.t
+  | E_recv :
+      cls option * (message -> bool) option * time option
+      -> message option Effect.t
+  | E_fork : string * (unit -> unit) -> unit Effect.t
+  | E_random_float : float -> float Effect.t
+  | E_random_int : int -> int Effect.t
+  | E_note : string -> unit Effect.t
+  | E_fresh_uid : int Effect.t
+
+(** {1 Orchestration capability} *)
+
+(** What a backend provides to host the cluster, as a first-class module. *)
+module type S = sig
+  val backend : string
+  (** Short tag ("sim", "live") recorded in artefacts and summaries. *)
+
+  val spawn : name:string -> main:(recovery:bool -> unit -> unit) -> proc_id
+  (** Register a process; its [main] starts once the backend runs. Process
+      ids are assigned sequentially from 0 in spawn order. *)
+
+  val is_up : proc_id -> bool
+  val name_of : proc_id -> string
+
+  val crash : proc_id -> unit
+  (** Crash-stop: volatile state (mailbox, fibers) is discarded. *)
+
+  val recover : proc_id -> unit
+  (** Restart a crashed process; its [main] reruns with [~recovery:true]. *)
+
+  val set_net : netmodel -> unit
+
+  val run_until : ?deadline:time -> (unit -> bool) -> bool
+  (** Drive the backend until the predicate holds or the deadline (in ms on
+      the backend's own clock — virtual for sim, wall for live) passes;
+      returns the predicate's final value. *)
+
+  val notes : unit -> (proc_id * string) list
+  (** All [note] annotations recorded so far, oldest first. *)
+end
+
+(** The same capability as a record, for threading through [config]
+    records. *)
+type t = {
+  backend : string;
+  spawn : name:string -> main:(recovery:bool -> unit -> unit) -> proc_id;
+  is_up : proc_id -> bool;
+  name_of : proc_id -> string;
+  crash : proc_id -> unit;
+  recover : proc_id -> unit;
+  set_net : netmodel -> unit;
+  run_until : ?deadline:time -> (unit -> bool) -> bool;
+  notes : unit -> (proc_id * string) list;
+}
+
+val of_module : (module S) -> t
+
+(** {1 Fiber-side operations} *)
+
+val now : unit -> time
+(** Milliseconds on the hosting backend's clock (virtual or wall). *)
+
+val self : unit -> proc_id
+
+val sleep : time -> unit
+
+val work : string -> time -> unit
+(** [work label d] models [d] ms of local computation (SQL execution, a
+    forced disk write): time advances; the sim backend also records a
+    [Trace.Work] entry for latency accounting (paper Fig. 8). *)
+
+val send : proc_id -> payload -> unit
+
+val send_all : proc_id list -> payload -> unit
+
+val redeliver : src:proc_id -> payload -> unit
+(** Enqueue a payload into the calling process's own mailbox, attributed to
+    [src], bypassing the network. Used by the reliable-channel layer to hand
+    deduplicated payloads to the protocol above. *)
+
+val recv :
+  ?timeout:time -> ?cls:cls -> filter:(message -> bool) -> unit -> message option
+(** Selective receive: first scans the mailbox, then blocks. [None] only on
+    timeout. Messages rejected by every waiting fiber stay queued.
+
+    With [?cls] the scan is confined to that class's bucket (the filter then
+    only refines within the class — callers must ensure the filter accepts
+    no payload outside the class, or those messages become unreachable). *)
+
+val recv_cls : ?timeout:time -> cls -> message option
+(** O(1) classed receive: pops the oldest message of the class, or blocks
+    in the class's waiter bucket. The fast path for converted hot loops. *)
+
+val recv_any : ?timeout:time -> unit -> message option
+
+val fork : string -> (unit -> unit) -> unit
+(** Start a sibling fiber in the calling process. It dies with the process
+    and is not restarted on recovery (the main must re-fork its helpers). *)
+
+val random_float : float -> float
+val random_int : int -> int
+
+val fresh_uid : unit -> int
+(** A fresh identifier unique within the hosting backend instance,
+    monotonically increasing from 1000 (so values stay disjoint from client
+    try counters). Used for request ids, channel endpoints and
+    comparison-protocol transaction ids; keeping the counter per-instance
+    (rather than process-global) makes trials self-contained, so parallel
+    runs stay deterministic. *)
+
+val note : string -> unit
+(** Free-form annotation by the calling process; readable through the
+    capability's [notes] (backed by the trace on sim, an in-memory list on
+    live). *)
+
+val exit_fiber : unit -> 'a
+(** Terminate the calling fiber silently. *)

@@ -16,7 +16,9 @@ val int64 : t -> int64
 (** Next raw 64-bit value. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0].
+    Implemented with bitmask rejection sampling, so the distribution is
+    exactly uniform for every bound (no modulo bias). *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. Requires [bound > 0.]. *)

@@ -1,0 +1,21 @@
+(** Shared base types of the simulation kernel. *)
+
+type time = float
+(** Virtual time, in milliseconds. *)
+
+type proc_id = int
+(** Process identifier, dense from 0 in spawn order. *)
+
+type payload = ..
+(** Extensible message payload: each protocol layer extends this type with
+    its own message constructors. *)
+
+type message = {
+  src : proc_id;
+  dst : proc_id;
+  payload : payload;
+  msg_id : int;  (** globally unique, for dedup and tracing *)
+  sent_at : time;
+}
+
+let pp_proc ppf pid = Format.fprintf ppf "p%d" pid

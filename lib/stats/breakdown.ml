@@ -10,9 +10,9 @@ let add t category d =
   Hashtbl.replace t.totals category (cur +. d)
 
 let span t category f =
-  let t0 = Dsim.Engine.now () in
+  let t0 = Runtime.Etx_runtime.now () in
   let r = f () in
-  add t category (Dsim.Engine.now () -. t0);
+  add t category (Runtime.Etx_runtime.now () -. t0);
   r
 
 let tick t = t.txns <- t.txns + 1

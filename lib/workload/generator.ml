@@ -4,23 +4,23 @@ type kind =
   | Travel_bookings of { destinations : string list; max_party : int }
 
 let bodies ~seed ~n kind =
-  let rng = Dsim.Rng.create ~seed in
+  let rng = Runtime.Rng.create ~seed in
   let body () =
     match kind with
     | Bank_updates { accounts; max_delta } ->
         Printf.sprintf "acct%d:%d"
-          (Dsim.Rng.int rng accounts)
-          (1 + Dsim.Rng.int rng max_delta)
+          (Runtime.Rng.int rng accounts)
+          (1 + Runtime.Rng.int rng max_delta)
     | Bank_transfers { accounts; max_amount } ->
-        let from_acct = Dsim.Rng.int rng accounts in
-        let to_acct = (from_acct + 1 + Dsim.Rng.int rng (max 1 (accounts - 1))) mod accounts in
+        let from_acct = Runtime.Rng.int rng accounts in
+        let to_acct = (from_acct + 1 + Runtime.Rng.int rng (max 1 (accounts - 1))) mod accounts in
         Printf.sprintf "acct%d:acct%d:%d" from_acct to_acct
-          (1 + Dsim.Rng.int rng max_amount)
+          (1 + Runtime.Rng.int rng max_amount)
     | Travel_bookings { destinations; max_party } ->
         let dest =
-          List.nth destinations (Dsim.Rng.int rng (List.length destinations))
+          List.nth destinations (Runtime.Rng.int rng (List.length destinations))
         in
-        Printf.sprintf "%s:%d" dest (1 + Dsim.Rng.int rng max_party)
+        Printf.sprintf "%s:%d" dest (1 + Runtime.Rng.int rng max_party)
   in
   List.init n (fun _ -> body ())
 

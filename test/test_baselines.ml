@@ -19,26 +19,26 @@ let balance dbs =
 (* Baseline *)
 
 let test_baseline_nice_run () =
-  let b =
-    Baselines.Baseline.build ~seed_data ~business:bank
+  let e, b =
+    Harness.Simrun.baseline ~seed_data ~business:bank
       ~script:(fun ~issue ->
         let r = issue "card:-100" in
         Alcotest.(check int) "one try" 1 r.tries)
       ()
   in
   let ok =
-    Dsim.Engine.run_until ~deadline:60_000. b.engine (fun () ->
+    Dsim.Engine.run_until ~deadline:60_000. e (fun () ->
         Etx.Client.script_done b.client)
   in
   Alcotest.(check bool) "finished" true ok;
   Alcotest.(check int) "debited once" 900 (balance b.dbs)
 
 let test_baseline_latency_beats_everyone () =
-  let b =
-    Baselines.Baseline.build ~seed_data ~business:bank ~script:one_debit ()
+  let e, b =
+    Harness.Simrun.baseline ~seed_data ~business:bank ~script:one_debit ()
   in
   ignore
-    (Dsim.Engine.run_until ~deadline:60_000. b.engine (fun () ->
+    (Dsim.Engine.run_until ~deadline:60_000. e (fun () ->
          Etx.Client.script_done b.client));
   match Etx.Client.records b.client with
   | [ r ] ->
@@ -52,21 +52,21 @@ let test_baseline_latency_beats_everyone () =
 let test_baseline_double_charge () =
   (* The motivating hazard: crash after commit, before reply; the retry is
      a new transaction and the card is charged twice. *)
-  let b =
-    Baselines.Baseline.build ~client_period:300. ~seed_data ~business:bank
+  let e, b =
+    Harness.Simrun.baseline ~client_period:300. ~seed_data ~business:bank
       ~script:one_debit ()
   in
-  Dsim.Engine.crash_at b.engine 200. b.server;
-  Dsim.Engine.recover_at b.engine 280. b.server;
+  Dsim.Engine.crash_at e 200. b.server;
+  Dsim.Engine.recover_at e 280. b.server;
   ignore
-    (Dsim.Engine.run_until ~deadline:120_000. b.engine (fun () ->
+    (Dsim.Engine.run_until ~deadline:120_000. e (fun () ->
          Etx.Client.script_done b.client));
   Alcotest.(check int) "charged twice" 800 (balance b.dbs)
 
 let test_baseline_user_abort_propagates () =
   (* A poisoned transaction must not one-phase-commit. *)
-  let b =
-    Baselines.Baseline.build
+  let e, b =
+    Harness.Simrun.baseline
       ~seed_data:(Workload.Bank.seed_accounts [ ("a", 10); ("b", 0) ])
       ~business:Workload.Bank.transfer
       ~script:(fun ~issue ->
@@ -76,7 +76,7 @@ let test_baseline_user_abort_propagates () =
       ()
   in
   let ok =
-    Dsim.Engine.run_until ~deadline:120_000. b.engine (fun () ->
+    Dsim.Engine.run_until ~deadline:120_000. e (fun () ->
         Etx.Client.script_done b.client)
   in
   Alcotest.(check bool) "finished" true ok;
@@ -88,15 +88,15 @@ let test_baseline_user_abort_propagates () =
 (* 2PC *)
 
 let test_tpc_nice_run () =
-  let t =
-    Baselines.Tpc.build ~seed_data ~business:bank
+  let e, t =
+    Harness.Simrun.tpc ~seed_data ~business:bank
       ~script:(fun ~issue ->
         let r = issue "card:-100" in
         Alcotest.(check int) "one try" 1 r.tries)
       ()
   in
   let ok =
-    Dsim.Engine.run_until ~deadline:60_000. t.engine (fun () ->
+    Dsim.Engine.run_until ~deadline:60_000. e (fun () ->
         Etx.Client.script_done t.client)
   in
   Alcotest.(check bool) "finished" true ok;
@@ -108,22 +108,22 @@ let test_tpc_blocking_then_recovery_resolves () =
   (* Crash the coordinator between the votes and the decide: the database
      stays in-doubt — locks held — until the coordinator recovers (2PC is
      blocking). Presumed-nothing recovery then aborts. *)
-  let t =
-    Baselines.Tpc.build ~client_period:300. ~seed_data ~business:bank
+  let e, t =
+    Harness.Simrun.tpc ~client_period:300. ~seed_data ~business:bank
       ~script:one_debit ()
   in
   (* with the calibrated model, votes are in around t≈228 and the outcome
      record is forced at ≈229-242 *)
-  Dsim.Engine.crash_at t.engine 228.5 t.coordinator;
-  ignore (Dsim.Engine.run ~deadline:2_000. t.engine);
+  Dsim.Engine.crash_at e 228.5 t.coordinator;
+  ignore (Dsim.Engine.run ~deadline:2_000. e);
   let _, rm = List.hd t.dbs in
   Alcotest.(check int) "in-doubt while coordinator down" 1
     (List.length (Dbms.Rm.in_doubt rm));
   Alcotest.(check bool) "locks held (blocking!)" true
     (List.length (Dbms.Rm.locks_held rm) > 0);
   (* recovery resolves it *)
-  Dsim.Engine.recover t.engine t.coordinator;
-  ignore (Dsim.Engine.run ~deadline:120_000. t.engine);
+  Dsim.Engine.recover e t.coordinator;
+  ignore (Dsim.Engine.run ~deadline:120_000. e);
   Alcotest.(check int) "resolved after recovery" 0
     (List.length (Dbms.Rm.in_doubt rm));
   Alcotest.(check int) "no locks" 0 (List.length (Dbms.Rm.locks_held rm))
@@ -131,12 +131,12 @@ let test_tpc_blocking_then_recovery_resolves () =
 let test_etx_not_blocking_same_crash () =
   (* Contrast: the e-Transaction protocol resolves the same crash without
      the crashed process ever coming back. *)
-  let d =
-    Etx.Deployment.build ~client_period:300. ~seed_data ~business:bank
+  let e, d =
+    Harness.Simrun.deployment ~client_period:300. ~seed_data ~business:bank
       ~script:one_debit ()
   in
   (* crash the primary right after the votes came back *)
-  Dsim.Engine.crash_at d.engine 222. (Etx.Deployment.primary d);
+  Dsim.Engine.crash_at e 222. (Etx.Deployment.primary d);
   let ok = Etx.Deployment.run_to_quiescence ~deadline:120_000. d in
   Alcotest.(check bool) "resolved without recovery" true ok;
   let _, rm = List.hd d.dbs in
@@ -146,15 +146,15 @@ let test_etx_not_blocking_same_crash () =
 let test_tpc_recovery_redrives_logged_commit () =
   (* Crash after the outcome record was forced but before the decides went
      out: recovery must re-drive the COMMIT. *)
-  let t =
-    Baselines.Tpc.build ~client_period:300. ~seed_data ~business:bank
+  let e, t =
+    Harness.Simrun.tpc ~client_period:300. ~seed_data ~business:bank
       ~script:one_debit ()
   in
   (* log-outcome is forced around t≈229-241.5; crash just after *)
-  Dsim.Engine.crash_at t.engine 241.8 t.coordinator;
-  Dsim.Engine.recover_at t.engine 400. t.coordinator;
+  Dsim.Engine.crash_at e 241.8 t.coordinator;
+  Dsim.Engine.recover_at e 400. t.coordinator;
   ignore
-    (Dsim.Engine.run_until ~deadline:120_000. t.engine (fun () ->
+    (Dsim.Engine.run_until ~deadline:120_000. e (fun () ->
          Etx.Client.script_done t.client));
   let _, rm = List.hd t.dbs in
   Alcotest.(check int) "no in-doubt" 0 (List.length (Dbms.Rm.in_doubt rm));
@@ -173,15 +173,15 @@ let test_tpc_recovery_redrives_logged_commit () =
 (* Primary-backup *)
 
 let test_pb_nice_run () =
-  let p =
-    Baselines.Pbackup.build ~seed_data ~business:bank
+  let e, p =
+    Harness.Simrun.pbackup ~seed_data ~business:bank
       ~script:(fun ~issue ->
         let r = issue "card:-100" in
         Alcotest.(check int) "one try" 1 r.tries)
       ()
   in
   let ok =
-    Dsim.Engine.run_until ~deadline:60_000. p.engine (fun () ->
+    Dsim.Engine.run_until ~deadline:60_000. e (fun () ->
         Etx.Client.script_done p.client)
   in
   Alcotest.(check bool) "finished" true ok;
@@ -190,13 +190,13 @@ let test_pb_nice_run () =
 let test_pb_failover_with_oracle_fd () =
   (* Primary crashes mid-compute; the backup (perfect detector) aborts the
      recorded transaction and serves the client's retry itself. *)
-  let p =
-    Baselines.Pbackup.build ~client_period:300. ~seed_data ~business:bank
+  let e, p =
+    Harness.Simrun.pbackup ~client_period:300. ~seed_data ~business:bank
       ~script:one_debit ()
   in
-  Dsim.Engine.crash_at p.engine 100. p.primary;
+  Dsim.Engine.crash_at e 100. p.primary;
   let ok =
-    Dsim.Engine.run_until ~deadline:120_000. p.engine (fun () ->
+    Dsim.Engine.run_until ~deadline:120_000. e (fun () ->
         Etx.Client.script_done p.client)
   in
   Alcotest.(check bool) "client served by backup" true ok;
@@ -205,14 +205,14 @@ let test_pb_failover_with_oracle_fd () =
 let test_pb_failover_finishes_recorded_commit () =
   (* Primary crashes after recording the commit outcome at the backup but
      before the decides: the backup finishes the COMMIT. *)
-  let p =
-    Baselines.Pbackup.build ~client_period:300. ~seed_data ~business:bank
+  let e, p =
+    Harness.Simrun.pbackup ~client_period:300. ~seed_data ~business:bank
       ~script:one_debit ()
   in
   (* outcome is recorded at the backup around t≈232 *)
-  Dsim.Engine.crash_at p.engine 236. p.primary;
+  Dsim.Engine.crash_at e 236. p.primary;
   let ok =
-    Dsim.Engine.run_until ~deadline:120_000. p.engine (fun () ->
+    Dsim.Engine.run_until ~deadline:120_000. e (fun () ->
         Etx.Client.script_done p.client)
   in
   Alcotest.(check bool) "delivered" true ok;
@@ -238,18 +238,18 @@ let test_pb_false_suspicion_inconsistency () =
     in
     [ link src dst ]
   in
-  let suspicious_engine = ref None in
-  let backup_fd engine =
-    suspicious_engine := Some engine;
-    (* falsely suspect the primary from t=600 even though it is alive *)
+  (* falsely suspect the primary from t=600 even though it is alive; the
+     predicate runs inside the backup's fiber, so it can read virtual time
+     through the runtime it was built on *)
+  let backup_fd _rt =
     Dnet.Fdetect.of_fun (fun pid ->
-        pid = 2 && Dsim.Engine.now_of engine > 600.)
+        pid = 2 && Runtime.Etx_runtime.now () > 600.)
   in
-  let p =
-    Baselines.Pbackup.build ~net ~n_dbs ~client_period:10_000. ~seed_data
+  let e, p =
+    Harness.Simrun.pbackup ~net ~n_dbs ~client_period:10_000. ~seed_data
       ~business:bank ~backup_fd ~script:one_debit ()
   in
-  ignore (Dsim.Engine.run ~deadline:60_000. p.engine);
+  ignore (Dsim.Engine.run ~deadline:60_000. e);
   let rm1 = snd (List.nth p.dbs 0) and rm2 = snd (List.nth p.dbs 1) in
   let rid =
     match Etx.Client.records p.client with

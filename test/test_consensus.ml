@@ -13,6 +13,7 @@ let int_of_v = function V n -> n | _ -> Alcotest.fail "expected V payload"
 let members_scenario ?(seed = 1) ?(net = Netmodel.lan ()) ?(oracle_fd = true)
     ~n ~behave () =
   let t = Engine.create ~seed ~net () in
+  let rt = Runtime_sim.of_engine t in
   let peers = List.init n (fun i -> i) in
   let spawn_member i =
     let pid =
@@ -21,7 +22,7 @@ let members_scenario ?(seed = 1) ?(net = Netmodel.lan ()) ?(oracle_fd = true)
           let ch = Rchannel.create () in
           Rchannel.start ch;
           let fd =
-            if oracle_fd then Fdetect.oracle t
+            if oracle_fd then Fdetect.oracle rt
             else Fdetect.heartbeat ~peers ()
           in
           Fdetect.start fd;

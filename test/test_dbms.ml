@@ -480,11 +480,12 @@ let test_default_mode_reads_lock_free () =
    that talks to it over a reliable channel and records what happens. *)
 let server_scenario ?(crash_db_at = None) ?(recover_db_at = None) ~script () =
   let t = Dsim.Engine.create ~net:(Dnet.Netmodel.lan ()) () in
+  let rt = Dsim.Runtime_sim.of_engine t in
   let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
   let rm = Rm.create ~timing:Rm.zero_timing ~seed_data:[] ~disk ~name:"db" () in
   let app_pid = ref [] in
   let db =
-    Server.spawn t ~name:"db" ~rm ~observers:(fun () -> !app_pid) ()
+    Server.spawn rt ~name:"db" ~rm ~observers:(fun () -> !app_pid) ()
   in
   let result = ref None in
   let app =

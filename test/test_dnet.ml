@@ -255,11 +255,12 @@ let test_fd_no_false_suspicion_lossless () =
 
 let test_fd_oracle () =
   let t = Engine.create () in
+  let rt = Dsim.Runtime_sim.of_engine t in
   let observed = ref []
   and victim = ref (-1) in
   let _ =
     Engine.spawn t ~name:"watcher" ~main:(fun ~recovery:_ () ->
-        let fd = Fdetect.oracle t in
+        let fd = Fdetect.oracle rt in
         Fdetect.start fd;
         Engine.sleep 10.;
         observed := Fdetect.suspects fd !victim :: !observed;
@@ -298,6 +299,44 @@ let test_fd_adaptive_timeout_grows () =
   | Some timeout ->
       Alcotest.(check bool) "timeout grew above initial" true (timeout > 30.)
   | None -> Alcotest.fail "no timeout observed"
+
+let test_fd_heartbeat_suspect_clear_bump () =
+  (* Heartbeat mode end-to-end: a silent peer is suspected after missed
+     heartbeats; when it reappears the suspicion is cleared and its timeout
+     is bumped (the eventually-accurate adaptation rule). *)
+  let t = Engine.create ~seed:3 ~net:(Netmodel.lan ()) () in
+  let peers = [ 0; 1 ] in
+  let during = ref None and after = ref None and bumped = ref None in
+  let _p0 =
+    Engine.spawn t ~name:"p0" ~main:(fun ~recovery:_ () ->
+        let fd =
+          Fdetect.heartbeat ~initial_timeout:50. ~timeout_bump:25. ~peers ()
+        in
+        Fdetect.start fd;
+        Engine.sleep 400.;
+        during := Some (Fdetect.suspects fd 1);
+        Engine.sleep 500.;
+        after := Some (Fdetect.suspects fd 1);
+        bumped := Fdetect.current_timeout fd 1)
+  in
+  let p1 =
+    Engine.spawn t ~name:"p1" ~main:(fun ~recovery:_ () ->
+        let fd = Fdetect.heartbeat ~peers () in
+        Fdetect.start fd;
+        Engine.sleep infinity)
+  in
+  (* p1 goes silent at 100 and reappears at 600 *)
+  Engine.crash_at t 100. p1;
+  Engine.recover_at t 600. p1;
+  ignore (Engine.run ~deadline:1_500. t);
+  Alcotest.(check (option bool)) "suspected while silent" (Some true) !during;
+  Alcotest.(check (option bool)) "cleared on reappearance" (Some false) !after;
+  match !bumped with
+  | Some timeout ->
+      Alcotest.(check bool)
+        (Printf.sprintf "timeout %.0f bumped above initial 50" timeout)
+        true (timeout > 50.)
+  | None -> Alcotest.fail "no timeout recorded"
 
 let prop_fd_eventually_suspects_crashed =
   QCheck.Test.make ~name:"fd completeness across seeds and loss" ~count:15
@@ -347,6 +386,8 @@ let () =
           Alcotest.test_case "oracle" `Quick test_fd_oracle;
           Alcotest.test_case "adaptive timeout" `Quick
             test_fd_adaptive_timeout_grows;
+          Alcotest.test_case "suspect, clear, bump (heartbeat mode)" `Quick
+            test_fd_heartbeat_suspect_clear_bump;
           q prop_fd_eventually_suspects_crashed;
         ] );
     ]

@@ -107,6 +107,36 @@ let prop_rng_int_range =
       let v = Rng.int r bound in
       v >= 0 && v < bound)
 
+let test_rng_int_large_bound () =
+  (* The bitmask-rejection sampler must stay uniform at bounds where a
+     modulo fold visibly skews the distribution. With [bound = 3 * 2^60]
+     the top third holds exactly 1/3 of the mass; check range and that the
+     top third gets its share (3000 draws: expect ~1000, 3-sigma ~ 77). *)
+  let bound = 3 * (1 lsl 60) in
+  let r = Rng.create ~seed:12 in
+  let hi = ref 0 in
+  for _ = 1 to 3_000 do
+    let v = Rng.int r bound in
+    if v < 0 || v >= bound then Alcotest.failf "out of range: %d" v;
+    if v >= 1 lsl 61 then incr hi
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "top third ~1/3 of draws (got %d/3000)" !hi)
+    true
+    (!hi > 850 && !hi < 1150);
+  (* the extreme: bound = max_int — every draw in range, top half reachable *)
+  let r = Rng.create ~seed:13 in
+  let top = ref 0 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int r max_int in
+    if v < 0 || v >= max_int then Alcotest.failf "out of range: %d" v;
+    if v > max_int / 2 then incr top
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "top half reachable at max_int (got %d/1000)" !top)
+    true
+    (!top > 400 && !top < 600)
+
 let test_rng_bool_bias () =
   let r = Rng.create ~seed:3 in
   let hits = ref 0 in
@@ -998,6 +1028,8 @@ let () =
           Alcotest.test_case "split independent" `Quick
             test_rng_split_independent;
           Alcotest.test_case "bool bias" `Quick test_rng_bool_bias;
+          Alcotest.test_case "large bounds stay uniform" `Quick
+            test_rng_int_large_bound;
           Alcotest.test_case "exponential mean" `Quick
             test_rng_exponential_mean;
           q prop_rng_float_range;

@@ -128,6 +128,44 @@ let prop_wal_replay_equals_fold =
           Dstore.Wal.replay wal ~init:[] ~f:(fun acc x -> x :: acc)
           = List.fold_left (fun acc x -> x :: acc) [] xs))
 
+(* ------------------------------------------------------------------ *)
+(* backend parity: disk work routed through the runtime capability *)
+
+let deployment_forced_writes (d : Etx.Deployment.t) =
+  List.map (fun (_, rm) -> Dstore.Disk.forced_writes (Dbms.Rm.disk rm)) d.dbs
+
+let test_forced_writes_sim_live_parity () =
+  (* The databases' forced IO goes through [Etx_runtime.work], so an
+     identical loss-free run must cost exactly the same forced writes per
+     database on the simulator and on the wall-clock backend. The generous
+     client period keeps real-time jitter from ever triggering a retry. *)
+  let business = Workload.Bank.update in
+  let seed_data = Workload.Bank.seed_accounts [ ("acct", 100) ] in
+  let script ~issue =
+    ignore (issue "acct:-10");
+    ignore (issue "acct:-10")
+  in
+  let _e, sim_d =
+    Harness.Simrun.deployment ~n_dbs:2 ~client_period:5_000. ~seed_data
+      ~business ~script ()
+  in
+  Alcotest.(check bool) "sim quiesced" true
+    (Etx.Deployment.run_to_quiescence ~deadline:60_000. sim_d);
+  let lt = Runtime_live.create () in
+  let live_d =
+    Etx.Deployment.build ~rt:(Runtime_live.runtime lt) ~n_dbs:2
+      ~client_period:5_000. ~seed_data ~business ~script ()
+  in
+  let live_ok = Etx.Deployment.run_to_quiescence ~deadline:60_000. live_d in
+  let sim_io = deployment_forced_writes sim_d
+  and live_io = deployment_forced_writes live_d in
+  Runtime_live.shutdown lt;
+  Alcotest.(check bool) "live quiesced" true live_ok;
+  Alcotest.(check bool) "forced IO happened" true
+    (List.for_all (fun c -> c > 0) sim_io);
+  Alcotest.(check (list int)) "identical forced IO on both backends" sim_io
+    live_io
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "dstore"
@@ -138,6 +176,8 @@ let () =
             test_disk_charges_time;
           Alcotest.test_case "counts forced writes" `Quick test_disk_counts;
           Alcotest.test_case "trace labels" `Quick test_disk_trace_labels;
+          Alcotest.test_case "sim/live forced-IO parity" `Quick
+            test_forced_writes_sim_live_parity;
         ] );
       ( "wal",
         [

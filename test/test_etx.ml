@@ -46,7 +46,7 @@ let debit_or_report ~amount =
 let one_request ?seed ?net ?n_app_servers ?n_dbs ?fd_spec ?seed_data
     ?client_period ?business () =
   let business = Option.value ~default:Business.trivial business in
-  Deployment.build ?seed ?net ?n_app_servers ?n_dbs ?fd_spec ?seed_data
+  Harness.Simrun.deployment ?seed ?net ?n_app_servers ?n_dbs ?fd_spec ?seed_data
     ?client_period ~business
     ~script:(fun ~issue -> ignore (issue "req-1"))
     ()
@@ -55,7 +55,7 @@ let one_request ?seed ?net ?n_app_servers ?n_dbs ?fd_spec ?seed_data
 (* Nice runs *)
 
 let test_nice_run_commits () =
-  let d = one_request () in
+  let _e, d = one_request () in
   let ok = Deployment.run_to_quiescence d in
   Alcotest.(check bool) "quiesced" true ok;
   (match Client.records d.client with
@@ -66,8 +66,8 @@ let test_nice_run_commits () =
   check_no_violations "nice run" d
 
 let test_three_sequential_requests () =
-  let d =
-    Deployment.build ~business:Business.trivial
+  let _e, d =
+    Harness.Simrun.deployment ~business:Business.trivial
       ~script:(fun ~issue ->
         ignore (issue "alpha");
         ignore (issue "beta");
@@ -86,7 +86,7 @@ let test_three_sequential_requests () =
 let test_nice_run_latency_matches_paper_shape () =
   (* With the calibrated model a committed e-Transaction should take around
      250 ms as seen by the client (the paper measured 252.3). *)
-  let d = one_request () in
+  let _e, d = one_request () in
   ignore (Deployment.run_to_quiescence d);
   match Client.records d.client with
   | [ r ] ->
@@ -100,8 +100,8 @@ let test_nice_run_latency_matches_paper_shape () =
 let test_user_level_abort_then_commit () =
   (* balance 10 < 100: attempt 1 poisons and aborts; attempt 2 reports and
      commits. Exactly the paper's footnote-4 behaviour. *)
-  let d =
-    Deployment.build
+  let _e, d =
+    Harness.Simrun.deployment
       ~seed_data:[ ("balance", Dbms.Value.Int 10) ]
       ~business:(debit_or_report ~amount:100)
       ~script:(fun ~issue -> ignore (issue "pay"))
@@ -121,8 +121,8 @@ let test_user_level_abort_then_commit () =
     (Dbms.Rm.read_committed rm "balance" = Some (Dbms.Value.Int 10))
 
 let test_successful_debit_applies_once () =
-  let d =
-    Deployment.build
+  let _e, d =
+    Harness.Simrun.deployment
       ~seed_data:[ ("balance", Dbms.Value.Int 500) ]
       ~business:(debit_or_report ~amount:100)
       ~script:(fun ~issue -> ignore (issue "pay"))
@@ -135,7 +135,7 @@ let test_successful_debit_applies_once () =
     (Dbms.Rm.read_committed rm "balance" = Some (Dbms.Value.Int 400))
 
 let test_multiple_dbs_all_commit () =
-  let d = one_request ~n_dbs:3 () in
+  let _e, d = one_request ~n_dbs:3 () in
   let ok = Deployment.run_to_quiescence d in
   Alcotest.(check bool) "quiesced" true ok;
   check_no_violations "multi-db" d;
@@ -157,8 +157,8 @@ let test_multiple_dbs_all_commit () =
 let test_failover_abort_midcompute () =
   (* Primary crashes mid-SQL (t=100ms): Fig. 1(d). The cleaner aborts try 1,
      the client retries, another server commits try 2. *)
-  let d = one_request ~client_period:300. () in
-  Dsim.Engine.crash_at d.engine 100. (Deployment.primary d);
+  let e, d = one_request ~client_period:300. () in
+  Dsim.Engine.crash_at e 100. (Deployment.primary d);
   let ok = Deployment.run_to_quiescence d ~deadline:60_000. in
   Alcotest.(check bool) "quiesced" true ok;
   (match Client.records d.client with
@@ -170,9 +170,9 @@ let test_failover_commit_after_regd () =
   (* Primary crashes after the decision landed in regD but before it could
      terminate: Fig. 1(c). The cleaner must finish the COMMIT and the client
      must deliver try 1's result. *)
-  let d = one_request ~client_period:300. () in
+  let e, d = one_request ~client_period:300. () in
   (* regD write completes around t≈225ms with the calibrated model *)
-  Dsim.Engine.crash_at d.engine 230. (Deployment.primary d);
+  Dsim.Engine.crash_at e 230. (Deployment.primary d);
   let ok = Deployment.run_to_quiescence d ~deadline:60_000. in
   Alcotest.(check bool) "quiesced" true ok;
   check_no_violations "fail-over commit" d
@@ -180,10 +180,10 @@ let test_failover_commit_after_regd () =
 let test_client_crash_t2_holds () =
   (* The client crashes mid-request. Nothing is delivered, but no database
      may stay blocked (T.2) — the cleaning thread unblocks them. *)
-  let d = one_request ~client_period:300. () in
-  Dsim.Engine.crash_at d.engine 100. (Deployment.primary d);
-  Dsim.Engine.crash_at d.engine 150. (Client.pid d.client);
-  ignore (Dsim.Engine.run ~deadline:60_000. d.engine);
+  let e, d = one_request ~client_period:300. () in
+  Dsim.Engine.crash_at e 100. (Deployment.primary d);
+  Dsim.Engine.crash_at e 150. (Client.pid d.client);
+  ignore (Dsim.Engine.run ~deadline:60_000. e);
   Alcotest.(check (list string)) "T.2" [] (Spec.termination_t2 d);
   Alcotest.(check (list string)) "A.3" [] (Spec.agreement_a3 d);
   Alcotest.(check int) "nothing delivered" 0
@@ -192,20 +192,20 @@ let test_client_crash_t2_holds () =
 let test_db_crash_recovery () =
   (* The (good) database crashes during the run and recovers; the protocol
      must still terminate with a committed result. *)
-  let d = one_request ~client_period:300. () in
+  let e, d = one_request ~client_period:300. () in
   let db = fst (List.hd d.dbs) in
-  Dsim.Engine.crash_at d.engine 120. db;
-  Dsim.Engine.recover_at d.engine 400. db;
+  Dsim.Engine.crash_at e 120. db;
+  Dsim.Engine.recover_at e 400. db;
   let ok = Deployment.run_to_quiescence d ~deadline:120_000. in
   Alcotest.(check bool) "quiesced" true ok;
   check_no_violations "db crash+recovery" d
 
 let test_two_of_five_appservers_crash () =
-  let d = one_request ~n_app_servers:5 ~client_period:300. () in
+  let e, d = one_request ~n_app_servers:5 ~client_period:300. () in
   (match d.app_servers with
   | a1 :: a2 :: _ ->
-      Dsim.Engine.crash_at d.engine 50. a1;
-      Dsim.Engine.crash_at d.engine 180. a2
+      Dsim.Engine.crash_at e 50. a1;
+      Dsim.Engine.crash_at e 180. a2
   | _ -> Alcotest.fail "expected five servers");
   let ok = Deployment.run_to_quiescence d ~deadline:120_000. in
   Alcotest.(check bool) "quiesced" true ok;
@@ -220,8 +220,8 @@ let test_crash_at_every_point () =
      specification must hold at EVERY cut point. *)
   let t = ref 5. in
   while !t < 270. do
-    let d = one_request ~client_period:300. () in
-    Dsim.Engine.crash_at d.engine !t (Deployment.primary d);
+    let e, d = one_request ~client_period:300. () in
+    Dsim.Engine.crash_at e !t (Deployment.primary d);
     let ok = Deployment.run_to_quiescence ~deadline:120_000. d in
     if not ok then Alcotest.failf "crash at %.1f: did not quiesce" !t;
     (match Spec.check_all d with
@@ -238,7 +238,7 @@ let test_heartbeat_fd_nice_run () =
   (* With a real (imperfect) detector and default parameters, a failure-free
      run must behave exactly like the oracle run: one try, no cleaner
      interference from false suspicions. *)
-  let d =
+  let _e, d =
     one_request
       ~fd_spec:
         (Appserver.Fd_heartbeat
@@ -258,8 +258,8 @@ let test_partitioned_minority_server () =
   let partition, net =
     Dnet.Netmodel.partitionable (Dnet.Netmodel.three_tier ~n_dbs:1 ())
   in
-  let d =
-    Deployment.build ~net ~business:Business.trivial
+  let e, d =
+    Harness.Simrun.deployment ~net ~business:Business.trivial
       ~script:(fun ~issue ->
         ignore (issue "during-partition");
         ignore (issue "after-heal"))
@@ -267,7 +267,7 @@ let test_partitioned_minority_server () =
   in
   let a3 = List.nth d.app_servers 2 in
   Dnet.Netmodel.isolate partition a3;
-  Dsim.Engine.schedule d.engine ~delay:400. (fun () ->
+  Dsim.Engine.schedule e ~delay:400. (fun () ->
       Dnet.Netmodel.heal partition);
   let ok = Deployment.run_to_quiescence ~deadline:120_000. d in
   Alcotest.(check bool) "quiesced" true ok;
@@ -278,8 +278,8 @@ let test_partitioned_minority_server () =
 let test_multiple_clients_contention () =
   (* Three clients hammer the same account concurrently: lock conflicts are
      retried, and the final balance reflects every transfer exactly once. *)
-  let d =
-    Deployment.build
+  let e, d =
+    Harness.Simrun.deployment
       ~seed_data:(Workload.Bank.seed_accounts [ ("hot", 0) ])
       ~business:Workload.Bank.update
       ~script:(fun ~issue ->
@@ -291,7 +291,7 @@ let test_multiple_clients_contention () =
   let extra_clients =
     List.map
       (fun name ->
-        Client.spawn d.engine ~name ~period:400. ~servers:d.app_servers
+        Client.spawn d.rt ~name ~period:400. ~servers:d.app_servers
           ~script:(fun ~issue ->
             for _ = 1 to 3 do
               ignore (issue "hot:10")
@@ -303,7 +303,7 @@ let test_multiple_clients_contention () =
     Client.script_done d.client
     && List.for_all Client.script_done extra_clients
   in
-  let ok = Dsim.Engine.run_until ~deadline:600_000. d.engine all_done in
+  let ok = Dsim.Engine.run_until ~deadline:600_000. e all_done in
   Alcotest.(check bool) "all clients served" true ok;
   check_no_violations "multi-client" d;
   List.iter
@@ -322,7 +322,7 @@ let test_impatient_client_active_replication () =
      there is no single primary". A 5 ms back-off makes the client broadcast
      almost immediately; several servers then race on regA[1], and the
      write-once register keeps execution exactly-once anyway. *)
-  let d = one_request ~client_period:5. () in
+  let e, d = one_request ~client_period:5. () in
   let ok = Deployment.run_to_quiescence ~deadline:60_000. d in
   Alcotest.(check bool) "quiesced" true ok;
   (match Client.records d.client with
@@ -338,7 +338,7 @@ let test_impatient_client_active_replication () =
             { payload = Etx_types.Request_msg { j = 1; _ }; dst; _ } ->
             List.mem dst d.app_servers
         | _ -> false)
-      (Dsim.Trace.entries (Dsim.Engine.trace d.engine))
+      (Dsim.Trace.entries (Dsim.Engine.trace e))
   in
   Alcotest.(check bool) "more than one server engaged" true
     (List.length deliveries >= 2);
@@ -350,13 +350,13 @@ let test_impatient_client_active_replication () =
         | Dsim.Trace.Note (_, s) ->
             String.length s > 9 && String.sub s 0 9 = "computed:"
         | _ -> false)
-      (Dsim.Trace.entries (Dsim.Engine.trace d.engine))
+      (Dsim.Trace.entries (Dsim.Engine.trace e))
   in
   Alcotest.(check int) "exactly one execution" 1 (List.length computed)
 
 (* --- the client protocol (Fig. 2) details --- *)
 
-let request_deliveries d =
+let request_deliveries e =
   (* count Request deliveries per application-server pid *)
   let counts = Hashtbl.create 8 in
   List.iter
@@ -371,17 +371,17 @@ let request_deliveries d =
               Hashtbl.replace counts m.dst (c + 1)
           | _ -> ())
       | _ -> ())
-    (Dsim.Trace.entries (Dsim.Engine.trace d.Deployment.engine));
+    (Dsim.Trace.entries (Dsim.Engine.trace e));
   counts
 
 let test_client_backoff_then_broadcast () =
   (* The primary is dead from the start: the client first times out on it,
      then broadcasts to every server (Fig. 2 lines 5-7). *)
-  let d = one_request ~client_period:300. () in
-  Dsim.Engine.crash_at d.engine 0.5 (Deployment.primary d);
+  let e, d = one_request ~client_period:300. () in
+  Dsim.Engine.crash_at e 0.5 (Deployment.primary d);
   let ok = Deployment.run_to_quiescence ~deadline:60_000. d in
   Alcotest.(check bool) "quiesced" true ok;
-  let counts = request_deliveries d in
+  let counts = request_deliveries e in
   List.iteri
     (fun i server ->
       if i > 0 then
@@ -401,9 +401,9 @@ let test_client_backoff_then_broadcast () =
 let test_client_no_broadcast_in_nice_run () =
   (* In a failure-free run the optimisation holds: only the primary ever
      sees the request. *)
-  let d = one_request () in
+  let e, d = one_request () in
   ignore (Deployment.run_to_quiescence d);
-  let counts = request_deliveries d in
+  let counts = request_deliveries e in
   List.iteri
     (fun i server ->
       if i > 0 then
@@ -415,16 +415,16 @@ let test_client_no_broadcast_in_nice_run () =
 
 let test_client_ignores_stale_result () =
   (* A stray Result for a different (rid, j) must not fool the client. *)
-  let d =
-    Deployment.build ~business:Business.trivial
+  let e, d =
+    Harness.Simrun.deployment ~business:Business.trivial
       ~script:(fun ~issue ->
         let r = issue "real" in
         Alcotest.(check string) "genuine result" "ok:real" r.result)
       ()
   in
   (* inject a forged result for a nonexistent request before the run *)
-  Dsim.Engine.schedule d.engine ~delay:1. (fun () ->
-      Dsim.Engine.post d.engine ~src:(Deployment.primary d)
+  Dsim.Engine.schedule e ~delay:1. (fun () ->
+      Dsim.Engine.post e ~src:(Deployment.primary d)
         ~dst:(Client.pid d.client)
         (Etx_types.Result_msg
            {
@@ -439,7 +439,7 @@ let test_client_ignores_stale_result () =
 
 (* --- §5 extension: register garbage collection --- *)
 
-let gc_notes d =
+let gc_notes e =
   List.filter_map
     (fun (e : Dsim.Trace.entry) ->
       match e.event with
@@ -447,9 +447,9 @@ let gc_notes d =
         when String.length s > 3 && String.sub s 0 3 = "gc:" ->
           Some s
       | _ -> None)
-    (Dsim.Trace.entries (Dsim.Engine.trace d.Deployment.engine))
+    (Dsim.Trace.entries (Dsim.Engine.trace e))
 
-let computed_try1_notes d rid =
+let computed_try1_notes e rid =
   let prefix = Printf.sprintf "computed:%d:1:" rid in
   List.filter
     (fun (e : Dsim.Trace.entry) ->
@@ -458,11 +458,11 @@ let computed_try1_notes d rid =
           String.length s >= String.length prefix
           && String.sub s 0 (String.length prefix) = prefix
       | _ -> false)
-    (Dsim.Trace.entries (Dsim.Engine.trace d.Deployment.engine))
+    (Dsim.Trace.entries (Dsim.Engine.trace e))
   |> List.length
 
 let test_gc_collects_registers () =
-  let d = Deployment.build ~gc_after:500. ~business:Business.trivial
+  let e, d = Harness.Simrun.deployment ~gc_after:500. ~business:Business.trivial
       ~script:(fun ~issue ->
         ignore (issue "one");
         ignore (issue "two"))
@@ -471,8 +471,8 @@ let test_gc_collects_registers () =
   let ok = Deployment.run_to_quiescence d in
   Alcotest.(check bool) "quiesced" true ok;
   (* let the grace period elapse and the GC threads run *)
-  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of d.engine +. 2_000.) d.engine);
-  let notes = gc_notes d in
+  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of e +. 2_000.) e);
+  let notes = gc_notes e in
   (* every server sweeps at least once *)
   Alcotest.(check bool)
     (Printf.sprintf "at least 3 sweeps (got %d)" (List.length notes))
@@ -491,8 +491,8 @@ let test_gc_timed_at_most_once_caveat () =
   (* The paper's caveat, demonstrated: after the grace period the servers
      have genuinely forgotten the request, so a (rule-breaking) late
      retransmission is re-executed as if new. *)
-  let d =
-    Deployment.build ~gc_after:300. ~business:Business.trivial
+  let e, d =
+    Harness.Simrun.deployment ~gc_after:300. ~business:Business.trivial
       ~script:(fun ~issue -> ignore (issue "pay"))
       ()
   in
@@ -503,24 +503,24 @@ let test_gc_timed_at_most_once_caveat () =
     | [ r ] -> r.rid
     | _ -> Alcotest.fail "expected one record"
   in
-  Alcotest.(check int) "computed once" 1 (computed_try1_notes d rid);
+  Alcotest.(check int) "computed once" 1 (computed_try1_notes e rid);
   (* grace period passes; GC runs *)
-  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of d.engine +. 1_000.) d.engine);
-  Alcotest.(check bool) "collected" true (gc_notes d <> []);
+  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of e +. 1_000.) e);
+  Alcotest.(check bool) "collected" true (gc_notes e <> []);
   (* a late retransmission of (rid, j=1) straight to the primary *)
   let request = { Etx_types.rid; body = "pay" } in
-  Dsim.Engine.post d.engine ~src:(Client.pid d.client)
+  Dsim.Engine.post e ~src:(Client.pid d.client)
     ~dst:(Deployment.primary d)
     (Etx_types.Request_msg { request; j = 1 });
-  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of d.engine +. 2_000.) d.engine);
+  ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of e +. 2_000.) e);
   Alcotest.(check int) "re-executed after GC (the timed caveat)" 2
-    (computed_try1_notes d rid)
+    (computed_try1_notes e rid)
 
 (* --- the Synod (Paxos) register backend at the protocol level --- *)
 
 let test_synod_backend_nice_run () =
-  let d =
-    Deployment.build ~backend:Appserver.Reg_synod ~business:Business.trivial
+  let _e, d =
+    Harness.Simrun.deployment ~backend:Appserver.Reg_synod ~business:Business.trivial
       ~script:(fun ~issue -> ignore (issue "via-paxos"))
       ()
   in
@@ -543,13 +543,13 @@ let test_synod_backend_failover () =
   (* both fail-over shapes of Fig. 1, on the Paxos substrate *)
   List.iter
     (fun (crash_at, expect_tries) ->
-      let d =
-        Deployment.build ~backend:Appserver.Reg_synod ~client_period:300.
+      let e, d =
+        Harness.Simrun.deployment ~backend:Appserver.Reg_synod ~client_period:300.
           ~business:Business.trivial
           ~script:(fun ~issue -> ignore (issue "x"))
           ()
       in
-      Dsim.Engine.crash_at d.engine crash_at (Deployment.primary d);
+      Dsim.Engine.crash_at e crash_at (Deployment.primary d);
       let ok = Deployment.run_to_quiescence ~deadline:120_000. d in
       Alcotest.(check bool)
         (Printf.sprintf "quiesced (crash at %.0f)" crash_at)
@@ -568,13 +568,13 @@ let prop_synod_backend_random_faults =
     ~count:15
     QCheck.(pair (int_range 0 100_000) (float_range 1. 400.))
     (fun (seed, crash_time) ->
-      let d =
-        Deployment.build ~seed ~backend:Appserver.Reg_synod
+      let e, d =
+        Harness.Simrun.deployment ~seed ~backend:Appserver.Reg_synod
           ~client_period:300. ~business:Business.trivial
           ~script:(fun ~issue -> ignore (issue "x"))
           ()
       in
-      Dsim.Engine.crash_at d.engine crash_time (Deployment.primary d);
+      Dsim.Engine.crash_at e crash_time (Deployment.primary d);
       Etx.Deployment.run_to_quiescence ~deadline:300_000. d
       && Spec.check_all d = [])
 
@@ -586,8 +586,8 @@ let test_recoverable_all_servers_crash () =
      delivered result may degrade to an error report when the re-elected
      winner cannot reconstruct the original result string, but the
      transaction's effect applies exactly once. *)
-  let d =
-    Deployment.build ~recoverable:true ~client_period:300.
+  let e, d =
+    Harness.Simrun.deployment ~recoverable:true ~client_period:300.
       ~seed_data:(Workload.Bank.seed_accounts [ ("acct", 1000) ])
       ~business:Workload.Bank.update
       ~script:(fun ~issue -> ignore (issue "acct:-100"))
@@ -596,8 +596,8 @@ let test_recoverable_all_servers_crash () =
   List.iteri
     (fun i server ->
       let at = 60. +. (float_of_int i *. 40.) in
-      Dsim.Engine.crash_at d.engine at server;
-      Dsim.Engine.recover_at d.engine (at +. 500.) server)
+      Dsim.Engine.crash_at e at server;
+      Dsim.Engine.recover_at e (at +. 500.) server)
     d.app_servers;
   let ok = Deployment.run_to_quiescence ~deadline:300_000. d in
   Alcotest.(check bool) "recovered cluster finished the request" true ok;
@@ -615,21 +615,21 @@ let test_recoverable_majority_down_blocks_then_resumes () =
   (* Two of three servers down: no majority, no progress (consensus needs
      it); once they come back the request completes — "a majority is
      eventually up together" replaces "a majority never crashes". *)
-  let d =
-    Deployment.build ~recoverable:true ~client_period:300.
+  let e, d =
+    Harness.Simrun.deployment ~recoverable:true ~client_period:300.
       ~business:Business.trivial
       ~script:(fun ~issue -> ignore (issue "x"))
       ()
   in
   (match d.app_servers with
   | a1 :: a2 :: _ ->
-      Dsim.Engine.crash_at d.engine 20. a1;
-      Dsim.Engine.crash_at d.engine 20. a2;
-      Dsim.Engine.recover_at d.engine 8_000. a1;
-      Dsim.Engine.recover_at d.engine 8_000. a2
+      Dsim.Engine.crash_at e 20. a1;
+      Dsim.Engine.crash_at e 20. a2;
+      Dsim.Engine.recover_at e 8_000. a1;
+      Dsim.Engine.recover_at e 8_000. a2
   | _ -> Alcotest.fail "expected three servers");
   (* blocked while the majority is down *)
-  ignore (Dsim.Engine.run ~deadline:7_000. d.engine);
+  ignore (Dsim.Engine.run ~deadline:7_000. e);
   Alcotest.(check int) "no delivery without a majority" 0
     (List.length (Client.records d.client));
   (* resumes after recovery *)
@@ -644,8 +644,8 @@ let test_recoverable_register_write_cost () =
      from ~243 ms to beyond 2PC's ~260 ms — which is exactly why the paper
      keeps the middle tier diskless. *)
   let run ~recoverable =
-    let d =
-      Deployment.build ~recoverable
+    let _e, d =
+      Harness.Simrun.deployment ~recoverable
         ~seed_data:(Workload.Bank.seed_accounts [ ("a", 100) ])
         ~business:Workload.Bank.update
         ~script:(fun ~issue -> ignore (issue "a:1"))
@@ -674,8 +674,8 @@ let prop_spec_under_random_faults =
         (int_range 0 2))
     (fun (seed, loss, crash_time, victim_index) ->
       let net = Dnet.Netmodel.lossy ~loss (Dnet.Netmodel.lan ()) in
-      let d =
-        Deployment.build ~seed ~net ~client_period:300.
+      let e, d =
+        Harness.Simrun.deployment ~seed ~net ~client_period:300.
           ~fd_spec:
             (Appserver.Fd_heartbeat
                { period = 10.; initial_timeout = 60.; timeout_bump = 30. })
@@ -684,7 +684,7 @@ let prop_spec_under_random_faults =
           ()
       in
       let victim = List.nth d.app_servers victim_index in
-      Dsim.Engine.crash_at d.engine crash_time victim;
+      Dsim.Engine.crash_at e crash_time victim;
       let ok = Deployment.run_to_quiescence d ~deadline:300_000. in
       ok && Spec.check_all d = [])
 
@@ -694,8 +694,8 @@ let prop_crash_recovery_servers =
     QCheck.(
       triple (int_range 0 100_000) (float_range 10. 400.) (int_range 1 3))
     (fun (seed, first_crash, n_victims) ->
-      let d =
-        Etx.Deployment.build ~seed ~recoverable:true ~client_period:300.
+      let e, d =
+        Harness.Simrun.deployment ~seed ~recoverable:true ~client_period:300.
           ~seed_data:(Workload.Bank.seed_accounts [ ("acct", 1000) ])
           ~business:Workload.Bank.update
           ~script:(fun ~issue -> ignore (issue "acct:-100"))
@@ -705,8 +705,8 @@ let prop_crash_recovery_servers =
         (fun i server ->
           if i < n_victims then begin
             let at = first_crash +. (float_of_int i *. 70.) in
-            Dsim.Engine.crash_at d.engine at server;
-            Dsim.Engine.recover_at d.engine (at +. 600.) server
+            Dsim.Engine.crash_at e at server;
+            Dsim.Engine.recover_at e (at +. 600.) server
           end)
         d.app_servers;
       let ok = Etx.Deployment.run_to_quiescence ~deadline:600_000. d in
@@ -722,18 +722,18 @@ let prop_spec_with_db_restarts =
   QCheck.Test.make ~name:"spec with database crash-recovery cycles" ~count:15
     QCheck.(pair (int_range 0 100_000) (float_range 10. 300.))
     (fun (seed, crash_time) ->
-      let d =
-        Deployment.build ~seed ~client_period:300. ~business:Business.trivial
+      let e, d =
+        Harness.Simrun.deployment ~seed ~client_period:300. ~business:Business.trivial
           ~script:(fun ~issue ->
             ignore (issue "x");
             ignore (issue "y"))
           ()
       in
       let db = fst (List.hd d.dbs) in
-      Dsim.Engine.crash_at d.engine crash_time db;
-      Dsim.Engine.recover_at d.engine (crash_time +. 150.) db;
-      Dsim.Engine.crash_at d.engine (crash_time +. 320.) db;
-      Dsim.Engine.recover_at d.engine (crash_time +. 470.) db;
+      Dsim.Engine.crash_at e crash_time db;
+      Dsim.Engine.recover_at e (crash_time +. 150.) db;
+      Dsim.Engine.crash_at e (crash_time +. 320.) db;
+      Dsim.Engine.recover_at e (crash_time +. 470.) db;
       let ok = Deployment.run_to_quiescence d ~deadline:300_000. in
       ok && Spec.check_all d = [])
 
@@ -750,8 +750,8 @@ let prop_kitchen_sink =
         if backend_choice = 0 then Appserver.Reg_ct else Appserver.Reg_synod
       in
       let net = Dnet.Netmodel.lossy ~loss (Dnet.Netmodel.three_tier ~n_dbs:1 ()) in
-      let d =
-        Deployment.build ~seed ~net ~backend
+      let e, d =
+        Harness.Simrun.deployment ~seed ~net ~backend
           ~client_period:(50. +. float_of_int (seed mod 400))
           ~fd_spec:
             (Appserver.Fd_heartbeat
@@ -765,10 +765,10 @@ let prop_kitchen_sink =
           ()
       in
       let victim = List.nth d.app_servers (seed mod 3) in
-      Dsim.Engine.crash_at d.engine crash_time victim;
+      Dsim.Engine.crash_at e crash_time victim;
       let db = fst (List.hd d.dbs) in
-      Dsim.Engine.crash_at d.engine (crash_time +. 180.) db;
-      Dsim.Engine.recover_at d.engine (crash_time +. 380.) db;
+      Dsim.Engine.crash_at e (crash_time +. 180.) db;
+      Dsim.Engine.recover_at e (crash_time +. 380.) db;
       let ok = Deployment.run_to_quiescence ~deadline:600_000. d in
       ok
       && Spec.check_all d = []

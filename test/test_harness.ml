@@ -348,13 +348,13 @@ let count_occurrences haystack needle =
   scan 0 0
 
 let test_seqdiag_nice_run () =
-  let d =
-    Etx.Deployment.build ~business:Etx.Business.trivial
+  let e, d =
+    Harness.Simrun.deployment ~business:Etx.Business.trivial
       ~script:(fun ~issue -> ignore (issue "x"))
       ()
   in
   ignore (Etx.Deployment.run_to_quiescence d);
-  let diagram = Seqdiag.of_engine d.engine in
+  let diagram = Seqdiag.of_engine e in
   List.iter
     (fun needle ->
       Alcotest.(check bool) ("diagram shows " ^ needle) true
@@ -376,31 +376,31 @@ let test_seqdiag_nice_run () =
   (* consensus substrate elided by default, shown on demand *)
   Alcotest.(check int) "no consensus by default" 0
     (count_occurrences diagram "consensus");
-  let with_consensus = Seqdiag.of_engine ~include_consensus:true d.engine in
+  let with_consensus = Seqdiag.of_engine ~include_consensus:true e in
   Alcotest.(check bool) "consensus on demand" true
     (count_occurrences with_consensus "consensus" > 0)
 
 let test_seqdiag_failover_markers () =
-  let d =
-    Etx.Deployment.build ~client_period:300. ~business:Etx.Business.trivial
+  let e, d =
+    Harness.Simrun.deployment ~client_period:300. ~business:Etx.Business.trivial
       ~script:(fun ~issue -> ignore (issue "x"))
       ()
   in
-  Dsim.Engine.crash_at d.engine 100. (Etx.Deployment.primary d);
+  Dsim.Engine.crash_at e 100. (Etx.Deployment.primary d);
   ignore (Etx.Deployment.run_to_quiescence ~deadline:60_000. d);
-  let diagram = Seqdiag.of_engine d.engine in
+  let diagram = Seqdiag.of_engine e in
   Alcotest.(check bool) "crash marker" true (contains diagram "CRASH");
   Alcotest.(check bool) "cleaner activity" true (contains diagram "cleaned:");
   Alcotest.(check bool) "second try visible" true (contains diagram "j=2")
 
 let test_seqdiag_max_lines () =
-  let d =
-    Etx.Deployment.build ~business:Etx.Business.trivial
+  let e, d =
+    Harness.Simrun.deployment ~business:Etx.Business.trivial
       ~script:(fun ~issue -> ignore (issue "x"))
       ()
   in
   ignore (Etx.Deployment.run_to_quiescence d);
-  let diagram = Seqdiag.of_engine ~max_lines:3 d.engine in
+  let diagram = Seqdiag.of_engine ~max_lines:3 e in
   Alcotest.(check bool) "elision marker" true (contains diagram "more events");
   Alcotest.(check int) "four lines total" 4
     (List.length

@@ -2,8 +2,8 @@
    exercised through full deployments. *)
 
 let run ?(n_dbs = 1) ?seed_data ~business bodies =
-  let d =
-    Etx.Deployment.build ~n_dbs ?seed_data ~business
+  let _e, d =
+    Harness.Simrun.deployment ~n_dbs ?seed_data ~business
       ~script:(fun ~issue -> List.iter (fun b -> ignore (issue b)) bodies)
       ()
   in
@@ -81,8 +81,8 @@ let test_bank_parse_errors () =
      simulation loudly rather than silently corrupting the run *)
   Alcotest.check_raises "update body"
     (Invalid_argument "Bank.update: bad request body nope") (fun () ->
-      let d =
-        Etx.Deployment.build ~business:Workload.Bank.update
+      let _e, d =
+        Harness.Simrun.deployment ~business:Workload.Bank.update
           ~script:(fun ~issue -> ignore (issue "nope"))
           ()
       in
@@ -199,8 +199,8 @@ let prop_travel_inventory_conserved =
     QCheck.(pair (int_range 0 10_000) (int_range 1 6))
     (fun (seed, n_requests) ->
       let bodies = List.init n_requests (fun _ -> "ibiza:1") in
-      let d =
-        Etx.Deployment.build ~seed ~n_dbs:3
+      let _e, d =
+        Harness.Simrun.deployment ~seed ~n_dbs:3
           ~seed_data:
             (Workload.Travel.seed_inventory ~destinations:[ "ibiza" ] ~seats:3
                ~rooms:3 ~cars:3)
