@@ -13,20 +13,25 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      scale scale-smoke parallel live micro)
+      scale scale-smoke shard shard-smoke parallel live micro)
 
-   Each invocation also writes BENCH_harness.json — per-artefact wall-clock
-   seconds plus the cluster-scale sweep points, machine-readable:
-     { "schema": "etx-bench-harness/3", "domains": N, "host_cores": C,
+   Each invocation also writes BENCH_harness.json (via {!Stats.Json}) —
+   per-artefact wall-clock seconds plus the sweep points, machine-readable:
+     { "schema": "etx-bench-harness/4", "domains": N, "host_cores": C,
        "artefacts": [ { "name": "figure8", "backend": "sim",
                         "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
                     "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ],
+       "shard": [ { "backend": "sim", "shards": 2, "clients": 4,
+                    "requests": 16, "delivered": 16, "events": 3606,
+                    "vtime_ms": 1916.9, "tx_per_vs": 8.3, "wall_s": 0.2 },
+                  { "backend": "live", "shards": 2, ...,
+                    "requests_per_sec": 5.0 }, ... ],
        "live": [ { "clients": 2, "requests": 6, "wall_s": 1.2,
                    "requests_per_sec": 5.0 }, ... ] }
    Every artefact records which runtime backend produced it: "sim" for the
    deterministic discrete-event engine, "live" for the wall-clock threads
-   backend (the [live] artefact). *)
+   backend (the [live] and [shard] artefacts' live rows). *)
 
 let domains = ref 1
 
@@ -45,6 +50,12 @@ let scale_rows : (int * int * int * float * float) list ref = ref []
 (* (clients, total requests, wall_s, requests/s) from the live artefact *)
 let live_rows : (int * int * float * float) list ref = ref []
 
+(* shard-sweep rows on the simulator, plus live cluster rows:
+   (shards, clients, requests, delivered, wall_s, requests/s) *)
+let shard_rows : Harness.Experiments.shard_row list ref = ref []
+
+let shard_live_rows : (int * int * int * int * float * float) list ref = ref []
+
 let timed ?(backend = "sim") name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -53,59 +64,92 @@ let timed ?(backend = "sim") name f =
   r
 
 let write_bench_json () =
+  let open Stats.Json in
+  let shard_json =
+    List.map
+      (fun (r : Harness.Experiments.shard_row) ->
+        Obj
+          [
+            ("backend", String "sim");
+            ("shards", Int r.shards);
+            ("clients", Int r.clients);
+            ("requests", Int r.requests);
+            ("delivered", Int r.delivered);
+            ("events", Int r.events);
+            ("vtime_ms", Float r.vtime_ms);
+            ("tx_per_vs", Float r.tx_per_vs);
+            ("wall_s", Float r.wall_s);
+          ])
+      !shard_rows
+    @ List.map
+        (fun (shards, clients, requests, delivered, wall_s, rate) ->
+          Obj
+            [
+              ("backend", String "live");
+              ("shards", Int shards);
+              ("clients", Int clients);
+              ("requests", Int requests);
+              ("delivered", Int delivered);
+              ("wall_s", Float wall_s);
+              ("requests_per_sec", Float rate);
+            ])
+        !shard_live_rows
+  in
+  let doc =
+    Obj
+      [
+        ("schema", String "etx-bench-harness/4");
+        ("domains", Int !domains);
+        ("host_cores", Int host_cores);
+        ( "artefacts",
+          List
+            (List.map
+               (fun (name, backend, wall_s) ->
+                 Obj
+                   [
+                     ("name", String name);
+                     ("backend", String backend);
+                     ("wall_s", Float wall_s);
+                   ])
+               !timings) );
+        ( "scale",
+          List
+            (List.map
+               (fun (s, c, ev, wall, rate) ->
+                 Obj
+                   [
+                     ("servers", Int s);
+                     ("clients", Int c);
+                     ("events", Int ev);
+                     ("wall_s", Float wall);
+                     ("events_per_sec", Float rate);
+                   ])
+               !scale_rows) );
+        ("shard", List shard_json);
+        ( "live",
+          List
+            (List.map
+               (fun (clients, reqs, wall, rate) ->
+                 Obj
+                   [
+                     ("clients", Int clients);
+                     ("requests", Int reqs);
+                     ("wall_s", Float wall);
+                     ("requests_per_sec", Float rate);
+                   ])
+               !live_rows) );
+      ]
+  in
   let oc = open_out "BENCH_harness.json" in
-  let artefacts =
-    String.concat ",\n"
-      (List.map
-         (fun (name, backend, wall_s) ->
-           Printf.sprintf
-             "    { \"name\": %S, \"backend\": %S, \"wall_s\": %.6f }" name
-             backend wall_s)
-         !timings)
-  in
-  let scale =
-    String.concat ",\n"
-      (List.map
-         (fun (s, c, ev, wall, rate) ->
-           Printf.sprintf
-             "    { \"servers\": %d, \"clients\": %d, \"events\": %d, \
-              \"wall_s\": %.6f, \"events_per_sec\": %.1f }"
-             s c ev wall rate)
-         !scale_rows)
-  in
-  let live =
-    String.concat ",\n"
-      (List.map
-         (fun (clients, reqs, wall, rate) ->
-           Printf.sprintf
-             "    { \"clients\": %d, \"requests\": %d, \"wall_s\": %.6f, \
-              \"requests_per_sec\": %.2f }"
-             clients reqs wall rate)
-         !live_rows)
-  in
-  Printf.fprintf oc
-    "{\n\
-    \  \"schema\": \"etx-bench-harness/3\",\n\
-    \  \"domains\": %d,\n\
-    \  \"host_cores\": %d,\n\
-    \  \"artefacts\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"scale\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"live\": [\n\
-     %s\n\
-    \  ]\n\
-     }\n"
-    !domains host_cores artefacts scale live;
+  to_channel oc doc;
   close_out oc;
   Printf.printf
-    "wrote BENCH_harness.json (%d artefacts, %d scale points, domains=%d, \
-     host_cores=%d)\n\
+    "wrote BENCH_harness.json (%d artefacts, %d scale points, %d shard rows, \
+     domains=%d, host_cores=%d)\n\
      %!"
     (List.length !timings)
     (List.length !scale_rows)
+    (List.length shard_json)
     !domains host_cores
 
 let run_figure8 () =
@@ -191,6 +235,81 @@ let run_scale ?points () =
    paying for the 25-server × 512-client run *)
 let run_scale_smoke () =
   run_scale ~points:[ List.hd Harness.Experiments.scale_points ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Shard artefact: S independent replica groups. Sim rows measure
+   virtual-time throughput scaling (deterministic); the live row runs a
+   2-shard cluster on the threads backend for wall-clock requests/sec. *)
+
+(* first [per_shard] account keys owned by each shard of [map], scan order *)
+let shard_keys map ~per_shard =
+  let shards = Etx.Shard_map.shards map in
+  let want = Array.make shards per_shard in
+  let rec scan a acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let key = Printf.sprintf "acct%d" a in
+      let s = Etx.Shard_map.shard_of map key in
+      if want.(s) > 0 then begin
+        want.(s) <- want.(s) - 1;
+        scan (a + 1) (key :: acc) (remaining - 1)
+      end
+      else scan (a + 1) acc remaining
+  in
+  scan 0 [] (shards * per_shard)
+
+let run_shard_sim ?points () =
+  let rows =
+    timed "shard" @@ fun () ->
+    Harness.Experiments.shard_sweep ?points ~domains:!domains ()
+  in
+  shard_rows := !shard_rows @ rows;
+  section "A11 (shard scaling)" (Harness.Experiments.render_shard rows)
+
+let run_shard_live () =
+  let shards = 2 and per_shard = 2 and n_requests = 3 in
+  timed ~backend:"live" "shard-live" @@ fun () ->
+  let map = Etx.Shard_map.create ~shards () in
+  let keys = shard_keys map ~per_shard in
+  let n_clients = List.length keys in
+  let lt = Runtime_live.create ~seed:1 () in
+  let rt = Runtime_live.runtime lt in
+  let seed_data =
+    Workload.Bank.seed_accounts (List.map (fun k -> (k, 1000)) keys)
+  in
+  let scripts =
+    List.map
+      (fun key ~issue ->
+        for _ = 1 to n_requests do
+          ignore (issue (key ^ ":1"))
+        done)
+      keys
+  in
+  let c =
+    Cluster.build ~map ~seed_data ~business:Workload.Bank.update ~rt ~scripts
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let ok = Cluster.run_to_quiescence ~deadline:120_000. c in
+  let wall = Unix.gettimeofday () -. t0 in
+  Runtime_live.shutdown lt;
+  let total = n_clients * n_requests in
+  let delivered = List.length (Cluster.all_records c) in
+  let rate = float_of_int delivered /. wall in
+  shard_live_rows :=
+    !shard_live_rows @ [ (shards, n_clients, total, delivered, wall, rate) ];
+  section "Shard scaling (live backend, wall clock)"
+    (Printf.sprintf
+       "%d shards x %d clients x %d requests on the threads backend: %d/%d \
+        delivered in %.2f s wall = %.2f requests/sec (quiesced: %b)"
+       shards n_clients n_requests delivered total wall rate ok)
+
+let run_shard () =
+  run_shard_sim ();
+  run_shard_live ()
+
+(* sim-only, shards 1-2: the CI smoke *)
+let run_shard_smoke () = run_shard_sim ~points:[ 1; 2 ] ()
 
 (* ------------------------------------------------------------------ *)
 (* Live-backend artefact: wall-clock requests/sec on a small cluster.
@@ -317,18 +436,18 @@ open Bechamel
 
 let micro_tests =
   let heap_bench () =
-    let h = Dsim.Heap.create ~leq:(fun (a : int) b -> a <= b) () in
+    let h = Runtime.Heap.create ~leq:(fun (a : int) b -> a <= b) () in
     for i = 0 to 999 do
-      Dsim.Heap.push h ((i * 7919) mod 1000)
+      Runtime.Heap.push h ((i * 7919) mod 1000)
     done;
-    let rec drain () = match Dsim.Heap.pop h with None -> () | Some _ -> drain () in
+    let rec drain () = match Runtime.Heap.pop h with None -> () | Some _ -> drain () in
     drain ()
   in
   let rng_bench () =
-    let r = Dsim.Rng.create ~seed:1 in
+    let r = Runtime.Rng.create ~seed:1 in
     let acc = ref 0L in
     for _ = 0 to 999 do
-      acc := Int64.add !acc (Dsim.Rng.int64 r)
+      acc := Int64.add !acc (Runtime.Rng.int64 r)
     done;
     !acc
   in
@@ -424,6 +543,7 @@ let all () =
   run_register_backends ();
   run_fd_quality ();
   run_scale ();
+  run_shard ();
   run_live ();
   run_micro ()
 
@@ -463,13 +583,15 @@ let () =
           | "fd-quality" -> run_fd_quality ()
           | "scale" -> run_scale ()
           | "scale-smoke" -> run_scale_smoke ()
+          | "shard" -> run_shard ()
+          | "shard-smoke" -> run_shard_smoke ()
           | "parallel" -> run_parallel ()
           | "live" -> run_live ()
           | "micro" -> run_micro ()
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|scale|scale-smoke|parallel|live|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|scale|scale-smoke|shard|shard-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

@@ -2,10 +2,16 @@
    runtime (OS threads, real timers), crash the primary application server
    mid-run, recover it, and assert the paper's exactly-once specification
    end-to-end. Exits 0 iff every client committed every request with no
-   violation; writes a machine-readable summary (LIVE_smoke.json) for CI. *)
+   violation; writes a machine-readable summary (LIVE_smoke.json) for CI.
+
+   With [-shards S] (S > 1) the same smoke runs on a sharded cluster:
+   S independent replica groups behind the shard router, the crash/recovery
+   targeting shard 0's primary, and the cluster-level specification
+   (per-shard properties plus global exactly-once) checked at the end. *)
 
 let clients = ref 3
 let requests = ref 4
+let shards = ref 1
 let seed = ref 42
 let out = ref "LIVE_smoke.json"
 
@@ -13,14 +19,51 @@ let speclist =
   [
     ("-clients", Arg.Set_int clients, "N  concurrent clients (default 3)");
     ("-requests", Arg.Set_int requests, "N  requests per client (default 4)");
+    ("-shards", Arg.Set_int shards, "S  replica groups (default 1)");
     ("-seed", Arg.Set_int seed, "N  network-model RNG seed (default 42)");
     ("-out", Arg.Set_string out, "FILE  summary JSON path (default LIVE_smoke.json)");
   ]
 
-let () =
-  Arg.parse speclist
-    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "etx_live [-clients N] [-requests N] [-seed N] [-out FILE]";
+let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
+    ~violations ~ok =
+  let open Stats.Json in
+  let doc =
+    Obj
+      [
+        ("schema", String "etx-live-smoke/2");
+        ("backend", String "live");
+        ("shards", Int n_shards);
+        ("clients", Int n_clients);
+        ("requests_per_client", Int n_requests);
+        ("delivered", Int n_delivered);
+        ("crash_injected", Bool true);
+        ("recover_injected", Bool true);
+        ("wall_s", Float wall_s);
+        ("violations", List (List.map (fun v -> String v) violations));
+        ("ok", Bool ok);
+      ]
+  in
+  let oc = open_out out in
+  to_channel oc doc;
+  close_out oc
+
+let report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok =
+  Printf.printf "etx_live: %d/%d delivered in %.1f s wall; %s (summary: %s)\n%!"
+    n_delivered total wall_s
+    (if ok then
+       if n_shards > 1 then
+         Printf.sprintf
+           "spec OK — exactly-once held on all %d shards across crash+recovery"
+           n_shards
+       else "spec OK — exactly-once held across crash+recovery"
+     else "FAILED: " ^ String.concat "; " violations)
+    !out;
+  exit (if ok then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
+(* Single-group path: the original smoke, unchanged behaviour. *)
+
+let run_single () =
   let n_clients = !clients and n_requests = !requests in
   let lt = Runtime_live.create ~seed:!seed () in
   let rt = Runtime_live.runtime lt in
@@ -110,28 +153,111 @@ let () =
     else [ Printf.sprintf "delivered %d of %d requests" n_delivered total ]
   in
   let ok = violations = [] in
-  let oc = open_out !out in
-  Printf.fprintf oc
-    "{\n\
-    \  \"schema\": \"etx-live-smoke/1\",\n\
-    \  \"backend\": \"live\",\n\
-    \  \"clients\": %d,\n\
-    \  \"requests_per_client\": %d,\n\
-    \  \"delivered\": %d,\n\
-    \  \"crash_injected\": true,\n\
-    \  \"recover_injected\": true,\n\
-    \  \"wall_s\": %.3f,\n\
-    \  \"violations\": [%s],\n\
-    \  \"ok\": %b\n\
-     }\n"
-    n_clients n_requests n_delivered wall_s
-    (String.concat ", " (List.map (Printf.sprintf "%S") violations))
-    ok;
-  close_out oc;
-  Printf.printf "etx_live: %d/%d delivered in %.1f s wall; %s (summary: %s)\n%!"
-    n_delivered total wall_s
-    (if ok then "spec OK — exactly-once held across crash+recovery"
-     else "FAILED: " ^ String.concat "; " violations)
-    !out;
+  write_summary ~out:!out ~n_shards:1 ~n_clients ~n_requests ~n_delivered
+    ~wall_s ~violations ~ok;
   Runtime_live.shutdown lt;
-  exit (if ok then 0 else 1)
+  report ~n_shards:1 ~n_delivered ~total ~wall_s ~violations ~ok
+
+(* ------------------------------------------------------------------ *)
+(* Sharded path. *)
+
+(* one account per client, dealt so shard populations differ by at most 1 *)
+let client_keys map ~n_clients ~n_shards =
+  let cap = (n_clients + n_shards - 1) / n_shards in
+  let count = Array.make n_shards 0 in
+  let rec scan a acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let key = Printf.sprintf "acct%d" a in
+      let s = Etx.Shard_map.shard_of map key in
+      if count.(s) < cap then begin
+        count.(s) <- count.(s) + 1;
+        scan (a + 1) (key :: acc) (remaining - 1)
+      end
+      else scan (a + 1) acc remaining
+  in
+  scan 0 [] n_clients
+
+let run_sharded () =
+  let n_clients = !clients and n_requests = !requests and n_shards = !shards in
+  let lt = Runtime_live.create ~seed:!seed () in
+  let rt = Runtime_live.runtime lt in
+  let map = Etx.Shard_map.create ~shards:n_shards () in
+  let keys = client_keys map ~n_clients ~n_shards in
+  let seed_data = Workload.Bank.seed_accounts (List.map (fun k -> (k, 1000)) keys) in
+  let scripts =
+    List.map
+      (fun key ~issue ->
+        for _ = 1 to n_requests do
+          ignore (issue (key ^ ":1"))
+        done)
+      keys
+  in
+  let t_start = Unix.gettimeofday () in
+  let c =
+    Cluster.build ~map ~recoverable:true ~seed_data
+      ~business:Workload.Bank.update ~rt ~scripts ()
+  in
+  let delivered () = List.length (Cluster.all_records c) in
+  let total = n_clients * n_requests in
+  let primary = Cluster.primary c ~shard:0 in
+  let warm = rt.run_until ~deadline:60_000. (fun () -> delivered () >= min total 2) in
+  if not warm then prerr_endline "etx_live: WARNING: slow start";
+  (* crash shard 0's primary: the other shards must keep committing while
+     shard 0 fails over, and the recovered primary rejoins from its log *)
+  Printf.printf
+    "crashing shard-0 primary (p%d %s) at %.0f ms, %d/%d delivered\n%!"
+    primary (rt.name_of primary) (Runtime_live.now_ms lt) (delivered ()) total;
+  rt.crash primary;
+  ignore (rt.run_until ~deadline:(Runtime_live.now_ms lt +. 1_500.) (fun () -> false));
+  Printf.printf "recovering shard-0 primary at %.0f ms, %d/%d delivered\n%!"
+    (Runtime_live.now_ms lt) (delivered ()) total;
+  rt.recover primary;
+  let settled = Cluster.run_to_quiescence ~deadline:240_000. c in
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let n_delivered = delivered () in
+  let scripts_done = List.for_all Etx.Client.script_done c.clients in
+  let violations = if settled then Cluster.Spec.check_all c else [] in
+  (* balance check: each account lives on exactly its home shard and must
+     show exactly [n_requests] increments on every replica there *)
+  let dup_violations =
+    List.concat_map
+      (fun key ->
+        let home = Cluster.shard_of_key c key in
+        let expect = Dbms.Value.Int (1000 + n_requests) in
+        List.filter_map
+          (fun (dbpid, rm) ->
+            match Dbms.Rm.read_committed rm key with
+            | Some v when Dbms.Value.equal v expect -> None
+            | Some v ->
+                Some
+                  (Printf.sprintf
+                     "shard %d db p%d: %s = %s, expected %s (lost or \
+                      duplicated commit)"
+                     home dbpid key (Dbms.Value.to_string v)
+                     (Dbms.Value.to_string expect))
+            | None ->
+                Some (Printf.sprintf "shard %d db p%d: %s missing" home dbpid key))
+          (Cluster.group c home).Cluster.dbs)
+      keys
+  in
+  let violations =
+    violations @ dup_violations
+    @ (if settled then [] else [ "run did not quiesce before the deadline" ])
+    @ (if scripts_done then [] else [ "a client script did not finish" ])
+    @
+    if n_delivered = total then []
+    else [ Printf.sprintf "delivered %d of %d requests" n_delivered total ]
+  in
+  let ok = violations = [] in
+  write_summary ~out:!out ~n_shards ~n_clients ~n_requests ~n_delivered
+    ~wall_s ~violations ~ok;
+  Runtime_live.shutdown lt;
+  report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "etx_live [-clients N] [-requests N] [-shards S] [-seed N] [-out FILE]";
+  if !shards < 1 then (prerr_endline "etx_live: -shards must be >= 1"; exit 2);
+  if !shards = 1 then run_single () else run_sharded ()

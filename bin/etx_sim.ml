@@ -158,6 +158,19 @@ let throughput_cmd =
        ~doc:"Ablation A7: aggregate throughput vs concurrent clients.")
     Term.(const run $ seed_arg $ domains_arg)
 
+let shard_cmd =
+  let run seed domains =
+    set_domains domains;
+    print_endline
+      (Harness.Experiments.render_shard
+         (Harness.Experiments.shard_sweep ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Ablation A11: virtual-time throughput vs shard count (independent \
+             replica groups).")
+    Term.(const run $ seed_arg $ domains_arg)
+
 (* ---------------- demo subcommand ---------------- *)
 
 type workload_choice = W_bank | W_transfer | W_travel
@@ -178,8 +191,80 @@ let workload_conv =
   in
   Arg.conv (parse, print)
 
-let demo_run seed workload requests n_app_servers n_dbs crash_primary_at
-    crash_db verbose diagram =
+(* Sharded demo: [shards] replica groups, [clients] clients, keyed bodies
+   drawn from the workload generator (transfers stay intra-shard), requests
+   dealt round-robin to the clients. Faults target shard 0. *)
+let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
+    crash_primary_at crash_db =
+  let kind =
+    let accounts = max 8 (4 * shards) in
+    match workload with
+    | W_bank -> Workload.Generator.Bank_updates { accounts; max_delta = 100 }
+    | W_transfer ->
+        Workload.Generator.Bank_transfers { accounts; max_amount = 100 }
+    | W_travel ->
+        Workload.Generator.Travel_bookings
+          {
+            destinations = [ "paris"; "tokyo"; "oslo"; "lima" ];
+            max_party = 3;
+          }
+  in
+  let map = Etx.Shard_map.create ~shards () in
+  let bodies =
+    Workload.Generator.sharded_bodies ~map ~seed ~n:(clients * requests) kind
+    |> List.map snd
+  in
+  (* deal bodies round-robin: client i gets bodies i, i+clients, ... *)
+  let script_for i ~issue =
+    List.iteri (fun k body -> if k mod clients = i then ignore (issue body)) bodies
+  in
+  let engine, c =
+    Harness.Simrun.cluster ~seed ~map ~n_app_servers ~n_dbs
+      ~client_period:300.
+      ~seed_data:(Workload.Generator.seed_data_of kind)
+      ~business:(Workload.Generator.business_of kind)
+      ~scripts:(List.init clients script_for)
+      ()
+  in
+  (match crash_primary_at with
+  | Some t -> Dsim.Engine.crash_at engine t (Cluster.primary c ~shard:0)
+  | None -> ());
+  (match crash_db with
+  | Some t ->
+      let db = fst (List.hd (Cluster.group c 0).Cluster.dbs) in
+      Dsim.Engine.crash_at engine t db;
+      Dsim.Engine.recover_at engine (t +. 200.) db
+  | None -> ());
+  let quiesced = Cluster.run_to_quiescence ~deadline:600_000. c in
+  Printf.printf "quiesced: %b (virtual time %.1f ms, %d shards, %d clients)\n"
+    quiesced
+    (Dsim.Engine.now_of engine)
+    shards clients;
+  List.iter
+    (fun (r : Etx.Client.record) ->
+      Printf.printf
+        "  request %d %-24s -> shard %d %-32s (tries=%d, latency=%.1f ms)\n"
+        r.rid r.body
+        (Cluster.shard_of_key c r.key)
+        r.result r.tries
+        (r.delivered_at -. r.issued_at))
+    (Cluster.all_records c);
+  let violations = Cluster.Spec.check_all c in
+  (match violations with
+  | [] -> print_endline "specification: all properties hold on every shard"
+  | vs ->
+      print_endline "SPECIFICATION VIOLATIONS:";
+      List.iter (fun v -> print_endline ("  " ^ v)) vs);
+  if (not quiesced) || violations <> [] then exit 1
+
+let demo_run seed workload requests n_app_servers n_dbs shards clients
+    crash_primary_at crash_db verbose diagram =
+  if shards < 1 then (Printf.eprintf "--shards must be >= 1\n"; exit 2);
+  if clients < 1 then (Printf.eprintf "--clients must be >= 1\n"; exit 2);
+  if shards > 1 || clients > 1 then
+    demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
+      crash_primary_at crash_db
+  else
   let business, seed_data, body_of =
     match workload with
     | W_bank ->
@@ -270,6 +355,22 @@ let demo_cmd =
       value & opt int 1
       & info [ "databases" ] ~docv:"K" ~doc:"Database servers.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Partition the key space across $(docv) independent replica \
+             groups (each with its own app servers, databases and failure \
+             detector); requests route by key. With S > 1 the fault flags \
+             target shard 0.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 1
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Concurrent clients behind the shard router.")
+  in
   let crash_primary =
     Arg.(
       value
@@ -298,8 +399,8 @@ let demo_cmd =
          "Run a deployment with a chosen workload and fault schedule, print \
           delivered results and check the e-Transaction specification.")
     Term.(
-      const demo_run $ seed_arg $ workload $ requests $ apps $ dbs
-      $ crash_primary $ crash_db $ verbose $ diagram)
+      const demo_run $ seed_arg $ workload $ requests $ apps $ dbs $ shards
+      $ clients $ crash_primary $ crash_db $ verbose $ diagram)
 
 let main_cmd =
   let doc =
@@ -319,6 +420,7 @@ let main_cmd =
       persistence_cmd;
       consensus_failover_cmd;
       throughput_cmd;
+      shard_cmd;
       fd_quality_cmd;
     ]
 

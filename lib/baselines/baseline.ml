@@ -90,7 +90,7 @@ let spawn (rt : Rt.t) ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs
         | None -> ()
         | Some m -> (
             match m.payload with
-            | Request_msg { request; j } ->
+            | Request_msg { request; j; _ } ->
                 let decision =
                   match Hashtbl.find_opt served (request.rid, j) with
                   | Some d -> d (* volatile duplicate suppression *)
@@ -106,7 +106,7 @@ let spawn (rt : Rt.t) ?(name = "baseline") ?(poll = 10.) ?breakdown ~dbs
                       d
                 in
                 Rchannel.send ch m.src
-                  (Result_msg { rid = request.rid; j; decision })
+                  (Result_msg { rid = request.rid; j; decision; group = 0 })
             | _ -> ()));
         loop ()
       in

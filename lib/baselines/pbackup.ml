@@ -89,7 +89,7 @@ let spawn_primary (rt : Rt.t) ?(poll = 10.) ?breakdown ~backup ~dbs
         | None -> ()
         | Some m -> (
             match m.payload with
-            | Request_msg { request; j } ->
+            | Request_msg { request; j; _ } ->
                 let decision =
                   match Hashtbl.find_opt served (request.rid, j) with
                   | Some d -> d
@@ -122,7 +122,7 @@ let spawn_primary (rt : Rt.t) ?(poll = 10.) ?breakdown ~backup ~dbs
                       d
                 in
                 Rchannel.send ch m.src
-                  (Result_msg { rid = request.rid; j; decision })
+                  (Result_msg { rid = request.rid; j; decision; group = 0 })
             | _ -> ()));
         loop ()
       in
@@ -184,7 +184,7 @@ let spawn_backup (rt : Rt.t) ?(poll = 10.) ?breakdown ~fd ~takeover_check
             | None -> ()
             | Some m -> (
                 match m.payload with
-                | Request_msg { request; j } ->
+                | Request_msg { request; j; _ } ->
                     let decision =
                       match Hashtbl.find_opt served (request.rid, j) with
                       | Some d -> d
@@ -198,7 +198,7 @@ let spawn_backup (rt : Rt.t) ?(poll = 10.) ?breakdown ~fd ~takeover_check
                           d
                     in
                     Rchannel.send ch m.src
-                      (Result_msg { rid = request.rid; j; decision })
+                      (Result_msg { rid = request.rid; j; decision; group = 0 })
                 | _ -> ()));
             loop ()
           in
@@ -218,7 +218,7 @@ let spawn_backup (rt : Rt.t) ?(poll = 10.) ?breakdown ~fd ~takeover_check
               decide_all ~poll ch rd ~dbs ~xid decision.outcome;
               Rchannel.send ch entry.client
                 (Result_msg
-                   { rid = entry.request.rid; j = xid.Dbms.Xid.j; decision }))
+                   { rid = entry.request.rid; j = xid.Dbms.Xid.j; decision; group = 0 }))
             table;
           Hashtbl.reset table
         end

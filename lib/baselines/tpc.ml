@@ -117,7 +117,7 @@ let spawn (rt : Rt.t) ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log
         | None -> ()
         | Some m -> (
             match m.payload with
-            | Request_msg { request; j } ->
+            | Request_msg { request; j; _ } ->
                 let decision =
                   match Hashtbl.find_opt served (request.rid, j) with
                   | Some d -> d
@@ -133,7 +133,7 @@ let spawn (rt : Rt.t) ?(name = "2pc-coord") ?(poll = 10.) ?breakdown ~log
                       d
                 in
                 Rchannel.send ch m.src
-                  (Result_msg { rid = request.rid; j; decision })
+                  (Result_msg { rid = request.rid; j; decision; group = 0 })
             | _ -> ()));
         loop ()
       in

@@ -1,0 +1,183 @@
+open Runtime
+module Rt = Etx_runtime
+
+type group = {
+  index : int;
+  dbs : (Types.proc_id * Dbms.Rm.t) list;
+  app_servers : Types.proc_id list;
+}
+
+type t = {
+  rt : Rt.t;
+  map : Etx.Shard_map.t;
+  groups : group array;
+  clients : Etx.Client.handle list;
+}
+
+let shards t = Array.length t.groups
+
+let group t s = t.groups.(s)
+
+let shard_of_key t key = Etx.Shard_map.shard_of t.map key
+
+let primary t ~shard = List.hd t.groups.(shard).app_servers
+
+let all_records t =
+  List.concat_map (fun c -> Etx.Client.records c) t.clients
+
+let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
+    ?(fd_spec = Etx.Appserver.Fd_oracle) ?(timing = Dbms.Rm.paper_timing)
+    ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
+    ?(clean_period = 20.) ?(poll = 10.) ?gc_after
+    ?(backend = Etx.Appserver.Reg_ct) ?(recoverable = false)
+    ?(register_disk_latency = 12.5) ~rt ~business ~scripts () =
+  let map =
+    match map with
+    | Some m -> m
+    | None -> Etx.Shard_map.create ~shards ()
+  in
+  let shards = Etx.Shard_map.shards map in
+  if scripts = [] then invalid_arg "Cluster.build: no client scripts";
+  let net =
+    match net with
+    | Some n -> n
+    | None -> Dnet.Netmodel.three_tier ~n_dbs:(shards * n_dbs) ()
+  in
+  (rt : Rt.t).set_net net;
+  (* Group-0 processes keep the single-group names (db1, a1, client) so a
+     one-shard cluster is observably the plain deployment. *)
+  let gname g base = if g = 0 then base else Printf.sprintf "g%d:%s" g base in
+  (* Each shard stores only the keys it owns; a one-shard cluster gets
+     everything, matching [Deployment.build ~seed_data]. *)
+  let seed_for s =
+    List.filter (fun (k, _) -> Etx.Shard_map.shard_of map k = s) seed_data
+  in
+  (* Databases first, shard-major: pids 0 .. shards*n_dbs - 1. The network
+     model's "first pids are databases" convention and the deployment's pid
+     layout both survive sharding this way. *)
+  let app_pids = Array.make shards [] in
+  let group_dbs =
+    Array.init shards (fun s ->
+        let seed_data = seed_for s in
+        List.init n_dbs (fun i ->
+            let name = gname s (Printf.sprintf "db%d" (i + 1)) in
+            let disk =
+              Dstore.Disk.create ~force_latency:disk_force_latency
+                ~label:"log" ()
+            in
+            let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
+            let pid =
+              Dbms.Server.spawn rt ~name ~rm
+                ~observers:(fun () -> app_pids.(s))
+                ()
+            in
+            (pid, rm)))
+  in
+  (* Application servers per shard: each group has its own server set,
+     failure detector (spanning only the group), consensus agents and
+     register namespace. *)
+  let db_base = shards * n_dbs in
+  let groups =
+    Array.init shards (fun s ->
+        let dbs = group_dbs.(s) in
+        let db_pids = List.map fst dbs in
+        let base = db_base + (s * n_app_servers) in
+        let servers = List.init n_app_servers (fun i -> base + i) in
+        let spawned =
+          List.init n_app_servers (fun index ->
+              let persist =
+                if recoverable then
+                  Some
+                    (Consensus.Agent.make_persistence
+                       ~disk:
+                         (Dstore.Disk.create
+                            ~force_latency:register_disk_latency
+                            ~label:"reg-log" ()))
+                else None
+              in
+              let cfg =
+                Etx.Appserver.config ~fd_spec ~clean_period ~poll ?gc_after
+                  ~backend ?persist ~group:s ~rt ~index ~servers ~dbs:db_pids
+                  ~business ()
+              in
+              Etx.Appserver.spawn cfg)
+        in
+        assert (spawned = servers);
+        app_pids.(s) <- servers;
+        { index = s; dbs; app_servers = servers })
+  in
+  (* Clients last, all behind the same shard router. *)
+  let router key =
+    let s = Etx.Shard_map.shard_of map key in
+    (s, groups.(s).app_servers)
+  in
+  let clients =
+    List.mapi
+      (fun i script ->
+        let name = if i = 0 then "client" else Printf.sprintf "client%d" (i + 1) in
+        Etx.Client.spawn rt ~name ~period:client_period ~router
+          ~servers:groups.(0).app_servers ~script ())
+      scripts
+  in
+  { rt; map; groups; clients }
+
+let run_to_quiescence ?(deadline = 600_000.) t =
+  let settled () =
+    List.for_all Etx.Client.script_done t.clients
+    && Array.for_all
+         (fun g -> List.for_all (fun (_, rm) -> Etx.Deployment.rm_settled rm) g.dbs)
+         t.groups
+  in
+  t.rt.run_until ~deadline settled
+
+(* ------------------------------------------------------------------ *)
+
+module Spec = struct
+  let shard_views t =
+    let scripts_done = List.for_all Etx.Client.script_done t.clients in
+    let records = all_records t in
+    Array.to_list
+      (Array.map
+         (fun g ->
+           {
+             Etx.Spec.View.label = Printf.sprintf "shard%d" g.index;
+             dbs = g.dbs;
+             records =
+               List.filter
+                 (fun (r : Etx.Client.record) ->
+                   Etx.Shard_map.shard_of t.map r.key = g.index)
+                 records;
+             scripts_done;
+             notes = t.rt.notes;
+           })
+         t.groups)
+
+  let global_exactly_once t =
+    List.concat_map
+      (fun (r : Etx.Client.record) ->
+        let home = Etx.Shard_map.shard_of t.map r.key in
+        Array.to_list t.groups
+        |> List.concat_map (fun g ->
+               if g.index = home then []
+               else
+                 List.filter_map
+                   (fun (_, rm) ->
+                     let strays =
+                       List.filter
+                         (fun xid -> xid.Dbms.Xid.rid = r.rid)
+                         (Dbms.Rm.committed_xids rm)
+                     in
+                     if strays = [] then None
+                     else
+                       Some
+                         (Printf.sprintf
+                            "global exactly-once: request %d (key %S, home \
+                             shard %d) also committed at %s on shard %d"
+                            r.rid r.key home (Dbms.Rm.name rm) g.index))
+                   g.dbs))
+      (all_records t)
+
+  let check_all t =
+    List.concat_map Etx.Spec.View.check_all (shard_views t)
+    @ global_exactly_once t
+end

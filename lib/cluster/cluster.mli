@@ -1,0 +1,95 @@
+(** Sharded cluster: the key space partitioned across independent replica
+    groups.
+
+    A cluster of S shards wires S complete e-Transaction deployments side by
+    side on one runtime — each group has its own database servers, its own
+    application-server set with a failure detector spanning only that group,
+    and its own wo-register namespace (register names are prefixed [g<s>:],
+    see {!Etx.Appserver}) — plus C clients that route every request by its
+    {!Etx.Etx_types.routing_key} through a shared {!Etx.Shard_map}. Groups
+    never exchange protocol messages: consensus peers, 2PC participants and
+    cleaning scans are all group-local, so adding shards multiplies the
+    cluster's independent agreement pipelines (partial replication in the
+    sense of Sutra & Shapiro) instead of deepening one.
+
+    A one-shard cluster is the plain {!Etx.Deployment} — same spawn order,
+    same pids, same process names, same network model — so single-group
+    behaviour (and its goldens) are reproduced exactly.
+
+    Cross-shard transactions are out of scope: the workload generators keep
+    multi-key bodies (bank transfers) within one shard, and a cross-shard
+    commit protocol is noted as follow-up in DESIGN.md. *)
+
+open Runtime
+
+type group = {
+  index : int;
+  dbs : (Types.proc_id * Dbms.Rm.t) list;
+  app_servers : Types.proc_id list;  (** ordered; head = group primary *)
+}
+
+type t = {
+  rt : Etx_runtime.t;
+  map : Etx.Shard_map.t;
+  groups : group array;
+  clients : Etx.Client.handle list;
+}
+
+val build :
+  ?net:Etx_runtime.netmodel ->
+  ?map:Etx.Shard_map.t ->
+  ?shards:int ->
+  ?n_app_servers:int ->
+  ?n_dbs:int ->
+  ?fd_spec:Etx.Appserver.fd_spec ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?clean_period:float ->
+  ?poll:float ->
+  ?gc_after:float ->
+  ?backend:Etx.Appserver.register_backend ->
+  ?recoverable:bool ->
+  ?register_disk_latency:float ->
+  rt:Etx_runtime.t ->
+  business:Etx.Business.t ->
+  scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
+  unit ->
+  t
+(** Builds on a fresh runtime. [shards] defaults to 1; pass [map] to control
+    placement (its shard count then wins). [scripts] gives one script per
+    client. [seed_data] is partitioned: each shard's databases store only
+    the keys the map places there. Pid layout: databases first, shard-major
+    ([0 .. shards*n_dbs-1], preserving the three-tier network model's
+    "first pids are databases" convention), then each shard's application
+    servers, then the clients. Remaining options mean exactly what they do
+    in {!Etx.Deployment.build}, applied per group. *)
+
+val run_to_quiescence : ?deadline:float -> t -> bool
+(** Every client script finished and every database of every shard settled
+    (no in-doubt transaction, every yes vote decided). *)
+
+val shards : t -> int
+val group : t -> int -> group
+val shard_of_key : t -> string -> int
+val primary : t -> shard:int -> Types.proc_id
+val all_records : t -> Etx.Client.record list
+(** Delivered records of every client (per-client order preserved). *)
+
+(** Cluster-level specification checks: the paper's per-group properties on
+    every shard, plus the isolation property sharding adds. *)
+module Spec : sig
+  val shard_views : t -> Etx.Spec.View.t list
+  (** One {!Etx.Spec.View.t} per shard, labelled [shard<i>]: the shard's
+      databases, and the delivered records whose routing key it owns. *)
+
+  val global_exactly_once : t -> string list
+  (** No delivered request committed a transaction on any shard other than
+      its routing key's home shard. (The per-view {!Etx.Spec.View.exactly_once}
+      already pins exactly one commit, matching the delivered try, on every
+      home-shard database.) *)
+
+  val check_all : t -> string list
+  (** [check_all] of every shard view, then {!global_exactly_once}. *)
+end

@@ -15,6 +15,7 @@ type register_backend = Reg_ct | Reg_synod
 
 type config = {
   rt : Rt.t;  (** the execution substrate hosting this server *)
+  group : int;
   index : int;
   servers : Types.proc_id list;
   dbs : Types.proc_id list;
@@ -31,7 +32,7 @@ type config = {
 
 let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
-    ~rt ~index ~servers ~dbs ~business () =
+    ?(group = 0) ~rt ~index ~servers ~dbs ~business () =
   (match (backend, persist) with
   | Reg_synod, Some _ ->
       invalid_arg
@@ -39,6 +40,7 @@ let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
   | (Reg_ct | Reg_synod), _ -> ());
   {
     rt;
+    group;
     index;
     servers;
     dbs;
@@ -93,9 +95,14 @@ let rid_state ctx rid =
       Hashtbl.replace ctx.rids rid st;
       st
 
-let reg_a_name rid = Printf.sprintf "regA:r%d" rid
+(* Register names are namespaced by replica group: the consensus layer keys
+   instances by these strings, so the prefix guarantees two shards' regA[j]
+   / regD[j] arrays can never collide even if their traffic ever met (rids
+   are also globally unique per runtime — the prefix makes the isolation
+   syntactic rather than an accident of uid allocation). *)
+let reg_a_name ~group rid = Printf.sprintf "g%d:regA:r%d" group rid
 
-let reg_d_name rid = Printf.sprintf "regD:r%d" rid
+let reg_d_name ~group rid = Printf.sprintf "g%d:regD:r%d" group rid
 
 let span ctx label f =
   match ctx.cfg.breakdown with
@@ -107,7 +114,9 @@ let span ctx label f =
 let send_result ctx st ~rid ~j decision =
   match st.client with
   | None -> () (* client unknown here (it crashed before broadcasting) *)
-  | Some c -> Rchannel.send ctx.ch c (Result_msg { rid; j; decision })
+  | Some c ->
+      Rchannel.send ctx.ch c
+        (Result_msg { rid; j; decision; group = ctx.cfg.group })
 
 let terminate ctx st ~rid ~j (decision : decision) =
   let xid = Dbms.Xid.make ~rid ~j in
@@ -167,7 +176,9 @@ let compute_try ctx st ~(request : request) ~j =
   (* elect the computing server for try j (regA write, "log-start") *)
   let winner =
     span ctx "log-start" (fun () ->
-        ctx.regs.reg_write ~name:(reg_a_name rid) ~j (Reg_a_value ctx.self))
+        ctx.regs.reg_write
+          ~name:(reg_a_name ~group:ctx.cfg.group rid)
+          ~j (Reg_a_value ctx.self))
   in
   match winner with
   | Reg_a_value w when w = ctx.self ->
@@ -192,8 +203,9 @@ let compute_try ctx st ~(request : request) ~j =
       let final =
         span ctx "log-outcome" (fun () ->
             match
-              ctx.regs.reg_write ~name:(reg_d_name rid) ~j
-                (Reg_d_value proposal)
+              ctx.regs.reg_write
+                ~name:(reg_d_name ~group:ctx.cfg.group rid)
+                ~j (Reg_d_value proposal)
             with
             | Reg_d_value d -> d
             | _ -> proposal)
@@ -212,7 +224,12 @@ let compute_thread ctx () =
     | None -> ()
     | Some m -> (
         match m.payload with
-        | Request_msg { request; j } -> (
+        | Request_msg { group; _ } when group <> ctx.cfg.group ->
+            (* misrouted: addressed to another replica group; executing it
+               here would commit the request on the wrong shard *)
+            Rt.note
+              (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
+        | Request_msg { request; j; _ } -> (
             let st = rid_state ctx request.rid in
             if st.client = None then st.client <- Some m.src;
             match st.last with
@@ -229,7 +246,7 @@ let compute_thread ctx () =
 (* ---------------- Fig. 6: the cleaning thread ---------------- *)
 
 let parse_reg_a_rid key =
-  try Scanf.sscanf key "regA:r%d[" (fun rid -> Some rid) with
+  try Scanf.sscanf key "g%d:regA:r%d[" (fun _group rid -> Some rid) with
   | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
 let known_rids ctx =
@@ -241,14 +258,15 @@ let known_rids ctx =
 
 let clean_request ctx ~suspect ~rid =
   let st = rid_state ctx rid in
+  let group = ctx.cfg.group in
   let rec scan j =
-    match ctx.regs.reg_read ~name:(reg_a_name rid) ~j with
+    match ctx.regs.reg_read ~name:(reg_a_name ~group rid) ~j with
     | None -> () (* ⊥: no further tries exist (they start in order) *)
     | Some (Reg_a_value winner) ->
         if winner = suspect && not (List.mem j st.cleaned) then begin
           let final =
             match
-              ctx.regs.reg_write ~name:(reg_d_name rid) ~j
+              ctx.regs.reg_write ~name:(reg_d_name ~group rid) ~j
                 (Reg_d_value abort_decision)
             with
             | Reg_d_value d -> d
@@ -317,7 +335,10 @@ let gc_thread ctx ~after () =
 (* ---------------- Fig. 4: main() ---------------- *)
 
 let spawn cfg =
-  let name = Printf.sprintf "a%d" (cfg.index + 1) in
+  let name =
+    if cfg.group = 0 then Printf.sprintf "a%d" (cfg.index + 1)
+    else Printf.sprintf "g%d:a%d" cfg.group (cfg.index + 1)
+  in
   cfg.rt.spawn ~name ~main:(fun ~recovery () ->
       if recovery && cfg.persist = None then
         (* the paper's base protocol assumes crashed application servers

@@ -47,8 +47,14 @@ type register_backend =
 
 type config = {
   rt : Etx_runtime.t;  (** the execution substrate hosting this server *)
+  group : int;
+      (** replica group (shard) this server belongs to; 0 for single-group
+          deployments. Register names are prefixed with the group so two
+          shards' wo-register arrays never collide, and requests stamped
+          with another group are dropped rather than executed. *)
   index : int;  (** position in [servers]; 0 is the default primary *)
-  servers : Types.proc_id list;  (** all application servers, fixed order *)
+  servers : Types.proc_id list;
+      (** this group's application servers, fixed order *)
   dbs : Types.proc_id list;
   business : Business.t;
   fd_spec : fd_spec;
@@ -85,6 +91,7 @@ val config :
   ?backend:register_backend ->
   ?persist:Consensus.Agent.persistence ->
   ?breakdown:Stats.Breakdown.t ->
+  ?group:int ->
   rt:Etx_runtime.t ->
   index:int ->
   servers:Types.proc_id list ->
@@ -93,7 +100,8 @@ val config :
   unit ->
   config
 (** Defaults: oracle failure detector, 20 ms clean period, 10 ms poll,
-    40 ms exec back-off, no garbage collection, no breakdown accounting. *)
+    40 ms exec back-off, no garbage collection, no breakdown accounting,
+    group 0. *)
 
 val spawn : config -> Types.proc_id
 (** Spawns on the backend in [cfg.rt]. *)

@@ -4,6 +4,7 @@ open Dnet
 
 type record = {
   rid : int;
+  key : string;
   body : string;
   result : Etx_types.result_value;
   tries : int;
@@ -27,13 +28,20 @@ let wants_result rid j m =
   | Etx_types.Result_msg { rid = r; j = j'; _ } -> r = rid && j' = j
   | _ -> false
 
-let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ~servers ~script () =
+let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
+    ~script () =
   let records = ref [] in
   let finished = ref false in
-  let primary =
-    match servers with
-    | p :: _ -> p
-    | [] -> invalid_arg "Client.spawn: no application servers"
+  (match servers with
+  | _ :: _ -> ()
+  | [] -> invalid_arg "Client.spawn: no application servers");
+  (* [route key] names the replica group serving [key]: default is the
+     single group made of [servers]; a sharded cluster passes [router] to
+     spread keys over its groups. *)
+  let route =
+    match router with
+    | Some r -> r
+    | None -> fun _key -> (0, servers)
   in
   let pid =
     rt.spawn ~name ~main:(fun ~recovery () ->
@@ -43,12 +51,19 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ~servers ~script () =
           Rchannel.start ch;
           let issue body =
             let rid = fresh_rid () in
-            let request = { Etx_types.rid; body } in
+            let key = Etx_types.routing_key body in
+            let group, servers = route key in
+            let primary =
+              match servers with
+              | p :: _ -> p
+              | [] -> invalid_arg "Client: router returned no servers"
+            in
+            let request = { Etx_types.rid; key; body } in
             let issued_at = Rt.now () in
             (* one try = one result identifier j (Fig. 2 main loop) *)
             let rec try_j j =
               Rchannel.send ch primary
-                (Etx_types.Request_msg { request; j });
+                (Etx_types.Request_msg { request; j; group });
               match
                 Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
@@ -57,7 +72,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ~servers ~script () =
               | None -> broadcast_phase j
             and broadcast_phase j =
               Rchannel.broadcast ch servers
-                (Etx_types.Request_msg { request; j });
+                (Etx_types.Request_msg { request; j; group });
               match
                 Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
@@ -72,6 +87,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ~servers ~script () =
                       let record =
                         {
                           rid;
+                          key;
                           body;
                           result;
                           tries = j;

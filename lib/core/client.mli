@@ -17,6 +17,7 @@ open Runtime
 
 type record = {
   rid : int;
+  key : string;  (** the request's routing key *)
   body : string;
   result : Etx_types.result_value;  (** the delivered (committed) result *)
   tries : int;  (** the final result identifier [j] *)
@@ -30,6 +31,7 @@ val spawn :
   Etx_runtime.t ->
   ?name:string ->
   ?period:float ->
+  ?router:(string -> int * Types.proc_id list) ->
   servers:Types.proc_id list ->
   script:(issue:(string -> record) -> unit) ->
   unit ->
@@ -38,7 +40,14 @@ val spawn :
     timeout (default 400 ms). [script] runs inside the client process and
     issues requests one at a time; it does not re-run if the client process
     is crashed and recovered (a crashed client stays silent, as in the
-    paper's model). *)
+    paper's model).
+
+    [router key] resolves the routing key of each issued request to the
+    replica group serving it: [(group, group's servers, head = primary)].
+    Defaults to [(0, servers)] — the single-group deployment. A sharded
+    cluster passes the shard-map lookup here; requests and results carry the
+    group on the wire so a misrouted request is dropped by the receiving
+    server rather than executed on the wrong shard. *)
 
 val pid : handle -> Types.proc_id
 

@@ -59,26 +59,23 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
   let client = Client.spawn rt ~period:client_period ~servers ~script () in
   { rt; dbs; app_servers = servers; client }
 
+(* A yes vote must reach a durable decision; a no vote aborted on the
+   spot and holds nothing, so it never blocks quiescence. *)
+let rm_settled rm =
+  Dbms.Rm.in_doubt rm = []
+  && List.for_all
+       (fun (xid, vote) ->
+         match (vote, Dbms.Rm.phase_of rm xid) with
+         | Dbms.Rm.No, _ -> true
+         | Dbms.Rm.Yes, (Some Dbms.Rm.Committed | Some Dbms.Rm.Aborted) -> true
+         | Dbms.Rm.Yes, (Some Dbms.Rm.Active | Some Dbms.Rm.Prepared | None) ->
+             false)
+       (Dbms.Rm.votes_cast rm)
+
 let run_to_quiescence ?(deadline = 600_000.) t =
-  (* A yes vote must reach a durable decision; a no vote aborted on the
-     spot and holds nothing, so it never blocks quiescence. *)
   let settled () =
     Client.script_done t.client
-    && List.for_all
-         (fun (_, rm) ->
-           Dbms.Rm.in_doubt rm = []
-           && List.for_all
-                (fun (xid, vote) ->
-                  match (vote, Dbms.Rm.phase_of rm xid) with
-                  | Dbms.Rm.No, _ -> true
-                  | ( Dbms.Rm.Yes,
-                      (Some Dbms.Rm.Committed | Some Dbms.Rm.Aborted) ) ->
-                      true
-                  | ( Dbms.Rm.Yes,
-                      (Some Dbms.Rm.Active | Some Dbms.Rm.Prepared | None) ) ->
-                      false)
-                (Dbms.Rm.votes_cast rm))
-         t.dbs
+    && List.for_all (fun (_, rm) -> rm_settled rm) t.dbs
   in
   t.rt.run_until ~deadline settled
 

@@ -50,6 +50,10 @@ val build :
     enabling crash-recovery of application servers — see
     {!Appserver.config} for semantics and cost. *)
 
+val rm_settled : Dbms.Rm.t -> bool
+(** No in-doubt transaction and every yes vote durably decided — the
+    per-database half of quiescence, shared with the cluster builder. *)
+
 val run_to_quiescence : ?deadline:float -> t -> bool
 (** Run until the client script finishes and every database transaction is
     decided (no in-doubt leftovers); returns whether that state was reached

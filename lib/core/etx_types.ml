@@ -2,8 +2,18 @@
 
 type request = {
   rid : int;  (** unique request identifier *)
+  key : string;  (** routing key: names the partition the request lives in *)
   body : string;  (** the "Request" domain value (e.g. travel parameters) *)
 }
+
+(* The routing key of a request body is the text before the first ':' —
+   every workload writes bodies as "acct0:...", "paris:...", etc., so the
+   first field names the datum the request touches. Bodies with no ':' are
+   their own key. *)
+let routing_key body =
+  match String.index_opt body ':' with
+  | Some i -> String.sub body 0 i
+  | None -> body
 
 (** The "Result" domain: what the business logic computed for the end-user
     (reservation numbers, hotel names, or a user-level failure report). *)
@@ -16,10 +26,14 @@ type decision = { result : result_value option; outcome : Dbms.Rm.outcome }
 
 let abort_decision = { result = None; outcome = Dbms.Rm.Abort }
 
+(* [group] scopes the message to one replica group of a sharded cluster:
+   servers drop requests addressed to another group, so a misrouted message
+   can never start a transaction on the wrong shard. Single-group
+   deployments use group 0 throughout. *)
 type Runtime.Types.payload +=
-  | Request_msg of { request : request; j : int }
+  | Request_msg of { request : request; j : int; group : int }
       (** client → application server: [\[Request, request, j\]] *)
-  | Result_msg of { rid : int; j : int; decision : decision }
+  | Result_msg of { rid : int; j : int; decision : decision; group : int }
       (** application server → client: [\[Result, j, decision\]] *)
   | Reg_a_value of Runtime.Types.proc_id
       (** content of [regA\[j\]]: which server computes result [j] *)

@@ -1,0 +1,28 @@
+(** Deterministic key → shard placement for the sharded cluster.
+
+    A shard map is pure data shared by every client (and by the harness when
+    partitioning seed data): the same key always lands on the same shard, on
+    any process, in any run. Two policies:
+
+    - [Hash] (default): FNV-1a over the key bytes, modulo the shard count.
+      The hash is hand-rolled rather than [Hashtbl.hash] so placement cannot
+      drift across compiler versions.
+    - [Range bounds]: [shards - 1] strictly-sorted boundary strings; a key
+      goes to the first shard whose boundary exceeds it (classic range
+      partitioning, for workloads with meaningful key order). *)
+
+type policy = Hash | Range of string list
+
+type t
+
+val create : ?policy:policy -> shards:int -> unit -> t
+(** Raises [Invalid_argument] if [shards < 1], or if a [Range] policy does
+    not carry exactly [shards - 1] strictly-sorted boundaries. *)
+
+val shards : t -> int
+
+val shard_of : t -> string -> int
+(** Shard owning a routing key; in [0, shards). *)
+
+val shard_of_body : t -> string -> int
+(** [shard_of] of the body's {!Etx_types.routing_key}. *)

@@ -1,191 +1,233 @@
-let committed_for_rid rm rid =
-  List.filter (fun xid -> xid.Dbms.Xid.rid = rid) (Dbms.Rm.committed_xids rm)
+module View = struct
+  type t = {
+    label : string;
+    dbs : (Runtime.Types.proc_id * Dbms.Rm.t) list;
+    records : Client.record list;
+    scripts_done : bool;
+    notes : unit -> (Runtime.Types.proc_id * string) list;
+  }
 
-let agreement_a1 (d : Deployment.t) =
-  List.concat_map
-    (fun (record : Client.record) ->
-      let xid = Dbms.Xid.make ~rid:record.rid ~j:record.tries in
-      List.filter_map
-        (fun (_, rm) ->
-          match Dbms.Rm.phase_of rm xid with
-          | Some Dbms.Rm.Committed -> None
-          | phase ->
-              Some
-                (Printf.sprintf
-                   "A.1: delivered %s not committed at %s (phase %s)"
-                   (Dbms.Xid.to_string xid) (Dbms.Rm.name rm)
-                   (match phase with
-                   | None -> "unknown"
-                   | Some Dbms.Rm.Active -> "active"
-                   | Some Dbms.Rm.Prepared -> "prepared"
-                   | Some Dbms.Rm.Aborted -> "aborted"
-                   | Some Dbms.Rm.Committed -> assert false)))
-        d.dbs)
-    (Client.records d.client)
+  let tag v msg = if v.label = "" then msg else v.label ^ ": " ^ msg
 
-let agreement_a2 (d : Deployment.t) =
-  List.concat_map
-    (fun (_, rm) ->
-      let by_rid = Hashtbl.create 8 in
-      List.iter
-        (fun xid ->
-          let rid = xid.Dbms.Xid.rid in
-          let cur = Option.value ~default:[] (Hashtbl.find_opt by_rid rid) in
-          Hashtbl.replace by_rid rid (xid :: cur))
-        (Dbms.Rm.committed_xids rm);
-      Hashtbl.fold
-        (fun rid xids acc ->
-          if List.length xids > 1 then
-            Printf.sprintf "A.2: %s committed %d results for request %d"
-              (Dbms.Rm.name rm) (List.length xids) rid
-            :: acc
-          else acc)
-        by_rid [])
-    d.dbs
+  let committed_for_rid rm rid =
+    List.filter (fun xid -> xid.Dbms.Xid.rid = rid) (Dbms.Rm.committed_xids rm)
 
-let decided_phase rm xid =
-  match Dbms.Rm.phase_of rm xid with
-  | Some Dbms.Rm.Committed -> Some Dbms.Rm.Commit
-  | Some Dbms.Rm.Aborted -> Some Dbms.Rm.Abort
-  | Some Dbms.Rm.Active | Some Dbms.Rm.Prepared | None -> None
-
-let agreement_a3 (d : Deployment.t) =
-  let all_xids =
-    List.concat_map (fun (_, rm) -> Dbms.Rm.known_xids rm) d.dbs
-    |> List.sort_uniq Dbms.Xid.compare
-  in
-  List.concat_map
-    (fun xid ->
-      let decisions =
+  let agreement_a1 v =
+    List.concat_map
+      (fun (record : Client.record) ->
+        let xid = Dbms.Xid.make ~rid:record.rid ~j:record.tries in
         List.filter_map
           (fun (_, rm) ->
-            Option.map (fun o -> (Dbms.Rm.name rm, o)) (decided_phase rm xid))
-          d.dbs
-      in
-      match decisions with
-      | [] | [ _ ] -> []
-      | (_, first) :: rest ->
-          List.filter_map
-            (fun (name, o) ->
-              if o = first then None
-              else
+            match Dbms.Rm.phase_of rm xid with
+            | Some Dbms.Rm.Committed -> None
+            | phase ->
                 Some
-                  (Printf.sprintf "A.3: %s decided differently on %s" name
-                     (Dbms.Xid.to_string xid)))
-            rest)
-    all_xids
+                  (tag v
+                     (Printf.sprintf
+                        "A.1: delivered %s not committed at %s (phase %s)"
+                        (Dbms.Xid.to_string xid) (Dbms.Rm.name rm)
+                        (match phase with
+                        | None -> "unknown"
+                        | Some Dbms.Rm.Active -> "active"
+                        | Some Dbms.Rm.Prepared -> "prepared"
+                        | Some Dbms.Rm.Aborted -> "aborted"
+                        | Some Dbms.Rm.Committed -> assert false))))
+          v.dbs)
+      v.records
 
-let computed_notes (d : Deployment.t) =
-  List.filter_map
-    (fun (_, s) ->
-      if String.length s > 9 && String.sub s 0 9 = "computed:" then Some s
-      else None)
-    (d.rt.notes ())
-
-let validity_v1 (d : Deployment.t) =
-  let notes = computed_notes d in
-  List.filter_map
-    (fun (record : Client.record) ->
-      let expected =
-        Printf.sprintf "computed:%d:%d:%s" record.rid record.tries
-          record.result
-      in
-      if List.mem expected notes then None
-      else
-        Some
-          (Printf.sprintf
-             "V.1: delivered result %S for request %d was never computed"
-             record.result record.rid))
-    (Client.records d.client)
-
-let validity_v2 (d : Deployment.t) =
-  let committed_anywhere =
-    List.concat_map (fun (_, rm) -> Dbms.Rm.committed_xids rm) d.dbs
-    |> List.sort_uniq Dbms.Xid.compare
-  in
-  List.concat_map
-    (fun xid ->
-      List.filter_map
-        (fun (_, rm) ->
-          let voted_yes =
-            List.exists
-              (fun (x, v) -> Dbms.Xid.equal x xid && v = Dbms.Rm.Yes)
-              (Dbms.Rm.votes_cast rm)
-          in
-          if voted_yes then None
-          else
-            Some
-              (Printf.sprintf "V.2: %s committed somewhere but %s never voted yes"
-                 (Dbms.Xid.to_string xid) (Dbms.Rm.name rm)))
-        d.dbs)
-    committed_anywhere
-
-let termination_t1 (d : Deployment.t) =
-  if Client.script_done d.client then []
-  else [ "T.1: client script did not run to completion" ]
-
-let termination_t2 (d : Deployment.t) =
-  List.concat_map
-    (fun (_, rm) ->
-      let in_doubt =
-        List.map
+  let agreement_a2 v =
+    List.concat_map
+      (fun (_, rm) ->
+        let by_rid = Hashtbl.create 8 in
+        List.iter
           (fun xid ->
-            Printf.sprintf "T.2: %s still in doubt at %s"
-              (Dbms.Xid.to_string xid) (Dbms.Rm.name rm))
-          (Dbms.Rm.in_doubt rm)
-      in
-      (* Only yes votes need a durable decision: a no vote aborts the
-         transaction on the spot and holds no locks, and its (empty) abort
-         record legitimately does not survive a later crash. *)
-      let undecided_votes =
+            let rid = xid.Dbms.Xid.rid in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt by_rid rid) in
+            Hashtbl.replace by_rid rid (xid :: cur))
+          (Dbms.Rm.committed_xids rm);
+        Hashtbl.fold
+          (fun rid xids acc ->
+            if List.length xids > 1 then
+              tag v
+                (Printf.sprintf "A.2: %s committed %d results for request %d"
+                   (Dbms.Rm.name rm) (List.length xids) rid)
+              :: acc
+            else acc)
+          by_rid [])
+      v.dbs
+
+  let decided_phase rm xid =
+    match Dbms.Rm.phase_of rm xid with
+    | Some Dbms.Rm.Committed -> Some Dbms.Rm.Commit
+    | Some Dbms.Rm.Aborted -> Some Dbms.Rm.Abort
+    | Some Dbms.Rm.Active | Some Dbms.Rm.Prepared | None -> None
+
+  let agreement_a3 v =
+    let all_xids =
+      List.concat_map (fun (_, rm) -> Dbms.Rm.known_xids rm) v.dbs
+      |> List.sort_uniq Dbms.Xid.compare
+    in
+    List.concat_map
+      (fun xid ->
+        let decisions =
+          List.filter_map
+            (fun (_, rm) ->
+              Option.map (fun o -> (Dbms.Rm.name rm, o)) (decided_phase rm xid))
+            v.dbs
+        in
+        match decisions with
+        | [] | [ _ ] -> []
+        | (_, first) :: rest ->
+            List.filter_map
+              (fun (name, o) ->
+                if o = first then None
+                else
+                  Some
+                    (tag v
+                       (Printf.sprintf "A.3: %s decided differently on %s" name
+                          (Dbms.Xid.to_string xid))))
+              rest)
+      all_xids
+
+  let computed_notes v =
+    List.filter_map
+      (fun (_, s) ->
+        if String.length s > 9 && String.sub s 0 9 = "computed:" then Some s
+        else None)
+      (v.notes ())
+
+  let validity_v1 v =
+    let notes = computed_notes v in
+    List.filter_map
+      (fun (record : Client.record) ->
+        let expected =
+          Printf.sprintf "computed:%d:%d:%s" record.rid record.tries
+            record.result
+        in
+        if List.mem expected notes then None
+        else
+          Some
+            (tag v
+               (Printf.sprintf
+                  "V.1: delivered result %S for request %d was never computed"
+                  record.result record.rid)))
+      v.records
+
+  let validity_v2 v =
+    let committed_anywhere =
+      List.concat_map (fun (_, rm) -> Dbms.Rm.committed_xids rm) v.dbs
+      |> List.sort_uniq Dbms.Xid.compare
+    in
+    List.concat_map
+      (fun xid ->
         List.filter_map
-          (fun (xid, vote) ->
-            match (vote, Dbms.Rm.phase_of rm xid) with
-            | Dbms.Rm.No, _ -> None
-            | Dbms.Rm.Yes, (Some Dbms.Rm.Committed | Some Dbms.Rm.Aborted) ->
-                None
-            | Dbms.Rm.Yes, (Some Dbms.Rm.Active | Some Dbms.Rm.Prepared | None)
-              ->
-                Some
-                  (Printf.sprintf
-                     "T.2: %s voted yes on %s but never decided it"
-                     (Dbms.Rm.name rm) (Dbms.Xid.to_string xid)))
-          (Dbms.Rm.votes_cast rm)
-      in
-      in_doubt @ undecided_votes)
-    d.dbs
+          (fun (_, rm) ->
+            let voted_yes =
+              List.exists
+                (fun (x, v) -> Dbms.Xid.equal x xid && v = Dbms.Rm.Yes)
+                (Dbms.Rm.votes_cast rm)
+            in
+            if voted_yes then None
+            else
+              Some
+                (tag v
+                   (Printf.sprintf
+                      "V.2: %s committed somewhere but %s never voted yes"
+                      (Dbms.Xid.to_string xid) (Dbms.Rm.name rm))))
+          v.dbs)
+      committed_anywhere
 
-let exactly_once (d : Deployment.t) =
-  List.concat_map
-    (fun (record : Client.record) ->
-      List.concat_map
-        (fun (_, rm) ->
-          match committed_for_rid rm record.rid with
-          | [ xid ] when xid.Dbms.Xid.j = record.tries -> []
-          | [ xid ] ->
-              [
-                Printf.sprintf
-                  "exactly-once: %s committed try %d for request %d but the \
-                   client delivered try %d"
-                  (Dbms.Rm.name rm) xid.Dbms.Xid.j record.rid record.tries;
-              ]
-          | [] ->
-              [
-                Printf.sprintf
-                  "exactly-once: no committed transaction at %s for \
-                   delivered request %d"
-                  (Dbms.Rm.name rm) record.rid;
-              ]
-          | xids ->
-              [
-                Printf.sprintf
-                  "exactly-once: %d committed transactions at %s for request \
-                   %d"
-                  (List.length xids) (Dbms.Rm.name rm) record.rid;
-              ])
-        d.dbs)
-    (Client.records d.client)
+  let termination_t1 v =
+    if v.scripts_done then []
+    else [ tag v "T.1: client script did not run to completion" ]
 
-let check_all d =
-  agreement_a1 d @ agreement_a2 d @ agreement_a3 d @ validity_v1 d
-  @ validity_v2 d @ termination_t1 d @ termination_t2 d @ exactly_once d
+  let termination_t2 v =
+    List.concat_map
+      (fun (_, rm) ->
+        let in_doubt =
+          List.map
+            (fun xid ->
+              tag v
+                (Printf.sprintf "T.2: %s still in doubt at %s"
+                   (Dbms.Xid.to_string xid) (Dbms.Rm.name rm)))
+            (Dbms.Rm.in_doubt rm)
+        in
+        (* Only yes votes need a durable decision: a no vote aborts the
+           transaction on the spot and holds no locks, and its (empty) abort
+           record legitimately does not survive a later crash. *)
+        let undecided_votes =
+          List.filter_map
+            (fun (xid, vote) ->
+              match (vote, Dbms.Rm.phase_of rm xid) with
+              | Dbms.Rm.No, _ -> None
+              | Dbms.Rm.Yes, (Some Dbms.Rm.Committed | Some Dbms.Rm.Aborted) ->
+                  None
+              | ( Dbms.Rm.Yes,
+                  (Some Dbms.Rm.Active | Some Dbms.Rm.Prepared | None) ) ->
+                  Some
+                    (tag v
+                       (Printf.sprintf
+                          "T.2: %s voted yes on %s but never decided it"
+                          (Dbms.Rm.name rm) (Dbms.Xid.to_string xid))))
+            (Dbms.Rm.votes_cast rm)
+        in
+        in_doubt @ undecided_votes)
+      v.dbs
+
+  let exactly_once v =
+    List.concat_map
+      (fun (record : Client.record) ->
+        List.concat_map
+          (fun (_, rm) ->
+            match committed_for_rid rm record.rid with
+            | [ xid ] when xid.Dbms.Xid.j = record.tries -> []
+            | [ xid ] ->
+                [
+                  tag v
+                    (Printf.sprintf
+                       "exactly-once: %s committed try %d for request %d but \
+                        the client delivered try %d"
+                       (Dbms.Rm.name rm) xid.Dbms.Xid.j record.rid record.tries);
+                ]
+            | [] ->
+                [
+                  tag v
+                    (Printf.sprintf
+                       "exactly-once: no committed transaction at %s for \
+                        delivered request %d"
+                       (Dbms.Rm.name rm) record.rid);
+                ]
+            | xids ->
+                [
+                  tag v
+                    (Printf.sprintf
+                       "exactly-once: %d committed transactions at %s for \
+                        request %d"
+                       (List.length xids) (Dbms.Rm.name rm) record.rid);
+                ])
+          v.dbs)
+      v.records
+
+  let check_all v =
+    agreement_a1 v @ agreement_a2 v @ agreement_a3 v @ validity_v1 v
+    @ validity_v2 v @ termination_t1 v @ termination_t2 v @ exactly_once v
+end
+
+let view ?(label = "") (d : Deployment.t) =
+  {
+    View.label;
+    dbs = d.dbs;
+    records = Client.records d.client;
+    scripts_done = Client.script_done d.client;
+    notes = d.rt.notes;
+  }
+
+let agreement_a1 d = View.agreement_a1 (view d)
+let agreement_a2 d = View.agreement_a2 (view d)
+let agreement_a3 d = View.agreement_a3 (view d)
+let validity_v1 d = View.validity_v1 (view d)
+let validity_v2 d = View.validity_v2 (view d)
+let termination_t1 d = View.termination_t1 (view d)
+let termination_t2 d = View.termination_t2 (view d)
+let exactly_once d = View.exactly_once (view d)
+let check_all d = View.check_all (view d)

@@ -2,7 +2,39 @@
 
     Each check inspects a deployment after a run and returns human-readable
     violation descriptions (empty list = property holds). Termination
-    properties are meaningful only after {!Deployment.run_to_quiescence}. *)
+    properties are meaningful only after {!Deployment.run_to_quiescence}.
+
+    The checks themselves are written against a {!View.t} — the slice of a
+    run they inspect (databases, delivered records, completion flag, trace
+    notes). A single-group {!Deployment.t} is one view ({!view}); a sharded
+    cluster builds one view per replica group, filtering each client's
+    records to the shard owning their routing key. *)
+
+module View : sig
+  type t = {
+    label : string;  (** prefixed to every violation message (e.g. shard) *)
+    dbs : (Runtime.Types.proc_id * Dbms.Rm.t) list;
+    records : Client.record list;
+        (** delivered records this view is accountable for *)
+    scripts_done : bool;  (** all issuing clients ran to completion *)
+    notes : unit -> (Runtime.Types.proc_id * string) list;
+        (** trace notes (for the V.1 computed-result check) *)
+  }
+
+  val agreement_a1 : t -> string list
+  val agreement_a2 : t -> string list
+  val agreement_a3 : t -> string list
+  val validity_v1 : t -> string list
+  val validity_v2 : t -> string list
+  val termination_t1 : t -> string list
+  val termination_t2 : t -> string list
+  val exactly_once : t -> string list
+  val check_all : t -> string list
+end
+
+val view : ?label:string -> Deployment.t -> View.t
+(** The whole deployment as one view (label defaults to empty = unprefixed
+    messages). *)
 
 val agreement_a1 : Deployment.t -> string list
 (** A.1: no result delivered by the client unless committed by {e all}

@@ -1,3 +1,4 @@
+open Runtime
 open Types
 module ER = Runtime.Etx_runtime
 

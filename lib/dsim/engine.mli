@@ -16,6 +16,7 @@
     [Effect.Unhandled]. Orchestration operations ([spawn], [run], [crash_at],
     ...) must be called outside the event loop or from scheduled closures. *)
 
+open Runtime
 open Types
 
 type t

@@ -1,3 +1,5 @@
+open Runtime
+
 type event =
   | Spawned of Types.proc_id * string
   | Sent of Types.message * Types.time

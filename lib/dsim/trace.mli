@@ -3,6 +3,8 @@
     Communication-step and message-count figures (paper Fig. 1 and Fig. 7)
     are computed from collected traces rather than instrumenting protocols. *)
 
+open Runtime
+
 type event =
   | Spawned of Types.proc_id * string
   | Sent of Types.message * Types.time  (** message and its delivery time *)

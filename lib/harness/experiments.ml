@@ -608,7 +608,7 @@ let render_persistence rows =
    diskless)\n"
   ^ Stats.Table.render ~headers ~rows:body
 
-type Dsim.Types.payload += Sweep_value
+type Runtime.Types.payload += Sweep_value
 
 let consensus_failover_sweep ?(seed = 42)
     ?(round_timeouts = [ 25.; 50.; 100.; 200.; 400. ]) ?domains () =
@@ -800,6 +800,135 @@ let render_scale rows =
   in
   "A10 — substrate scalability: events/sec across cluster sizes (wall-clock, \
    host-dependent)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+(* ------------------------------------------------------------------ *)
+(* A11 — shard scaling: S independent replica groups on one simulator.
+
+   Unlike the substrate-cost scale sweep above (wall-clock events/sec,
+   host-dependent), the figure of merit here is virtual-time throughput:
+   committed transactions per simulated second at quiescence. Shards work
+   in parallel in virtual time, so the quiescence time stays roughly flat
+   while the request count grows with S — that ratio is the scaling story.
+   Each trial is deterministic, so the rows are reproducible anywhere. *)
+
+type shard_row = {
+  shards : int;
+  clients : int;
+  requests : int;  (** total issued across all clients *)
+  delivered : int;
+  events : int;  (** simulation events to quiescence *)
+  vtime_ms : float;  (** virtual time at quiescence *)
+  tx_per_vs : float;  (** delivered per {e virtual} second *)
+  wall_s : float;  (** host wall-clock cost of the trial *)
+}
+
+let shard_points = [ 1; 2; 4 ]
+
+(* Deterministically pick [per_shard] account names owned by each shard:
+   scan acct0, acct1, ... and keep the first hits per shard. *)
+let shard_accounts ~map ~per_shard =
+  let shards = Etx.Shard_map.shards map in
+  let want = Array.make shards per_shard in
+  let acc = Array.make shards [] in
+  let rec scan a remaining =
+    if remaining = 0 then ()
+    else
+      let key = Printf.sprintf "acct%d" a in
+      let s = Etx.Shard_map.shard_of map key in
+      if want.(s) > 0 then begin
+        want.(s) <- want.(s) - 1;
+        acc.(s) <- acc.(s) @ [ key ];
+        scan (a + 1) (remaining - 1)
+      end
+      else scan (a + 1) remaining
+  in
+  scan 0 (shards * per_shard);
+  acc
+
+let shard_sweep ?(seed = 42) ?(points = shard_points) ?(clients_per_shard = 2)
+    ?(requests_per_client = 4) ?domains () =
+  let one n_shards ~seed =
+    let map = Etx.Shard_map.create ~shards:n_shards () in
+    let accounts = shard_accounts ~map ~per_shard:clients_per_shard in
+    let keys = List.concat (Array.to_list accounts) in
+    let n_clients = List.length keys in
+    let seed_data =
+      Workload.Bank.seed_accounts (List.map (fun k -> (k, 1_000_000)) keys)
+    in
+    (* client i hammers its own account, so every shard serves exactly
+       [clients_per_shard] clients and there is no lock contention *)
+    let scripts =
+      List.map
+        (fun key ~issue ->
+          for _ = 1 to requests_per_client do
+            ignore (issue (key ^ ":1"))
+          done)
+        keys
+    in
+    let t0 = Unix.gettimeofday () in
+    let e, c =
+      Simrun.cluster ~seed ~map ~seed_data ~business:Workload.Bank.update
+        ~scripts ()
+    in
+    if not (Cluster.run_to_quiescence ~deadline:7_200_000. c) then
+      failwith "shard_sweep: cluster did not quiesce";
+    (match Cluster.Spec.check_all c with
+    | [] -> ()
+    | violations ->
+        failwith ("shard_sweep: spec violated: " ^ String.concat "; " violations));
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let vtime_ms = Dsim.Engine.now_of e in
+    let delivered = List.length (Cluster.all_records c) in
+    {
+      shards = n_shards;
+      clients = n_clients;
+      requests = n_clients * requests_per_client;
+      delivered;
+      events = Dsim.Engine.events_of e;
+      vtime_ms;
+      tx_per_vs = float_of_int delivered /. (vtime_ms /. 1000.);
+      wall_s;
+    }
+  in
+  run_trials ?domains
+    (List.map
+       (fun s ->
+         {
+           label = Printf.sprintf "shards-%d" s;
+           seed;
+           run = one s;
+         })
+       points)
+
+let render_shard rows =
+  let headers =
+    [
+      "shards";
+      "clients";
+      "requests";
+      "delivered";
+      "sim events";
+      "vtime (ms)";
+      "tx/vsec";
+    ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.shards;
+          string_of_int r.clients;
+          string_of_int r.requests;
+          string_of_int r.delivered;
+          string_of_int r.events;
+          Printf.sprintf "%.1f" r.vtime_ms;
+          Printf.sprintf "%.2f" r.tx_per_vs;
+        ])
+      rows
+  in
+  "A11 — shard scaling: independent replica groups, virtual-time throughput \
+   (deterministic)\n"
   ^ Stats.Table.render ~headers ~rows:body
 
 let register_backend_comparison ?(seed = 42) ?domains () =

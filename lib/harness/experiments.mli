@@ -180,6 +180,39 @@ val scale_sweep :
 
 val render_scale : (int * int * int * float * float) list -> string
 
+type shard_row = {
+  shards : int;
+  clients : int;
+  requests : int;  (** total issued across all clients *)
+  delivered : int;
+  events : int;  (** simulation events to quiescence *)
+  vtime_ms : float;  (** virtual time at quiescence *)
+  tx_per_vs : float;  (** delivered per {e virtual} second *)
+  wall_s : float;  (** host wall-clock cost of the trial *)
+}
+
+val shard_points : int list
+(** Default shard counts for {!shard_sweep}: 1, 2, 4. *)
+
+val shard_sweep :
+  ?seed:int ->
+  ?points:int list ->
+  ?clients_per_shard:int ->
+  ?requests_per_client:int ->
+  ?domains:int ->
+  unit ->
+  shard_row list
+(** A11: shard scaling. For each shard count S, build an S-shard
+    {!Cluster} serving [clients_per_shard] clients per shard (each client
+    owning one account on its shard), run to quiescence, assert
+    {!Cluster.Spec.check_all} is clean, and report virtual-time throughput
+    (delivered transactions per simulated second). Shards run in parallel
+    in virtual time, so throughput scaling with S — at roughly flat
+    quiescence time — is the point of the artefact. Deterministic per seed;
+    trials map over the domain pool. *)
+
+val render_shard : shard_row list -> string
+
 val register_backend_comparison :
   ?seed:int -> ?domains:int -> unit -> (string * float * float) list
 (** A8: the two wo-register substrates compared — the Chandra–Toueg agent

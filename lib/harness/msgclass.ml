@@ -1,4 +1,5 @@
 open Dsim
+open Runtime
 
 type kind = Application | Consensus | Overhead
 

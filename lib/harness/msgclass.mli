@@ -6,6 +6,7 @@
     messages}; these helpers unwrap channel frames and filter the noise. *)
 
 open Dsim
+open Runtime
 
 type kind =
   | Application  (** requests, results, XA traffic, prepares, decides *)

@@ -1,4 +1,5 @@
 open Dsim
+open Runtime
 
 let outcome_label = function
   | Dbms.Rm.Commit -> "commit"
@@ -10,9 +11,9 @@ let xid_label x = Dbms.Xid.to_string x
 
 let payload_label payload =
   match payload with
-  | Etx.Etx_types.Request_msg { request; j } ->
+  | Etx.Etx_types.Request_msg { request; j; _ } ->
       Some (Printf.sprintf "Request(r%d,j=%d)" request.rid j)
-  | Etx.Etx_types.Result_msg { rid; j; decision } ->
+  | Etx.Etx_types.Result_msg { rid; j; decision; _ } ->
       Some
         (Printf.sprintf "Result(r%d,j=%d,%s)" rid j
            (outcome_label decision.outcome))

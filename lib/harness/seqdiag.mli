@@ -13,6 +13,7 @@
     local wake-ups are elided, and consensus traffic can be toggled. *)
 
 open Dsim
+open Runtime
 
 val payload_label : Types.payload -> string option
 (** Human label for a protocol payload ([None] = overhead, elide). *)

@@ -20,6 +20,19 @@ let deployment ?seed ?tracing ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
   in
   (e, d)
 
+let cluster ?seed ?tracing ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec
+    ?timing ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
+    ?gc_after ?backend ?recoverable ?register_disk_latency ~business ~scripts
+    () =
+  let e, rt = engine ?seed ?tracing () in
+  let c =
+    Cluster.build ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec ?timing
+      ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
+      ?gc_after ?backend ?recoverable ?register_disk_latency ~rt ~business
+      ~scripts ()
+  in
+  (e, c)
+
 let baseline ?seed ?tracing ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
     ?client_period ?breakdown ~business ~script () =
   let e, rt = engine ?seed ?tracing () in

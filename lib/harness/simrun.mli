@@ -36,6 +36,31 @@ val deployment :
   unit ->
   Dsim.Engine.t * Etx.Deployment.t
 
+val cluster :
+  ?seed:int ->
+  ?tracing:bool ->
+  ?net:Runtime.Etx_runtime.netmodel ->
+  ?map:Etx.Shard_map.t ->
+  ?shards:int ->
+  ?n_app_servers:int ->
+  ?n_dbs:int ->
+  ?fd_spec:Etx.Appserver.fd_spec ->
+  ?timing:Dbms.Rm.timing ->
+  ?disk_force_latency:float ->
+  ?seed_data:(string * Dbms.Value.t) list ->
+  ?client_period:float ->
+  ?clean_period:float ->
+  ?poll:float ->
+  ?gc_after:float ->
+  ?backend:Etx.Appserver.register_backend ->
+  ?recoverable:bool ->
+  ?register_disk_latency:float ->
+  business:Etx.Business.t ->
+  scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
+  unit ->
+  Dsim.Engine.t * Cluster.t
+(** A sharded {!Cluster} on a fresh engine — one script per client. *)
+
 val baseline :
   ?seed:int ->
   ?tracing:bool ->

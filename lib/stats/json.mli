@@ -1,0 +1,36 @@
+(** Minimal JSON emitter/parser for machine-readable artefacts.
+
+    The bench harness and the live smoke both dump small machine-readable
+    reports ([BENCH_harness.json], [LIVE_smoke.json]); this module replaces
+    their hand-assembled [Printf] format strings with one shared value type,
+    so escaping and number formatting live in a single place. Numbers are
+    printed shortest-round-trip ([%.17g] fallback), so
+    [of_string (to_string v)] reconstructs [v] exactly — the property the
+    round-trip unit test pins down.
+
+    It is deliberately not a general JSON library: no streaming, no
+    unicode-escape decoding beyond what our own emitter produces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] > 0 pretty-prints with that many spaces per level
+    (default 2). Strings are escaped per RFC 8259 (control characters as
+    [\u00XX]). *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] with a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (trailing whitespace allowed). Numbers
+    with a [.], [e] or [E] become [Float], others [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)

@@ -24,6 +24,42 @@ let bodies ~seed ~n kind =
   in
   List.init n (fun _ -> body ())
 
+(* Keyed bodies for a sharded cluster: each comes with the shard its
+   routing key maps to. Single-key kinds just tag [bodies]' output; bank
+   transfers are constrained intra-shard — the destination account is drawn
+   from the source account's shard, since cross-shard commit is follow-up
+   work (see DESIGN.md). A shard holding a single account degenerates to a
+   self-transfer rather than escaping the shard. *)
+let sharded_bodies ~map ~seed ~n kind =
+  match kind with
+  | Bank_updates _ | Travel_bookings _ ->
+      List.map
+        (fun body -> (Etx.Shard_map.shard_of_body map body, body))
+        (bodies ~seed ~n kind)
+  | Bank_transfers { accounts; max_amount } ->
+      let shard_of_acct a = Etx.Shard_map.shard_of map (Printf.sprintf "acct%d" a) in
+      let by_shard = Hashtbl.create 8 in
+      for a = accounts - 1 downto 0 do
+        let s = shard_of_acct a in
+        Hashtbl.replace by_shard s
+          (a :: Option.value ~default:[] (Hashtbl.find_opt by_shard s))
+      done;
+      let rng = Runtime.Rng.create ~seed in
+      List.init n (fun _ ->
+          let from_acct = Runtime.Rng.int rng accounts in
+          let s = shard_of_acct from_acct in
+          let mates =
+            List.filter (( <> ) from_acct) (Hashtbl.find by_shard s)
+          in
+          let to_acct =
+            match mates with
+            | [] -> from_acct
+            | _ -> List.nth mates (Runtime.Rng.int rng (List.length mates))
+          in
+          ( s,
+            Printf.sprintf "acct%d:acct%d:%d" from_acct to_acct
+              (1 + Runtime.Rng.int rng max_amount) ))
+
 let business_of = function
   | Bank_updates _ -> Bank.update
   | Bank_transfers _ -> Bank.transfer

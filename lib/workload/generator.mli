@@ -8,6 +8,13 @@ type kind =
 val bodies : seed:int -> n:int -> kind -> string list
 (** [n] request bodies, reproducible for a given seed. *)
 
+val sharded_bodies :
+  map:Etx.Shard_map.t -> seed:int -> n:int -> kind -> (int * string) list
+(** [n] [(shard, body)] pairs for a sharded cluster: the shard is where the
+    body's routing key lives under [map]. Multi-key bodies (bank transfers)
+    are constrained intra-shard — the destination account is drawn from the
+    source's shard — because cross-shard commit is out of scope. *)
+
 val business_of : kind -> Etx.Business.t
 
 val seed_data_of : kind -> (string * Dbms.Value.t) list

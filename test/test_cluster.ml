@@ -1,0 +1,238 @@
+(* Sharded-cluster tests: shard-map placement, single-shard equivalence
+   with the plain deployment, multi-client routing across shards, and the
+   cluster-level specification under random fault schedules. *)
+
+open Etx
+
+(* ------------------------------------------------------------------ *)
+(* Shard map *)
+
+let test_shard_map_determinism () =
+  let m = Shard_map.create ~shards:4 () in
+  List.iter
+    (fun k ->
+      let s = Shard_map.shard_of m k in
+      Alcotest.(check int) ("stable placement of " ^ k) s (Shard_map.shard_of m k);
+      Alcotest.(check bool) "in range" true (s >= 0 && s < 4))
+    [ "acct0"; "acct1"; "x"; ""; "a:long:key" ];
+  (* a single shard owns everything *)
+  let one = Shard_map.create ~shards:1 () in
+  Alcotest.(check int) "one shard" 0 (Shard_map.shard_of one "anything")
+
+let test_shard_map_range_policy () =
+  let m = Shard_map.create ~policy:(Shard_map.Range [ "g"; "p" ]) ~shards:3 () in
+  Alcotest.(check int) "below first bound" 0 (Shard_map.shard_of m "acct");
+  Alcotest.(check int) "between bounds" 1 (Shard_map.shard_of m "horse");
+  Alcotest.(check int) "at a bound goes right" 1 (Shard_map.shard_of m "g");
+  Alcotest.(check int) "above last bound" 2 (Shard_map.shard_of m "zebra")
+
+let test_shard_map_validation () =
+  Alcotest.check_raises "shards must be positive"
+    (Invalid_argument "Shard_map.create: shards must be >= 1") (fun () ->
+      ignore (Shard_map.create ~shards:0 ()));
+  Alcotest.check_raises "range bounds must match shard count"
+    (Invalid_argument
+       "Shard_map.create: a Range policy needs exactly shards-1 boundaries")
+    (fun () ->
+      ignore (Shard_map.create ~policy:(Shard_map.Range [ "a" ]) ~shards:3 ()));
+  Alcotest.check_raises "range bounds must be sorted"
+    (Invalid_argument "Shard_map.create: Range boundaries must be strictly sorted")
+    (fun () ->
+      ignore (Shard_map.create ~policy:(Shard_map.Range [ "p"; "g" ]) ~shards:3 ()))
+
+let test_routing_key () =
+  Alcotest.(check string) "key before colon" "acct7"
+    (Etx_types.routing_key "acct7:25");
+  Alcotest.(check string) "whole body when unkeyed" "ping"
+    (Etx_types.routing_key "ping")
+
+(* ------------------------------------------------------------------ *)
+(* Single-shard equivalence: a 1-shard cluster is the plain deployment.
+   Same seed, same workload — the client must observe byte-identical
+   records (same rids, results, try counts and timestamps). *)
+
+let test_single_shard_equivalence () =
+  let seed = 7 in
+  let seed_data = Workload.Bank.seed_accounts [ ("acct0", 1000) ] in
+  let script ~issue =
+    for _ = 1 to 3 do
+      ignore (issue "acct0:5")
+    done
+  in
+  let _e, d =
+    Harness.Simrun.deployment ~seed ~seed_data ~business:Workload.Bank.update
+      ~script ()
+  in
+  assert (Deployment.run_to_quiescence ~deadline:60_000. d);
+  let _e, c =
+    Harness.Simrun.cluster ~seed ~shards:1 ~seed_data
+      ~business:Workload.Bank.update ~scripts:[ script ] ()
+  in
+  assert (Cluster.run_to_quiescence ~deadline:60_000. c);
+  let base = Client.records d.client and shard = Cluster.all_records c in
+  Alcotest.(check int) "same count" (List.length base) (List.length shard);
+  List.iter2
+    (fun (a : Client.record) b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d identical" a.rid)
+        true (a = b))
+    base shard;
+  Alcotest.(check (list string)) "cluster spec" [] (Cluster.Spec.check_all c)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-shard routing: every request lands on (and only on) its key's
+   home shard, and throughput-relevant state never leaks across groups. *)
+
+let test_two_shards_route_by_key () =
+  let map = Shard_map.create ~shards:2 () in
+  (* two keys per shard, one client per key *)
+  let keys =
+    let rec scan a acc = function
+      | 0 -> List.rev acc
+      | n ->
+          let k = Printf.sprintf "acct%d" a in
+          let wanted =
+            List.length (List.filter (fun k' -> Shard_map.shard_of map k' = Shard_map.shard_of map k) acc)
+            < 2
+          in
+          if wanted then scan (a + 1) (k :: acc) (n - 1) else scan (a + 1) acc n
+    in
+    scan 0 [] 4
+  in
+  let seed_data = Workload.Bank.seed_accounts (List.map (fun k -> (k, 100)) keys) in
+  let scripts =
+    List.map
+      (fun k ~issue ->
+        ignore (issue (k ^ ":1"));
+        ignore (issue (k ^ ":2")))
+      keys
+  in
+  let _e, c =
+    Harness.Simrun.cluster ~seed:11 ~map ~seed_data
+      ~business:Workload.Bank.update ~scripts ()
+  in
+  Alcotest.(check bool) "quiesced" true (Cluster.run_to_quiescence ~deadline:120_000. c);
+  Alcotest.(check int) "all delivered" 8 (List.length (Cluster.all_records c));
+  Alcotest.(check (list string)) "cluster spec" [] (Cluster.Spec.check_all c);
+  (* each key's final balance is on its home shard, absent elsewhere *)
+  List.iter
+    (fun k ->
+      let home = Cluster.shard_of_key c k in
+      Array.iteri
+        (fun s (g : Cluster.group) ->
+          List.iter
+            (fun (dbpid, rm) ->
+              match (Dbms.Rm.read_committed rm k, s = home) with
+              | Some (Dbms.Value.Int 103), true -> ()
+              | None, false -> ()
+              | v, _ ->
+                  Alcotest.failf "key %s on shard %d (db p%d): %s" k s dbpid
+                    (match v with
+                    | Some x -> Dbms.Value.to_string x
+                    | None -> "missing"))
+            g.dbs)
+        c.groups)
+    keys
+
+(* a request whose group stamp does not match the receiving server is
+   dropped, not executed: point a client's router at the wrong shard and
+   the request must never commit there *)
+let test_misrouted_request_dropped () =
+  let _e, c =
+    Harness.Simrun.cluster ~seed:3 ~shards:2 ~business:Business.trivial
+      ~scripts:[ (fun ~issue -> ignore (issue "x")) ]
+      ()
+  in
+  let rt = c.rt in
+  let home = Cluster.shard_of_key c "y" in
+  let wrong = 1 - home in
+  let wrong_servers = (Cluster.group c wrong).app_servers in
+  (* group stamp says home, wire target is the other shard's servers *)
+  let _bad =
+    Client.spawn rt ~name:"confused"
+      ~router:(fun _ -> (home, wrong_servers))
+      ~servers:wrong_servers
+      ~script:(fun ~issue -> ignore (issue "y"))
+      ()
+  in
+  (* the well-routed client finishes; the misrouted one spins forever *)
+  Alcotest.(check bool) "healthy client quiesces" true
+    (rt.run_until ~deadline:30_000. (fun () ->
+         List.for_all Client.script_done c.clients));
+  Alcotest.(check bool) "misrouted request never delivered" false
+    (rt.run_until ~deadline:30_000. (fun () -> Client.script_done _bad));
+  (* and the wrong shard's servers noted the drop *)
+  let drops =
+    List.filter
+      (fun (_, note) ->
+        String.length note >= 9 && String.sub note 0 9 = "misrouted")
+      (rt.notes ())
+  in
+  Alcotest.(check bool) "servers logged the misroute" true (drops <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Random fault injection over a 2-shard, 4-client cluster: message loss,
+   an imperfect failure detector, and an application-server crash on a
+   random shard. Per-shard A.1–A.3 / V.1–V.2 / T.2 plus the global
+   exactly-once property must all hold. *)
+
+let prop_cluster_spec_under_random_faults =
+  QCheck.Test.make ~name:"cluster spec under random faults (2 shards, 4 clients)"
+    ~count:15
+    QCheck.(
+      quad (int_range 0 100_000) (float_range 0. 0.15) (float_range 1. 500.)
+        (int_range 0 5))
+    (fun (seed, loss, crash_time, victim_index) ->
+      let map = Shard_map.create ~shards:2 () in
+      let keys = [ "acct0"; "acct1"; "acct2"; "acct3" ] in
+      let seed_data =
+        Workload.Bank.seed_accounts (List.map (fun k -> (k, 1000)) keys)
+      in
+      let scripts =
+        List.map
+          (fun k ~issue ->
+            ignore (issue (k ^ ":1"));
+            ignore (issue (k ^ ":1")))
+          keys
+      in
+      let net = Dnet.Netmodel.lossy ~loss (Dnet.Netmodel.three_tier ~n_dbs:2 ()) in
+      let e, c =
+        Harness.Simrun.cluster ~seed ~map ~net ~client_period:300.
+          ~fd_spec:
+            (Appserver.Fd_heartbeat
+               { period = 10.; initial_timeout = 60.; timeout_bump = 30. })
+          ~seed_data ~business:Workload.Bank.update ~scripts ()
+      in
+      (* victim_index ranges over both shards' three servers each *)
+      let shard = victim_index / 3 and i = victim_index mod 3 in
+      let victim = List.nth (Cluster.group c shard).app_servers i in
+      Dsim.Engine.crash_at e crash_time victim;
+      let ok = Cluster.run_to_quiescence ~deadline:600_000. c in
+      ok && Cluster.Spec.check_all c = [])
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cluster"
+    [
+      ( "shard-map",
+        [
+          Alcotest.test_case "hash placement deterministic" `Quick
+            test_shard_map_determinism;
+          Alcotest.test_case "range policy" `Quick test_shard_map_range_policy;
+          Alcotest.test_case "validation" `Quick test_shard_map_validation;
+          Alcotest.test_case "routing key" `Quick test_routing_key;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "one-shard cluster = plain deployment" `Quick
+            test_single_shard_equivalence;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "two shards route by key" `Quick
+            test_two_shards_route_by_key;
+          Alcotest.test_case "misrouted request dropped" `Quick
+            test_misrouted_request_dropped;
+        ] );
+      ("random-faults", [ q prop_cluster_spec_under_random_faults ]);
+    ]

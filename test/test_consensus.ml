@@ -1,6 +1,7 @@
 (* Tests for the consensus agent and write-once registers. *)
 
 open Dsim
+open Runtime
 open Dnet
 
 type Types.payload += V of int

@@ -2,6 +2,7 @@
    detectors. *)
 
 open Dsim
+open Runtime
 open Dnet
 
 type Types.payload += App of int

@@ -1,6 +1,7 @@
 (* Tests for the discrete-event simulation kernel. *)
 
 open Dsim
+open Runtime
 
 type Types.payload += Ping of int | Pong of int
 

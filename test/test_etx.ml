@@ -363,7 +363,7 @@ let request_deliveries e =
     (fun (e : Dsim.Trace.entry) ->
       match e.event with
       | Dsim.Trace.Delivered m -> (
-          match m.Dsim.Types.payload with
+          match m.Runtime.Types.payload with
           | Etx_types.Request_msg _ ->
               let c =
                 Option.value ~default:0 (Hashtbl.find_opt counts m.dst)
@@ -429,6 +429,7 @@ let test_client_ignores_stale_result () =
         (Etx_types.Result_msg
            {
              rid = 999_999;
+             group = 0;
              j = 1;
              decision =
                { result = Some "forged"; outcome = Dbms.Rm.Commit };
@@ -508,10 +509,10 @@ let test_gc_timed_at_most_once_caveat () =
   ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of e +. 1_000.) e);
   Alcotest.(check bool) "collected" true (gc_notes e <> []);
   (* a late retransmission of (rid, j=1) straight to the primary *)
-  let request = { Etx_types.rid; body = "pay" } in
+  let request = { Etx_types.rid; key = "pay"; body = "pay" } in
   Dsim.Engine.post e ~src:(Client.pid d.client)
     ~dst:(Deployment.primary d)
-    (Etx_types.Request_msg { request; j = 1 });
+    (Etx_types.Request_msg { request; j = 1; group = 0 });
   ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of e +. 2_000.) e);
   Alcotest.(check int) "re-executed after GC (the timed caveat)" 2
     (computed_try1_notes e rid)

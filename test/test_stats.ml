@@ -106,6 +106,53 @@ let test_fmt () =
   Alcotest.(check string) "pct+" "+16%" (Stats.Table.fmt_pct 16.1);
   Alcotest.(check string) "pct0" "+0%" (Stats.Table.fmt_pct 0.)
 
+(* ------------------------------------------------------------------ *)
+(* JSON emitter: the bench and live-smoke artefacts round-trip exactly. *)
+
+let json = Alcotest.testable (Fmt.of_to_string Stats.Json.to_string) ( = )
+
+let roundtrip name v =
+  match Stats.Json.of_string (Stats.Json.to_string v) with
+  | Ok v' -> Alcotest.check json name v v'
+  | Error e -> Alcotest.failf "%s: parse error: %s" name e
+
+let test_json_roundtrip () =
+  let open Stats.Json in
+  (* one value exercising every constructor, string escapes included *)
+  roundtrip "kitchen sink"
+    (Obj
+       [
+         ("schema", String "etx-bench-harness/4");
+         ("null", Null);
+         ("flags", List [ Bool true; Bool false ]);
+         ("counts", List [ Int 0; Int (-3); Int 123_456_789 ]);
+         ("escaped", String "a\"b\\c\nd\te\r\x01 é");
+         ("empty_obj", Obj []);
+         ("empty_list", List []);
+         ("nested", Obj [ ("rows", List [ Obj [ ("x", Int 1) ] ]) ]);
+       ]);
+  (* floats print shortest-round-trip, so equality is exact *)
+  List.iter
+    (fun f -> roundtrip (string_of_float f) (Float f))
+    [ 0.; 1.5; -2.25; 1916.8658909465159; 1.0e22; 4.94e-324 ]
+
+let test_json_rendering () =
+  let open Stats.Json in
+  Alcotest.(check string) "compact atoms" "[null,true,-2,\"x\"]"
+    (to_string ~indent:0 (List [ Null; Bool true; Int (-2); String "x" ]));
+  Alcotest.(check string) "escapes" "\"a\\\"b\\\\c\\n\\u0001\""
+    (to_string ~indent:0 (String "a\"b\\c\n\x01"));
+  Alcotest.(check string) "whole floats keep a decimal point" "2.0"
+    (to_string (Float 2.));
+  Alcotest.(check string) "nan is null" "null" (to_string (Float Float.nan))
+
+let test_json_member () =
+  let open Stats.Json in
+  let doc = Obj [ ("a", Int 1); ("b", Obj [ ("c", Bool true) ]) ] in
+  Alcotest.(check bool) "present" true (member "a" doc = Some (Int 1));
+  Alcotest.(check bool) "missing" true (member "z" doc = None);
+  Alcotest.(check bool) "non-object" true (member "a" (Int 3) = None)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "stats"
@@ -130,5 +177,11 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "formatting" `Quick test_fmt;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "member" `Quick test_json_member;
         ] );
     ]
