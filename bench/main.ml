@@ -13,12 +13,13 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      scale scale-smoke shard shard-smoke parallel live micro)
+      scale scale-smoke shard shard-smoke parallel live micro
+      failover-phases obs-overhead)
 
    Each invocation also writes BENCH_harness.json (via {!Stats.Json}) —
    per-artefact wall-clock seconds plus the sweep points, machine-readable:
-     { "schema": "etx-bench-harness/4", "domains": N, "host_cores": C,
-       "artefacts": [ { "name": "figure8", "backend": "sim",
+     { "schema": "etx-bench-harness/5", "domains": N, "host_cores": C,
+       "artefacts": [ { "name": "figure8", "backend": "sim", "obs": "off",
                         "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
                     "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ],
@@ -28,10 +29,15 @@
                   { "backend": "live", "shards": 2, ...,
                     "requests_per_sec": 5.0 }, ... ],
        "live": [ { "clients": 2, "requests": 6, "wall_s": 1.2,
-                   "requests_per_sec": 5.0 }, ... ] }
-   Every artefact records which runtime backend produced it: "sim" for the
+                   "requests_per_sec": 5.0 }, ... ],
+       "obs_overhead": [ { "mode": "disabled", "events": 12345,
+                           "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ] }
+   Every artefact records which runtime backend produced it ("sim" for the
    deterministic discrete-event engine, "live" for the wall-clock threads
-   backend (the [live] and [shard] artefacts' live rows). *)
+   backend — the [live] and [shard] artefacts' live rows) and which
+   observability mode it ran under ("off" = no registry attached,
+   "metrics" = counters/histograms only, "traced" = spans too, "sweep" =
+   the obs-overhead artefact compares all three). *)
 
 let domains = ref 1
 
@@ -40,9 +46,9 @@ let section title body =
 
 let host_cores = Domain.recommended_domain_count ()
 
-(* wall-clock ledger (name, backend, seconds), dumped to BENCH_harness.json
-   on exit *)
-let timings : (string * string * float) list ref = ref []
+(* wall-clock ledger (name, backend, obs mode, seconds), dumped to
+   BENCH_harness.json on exit *)
+let timings : (string * string * string * float) list ref = ref []
 
 (* (servers, clients, events, wall_s, events/s) points from the scale sweep *)
 let scale_rows : (int * int * int * float * float) list ref = ref []
@@ -56,11 +62,14 @@ let shard_rows : Harness.Experiments.shard_row list ref = ref []
 
 let shard_live_rows : (int * int * int * int * float * float) list ref = ref []
 
-let timed ?(backend = "sim") name f =
+(* (mode, events, wall_s, events/s) rows from the obs-overhead artefact *)
+let obs_rows : (string * int * float * float) list ref = ref []
+
+let timed ?(backend = "sim") ?(obs = "off") name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in
-  timings := !timings @ [ (name, backend, dt) ];
+  timings := !timings @ [ (name, backend, obs, dt) ];
   r
 
 let write_bench_json () =
@@ -98,17 +107,18 @@ let write_bench_json () =
   let doc =
     Obj
       [
-        ("schema", String "etx-bench-harness/4");
+        ("schema", String "etx-bench-harness/5");
         ("domains", Int !domains);
         ("host_cores", Int host_cores);
         ( "artefacts",
           List
             (List.map
-               (fun (name, backend, wall_s) ->
+               (fun (name, backend, obs, wall_s) ->
                  Obj
                    [
                      ("name", String name);
                      ("backend", String backend);
+                     ("obs", String obs);
                      ("wall_s", Float wall_s);
                    ])
                !timings) );
@@ -138,6 +148,18 @@ let write_bench_json () =
                      ("requests_per_sec", Float rate);
                    ])
                !live_rows) );
+        ( "obs_overhead",
+          List
+            (List.map
+               (fun (mode, events, wall, rate) ->
+                 Obj
+                   [
+                     ("mode", String mode);
+                     ("events", Int events);
+                     ("wall_s", Float wall);
+                     ("events_per_sec", Float rate);
+                   ])
+               !obs_rows) );
       ]
   in
   let oc = open_out "BENCH_harness.json" in
@@ -223,6 +245,98 @@ let run_fd_quality () =
   section "A9 (ablation)"
     (Harness.Experiments.render_fd_quality
        (Harness.Experiments.fd_quality_sweep ~domains:!domains ()))
+
+let run_failover_phases () =
+  timed ~obs:"traced" "failover-phases" @@ fun () ->
+  section "A12 (ablation)"
+    (Harness.Experiments.render_failover_phases
+       (Harness.Experiments.failover_phases ~domains:!domains ()))
+
+(* ------------------------------------------------------------------ *)
+(* Obs-overhead artefact: the zero-cost claim, measured. One mid-size
+   scale point run three ways — no registry attached (every instrument
+   site is a single None-branch), metrics only (counters + histograms,
+   spans disabled in the registry), fully traced — reporting simulated
+   events per wall-clock second for each. With obs off the rate must sit
+   within noise of the plain scale sweep's same point. *)
+
+let run_obs_overhead () =
+  let n_servers = 3 and n_clients = 8 and requests = 2 in
+  timed ~obs:"sweep" "obs-overhead" @@ fun () ->
+  let one mode =
+    let reg =
+      match mode with
+      | "disabled" -> None
+      | "metrics" -> Some (Obs.Registry.create ~spans:false ())
+      | _ -> Some (Obs.Registry.create ())
+    in
+    let seed_data =
+      Workload.Bank.seed_accounts
+        (List.init n_clients (fun i -> (Printf.sprintf "acct%d" i, 1_000_000)))
+    in
+    let script_for i ~issue =
+      for _ = 1 to requests do
+        ignore (issue (Printf.sprintf "acct%d:1" i))
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let e, d =
+      Harness.Simrun.deployment ~seed:42 ~tracing:false ?obs:reg
+        ~n_app_servers:n_servers ~seed_data ~business:Workload.Bank.update
+        ~script:(script_for 0) ()
+    in
+    let extra =
+      List.init (n_clients - 1) (fun i ->
+          Etx.Client.spawn d.rt
+            ~name:(Printf.sprintf "client%d" (i + 1))
+            ~period:400. ~servers:d.app_servers
+            ~script:(script_for (i + 1))
+            ())
+    in
+    let clients = d.client :: extra in
+    let all_done () = List.for_all Etx.Client.script_done clients in
+    if not (Dsim.Engine.run_until ~deadline:7_200_000. e all_done) then
+      failwith "obs-overhead: run did not finish";
+    let wall = Unix.gettimeofday () -. t0 in
+    (* self-check while we have a registry: the committed counter must
+       equal the clients' delivered records exactly *)
+    (match reg with
+    | Some reg ->
+        let delivered =
+          List.fold_left
+            (fun acc c -> acc + List.length (Etx.Client.records c))
+            0 clients
+        in
+        let counted = Obs.Registry.counter_total reg "client.committed" in
+        if counted <> delivered then
+          failwith
+            (Printf.sprintf
+               "obs-overhead (%s): client.committed=%d but %d records \
+                delivered"
+               mode counted delivered)
+    | None -> ());
+    let events = Dsim.Engine.events_of e in
+    (mode, events, wall, float_of_int events /. wall)
+  in
+  let rows = List.map one [ "disabled"; "metrics"; "traced" ] in
+  obs_rows := !obs_rows @ rows;
+  let base =
+    match rows with (_, _, _, r) :: _ -> r | [] -> assert false
+  in
+  section "Obs overhead (events/sec, wall-clock, host-dependent)"
+    (Stats.Table.render
+       ~headers:[ "obs mode"; "sim events"; "wall (s)"; "events/s"; "vs off" ]
+       ~rows:
+         (List.map
+            (fun (mode, ev, wall, rate) ->
+              [
+                mode;
+                string_of_int ev;
+                Printf.sprintf "%.3f" wall;
+                Printf.sprintf "%.0f" rate;
+                Printf.sprintf "%.2fx" (rate /. base);
+              ])
+            rows))
 
 let run_scale ?points () =
   let rows =
@@ -390,8 +504,8 @@ let run_parallel () =
     timings :=
       !timings
       @ [
-          (name ^ "-1dom", "sim", t_seq);
-          (Printf.sprintf "%s-%ddom" name n, "sim", t_par);
+          (name ^ "-1dom", "sim", "off", t_seq);
+          (Printf.sprintf "%s-%ddom" name n, "sim", "off", t_par);
         ];
     (name, t_seq, t_par)
   in
@@ -542,6 +656,8 @@ let all () =
   run_throughput ();
   run_register_backends ();
   run_fd_quality ();
+  run_failover_phases ();
+  run_obs_overhead ();
   run_scale ();
   run_shard ();
   run_live ();
@@ -581,6 +697,8 @@ let () =
           | "throughput" -> run_throughput ()
           | "registers" -> run_register_backends ()
           | "fd-quality" -> run_fd_quality ()
+          | "failover-phases" -> run_failover_phases ()
+          | "obs-overhead" -> run_obs_overhead ()
           | "scale" -> run_scale ()
           | "scale-smoke" -> run_scale_smoke ()
           | "shard" -> run_shard ()
@@ -591,7 +709,7 @@ let () =
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|scale|scale-smoke|shard|shard-smoke|parallel|live|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

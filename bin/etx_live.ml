@@ -14,6 +14,7 @@ let requests = ref 4
 let shards = ref 1
 let seed = ref 42
 let out = ref "LIVE_smoke.json"
+let obs = ref ""
 
 let speclist =
   [
@@ -22,7 +23,39 @@ let speclist =
     ("-shards", Arg.Set_int shards, "S  replica groups (default 1)");
     ("-seed", Arg.Set_int seed, "N  network-model RNG seed (default 42)");
     ("-out", Arg.Set_string out, "FILE  summary JSON path (default LIVE_smoke.json)");
+    ( "-obs",
+      Arg.Set_string obs,
+      "FILE  attach an observability registry and write its Prometheus dump \
+       to FILE on exit" );
   ]
+
+let obs_registry () = if !obs = "" then None else Some (Obs.Registry.create ())
+
+(* Dump the registry as Prometheus text, then re-parse the dump and
+   cross-check the committed counter against delivered records — the same
+   consistency gate the simulator's --obs path applies. *)
+let obs_violations ~n_delivered reg =
+  match reg with
+  | None -> []
+  | Some reg ->
+      let dump = Obs.Export_prom.to_string reg in
+      let oc = open_out !obs in
+      output_string oc dump;
+      close_out oc;
+      Printf.printf "wrote %s\n%!" !obs;
+      let committed =
+        int_of_float
+          (List.fold_left ( +. ) 0.
+             (Obs.Export_prom.counter_values dump
+                ~metric:"etx_client_committed"))
+      in
+      if committed <> n_delivered then
+        [
+          Printf.sprintf
+            "obs: etx_client_committed=%d in %s but %d records delivered"
+            committed !obs n_delivered;
+        ]
+      else []
 
 let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
     ~violations ~ok =
@@ -65,7 +98,8 @@ let report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok =
 
 let run_single () =
   let n_clients = !clients and n_requests = !requests in
-  let lt = Runtime_live.create ~seed:!seed () in
+  let reg = obs_registry () in
+  let lt = Runtime_live.create ~seed:!seed ?obs:reg () in
   let rt = Runtime_live.runtime lt in
   (* disjoint accounts: each client updates its own, so every transaction
      must commit and the per-account balance checks the commit count *)
@@ -146,6 +180,7 @@ let run_single () =
   in
   let violations =
     violations @ dup_violations
+    @ obs_violations ~n_delivered reg
     @ (if settled then [] else [ "run did not quiesce before the deadline" ])
     @ (if scripts_done then [] else [ "a client script did not finish" ])
     @
@@ -180,7 +215,8 @@ let client_keys map ~n_clients ~n_shards =
 
 let run_sharded () =
   let n_clients = !clients and n_requests = !requests and n_shards = !shards in
-  let lt = Runtime_live.create ~seed:!seed () in
+  let reg = obs_registry () in
+  let lt = Runtime_live.create ~seed:!seed ?obs:reg () in
   let rt = Runtime_live.runtime lt in
   let map = Etx.Shard_map.create ~shards:n_shards () in
   let keys = client_keys map ~n_clients ~n_shards in
@@ -242,7 +278,12 @@ let run_sharded () =
       keys
   in
   let violations =
-    violations @ dup_violations
+    violations
+    @ (match reg with
+      | Some r when settled -> Cluster.Spec.obs_consistency r c
+      | _ -> [])
+    @ dup_violations
+    @ obs_violations ~n_delivered reg
     @ (if settled then [] else [ "run did not quiesce before the deadline" ])
     @ (if scripts_done then [] else [ "a client script did not finish" ])
     @
@@ -258,6 +299,6 @@ let run_sharded () =
 let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "etx_live [-clients N] [-requests N] [-shards S] [-seed N] [-out FILE]";
+    "etx_live [-clients N] [-requests N] [-shards S] [-seed N] [-out FILE] [-obs FILE]";
   if !shards < 1 then (prerr_endline "etx_live: -shards must be >= 1"; exit 2);
   if !shards = 1 then run_single () else run_sharded ()

@@ -146,6 +146,19 @@ let fd_quality_cmd =
              timeout.")
     Term.(const run $ seed_arg $ domains_arg)
 
+let failover_phases_cmd =
+  let run seed domains =
+    set_domains domains;
+    print_endline
+      (Harness.Experiments.render_failover_phases
+         (Harness.Experiments.failover_phases ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "failover-phases"
+       ~doc:"Ablation A12: per-phase latency attribution of the fail-over \
+             path, measured from the observability span layer.")
+    Term.(const run $ seed_arg $ domains_arg)
+
 let throughput_cmd =
   let run seed domains =
     set_domains domains;
@@ -191,11 +204,38 @@ let workload_conv =
   in
   Arg.conv (parse, print)
 
+(* Write the registry's Prometheus dump, then re-parse the dump itself (the
+   artifact CI archives) and cross-check the committed counter against the
+   clients' delivered records. Returns false on mismatch. *)
+let write_obs_dump ~file ~delivered reg =
+  let dump = Obs.Export_prom.to_string reg in
+  let oc = open_out file in
+  output_string oc dump;
+  close_out oc;
+  Printf.eprintf "wrote %s\n" file;
+  let committed =
+    int_of_float
+      (List.fold_left ( +. ) 0.
+         (Obs.Export_prom.counter_values dump ~metric:"etx_client_committed"))
+  in
+  if committed <> delivered then begin
+    Printf.printf
+      "OBS INCONSISTENCY: etx_client_committed=%d in %s but %d records \
+       delivered\n"
+      committed file delivered;
+    false
+  end
+  else begin
+    Printf.printf "obs: etx_client_committed=%d matches delivered records\n"
+      committed;
+    true
+  end
+
 (* Sharded demo: [shards] replica groups, [clients] clients, keyed bodies
    drawn from the workload generator (transfers stay intra-shard), requests
    dealt round-robin to the clients. Faults target shard 0. *)
 let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-    crash_primary_at crash_db =
+    crash_primary_at crash_db obs =
   let kind =
     let accounts = max 8 (4 * shards) in
     match workload with
@@ -218,8 +258,9 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   let script_for i ~issue =
     List.iteri (fun k body -> if k mod clients = i then ignore (issue body)) bodies
   in
+  let reg = Option.map (fun _ -> Obs.Registry.create ()) obs in
   let engine, c =
-    Harness.Simrun.cluster ~seed ~map ~n_app_servers ~n_dbs
+    Harness.Simrun.cluster ~seed ~map ?obs:reg ~n_app_servers ~n_dbs
       ~client_period:300.
       ~seed_data:(Workload.Generator.seed_data_of kind)
       ~business:(Workload.Generator.business_of kind)
@@ -250,20 +291,34 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
         (r.delivered_at -. r.issued_at))
     (Cluster.all_records c);
   let violations = Cluster.Spec.check_all c in
+  let violations =
+    violations
+    @ (match reg with
+      | Some reg -> Cluster.Spec.obs_consistency reg c
+      | None -> [])
+  in
   (match violations with
   | [] -> print_endline "specification: all properties hold on every shard"
   | vs ->
       print_endline "SPECIFICATION VIOLATIONS:";
       List.iter (fun v -> print_endline ("  " ^ v)) vs);
-  if (not quiesced) || violations <> [] then exit 1
+  let obs_ok =
+    match (obs, reg) with
+    | Some file, Some reg ->
+        write_obs_dump ~file
+          ~delivered:(List.length (Cluster.all_records c))
+          reg
+    | _ -> true
+  in
+  if (not quiesced) || violations <> [] || not obs_ok then exit 1
 
 let demo_run seed workload requests n_app_servers n_dbs shards clients
-    crash_primary_at crash_db verbose diagram =
+    crash_primary_at crash_db verbose diagram obs =
   if shards < 1 then (Printf.eprintf "--shards must be >= 1\n"; exit 2);
   if clients < 1 then (Printf.eprintf "--clients must be >= 1\n"; exit 2);
   if shards > 1 || clients > 1 then
     demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-      crash_primary_at crash_db
+      crash_primary_at crash_db obs
   else
   let business, seed_data, body_of =
     match workload with
@@ -281,9 +336,10 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients
             ~seats:5 ~rooms:5 ~cars:5,
           fun i -> if i mod 2 = 0 then "paris:2" else "tokyo:1" )
   in
+  let reg = Option.map (fun _ -> Obs.Registry.create ()) obs in
   let engine, d =
-    Harness.Simrun.deployment ~seed ~n_app_servers ~n_dbs ~client_period:300.
-      ~seed_data ~business
+    Harness.Simrun.deployment ~seed ?obs:reg ~n_app_servers ~n_dbs
+      ~client_period:300. ~seed_data ~business
       ~script:(fun ~issue ->
         for i = 0 to requests - 1 do
           ignore (issue (body_of i))
@@ -321,16 +377,47 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients
       (Harness.Msgclass.protocol_messages trace)
       (Harness.Msgclass.protocol_steps trace);
     Format.printf "trace: %a@." Dsim.Trace.pp_stats (Dsim.Trace.stats trace);
-    List.iter
-      (fun (label, total) ->
-        Printf.printf "  work[%s] = %.1f ms\n" label total)
-      (Dsim.Trace.work_by_category trace)
+    match reg with
+    | Some reg ->
+        (* the registry's work histograms replace the trace's
+           work_by_category totals: same labels, plus counts *)
+        let work_names =
+          List.sort_uniq String.compare
+            (List.filter_map
+               (fun ({ Obs.Registry.name; _ }, _) ->
+                 if String.length name > 5 && String.sub name 0 5 = "work."
+                 then Some name
+                 else None)
+               (Obs.Registry.histograms reg))
+        in
+        List.iter
+          (fun name ->
+            match Obs.Registry.merged_histogram reg name with
+            | Some h ->
+                Printf.printf "  work[%s] = %.1f ms over %d slices\n"
+                  (String.sub name 5 (String.length name - 5))
+                  (Obs.Histogram.sum h) (Obs.Histogram.count h)
+            | None -> ())
+          work_names
+    | None ->
+        List.iter
+          (fun (label, total) ->
+            Printf.printf "  work[%s] = %.1f ms\n" label total)
+          (Dsim.Trace.work_by_category trace)
   end;
   if diagram then begin
     print_endline "--- message sequence diagram ---";
     print_string (Harness.Seqdiag.of_engine engine)
   end;
-  if (not quiesced) || violations <> [] then exit 1
+  let obs_ok =
+    match (obs, reg) with
+    | Some file, Some reg ->
+        write_obs_dump ~file
+          ~delivered:(List.length (Etx.Client.records d.client))
+          reg
+    | _ -> true
+  in
+  if (not quiesced) || violations <> [] || not obs_ok then exit 1
 
 let demo_cmd =
   let workload =
@@ -393,6 +480,18 @@ let demo_cmd =
       value & flag
       & info [ "diagram" ] ~doc:"Print the message sequence diagram.")
   in
+  let obs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs" ] ~docv:"FILE"
+          ~doc:
+            "Attach an observability registry to the run and write its \
+             Prometheus text dump to $(docv). The dump is re-parsed and the \
+             committed counter cross-checked against the delivered records \
+             (non-zero exit on mismatch); with --shards > 1 the cluster-level \
+             obs-consistency checks run too.")
+  in
   Cmd.v
     (Cmd.info "demo"
        ~doc:
@@ -400,7 +499,7 @@ let demo_cmd =
           delivered results and check the e-Transaction specification.")
     Term.(
       const demo_run $ seed_arg $ workload $ requests $ apps $ dbs $ shards
-      $ clients $ crash_primary $ crash_db $ verbose $ diagram)
+      $ clients $ crash_primary $ crash_db $ verbose $ diagram $ obs)
 
 let main_cmd =
   let doc =
@@ -422,6 +521,7 @@ let main_cmd =
       throughput_cmd;
       shard_cmd;
       fd_quality_cmd;
+      failover_phases_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

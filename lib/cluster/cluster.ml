@@ -180,4 +180,50 @@ module Spec = struct
   let check_all t =
     List.concat_map Etx.Spec.View.check_all (shard_views t)
     @ global_exactly_once t
+
+  (* The observability layer double-counts nothing by construction:
+     [client.committed] is incremented exactly where a client appends a
+     delivered record, so any drift between the registry and the client's
+     own records is a bug in the obs plumbing, not in the protocol. *)
+  let obs_consistency reg t =
+    let violations = ref [] in
+    let add fmt =
+      Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+    in
+    let records = all_records t in
+    let total = Obs.Registry.counter_total reg "client.committed" in
+    if total <> List.length records then
+      add "obs: client.committed=%d but clients delivered %d records" total
+        (List.length records);
+    List.iteri
+      (fun i c ->
+        let node =
+          if i = 0 then "client" else Printf.sprintf "client%d" (i + 1)
+        in
+        let n = Obs.Registry.counter_value reg ~node ~name:"client.committed" in
+        let expect = List.length (Etx.Client.records c) in
+        if n <> expect then
+          add "obs: %s client.committed=%d but it delivered %d records" node n
+            expect)
+      t.clients;
+    Array.iter
+      (fun g ->
+        let homed =
+          List.length
+            (List.filter
+               (fun (r : Etx.Client.record) ->
+                 Etx.Shard_map.shard_of t.map r.key = g.index)
+               records)
+        in
+        let n = Obs.Registry.counter_total ~group:g.index reg "server.committed" in
+        (* cleaners may re-terminate, so the server-side count is a lower
+           bound only: every delivered commit had at least one terminating
+           commit in its home group *)
+        if n < homed then
+          add
+            "obs: shard%d server.committed=%d < %d committed records homed \
+             there"
+            g.index n homed)
+      t.groups;
+    List.rev !violations
 end

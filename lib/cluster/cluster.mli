@@ -92,4 +92,13 @@ module Spec : sig
 
   val check_all : t -> string list
   (** [check_all] of every shard view, then {!global_exactly_once}. *)
+
+  val obs_consistency : Obs.Registry.t -> t -> string list
+  (** Cross-checks an observability registry attached to the cluster's
+      runtime against ground truth: total and per-client
+      [client.committed] counters must equal the clients' delivered
+      record counts exactly, and each shard's [server.committed] must be
+      at least the number of committed records homed there (cleaners may
+      re-terminate, so server-side counts are a lower bound). Returns
+      violation descriptions; [[]] = consistent. *)
 end

@@ -70,7 +70,15 @@ type t = {
   round_timeout : float;
   instances : (string, instance) Hashtbl.t;
   persist : persistence option;
+  sink : Rt.obs_sink option;  (** fetched once at create; None = obs off *)
 }
+
+(* Register keys embed the request id ("g0:regD:r1003[1]"), which is the
+   trace id of all observability for that request — parsing it here lets
+   consensus events join the request's span tree without any API change. *)
+let trace_of_key key =
+  try Scanf.sscanf key "g%d:reg%c:r%d[" (fun _ _ rid -> rid) with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file -> 0
 
 let ensure t key =
   match Hashtbl.find_opt t.instances key with
@@ -137,6 +145,7 @@ let create ?(poll = 2.0) ?(round_timeout = 100.) ?persist ~peers ~fd ~ch () =
       round_timeout;
       instances = Hashtbl.create 32;
       persist;
+      sink = Rt.obs ();
     }
   in
   (match persist with None -> () | Some p -> recover_from_log t p);
@@ -151,6 +160,12 @@ let record_decision t inst value =
       log_decision t inst value;
       inst.decided <- Some value;
       inst.decided_at <- Rt.now ();
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+          s.Rt.obs_count "consensus.decides" 1;
+          s.Rt.obs_event ~trace:(trace_of_key inst.key) "consensus-decide"
+            inst.key);
       (* wake any local proposer blocked in [propose] *)
       Rt.redeliver ~src:t.self (C_decided_local { key = inst.key });
       (* reliable broadcast: forward on first learn *)
@@ -190,7 +205,10 @@ let driver t inst () =
     log_adoption t inst ~round:r value;
     Rchannel.send t.ch c (C_ack { key = inst.key; round = r; ok = true })
   in
+  (* highest round this driver entered, for the rounds-per-write metric *)
+  let max_r = ref 0 in
   let rec go r est ts =
+    if r > !max_r then max_r := r;
     match inst.decided with
     | Some _ -> ()
     | None ->
@@ -331,6 +349,14 @@ let driver t inst () =
     | None -> (inst.my_proposal, -1)
   in
   go inst.restart_round est0 ts0;
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      (* rounds this driver traversed before the instance decided; >1 only
+         when round 0 failed (coordinator crash, suspicion, timeout) *)
+      let rounds = !max_r + 1 in
+      s.Rt.obs_count "consensus.rounds" rounds;
+      s.Rt.obs_observe "consensus.rounds_per_write" (float_of_int rounds));
   inst.driver_running <- false
 
 let start_driver t inst =

@@ -63,6 +63,9 @@ type rid_state = {
   mutable last : (int * decision) option;  (** last terminated try here *)
   mutable cleaned : int list;  (** the paper's [clist], per request *)
   mutable terminated_at : float option;  (** for the GC grace period *)
+  mutable rspan : int;
+      (** the client's root span id, from the request message (0 = none);
+          per-try and cleaner spans parent under it *)
 }
 
 (* The wo-register surface the protocol needs, abstracted over the two
@@ -83,6 +86,7 @@ type ctx = {
   regs : registers;
   rd : Dbms.Stub.Readiness.t;
   rids : (int, rid_state) Hashtbl.t;
+  sink : Rt.obs_sink option;  (** fetched once at spawn; None = obs off *)
 }
 
 let rid_state ctx rid =
@@ -90,7 +94,13 @@ let rid_state ctx rid =
   | Some st -> st
   | None ->
       let st =
-        { client = None; last = None; cleaned = []; terminated_at = None }
+        {
+          client = None;
+          last = None;
+          cleaned = [];
+          terminated_at = None;
+          rspan = 0;
+        }
       in
       Hashtbl.replace ctx.rids rid st;
       st
@@ -109,6 +119,18 @@ let span ctx label f =
   | None -> f ()
   | Some bd -> Stats.Breakdown.span bd label f
 
+(* Obs phase span around [f]. Deliberately NOT exception-safe: if the
+   process crashes mid-phase the span must stay open — that is the signal a
+   fail-over post-mortem looks for. *)
+let ospan ctx ?(parent = 0) ~trace name f =
+  match ctx.sink with
+  | None -> f ()
+  | Some s ->
+      let id = s.Rt.obs_span_open ~parent ~trace name in
+      let r = f () in
+      s.Rt.obs_span_close id;
+      r
+
 (* ---------------- Fig. 4: terminate() ---------------- *)
 
 let send_result ctx st ~rid ~j decision =
@@ -118,7 +140,15 @@ let send_result ctx st ~rid ~j decision =
       Rchannel.send ctx.ch c
         (Result_msg { rid; j; decision; group = ctx.cfg.group })
 
-let terminate ctx st ~rid ~j (decision : decision) =
+let terminate ctx st ?(parent = 0) ~rid ~j (decision : decision) =
+  let tspan =
+    match ctx.sink with
+    | None -> 0
+    | Some s ->
+        let id = s.Rt.obs_span_open ~parent ~trace:rid "terminate" in
+        s.Rt.obs_span_attr id "j" (string_of_int j);
+        id
+  in
   let xid = Dbms.Xid.make ~rid ~j in
   let (_ : (Types.proc_id * unit) list) =
     span ctx "commit" (fun () ->
@@ -135,7 +165,14 @@ let terminate ctx st ~rid ~j (decision : decision) =
   (match st.last with
   | Some (j', _) when j' >= j -> ()
   | Some _ | None -> st.last <- Some (j, decision));
-  st.terminated_at <- Some (Rt.now ())
+  st.terminated_at <- Some (Rt.now ());
+  match ctx.sink with
+  | None -> ()
+  | Some s ->
+      s.Rt.obs_count "server.terminated" 1;
+      if decision.outcome = Dbms.Rm.Commit then
+        s.Rt.obs_count "server.committed" 1;
+      s.Rt.obs_span_close tspan
 
 (* ---------------- Fig. 4: prepare() ---------------- *)
 
@@ -173,49 +210,76 @@ let run_business ctx ~xid ~attempt ~body =
 let compute_try ctx st ~(request : request) ~j =
   let rid = request.rid in
   let xid = Dbms.Xid.make ~rid ~j in
+  (* one "try" span per (rid, j) attempt on this server, parented under the
+     client's propagated root span; phases hang off it *)
+  let tspan =
+    match ctx.sink with
+    | None -> 0
+    | Some s ->
+        let id = s.Rt.obs_span_open ~parent:st.rspan ~trace:rid "try" in
+        s.Rt.obs_span_attr id "j" (string_of_int j);
+        id
+  in
   (* elect the computing server for try j (regA write, "log-start") *)
   let winner =
     span ctx "log-start" (fun () ->
-        ctx.regs.reg_write
-          ~name:(reg_a_name ~group:ctx.cfg.group rid)
-          ~j (Reg_a_value ctx.self))
+        ospan ctx ~parent:tspan ~trace:rid "election" (fun () ->
+            ctx.regs.reg_write
+              ~name:(reg_a_name ~group:ctx.cfg.group rid)
+              ~j (Reg_a_value ctx.self)))
   in
   match winner with
   | Reg_a_value w when w = ctx.self ->
-      xa_broadcast ctx ~xid ~label:"start"
-        ~request:(fun _ -> Dbms.Msg.Xa_start { xid })
-        ~matches:(function
-          | Dbms.Msg.Xa_started { xid = x } when Dbms.Xid.equal x xid ->
-              Some ()
-          | _ -> None);
-      let result =
-        span ctx "SQL" (fun () ->
-            run_business ctx ~xid ~attempt:j ~body:request.body)
+      ospan ctx ~parent:tspan ~trace:rid "compute" (fun () ->
+          xa_broadcast ctx ~xid ~label:"start"
+            ~request:(fun _ -> Dbms.Msg.Xa_start { xid })
+            ~matches:(function
+              | Dbms.Msg.Xa_started { xid = x } when Dbms.Xid.equal x xid ->
+                  Some ()
+              | _ -> None);
+          let result =
+            span ctx "SQL" (fun () ->
+                run_business ctx ~xid ~attempt:j ~body:request.body)
+          in
+          Rt.note (Printf.sprintf "computed:%d:%d:%s" rid j result);
+          xa_broadcast ctx ~xid ~label:"end"
+            ~request:(fun _ -> Dbms.Msg.Xa_end { xid })
+            ~matches:(function
+              | Dbms.Msg.Xa_ended { xid = x } when Dbms.Xid.equal x xid ->
+                  Some ()
+              | _ -> None);
+          result)
+      |> fun result ->
+      let outcome =
+        span ctx "prepare" (fun () ->
+            ospan ctx ~parent:tspan ~trace:rid "prepare" (fun () ->
+                prepare ctx ~xid))
       in
-      Rt.note (Printf.sprintf "computed:%d:%d:%s" rid j result);
-      xa_broadcast ctx ~xid ~label:"end"
-        ~request:(fun _ -> Dbms.Msg.Xa_end { xid })
-        ~matches:(function
-          | Dbms.Msg.Xa_ended { xid = x } when Dbms.Xid.equal x xid -> Some ()
-          | _ -> None);
-      let outcome = span ctx "prepare" (fun () -> prepare ctx ~xid) in
       let proposal = { result = Some result; outcome } in
       let final =
         span ctx "log-outcome" (fun () ->
-            match
-              ctx.regs.reg_write
-                ~name:(reg_d_name ~group:ctx.cfg.group rid)
-                ~j (Reg_d_value proposal)
-            with
-            | Reg_d_value d -> d
-            | _ -> proposal)
+            ospan ctx ~parent:tspan ~trace:rid "consensus" (fun () ->
+                match
+                  ctx.regs.reg_write
+                    ~name:(reg_d_name ~group:ctx.cfg.group rid)
+                    ~j (Reg_d_value proposal)
+                with
+                | Reg_d_value d -> d
+                | _ -> proposal))
       in
-      terminate ctx st ~rid ~j final
+      terminate ctx st ~parent:tspan ~rid ~j final;
+      (match ctx.sink with
+      | None -> ()
+      | Some s -> s.Rt.obs_span_close tspan)
   | Reg_a_value _ ->
       (* another server won the election: it (or the cleaning thread of a
          correct server) will terminate this try; the client's
          retransmission drives progress *)
-      ()
+      (match ctx.sink with
+      | None -> ()
+      | Some s ->
+          s.Rt.obs_span_attr tspan "lost_election" "true";
+          s.Rt.obs_span_close tspan)
   | _ -> ()
 
 let compute_thread ctx () =
@@ -227,11 +291,15 @@ let compute_thread ctx () =
         | Request_msg { group; _ } when group <> ctx.cfg.group ->
             (* misrouted: addressed to another replica group; executing it
                here would commit the request on the wrong shard *)
+            (match ctx.sink with
+            | None -> ()
+            | Some s -> s.Rt.obs_count "server.misrouted" 1);
             Rt.note
               (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
-        | Request_msg { request; j; _ } -> (
+        | Request_msg { request; j; span; _ } -> (
             let st = rid_state ctx request.rid in
             if st.client = None then st.client <- Some m.src;
+            if st.rspan = 0 then st.rspan <- span;
             match st.last with
             | Some (j', d) when j' = j ->
                 (* retransmission of an already-terminated try *)
@@ -264,6 +332,20 @@ let clean_request ctx ~suspect ~rid =
     | None -> () (* ⊥: no further tries exist (they start in order) *)
     | Some (Reg_a_value winner) ->
         if winner = suspect && not (List.mem j st.cleaned) then begin
+          (* one "clean" span per taken-over try; [rspan] is known when this
+             server saw the client's broadcast, else the span roots itself *)
+          let cspan =
+            match ctx.sink with
+            | None -> 0
+            | Some s ->
+                let id =
+                  s.Rt.obs_span_open ~parent:st.rspan ~trace:rid "clean"
+                in
+                s.Rt.obs_span_attr id "j" (string_of_int j);
+                s.Rt.obs_span_attr id "suspect"
+                  (ctx.cfg.rt.name_of suspect);
+                id
+          in
           let final =
             match
               ctx.regs.reg_write ~name:(reg_d_name ~group rid) ~j
@@ -277,7 +359,21 @@ let clean_request ctx ~suspect ~rid =
                (match final.outcome with
                | Dbms.Rm.Commit -> "commit"
                | Dbms.Rm.Abort -> "abort"));
-          terminate ctx st ~rid ~j final;
+          (* abort-or-finish: the wo-register write either imposed the abort
+             or lost to the crashed winner's already-decided outcome, which
+             the cleaner then finishes delivering (paper Fig. 6) *)
+          (match ctx.sink with
+          | None -> ()
+          | Some s ->
+              s.Rt.obs_count
+                (match final.outcome with
+                | Dbms.Rm.Abort -> "cleaner.aborts"
+                | Dbms.Rm.Commit -> "cleaner.finishes")
+                1);
+          terminate ctx st ~parent:cspan ~rid ~j final;
+          (match ctx.sink with
+          | None -> ()
+          | Some s -> s.Rt.obs_span_close cspan);
           st.cleaned <- j :: st.cleaned
         end;
         scan (j + 1)
@@ -408,6 +504,7 @@ let spawn cfg =
             regs;
             rd;
             rids = Hashtbl.create 16;
+            sink = Rt.obs ();
           }
         in
         Rt.fork "clean" (clean_thread ctx);

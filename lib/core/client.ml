@@ -49,6 +49,8 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
         else begin
           let ch = Rchannel.create () in
           Rchannel.start ch;
+          (* fetched once per fiber; None = observability off (common case) *)
+          let sink = Rt.obs () in
           let issue body =
             let rid = fresh_rid () in
             let key = Etx_types.routing_key body in
@@ -60,10 +62,17 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
             in
             let request = { Etx_types.rid; key; body } in
             let issued_at = Rt.now () in
+            let span =
+              match sink with
+              | None -> 0
+              | Some s ->
+                  s.Rt.obs_count "client.requests" 1;
+                  s.Rt.obs_span_open ~trace:rid "request"
+            in
             (* one try = one result identifier j (Fig. 2 main loop) *)
             let rec try_j j =
               Rchannel.send ch primary
-                (Etx_types.Request_msg { request; j; group });
+                (Etx_types.Request_msg { request; j; group; span });
               match
                 Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
@@ -71,8 +80,11 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
               | Some m -> conclude j m
               | None -> broadcast_phase j
             and broadcast_phase j =
+              (match sink with
+              | None -> ()
+              | Some s -> s.Rt.obs_count "client.backoff_epochs" 1);
               Rchannel.broadcast ch servers
-                (Etx_types.Request_msg { request; j; group });
+                (Etx_types.Request_msg { request; j; group; span });
               match
                 Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
@@ -96,12 +108,27 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
                         }
                       in
                       records := !records @ [ record ];
+                      (match sink with
+                      | None -> ()
+                      | Some s ->
+                          (* incremented exactly where the record is
+                             appended, so counter == |records| on any
+                             backend — the Spec cross-check relies on it *)
+                          s.Rt.obs_count "client.committed" 1;
+                          s.Rt.obs_observe "client.latency_ms"
+                            (record.delivered_at -. record.issued_at);
+                          s.Rt.obs_span_attr span "tries" (string_of_int j);
+                          s.Rt.obs_span_close span);
                       record
                   | Dbms.Rm.Commit, None ->
                       (* a committed decision always carries a result (V.1);
                          reaching this is a protocol bug worth crashing on *)
                       failwith "e-Transaction: committed decision without result"
-                  | Dbms.Rm.Abort, _ -> try_j (j + 1))
+                  | Dbms.Rm.Abort, _ ->
+                      (match sink with
+                      | None -> ()
+                      | Some s -> s.Rt.obs_count "client.retries" 1);
+                      try_j (j + 1))
               | _ -> assert false
             in
             try_j 1

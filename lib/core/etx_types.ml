@@ -30,8 +30,12 @@ let abort_decision = { result = None; outcome = Dbms.Rm.Abort }
    servers drop requests addressed to another group, so a misrouted message
    can never start a transaction on the wrong shard. Single-group
    deployments use group 0 throughout. *)
+(* [span] carries the client's root span id for causal tracing (0 = no
+   tracing): the serving application server parents its per-try spans under
+   it, stitching the cross-node request tree together. It is observability
+   metadata only — no protocol decision reads it. *)
 type Runtime.Types.payload +=
-  | Request_msg of { request : request; j : int; group : int }
+  | Request_msg of { request : request; j : int; group : int; span : int }
       (** client → application server: [\[Request, request, j\]] *)
   | Result_msg of { rid : int; j : int; decision : decision; group : int }
       (** application server → client: [\[Result, j, decision\]] *)

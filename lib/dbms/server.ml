@@ -30,28 +30,42 @@ let exec_handler rm ch () =
   in
   loop ()
 
-let prepare_handler rm ch () =
+(* db.vote_ms / db.decide_ms time the resource manager's local step only
+   (vote or decide plus its forced log write) — transport latency is
+   accounted by the caller's phase spans. *)
+let timed sink name f =
+  match sink with
+  | None -> f ()
+  | Some s ->
+      let t0 = Rt.now () in
+      let r = f () in
+      s.Rt.obs_observe name (Rt.now () -. t0);
+      r
+
+let prepare_handler rm ch sink () =
   let rec loop () =
     match Rt.recv_cls Msg.cls_prepare with
     | None -> ()
     | Some m ->
         (match m.payload with
         | Msg.Prepare { xid } ->
-            let vote = Rm.vote rm ~xid in
+            let vote = timed sink "db.vote_ms" (fun () -> Rm.vote rm ~xid) in
             Rchannel.send ch m.src (Msg.Vote_msg { xid; vote })
         | _ -> ());
         loop ()
   in
   loop ()
 
-let decide_handler rm ch () =
+let decide_handler rm ch sink () =
   let rec loop () =
     match Rt.recv_cls Msg.cls_decide with
     | None -> ()
     | Some m ->
         (match m.payload with
         | Msg.Decide { xid; outcome } ->
-            let (_ : Rm.outcome) = Rm.decide rm ~xid outcome in
+            let (_ : Rm.outcome) =
+              timed sink "db.decide_ms" (fun () -> Rm.decide rm ~xid outcome)
+            in
             Rchannel.send ch m.src (Msg.Ack_decide { xid })
         | _ -> ());
         loop ()
@@ -62,10 +76,11 @@ let spawn (rt : Rt.t) ~name ~rm ~observers () =
   rt.spawn ~name ~main:(fun ~recovery () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
+      let sink = Rt.obs () in
       if recovery then begin
         Rm.recover rm;
         Rchannel.broadcast ch (observers ()) Msg.Ready
       end;
       Rt.fork "db-exec" (exec_handler rm ch);
-      Rt.fork "db-prepare" (prepare_handler rm ch);
-      decide_handler rm ch ())
+      Rt.fork "db-prepare" (prepare_handler rm ch sink);
+      decide_handler rm ch sink ())

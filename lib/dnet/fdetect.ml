@@ -27,7 +27,11 @@ type hb = {
   owner : Types.proc_id;
   peer_ids : Types.proc_id list;  (** broadcaster fan-out order *)
   states : peer_state option array;  (** indexed by pid; O(1) per lookup *)
+  sink : Rt.obs_sink option;  (** fetched once at create; None = obs off *)
 }
+
+let count hb name =
+  match hb.sink with None -> () | Some s -> s.Rt.obs_count name 1
 
 type t = Heartbeat of hb | Oracle of Rt.t | Scripted of (Types.proc_id -> bool)
 
@@ -42,7 +46,14 @@ let heartbeat ?(period = 10.) ?(initial_timeout = 50.) ?(timeout_bump = 25.)
         Some { last_heard = now; timeout = initial_timeout; suspected = false })
     peers;
   Heartbeat
-    { period; bump = timeout_bump; owner = Rt.self (); peer_ids = peers; states }
+    {
+      period;
+      bump = timeout_bump;
+      owner = Rt.self ();
+      peer_ids = peers;
+      states;
+      sink = Rt.obs ();
+    }
 
 let oracle engine = Oracle engine
 
@@ -77,6 +88,7 @@ let listener hb () =
                  earlier than its current timer — poke it to re-plan. *)
               st.suspected <- false;
               st.timeout <- st.timeout +. hb.bump;
+              count hb "fd.clears";
               Rt.redeliver ~src:hb.owner Fd_wake
             end);
         loop ()
@@ -131,7 +143,8 @@ let monitor hb () =
               when pid <> self
                    && (not st.suspected)
                    && now -. st.last_heard > st.timeout ->
-                st.suspected <- true
+                st.suspected <- true;
+                count hb "fd.suspicions"
             | _ -> ())
           hb.states;
         tick := !target

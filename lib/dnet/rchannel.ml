@@ -67,7 +67,11 @@ type t = {
   mutable hseq : int;
   mutable pending : int;  (** unacked outgoing messages, O(1) *)
   rx : (Types.proc_id * int, rx_state) Hashtbl.t;
+  sink : Rt.obs_sink option;  (** fetched once at create; None = obs off *)
 }
+
+let count t name =
+  match t.sink with None -> () | Some s -> s.Rt.obs_count name 1
 
 let create ?(retransmit_after = 10.) ?(backoff_factor = 2.)
     ?(max_backoff = 200.) () =
@@ -87,6 +91,7 @@ let create ?(retransmit_after = 10.) ?(backoff_factor = 2.)
     hseq = 0;
     pending = 0;
     rx = Hashtbl.create 16;
+    sink = Rt.obs ();
   }
 
 let pending t = t.pending
@@ -139,6 +144,7 @@ let handle_incoming t (m : Types.message) =
   | Rc_data { rc_ep; rc_seq; inner } ->
       let rs = stream_from t m.src rc_ep in
       let duplicate = rc_seq <= rs.cum || Hashtbl.mem rs.ooo rc_seq in
+      if duplicate then count t "rc.duplicate";
       if not duplicate then begin
         if rc_seq = rs.cum + 1 then begin
           rs.cum <- rs.cum + 1;
@@ -195,6 +201,7 @@ let retransmitter_loop t () =
         else if h.hdue <= now then begin
           ignore (Heap.pop t.timers);
           let e = h.entry in
+          count t "rc.retransmit";
           Rt.send e.dst
             (Rc_data { rc_ep = t.ep; rc_seq = e.seq; inner = e.inner });
           e.next_delay <-
@@ -244,6 +251,7 @@ let send t dst inner =
     }
   in
   Hashtbl.add ds.live seq entry;
+  count t "rc.send";
   let was_idle = t.pending = 0 in
   t.pending <- t.pending + 1;
   push_timer t entry;

@@ -39,6 +39,7 @@ type proc = {
   mailbox : message Cq.t;  (** oldest first, bucketed by class *)
   waiters : waiter Cq.t;  (** registration order, bucketed by class *)
   main : recovery:bool -> unit -> unit;
+  psink : ER.obs_sink option;  (** per-process obs sink, built at spawn *)
 }
 
 type t = {
@@ -57,9 +58,12 @@ type t = {
   mutable nevents : int;  (** events executed by {!step}, for throughput *)
   mutable current : proc option;
   mutable stopping : bool;
+  obs : Obs.Registry.t option;
+      (** opt-in observability; [None] keeps every instrument site on the
+          single-branch disabled path *)
 }
 
-let create ?(seed = 0xC0FFEE) ?(net = default_net) ?(tracing = true) () =
+let create ?(seed = 0xC0FFEE) ?(net = default_net) ?(tracing = true) ?obs () =
   let grng = Rng.create ~seed in
   {
     vnow = 0.;
@@ -82,9 +86,27 @@ let create ?(seed = 0xC0FFEE) ?(net = default_net) ?(tracing = true) () =
     next_uid = 1000;
     current = None;
     stopping = false;
+    obs;
   }
 
 let trace t = t.tracer
+let obs_registry t = t.obs
+
+(* Registry sink bound to a node name, on the virtual clock. *)
+let obs_sink_for t node =
+  Option.map
+    (fun reg -> Obs.Registry.sink reg ~node ~now:(fun () -> t.vnow))
+    t.obs
+
+let obs_incr t node name =
+  match t.obs with
+  | None -> ()
+  | Some reg -> Obs.Registry.incr reg ~node ~name 1
+
+let obs_event t node name detail =
+  match t.obs with
+  | None -> ()
+  | Some reg -> Obs.Registry.event reg ~node ~at:t.vnow ~trace:0 ~name detail
 let rng t = t.grng
 let set_net t net = t.net <- net
 let now_of t = t.vnow
@@ -131,11 +153,15 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
               (fun k ->
                 t.next_uid <- t.next_uid + 1;
                 continue k t.next_uid)
+        | ER.E_obs -> Some (fun k -> continue k p.psink)
         | ER.E_note s ->
             Some
               (fun k ->
                 if t.trace_on then
                   Trace.record t.tracer t.vnow (Trace.Note (p.pid, s));
+                (match p.psink with
+                | None -> ()
+                | Some s' -> s'.ER.obs_event ~trace:0 "note" s);
                 continue k ())
         | ER.E_sleep d ->
             Some
@@ -148,6 +174,9 @@ let rec handler : t -> proc -> (unit, unit) Effect.Deep.handler =
               (fun k ->
                 if t.trace_on then
                   Trace.record t.tracer t.vnow (Trace.Work (p.pid, label, d));
+                (match p.psink with
+                | None -> ()
+                | Some s -> s.ER.obs_observe ("work." ^ label) d);
                 let inc = p.incarnation in
                 schedule t ~delay:d (fun () ->
                     if p.up && p.incarnation = inc then resume t p k ()))
@@ -256,19 +285,33 @@ and transmit t ~src ~dst payload =
   let delays =
     if src = dst then [ 0.001 ] else t.net t.net_rng ~src ~dst
   in
+  (* Per-class traffic counters, keyed by the classifier's class name so
+     the sim and live dumps line up metric-for-metric. *)
+  let clsname () = class_name (classify payload) in
   match delays with
-  | [] -> if t.trace_on then Trace.record t.tracer t.vnow (Trace.Dropped m)
+  | [] ->
+      if t.trace_on then Trace.record t.tracer t.vnow (Trace.Dropped m);
+      if t.obs <> None then
+        obs_incr t t.procs.(src).pname ("net.dropped." ^ clsname ())
   | delays ->
       List.iter
         (fun d ->
           if t.trace_on then
             Trace.record t.tracer t.vnow (Trace.Sent (m, t.vnow +. d));
+          if t.obs <> None then
+            obs_incr t t.procs.(src).pname ("net.sent." ^ clsname ());
           schedule t ~delay:d (fun () ->
               match t.procs.(dst).up with
-              | true -> enqueue_message t t.procs.(dst) m
+              | true ->
+                  if t.obs <> None then
+                    obs_incr t t.procs.(dst).pname ("net.recv." ^ clsname ());
+                  enqueue_message t t.procs.(dst) m
               | false ->
                   if t.trace_on then
-                    Trace.record t.tracer t.vnow (Trace.Dead_letter m)))
+                    Trace.record t.tracer t.vnow (Trace.Dead_letter m);
+                  if t.obs <> None then
+                    obs_incr t t.procs.(dst).pname
+                      ("net.dead_letter." ^ clsname ())))
         delays
 
 (* Orchestration ------------------------------------------------------ *)
@@ -284,6 +327,7 @@ let spawn t ~name ~main =
       mailbox = Cq.create ();
       waiters = Cq.create ();
       main;
+      psink = obs_sink_for t name;
     }
   in
   let capacity = Array.length t.procs in
@@ -306,7 +350,8 @@ let crash t pid =
     p.incarnation <- p.incarnation + 1;
     Cq.clear p.mailbox;
     Cq.clear p.waiters;
-    if t.trace_on then Trace.record t.tracer t.vnow (Trace.Crashed pid)
+    if t.trace_on then Trace.record t.tracer t.vnow (Trace.Crashed pid);
+    obs_event t p.pname "crash" ""
   end
 
 let recover t pid =
@@ -317,6 +362,7 @@ let recover t pid =
     Cq.clear p.mailbox;
     Cq.clear p.waiters;
     if t.trace_on then Trace.record t.tracer t.vnow (Trace.Recovered pid);
+    obs_event t p.pname "recover" "";
     let inc = p.incarnation in
     schedule t ~delay:0. (fun () ->
         if p.up && p.incarnation = inc then

@@ -28,15 +28,27 @@ type netmodel = Rng.t -> src:proc_id -> dst:proc_id -> float list
 val default_net : netmodel
 (** Constant 1.0 ms delivery, no loss. *)
 
-val create : ?seed:int -> ?net:netmodel -> ?tracing:bool -> unit -> t
+val create :
+  ?seed:int -> ?net:netmodel -> ?tracing:bool -> ?obs:Obs.Registry.t -> unit -> t
 (** [~tracing:false] disables the trace sink entirely: no trace event is
     allocated or recorded anywhere in the hot path, and {!trace} returns an
     empty collector. Use it for trials that never read their trace (most
     harness sweeps); analyses such as {!Trace.communication_steps} or
     [Spec.check_all] (which replays [computed:] notes) need the default
-    [~tracing:true]. *)
+    [~tracing:true].
+
+    [?obs] opts in observability: fibers get a sink through the [E_obs]
+    effect, the engine itself counts per-class network traffic
+    ([net.sent.*] / [net.recv.*] / [net.dropped.*] / [net.dead_letter.*]),
+    observes [work.<label>] durations and tees notes, crashes and
+    recoveries into the registry's event store. Omitted (the default), no
+    observability code runs beyond one branch per site. *)
 
 val trace : t -> Trace.t
+
+val obs_registry : t -> Obs.Registry.t option
+(** The registry passed at {!create}, if any. *)
+
 val rng : t -> Rng.t
 val set_net : t -> netmodel -> unit
 

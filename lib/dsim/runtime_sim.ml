@@ -20,4 +20,9 @@ let of_engine e =
             | Trace.Note (pid, s) -> Some (pid, s)
             | _ -> None)
           (Trace.entries (Engine.trace e)));
+    obs =
+      Option.map
+        (fun reg node ->
+          Obs.Registry.sink reg ~node ~now:(fun () -> Engine.now_of e))
+        (Engine.obs_registry e);
   }

@@ -31,10 +31,6 @@ let record t at event =
 
 let entries t = List.rev t.rev_entries
 
-let clear t =
-  t.rev_entries <- [];
-  t.count <- 0
-
 let always _ = true
 
 let message_count ?(subject = always) t =

@@ -36,8 +36,6 @@ val record : t -> Types.time -> event -> unit
 val entries : t -> entry list
 (** Entries in chronological (record) order. *)
 
-val clear : t -> unit
-
 val message_count : ?subject:(Types.message -> bool) -> t -> int
 (** Number of [Sent] entries matching [subject] (default: all). *)
 
@@ -48,7 +46,12 @@ val communication_steps : ?subject:(Types.message -> bool) -> t -> int
     counting of the paper's Figures 1 and 7. *)
 
 val work_by_category : t -> (string * float) list
-(** Total simulated [Work] duration per category label, sorted by label. *)
+(** Total simulated [Work] duration per category label, sorted by label.
+
+    Deprecated: prefer the [work.<label>] histograms of an observability
+    registry ({!Obs.Registry}), which carry counts and quantiles in
+    addition to totals and also exist on the live backend. Kept because
+    it needs no registry attached and existing figure tooling reads it. *)
 
 type stats = {
   sent : int;

@@ -241,6 +241,34 @@ val fd_quality_sweep :
 
 val render_fd_quality : (float * int * int * float) list -> string
 
+type phase_row = { phase : string; mean_ms : float; share_pct : float }
+
+type failover_phase_report = {
+  trials : int;
+  mean_latency_ms : float;
+  mean_tries : float;
+  abandoned_spans : float;  (** mean spans left open by the crash *)
+  phases : phase_row list;
+  other_ms : float;
+}
+
+val failover_phase_names : string list
+(** The attributed phases, in pipeline order:
+    election, compute, prepare, consensus, terminate. *)
+
+val failover_phases :
+  ?seed:int -> ?trials:int -> ?domains:int -> unit -> failover_phase_report
+(** A12: per-phase latency attribution of the fail-over path, measured from
+    the observability span layer rather than the simulator trace. Re-runs
+    the Figure 1(c) scenario (primary crashed mid-request) [trials] times
+    with a registry attached and splits the committed request's mean
+    client-visible latency into closed-span time per phase; the crashed
+    owner's never-closed spans are reported as abandoned work, and the
+    unattributed residue (failure detection, client back-off, transport)
+    as [other_ms]. *)
+
+val render_failover_phases : failover_phase_report -> string
+
 (** {1 CSV export}
 
     Machine-readable companions to the render functions (header line plus

@@ -109,3 +109,50 @@ let of_engine ?include_consensus ?max_lines engine =
   render ?include_consensus ?max_lines
     ~names:(fun pid -> Engine.name_of engine pid)
     (Engine.trace engine)
+
+(* Timeline rendering of an observability registry: span opens/closes plus
+   events (notes, crash/recover), merged and time-ordered. Unlike
+   {!of_engine} this needs no simulator trace, so it works identically on
+   the live backend — the span layer's replacement for trace-based
+   diagrams. *)
+let of_obs ?(max_lines = 200) reg =
+  let items = ref [] in
+  List.iter
+    (fun (e : Obs.Span.event) ->
+      let text =
+        match e.ename with
+        | "crash" -> Printf.sprintf "%-8s CRASH" e.enode
+        | "recover" -> Printf.sprintf "%-8s RECOVER" e.enode
+        | name ->
+            Printf.sprintf "%-8s %s%s" e.enode name
+              (if e.detail = "" then "" else " " ^ e.detail)
+      in
+      items := (e.eat, text) :: !items)
+    (Obs.Registry.events reg);
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      items :=
+        (s.start, Printf.sprintf "%-8s +%s r%d" s.node s.name s.trace)
+        :: !items;
+      if Obs.Span.closed s then
+        items :=
+          (s.stop, Printf.sprintf "%-8s -%s r%d" s.node s.name s.trace)
+          :: !items)
+    (Obs.Registry.spans reg);
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !items)
+  in
+  let buffer = Buffer.create 4096 in
+  let lines = ref 0 in
+  let elided = ref 0 in
+  List.iter
+    (fun (at, text) ->
+      if !lines < max_lines then begin
+        Buffer.add_string buffer (Printf.sprintf "[%9.1f] %s\n" at text);
+        incr lines
+      end
+      else incr elided)
+    sorted;
+  if !elided > 0 then
+    Buffer.add_string buffer (Printf.sprintf "... (%d more events)\n" !elided);
+  Buffer.contents buffer

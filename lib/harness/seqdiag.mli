@@ -30,3 +30,9 @@ val render :
 
 val of_engine : ?include_consensus:bool -> ?max_lines:int -> Engine.t -> string
 (** Convenience wrapper using the engine's process names and trace. *)
+
+val of_obs : ?max_lines:int -> Obs.Registry.t -> string
+(** Timeline diagram built from an observability registry instead of a
+    simulator trace: span opens ([+name]) and closes ([-name]) plus
+    registered events (notes, CRASH/RECOVER), merged chronologically.
+    Works identically on the live backend, where no {!Dsim.Trace} exists. *)

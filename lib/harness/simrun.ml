@@ -3,15 +3,15 @@
    and tests keep direct access to engine-only facilities (crash_at, trace,
    seqdiag) alongside the backend-agnostic handle. *)
 
-let engine ?(seed = 1) ?(tracing = true) () =
-  let e = Dsim.Engine.create ~seed ~tracing () in
+let engine ?(seed = 1) ?(tracing = true) ?obs () =
+  let e = Dsim.Engine.create ~seed ~tracing ?obs () in
   (e, Dsim.Runtime_sim.of_engine e)
 
-let deployment ?seed ?tracing ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
+let deployment ?seed ?tracing ?obs ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
     ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
     ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown
     ~business ~script () =
-  let e, rt = engine ?seed ?tracing () in
+  let e, rt = engine ?seed ?tracing ?obs () in
   let d =
     Etx.Deployment.build ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
       ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
@@ -20,11 +20,11 @@ let deployment ?seed ?tracing ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
   in
   (e, d)
 
-let cluster ?seed ?tracing ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec
+let cluster ?seed ?tracing ?obs ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec
     ?timing ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
     ?gc_after ?backend ?recoverable ?register_disk_latency ~business ~scripts
     () =
-  let e, rt = engine ?seed ?tracing () in
+  let e, rt = engine ?seed ?tracing ?obs () in
   let c =
     Cluster.build ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec ?timing
       ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
@@ -33,28 +33,28 @@ let cluster ?seed ?tracing ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec
   in
   (e, c)
 
-let baseline ?seed ?tracing ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+let baseline ?seed ?tracing ?obs ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
     ?client_period ?breakdown ~business ~script () =
-  let e, rt = engine ?seed ?tracing () in
+  let e, rt = engine ?seed ?tracing ?obs () in
   let b =
     Baselines.Baseline.build ?net ?n_dbs ?timing ?disk_force_latency
       ?seed_data ?client_period ?breakdown ~rt ~business ~script ()
   in
   (e, b)
 
-let tpc ?seed ?tracing ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+let tpc ?seed ?tracing ?obs ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
     ?client_period ?breakdown ~business ~script () =
-  let e, rt = engine ?seed ?tracing () in
+  let e, rt = engine ?seed ?tracing ?obs () in
   let t =
     Baselines.Tpc.build ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
       ?client_period ?breakdown ~rt ~business ~script ()
   in
   (e, t)
 
-let pbackup ?seed ?tracing ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
+let pbackup ?seed ?tracing ?obs ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
     ?client_period ?breakdown ?backup_fd ?takeover_check ~business ~script ()
     =
-  let e, rt = engine ?seed ?tracing () in
+  let e, rt = engine ?seed ?tracing ?obs () in
   let p =
     Baselines.Pbackup.build ?net ?n_dbs ?timing ?disk_force_latency ?seed_data
       ?client_period ?breakdown ?backup_fd ?takeover_check ~rt ~business

@@ -9,13 +9,19 @@
     and return both. *)
 
 val engine :
-  ?seed:int -> ?tracing:bool -> unit -> Dsim.Engine.t * Runtime.Etx_runtime.t
+  ?seed:int ->
+  ?tracing:bool ->
+  ?obs:Obs.Registry.t ->
+  unit ->
+  Dsim.Engine.t * Runtime.Etx_runtime.t
 (** A fresh engine plus its runtime capability (seed defaults to 1, tracing
-    on — the historical deployment defaults). *)
+    on — the historical deployment defaults). [?obs] opts in observability
+    exactly as on {!Dsim.Engine.create}. *)
 
 val deployment :
   ?seed:int ->
   ?tracing:bool ->
+  ?obs:Obs.Registry.t ->
   ?net:Runtime.Etx_runtime.netmodel ->
   ?n_app_servers:int ->
   ?n_dbs:int ->
@@ -39,6 +45,7 @@ val deployment :
 val cluster :
   ?seed:int ->
   ?tracing:bool ->
+  ?obs:Obs.Registry.t ->
   ?net:Runtime.Etx_runtime.netmodel ->
   ?map:Etx.Shard_map.t ->
   ?shards:int ->
@@ -64,6 +71,7 @@ val cluster :
 val baseline :
   ?seed:int ->
   ?tracing:bool ->
+  ?obs:Obs.Registry.t ->
   ?net:Runtime.Etx_runtime.netmodel ->
   ?n_dbs:int ->
   ?timing:Dbms.Rm.timing ->
@@ -79,6 +87,7 @@ val baseline :
 val tpc :
   ?seed:int ->
   ?tracing:bool ->
+  ?obs:Obs.Registry.t ->
   ?net:Runtime.Etx_runtime.netmodel ->
   ?n_dbs:int ->
   ?timing:Dbms.Rm.timing ->
@@ -94,6 +103,7 @@ val tpc :
 val pbackup :
   ?seed:int ->
   ?tracing:bool ->
+  ?obs:Obs.Registry.t ->
   ?net:Runtime.Etx_runtime.netmodel ->
   ?n_dbs:int ->
   ?timing:Dbms.Rm.timing ->

@@ -45,6 +45,7 @@ type lproc = {
   mailbox : message Cq.t;
   rlock : Mutex.t;
   pmain : recovery:bool -> unit -> unit;
+  psink : ER.obs_sink option;  (** per-process obs sink, built at spawn *)
 }
 
 type timer = { due : float;  (** wall clock, seconds *) tseq : int; action : unit -> unit }
@@ -68,11 +69,14 @@ type t = {
   mutable tseq : int;
   mutable stopped : bool;
   mutable failure : exn option;
+  obs : Obs.Registry.t option;
+      (** opt-in observability; [None] keeps every instrument site on the
+          single-branch disabled path *)
 }
 
 let tick = 0.002 (* s; granularity of the timer thread and of [run_until] *)
 
-let create ?(seed = 0xC0FFEE) ?(net = ER.default_net) () =
+let create ?(seed = 0xC0FFEE) ?(net = ER.default_net) ?obs () =
   let grng = Rng.create ~seed in
   {
     lock = Mutex.create ();
@@ -97,9 +101,29 @@ let create ?(seed = 0xC0FFEE) ?(net = ER.default_net) () =
     tseq = 0;
     stopped = false;
     failure = None;
+    obs;
   }
 
 let now_ms t = if t.started then (Unix.gettimeofday () -. t.t0) *. 1000. else 0.
+
+let obs_registry t = t.obs
+
+(* Registry sink bound to a node name, on this run's wall clock. *)
+let obs_sink_for t node =
+  Option.map
+    (fun reg -> Obs.Registry.sink reg ~node ~now:(fun () -> now_ms t))
+    t.obs
+
+let obs_incr t node name =
+  match t.obs with
+  | None -> ()
+  | Some reg -> Obs.Registry.incr reg ~node ~name 1
+
+let obs_event t node name detail =
+  match t.obs with
+  | None -> ()
+  | Some reg ->
+      Obs.Registry.event reg ~node ~at:(now_ms t) ~trace:0 ~name detail
 
 let proc_of t pid =
   Mutex.lock t.lock;
@@ -176,12 +200,18 @@ let deliver t dst m =
   | exception Invalid_argument _ -> ()
   | p ->
       Mutex.lock p.mlock;
+      let was_up = p.up in
       if p.up then begin
         ignore (Cq.push p.mailbox ~cls:(ER.classify m.payload) m);
         Condition.broadcast p.cond
       end;
       (* down: silently dropped, as in the simulator's dead-letter path *)
-      Mutex.unlock p.mlock
+      Mutex.unlock p.mlock;
+      if t.obs <> None then begin
+        let cn = ER.class_name (ER.classify m.payload) in
+        obs_incr t p.pname
+          ((if was_up then "net.recv." else "net.dead_letter.") ^ cn)
+      end
 
 let transmit t ~src ~dst payload =
   Mutex.lock t.lock;
@@ -192,6 +222,13 @@ let transmit t ~src ~dst payload =
   in
   Mutex.unlock t.lock;
   let m = { src; dst; payload; msg_id; sent_at = now_ms t } in
+  if t.obs <> None then begin
+    let cn = ER.class_name (ER.classify payload) in
+    let sname = (proc_of t src).pname in
+    match delays with
+    | [] -> obs_incr t sname ("net.dropped." ^ cn)
+    | ds -> List.iter (fun _ -> obs_incr t sname ("net.sent." ^ cn)) ds
+  end;
   (* [] means the network dropped every copy *)
   List.iter (fun d -> push_timer_ms t ~after_ms:d (fun () -> deliver t dst m)) delays
 
@@ -286,14 +323,23 @@ let rec handler t p inc : (unit, unit) Effect.Deep.handler =
                 let v = t.next_uid in
                 Mutex.unlock t.lock;
                 continue k v)
+        | ER.E_obs -> guarded (fun k -> continue k p.psink)
         | ER.E_note s ->
             guarded (fun k ->
                 Mutex.lock t.lock;
                 t.notes_rev <- (p.pid, s) :: t.notes_rev;
                 Mutex.unlock t.lock;
+                (match p.psink with
+                | None -> ()
+                | Some s' -> s'.ER.obs_event ~trace:0 "note" s);
                 continue k ())
         | ER.E_sleep d -> guarded (fun k -> pause k d)
-        | ER.E_work (_label, d) -> guarded (fun k -> pause k d)
+        | ER.E_work (label, d) ->
+            guarded (fun k ->
+                (match p.psink with
+                | None -> ()
+                | Some s -> s.ER.obs_observe ("work." ^ label) d);
+                pause k d)
         | ER.E_send (dst, payload) ->
             guarded (fun k ->
                 transmit t ~src:p.pid ~dst payload;
@@ -364,6 +410,7 @@ let spawn t ~name ~main =
         mailbox = Cq.create ();
         rlock = Mutex.create ();
         pmain = main;
+        psink = obs_sink_for t name;
       }
     in
     let capacity = Array.length t.procs in
@@ -388,13 +435,15 @@ let spawn t ~name ~main =
 let crash t pid =
   let p = proc_of t pid in
   Mutex.lock p.mlock;
+  let crashed = p.up in
   if p.up then begin
     p.up <- false;
     p.inc <- p.inc + 1;
     Cq.clear p.mailbox;
     Condition.broadcast p.cond
   end;
-  Mutex.unlock p.mlock
+  Mutex.unlock p.mlock;
+  if crashed then obs_event t p.pname "crash" ""
 
 let recover t pid =
   let p = proc_of t pid in
@@ -405,6 +454,7 @@ let recover t pid =
     Cq.clear p.mailbox;
     let inc = p.inc in
     Mutex.unlock p.mlock;
+    obs_event t p.pname "recover" "";
     ignore
       (Thread.create
          (fun () ->
@@ -466,4 +516,5 @@ let runtime t =
     set_net = (fun net -> set_net t net);
     run_until = (fun ?deadline pred -> run_until ?deadline t pred);
     notes = (fun () -> notes t);
+    obs = Option.map (fun reg node -> Obs.Registry.sink reg ~node ~now:(fun () -> now_ms t)) t.obs;
   }

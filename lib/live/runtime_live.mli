@@ -23,7 +23,21 @@
 
 type t
 
-val create : ?seed:int -> ?net:Runtime.Etx_runtime.netmodel -> unit -> t
+val create :
+  ?seed:int ->
+  ?net:Runtime.Etx_runtime.netmodel ->
+  ?obs:Obs.Registry.t ->
+  unit ->
+  t
+(** [?obs] opts in observability, exactly as on the simulator backend:
+    fibers get a sink through the [E_obs] effect; the backend counts
+    per-class network traffic ([net.sent.*] / [net.recv.*] /
+    [net.dropped.*] / [net.dead_letter.*] — note the live transport's
+    drop-on-down path is counted as dead-letter here too), observes
+    [work.<label>] durations and records note/crash/recover events.
+    Timestamps are wall-clock ms since the run started. *)
+
+val obs_registry : t -> Obs.Registry.t option
 
 val runtime : t -> Runtime.Etx_runtime.t
 (** The orchestration capability (backend tag ["live"]). [run_until] drives

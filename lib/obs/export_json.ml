@@ -1,0 +1,88 @@
+(* JSON export of a registry snapshot, built on the same [Stats.Json]
+   value type as the bench and live-smoke artefacts so downstream tooling
+   parses one format. Schema "etx-obs/1". Spans/events are included only on
+   request — metric dumps stay small even for traced runs. *)
+
+module J = Stats.Json
+
+let schema = "etx-obs/1"
+
+let key_fields (k : Registry.key) =
+  [ ("group", J.Int k.group); ("name", J.String k.name); ("node", J.String k.node) ]
+
+let hist_json h =
+  let opt f = match f h with Some v -> J.Float v | None -> J.Null in
+  let q p = match Histogram.quantile h p with Some v -> J.Float v | None -> J.Null in
+  J.Obj
+    [
+      ("count", J.Int (Histogram.count h));
+      ("sum", J.Float (Histogram.sum h));
+      ("min", opt Histogram.min_value);
+      ("max", opt Histogram.max_value);
+      ("mean", opt Histogram.mean);
+      ("p50", q 0.5);
+      ("p95", q 0.95);
+      ("p99", q 0.99);
+      ("zero", J.Int (Histogram.zero_count h));
+      ( "buckets",
+        J.List
+          (List.map
+             (fun (i, c) -> J.List [ J.Int i; J.Int c ])
+             (Histogram.to_sorted h)) );
+    ]
+
+let span_json (s : Span.t) =
+  J.Obj
+    [
+      ("id", J.Int s.id);
+      ("trace", J.Int s.trace);
+      ("parent", J.Int s.parent);
+      ("name", J.String s.name);
+      ("node", J.String s.node);
+      ("start", J.Float s.start);
+      ("stop", if Span.closed s then J.Float s.stop else J.Null);
+      ("attrs", J.Obj (List.map (fun (k, v) -> (k, J.String v)) (List.rev s.attrs)));
+    ]
+
+let event_json (e : Span.event) =
+  J.Obj
+    [
+      ("trace", J.Int e.etrace);
+      ("node", J.String e.enode);
+      ("name", J.String e.ename);
+      ("at", J.Float e.eat);
+      ("detail", J.String e.detail);
+    ]
+
+let to_json ?(spans = false) reg =
+  let base =
+    [
+      ("schema", J.String schema);
+      ( "counters",
+        J.List
+          (List.map
+             (fun (k, v) -> J.Obj (key_fields k @ [ ("value", J.Int v) ]))
+             (Registry.counters reg)) );
+      ( "gauges",
+        J.List
+          (List.map
+             (fun (k, v) -> J.Obj (key_fields k @ [ ("value", J.Float v) ]))
+             (Registry.gauges reg)) );
+      ( "histograms",
+        J.List
+          (List.map
+             (fun (k, h) -> J.Obj (key_fields k @ [ ("hist", hist_json h) ]))
+             (Registry.histograms reg)) );
+    ]
+  in
+  let traced =
+    if not spans then []
+    else
+      [
+        ("spans", J.List (List.map span_json (Registry.spans reg)));
+        ("events", J.List (List.map event_json (Registry.events reg)));
+      ]
+  in
+  J.Obj (base @ traced)
+
+let to_string ?spans ?indent reg = J.to_string ?indent (to_json ?spans reg)

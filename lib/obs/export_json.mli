@@ -1,0 +1,11 @@
+(** JSON export of a registry snapshot (schema ["etx-obs/1"]), built on
+    [Stats.Json] like the other machine-readable artefacts. *)
+
+val schema : string
+
+val to_json : ?spans:bool -> Registry.t -> Stats.Json.t
+(** Counters, gauges and histogram summaries (count/sum/min/max/mean,
+    p50/p95/p99, sparse buckets). With [spans:true] the span and event
+    stores are included too; an open span exports [stop = null]. *)
+
+val to_string : ?spans:bool -> ?indent:int -> Registry.t -> string

@@ -1,0 +1,102 @@
+(* Prometheus text exposition (text/plain version 0.0.4) of a registry
+   snapshot. Metric names are mangled "client.committed" ->
+   "etx_client_committed"; the (group, node) key becomes labels. Output is
+   deterministically ordered (registry snapshots are sorted, histogram
+   buckets ascending), so dumps diff cleanly across runs.
+
+   [counter_values] is the inverse for exactly the sample lines this module
+   emits — enough for the CI smoke to re-parse its own dump and cross-check
+   counters against the protocol's Spec records. *)
+
+let mangle name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "etx_" ^ Bytes.to_string b
+
+let labels (k : Registry.key) =
+  Printf.sprintf "{group=\"%d\",node=\"%s\"}" k.group k.node
+
+let labels_le (k : Registry.key) le =
+  Printf.sprintf "{group=\"%d\",node=\"%s\",le=\"%s\"}" k.group k.node le
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* Group a name-sorted (key, value) snapshot by metric name, preserving
+   order, so each metric gets one TYPE line ahead of its samples. *)
+let grouped bindings =
+  List.fold_left
+    (fun acc ((k : Registry.key), v) ->
+      match acc with
+      | (name, rows) :: rest when name = k.name ->
+          (name, (k, v) :: rows) :: rest
+      | _ -> (k.name, [ (k, v) ]) :: acc)
+    [] bindings
+  |> List.rev_map (fun (name, rows) -> (name, List.rev rows))
+
+let to_string reg =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, rows) ->
+      let m = mangle name in
+      addf "# TYPE %s counter\n" m;
+      List.iter (fun (k, v) -> addf "%s%s %d\n" m (labels k) v) rows)
+    (grouped (Registry.counters reg));
+  List.iter
+    (fun (name, rows) ->
+      let m = mangle name in
+      addf "# TYPE %s gauge\n" m;
+      List.iter (fun (k, v) -> addf "%s%s %s\n" m (labels k) (float_str v)) rows)
+    (grouped (Registry.gauges reg));
+  List.iter
+    (fun (name, rows) ->
+      let m = mangle name in
+      addf "# TYPE %s histogram\n" m;
+      List.iter
+        (fun (k, h) ->
+          (* Cumulative buckets: the zero bucket folds into every "le". *)
+          let cum = ref (Histogram.zero_count h) in
+          List.iter
+            (fun (i, c) ->
+              cum := !cum + c;
+              addf "%s_bucket%s %d\n" m
+                (labels_le k (float_str (Histogram.upper_bound i)))
+                !cum)
+            (Histogram.to_sorted h);
+          addf "%s_bucket%s %d\n" m (labels_le k "+Inf") (Histogram.count h);
+          addf "%s_sum%s %s\n" m (labels k) (float_str (Histogram.sum h));
+          addf "%s_count%s %d\n" m (labels k) (Histogram.count h))
+        rows)
+    (grouped (Registry.histograms reg));
+  Buffer.contents buf
+
+(* Parse back the sample values of one metric from a dump produced by
+   [to_string]: lines "name{...} v" or "name v". Minimal by design. *)
+let counter_values dump ~metric =
+  String.split_on_char '\n' dump
+  |> List.filter_map (fun line ->
+         if line = "" || line.[0] = '#' then None
+         else
+           let name_end =
+             match String.index_opt line '{' with
+             | Some i -> i
+             | None -> ( match String.index_opt line ' ' with
+                         | Some i -> i
+                         | None -> String.length line)
+           in
+           if String.sub line 0 name_end <> metric then None
+           else
+             match String.rindex_opt line ' ' with
+             | None -> None
+             | Some i ->
+                 float_of_string_opt
+                   (String.sub line (i + 1) (String.length line - i - 1)))

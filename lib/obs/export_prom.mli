@@ -1,0 +1,15 @@
+(** Prometheus text exposition (text/plain version 0.0.4) of a registry
+    snapshot. Deterministically ordered, so dumps diff cleanly. *)
+
+val mangle : string -> string
+(** Metric-name mangling: ["client.committed"] -> ["etx_client_committed"]. *)
+
+val to_string : Registry.t -> string
+(** Counters, gauges, then histograms (cumulative [_bucket] series with
+    geometric [le] bounds, [_sum], [_count]); one [# TYPE] line per metric;
+    [(group, node)] as labels. *)
+
+val counter_values : string -> metric:string -> float list
+(** Sample values of one (mangled) metric name, re-parsed from a
+    [to_string] dump — just enough for smoke tests to cross-check a dump
+    against protocol ground truth. *)

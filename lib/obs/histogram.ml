@@ -1,0 +1,118 @@
+(* Log-bucketed latency histogram. Bucket [i] covers the half-open value
+   range [gamma^i, gamma^(i+1)); with gamma = 2^(1/8) the geometric midpoint
+   of a bucket is within sqrt(gamma) - 1 (about 4.4%) of any value the
+   bucket holds, which bounds the relative error of every quantile estimate.
+   Buckets are sparse (a hash table keyed by index), so the memory cost is
+   proportional to the dynamic range actually observed, not to its bounds.
+   Merging is pointwise addition of bucket counts — associative and
+   commutative, so snapshots from independent nodes or trials can be
+   combined in any order. *)
+
+let gamma = Float.exp (Float.log 2. /. 8.)
+let log_gamma = Float.log gamma
+
+(* Relative error bound of [quantile]: estimates are geometric bucket
+   midpoints, so |estimate - true| / true <= sqrt(gamma) - 1. *)
+let quantile_error = Float.sqrt gamma -. 1.
+
+type t = {
+  mutable zero : int;  (** observations <= 0 (e.g. sub-clock-tick latencies) *)
+  buckets : (int, int) Hashtbl.t;
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  {
+    zero = 0;
+    buckets = Hashtbl.create 16;
+    total = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let bucket_of v = int_of_float (Float.floor (Float.log v /. log_gamma))
+
+(* Value range of bucket [i]; exposed for exporters ("le" bounds). *)
+let upper_bound i = Float.exp (float_of_int (i + 1) *. log_gamma)
+let midpoint i = Float.exp ((float_of_int i +. 0.5) *. log_gamma)
+
+let observe t v =
+  if v <= 0. then t.zero <- t.zero + 1
+  else begin
+    let i = bucket_of v in
+    let c = Option.value ~default:0 (Hashtbl.find_opt t.buckets i) in
+    Hashtbl.replace t.buckets i (c + 1)
+  end;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.total
+let sum t = t.sum
+let min_value t = if t.total = 0 then None else Some t.vmin
+let max_value t = if t.total = 0 then None else Some t.vmax
+let mean t = if t.total = 0 then None else Some (t.sum /. float_of_int t.total)
+
+(* Sorted (bucket index, count) pairs, ascending; the zero bucket is not
+   included (read [t.zero] via [zero_count]). Canonical form for equality
+   checks and exporters. *)
+let to_sorted t =
+  Hashtbl.fold (fun i c acc -> (i, c) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let zero_count t = t.zero
+
+let copy t =
+  {
+    zero = t.zero;
+    buckets = Hashtbl.copy t.buckets;
+    total = t.total;
+    sum = t.sum;
+    vmin = t.vmin;
+    vmax = t.vmax;
+  }
+
+let merge a b =
+  let m = copy a in
+  m.zero <- m.zero + b.zero;
+  Hashtbl.iter
+    (fun i c ->
+      let c0 = Option.value ~default:0 (Hashtbl.find_opt m.buckets i) in
+      Hashtbl.replace m.buckets i (c0 + c))
+    b.buckets;
+  m.total <- m.total + b.total;
+  m.sum <- m.sum +. b.sum;
+  if b.vmin < m.vmin then m.vmin <- b.vmin;
+  if b.vmax > m.vmax then m.vmax <- b.vmax;
+  m
+
+(* Bounded-error quantile: find the bucket holding the rank-q observation
+   and return its geometric midpoint. q is clamped to [0, 1]. *)
+let quantile t q =
+  if t.total = 0 then None
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.total)))
+    in
+    if rank <= t.zero then Some 0.
+    else begin
+      let remaining = ref (rank - t.zero) in
+      let result = ref None in
+      List.iter
+        (fun (i, c) ->
+          if !result = None then begin
+            remaining := !remaining - c;
+            if !remaining <= 0 then result := Some (midpoint i)
+          end)
+        (to_sorted t);
+      match !result with
+      | Some _ as r -> r
+      | None -> Some t.vmax (* rank beyond recorded buckets: numeric edge *)
+    end
+  end

@@ -1,0 +1,50 @@
+(** Log-bucketed latency histogram with mergeable state and bounded-error
+    quantiles.
+
+    Buckets are geometric: bucket [i] holds values in
+    [gamma^i, gamma^(i+1)) with gamma = 2^(1/8). Quantile estimates return
+    the geometric midpoint of the bucket holding the requested rank, so
+    their relative error is bounded by {!quantile_error} (~4.4%).
+    {!merge} adds bucket counts pointwise; it is associative and
+    commutative, so per-node or per-trial histograms can be combined in any
+    order (property-tested in [test/test_obs.ml]). *)
+
+type t
+
+val gamma : float
+(** Bucket growth factor, 2^(1/8). *)
+
+val quantile_error : float
+(** Relative error bound of {!quantile}: sqrt(gamma) - 1. *)
+
+val create : unit -> t
+val observe : t -> float -> unit
+(** Record one observation. Values <= 0 land in a dedicated zero bucket. *)
+
+val count : t -> int
+val sum : t -> float
+val min_value : t -> float option
+val max_value : t -> float option
+val mean : t -> float option
+
+val quantile : t -> float -> float option
+(** [quantile t q] estimates the q-quantile (q clamped to [0,1]); [None]
+    iff the histogram is empty. The estimate's relative error is bounded by
+    {!quantile_error} for positive observations; the zero bucket estimates
+    as [0.]. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; does not mutate either argument. *)
+
+val copy : t -> t
+
+val to_sorted : t -> (int * int) list
+(** Sorted (bucket index, count) pairs, positive buckets only — the
+    canonical form used by exporters and equality checks. *)
+
+val zero_count : t -> int
+val bucket_of : float -> int
+val upper_bound : int -> float
+(** Exclusive upper edge of a bucket, for Prometheus "le" labels. *)
+
+val midpoint : int -> float

@@ -47,6 +47,26 @@ let classify pl =
 let registered_classes () =
   Array.to_list (Array.mapi (fun i (n, _) -> (i, n)) !class_table)
 
+(* Observability sink ------------------------------------------------- *)
+
+(* A neutral record of closures through which fibers emit metrics, spans
+   and events. The runtime layer only declares the shape; Obs.Registry
+   implements it and backends answer [E_obs] with one bound to the
+   performing process (or [None] when observability is off — the common
+   case). Protocol modules fetch the sink ONCE at init via [obs ()] and
+   branch on the option at each instrument site, so the disabled cost is a
+   single predictable branch per event and zero allocation. *)
+type obs_sink = {
+  obs_count : string -> int -> unit;  (** add to a named counter *)
+  obs_gauge : string -> float -> unit;
+  obs_observe : string -> float -> unit;  (** record into a histogram *)
+  obs_span_open : ?parent:int -> trace:int -> string -> int;
+      (** open a span, returning its id; 0 means "no span" everywhere *)
+  obs_span_close : int -> unit;
+  obs_span_attr : int -> string -> string -> unit;
+  obs_event : trace:int -> string -> string -> unit;
+}
+
 (* Effects performed by fibers. The handler (installed per fiber by the
    hosting backend) closes over the backend state, so the declarations carry
    no backend reference. *)
@@ -65,6 +85,7 @@ type _ Effect.t +=
   | E_random_int : int -> int Effect.t
   | E_note : string -> unit Effect.t
   | E_fresh_uid : int Effect.t
+  | E_obs : obs_sink option Effect.t
 
 (* Orchestration capability ------------------------------------------- *)
 
@@ -97,6 +118,11 @@ module type S = sig
 
   val notes : unit -> (proc_id * string) list
   (** All [note] annotations recorded so far, oldest first. *)
+
+  val obs : (string -> obs_sink) option
+  (** When observability was opted in at backend creation: builds the sink
+      for a named node (used by orchestration-side instrumentation; fibers
+      use the [E_obs] effect instead). [None] = observability off. *)
 end
 
 type t = {
@@ -109,6 +135,7 @@ type t = {
   set_net : netmodel -> unit;
   run_until : ?deadline:time -> (unit -> bool) -> bool;
   notes : unit -> (proc_id * string) list;
+  obs : (string -> obs_sink) option;
 }
 
 let of_module (module M : S) =
@@ -122,6 +149,7 @@ let of_module (module M : S) =
     set_net = M.set_net;
     run_until = M.run_until;
     notes = M.notes;
+    obs = M.obs;
   }
 
 (* Fiber-side operations ---------------------------------------------- *)
@@ -144,4 +172,11 @@ let random_float bound = Effect.perform (E_random_float bound)
 let random_int bound = Effect.perform (E_random_int bound)
 let fresh_uid () = Effect.perform E_fresh_uid
 let note s = Effect.perform (E_note s)
+
+(* Fetch the hosting backend's sink for the calling process, or [None] when
+   observability is off — including under a handler stack (or test driver)
+   that predates [E_obs], hence the Unhandled catch. Call once at module
+   init, not per event. *)
+let obs () = try Effect.perform E_obs with Effect.Unhandled _ -> None
+
 let exit_fiber () = raise Exit_fiber

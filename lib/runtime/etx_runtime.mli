@@ -62,6 +62,27 @@ val class_name : cls -> string
 val registered_classes : unit -> (cls * string) list
 (** Registration order; for diagnostics and docs. *)
 
+(** {1 Observability sink}
+
+    The neutral surface through which fibers emit metrics, spans and trace
+    events. The runtime layer only declares the record; [Obs.Registry]
+    implements it and backends answer {!E_obs} with a sink bound to the
+    performing process — or [None] when observability was not opted in, the
+    common case. Protocol modules fetch the sink once at init via {!obs}
+    and branch on the option per instrument site, so disabled observability
+    costs one predictable branch and no allocation (DESIGN.md §10). *)
+
+type obs_sink = {
+  obs_count : string -> int -> unit;  (** add to a named counter *)
+  obs_gauge : string -> float -> unit;
+  obs_observe : string -> float -> unit;  (** record into a histogram *)
+  obs_span_open : ?parent:int -> trace:int -> string -> int;
+      (** open a span, returning its id; 0 means "no span" everywhere *)
+  obs_span_close : int -> unit;
+  obs_span_attr : int -> string -> string -> unit;
+  obs_event : trace:int -> string -> string -> unit;
+}
+
 (** {1 Effects}
 
     Exposed so backends can install handlers; protocol code should use the
@@ -82,6 +103,7 @@ type _ Effect.t +=
   | E_random_int : int -> int Effect.t
   | E_note : string -> unit Effect.t
   | E_fresh_uid : int Effect.t
+  | E_obs : obs_sink option Effect.t
 
 (** {1 Orchestration capability} *)
 
@@ -112,6 +134,11 @@ module type S = sig
 
   val notes : unit -> (proc_id * string) list
   (** All [note] annotations recorded so far, oldest first. *)
+
+  val obs : (string -> obs_sink) option
+  (** When observability was opted in at backend creation: builds the sink
+      for a named node (orchestration-side instrumentation; fibers use the
+      {!E_obs} effect instead). [None] = observability off. *)
 end
 
 (** The same capability as a record, for threading through [config]
@@ -126,6 +153,7 @@ type t = {
   set_net : netmodel -> unit;
   run_until : ?deadline:time -> (unit -> bool) -> bool;
   notes : unit -> (proc_id * string) list;
+  obs : (string -> obs_sink) option;
 }
 
 val of_module : (module S) -> t
@@ -187,6 +215,11 @@ val note : string -> unit
 (** Free-form annotation by the calling process; readable through the
     capability's [notes] (backed by the trace on sim, an in-memory list on
     live). *)
+
+val obs : unit -> obs_sink option
+(** The hosting backend's observability sink for the calling process, or
+    [None] when observability is off (also when the hosting handler predates
+    [E_obs]). Fetch once at fiber/module init — not per event. *)
 
 val exit_fiber : unit -> 'a
 (** Terminate the calling fiber silently. *)

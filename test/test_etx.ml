@@ -512,7 +512,7 @@ let test_gc_timed_at_most_once_caveat () =
   let request = { Etx_types.rid; key = "pay"; body = "pay" } in
   Dsim.Engine.post e ~src:(Client.pid d.client)
     ~dst:(Deployment.primary d)
-    (Etx_types.Request_msg { request; j = 1; group = 0 });
+    (Etx_types.Request_msg { request; j = 1; group = 0; span = 0 });
   ignore (Dsim.Engine.run ~deadline:(Dsim.Engine.now_of e +. 2_000.) e);
   Alcotest.(check int) "re-executed after GC (the timed caveat)" 2
     (computed_try1_notes e rid)

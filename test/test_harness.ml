@@ -320,7 +320,7 @@ let test_msgclass_kinds () =
         let ch = Dnet.Rchannel.create () in
         Dnet.Rchannel.start ch;
         Dnet.Rchannel.send ch rx (Etx.Etx_types.Request_msg
-           { request = { rid = 1; key = "x"; body = "x" }; j = 1; group = 0 });
+           { request = { rid = 1; key = "x"; body = "x" }; j = 1; group = 0; span = 0 });
         Dsim.Engine.sleep 1_000.)
   in
   ignore (Dsim.Engine.run ~deadline:100. t);
