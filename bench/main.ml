@@ -13,12 +13,12 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      scale scale-smoke shard shard-smoke parallel live micro
-      failover-phases obs-overhead)
+      scale scale-smoke shard shard-smoke batch batch-smoke parallel live
+      micro failover-phases obs-overhead)
 
    Each invocation also writes BENCH_harness.json (via {!Stats.Json}) —
    per-artefact wall-clock seconds plus the sweep points, machine-readable:
-     { "schema": "etx-bench-harness/5", "domains": N, "host_cores": C,
+     { "schema": "etx-bench-harness/6", "domains": N, "host_cores": C,
        "artefacts": [ { "name": "figure8", "backend": "sim", "obs": "off",
                         "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
@@ -65,6 +65,12 @@ let shard_live_rows : (int * int * int * int * float * float) list ref = ref []
 (* (mode, events, wall_s, events/s) rows from the obs-overhead artefact *)
 let obs_rows : (string * int * float * float) list ref = ref []
 
+(* A13 sim rows (batch cap vs throughput/messages), plus the live check:
+   (batch, requests, delivered, wall_s, requests/s) *)
+let batch_rows : Harness.Experiments.batch_row list ref = ref []
+
+let batch_live_rows : (int * int * int * float * float) list ref = ref []
+
 let timed ?(backend = "sim") ?(obs = "off") name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -107,7 +113,7 @@ let write_bench_json () =
   let doc =
     Obj
       [
-        ("schema", String "etx-bench-harness/5");
+        ("schema", String "etx-bench-harness/6");
         ("domains", Int !domains);
         ("host_cores", Int host_cores);
         ( "artefacts",
@@ -160,6 +166,32 @@ let write_bench_json () =
                      ("events_per_sec", Float rate);
                    ])
                !obs_rows) );
+        ( "batch",
+          List
+            (List.map
+               (fun (r : Harness.Experiments.batch_row) ->
+                 Obj
+                   [
+                     ("batch", Int r.batch);
+                     ("tx_per_vs", Float r.tx_per_vs);
+                     ("msgs_per_commit", Float r.msgs_per_commit);
+                     ("mean_latency_ms", Float r.mean_latency_ms);
+                     ("mean_fill", Float r.mean_fill);
+                   ])
+               !batch_rows) );
+        ( "batch_live",
+          List
+            (List.map
+               (fun (batch, requests, delivered, wall, rate) ->
+                 Obj
+                   [
+                     ("batch", Int batch);
+                     ("requests", Int requests);
+                     ("delivered", Int delivered);
+                     ("wall_s", Float wall);
+                     ("requests_per_sec", Float rate);
+                   ])
+               !batch_live_rows) );
       ]
   in
   let oc = open_out "BENCH_harness.json" in
@@ -481,6 +513,68 @@ let run_live () =
        n_clients n_requests delivered total wall rate ok)
 
 (* ------------------------------------------------------------------ *)
+(* Batch artefact: A13 throughput/message amortization against the batch
+   cap on the simulator, the A13b phase table, and one live-backend row
+   confirming the leased pipeline also runs on OS threads. *)
+
+let run_batch_sim ?points ?clients ?requests () =
+  let rows =
+    timed "batch" @@ fun () ->
+    Harness.Experiments.batch_sweep ?clients ?requests ?points
+      ~domains:!domains ()
+  in
+  batch_rows := !batch_rows @ rows;
+  section "A13 (batched commit pipeline)"
+    (Harness.Experiments.render_batch rows);
+  let phases =
+    timed ~obs:"traced" "batch-phases" @@ fun () ->
+    Harness.Experiments.batch_phases ?clients ?requests ~domains:!domains ()
+  in
+  section "A13b (amortized phase cost)"
+    (Harness.Experiments.render_batch_phases phases)
+
+let run_batch_live () =
+  let n_clients = 4 and n_requests = 2 and batch = 4 in
+  timed ~backend:"live" "batch-live" @@ fun () ->
+  let lt = Runtime_live.create ~seed:1 () in
+  let rt = Runtime_live.runtime lt in
+  let seed_data =
+    Workload.Bank.seed_accounts
+      (List.init n_clients (fun i -> (Printf.sprintf "acct%d" i, 1000)))
+  in
+  let scripts =
+    List.init n_clients (fun i ~issue ->
+        for _ = 1 to n_requests do
+          ignore (issue (Printf.sprintf "acct%d:1" i))
+        done)
+  in
+  let c =
+    Cluster.build ~batch ~seed_data ~business:Workload.Bank.update ~rt
+      ~scripts ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let ok = Cluster.run_to_quiescence ~deadline:120_000. c in
+  let wall = Unix.gettimeofday () -. t0 in
+  Runtime_live.shutdown lt;
+  let total = n_clients * n_requests in
+  let delivered = List.length (Cluster.all_records c) in
+  let rate = float_of_int delivered /. wall in
+  batch_live_rows :=
+    !batch_live_rows @ [ (batch, total, delivered, wall, rate) ];
+  section "Batched pipeline (live backend, wall clock)"
+    (Printf.sprintf
+       "batch=%d, %d clients x %d requests on the threads backend: %d/%d \
+        delivered in %.2f s wall = %.2f requests/sec (quiesced: %b)"
+       batch n_clients n_requests delivered total wall rate ok)
+
+let run_batch () =
+  run_batch_sim ();
+  run_batch_live ()
+
+(* sim-only, caps 1/4, smaller workload: the CI smoke *)
+let run_batch_smoke () = run_batch_sim ~points:[ 1; 4 ] ~clients:8 ~requests:2 ()
+
+(* ------------------------------------------------------------------ *)
 (* Parallel artefact: 1 domain vs N domains, byte-identity asserted *)
 
 let run_parallel () =
@@ -660,6 +754,7 @@ let all () =
   run_obs_overhead ();
   run_scale ();
   run_shard ();
+  run_batch ();
   run_live ();
   run_micro ()
 
@@ -703,13 +798,15 @@ let () =
           | "scale-smoke" -> run_scale_smoke ()
           | "shard" -> run_shard ()
           | "shard-smoke" -> run_shard_smoke ()
+          | "batch" -> run_batch ()
+          | "batch-smoke" -> run_batch_smoke ()
           | "parallel" -> run_parallel ()
           | "live" -> run_live ()
           | "micro" -> run_micro ()
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|parallel|live|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|batch|batch-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

@@ -12,6 +12,7 @@
 let clients = ref 3
 let requests = ref 4
 let shards = ref 1
+let batch = ref 1
 let seed = ref 42
 let out = ref "LIVE_smoke.json"
 let obs = ref ""
@@ -21,6 +22,10 @@ let speclist =
     ("-clients", Arg.Set_int clients, "N  concurrent clients (default 3)");
     ("-requests", Arg.Set_int requests, "N  requests per client (default 4)");
     ("-shards", Arg.Set_int shards, "S  replica groups (default 1)");
+    ( "-batch",
+      Arg.Set_int batch,
+      "B  commit-window cap: 1 = classic path, B > 1 = leased batched \
+       pipeline (default 1)" );
     ("-seed", Arg.Set_int seed, "N  network-model RNG seed (default 42)");
     ("-out", Arg.Set_string out, "FILE  summary JSON path (default LIVE_smoke.json)");
     ( "-obs",
@@ -63,9 +68,10 @@ let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
   let doc =
     Obj
       [
-        ("schema", String "etx-live-smoke/2");
+        ("schema", String "etx-live-smoke/3");
         ("backend", String "live");
         ("shards", Int n_shards);
+        ("batch", Int !batch);
         ("clients", Int n_clients);
         ("requests_per_client", Int n_requests);
         ("delivered", Int n_delivered);
@@ -114,7 +120,7 @@ let run_single () =
   in
   let t_start = Unix.gettimeofday () in
   let d =
-    Etx.Deployment.build ~rt ~recoverable:true ~seed_data
+    Etx.Deployment.build ~rt ~recoverable:true ~batch:!batch ~seed_data
       ~business:Workload.Bank.update ~script:(script_for 0) ()
   in
   let extra =
@@ -231,7 +237,7 @@ let run_sharded () =
   in
   let t_start = Unix.gettimeofday () in
   let c =
-    Cluster.build ~map ~recoverable:true ~seed_data
+    Cluster.build ~map ~recoverable:true ~batch:!batch ~seed_data
       ~business:Workload.Bank.update ~rt ~scripts ()
   in
   let delivered () = List.length (Cluster.all_records c) in
@@ -299,6 +305,7 @@ let run_sharded () =
 let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "etx_live [-clients N] [-requests N] [-shards S] [-seed N] [-out FILE] [-obs FILE]";
+    "etx_live [-clients N] [-requests N] [-shards S] [-batch B] [-seed N] [-out FILE] [-obs FILE]";
   if !shards < 1 then (prerr_endline "etx_live: -shards must be >= 1"; exit 2);
+  if !batch < 1 then (prerr_endline "etx_live: -batch must be >= 1"; exit 2);
   if !shards = 1 then run_single () else run_sharded ()

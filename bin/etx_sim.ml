@@ -159,6 +159,24 @@ let failover_phases_cmd =
              path, measured from the observability span layer.")
     Term.(const run $ seed_arg $ domains_arg)
 
+let batch_cmd =
+  let run seed csv domains =
+    set_domains domains;
+    let rows = Harness.Experiments.batch_sweep ~seed () in
+    emit ~csv
+      (Harness.Experiments.render_batch rows)
+      (Harness.Experiments.csv_batch rows);
+    print_endline
+      (Harness.Experiments.render_batch_phases
+         (Harness.Experiments.batch_phases ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Ablation A13: throughput and message amortization of the \
+             batched commit pipeline vs the window cap, plus the amortized \
+             per-phase cost table.")
+    Term.(const run $ seed_arg $ csv_arg $ domains_arg)
+
 let throughput_cmd =
   let run seed domains =
     set_domains domains;
@@ -235,7 +253,7 @@ let write_obs_dump ~file ~delivered reg =
    drawn from the workload generator (transfers stay intra-shard), requests
    dealt round-robin to the clients. Faults target shard 0. *)
 let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-    crash_primary_at crash_db obs =
+    batch crash_primary_at crash_db obs =
   let kind =
     let accounts = max 8 (4 * shards) in
     match workload with
@@ -260,7 +278,7 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   in
   let reg = Option.map (fun _ -> Obs.Registry.create ()) obs in
   let engine, c =
-    Harness.Simrun.cluster ~seed ~map ?obs:reg ~n_app_servers ~n_dbs
+    Harness.Simrun.cluster ~seed ~map ?obs:reg ~n_app_servers ~n_dbs ~batch
       ~client_period:300.
       ~seed_data:(Workload.Generator.seed_data_of kind)
       ~business:(Workload.Generator.business_of kind)
@@ -312,13 +330,14 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   in
   if (not quiesced) || violations <> [] || not obs_ok then exit 1
 
-let demo_run seed workload requests n_app_servers n_dbs shards clients
+let demo_run seed workload requests n_app_servers n_dbs shards clients batch
     crash_primary_at crash_db verbose diagram obs =
   if shards < 1 then (Printf.eprintf "--shards must be >= 1\n"; exit 2);
   if clients < 1 then (Printf.eprintf "--clients must be >= 1\n"; exit 2);
+  if batch < 1 then (Printf.eprintf "--batch must be >= 1\n"; exit 2);
   if shards > 1 || clients > 1 then
     demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-      crash_primary_at crash_db obs
+      batch crash_primary_at crash_db obs
   else
   let business, seed_data, body_of =
     match workload with
@@ -336,9 +355,13 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients
             ~seats:5 ~rooms:5 ~cars:5,
           fun i -> if i mod 2 = 0 then "paris:2" else "tokyo:1" )
   in
-  let reg = Option.map (fun _ -> Obs.Registry.create ()) obs in
+  (* verbose mode reads its work breakdown from the registry's
+     [work.<label>] histograms, so it needs one even without -obs *)
+  let reg =
+    if verbose || obs <> None then Some (Obs.Registry.create ()) else None
+  in
   let engine, d =
-    Harness.Simrun.deployment ~seed ?obs:reg ~n_app_servers ~n_dbs
+    Harness.Simrun.deployment ~seed ?obs:reg ~n_app_servers ~n_dbs ~batch
       ~client_period:300. ~seed_data ~business
       ~script:(fun ~issue ->
         for i = 0 to requests - 1 do
@@ -379,8 +402,8 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients
     Format.printf "trace: %a@." Dsim.Trace.pp_stats (Dsim.Trace.stats trace);
     match reg with
     | Some reg ->
-        (* the registry's work histograms replace the trace's
-           work_by_category totals: same labels, plus counts *)
+        (* work totals per category, from the [work.<label>] histograms
+           (counts and quantiles also live there) *)
         let work_names =
           List.sort_uniq String.compare
             (List.filter_map
@@ -399,11 +422,7 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients
                   (Obs.Histogram.sum h) (Obs.Histogram.count h)
             | None -> ())
           work_names
-    | None ->
-        List.iter
-          (fun (label, total) ->
-            Printf.printf "  work[%s] = %.1f ms\n" label total)
-          (Dsim.Trace.work_by_category trace)
+    | None -> ()
   end;
   if diagram then begin
     print_endline "--- message sequence diagram ---";
@@ -458,6 +477,14 @@ let demo_cmd =
       & info [ "clients" ] ~docv:"C"
           ~doc:"Concurrent clients behind the shard router.")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Window cap of the leased, batched commit pipeline on every \
+             application server (1 = the classic per-request path).")
+  in
   let crash_primary =
     Arg.(
       value
@@ -499,7 +526,7 @@ let demo_cmd =
           delivered results and check the e-Transaction specification.")
     Term.(
       const demo_run $ seed_arg $ workload $ requests $ apps $ dbs $ shards
-      $ clients $ crash_primary $ crash_db $ verbose $ diagram $ obs)
+      $ clients $ batch $ crash_primary $ crash_db $ verbose $ diagram $ obs)
 
 let main_cmd =
   let doc =
@@ -520,6 +547,7 @@ let main_cmd =
       consensus_failover_cmd;
       throughput_cmd;
       shard_cmd;
+      batch_cmd;
       fd_quality_cmd;
       failover_phases_cmd;
     ]

@@ -30,7 +30,7 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Etx.Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ~rt ~business ~scripts () =
+    ?(register_disk_latency = 12.5) ?batch ~rt ~business ~scripts () =
   let map =
     match map with
     | Some m -> m
@@ -97,8 +97,8 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
               in
               let cfg =
                 Etx.Appserver.config ~fd_spec ~clean_period ~poll ?gc_after
-                  ~backend ?persist ~group:s ~rt ~index ~servers ~dbs:db_pids
-                  ~business ()
+                  ~backend ?persist ?batch ~group:s ~rt ~index ~servers
+                  ~dbs:db_pids ~business ()
               in
               Etx.Appserver.spawn cfg)
         in

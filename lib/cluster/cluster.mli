@@ -52,6 +52,7 @@ val build :
   ?backend:Etx.Appserver.register_backend ->
   ?recoverable:bool ->
   ?register_disk_latency:float ->
+  ?batch:int ->
   rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->

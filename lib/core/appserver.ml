@@ -28,16 +28,23 @@ type config = {
   backend : register_backend;
   persist : Consensus.Agent.persistence option;
   breakdown : Stats.Breakdown.t option;
+  batch : int;
+      (** max results per leased batch; 1 = the classic per-result path *)
 }
 
 let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
-    ?(group = 0) ~rt ~index ~servers ~dbs ~business () =
+    ?(group = 0) ?(batch = 1) ~rt ~index ~servers ~dbs ~business () =
   (match (backend, persist) with
   | Reg_synod, Some _ ->
       invalid_arg
         "Appserver.config: the Synod backend does not support persistence"
   | (Reg_ct | Reg_synod), _ -> ());
+  if batch < 1 then invalid_arg "Appserver.config: batch must be >= 1";
+  if batch > 1 && gc_after <> None then
+    invalid_arg
+      "Appserver.config: register GC is not supported on the batched path \
+       (a collected lease or batch register would reopen a decided window)";
   {
     rt;
     group;
@@ -53,6 +60,7 @@ let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     backend;
     persist;
     breakdown;
+    batch;
   }
 
 (* Per-request protocol state on one server. Everything here is volatile
@@ -109,10 +117,11 @@ let rid_state ctx rid =
    instances by these strings, so the prefix guarantees two shards' regA[j]
    / regD[j] arrays can never collide even if their traffic ever met (rids
    are also globally unique per runtime — the prefix makes the isolation
-   syntactic rather than an accident of uid allocation). *)
-let reg_a_name ~group rid = Printf.sprintf "g%d:regA:r%d" group rid
+   syntactic rather than an accident of uid allocation). The canonical
+   encode/decode pair lives in {!Etx_types.Reg_name}. *)
+let reg_a_name ~group rid = Reg_name.reg_a ~group ~rid
 
-let reg_d_name ~group rid = Printf.sprintf "g%d:regD:r%d" group rid
+let reg_d_name ~group rid = Reg_name.reg_d ~group ~rid
 
 let span ctx label f =
   match ctx.cfg.breakdown with
@@ -313,9 +322,7 @@ let compute_thread ctx () =
 
 (* ---------------- Fig. 6: the cleaning thread ---------------- *)
 
-let parse_reg_a_rid key =
-  try Scanf.sscanf key "g%d:regA:r%d[" (fun _group rid -> Some rid) with
-  | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+let parse_reg_a_rid key = Option.map snd (Reg_name.parse_reg_a key)
 
 let known_rids ctx =
   let from_requests = Hashtbl.fold (fun rid _ acc -> rid :: acc) ctx.rids [] in
@@ -428,6 +435,438 @@ let gc_thread ctx ~after () =
   in
   loop ()
 
+(* ---------------- Leases and batching (DESIGN.md §12) ---------------- *)
+
+(* Volatile lease view of one server. [epoch]/[holder] cache what the lease
+   register already decided; [pending] is only ever non-empty on the server
+   that believes it holds the current epoch — followers deliberately queue
+   nothing, so a stale queue can never re-commit a try that another epoch
+   already decided (the client's retransmission re-drives any dropped
+   request). [limbo] holds requests that arrived while no lease was known
+   decided yet (bootstrap, or between a deposition and the next takeover):
+   they are promoted into [pending] only if this server wins the next
+   epoch — which seals every predecessor first — and are discarded the
+   moment another holder is observed, so the follower-queue hazard cannot
+   arise. *)
+type lease = {
+  mutable epoch : int;  (** highest lease epoch known decided; 0 = none *)
+  mutable holder : Types.proc_id option;  (** winner of [epoch] *)
+  mutable seq : int;  (** next batch slot in our epoch (holder only) *)
+  mutable pending : (request * int) list;  (** queued (request, j) *)
+  mutable limbo : (request * int) list;
+      (** arrivals while [holder = None]; see above *)
+  mutable tails : int;
+      (** windows past their compute phase but not yet decided: the
+          pipeline overlaps the next window's compute with the previous
+          window's prepare/consensus, at most one such tail in flight *)
+}
+
+(* Terminate a whole batch: one Decide_batch per database carrying every
+   (xid, outcome), then one Result_batch_msg per known client carrying its
+   share of the decisions. [items] and [decisions] match positionally (the
+   winning Reg_batch_elect order). Idempotent — re-delivery after a
+   takeover re-sends results the clients deduplicate and re-decides
+   transactions the databases already terminated.
+
+   With [~async:true] (the failure-free hot path) the results go out as
+   soon as the decision register is written — the register, not the
+   databases, is the commit point (Fig. 4: the paper's server also replies
+   right after deciding and leaves terminate() to be retried) — and the
+   Decide round runs in a forked fiber off the window's critical path. A
+   holder crash between the two is exactly the window the sealing
+   abort-or-finish pass already closes. *)
+let deliver_batch ctx ?(parent = 0) ?(async = false) ~trace ~items ~decisions
+    () =
+  let pairs = List.combine items decisions in
+  let xitems =
+    List.map
+      (fun ((rid, j), (d : decision)) -> (Dbms.Xid.make ~rid ~j, d.outcome))
+      pairs
+  in
+  let terminate () =
+    span ctx "commit" (fun () ->
+        ospan ctx ~parent ~trace "terminate" (fun () ->
+            Dbms.Stub.decide_batch ~poll:ctx.cfg.poll ctx.ch ctx.rd
+              ~dbs:ctx.cfg.dbs ~items:xitems))
+  in
+  if not async then terminate ();
+  let by_client : (Types.proc_id, (int * int * decision) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun ((rid, j), (d : decision)) ->
+      let st = rid_state ctx rid in
+      (match st.last with
+      | Some (j', _) when j' >= j -> ()
+      | Some _ | None -> st.last <- Some (j, d));
+      st.terminated_at <- Some (Rt.now ());
+      (match ctx.sink with
+      | None -> ()
+      | Some s ->
+          s.Rt.obs_count "server.terminated" 1;
+          if d.outcome = Dbms.Rm.Commit then s.Rt.obs_count "server.committed" 1);
+      match st.client with
+      | None -> () (* client unknown here (crashed before broadcasting) *)
+      | Some c ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_client c) in
+          Hashtbl.replace by_client c ((rid, j, d) :: cur))
+    pairs;
+  Hashtbl.iter
+    (fun c items ->
+      Rchannel.send ctx.ch c
+        (Result_batch_msg { group = ctx.cfg.group; items = List.rev items }))
+    by_client;
+  if async then Rt.fork "batch-terminate" terminate
+
+(* Close every batch slot of a predecessor epoch (Fig. 6 transposed to
+   windows): walk the slots in order, writing Seal into the first unused one
+   — the deposed holder's next elect loses against it, ending the epoch —
+   and abort-or-finish every slot a batch did win, by contesting its
+   decision register with abort-all. A slot whose decision was already
+   written re-delivers the decided outcomes (idempotent). *)
+let seal_epoch ctx ~epoch =
+  let group = ctx.cfg.group in
+  let rec scan seq =
+    match
+      ctx.regs.reg_write ~name:(Reg_name.batch_a ~group ~epoch ~seq) ~j:0
+        Reg_batch_seal
+    with
+    | Reg_batch_seal -> () (* sealed: the epoch ends at this slot *)
+    | Reg_batch_elect { items; _ } ->
+        let decisions =
+          match
+            ctx.regs.reg_write ~name:(Reg_name.batch_d ~group ~epoch ~seq) ~j:0
+              Reg_batch_abort_all
+          with
+          | Reg_batch_decide ds -> ds
+          | Reg_batch_abort_all | _ -> List.map (fun _ -> abort_decision) items
+        in
+        List.iter2
+          (fun (rid, j) (d : decision) ->
+            Rt.note
+              (Printf.sprintf "cleaned:%d:%d:%s" rid j
+                 (match d.outcome with
+                 | Dbms.Rm.Commit -> "commit"
+                 | Dbms.Rm.Abort -> "abort"));
+            match ctx.sink with
+            | None -> ()
+            | Some s ->
+                s.Rt.obs_count
+                  (match d.outcome with
+                  | Dbms.Rm.Abort -> "cleaner.aborts"
+                  | Dbms.Rm.Commit -> "cleaner.finishes")
+                  1)
+          items decisions;
+        let trace = match items with (rid, _) :: _ -> rid | [] -> 0 in
+        deliver_batch ctx ~trace ~items ~decisions ();
+        scan (seq + 1)
+    | _ -> scan (seq + 1)
+  in
+  scan 0
+
+(* Contest the next lease epoch. Whoever wins must seal every predecessor
+   epoch BEFORE serving: sealing sets [st.last] for every (rid, j) that
+   entered a prior batch register, so the new window can never re-commit an
+   already-decided try. *)
+let lease_takeover ctx ls =
+  let next = ls.epoch + 1 in
+  let winner =
+    match
+      ctx.regs.reg_write
+        ~name:(Reg_name.lease ~group:ctx.cfg.group)
+        ~j:next (Reg_lease_value ctx.self)
+    with
+    | Reg_lease_value w -> w
+    | _ -> ctx.self
+  in
+  ls.epoch <- next;
+  ls.holder <- Some winner;
+  ls.pending <- [];
+  if winner <> ctx.self then ls.limbo <- []
+  else begin
+    for e = next - 1 downto 1 do
+      seal_epoch ctx ~epoch:e
+    done;
+    ls.seq <- 0;
+    (* promote bootstrap arrivals now that every predecessor is sealed:
+       window assembly re-filters against [st.last], so anything sealing
+       already decided cannot re-enter a batch *)
+    ls.pending <- ls.limbo;
+    ls.limbo <- [];
+    Rt.note (Printf.sprintf "lease-acquired:g%d:e%d" ctx.cfg.group next);
+    match ctx.sink with
+    | None -> ()
+    | Some s ->
+        s.Rt.obs_count "server.lease_acquired" 1;
+        s.Rt.obs_gauge "server.lease_epoch" (float_of_int next)
+  end
+
+(* The lease monitor replaces the cleaning thread on the batched path: it
+   tracks the lease register, and contests the next epoch only when the
+   failure detector suspects the current holder (or none exists yet — the
+   first server bootstraps epoch 1 immediately). The register write stays
+   the safety argument; suspicion only gates WHEN a takeover is tried. *)
+let lease_monitor ctx ls () =
+  let rec advance () =
+    match
+      ctx.regs.reg_read ~name:(Reg_name.lease ~group:ctx.cfg.group)
+        ~j:(ls.epoch + 1)
+    with
+    | Some (Reg_lease_value w) ->
+        ls.epoch <- ls.epoch + 1;
+        ls.holder <- Some w;
+        if w <> ctx.self then begin
+          ls.pending <- [];
+          ls.limbo <- []
+        end;
+        advance ()
+    | Some _ | None -> ()
+  in
+  let head = match ctx.cfg.servers with a :: _ -> a | [] -> ctx.self in
+  let rec loop first =
+    if not first then Rt.sleep ctx.cfg.clean_period;
+    advance ();
+    (match ls.holder with
+    | Some h when h = ctx.self -> ()
+    | Some h when Fdetect.suspects ctx.fd h -> lease_takeover ctx ls
+    | None when ctx.self = head || Fdetect.suspects ctx.fd head ->
+        lease_takeover ctx ls
+    | Some _ | None -> ());
+    loop false
+  in
+  loop true
+
+(* One batch through the amortized pipeline: a single batchA election, one
+   XA start/end round, concurrently-executing business logic (the simulated
+   SQL of the N transactions overlaps), one group-commit prepare, a single
+   batchD decision write — still the commit point — and one batched
+   terminate round. *)
+let process_batch ctx ls items =
+  let group = ctx.cfg.group in
+  let epoch = ls.epoch and seq = ls.seq in
+  let ids = List.map (fun ((r : request), j) -> (r.rid, j)) items in
+  let n = List.length items in
+  let trace = match ids with (rid, _) :: _ -> rid | [] -> 0 in
+  let bspan =
+    match ctx.sink with
+    | None -> 0
+    | Some s ->
+        let id = s.Rt.obs_span_open ~trace "batch" in
+        s.Rt.obs_span_attr id "size" (string_of_int n);
+        s.Rt.obs_span_attr id "epoch" (string_of_int epoch);
+        s.Rt.obs_span_attr id "seq" (string_of_int seq);
+        id
+  in
+  let winner =
+    span ctx "log-start" (fun () ->
+        ospan ctx ~parent:bspan ~trace "election" (fun () ->
+            ctx.regs.reg_write ~name:(Reg_name.batch_a ~group ~epoch ~seq) ~j:0
+              (Reg_batch_elect { owner = ctx.self; items = ids })))
+  in
+  match winner with
+  | Reg_batch_elect { owner; _ } when owner = ctx.self ->
+      ls.seq <- seq + 1;
+      let xids = List.map (fun (rid, j) -> Dbms.Xid.make ~rid ~j) ids in
+      let results = Array.make n None in
+      ospan ctx ~parent:bspan ~trace "compute" (fun () ->
+          span ctx "start" (fun () ->
+              Dbms.Stub.xa_start_batch ~poll:ctx.cfg.poll ctx.ch ctx.rd
+                ~dbs:ctx.cfg.dbs ~xids);
+          List.iteri
+            (fun i ((r : request), j) ->
+              let xid = Dbms.Xid.make ~rid:r.rid ~j in
+              Rt.fork "batch-exec" (fun () ->
+                  let result =
+                    span ctx "SQL" (fun () ->
+                        run_business ctx ~xid ~attempt:j ~body:r.body)
+                  in
+                  Rt.note (Printf.sprintf "computed:%d:%d:%s" r.rid j result);
+                  results.(i) <- Some result))
+            items;
+          while Array.exists Option.is_none results do
+            Rt.sleep 1.
+          done;
+          span ctx "end" (fun () ->
+              Dbms.Stub.xa_end_batch ~poll:ctx.cfg.poll ctx.ch ctx.rd
+                ~dbs:ctx.cfg.dbs ~xids));
+      let tail () =
+        let votes =
+          span ctx "prepare" (fun () ->
+              ospan ctx ~parent:bspan ~trace "prepare" (fun () ->
+                  Dbms.Stub.prepare_batch ~poll:ctx.cfg.poll ctx.ch ctx.rd
+                    ~dbs:ctx.cfg.dbs ~xids))
+        in
+        let outcome_of xid =
+          if
+            List.for_all
+              (fun (_, vs) ->
+                match
+                  List.find_opt (fun (x, _) -> Dbms.Xid.equal x xid) vs
+                with
+                | Some (_, Dbms.Rm.Yes) -> true
+                | Some (_, Dbms.Rm.No) | None -> false)
+              votes
+          then Dbms.Rm.Commit
+          else Dbms.Rm.Abort
+        in
+        let proposal =
+          List.mapi
+            (fun i xid ->
+              {
+                result = Some (Option.get results.(i));
+                outcome = outcome_of xid;
+              })
+            xids
+        in
+        let decisions =
+          span ctx "log-outcome" (fun () ->
+              ospan ctx ~parent:bspan ~trace "consensus" (fun () ->
+                  match
+                    ctx.regs.reg_write
+                      ~name:(Reg_name.batch_d ~group ~epoch ~seq)
+                      ~j:0 (Reg_batch_decide proposal)
+                  with
+                  | Reg_batch_decide ds -> ds
+                  | Reg_batch_abort_all ->
+                      List.map (fun _ -> abort_decision) ids
+                  | _ -> proposal))
+        in
+        deliver_batch ctx ~parent:bspan ~trace ~async:true ~items:ids
+          ~decisions ();
+        match ctx.sink with
+        | None -> ()
+        | Some s ->
+            s.Rt.obs_observe "server.batch_size" (float_of_int n);
+            s.Rt.obs_span_close bspan
+      in
+      (* two-stage pipeline: prepare/consensus of this window runs in a
+         forked fiber so the next window's compute can overlap it. The
+         windows stay register-ordered (the batchA election above happened
+         in the assembly fiber, before the fork); one tail in flight bounds
+         the overlap so prepares cannot reorder across windows. *)
+      while ls.tails > 0 do
+        Rt.sleep 1.
+      done;
+      ls.tails <- ls.tails + 1;
+      Rt.fork "batch-tail" (fun () ->
+          Fun.protect
+            ~finally:(fun () -> ls.tails <- ls.tails - 1)
+            tail)
+  | _ ->
+      (* lost the slot: a successor sealed our epoch — we are deposed. The
+         dropped items re-drive through client retransmission to the new
+         holder; nothing may be delivered from a lost election. *)
+      ls.holder <- None;
+      ls.pending <- [];
+      (match ctx.sink with
+      | None -> ()
+      | Some s ->
+          s.Rt.obs_span_attr bspan "deposed" "true";
+          s.Rt.obs_span_close bspan)
+
+(* Request intake on the batched path. Only the holder queues; followers
+   answer what [st.last] already knows and otherwise DROP the request (the
+   client's retransmission reaches the holder). Queueing on a follower
+   would be unsound: its queue could go stale across an epoch change and
+   feed an already-decided (rid, j) into a fresh window. The one exception
+   is [limbo]: while NO holder is known, arrivals are parked there so the
+   bootstrap head does not silently drop the first wave of requests and
+   cost every client a full back-off period; limbo is promoted only
+   through a won takeover (which seals predecessors first). *)
+let batch_enqueue ctx ls (m : Types.message) =
+  match m.payload with
+  | Request_msg { group; _ } when group <> ctx.cfg.group ->
+      (match ctx.sink with
+      | None -> ()
+      | Some s -> s.Rt.obs_count "server.misrouted" 1);
+      Rt.note (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
+  | Request_msg { request; j; span; _ } -> (
+      let st = rid_state ctx request.rid in
+      if st.client = None then st.client <- Some m.src;
+      if st.rspan = 0 then st.rspan <- span;
+      match st.last with
+      | Some (j', d) when j' = j ->
+          send_result ctx st ~rid:request.rid ~j d
+      | Some (j', _) when j' > j -> ()
+      | Some _ | None ->
+          let queued q =
+            List.exists
+              (fun ((r : request), j') -> r.rid = request.rid && j' = j)
+              q
+          in
+          if ls.holder = Some ctx.self then begin
+            if not (queued ls.pending) then
+              ls.pending <- ls.pending @ [ (request, j) ]
+          end
+          else if ls.holder = None && not (queued ls.limbo) then
+            ls.limbo <- ls.limbo @ [ (request, j) ])
+  | _ -> ()
+
+let rec take n = function
+  | x :: rest when n > 0 ->
+      let taken, dropped = take (n - 1) rest in
+      (x :: taken, dropped)
+  | rest -> ([], rest)
+
+(* The batched analogue of [compute_thread]: block for one request, drain
+   whatever else already arrived (timeout 0 empties the mailbox without
+   waiting), linger briefly while the queue is still growing, then push up
+   to [batch] queued requests through one pipeline cycle. *)
+let batch_thread ctx ls () =
+  (* group-commit linger: after a window delivers, its clients re-issue
+     within a few ms of each other — without a short wait the next window
+     would seed from the first arrival alone and run nearly empty. Keep
+     stretching in [linger_step] slices only while the queue actually
+     grew, so an idle or trickling workload pays at most one slice. *)
+  let linger_step = 2. in
+  let rec linger () =
+    let before = List.length ls.pending in
+    if before < ctx.cfg.batch then begin
+      Rt.sleep linger_step;
+      drain ();
+      if List.length ls.pending > before then linger ()
+    end
+  and drain () =
+    match Rt.recv_cls ~timeout:0. cls_request with
+    | None -> ()
+    | Some m ->
+        batch_enqueue ctx ls m;
+        drain ()
+  in
+  let rec loop () =
+    (* block only when nothing is queued AND we hold the lease: while we do
+       not (bootstrap, deposed), the lease monitor may promote [limbo] into
+       [pending] from its own fiber, so poll instead of blocking forever on
+       a mailbox the clients will only refill at their back-off period *)
+    (if ls.holder = Some ctx.self && ls.pending <> [] then drain ()
+     else
+       let timeout =
+         if ls.holder = Some ctx.self then None else Some ctx.cfg.poll
+       in
+       match Rt.recv_cls ?timeout cls_request with
+       | None -> ()
+       | Some m ->
+           batch_enqueue ctx ls m;
+           drain ());
+    if ls.holder = Some ctx.self && ls.pending <> [] then linger ();
+    if ls.holder = Some ctx.self && ls.pending <> [] then begin
+      let batch, rest = take ctx.cfg.batch ls.pending in
+      ls.pending <- rest;
+      (* the registers decide; skip anything terminated meanwhile *)
+      let batch =
+        List.filter
+          (fun ((r : request), j) ->
+            match (rid_state ctx r.rid).last with
+            | Some (j', _) when j' >= j -> false
+            | Some _ | None -> true)
+          batch
+      in
+      if batch <> [] then process_batch ctx ls batch
+    end;
+    loop ()
+  in
+  loop ()
+
 (* ---------------- Fig. 4: main() ---------------- *)
 
 let spawn cfg =
@@ -507,9 +946,28 @@ let spawn cfg =
             sink = Rt.obs ();
           }
         in
-        Rt.fork "clean" (clean_thread ctx);
-        (match cfg.gc_after with
-        | Some after -> Rt.fork "gc" (gc_thread ctx ~after)
-        | None -> ());
-        compute_thread ctx ()
+        if cfg.batch > 1 then begin
+          (* leased, batched fast path: the lease monitor subsumes the
+             cleaning thread (takeover seals the suspect's epoch, which
+             aborts-or-finishes every outstanding batch) *)
+          let ls =
+            {
+              epoch = 0;
+              holder = None;
+              seq = 0;
+              pending = [];
+              limbo = [];
+              tails = 0;
+            }
+          in
+          Rt.fork "lease" (lease_monitor ctx ls);
+          batch_thread ctx ls ()
+        end
+        else begin
+          Rt.fork "clean" (clean_thread ctx);
+          (match cfg.gc_after with
+          | Some after -> Rt.fork "gc" (gc_thread ctx ~after)
+          | None -> ());
+          compute_thread ctx ()
+        end
       end)

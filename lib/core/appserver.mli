@@ -25,7 +25,17 @@
     When a [breakdown] accumulator is supplied, the winner path wraps each
     stage in {!Stats.Breakdown.span} with the paper's Figure 8 category
     names: "start", "SQL", "end", "prepare", "commit", "log-start" (the
-    [regA] write) and "log-outcome" (the [regD] write). *)
+    [regA] write) and "log-outcome" (the [regD] write).
+
+    With [batch > 1] the server runs the {e leased, batched} fast path
+    instead (DESIGN.md §12): a stable leaseholder elected once per lease
+    epoch drains its request queue and pushes up to [batch] transactions
+    through one election ([batchA]), one XA window, one group-commit
+    prepare, one decision write ([batchD] — still the commit point) and one
+    batched terminate round. Peers contest the lease only after the failure
+    detector suspects the holder; the takeover seals the suspect's epoch,
+    which aborts-or-finishes every outstanding batch (the Fig. 6 cleaning
+    argument transposed to windows). *)
 
 open Runtime
 
@@ -80,6 +90,11 @@ type config = {
           string, so the delivered result may degrade to an error report
           even though the transaction's effect applies exactly once. *)
   breakdown : Stats.Breakdown.t option;
+  batch : int;
+      (** maximum results per leased batch; 1 (the default) selects the
+          classic per-result path, byte-identical to earlier revisions.
+          Incompatible with [gc_after] (a collected lease or batch register
+          would reopen a decided window). *)
 }
 
 val config :
@@ -92,6 +107,7 @@ val config :
   ?persist:Consensus.Agent.persistence ->
   ?breakdown:Stats.Breakdown.t ->
   ?group:int ->
+  ?batch:int ->
   rt:Etx_runtime.t ->
   index:int ->
   servers:Types.proc_id list ->
@@ -101,7 +117,8 @@ val config :
   config
 (** Defaults: oracle failure detector, 20 ms clean period, 10 ms poll,
     40 ms exec back-off, no garbage collection, no breakdown accounting,
-    group 0. *)
+    group 0, batch 1 (classic path). Raises [Invalid_argument] if
+    [batch < 1] or if [batch > 1] is combined with [gc_after]. *)
 
 val spawn : config -> Types.proc_id
 (** Spawns on the backend in [cfg.rt]. *)

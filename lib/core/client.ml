@@ -26,7 +26,19 @@ let fresh_rid () = Rt.fresh_uid ()
 let wants_result rid j m =
   match m.Types.payload with
   | Etx_types.Result_msg { rid = r; j = j'; _ } -> r = rid && j' = j
+  | Etx_types.Result_batch_msg { items; _ } ->
+      List.exists (fun (r, j', _) -> r = rid && j' = j) items
   | _ -> false
+
+(* this client's decision for (rid, j), from either framing *)
+let decision_for rid j m =
+  match m.Types.payload with
+  | Etx_types.Result_msg { decision; _ } -> decision
+  | Etx_types.Result_batch_msg { items; _ } -> (
+      match List.find_opt (fun (r, j', _) -> r = rid && j' = j) items with
+      | Some (_, _, d) -> d
+      | None -> assert false)
+  | _ -> assert false
 
 let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
     ~script () =
@@ -92,44 +104,42 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
               | Some m -> conclude j m
               | None -> broadcast_phase j
             and conclude j m =
-              match m.Types.payload with
-              | Etx_types.Result_msg { decision; _ } -> (
-                  match (decision.outcome, decision.result) with
-                  | Dbms.Rm.Commit, Some result ->
-                      let record =
-                        {
-                          rid;
-                          key;
-                          body;
-                          result;
-                          tries = j;
-                          issued_at;
-                          delivered_at = Rt.now ();
-                        }
-                      in
-                      records := !records @ [ record ];
-                      (match sink with
-                      | None -> ()
-                      | Some s ->
-                          (* incremented exactly where the record is
-                             appended, so counter == |records| on any
-                             backend — the Spec cross-check relies on it *)
-                          s.Rt.obs_count "client.committed" 1;
-                          s.Rt.obs_observe "client.latency_ms"
-                            (record.delivered_at -. record.issued_at);
-                          s.Rt.obs_span_attr span "tries" (string_of_int j);
-                          s.Rt.obs_span_close span);
-                      record
-                  | Dbms.Rm.Commit, None ->
-                      (* a committed decision always carries a result (V.1);
-                         reaching this is a protocol bug worth crashing on *)
-                      failwith "e-Transaction: committed decision without result"
-                  | Dbms.Rm.Abort, _ ->
-                      (match sink with
-                      | None -> ()
-                      | Some s -> s.Rt.obs_count "client.retries" 1);
-                      try_j (j + 1))
-              | _ -> assert false
+              let decision = decision_for rid j m in
+              match (decision.outcome, decision.result) with
+              | Dbms.Rm.Commit, Some result ->
+                  let record =
+                    {
+                      rid;
+                      key;
+                      body;
+                      result;
+                      tries = j;
+                      issued_at;
+                      delivered_at = Rt.now ();
+                    }
+                  in
+                  records := !records @ [ record ];
+                  (match sink with
+                  | None -> ()
+                  | Some s ->
+                      (* incremented exactly where the record is
+                         appended, so counter == |records| on any
+                         backend — the Spec cross-check relies on it *)
+                      s.Rt.obs_count "client.committed" 1;
+                      s.Rt.obs_observe "client.latency_ms"
+                        (record.delivered_at -. record.issued_at);
+                      s.Rt.obs_span_attr span "tries" (string_of_int j);
+                      s.Rt.obs_span_close span);
+                  record
+              | Dbms.Rm.Commit, None ->
+                  (* a committed decision always carries a result (V.1);
+                     reaching this is a protocol bug worth crashing on *)
+                  failwith "e-Transaction: committed decision without result"
+              | Dbms.Rm.Abort, _ ->
+                  (match sink with
+                  | None -> ()
+                  | Some s -> s.Rt.obs_count "client.retries" 1);
+                  try_j (j + 1)
             in
             try_j 1
           in

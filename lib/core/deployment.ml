@@ -13,7 +13,7 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ?breakdown ~rt ~business ~script () =
+    ?(register_disk_latency = 12.5) ?breakdown ?batch ~rt ~business ~script () =
   let net =
     match net with
     | Some n -> n
@@ -50,7 +50,8 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
         in
         let cfg =
           Appserver.config ~fd_spec ~clean_period ~poll ?gc_after ~backend
-            ?persist ?breakdown ~rt ~index ~servers ~dbs:db_pids ~business ()
+            ?persist ?breakdown ?batch ~rt ~index ~servers ~dbs:db_pids
+            ~business ()
         in
         Appserver.spawn cfg)
   in

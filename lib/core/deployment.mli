@@ -33,6 +33,7 @@ val build :
   ?recoverable:bool ->
   ?register_disk_latency:float ->
   ?breakdown:Stats.Breakdown.t ->
+  ?batch:int ->
   rt:Etx_runtime.t ->
   business:Business.t ->
   script:(issue:(string -> Client.record) -> unit) ->
@@ -48,7 +49,10 @@ val build :
     [recoverable:true] equips each application server with stable register
     storage (forced write cost [register_disk_latency], default 12.5 ms),
     enabling crash-recovery of application servers — see
-    {!Appserver.config} for semantics and cost. *)
+    {!Appserver.config} for semantics and cost.
+
+    [batch] (default 1) selects the leased, batched commit pipeline on
+    every application server — see {!Appserver.config}. *)
 
 val rm_settled : Dbms.Rm.t -> bool
 (** No in-doubt transaction and every yes vote durably decided — the

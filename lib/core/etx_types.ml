@@ -26,6 +26,37 @@ type decision = { result : result_value option; outcome : Dbms.Rm.outcome }
 
 let abort_decision = { result = None; outcome = Dbms.Rm.Abort }
 
+(** Canonical names of the protocol's stable registers. One encode/decode
+    pair — the application server's writer path and the cleaning thread's
+    scanner must agree byte-for-byte on the naming scheme, so neither spells
+    the format string on its own. *)
+module Reg_name = struct
+  (* per-result registers of the classic (unbatched) path *)
+  let reg_a ~group ~rid = Printf.sprintf "g%d:regA:r%d" group rid
+  let reg_d ~group ~rid = Printf.sprintf "g%d:regD:r%d" group rid
+
+  (* [parse_reg_a name] recovers the request id from a [reg_a] name (with or
+     without a consensus instance suffix "[j]"); [None] for every other
+     register family — the ":regA:r" literal rejects regD, lease and batch
+     names, so a scanner over decided keys sees exactly the classic
+     elections. *)
+  let parse_reg_a name =
+    try Scanf.sscanf name "g%d:regA:r%d" (fun g rid -> Some (g, rid))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+  (* lease-epoch register: instance [e] of the consensus object elects the
+     holder of lease epoch [e] *)
+  let lease ~group = Printf.sprintf "g%d:lease" group
+
+  (* per-batch registers of the leased path: epoch [e], sequence number [k]
+     within the epoch. Deliberately unparseable by [parse_reg_a]. *)
+  let batch_a ~group ~epoch ~seq =
+    Printf.sprintf "g%d:batchA:e%d:k%d" group epoch seq
+
+  let batch_d ~group ~epoch ~seq =
+    Printf.sprintf "g%d:batchD:e%d:k%d" group epoch seq
+end
+
 (* [group] scopes the message to one replica group of a sharded cluster:
    servers drop requests addressed to another group, so a misrouted message
    can never start a transaction on the wrong shard. Single-group
@@ -42,6 +73,30 @@ type Runtime.Types.payload +=
   | Reg_a_value of Runtime.Types.proc_id
       (** content of [regA\[j\]]: which server computes result [j] *)
   | Reg_d_value of decision  (** content of [regD\[j\]] *)
+  | Result_batch_msg of {
+      group : int;
+      items : (int * int * decision) list;  (** (rid, j, decision) *)
+    }
+      (** application server → client: one message delivering every result
+          of a batch that belongs to this client *)
+  | Reg_lease_value of Runtime.Types.proc_id
+      (** content of the lease register, instance [e]: holder of epoch [e] *)
+  | Reg_batch_elect of {
+      owner : Runtime.Types.proc_id;
+      items : (int * int) list;  (** (rid, j) of every request in the batch *)
+    }
+      (** content of [batchA\[e,k\]]: the leaseholder's claim over a window
+          of results — the batched analogue of N [Reg_a_value] writes *)
+  | Reg_batch_seal
+      (** content of [batchA\[e,k\]] written by a {e successor} leaseholder:
+          closes epoch [e] at sequence [k]; the deposed holder's next elect
+          attempt loses against it *)
+  | Reg_batch_decide of decision list
+      (** content of [batchD\[e,k\]]: the batch's decisions, positionally
+          matching the winning [Reg_batch_elect.items] *)
+  | Reg_batch_abort_all
+      (** content of [batchD\[e,k\]] written by a cleaner: every request of
+          the batch aborts (the batched analogue of [(nil, abort)]) *)
 
 (* demux classes for the two client/server message streams *)
 let cls_request =
@@ -51,7 +106,7 @@ let cls_request =
 
 let cls_result =
   Runtime.Etx_runtime.register_class ~name:"etx-result" (function
-    | Result_msg _ -> true
+    | Result_msg _ | Result_batch_msg _ -> true
     | _ -> false)
 
 let pp_decision ppf d =

@@ -20,28 +20,42 @@ type Runtime.Types.payload +=
   | Ready
   | Commit1 of { xid : Xid.t }
   | Commit1_reply of { xid : Xid.t; outcome : Rm.outcome }
+  (* batched variants (group commit): one message carries a whole window of
+     transactions, so the prepare/decide round and its forced log writes are
+     paid once per batch instead of once per transaction *)
+  | Xa_start_batch of { xids : Xid.t list }
+  | Xa_started_batch of { xids : Xid.t list }
+  | Xa_end_batch of { xids : Xid.t list }
+  | Xa_ended_batch of { xids : Xid.t list }
+  | Prepare_batch of { xids : Xid.t list }
+  | Vote_batch of { votes : (Xid.t * Rm.vote) list }
+  | Decide_batch of { items : (Xid.t * Rm.outcome) list }
+  | Ack_decide_batch of { xids : Xid.t list }
 
 (* demux classes, one per server-side handler loop plus the stub-side
    reply and readiness streams *)
 let cls_exec =
   Runtime.Etx_runtime.register_class ~name:"db-exec" (function
-    | Exec_req _ | Commit1 _ | Xa_start _ | Xa_end _ -> true
+    | Exec_req _ | Commit1 _ | Xa_start _ | Xa_end _ | Xa_start_batch _
+    | Xa_end_batch _ ->
+        true
     | _ -> false)
 
 let cls_prepare =
   Runtime.Etx_runtime.register_class ~name:"db-prepare" (function
-    | Prepare _ -> true
+    | Prepare _ | Prepare_batch _ -> true
     | _ -> false)
 
 let cls_decide =
   Runtime.Etx_runtime.register_class ~name:"db-decide" (function
-    | Decide _ -> true
+    | Decide _ | Decide_batch _ -> true
     | _ -> false)
 
 let cls_reply =
   Runtime.Etx_runtime.register_class ~name:"db-reply" (function
     | Exec_reply _ | Vote_msg _ | Ack_decide _ | Xa_started _ | Xa_ended _
-    | Commit1_reply _ ->
+    | Commit1_reply _ | Xa_started_batch _ | Xa_ended_batch _ | Vote_batch _
+    | Ack_decide_batch _ ->
         true
     | _ -> false)
 

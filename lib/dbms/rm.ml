@@ -318,6 +318,63 @@ let vote t ~xid =
             end
           end)
 
+(* Group-commit prepare: classify and charge each transaction exactly as
+   [vote] does, but stage the W_prepared records and force them all with a
+   single disk write. The same post-suspension re-validation applies — any
+   transaction aborted while the batch force was in flight gets a W_aborted
+   record so recovery cannot resurrect it. *)
+let vote_many t ~xids =
+  let classify xid =
+    match find_txn t xid with
+    | None -> (xid, `No)
+    | Some txn -> (
+        match txn.phase with
+        | Prepared | Committed -> (xid, `Yes)
+        | Aborted -> (xid, `No)
+        | Active ->
+            if txn.poisoned then begin
+              Rt.work "abort" t.timing.abort_cpu;
+              abort_local t txn ~log:false;
+              (xid, `No)
+            end
+            else begin
+              Rt.work "prepare" t.timing.prepare_cpu;
+              if txn.phase <> Active then
+                match txn.phase with
+                | Committed | Prepared -> (xid, `Yes)
+                | Aborted | Active -> (xid, `No)
+              else (xid, `Stage txn)
+            end)
+  in
+  let staged = List.map classify xids in
+  Dstore.Wal.append_many ~label:"prepare" t.wal
+    (List.filter_map
+       (function
+         | xid, `Stage txn -> Some (W_prepared (xid, txn.writes))
+         | _ -> None)
+       staged);
+  List.map
+    (fun (xid, cls) ->
+      let v =
+        match cls with
+        | `Yes -> Yes
+        | `No -> No
+        | `Stage txn ->
+            if txn.phase = Active then begin
+              txn.phase <- Prepared;
+              Yes
+            end
+            else (
+              match txn.phase with
+              | Committed | Prepared -> Yes
+              | Aborted | Active ->
+                  Dstore.Wal.append ~label:"abort" t.wal (W_aborted xid);
+                  No)
+      in
+      t.vote_log <- (xid, v) :: t.vote_log;
+      (xid, v))
+    staged
+
 let apply_writes t writes =
   List.iter (fun (k, v) -> Hashtbl.replace t.store k v) writes
 
@@ -352,6 +409,58 @@ let decide t ~xid outcome =
           Rt.work "abort" t.timing.abort_cpu;
           abort_local t txn ~log:false;
           Abort)
+
+(* Group-commit decide: stage every transaction's terminal log record (the
+   per-transaction CPU still charges), force them together with one disk
+   write, then apply. Case analysis mirrors [decide]; the post-force phase
+   guard keeps a concurrently-decided transaction from being applied
+   twice. *)
+let decide_many t ~items =
+  let stage (xid, outcome) =
+    match find_txn t xid with
+    | None ->
+        let txn = get_txn t xid in
+        txn.phase <- Aborted;
+        (xid, Abort, None)
+    | Some txn -> (
+        match (txn.phase, outcome) with
+        | Committed, (Commit | Abort) -> (xid, Commit, None)
+        | Aborted, (Commit | Abort) -> (xid, Abort, None)
+        | Prepared, Commit ->
+            Rt.work "commit" t.timing.commit_cpu;
+            (xid, Commit, Some (txn, W_committed (xid, txn.writes)))
+        | Prepared, Abort ->
+            Rt.work "abort" t.timing.abort_cpu;
+            (xid, Abort, Some (txn, W_aborted xid))
+        | Active, (Commit | Abort) ->
+            (* commit without prepare violates V.2; abort defensively *)
+            Rt.work "abort" t.timing.abort_cpu;
+            abort_local t txn ~log:false;
+            (xid, Abort, None))
+  in
+  let staged = List.map stage items in
+  let records =
+    List.filter_map (function _, _, Some (_, r) -> Some r | _ -> None) staged
+  in
+  let label =
+    if List.exists (function W_committed _ -> true | _ -> false) records then
+      "commit"
+    else "abort"
+  in
+  Dstore.Wal.append_many ~label t.wal records;
+  List.map
+    (fun (xid, out, pending) ->
+      (match pending with
+      | Some (txn, W_committed (_, writes)) when txn.phase = Prepared ->
+          apply_writes t writes;
+          release_locks t xid;
+          txn.phase <- Committed;
+          t.commit_order <- xid :: t.commit_order
+      | Some (txn, W_aborted _) when txn.phase = Prepared ->
+          abort_local t txn ~log:false (* terminal record already forced *)
+      | Some _ | None -> ());
+      (xid, out))
+    staged
 
 let commit_one_phase t ~xid =
   match find_txn t xid with

@@ -108,12 +108,25 @@ val vote : t -> xid:Xid.t -> vote
     which is what a database that crashed and lost an active transaction
     answers. Idempotent. *)
 
+val vote_many : t -> xids:Xid.t list -> (Xid.t * vote) list
+(** Group-commit prepare: votes for a whole batch with a {e single} forced
+    log write covering every [Yes] workspace (per-transaction CPU still
+    charges). Equivalent to [List.map (vote t ~xid)] except for the forced
+    IO count; same idempotence and unknown-transaction semantics. Answers
+    in input order. *)
+
 val decide : t -> xid:Xid.t -> outcome -> outcome
 (** XA commit/rollback, following the paper's contract: (a) an [Abort] input
     returns [Abort]; (b) a [Commit] input on a transaction that voted [Yes]
     commits and returns [Commit]. Defensively, [Commit] on a transaction
     that never prepared aborts it. Idempotent: a decided transaction
     returns its decided outcome. *)
+
+val decide_many : t -> items:(Xid.t * outcome) list -> (Xid.t * outcome) list
+(** Group-commit decide: terminates a whole batch with a {e single} forced
+    log write covering every commit/abort record. Equivalent to
+    [List.map (fun (xid, o) -> decide t ~xid o)] except for the forced IO
+    count. Answers in input order. *)
 
 val commit_one_phase : t -> xid:Xid.t -> outcome
 (** Single-phase commit used by the unreliable baseline protocol: no

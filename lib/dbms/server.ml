@@ -25,6 +25,12 @@ let exec_handler rm ch () =
         | Msg.Commit1 { xid } ->
             let outcome = Rm.commit_one_phase rm ~xid in
             Rchannel.send ch m.src (Msg.Commit1_reply { xid; outcome })
+        | Msg.Xa_start_batch { xids } ->
+            List.iter (fun xid -> Rm.xa_start rm ~xid) xids;
+            Rchannel.send ch m.src (Msg.Xa_started_batch { xids })
+        | Msg.Xa_end_batch { xids } ->
+            List.iter (fun xid -> Rm.xa_end rm ~xid) xids;
+            Rchannel.send ch m.src (Msg.Xa_ended_batch { xids })
         | _ -> ());
         loop ()
   in
@@ -51,6 +57,11 @@ let prepare_handler rm ch sink () =
         | Msg.Prepare { xid } ->
             let vote = timed sink "db.vote_ms" (fun () -> Rm.vote rm ~xid) in
             Rchannel.send ch m.src (Msg.Vote_msg { xid; vote })
+        | Msg.Prepare_batch { xids } ->
+            let votes =
+              timed sink "db.vote_ms" (fun () -> Rm.vote_many rm ~xids)
+            in
+            Rchannel.send ch m.src (Msg.Vote_batch { votes })
         | _ -> ());
         loop ()
   in
@@ -67,6 +78,12 @@ let decide_handler rm ch sink () =
               timed sink "db.decide_ms" (fun () -> Rm.decide rm ~xid outcome)
             in
             Rchannel.send ch m.src (Msg.Ack_decide { xid })
+        | Msg.Decide_batch { items } ->
+            let (_ : (Xid.t * Rm.outcome) list) =
+              timed sink "db.decide_ms" (fun () -> Rm.decide_many rm ~items)
+            in
+            Rchannel.send ch m.src
+              (Msg.Ack_decide_batch { xids = List.map fst items })
         | _ -> ());
         loop ()
   in

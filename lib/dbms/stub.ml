@@ -106,6 +106,8 @@ let commit_one_phase ?(poll = default_poll) ch rd ~db ~xid =
           Some outcome
       | _ -> None)
 
+let same_xids = List.equal Xid.equal
+
 let broadcast_collect ?(poll = default_poll) ch rd ~dbs ~request ~matches =
   List.iter (fun db -> Rchannel.send ch db (request db)) dbs;
   let collect db =
@@ -127,3 +129,41 @@ let broadcast_collect ?(poll = default_poll) ch rd ~dbs ~request ~matches =
     (db, wait (Readiness.epoch rd db))
   in
   List.map collect dbs
+
+(* Batched XA rounds: one message per database carries the whole window of
+   transactions, and one reply carries every answer. Replies are matched on
+   the full xid list so a batch RPC can never consume another batch's (or a
+   single-transaction call's) reply. *)
+
+let xa_start_batch ?poll ch rd ~dbs ~xids =
+  ignore
+    (broadcast_collect ?poll ch rd ~dbs
+       ~request:(fun _ -> Msg.Xa_start_batch { xids })
+       ~matches:(function
+         | Msg.Xa_started_batch { xids = x } when same_xids x xids -> Some ()
+         | _ -> None))
+
+let xa_end_batch ?poll ch rd ~dbs ~xids =
+  ignore
+    (broadcast_collect ?poll ch rd ~dbs
+       ~request:(fun _ -> Msg.Xa_end_batch { xids })
+       ~matches:(function
+         | Msg.Xa_ended_batch { xids = x } when same_xids x xids -> Some ()
+         | _ -> None))
+
+let prepare_batch ?poll ch rd ~dbs ~xids =
+  broadcast_collect ?poll ch rd ~dbs
+    ~request:(fun _ -> Msg.Prepare_batch { xids })
+    ~matches:(function
+      | Msg.Vote_batch { votes } when same_xids (List.map fst votes) xids ->
+          Some votes
+      | _ -> None)
+
+let decide_batch ?poll ch rd ~dbs ~items =
+  let xids = List.map fst items in
+  ignore
+    (broadcast_collect ?poll ch rd ~dbs
+       ~request:(fun _ -> Msg.Decide_batch { items })
+       ~matches:(function
+         | Msg.Ack_decide_batch { xids = x } when same_xids x xids -> Some ()
+         | _ -> None))

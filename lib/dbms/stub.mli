@@ -94,3 +94,48 @@ val broadcast_collect :
     then collect one matching reply from each, re-sending to any database
     that recovers meanwhile. One sequential communication step regardless of
     the number of databases. *)
+
+(** {1 Batched XA rounds (group commit)}
+
+    One message per database carries a whole window of transactions and one
+    reply carries every answer, so a window of N transactions costs the same
+    number of protocol messages as a single transaction. Replies are matched
+    on the full xid list: a batch RPC can never consume another batch's (or
+    a single-transaction call's) reply. All four re-send across recoveries
+    like their singular counterparts. *)
+
+val xa_start_batch :
+  ?poll:float ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  dbs:Types.proc_id list ->
+  xids:Xid.t list ->
+  unit
+
+val xa_end_batch :
+  ?poll:float ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  dbs:Types.proc_id list ->
+  xids:Xid.t list ->
+  unit
+
+val prepare_batch :
+  ?poll:float ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  dbs:Types.proc_id list ->
+  xids:Xid.t list ->
+  (Types.proc_id * (Xid.t * Rm.vote) list) list
+(** Batched prepare: every database answers its whole vote vector (input
+    order) after a single group-commit log force ({!Rm.vote_many}). *)
+
+val decide_batch :
+  ?poll:float ->
+  Dnet.Rchannel.t ->
+  Readiness.t ->
+  dbs:Types.proc_id list ->
+  items:(Xid.t * Rm.outcome) list ->
+  unit
+(** Batched terminate: one [Decide_batch] per database carrying all N
+    outcomes, acknowledged once applied ({!Rm.decide_many}). *)

@@ -76,21 +76,6 @@ let communication_steps ?(subject = always) t =
     sends;
   !best
 
-let work_by_category t =
-  let table = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
-      match e.event with
-      | Work (_, label, d) ->
-          let acc = Option.value ~default:0. (Hashtbl.find_opt table label) in
-          Hashtbl.replace table label (acc +. d)
-      | Spawned _ | Sent _ | Dropped _ | Delivered _ | Dead_letter _
-      | Crashed _ | Recovered _ | Note _ ->
-          ())
-    (entries t);
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
 type stats = {
   sent : int;
   delivered : int;

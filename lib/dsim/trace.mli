@@ -45,14 +45,6 @@ val communication_steps : ?subject:(Types.message -> bool) -> t -> int
     at or after [m1]'s delivery. This reproduces the "communication steps"
     counting of the paper's Figures 1 and 7. *)
 
-val work_by_category : t -> (string * float) list
-(** Total simulated [Work] duration per category label, sorted by label.
-
-    Deprecated: prefer the [work.<label>] histograms of an observability
-    registry ({!Obs.Registry}), which carry counts and quantiles in
-    addition to totals and also exist on the live backend. Kept because
-    it needs no registry attached and existing figure tooling reads it. *)
-
 type stats = {
   sent : int;
   delivered : int;

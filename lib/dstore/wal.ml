@@ -7,6 +7,14 @@ let append ?label t r =
   t.rev_records <- r :: t.rev_records;
   t.count <- t.count + 1
 
+let append_many ?label t rs =
+  match rs with
+  | [] -> ()
+  | rs ->
+      Disk.force ?label t.disk;
+      List.iter (fun r -> t.rev_records <- r :: t.rev_records) rs;
+      t.count <- t.count + List.length rs
+
 let records t = List.rev t.rev_records
 
 let length t = t.count

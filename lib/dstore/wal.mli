@@ -10,6 +10,12 @@ val create : disk:Disk.t -> unit -> 'a t
 val append : ?label:string -> 'a t -> 'a -> unit
 (** Durably append one record (one forced disk write). *)
 
+val append_many : ?label:string -> 'a t -> 'a list -> unit
+(** Group commit: durably append all records with a {e single} forced disk
+    write (order preserved, oldest first). The amortisation primitive for
+    batched voting/deciding — N prepare records cost one force instead of
+    N. Appending the empty list is a no-op (no force). *)
+
 val records : 'a t -> 'a list
 (** All records, oldest first. *)
 

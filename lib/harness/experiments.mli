@@ -269,6 +269,50 @@ val failover_phases :
 
 val render_failover_phases : failover_phase_report -> string
 
+type batch_row = {
+  batch : int;  (** window cap (1 = classic, unbatched path) *)
+  tx_per_vs : float;  (** delivered requests per virtual second *)
+  msgs_per_commit : float;  (** protocol messages per delivered request *)
+  mean_latency_ms : float;
+  mean_fill : float;  (** mean transactions per assembled window *)
+}
+
+val batch_points : int list
+(** The default sweep caps: 1, 4, 16, 64. *)
+
+val batch_sweep :
+  ?seed:int ->
+  ?clients:int ->
+  ?requests:int ->
+  ?points:int list ->
+  ?domains:int ->
+  unit ->
+  batch_row list
+(** A13: single-shard throughput and message amortization against the
+    batch cap. [clients] (default 128 — at least twice the deepest default
+    cap, so consecutive windows serve disjoint client sets and never
+    contend on the previous window's still-held locks) concurrent clients
+    on disjoint accounts each issue [requests] (default 2) updates, so the
+    leaseholder drains a deep queue; every run must deliver everything and
+    quiesce. *)
+
+val render_batch : batch_row list -> string
+
+val batch_phases :
+  ?seed:int ->
+  ?clients:int ->
+  ?requests:int ->
+  ?batches:int list ->
+  ?domains:int ->
+  unit ->
+  (int * phase_row list) list
+(** A13b: amortized per-commit phase cost (closed-span ms over delivered
+    requests), classic path versus a deep window, using the same phase
+    names as {!failover_phases} so the A12 and A13b tables line up.
+    Default [batches] is [[1; 16]]. *)
+
+val render_batch_phases : (int * phase_row list) list -> string
+
 (** {1 CSV export}
 
     Machine-readable companions to the render functions (header line plus
@@ -282,3 +326,4 @@ val csv_sweep2 : header:string -> (float * float * int) list -> string
 
 val csv_backoff : (float * float * float) list -> string
 val csv_dbs : (int * float * float * float) list -> string
+val csv_batch : batch_row list -> string

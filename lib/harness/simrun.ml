@@ -9,27 +9,27 @@ let engine ?(seed = 1) ?(tracing = true) ?obs () =
 
 let deployment ?seed ?tracing ?obs ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
     ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
-    ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown
+    ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown ?batch
     ~business ~script () =
   let e, rt = engine ?seed ?tracing ?obs () in
   let d =
     Etx.Deployment.build ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
       ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
-      ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown ~rt
-      ~business ~script ()
+      ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown ?batch
+      ~rt ~business ~script ()
   in
   (e, d)
 
 let cluster ?seed ?tracing ?obs ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec
     ?timing ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
-    ?gc_after ?backend ?recoverable ?register_disk_latency ~business ~scripts
-    () =
+    ?gc_after ?backend ?recoverable ?register_disk_latency ?batch ~business
+    ~scripts () =
   let e, rt = engine ?seed ?tracing ?obs () in
   let c =
     Cluster.build ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec ?timing
       ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
-      ?gc_after ?backend ?recoverable ?register_disk_latency ~rt ~business
-      ~scripts ()
+      ?gc_after ?backend ?recoverable ?register_disk_latency ?batch ~rt
+      ~business ~scripts ()
   in
   (e, c)
 

@@ -37,6 +37,7 @@ val deployment :
   ?recoverable:bool ->
   ?register_disk_latency:float ->
   ?breakdown:Stats.Breakdown.t ->
+  ?batch:int ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->
@@ -62,6 +63,7 @@ val cluster :
   ?backend:Etx.Appserver.register_backend ->
   ?recoverable:bool ->
   ?register_disk_latency:float ->
+  ?batch:int ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
   unit ->

@@ -307,7 +307,8 @@ let test_fork_shares_mailbox () =
     [ "pong"; "ping" ] (List.rev !tags)
 
 let test_work_traced () =
-  let t = Engine.create () in
+  let reg = Obs.Registry.create () in
+  let t = Engine.create ~obs:reg () in
   let _ =
     Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
         Engine.work "sql" 187.;
@@ -315,11 +316,17 @@ let test_work_traced () =
         Engine.work "commit" 18.6)
   in
   ignore (Engine.run t);
-  let breakdown = Trace.work_by_category (Engine.trace t) in
-  Alcotest.(check (list (pair string (float 1e-9))))
-    "categories"
-    [ ("commit", 18.6); ("sql", 193.) ]
-    breakdown
+  (* work charges land in the registry's per-label histograms *)
+  List.iter
+    (fun (name, total, slices) ->
+      match Obs.Registry.merged_histogram reg name with
+      | Some h ->
+          Alcotest.(check (float 1e-9)) (name ^ " total") total
+            (Obs.Histogram.sum h);
+          Alcotest.(check int) (name ^ " slices") slices
+            (Obs.Histogram.count h)
+      | None -> Alcotest.failf "no %s histogram" name)
+    [ ("work.sql", 193., 2); ("work.commit", 18.6, 1) ]
 
 (* ------------------------------------------------------------------ *)
 (* Crash / recovery *)

@@ -33,7 +33,8 @@ let test_disk_counts () =
         (Dstore.Disk.force_latency disk))
 
 let test_disk_trace_labels () =
-  let t = Engine.create () in
+  let reg = Obs.Registry.create () in
+  let t = Engine.create ~obs:reg () in
   let _ =
     Engine.spawn t ~name:"p" ~main:(fun ~recovery:_ () ->
         let disk = Dstore.Disk.create ~force_latency:5. ~label:"log" () in
@@ -41,10 +42,17 @@ let test_disk_trace_labels () =
         Dstore.Disk.force ~label:"log-start" disk)
   in
   ignore (Engine.run t);
-  Alcotest.(check (list (pair string (float 1e-9))))
-    "labels"
-    [ ("log", 5.); ("log-start", 5.) ]
-    (Trace.work_by_category (Engine.trace t))
+  (* each force charges work under its label; the registry's work.<label>
+     histograms carry the totals *)
+  List.iter
+    (fun (name, total) ->
+      match Obs.Registry.merged_histogram reg name with
+      | Some h ->
+          Alcotest.(check (float 1e-9)) (name ^ " total") total
+            (Obs.Histogram.sum h);
+          Alcotest.(check int) (name ^ " count") 1 (Obs.Histogram.count h)
+      | None -> Alcotest.failf "no %s histogram" name)
+    [ ("work.log", 5.); ("work.log-start", 5.) ]
 
 let test_wal_append_records () =
   in_sim (fun _ ->
