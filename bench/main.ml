@@ -13,12 +13,12 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      scale scale-smoke shard shard-smoke batch batch-smoke parallel live
-      micro failover-phases obs-overhead)
+      scale scale-smoke shard shard-smoke batch batch-smoke cache
+      cache-smoke parallel live micro failover-phases obs-overhead)
 
    Each invocation also writes BENCH_harness.json (via {!Stats.Json}) —
    per-artefact wall-clock seconds plus the sweep points, machine-readable:
-     { "schema": "etx-bench-harness/6", "domains": N, "host_cores": C,
+     { "schema": "etx-bench-harness/7", "domains": N, "host_cores": C,
        "artefacts": [ { "name": "figure8", "backend": "sim", "obs": "off",
                         "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
@@ -71,6 +71,9 @@ let batch_rows : Harness.Experiments.batch_row list ref = ref []
 
 let batch_live_rows : (int * int * int * float * float) list ref = ref []
 
+(* A14 rows (app servers × cache on/off, read-heavy mix) *)
+let cache_rows : Harness.Experiments.read_row list ref = ref []
+
 let timed ?(backend = "sim") ?(obs = "off") name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -113,7 +116,7 @@ let write_bench_json () =
   let doc =
     Obj
       [
-        ("schema", String "etx-bench-harness/6");
+        ("schema", String "etx-bench-harness/7");
         ("domains", Int !domains);
         ("host_cores", Int host_cores);
         ( "artefacts",
@@ -192,6 +195,22 @@ let write_bench_json () =
                      ("requests_per_sec", Float rate);
                    ])
                !batch_live_rows) );
+        ( "cache",
+          List
+            (List.map
+               (fun (r : Harness.Experiments.read_row) ->
+                 Obj
+                   [
+                     ("servers", Int r.servers);
+                     ("cache", Bool r.cache);
+                     ("reads", Int r.reads);
+                     ("tx_per_vs", Float r.tx_per_vs);
+                     ("read_tx_per_vs", Float r.read_tx_per_vs);
+                     ("msgs_per_read", Float r.msgs_per_read);
+                     ("hit_rate", Float r.hit_rate);
+                     ("mean_read_latency_ms", Float r.mean_read_latency_ms);
+                   ])
+               !cache_rows) );
       ]
   in
   let oc = open_out "BENCH_harness.json" in
@@ -575,6 +594,26 @@ let run_batch () =
 let run_batch_smoke () = run_batch_sim ~points:[ 1; 4 ] ~clients:8 ~requests:2 ()
 
 (* ------------------------------------------------------------------ *)
+(* Cache artefact: A14 — the app-server method cache under a read-heavy
+   mix, across server counts × cache on/off. The sweep asserts the full
+   specification (including cache coherence) per row, so the artefact
+   doubles as an end-to-end check of the invalidation protocol. *)
+
+let run_cache ?points ?clients ?requests () =
+  let rows =
+    timed ~obs:"metrics" "cache" @@ fun () ->
+    Harness.Experiments.read_sweep ?points ?clients ?requests
+      ~domains:!domains ()
+  in
+  cache_rows := !cache_rows @ rows;
+  section "A14 (method cache)" (Harness.Experiments.render_read rows)
+
+(* server counts 1/2 and a smaller workload: the CI smoke. 8 requests per
+   client = one full read/write cycle, so invalidation is exercised too *)
+let run_cache_smoke () =
+  run_cache ~points:[ 1; 2 ] ~clients:4 ~requests:8 ()
+
+(* ------------------------------------------------------------------ *)
 (* Parallel artefact: 1 domain vs N domains, byte-identity asserted *)
 
 let run_parallel () =
@@ -755,6 +794,7 @@ let all () =
   run_scale ();
   run_shard ();
   run_batch ();
+  run_cache ();
   run_live ();
   run_micro ()
 
@@ -800,13 +840,15 @@ let () =
           | "shard-smoke" -> run_shard_smoke ()
           | "batch" -> run_batch ()
           | "batch-smoke" -> run_batch_smoke ()
+          | "cache" -> run_cache ()
+          | "cache-smoke" -> run_cache_smoke ()
           | "parallel" -> run_parallel ()
           | "live" -> run_live ()
           | "micro" -> run_micro ()
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|batch|batch-smoke|parallel|live|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|batch|batch-smoke|cache|cache-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

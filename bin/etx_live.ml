@@ -7,12 +7,19 @@
    With [-shards S] (S > 1) the same smoke runs on a sharded cluster:
    S independent replica groups behind the shard router, the crash/recovery
    targeting shard 0's primary, and the cluster-level specification
-   (per-shard properties plus global exactly-once) checked at the end. *)
+   (per-shard properties plus global exactly-once) checked at the end.
+
+   With [-cache] every app server carries a method cache with
+   commit-piggybacked invalidation, clients issue a read-dominant mix
+   (three audits per update) so the crash lands mid-read-burst, and with
+   [-obs] the run additionally asserts that the burst recorded cache hits
+   and that the Prometheus dump re-parses consistently. *)
 
 let clients = ref 3
 let requests = ref 4
 let shards = ref 1
 let batch = ref 1
+let cache = ref false
 let seed = ref 42
 let out = ref "LIVE_smoke.json"
 let obs = ref ""
@@ -26,6 +33,11 @@ let speclist =
       Arg.Set_int batch,
       "B  commit-window cap: 1 = classic path, B > 1 = leased batched \
        pipeline (default 1)" );
+    ( "-cache",
+      Arg.Set cache,
+      "  method cache + commit-piggybacked invalidation: clients issue a \
+       read-dominant mix (three audits per update) instead of pure updates, \
+       and the crash lands mid-read-burst" );
     ("-seed", Arg.Set_int seed, "N  network-model RNG seed (default 42)");
     ("-out", Arg.Set_string out, "FILE  summary JSON path (default LIVE_smoke.json)");
     ( "-obs",
@@ -33,6 +45,15 @@ let speclist =
       "FILE  attach an observability registry and write its Prometheus dump \
        to FILE on exit" );
   ]
+
+(* with -cache, request r of the per-client script is an update only every
+   fourth call (r mod 4 = 3) and an audit of the client's account otherwise;
+   without it every request is an update, as before *)
+let body_for ~acct r =
+  if !cache && r mod 4 <> 3 then acct else acct ^ ":1"
+
+let updates_per_client n_requests =
+  if !cache then n_requests / 4 else n_requests
 
 let obs_registry () = if !obs = "" then None else Some (Obs.Registry.create ())
 
@@ -68,10 +89,11 @@ let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
   let doc =
     Obj
       [
-        ("schema", String "etx-live-smoke/3");
+        ("schema", String "etx-live-smoke/4");
         ("backend", String "live");
         ("shards", Int n_shards);
         ("batch", Int !batch);
+        ("cache", Bool !cache);
         ("clients", Int n_clients);
         ("requests_per_client", Int n_requests);
         ("delivered", Int n_delivered);
@@ -114,14 +136,17 @@ let run_single () =
       (List.init n_clients (fun i -> (Printf.sprintf "acct%d" i, 1000)))
   in
   let script_for i ~issue =
-    for _ = 1 to n_requests do
-      ignore (issue (Printf.sprintf "acct%d:1" i))
+    for r = 0 to n_requests - 1 do
+      ignore (issue (body_for ~acct:(Printf.sprintf "acct%d" i) r))
     done
+  in
+  let business =
+    if !cache then Workload.Bank.mixed else Workload.Bank.update
   in
   let t_start = Unix.gettimeofday () in
   let d =
-    Etx.Deployment.build ~rt ~recoverable:true ~batch:!batch ~seed_data
-      ~business:Workload.Bank.update ~script:(script_for 0) ()
+    Etx.Deployment.build ~rt ~recoverable:true ~batch:!batch ~cache:!cache
+      ~seed_data ~business ~script:(script_for 0) ()
   in
   let extra =
     List.init (n_clients - 1) (fun i ->
@@ -170,7 +195,9 @@ let run_single () =
         List.filter_map
           (fun i ->
             let acct = Printf.sprintf "acct%d" i in
-            let expect = Dbms.Value.Int (1000 + n_requests) in
+            let expect =
+              Dbms.Value.Int (1000 + updates_per_client n_requests)
+            in
             match Dbms.Rm.read_committed rm acct with
             | Some v when Dbms.Value.equal v expect -> None
             | Some v ->
@@ -187,6 +214,12 @@ let run_single () =
   let violations =
     violations @ dup_violations
     @ obs_violations ~n_delivered reg
+    @ (match reg with
+      | Some r when !cache && settled ->
+          (* the read burst must actually exercise the cache *)
+          if Obs.Registry.counter_total r "cache.hit" > 0 then []
+          else [ "cache: no hits recorded during the read burst" ]
+      | _ -> [])
     @ (if settled then [] else [ "run did not quiesce before the deadline" ])
     @ (if scripts_done then [] else [ "a client script did not finish" ])
     @
@@ -230,15 +263,18 @@ let run_sharded () =
   let scripts =
     List.map
       (fun key ~issue ->
-        for _ = 1 to n_requests do
-          ignore (issue (key ^ ":1"))
+        for r = 0 to n_requests - 1 do
+          ignore (issue (body_for ~acct:key r))
         done)
       keys
   in
+  let business =
+    if !cache then Workload.Bank.mixed else Workload.Bank.update
+  in
   let t_start = Unix.gettimeofday () in
   let c =
-    Cluster.build ~map ~recoverable:true ~batch:!batch ~seed_data
-      ~business:Workload.Bank.update ~rt ~scripts ()
+    Cluster.build ~map ~recoverable:true ~batch:!batch ~cache:!cache
+      ~seed_data ~business ~rt ~scripts ()
   in
   let delivered () = List.length (Cluster.all_records c) in
   let total = n_clients * n_requests in
@@ -266,7 +302,7 @@ let run_sharded () =
     List.concat_map
       (fun key ->
         let home = Cluster.shard_of_key c key in
-        let expect = Dbms.Value.Int (1000 + n_requests) in
+        let expect = Dbms.Value.Int (1000 + updates_per_client n_requests) in
         List.filter_map
           (fun (dbpid, rm) ->
             match Dbms.Rm.read_committed rm key with
@@ -288,6 +324,11 @@ let run_sharded () =
     @ (match reg with
       | Some r when settled -> Cluster.Spec.obs_consistency r c
       | _ -> [])
+    @ (match reg with
+      | Some r when !cache && settled ->
+          if Obs.Registry.counter_total r "cache.hit" > 0 then []
+          else [ "cache: no hits recorded during the read burst" ]
+      | _ -> [])
     @ dup_violations
     @ obs_violations ~n_delivered reg
     @ (if settled then [] else [ "run did not quiesce before the deadline" ])
@@ -305,7 +346,8 @@ let run_sharded () =
 let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "etx_live [-clients N] [-requests N] [-shards S] [-batch B] [-seed N] [-out FILE] [-obs FILE]";
+    "etx_live [-clients N] [-requests N] [-shards S] [-batch B] [-cache] \
+     [-seed N] [-out FILE] [-obs FILE]";
   if !shards < 1 then (prerr_endline "etx_live: -shards must be >= 1"; exit 2);
   if !batch < 1 then (prerr_endline "etx_live: -batch must be >= 1"; exit 2);
   if !shards = 1 then run_single () else run_sharded ()

@@ -159,6 +159,23 @@ let failover_phases_cmd =
              path, measured from the observability span layer.")
     Term.(const run $ seed_arg $ domains_arg)
 
+let read_cache_cmd =
+  let run seed csv domains =
+    set_domains domains;
+    let rows = Harness.Experiments.read_sweep ~seed () in
+    emit ~csv
+      (Harness.Experiments.render_read rows)
+      (Harness.Experiments.csv_read rows)
+  in
+  Cmd.v
+    (Cmd.info "read-cache"
+       ~doc:
+         "Ablation A14: the app-server method cache under a read-heavy mix \
+          — read throughput, messages per read and hit rate across server \
+          counts, cache on vs off (spec incl. cache coherence asserted per \
+          row).")
+    Term.(const run $ seed_arg $ csv_arg $ domains_arg)
+
 let batch_cmd =
   let run seed csv domains =
     set_domains domains;
@@ -204,13 +221,14 @@ let shard_cmd =
 
 (* ---------------- demo subcommand ---------------- *)
 
-type workload_choice = W_bank | W_transfer | W_travel
+type workload_choice = W_bank | W_transfer | W_travel | W_mixed
 
 let workload_conv =
   let parse = function
     | "bank" -> Ok W_bank
     | "transfer" -> Ok W_transfer
     | "travel" -> Ok W_travel
+    | "mixed" -> Ok W_mixed
     | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
   in
   let print ppf w =
@@ -218,7 +236,8 @@ let workload_conv =
       (match w with
       | W_bank -> "bank"
       | W_transfer -> "transfer"
-      | W_travel -> "travel")
+      | W_travel -> "travel"
+      | W_mixed -> "mixed")
   in
   Arg.conv (parse, print)
 
@@ -253,7 +272,7 @@ let write_obs_dump ~file ~delivered reg =
    drawn from the workload generator (transfers stay intra-shard), requests
    dealt round-robin to the clients. Faults target shard 0. *)
 let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-    batch crash_primary_at crash_db obs =
+    batch cache crash_primary_at crash_db obs =
   let kind =
     let accounts = max 8 (4 * shards) in
     match workload with
@@ -266,6 +285,9 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
             destinations = [ "paris"; "tokyo"; "oslo"; "lima" ];
             max_party = 3;
           }
+    | W_mixed ->
+        Workload.Generator.Read_heavy
+          { accounts; max_delta = 100; reads_per_write = 3 }
   in
   let map = Etx.Shard_map.create ~shards () in
   let bodies =
@@ -279,7 +301,7 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   let reg = Option.map (fun _ -> Obs.Registry.create ()) obs in
   let engine, c =
     Harness.Simrun.cluster ~seed ~map ?obs:reg ~n_app_servers ~n_dbs ~batch
-      ~client_period:300.
+      ~cache ~client_period:300.
       ~seed_data:(Workload.Generator.seed_data_of kind)
       ~business:(Workload.Generator.business_of kind)
       ~scripts:(List.init clients script_for)
@@ -331,13 +353,13 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   if (not quiesced) || violations <> [] || not obs_ok then exit 1
 
 let demo_run seed workload requests n_app_servers n_dbs shards clients batch
-    crash_primary_at crash_db verbose diagram obs =
+    cache crash_primary_at crash_db verbose diagram obs =
   if shards < 1 then (Printf.eprintf "--shards must be >= 1\n"; exit 2);
   if clients < 1 then (Printf.eprintf "--clients must be >= 1\n"; exit 2);
   if batch < 1 then (Printf.eprintf "--batch must be >= 1\n"; exit 2);
   if shards > 1 || clients > 1 then
     demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-      batch crash_primary_at crash_db obs
+      batch cache crash_primary_at crash_db obs
   else
   let business, seed_data, body_of =
     match workload with
@@ -354,6 +376,12 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients batch
           Workload.Travel.seed_inventory ~destinations:[ "paris"; "tokyo" ]
             ~seats:5 ~rooms:5 ~cars:5,
           fun i -> if i mod 2 = 0 then "paris:2" else "tokyo:1" )
+    | W_mixed ->
+        (* three audits then an update, all on one hot account, so repeat
+           reads hit the cache and the update invalidates them *)
+        ( Workload.Bank.mixed,
+          Workload.Bank.seed_accounts [ ("acct0", 1_000) ],
+          fun i -> if i mod 4 = 3 then "acct0:7" else "acct0" )
   in
   (* verbose mode reads its work breakdown from the registry's
      [work.<label>] histograms, so it needs one even without -obs *)
@@ -362,7 +390,7 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients batch
   in
   let engine, d =
     Harness.Simrun.deployment ~seed ?obs:reg ~n_app_servers ~n_dbs ~batch
-      ~client_period:300. ~seed_data ~business
+      ~cache ~client_period:300. ~seed_data ~business
       ~script:(fun ~issue ->
         for i = 0 to requests - 1 do
           ignore (issue (body_of i))
@@ -443,8 +471,10 @@ let demo_cmd =
     Arg.(
       value
       & opt workload_conv W_bank
-      & info [ "w"; "workload" ] ~docv:"bank|transfer|travel"
-          ~doc:"Business logic to run.")
+      & info [ "w"; "workload" ] ~docv:"bank|transfer|travel|mixed"
+          ~doc:
+            "Business logic to run (mixed = read-dominant bank audits with \
+             interleaved updates).")
   in
   let requests =
     Arg.(
@@ -484,6 +514,16 @@ let demo_cmd =
           ~doc:
             "Window cap of the leased, batched commit pipeline on every \
              application server (1 = the classic per-request path).")
+  in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Equip every application server with a method cache (read-only \
+             calls served without a transaction) and every database with \
+             commit-piggybacked invalidation; the cache-coherence obligation \
+             joins the specification checks.")
   in
   let crash_primary =
     Arg.(
@@ -526,7 +566,8 @@ let demo_cmd =
           delivered results and check the e-Transaction specification.")
     Term.(
       const demo_run $ seed_arg $ workload $ requests $ apps $ dbs $ shards
-      $ clients $ batch $ crash_primary $ crash_db $ verbose $ diagram $ obs)
+      $ clients $ batch $ cache $ crash_primary $ crash_db $ verbose $ diagram
+      $ obs)
 
 let main_cmd =
   let doc =
@@ -548,6 +589,7 @@ let main_cmd =
       throughput_cmd;
       shard_cmd;
       batch_cmd;
+      read_cache_cmd;
       fd_quality_cmd;
       failover_phases_cmd;
     ]

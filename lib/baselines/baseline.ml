@@ -42,7 +42,15 @@ let serve ?breakdown ~poll ~dbs ~business ch rd (request : request) ~j ~xid =
     (function
       | Dbms.Msg.Xa_started { xid = x } when Dbms.Xid.equal x xid -> Some ()
       | _ -> None);
-  let exec ~db ops = Dbms.Stub.exec_retry ~poll ch rd ~db ~xid ops in
+  let seq = ref 0 in
+  let fresh_seq () =
+    let s = !seq in
+    incr seq;
+    s
+  in
+  let exec ~db ops =
+    Dbms.Stub.exec_retry ~poll ~fresh_seq ch rd ~db ~xid ops
+  in
   let result =
     span breakdown "SQL" (fun () ->
         business.Etx.Business.run

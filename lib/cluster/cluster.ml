@@ -5,6 +5,7 @@ type group = {
   index : int;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   app_servers : Types.proc_id list;
+  caches : (Types.proc_id * Etx.Method_cache.t) list;
 }
 
 type t = {
@@ -12,6 +13,7 @@ type t = {
   map : Etx.Shard_map.t;
   groups : group array;
   clients : Etx.Client.handle list;
+  business : Etx.Business.t;
 }
 
 let shards t = Array.length t.groups
@@ -30,7 +32,8 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Etx.Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ?batch ~rt ~business ~scripts () =
+    ?(register_disk_latency = 12.5) ?batch ?(cache = false) ~rt ~business
+    ~scripts () =
   let map =
     match map with
     | Some m -> m
@@ -67,7 +70,7 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
             in
             let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
             let pid =
-              Dbms.Server.spawn rt ~name ~rm
+              Dbms.Server.spawn rt ~invalidate:cache ~name ~rm
                 ~observers:(fun () -> app_pids.(s))
                 ()
             in
@@ -83,6 +86,7 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
         let db_pids = List.map fst dbs in
         let base = db_base + (s * n_app_servers) in
         let servers = List.init n_app_servers (fun i -> base + i) in
+        let caches = ref [] in
         let spawned =
           List.init n_app_servers (fun index ->
               let persist =
@@ -95,16 +99,23 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
                             ~label:"reg-log" ()))
                 else None
               in
+              let mcache =
+                if cache then Some (Etx.Method_cache.create ()) else None
+              in
               let cfg =
                 Etx.Appserver.config ~fd_spec ~clean_period ~poll ?gc_after
-                  ~backend ?persist ?batch ~group:s ~rt ~index ~servers
-                  ~dbs:db_pids ~business ()
+                  ~backend ?persist ?batch ?cache:mcache ~group:s ~rt ~index
+                  ~servers ~dbs:db_pids ~business ()
               in
-              Etx.Appserver.spawn cfg)
+              let pid = Etx.Appserver.spawn cfg in
+              (match mcache with
+              | Some c -> caches := !caches @ [ (pid, c) ]
+              | None -> ());
+              pid)
         in
         assert (spawned = servers);
         app_pids.(s) <- servers;
-        { index = s; dbs; app_servers = servers })
+        { index = s; dbs; app_servers = servers; caches = !caches })
   in
   (* Clients last, all behind the same shard router. *)
   let router key =
@@ -115,11 +126,17 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
     List.mapi
       (fun i script ->
         let name = if i = 0 then "client" else Printf.sprintf "client%d" (i + 1) in
-        Etx.Client.spawn rt ~name ~period:client_period ~router
+        (* with caching on, clients rotate their first-try server so read
+           traffic (hits are served locally by whichever server is asked)
+           spreads over the group instead of serializing at the head;
+           cache-off runs keep the paper's head-first behaviour so they
+           stay record-for-record with earlier revisions *)
+        let affinity = if cache then i else 0 in
+        Etx.Client.spawn rt ~name ~period:client_period ~affinity ~router
           ~servers:groups.(0).app_servers ~script ())
       scripts
   in
-  { rt; map; groups; clients }
+  { rt; map; groups; clients; business }
 
 let run_to_quiescence ?(deadline = 600_000.) t =
   let settled () =
@@ -149,6 +166,11 @@ module Spec = struct
                  records;
              scripts_done;
              notes = t.rt.notes;
+             (* as in Etx.Spec.view: a crashed server's frozen cache is
+                unreachable and flushed on recovery — skip it *)
+             caches =
+               List.filter (fun (pid, _) -> t.rt.is_up pid) g.caches;
+             business = Some t.business;
            })
          t.groups)
 
@@ -208,11 +230,13 @@ module Spec = struct
       t.clients;
     Array.iter
       (fun g ->
+        (* cache-served records never committed a transaction, so they do
+           not contribute to any server.committed counter *)
         let homed =
           List.length
             (List.filter
                (fun (r : Etx.Client.record) ->
-                 Etx.Shard_map.shard_of t.map r.key = g.index)
+                 (not r.cached) && Etx.Shard_map.shard_of t.map r.key = g.index)
                records)
         in
         let n = Obs.Registry.counter_total ~group:g.index reg "server.committed" in

@@ -26,6 +26,9 @@ type group = {
   index : int;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   app_servers : Types.proc_id list;  (** ordered; head = group primary *)
+  caches : (Types.proc_id * Etx.Method_cache.t) list;
+      (** one method cache per app server when built with [~cache:true];
+          empty otherwise *)
 }
 
 type t = {
@@ -33,6 +36,7 @@ type t = {
   map : Etx.Shard_map.t;
   groups : group array;
   clients : Etx.Client.handle list;
+  business : Etx.Business.t;
 }
 
 val build :
@@ -53,6 +57,7 @@ val build :
   ?recoverable:bool ->
   ?register_disk_latency:float ->
   ?batch:int ->
+  ?cache:bool ->
   rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
@@ -65,7 +70,15 @@ val build :
     ([0 .. shards*n_dbs-1], preserving the three-tier network model's
     "first pids are databases" convention), then each shard's application
     servers, then the clients. Remaining options mean exactly what they do
-    in {!Etx.Deployment.build}, applied per group. *)
+    in {!Etx.Deployment.build}, applied per group.
+
+    [cache:true] equips every application server with a method cache and
+    every database with commit-piggybacked invalidation (both group-local;
+    see {!Etx.Deployment.build}); clients additionally rotate their
+    first-try server ([affinity = client index]) so cached read traffic
+    spreads over each group's servers. With the default [false], spawn
+    order, affinity and message streams are identical to earlier
+    revisions. *)
 
 val run_to_quiescence : ?deadline:float -> t -> bool
 (** Every client script finished and every database of every shard settled
@@ -92,7 +105,8 @@ module Spec : sig
       home-shard database.) *)
 
   val check_all : t -> string list
-  (** [check_all] of every shard view, then {!global_exactly_once}. *)
+  (** [check_all] of every shard view (including per-shard cache
+      coherence when caching is on), then {!global_exactly_once}. *)
 
   val obs_consistency : Obs.Registry.t -> t -> string list
   (** Cross-checks an observability registry attached to the cluster's

@@ -30,11 +30,14 @@ type config = {
   breakdown : Stats.Breakdown.t option;
   batch : int;
       (** max results per leased batch; 1 = the classic per-result path *)
+  cache : Method_cache.t option;
+      (** method cache for read-only calls; [None] = caching off (the
+          request path is then byte-identical to the uncached protocol) *)
 }
 
 let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
-    ?(group = 0) ?(batch = 1) ~rt ~index ~servers ~dbs ~business () =
+    ?(group = 0) ?(batch = 1) ?cache ~rt ~index ~servers ~dbs ~business () =
   (match (backend, persist) with
   | Reg_synod, Some _ ->
       invalid_arg
@@ -61,6 +64,7 @@ let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     persist;
     breakdown;
     batch;
+    cache;
   }
 
 (* Per-request protocol state on one server. Everything here is volatile
@@ -140,6 +144,106 @@ let ospan ctx ?(parent = 0) ~trace name f =
       s.Rt.obs_span_close id;
       r
 
+(* ---------------- Method cache (DESIGN.md §13) ---------------- *)
+
+let cache_count ctx name n =
+  if n > 0 then
+    match ctx.sink with None -> () | Some s -> s.Rt.obs_count name n
+
+(* Serve a read-only request straight from the method cache; [true] iff a
+   reply went out. A hit bypasses the whole pipeline — no election, no
+   transaction, no [rid_state] (the request never existed as far as the
+   registers are concerned); the client marks the delivered record as
+   cached and the spec holds it to the cache-coherence obligation instead
+   of A.1/exactly-once. *)
+let serve_cached ctx ~(request : request) ~j ~client =
+  match ctx.cfg.cache with
+  | None -> false
+  | Some cache ->
+      ctx.cfg.business.Business.read_only request.body
+      && begin
+           let t0 = Rt.now () in
+           match
+             Method_cache.find cache ~label:ctx.cfg.business.Business.label
+               ~body:request.body
+           with
+           | Some result ->
+               Rchannel.send ctx.ch client
+                 (Result_cached_msg
+                    { rid = request.rid; j; result; group = ctx.cfg.group });
+               (match ctx.sink with
+               | None -> ()
+               | Some s ->
+                   s.Rt.obs_count "cache.hit" 1;
+                   s.Rt.obs_observe "cache.hit_latency_ms" (Rt.now () -. t0));
+               true
+           | None ->
+               (match ctx.sink with
+               | None -> ()
+               | Some s -> s.Rt.obs_count "cache.miss" 1);
+               false
+         end
+
+(* After a try (or batch member) decides: fill the cache with a committed
+   read-only result — guarded by the generation snapshot [gen] taken
+   before the business logic read the database, so a fill can never
+   outrace an invalidation for a write its snapshot predates — and, for
+   write methods, eagerly drop local entries named by the declared write
+   keyset. The database's authoritative [Invalidate] broadcast (derived
+   from the actual workspace) follows on every commit; the eager drop
+   merely closes the window in which this server could serve its own
+   pre-commit value. *)
+let cache_after_decide ctx ~body ~gen (final : decision) =
+  match ctx.cfg.cache with
+  | None -> ()
+  | Some cache ->
+      if final.outcome = Dbms.Rm.Commit then begin
+        let b = ctx.cfg.business in
+        if b.Business.read_only body then
+          match final.result with
+          | Some result when b.Business.cacheable result ->
+              let reads = (b.Business.keys body).Business.reads in
+              ignore
+                (Method_cache.store cache ~generation:gen
+                   ~label:b.Business.label ~body ~reads ~result)
+          | Some _ | None ->
+              (* a transient error report can commit (e.g. a fail-over
+                 re-execution the database rejected) but is not a function
+                 of committed state — deliver it, never cache it *)
+              ()
+        else
+          let writes = (b.Business.keys body).Business.writes in
+          if writes <> [] then
+            cache_count ctx "cache.invalidate"
+              (Method_cache.invalidate cache ~writes)
+      end
+
+let cache_generation ctx =
+  match ctx.cfg.cache with
+  | None -> 0
+  | Some cache -> Method_cache.generation cache
+
+(* Consume the databases' commit-piggybacked [Invalidate] broadcasts.
+   Forked only when the cache is on — without it the class goes unread
+   (and cache-less deployments never receive these messages at all). *)
+let invalidate_thread ctx cache () =
+  let rec loop () =
+    (match Rt.recv_cls Dbms.Msg.cls_invalidate with
+    | None -> ()
+    | Some m -> (
+        match m.payload with
+        | Dbms.Msg.Invalidate { keys = [] } ->
+            (* flush-all sentinel: a recovered database can no longer
+               enumerate the write keysets of the commits it replayed *)
+            cache_count ctx "cache.invalidate" (Method_cache.flush cache)
+        | Dbms.Msg.Invalidate { keys } ->
+            cache_count ctx "cache.invalidate"
+              (Method_cache.invalidate cache ~writes:keys)
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
 (* ---------------- Fig. 4: terminate() ---------------- *)
 
 let send_result ctx st ~rid ~j decision =
@@ -209,9 +313,19 @@ let xa_broadcast ctx ~xid ~label ~request ~matches =
   ignore xid
 
 let run_business ctx ~xid ~attempt ~body =
+  (* one exec-attempt counter per business run: every physical exec this
+     try issues (across databases and conflict retries) gets a distinct
+     sequence number, so a redelivered batch can never execute twice at
+     the resource manager (Rm.exec_dedup) *)
+  let seq = ref 0 in
+  let fresh_seq () =
+    let s = !seq in
+    incr seq;
+    s
+  in
   let exec ~db ops =
     Dbms.Stub.exec_retry ~poll:ctx.cfg.poll ~backoff:ctx.cfg.exec_backoff
-      ctx.ch ctx.rd ~db ~xid ops
+      ~fresh_seq ctx.ch ctx.rd ~db ~xid ops
   in
   let context = { Business.xid; dbs = ctx.cfg.dbs; exec; attempt } in
   ctx.cfg.business.Business.run context ~body
@@ -239,6 +353,9 @@ let compute_try ctx st ~(request : request) ~j =
   in
   match winner with
   | Reg_a_value w when w = ctx.self ->
+      (* snapshot before the business logic reads anything: a fill is only
+         accepted if no invalidation intervened (see cache_after_decide) *)
+      let gen = cache_generation ctx in
       ospan ctx ~parent:tspan ~trace:rid "compute" (fun () ->
           xa_broadcast ctx ~xid ~label:"start"
             ~request:(fun _ -> Dbms.Msg.Xa_start { xid })
@@ -277,6 +394,7 @@ let compute_try ctx st ~(request : request) ~j =
                 | _ -> proposal))
       in
       terminate ctx st ~parent:tspan ~rid ~j final;
+      cache_after_decide ctx ~body:request.body ~gen final;
       (match ctx.sink with
       | None -> ()
       | Some s -> s.Rt.obs_span_close tspan)
@@ -305,16 +423,18 @@ let compute_thread ctx () =
             | Some s -> s.Rt.obs_count "server.misrouted" 1);
             Rt.note
               (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
-        | Request_msg { request; j; span; _ } -> (
-            let st = rid_state ctx request.rid in
-            if st.client = None then st.client <- Some m.src;
-            if st.rspan = 0 then st.rspan <- span;
-            match st.last with
-            | Some (j', d) when j' = j ->
-                (* retransmission of an already-terminated try *)
-                send_result ctx st ~rid:request.rid ~j d
-            | Some (j', _) when j' > j -> ()
-            | Some _ | None -> compute_try ctx st ~request ~j)
+        | Request_msg { request; j; span; _ } ->
+            if not (serve_cached ctx ~request ~j ~client:m.src) then begin
+              let st = rid_state ctx request.rid in
+              if st.client = None then st.client <- Some m.src;
+              if st.rspan = 0 then st.rspan <- span;
+              match st.last with
+              | Some (j', d) when j' = j ->
+                  (* retransmission of an already-terminated try *)
+                  send_result ctx st ~rid:request.rid ~j d
+              | Some (j', _) when j' > j -> ()
+              | Some _ | None -> compute_try ctx st ~request ~j
+            end
         | _ -> ()));
     loop ()
   in
@@ -580,10 +700,21 @@ let lease_takeover ctx ls =
     | _ -> ctx.self
   in
   ls.epoch <- next;
-  ls.holder <- Some winner;
   ls.pending <- [];
-  if winner <> ctx.self then ls.limbo <- []
+  if winner <> ctx.self then begin
+    ls.holder <- Some winner;
+    ls.limbo <- []
+  end
   else begin
+    (* CRITICAL ordering: holdership of the new epoch must not become
+       visible to the batch thread until the takeover is complete. Sealing
+       suspends on consensus writes; if [ls.holder] already said "self",
+       the batch thread would open window (next, 0) mid-takeover, bump
+       [ls.seq] — and the [ls.seq <- 0] below would then rewind the
+       counter onto an already-decided slot, whose stale election this
+       server also "wins" (it owns the old register value), misdelivering
+       the previous window's results under the new window's rids. *)
+    ls.holder <- None;
     for e = next - 1 downto 1 do
       seal_epoch ctx ~epoch:e
     done;
@@ -593,6 +724,7 @@ let lease_takeover ctx ls =
        already decided cannot re-enter a batch *)
     ls.pending <- ls.limbo;
     ls.limbo <- [];
+    ls.holder <- Some ctx.self;
     Rt.note (Printf.sprintf "lease-acquired:g%d:e%d" ctx.cfg.group next);
     match ctx.sink with
     | None -> ()
@@ -664,8 +796,28 @@ let process_batch ctx ls items =
               (Reg_batch_elect { owner = ctx.self; items = ids })))
   in
   match winner with
-  | Reg_batch_elect { owner; _ } when owner = ctx.self ->
+  | Reg_batch_elect { owner; items = elected } when owner = ctx.self ->
+      (* The slot is ours only if the register holds OUR proposal. An
+         owner-only check is not enough: if the slot counter ever revisits
+         a slot this server already decided (defense in depth — the
+         takeover path orders its state updates to prevent it), the stale
+         register value also names us as owner, and executing under it
+         would pair these items with the old window's decisions. Skip past
+         such a slot and requeue; the old window already delivered its own
+         items, and assembly re-filters against [st.last]. *)
+      if elected <> ids then begin
+        ls.seq <- seq + 1;
+        if ls.holder = Some ctx.self then
+          ls.pending <- items @ ls.pending;
+        match ctx.sink with
+        | None -> ()
+        | Some s ->
+            s.Rt.obs_span_attr bspan "stale-slot" "true";
+            s.Rt.obs_span_close bspan
+      end
+      else begin
       ls.seq <- seq + 1;
+      let gen = cache_generation ctx in
       let xids = List.map (fun (rid, j) -> Dbms.Xid.make ~rid ~j) ids in
       let results = Array.make n None in
       ospan ctx ~parent:bspan ~trace "compute" (fun () ->
@@ -733,6 +885,10 @@ let process_batch ctx ls items =
         in
         deliver_batch ctx ~parent:bspan ~trace ~async:true ~items:ids
           ~decisions ();
+        List.iter2
+          (fun ((r : request), _) d ->
+            cache_after_decide ctx ~body:r.body ~gen d)
+          items decisions;
         match ctx.sink with
         | None -> ()
         | Some s ->
@@ -752,6 +908,7 @@ let process_batch ctx ls items =
           Fun.protect
             ~finally:(fun () -> ls.tails <- ls.tails - 1)
             tail)
+      end
   | _ ->
       (* lost the slot: a successor sealed our epoch — we are deposed. The
          dropped items re-drive through client retransmission to the new
@@ -780,26 +937,28 @@ let batch_enqueue ctx ls (m : Types.message) =
       | None -> ()
       | Some s -> s.Rt.obs_count "server.misrouted" 1);
       Rt.note (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
-  | Request_msg { request; j; span; _ } -> (
-      let st = rid_state ctx request.rid in
-      if st.client = None then st.client <- Some m.src;
-      if st.rspan = 0 then st.rspan <- span;
-      match st.last with
-      | Some (j', d) when j' = j ->
-          send_result ctx st ~rid:request.rid ~j d
-      | Some (j', _) when j' > j -> ()
-      | Some _ | None ->
-          let queued q =
-            List.exists
-              (fun ((r : request), j') -> r.rid = request.rid && j' = j)
-              q
-          in
-          if ls.holder = Some ctx.self then begin
-            if not (queued ls.pending) then
-              ls.pending <- ls.pending @ [ (request, j) ]
-          end
-          else if ls.holder = None && not (queued ls.limbo) then
-            ls.limbo <- ls.limbo @ [ (request, j) ])
+  | Request_msg { request; j; span; _ } ->
+      if not (serve_cached ctx ~request ~j ~client:m.src) then begin
+        let st = rid_state ctx request.rid in
+        if st.client = None then st.client <- Some m.src;
+        if st.rspan = 0 then st.rspan <- span;
+        match st.last with
+        | Some (j', d) when j' = j ->
+            send_result ctx st ~rid:request.rid ~j d
+        | Some (j', _) when j' > j -> ()
+        | Some _ | None ->
+            let queued q =
+              List.exists
+                (fun ((r : request), j') -> r.rid = request.rid && j' = j)
+                q
+            in
+            if ls.holder = Some ctx.self then begin
+              if not (queued ls.pending) then
+                ls.pending <- ls.pending @ [ (request, j) ]
+            end
+            else if ls.holder = None && not (queued ls.limbo) then
+              ls.limbo <- ls.limbo @ [ (request, j) ]
+      end
   | _ -> ()
 
 let rec take n = function
@@ -946,6 +1105,14 @@ let spawn cfg =
             sink = Rt.obs ();
           }
         in
+        (match cfg.cache with
+        | Some cache ->
+            (* a recovering server missed every invalidation broadcast
+               while it was down; its surviving entries may predate
+               commits, so start cold *)
+            if recovery then ignore (Method_cache.flush cache);
+            Rt.fork "cache-inval" (invalidate_thread ctx cache)
+        | None -> ());
         if cfg.batch > 1 then begin
           (* leased, batched fast path: the lease monitor subsumes the
              cleaning thread (takeover seals the suspect's epoch, which

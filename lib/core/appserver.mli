@@ -95,6 +95,16 @@ type config = {
           classic per-result path, byte-identical to earlier revisions.
           Incompatible with [gc_after] (a collected lease or batch register
           would reopen a decided window). *)
+  cache : Method_cache.t option;
+      (** method cache for read-only business calls (DESIGN.md §13). On a
+          hit the server replies [Result_cached_msg] without touching the
+          registers or the databases; misses run the normal pipeline and
+          fill the cache on commit (generation-guarded). A "cache-inval"
+          fiber consumes the databases' commit-piggybacked [Invalidate]
+          broadcasts — the deployment must spawn its database servers
+          with [~invalidate:true] whenever caches are supplied. [None]
+          (the default) leaves the request path byte-identical to the
+          uncached protocol. *)
 }
 
 val config :
@@ -108,6 +118,7 @@ val config :
   ?breakdown:Stats.Breakdown.t ->
   ?group:int ->
   ?batch:int ->
+  ?cache:Method_cache.t ->
   rt:Etx_runtime.t ->
   index:int ->
   servers:Types.proc_id list ->

@@ -8,21 +8,43 @@ type context = {
   attempt : int;
 }
 
+type keyset = { reads : string list; writes : string list }
+
 type t = {
   label : string;
   run : context -> body:string -> Etx_types.result_value;
+  read_only : string -> bool;
+  keys : string -> keyset;
+  cacheable : Etx_types.result_value -> bool;
 }
 
+let no_keys = { reads = []; writes = [] }
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* A committed result is not necessarily a function of committed state: a
+   try re-executed during fail-over can commit a transient error report
+   (e.g. the database rejected the re-execution of an already-prepared
+   transaction). Such results may be delivered — the spec only asks that
+   a delivered result was computed and committed — but must never be
+   cached as if re-reading would reproduce them. *)
+let default_cacheable result = not (has_prefix ~prefix:"error:" result)
+
+let make ?(read_only = fun _ -> false) ?(keys = fun _ -> no_keys)
+    ?(cacheable = default_cacheable) ~label run =
+  { label; run; read_only; keys; cacheable }
+
 let trivial =
-  {
-    label = "trivial";
-    run =
-      (fun ctx ~body ->
-        let key = Printf.sprintf "mark:%s" (Dbms.Xid.to_string ctx.xid) in
-        match ctx.dbs with
-        | [] -> "ok:" ^ body
-        | db :: _ -> (
-            match ctx.exec ~db [ Dbms.Rm.Put (key, Dbms.Value.Str body) ] with
-            | Dbms.Rm.Exec_ok _ -> "ok:" ^ body
-            | Dbms.Rm.Exec_conflict _ | Dbms.Rm.Exec_rejected -> "error:" ^ body));
-  }
+  make ~label:"trivial"
+    (* writes a per-xid marker key, which no declared keyset can name; the
+       databases' workspace-derived invalidation covers it *)
+    (fun ctx ~body ->
+      let key = Printf.sprintf "mark:%s" (Dbms.Xid.to_string ctx.xid) in
+      match ctx.dbs with
+      | [] -> "ok:" ^ body
+      | db :: _ -> (
+          match ctx.exec ~db [ Dbms.Rm.Put (key, Dbms.Value.Str body) ] with
+          | Dbms.Rm.Exec_ok _ -> "ok:" ^ body
+          | Dbms.Rm.Exec_conflict _ | Dbms.Rm.Exec_rejected -> "error:" ^ body))

@@ -21,11 +21,48 @@ type context = {
   attempt : int;  (** the result identifier [j] of this try *)
 }
 
+type keyset = { reads : string list; writes : string list }
+(** The database keys a method invocation declares it will touch, as a
+    function of the request body alone (it cannot depend on database
+    state). [reads] index cache entries for invalidation; [writes] let the
+    decider invalidate its own cache eagerly. Declared keysets may
+    under-approximate writes — the commit pipeline's invalidation is
+    derived from the transaction's {e actual} workspace at the database —
+    but [reads] must cover every key whose value the result depends on,
+    or cached results can go stale undetected. *)
+
 type t = {
   label : string;
   run : context -> body:string -> Etx_types.result_value;
       (** must always return a (non-nil) result value *)
+  read_only : string -> bool;
+      (** [read_only body]: this invocation performs no writes and is
+          idempotent, so its result may be served from the method cache *)
+  keys : string -> keyset;  (** declared keyset of an invocation *)
+  cacheable : Etx_types.result_value -> bool;
+      (** [cacheable result]: the committed result of a read-only call is
+          a function of committed state and may enter the method cache.
+          Transient error reports (a try re-executed during fail-over can
+          commit one) are deliverable but must not be cached — re-reading
+          would not reproduce them. *)
 }
+
+val no_keys : keyset
+(** [{ reads = []; writes = [] }] — the declaration of a method that does
+    not participate in caching. *)
+
+val make :
+  ?read_only:(string -> bool) ->
+  ?keys:(string -> keyset) ->
+  ?cacheable:(Etx_types.result_value -> bool) ->
+  label:string ->
+  (context -> body:string -> Etx_types.result_value) ->
+  t
+(** Smart constructor; [read_only] defaults to never, [keys] to
+    {!no_keys} — i.e. methods are uncacheable unless they opt in —
+    and [cacheable] to rejecting ["error:"]-prefixed results (the
+    convention every bundled workload uses for transient failures).
+    Workloads with richer result grammars should whitelist explicitly. *)
 
 val trivial : t
 (** Reads nothing, writes one marker key; useful for protocol tests. *)

@@ -10,6 +10,10 @@ type record = {
   tries : int;
   issued_at : float;
   delivered_at : float;
+  cached : bool;
+      (** served from an app server's method cache: no transaction was
+          committed for this request, so the spec checks cache coherence
+          instead of A.1/exactly-once *)
 }
 
 type handle = {
@@ -25,23 +29,28 @@ let fresh_rid () = Rt.fresh_uid ()
 
 let wants_result rid j m =
   match m.Types.payload with
-  | Etx_types.Result_msg { rid = r; j = j'; _ } -> r = rid && j' = j
+  | Etx_types.Result_msg { rid = r; j = j'; _ }
+  | Etx_types.Result_cached_msg { rid = r; j = j'; _ } ->
+      r = rid && j' = j
   | Etx_types.Result_batch_msg { items; _ } ->
       List.exists (fun (r, j', _) -> r = rid && j' = j) items
   | _ -> false
 
-(* this client's decision for (rid, j), from either framing *)
+(* this client's decision for (rid, j), from any framing; the [bool] marks
+   a cache-served reply (always a committed-with-result shape) *)
 let decision_for rid j m =
   match m.Types.payload with
-  | Etx_types.Result_msg { decision; _ } -> decision
+  | Etx_types.Result_msg { decision; _ } -> (decision, false)
+  | Etx_types.Result_cached_msg { result; _ } ->
+      ({ Etx_types.result = Some result; outcome = Dbms.Rm.Commit }, true)
   | Etx_types.Result_batch_msg { items; _ } -> (
       match List.find_opt (fun (r, j', _) -> r = rid && j' = j) items with
-      | Some (_, _, d) -> d
+      | Some (_, _, d) -> (d, false)
       | None -> assert false)
   | _ -> assert false
 
-let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
-    ~script () =
+let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
+    ?router ~servers ~script () =
   let records = ref [] in
   let finished = ref false in
   (match servers with
@@ -67,10 +76,15 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
             let rid = fresh_rid () in
             let key = Etx_types.routing_key body in
             let group, servers = route key in
+            (* [affinity] rotates the first-try target so independent
+               clients spread over the group's servers (cache locality /
+               load); 0 — the default — is the paper's behaviour of always
+               addressing the head server first. Retries still broadcast. *)
             let primary =
               match servers with
-              | p :: _ -> p
               | [] -> invalid_arg "Client: router returned no servers"
+              | servers ->
+                  List.nth servers (affinity mod List.length servers)
             in
             let request = { Etx_types.rid; key; body } in
             let issued_at = Rt.now () in
@@ -104,7 +118,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
               | Some m -> conclude j m
               | None -> broadcast_phase j
             and conclude j m =
-              let decision = decision_for rid j m in
+              let decision, cached = decision_for rid j m in
               match (decision.outcome, decision.result) with
               | Dbms.Rm.Commit, Some result ->
                   let record =
@@ -116,6 +130,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
                       tries = j;
                       issued_at;
                       delivered_at = Rt.now ();
+                      cached;
                     }
                   in
                   records := !records @ [ record ];
@@ -126,6 +141,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?router ~servers
                          appended, so counter == |records| on any
                          backend — the Spec cross-check relies on it *)
                       s.Rt.obs_count "client.committed" 1;
+                      if cached then s.Rt.obs_count "client.cache_served" 1;
                       s.Rt.obs_observe "client.latency_ms"
                         (record.delivered_at -. record.issued_at);
                       s.Rt.obs_span_attr span "tries" (string_of_int j);

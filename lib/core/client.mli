@@ -23,6 +23,11 @@ type record = {
   tries : int;  (** the final result identifier [j] *)
   issued_at : float;
   delivered_at : float;
+  cached : bool;
+      (** served from an app server's method cache ([Result_cached_msg]):
+          no transaction was committed for this request, so the spec holds
+          the record to the cache-coherence obligation instead of
+          A.1/exactly-once *)
 }
 
 type handle
@@ -31,6 +36,7 @@ val spawn :
   Etx_runtime.t ->
   ?name:string ->
   ?period:float ->
+  ?affinity:int ->
   ?router:(string -> int * Types.proc_id list) ->
   servers:Types.proc_id list ->
   script:(issue:(string -> record) -> unit) ->
@@ -41,6 +47,12 @@ val spawn :
     issues requests one at a time; it does not re-run if the client process
     is crashed and recovered (a crashed client stays silent, as in the
     paper's model).
+
+    [affinity] (default 0) rotates the first-try target within the routed
+    group's server list ([affinity mod length]), so a fleet of clients can
+    spread initial load over the application servers instead of all
+    addressing the head; 0 preserves the paper's head-first behaviour
+    byte-for-byte. Retries still broadcast to the whole group.
 
     [router key] resolves the routing key of each issued request to the
     replica group serving it: [(group, group's servers, head = primary)].

@@ -6,6 +6,8 @@ type t = {
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   app_servers : Types.proc_id list;
   client : Client.handle;
+  caches : (Types.proc_id * Method_cache.t) list;
+  business : Business.t;
 }
 
 let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
@@ -13,14 +15,17 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ?breakdown ?batch ~rt ~business ~script () =
+    ?(register_disk_latency = 12.5) ?breakdown ?batch ?(cache = false) ~rt
+    ~business ~script () =
   let net =
     match net with
     | Some n -> n
     | None -> Dnet.Netmodel.three_tier ~n_dbs ()
   in
   (rt : Rt.t).set_net net;
-  (* databases first: pids 0 .. n_dbs-1 *)
+  (* databases first: pids 0 .. n_dbs-1. With caching on they broadcast
+     commit write keysets (Invalidate) to the app servers; off, they send
+     byte-identical message streams to earlier revisions. *)
   let app_pids = ref [] in
   let dbs =
     List.init n_dbs (fun i ->
@@ -30,13 +35,16 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
         in
         let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
         let pid =
-          Dbms.Server.spawn rt ~name ~rm ~observers:(fun () -> !app_pids) ()
+          Dbms.Server.spawn rt ~invalidate:cache ~name ~rm
+            ~observers:(fun () -> !app_pids)
+            ()
         in
         (pid, rm))
   in
   let db_pids = List.map fst dbs in
   (* application servers: pids n_dbs .. n_dbs+n_app_servers-1 *)
   let servers = List.init n_app_servers (fun i -> n_dbs + i) in
+  let caches = ref [] in
   let spawned =
     List.init n_app_servers (fun index ->
         let persist =
@@ -48,17 +56,24 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
                       ~label:"reg-log" ()))
           else None
         in
+        let mcache =
+          if cache then Some (Method_cache.create ()) else None
+        in
         let cfg =
           Appserver.config ~fd_spec ~clean_period ~poll ?gc_after ~backend
-            ?persist ?breakdown ?batch ~rt ~index ~servers ~dbs:db_pids
-            ~business ()
+            ?persist ?breakdown ?batch ?cache:mcache ~rt ~index ~servers
+            ~dbs:db_pids ~business ()
         in
-        Appserver.spawn cfg)
+        let pid = Appserver.spawn cfg in
+        (match mcache with
+        | Some c -> caches := !caches @ [ (pid, c) ]
+        | None -> ());
+        pid)
   in
   assert (spawned = servers);
   app_pids := servers;
   let client = Client.spawn rt ~period:client_period ~servers ~script () in
-  { rt; dbs; app_servers = servers; client }
+  { rt; dbs; app_servers = servers; client; caches = !caches; business }
 
 (* A yes vote must reach a durable decision; a no vote aborted on the
    spot and holds nothing, so it never blocks quiescence. *)

@@ -15,6 +15,11 @@ type t = {
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   app_servers : Types.proc_id list;  (** ordered; head = default primary *)
   client : Client.handle;
+  caches : (Types.proc_id * Method_cache.t) list;
+      (** one method cache per app server when built with [~cache:true];
+          empty otherwise. Exposed so the spec can re-execute every live
+          entry against committed state (cache coherence). *)
+  business : Business.t;
 }
 
 val build :
@@ -34,6 +39,7 @@ val build :
   ?register_disk_latency:float ->
   ?breakdown:Stats.Breakdown.t ->
   ?batch:int ->
+  ?cache:bool ->
   rt:Etx_runtime.t ->
   business:Business.t ->
   script:(issue:(string -> Client.record) -> unit) ->
@@ -52,7 +58,13 @@ val build :
     {!Appserver.config} for semantics and cost.
 
     [batch] (default 1) selects the leased, batched commit pipeline on
-    every application server — see {!Appserver.config}. *)
+    every application server — see {!Appserver.config}.
+
+    [cache:true] equips every application server with a method cache for
+    read-only business calls and switches the databases to
+    commit-piggybacked invalidation broadcasts (DESIGN.md §13); the
+    default [false] leaves runs record-for-record identical to earlier
+    revisions. *)
 
 val rm_settled : Dbms.Rm.t -> bool
 (** No in-doubt transaction and every yes vote durably decided — the

@@ -57,6 +57,40 @@ module Reg_name = struct
     Printf.sprintf "g%d:batchD:e%d:k%d" group epoch seq
 end
 
+(** Canonical names of method-cache entries. An entry caches the committed
+    result of one read-only business-method invocation, so its identity is
+    the pair (method label, request body) — one encode/decode pair shared by
+    the application server's cache, the observability dumps and the spec
+    checker, exactly like {!Reg_name} for the register families.
+
+    Format: ["cache:<label>/<body>"]. The method label must not contain the
+    ['/'] separator (labels are short identifiers like ["bank-audit"]); the
+    body may contain anything, including further ['/'] characters — the
+    parse splits on the {e first} one. *)
+module Cache_key = struct
+  let prefix = "cache:"
+
+  let format ~label ~body =
+    if String.contains label '/' then
+      invalid_arg ("Cache_key.format: label contains '/': " ^ label);
+    Printf.sprintf "%s%s/%s" prefix label body
+
+  let parse name =
+    let plen = String.length prefix in
+    if
+      String.length name <= plen
+      || not (String.equal (String.sub name 0 plen) prefix)
+    then None
+    else
+      let rest = String.sub name plen (String.length name - plen) in
+      match String.index_opt rest '/' with
+      | None -> None
+      | Some i ->
+          Some
+            ( String.sub rest 0 i,
+              String.sub rest (i + 1) (String.length rest - i - 1) )
+end
+
 (* [group] scopes the message to one replica group of a sharded cluster:
    servers drop requests addressed to another group, so a misrouted message
    can never start a transaction on the wrong shard. Single-group
@@ -97,6 +131,13 @@ type Runtime.Types.payload +=
   | Reg_batch_abort_all
       (** content of [batchD\[e,k\]] written by a cleaner: every request of
           the batch aborts (the batched analogue of [(nil, abort)]) *)
+  | Result_cached_msg of { rid : int; j : int; result : result_value; group : int }
+      (** application server → client: a read-only result served from the
+          method cache, bypassing the registers and the commit pipeline.
+          Distinct from {!Result_msg} so the client can mark the delivered
+          record: cached records have no committed transaction behind them,
+          and the spec checker holds them to the cache-coherence obligation
+          instead of A.1/exactly-once *)
 
 (* demux classes for the two client/server message streams *)
 let cls_request =
@@ -106,7 +147,7 @@ let cls_request =
 
 let cls_result =
   Runtime.Etx_runtime.register_class ~name:"etx-result" (function
-    | Result_msg _ | Result_batch_msg _ -> true
+    | Result_msg _ | Result_batch_msg _ | Result_cached_msg _ -> true
     | _ -> false)
 
 let pp_decision ppf d =

@@ -1,0 +1,84 @@
+(* Per-app-server transactional method cache (Pfeifer & Lockemann).
+
+   One instance per application server. Entries are keyed by
+   [Etx_types.Cache_key.format ~label ~body] — the identity of a read-only
+   business-method invocation — and carry the declared read keyset so
+   commit-time invalidation can intersect it against each commit's write
+   keyset.
+
+   Consistency hinges on the fill/invalidate race: a result computed
+   against snapshot S must not enter the cache after an invalidation for a
+   write that S predates has already swept through (the sweep would miss
+   it and the stale result would be served forever). The [generation]
+   counter closes the window — every invalidation bumps it, and [store]
+   refuses a fill whose generation snapshot (taken before the business
+   method ran) is no longer current. Over-conservative (any concurrent
+   invalidation kills the fill, intersecting or not) but fills are cheap
+   to retry and correctness never depends on keyset intersection here. *)
+
+type entry = {
+  label : string;
+  body : string;
+  reads : string list;
+  result : Etx_types.result_value;
+}
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable generation : int;
+  mutable fills : int;  (** successful stores *)
+  mutable drops : int;  (** entries removed by invalidation/flush *)
+}
+
+let create () = { tbl = Hashtbl.create 64; generation = 0; fills = 0; drops = 0 }
+let generation t = t.generation
+let size t = Hashtbl.length t.tbl
+let fills t = t.fills
+let drops t = t.drops
+
+let find t ~label ~body =
+  match Hashtbl.find_opt t.tbl (Etx_types.Cache_key.format ~label ~body) with
+  | Some e -> Some e.result
+  | None -> None
+
+let store t ~generation ~label ~body ~reads ~result =
+  if generation <> t.generation then false
+  else begin
+    Hashtbl.replace t.tbl
+      (Etx_types.Cache_key.format ~label ~body)
+      { label; body; reads; result };
+    t.fills <- t.fills + 1;
+    true
+  end
+
+(* [invalidate t ~writes] drops every entry whose read keyset intersects
+   [writes]; returns the number dropped. [writes = []] never matches, so a
+   pure-marker commit (e.g. [Business.trivial]) costs nothing. *)
+let invalidate t ~writes =
+  t.generation <- t.generation + 1;
+  match writes with
+  | [] -> 0
+  | _ ->
+      let doomed =
+        Hashtbl.fold
+          (fun key e acc ->
+            if List.exists (fun r -> List.mem r writes) e.reads then key :: acc
+            else acc)
+          t.tbl []
+      in
+      List.iter (Hashtbl.remove t.tbl) doomed;
+      let n = List.length doomed in
+      t.drops <- t.drops + n;
+      n
+
+(* [flush t] drops everything — the response to an [Invalidate { keys = [] }]
+   flush-all (a database recovered from a snapshot and can no longer report
+   the write keysets of the commits it replayed). *)
+let flush t =
+  t.generation <- t.generation + 1;
+  let n = Hashtbl.length t.tbl in
+  Hashtbl.reset t.tbl;
+  t.drops <- t.drops + n;
+  n
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []

@@ -1,0 +1,62 @@
+(** Per-app-server transactional method cache (Pfeifer & Lockemann's
+    {e Theory and Practice of Transactional Method Caching} applied to the
+    paper's three-tier shape).
+
+    Caches the committed results of read-only business-method invocations
+    at the stateless middle tier, keyed by {!Etx_types.Cache_key}.
+    Invalidation is driven by the commit pipeline: every committed
+    transaction's write keyset is intersected against each entry's
+    declared read keyset, and intersecting entries are dropped. The cache
+    itself is a plain mutable structure — all synchronisation is the
+    app-server fiber's (fibers are cooperatively scheduled on both
+    backends, so operations are atomic between yields); the fill/compute
+    race across yields is closed by the {!generation} counter. *)
+
+type entry = {
+  label : string;  (** business-method label *)
+  body : string;  (** request body (the method's arguments) *)
+  reads : string list;  (** declared read keyset — invalidation index *)
+  result : Etx_types.result_value;
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> label:string -> body:string -> Etx_types.result_value option
+(** Cache lookup; [None] is a miss. *)
+
+val generation : t -> int
+(** Monotone counter bumped by every {!invalidate}/{!flush}. Snapshot it
+    {e before} running a business method; pass the snapshot to {!store}. *)
+
+val store :
+  t ->
+  generation:int ->
+  label:string ->
+  body:string ->
+  reads:string list ->
+  result:Etx_types.result_value ->
+  bool
+(** Fill the cache with a freshly computed read-only result. Refused
+    ([false]) when [generation] is stale — an invalidation ran between the
+    snapshot and the fill, so the result may predate a committed write. *)
+
+val invalidate : t -> writes:string list -> int
+(** Drop every entry whose read keyset intersects [writes]; returns the
+    number dropped. Always bumps the generation, even when [writes = []]
+    drops nothing. *)
+
+val flush : t -> int
+(** Drop everything (flush-all invalidation); returns the number dropped. *)
+
+val size : t -> int
+val entries : t -> entry list
+(** Live entries, unordered — the spec checker re-executes each against
+    committed state. *)
+
+val fills : t -> int
+(** Lifetime count of successful {!store}s. *)
+
+val drops : t -> int
+(** Lifetime count of entries dropped by {!invalidate}/{!flush}. *)

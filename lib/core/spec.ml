@@ -5,12 +5,24 @@ module View = struct
     records : Client.record list;
     scripts_done : bool;
     notes : unit -> (Runtime.Types.proc_id * string) list;
+    caches : (Runtime.Types.proc_id * Method_cache.t) list;
+        (** per-app-server method caches (empty when caching is off);
+            checked by {!cache_coherence} *)
+    business : Business.t option;
+        (** the deployment's business logic, for cache re-execution *)
   }
 
   let tag v msg = if v.label = "" then msg else v.label ^ ": " ^ msg
 
   let committed_for_rid rm rid =
     List.filter (fun xid -> xid.Dbms.Xid.rid = rid) (Dbms.Rm.committed_xids rm)
+
+  (* Records served from a method cache have no committed transaction of
+     their own: A.1 and exactly-once deliberately skip them (the result's
+     provenance is instead covered by V.1's computed-note check and the
+     cache-coherence obligation below). *)
+  let transactional v =
+    List.filter (fun (r : Client.record) -> not r.cached) v.records
 
   let agreement_a1 v =
     List.concat_map
@@ -33,7 +45,7 @@ module View = struct
                         | Some Dbms.Rm.Aborted -> "aborted"
                         | Some Dbms.Rm.Committed -> assert false))))
           v.dbs)
-      v.records
+      (transactional v)
 
   let agreement_a2 v =
     List.concat_map
@@ -100,17 +112,34 @@ module View = struct
     let notes = computed_notes v in
     List.filter_map
       (fun (record : Client.record) ->
-        let expected =
-          Printf.sprintf "computed:%d:%d:%s" record.rid record.tries
-            record.result
-        in
-        if List.mem expected notes then None
+        if record.cached then
+          (* a cached result has no try of its own: it must have been
+             computed by SOME earlier try (the cache fill) — any rid/j *)
+          if
+            List.exists
+              (fun note ->
+                String.ends_with ~suffix:(":" ^ record.result) note)
+              notes
+          then None
+          else
+            Some
+              (tag v
+                 (Printf.sprintf
+                    "V.1: cached result %S for request %d was never computed \
+                     by any try"
+                    record.result record.rid))
         else
-          Some
-            (tag v
-               (Printf.sprintf
-                  "V.1: delivered result %S for request %d was never computed"
-                  record.result record.rid)))
+          let expected =
+            Printf.sprintf "computed:%d:%d:%s" record.rid record.tries
+              record.result
+          in
+          if List.mem expected notes then None
+          else
+            Some
+              (tag v
+                 (Printf.sprintf
+                    "V.1: delivered result %S for request %d was never computed"
+                    record.result record.rid)))
       v.records
 
   let validity_v2 v =
@@ -206,11 +235,97 @@ module View = struct
                        (List.length xids) (Dbms.Rm.name rm) record.rid);
                 ])
           v.dbs)
-      v.records
+      (transactional v)
+
+  (* Cache coherence (DESIGN.md §13): every entry still LIVE in a method
+     cache must equal re-executing its method against the databases'
+     current committed state — this is exactly the consistency claim of
+     the commit-piggybacked invalidation protocol (a write that made an
+     entry stale must have swept it). Re-execution runs the business logic
+     over a read-only window onto each database's committed store; a
+     supposedly read-only method that attempts a write during re-execution
+     is itself a violation. Entries already invalidated are (correctly)
+     not checked — a result {e delivered} before a later write is allowed
+     to be outdated by it, just like an uncached read would be. *)
+  let cache_coherence v =
+    match v.business with
+    | None -> []
+    | Some b ->
+        let db_pids = List.map fst v.dbs in
+        List.concat_map
+          (fun (pid, cache) ->
+            List.concat_map
+              (fun (e : Method_cache.entry) ->
+                let where =
+                  Printf.sprintf "%s (server %d)"
+                    (Etx_types.Cache_key.format ~label:e.label ~body:e.body)
+                    pid
+                in
+                if e.label <> b.Business.label then
+                  [
+                    tag v
+                      (Printf.sprintf
+                         "cache-coherence: %s cached for method %S but the \
+                          deployment runs %S"
+                         where e.label b.Business.label);
+                  ]
+                else begin
+                  let wrote = ref false in
+                  let exec ~db ops =
+                    let rm = List.assoc db v.dbs in
+                    let values =
+                      List.filter_map
+                        (fun op ->
+                          match op with
+                          | Dbms.Rm.Get k ->
+                              Some (Dbms.Rm.read_committed rm k)
+                          | _ ->
+                              wrote := true;
+                              None)
+                        ops
+                    in
+                    Dbms.Rm.Exec_ok { values; business_ok = true }
+                  in
+                  let ctx =
+                    {
+                      Business.xid = Dbms.Xid.make ~rid:0 ~j:0;
+                      dbs = db_pids;
+                      exec;
+                      attempt = 1;
+                    }
+                  in
+                  let fresh = b.Business.run ctx ~body:e.body in
+                  let writes =
+                    if !wrote then
+                      [
+                        tag v
+                          (Printf.sprintf
+                             "cache-coherence: re-executing %s performed \
+                              writes (method is not read-only)"
+                             where);
+                      ]
+                    else []
+                  in
+                  let stale =
+                    if String.equal fresh e.result then []
+                    else
+                      [
+                        tag v
+                          (Printf.sprintf
+                             "cache-coherence: %s caches %S but re-execution \
+                              against committed state gives %S"
+                             where e.result fresh);
+                      ]
+                  in
+                  writes @ stale
+                end)
+              (Method_cache.entries cache))
+          v.caches
 
   let check_all v =
     agreement_a1 v @ agreement_a2 v @ agreement_a3 v @ validity_v1 v
     @ validity_v2 v @ termination_t1 v @ termination_t2 v @ exactly_once v
+    @ cache_coherence v
 end
 
 let view ?(label = "") (d : Deployment.t) =
@@ -220,6 +335,10 @@ let view ?(label = "") (d : Deployment.t) =
     records = Client.records d.client;
     scripts_done = Client.script_done d.client;
     notes = d.rt.notes;
+    (* only live servers' caches carry the coherence obligation: a crashed
+       server can serve nothing, and its recovery path starts cold *)
+    caches = List.filter (fun (pid, _) -> d.rt.is_up pid) d.caches;
+    business = Some d.business;
   }
 
 let agreement_a1 d = View.agreement_a1 (view d)
@@ -230,4 +349,5 @@ let validity_v2 d = View.validity_v2 (view d)
 let termination_t1 d = View.termination_t1 (view d)
 let termination_t2 d = View.termination_t2 (view d)
 let exactly_once d = View.exactly_once (view d)
+let cache_coherence d = View.cache_coherence (view d)
 let check_all d = View.check_all (view d)

@@ -19,6 +19,15 @@ module View : sig
     scripts_done : bool;  (** all issuing clients ran to completion *)
     notes : unit -> (Runtime.Types.proc_id * string) list;
         (** trace notes (for the V.1 computed-result check) *)
+    caches : (Runtime.Types.proc_id * Method_cache.t) list;
+        (** per-app-server method caches this view is accountable for
+            (empty when caching is off). View builders include only
+            servers that are up at check time: a crashed server's frozen
+            cache can serve nothing, and the recovery path flushes it. *)
+    business : Business.t option;
+        (** the deployment's business logic — {!cache_coherence}
+            re-executes cached entries through it; [None] skips the
+            check *)
   }
 
   val agreement_a1 : t -> string list
@@ -29,6 +38,15 @@ module View : sig
   val termination_t1 : t -> string list
   val termination_t2 : t -> string list
   val exactly_once : t -> string list
+
+  val cache_coherence : t -> string list
+  (** Every entry still live in a method cache equals re-executing its
+      method against the databases' current committed state (over a
+      read-only window — a cached method that writes during re-execution
+      is also flagged). Records served from the cache are exempt from
+      A.1/exactly-once (no transaction of their own) but their results
+      must still appear in some server's computed notes (V.1). *)
+
   val check_all : t -> string list
 end
 
@@ -66,7 +84,10 @@ val termination_t2 : Deployment.t -> string list
 val exactly_once : Deployment.t -> string list
 (** End-to-end exactly-once: per client-delivered request, exactly one
     transaction committed at every database, and it matches the delivered
-    try. *)
+    try. Cache-served records are exempt (see {!View.cache_coherence}). *)
+
+val cache_coherence : Deployment.t -> string list
+(** See {!View.cache_coherence}. *)
 
 val check_all : Deployment.t -> string list
 (** All of the above. *)

@@ -11,8 +11,11 @@ type Runtime.Types.payload +=
   | Xa_started of { xid : Xid.t }
   | Xa_end of { xid : Xid.t }
   | Xa_ended of { xid : Xid.t }
-  | Exec_req of { xid : Xid.t; ops : Rm.op list }
-  | Exec_reply of { xid : Xid.t; reply : Rm.exec_reply }
+  | Exec_req of { xid : Xid.t; seq : int; ops : Rm.op list }
+      (** [seq] numbers the physical exec attempts within [xid] so the
+          server can recognize a redelivered batch (see
+          {!Rm.exec_dedup}) *)
+  | Exec_reply of { xid : Xid.t; seq : int; reply : Rm.exec_reply }
   | Prepare of { xid : Xid.t }
   | Vote_msg of { xid : Xid.t; vote : Rm.vote }
   | Decide of { xid : Xid.t; outcome : Rm.outcome }
@@ -31,6 +34,14 @@ type Runtime.Types.payload +=
   | Vote_batch of { votes : (Xid.t * Rm.vote) list }
   | Decide_batch of { items : (Xid.t * Rm.outcome) list }
   | Ack_decide_batch of { xids : Xid.t list }
+  | Invalidate of { keys : string list }
+      (** database → every application server: the write keyset of a
+          just-committed transaction (or the union over a committed batch),
+          piggybacked on the Decide fan-out so method caches drop entries
+          whose read keyset intersects it. [keys = []] is the flush-all
+          sentinel, broadcast by a database that recovered from a snapshot
+          and can no longer enumerate the writes it replayed. Sent only
+          when the deployment enables invalidation (cache on). *)
 
 (* demux classes, one per server-side handler loop plus the stub-side
    reply and readiness streams *)
@@ -57,6 +68,11 @@ let cls_reply =
     | Commit1_reply _ | Xa_started_batch _ | Xa_ended_batch _ | Vote_batch _
     | Ack_decide_batch _ ->
         true
+    | _ -> false)
+
+let cls_invalidate =
+  Runtime.Etx_runtime.register_class ~name:"db-invalidate" (function
+    | Invalidate _ -> true
     | _ -> false)
 
 let cls_ready =

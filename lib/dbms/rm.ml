@@ -58,6 +58,10 @@ type txn = {
   mutable phase : txn_phase;
   mutable writes : (string * Value.t) list;  (* workspace, oldest first *)
   mutable poisoned : bool;
+  mutable exec_log : (int * exec_reply option) list;
+      (* per delivered exec sequence number: [None] while the batch is
+         still executing, [Some reply] once terminal — the at-least-once
+         redelivery guard (see [exec_dedup]) *)
 }
 
 type wal_record =
@@ -115,7 +119,9 @@ let get_txn t xid =
   match find_txn t xid with
   | Some txn -> txn
   | None ->
-      let txn = { xid; phase = Active; writes = []; poisoned = false } in
+      let txn =
+        { xid; phase = Active; writes = []; poisoned = false; exec_log = [] }
+      in
       Hashtbl.replace t.txns xid txn;
       txn
 
@@ -269,6 +275,33 @@ let exec t ~xid ops =
             List.iter step ops;
             Exec_ok { values = List.rev !values; business_ok = !ok }
           end))
+
+(* Exec with at-least-once delivery protection. A reliable channel only
+   dedups within one receiver incarnation: after a database crash the new
+   incarnation's channel state is fresh, so a peer's outbox redelivers
+   every un-acked [Exec_req] — and the readiness-epoch re-send in the stub
+   adds another copy. A batch containing [Add]/[Put] is not idempotent
+   (each application appends to the workspace, compounding relative
+   updates), so the server routes every exec through here: each {e
+   physical} attempt carries a unique per-transaction [seq], exactly one
+   delivery of a given [seq] executes, the terminal reply is replayed to
+   late duplicates, and a duplicate that arrives while the original is
+   still executing is dropped ([None] — the original's reply answers the
+   caller). Conflict retries use a {e fresh} [seq], so they re-execute as
+   before. *)
+let exec_dedup t ~seq ~xid ops =
+  match find_txn t xid with
+  | None -> Some Exec_rejected
+  | Some txn -> (
+      match List.assoc_opt seq txn.exec_log with
+      | Some (Some cached) -> Some cached
+      | Some None -> None
+      | None ->
+          txn.exec_log <- (seq, None) :: txn.exec_log;
+          let reply = exec t ~xid ops in
+          txn.exec_log <-
+            (seq, Some reply) :: List.remove_assoc seq txn.exec_log;
+          Some reply)
 
 let vote t ~xid =
   let record v =
@@ -560,6 +593,12 @@ let phase_of t xid = Option.map (fun txn -> txn.phase) (find_txn t xid)
 let read_committed t key = Hashtbl.find_opt t.store key
 
 let committed_xids t = List.rev t.commit_order
+
+let writes_of t xid =
+  match find_txn t xid with
+  | None -> []
+  | Some txn ->
+      List.sort_uniq String.compare (List.map fst txn.writes)
 
 let in_doubt t =
   Hashtbl.fold

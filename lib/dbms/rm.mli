@@ -102,6 +102,19 @@ val exec : t -> xid:Xid.t -> op list -> exec_reply
     all write locks are acquired or [Exec_conflict] is returned with no side
     effect. *)
 
+val exec_dedup :
+  t -> seq:int -> xid:Xid.t -> op list -> exec_reply option
+(** {!exec} guarded against at-least-once redelivery: [seq] identifies one
+    physical exec attempt within [xid] (the application server stamps each
+    attempt with a fresh number). The first delivery of a [seq] executes;
+    a duplicate that arrives after it finished replays the recorded reply
+    without re-executing, and one that arrives {e while} the original is
+    still running returns [None] (send no reply — the original's answers
+    the caller). Without this, a batch redelivered across a database
+    recovery applies its relative updates ([Add]) twice inside one
+    workspace, silently corrupting the committed value. Transactions
+    unknown to this incarnation answer [Some Exec_rejected]. *)
+
 val vote : t -> xid:Xid.t -> vote
 (** XA prepare. [Yes] makes the workspace durable (forced log write) and
     keeps locks; [No] aborts locally. Unknown transactions vote [No] —
@@ -157,6 +170,15 @@ val phase_of : t -> Xid.t -> txn_phase option
 val read_committed : t -> string -> Value.t option
 val committed_xids : t -> Xid.t list
 (** In commit order. *)
+
+val writes_of : t -> Xid.t -> string list
+(** Keys in the transaction's workspace (sorted, deduplicated) — for a
+    committed transaction, the authoritative write keyset of the commit.
+    Committed workspaces are retained in memory and restored by
+    [W_committed] WAL replay, so this answers for every commit this
+    incarnation knows about; transactions only present in a pre-crash
+    snapshot answer [[]] (recovery therefore triggers a flush-all
+    invalidation rather than relying on this). *)
 
 val in_doubt : t -> Xid.t list
 (** Prepared transactions awaiting a decision. *)

@@ -14,14 +14,19 @@ let exec_handler rm ch () =
         | Msg.Xa_end { xid } ->
             Rm.xa_end rm ~xid;
             Rchannel.send ch m.src (Msg.Xa_ended { xid })
-        | Msg.Exec_req { xid; ops } ->
+        | Msg.Exec_req { xid; seq; ops } ->
             (* each batch runs in its own session fiber: the long simulated
                SQL of one transaction must not serialize other clients'
                transactions behind it (locks, not the server loop, are the
-               concurrency control) *)
+               concurrency control). [exec_dedup] guards against redelivery
+               (the channel only dedups within one incarnation); a [None]
+               means a duplicate of a still-running batch — send nothing,
+               the original's reply answers the caller. *)
             Rt.fork "db-session" (fun () ->
-                let reply = Rm.exec rm ~xid ops in
-                Rchannel.send ch m.src (Msg.Exec_reply { xid; reply }))
+                match Rm.exec_dedup rm ~seq ~xid ops with
+                | None -> ()
+                | Some reply ->
+                    Rchannel.send ch m.src (Msg.Exec_reply { xid; seq; reply }))
         | Msg.Commit1 { xid } ->
             let outcome = Rm.commit_one_phase rm ~xid in
             Rchannel.send ch m.src (Msg.Commit1_reply { xid; outcome })
@@ -67,21 +72,46 @@ let prepare_handler rm ch sink () =
   in
   loop ()
 
-let decide_handler rm ch sink () =
+let decide_handler rm ch sink ~invalidate ~observers () =
+  (* Invalidation piggybacks on the decide path: when a decide commits, the
+     transaction's actual write keyset (its retained workspace) is
+     broadcast to every application server BEFORE the ack. Ordering
+     matters: the decider's broadcast_collect keeps re-driving Decide until
+     the ack arrives, so a crash between commit and broadcast is re-driven
+     and the invalidation is re-sent — the ack is the protocol's evidence
+     that invalidation went out. Re-delivered decides re-broadcast
+     harmlessly (dropping an absent entry is a no-op). A commit whose
+     workspace is empty broadcasts nothing: [keys = []] is reserved as the
+     flush-all sentinel. *)
+  let invalidate_commits xids =
+    if invalidate then begin
+      let keys =
+        List.concat_map (fun xid -> Rm.writes_of rm xid) xids
+        |> List.sort_uniq String.compare
+      in
+      if keys <> [] then
+        Rchannel.broadcast ch (observers ()) (Msg.Invalidate { keys })
+    end
+  in
   let rec loop () =
     match Rt.recv_cls Msg.cls_decide with
     | None -> ()
     | Some m ->
         (match m.payload with
         | Msg.Decide { xid; outcome } ->
-            let (_ : Rm.outcome) =
+            let applied =
               timed sink "db.decide_ms" (fun () -> Rm.decide rm ~xid outcome)
             in
+            if applied = Rm.Commit then invalidate_commits [ xid ];
             Rchannel.send ch m.src (Msg.Ack_decide { xid })
         | Msg.Decide_batch { items } ->
-            let (_ : (Xid.t * Rm.outcome) list) =
+            let applied =
               timed sink "db.decide_ms" (fun () -> Rm.decide_many rm ~items)
             in
+            invalidate_commits
+              (List.filter_map
+                 (fun (xid, o) -> if o = Rm.Commit then Some xid else None)
+                 applied);
             Rchannel.send ch m.src
               (Msg.Ack_decide_batch { xids = List.map fst items })
         | _ -> ());
@@ -89,15 +119,21 @@ let decide_handler rm ch sink () =
   in
   loop ()
 
-let spawn (rt : Rt.t) ~name ~rm ~observers () =
+let spawn (rt : Rt.t) ?(invalidate = false) ~name ~rm ~observers () =
   rt.spawn ~name ~main:(fun ~recovery () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
       let sink = Rt.obs () in
       if recovery then begin
         Rm.recover rm;
+        (* snapshot replay loses committed workspaces, so this incarnation
+           cannot enumerate the write keysets of pre-crash commits:
+           broadcast the flush-all sentinel and let every cache start
+           cold *)
+        if invalidate then
+          Rchannel.broadcast ch (observers ()) (Msg.Invalidate { keys = [] });
         Rchannel.broadcast ch (observers ()) Msg.Ready
       end;
       Rt.fork "db-exec" (exec_handler rm ch);
       Rt.fork "db-prepare" (prepare_handler rm ch sink);
-      decide_handler rm ch sink ())
+      decide_handler rm ch sink ~invalidate ~observers ())

@@ -11,6 +11,7 @@ open Runtime
 
 val spawn :
   Etx_runtime.t ->
+  ?invalidate:bool ->
   name:string ->
   rm:Rm.t ->
   observers:(unit -> Types.proc_id list) ->
@@ -18,4 +19,11 @@ val spawn :
   Types.proc_id
 (** [observers ()] is the list of application servers to notify with [Ready]
     after a recovery (a thunk because application servers are usually
-    spawned after the databases). *)
+    spawned after the databases).
+
+    [invalidate] (default [false]) turns on commit-piggybacked cache
+    invalidation: every committing decide additionally broadcasts
+    [Msg.Invalidate] with the transaction's (or batch's) actual write
+    keyset to [observers ()] before acking, and recovery broadcasts the
+    [keys = []] flush-all sentinel. Off by default so cache-less
+    deployments send byte-identical message streams. *)

@@ -63,17 +63,37 @@ let xa_end ?(poll = default_poll) ch rd ~db ~xid =
       | Msg.Xa_ended { xid = x } when Xid.equal x xid -> Some ()
       | _ -> None)
 
-let exec ?(poll = default_poll) ch rd ~db ~xid ops =
+(* The reply is matched on (xid, seq), not xid alone: a late reply to an
+   earlier attempt (e.g. a conflict the caller already moved past) must not
+   satisfy a newer attempt's wait. *)
+let exec ?(poll = default_poll) ?(seq = 0) ch rd ~db ~xid ops =
   rpc ~poll ch rd ~db
-    ~request:(Msg.Exec_req { xid; ops })
+    ~request:(Msg.Exec_req { xid; seq; ops })
     ~matches:(function
-      | Msg.Exec_reply { xid = x; reply } when Xid.equal x xid -> Some reply
+      | Msg.Exec_reply { xid = x; seq = s; reply }
+        when Xid.equal x xid && s = seq ->
+          Some reply
       | _ -> None)
 
-let exec_retry ?(poll = default_poll) ?(backoff = 40.) ?(max_tries = 20) ch rd
-    ~db ~xid ops =
+(* Every physical attempt — including each conflict retry — draws a fresh
+   [seq] so the server executes it exactly once even if the message is
+   redelivered across a database recovery (Rm.exec_dedup). [fresh_seq]
+   must be scoped to the transaction: the application server threads one
+   counter through all the exec calls of a business run. *)
+let exec_retry ?(poll = default_poll) ?(backoff = 40.) ?(max_tries = 20)
+    ?fresh_seq ch rd ~db ~xid ops =
+  let next =
+    match fresh_seq with
+    | Some f -> f
+    | None ->
+        let c = ref 0 in
+        fun () ->
+          let s = !c in
+          incr c;
+          s
+  in
   let rec go tries =
-    match exec ~poll ch rd ~db ~xid ops with
+    match exec ~poll ~seq:(next ()) ch rd ~db ~xid ops with
     | Rm.Exec_conflict _ as conflict ->
         if tries >= max_tries then conflict
         else begin

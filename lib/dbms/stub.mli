@@ -36,18 +36,24 @@ val xa_end :
 
 val exec :
   ?poll:float ->
+  ?seq:int ->
   Dnet.Rchannel.t ->
   Readiness.t ->
   db:Types.proc_id ->
   xid:Xid.t ->
   Rm.op list ->
   Rm.exec_reply
-(** One blocking exec RPC; no conflict retry (see {!exec_retry}). *)
+(** One blocking exec RPC; no conflict retry (see {!exec_retry}). [seq]
+    (default 0) identifies this physical attempt within [xid]; the server
+    executes each (xid, seq) at most once and replays the recorded reply to
+    redelivered duplicates ({!Rm.exec_dedup}), so callers issuing several
+    execs per transaction must give each a distinct number. *)
 
 val exec_retry :
   ?poll:float ->
   ?backoff:float ->
   ?max_tries:int ->
+  ?fresh_seq:(unit -> int) ->
   Dnet.Rchannel.t ->
   Readiness.t ->
   db:Types.proc_id ->
@@ -58,7 +64,10 @@ val exec_retry :
     by another — possibly dead — transaction that the cleaning thread will
     eventually release). After [max_tries] (default 20, backoff default
     40 ms) the conflict is returned to the caller, which should poison the
-    transaction rather than commit a partial workspace. *)
+    transaction rather than commit a partial workspace. Each attempt draws
+    its sequence number from [fresh_seq] (default: a counter private to
+    this call); pass the transaction-scoped counter when a business run
+    makes more than one exec call on the same [xid]. *)
 
 val wait_vote :
   ?poll:float -> Dnet.Rchannel.t -> Readiness.t -> db:Types.proc_id -> xid:Xid.t -> Rm.vote

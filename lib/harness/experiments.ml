@@ -1394,6 +1394,140 @@ let render_batch_phases reports =
   ^ Stats.Table.render ~headers ~rows:body
 
 (* ------------------------------------------------------------------ *)
+(* A14 — method cache: read-heavy sweep across app-server counts × cache
+   on/off.
+
+   One shard, a read-dominant mix (Bank.mixed audits with interleaved
+   updates) over a handful of hot accounts, so repeat audits are frequent
+   and the cache can serve them. With caching on, clients rotate their
+   first-try server, so cached read throughput grows with the server
+   count while the uncached curve stays flat (every request still rides
+   the full commit pipeline at the group head); messages per delivered
+   read collapse because a hit is one request/response round trip. The
+   specification — including cache coherence — is asserted per row. *)
+
+let read_points = [ 1; 2; 3; 4 ]
+
+type read_row = {
+  servers : int;
+  cache : bool;
+  reads : int;
+  tx_per_vs : float;
+  read_tx_per_vs : float;
+  msgs_per_read : float;
+  hit_rate : float;
+  mean_read_latency_ms : float;
+}
+
+let read_run ~seed ~clients ~requests ~reads_per_write ~servers ~cache =
+  let reg = Obs.Registry.create ~spans:false () in
+  let kind =
+    Workload.Generator.Read_heavy
+      { accounts = 4; max_delta = 3; reads_per_write }
+  in
+  (* per-client seeds so the clients do not issue identical streams *)
+  let scripts =
+    List.init clients (fun i ~issue ->
+        List.iter
+          (fun body -> ignore (issue body))
+          (Workload.Generator.bodies ~seed:(seed + (31 * i)) ~n:requests kind))
+  in
+  let e, c =
+    Simrun.cluster ~seed ~obs:reg ~shards:1 ~n_app_servers:servers ~cache
+      ~seed_data:(Workload.Generator.seed_data_of kind)
+      ~business:(Workload.Generator.business_of kind)
+      ~scripts ()
+  in
+  if not (Cluster.run_to_quiescence ~deadline:3_600_000. c) then
+    failwith "read_sweep: run did not quiesce";
+  (match Cluster.Spec.check_all c with
+  | [] -> ()
+  | vs -> failwith ("read_sweep: spec violated: " ^ String.concat "; " vs));
+  let records = Cluster.all_records c in
+  let delivered = List.length records in
+  if delivered <> clients * requests then
+    failwith "read_sweep: not every request delivered";
+  (* audits answer "balance:..."; everything else is a write *)
+  let read_records =
+    List.filter
+      (fun (r : Etx.Client.record) ->
+        String.length r.result >= 8 && String.sub r.result 0 8 = "balance:")
+      records
+  in
+  let reads = List.length read_records in
+  let rn = float_of_int reads in
+  let vs = Dsim.Engine.now_of e /. 1_000. in
+  let msgs = Msgclass.protocol_messages (Dsim.Engine.trace e) in
+  let hits = Obs.Registry.counter_total reg "cache.hit" in
+  let misses = Obs.Registry.counter_total reg "cache.miss" in
+  {
+    servers;
+    cache;
+    reads;
+    tx_per_vs = float_of_int delivered /. vs;
+    read_tx_per_vs = rn /. vs;
+    msgs_per_read = (if reads = 0 then 0. else float_of_int msgs /. rn);
+    hit_rate =
+      (if hits + misses = 0 then 0.
+       else float_of_int hits /. float_of_int (hits + misses));
+    mean_read_latency_ms =
+      (if reads = 0 then 0.
+       else List.fold_left ( +. ) 0. (latencies read_records) /. rn);
+  }
+
+let read_sweep ?(seed = 42) ?(clients = 8) ?(requests = 8)
+    ?(reads_per_write = 7) ?(points = read_points) ?domains () =
+  run_trials ?domains
+    (List.concat_map
+       (fun servers ->
+         List.map
+           (fun cache ->
+             {
+               label =
+                 Printf.sprintf "read-%d-%s" servers
+                   (if cache then "cache" else "plain");
+               seed;
+               run =
+                 (fun ~seed ->
+                   read_run ~seed ~clients ~requests ~reads_per_write ~servers
+                     ~cache);
+             })
+           [ false; true ])
+       points)
+
+let render_read rows =
+  let headers =
+    [
+      "servers";
+      "cache";
+      "reads";
+      "tx/vsec";
+      "read tx/vsec";
+      "msgs/read";
+      "hit rate";
+      "read latency";
+    ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.servers;
+          (if r.cache then "on" else "off");
+          string_of_int r.reads;
+          Printf.sprintf "%.1f" r.tx_per_vs;
+          Printf.sprintf "%.1f" r.read_tx_per_vs;
+          Printf.sprintf "%.1f" r.msgs_per_read;
+          Printf.sprintf "%.0f%%" (r.hit_rate *. 100.);
+          Stats.Table.fmt_ms r.mean_read_latency_ms;
+        ])
+      rows
+  in
+  "A14 — method cache: read-heavy mix across app servers × cache on/off \
+   (single shard; spec incl. cache coherence asserted per row)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
+(* ------------------------------------------------------------------ *)
 (* CSV export *)
 
 let csv_lines rows = String.concat "\n" (List.map (String.concat ",") rows)
@@ -1491,5 +1625,31 @@ let csv_batch rows =
              Printf.sprintf "%.3f" r.msgs_per_commit;
              Printf.sprintf "%.3f" r.mean_latency_ms;
              Printf.sprintf "%.3f" r.mean_fill;
+           ])
+         rows)
+
+let csv_read rows =
+  csv_lines
+    ([
+       "servers";
+       "cache";
+       "reads";
+       "tx_per_vs";
+       "read_tx_per_vs";
+       "msgs_per_read";
+       "hit_rate";
+       "mean_read_latency_ms";
+     ]
+    :: List.map
+         (fun r ->
+           [
+             string_of_int r.servers;
+             string_of_bool r.cache;
+             string_of_int r.reads;
+             Printf.sprintf "%.3f" r.tx_per_vs;
+             Printf.sprintf "%.3f" r.read_tx_per_vs;
+             Printf.sprintf "%.3f" r.msgs_per_read;
+             Printf.sprintf "%.4f" r.hit_rate;
+             Printf.sprintf "%.3f" r.mean_read_latency_ms;
            ])
          rows)

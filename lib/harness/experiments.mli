@@ -313,6 +313,42 @@ val batch_phases :
 
 val render_batch_phases : (int * phase_row list) list -> string
 
+type read_row = {
+  servers : int;  (** app servers in the (single) group *)
+  cache : bool;  (** method cache + commit-piggybacked invalidation on? *)
+  reads : int;  (** delivered read (audit) requests *)
+  tx_per_vs : float;  (** all delivered requests per virtual second *)
+  read_tx_per_vs : float;  (** delivered reads per virtual second *)
+  msgs_per_read : float;  (** protocol messages on the wire per read *)
+  hit_rate : float;  (** cache.hit / (cache.hit + cache.miss); 0 when off *)
+  mean_read_latency_ms : float;
+}
+
+val read_points : int list
+(** Default app-server counts for {!read_sweep}: 1, 2, 3, 4. *)
+
+val read_sweep :
+  ?seed:int ->
+  ?clients:int ->
+  ?requests:int ->
+  ?reads_per_write:int ->
+  ?points:int list ->
+  ?domains:int ->
+  unit ->
+  read_row list
+(** A14: the method cache under a read-dominant mix. For each app-server
+    count in [points] × cache off/on, run a single-shard cluster of
+    [clients] clients each issuing [requests] {!Workload.Generator.Read_heavy}
+    bodies (audits with one update every [reads_per_write + 1] requests
+    over a few hot accounts), run to quiescence, and assert
+    {!Cluster.Spec.check_all} — including per-shard cache coherence — is
+    clean. With caching on, clients rotate their first-try server, so
+    cached read throughput scales with the server count while the uncached
+    curve stays flat and messages per read collapse (a hit is one
+    request/response round trip). Deterministic per seed. *)
+
+val render_read : read_row list -> string
+
 (** {1 CSV export}
 
     Machine-readable companions to the render functions (header line plus
@@ -327,3 +363,4 @@ val csv_sweep2 : header:string -> (float * float * int) list -> string
 val csv_backoff : (float * float * float) list -> string
 val csv_dbs : (int * float * float * float) list -> string
 val csv_batch : batch_row list -> string
+val csv_read : read_row list -> string

@@ -21,9 +21,9 @@ let payload_label payload =
   | Dbms.Msg.Xa_started { xid } -> Some ("XaStarted(" ^ xid_label xid ^ ")")
   | Dbms.Msg.Xa_end { xid } -> Some ("XaEnd(" ^ xid_label xid ^ ")")
   | Dbms.Msg.Xa_ended { xid } -> Some ("XaEnded(" ^ xid_label xid ^ ")")
-  | Dbms.Msg.Exec_req { xid; ops } ->
+  | Dbms.Msg.Exec_req { xid; ops; _ } ->
       Some (Printf.sprintf "Exec(%s,%d ops)" (xid_label xid) (List.length ops))
-  | Dbms.Msg.Exec_reply { xid; reply } ->
+  | Dbms.Msg.Exec_reply { xid; reply; _ } ->
       let r =
         match reply with
         | Dbms.Rm.Exec_ok { business_ok = true; _ } -> "ok"

@@ -38,6 +38,7 @@ val deployment :
   ?register_disk_latency:float ->
   ?breakdown:Stats.Breakdown.t ->
   ?batch:int ->
+  ?cache:bool ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->
@@ -64,6 +65,7 @@ val cluster :
   ?recoverable:bool ->
   ?register_disk_latency:float ->
   ?batch:int ->
+  ?cache:bool ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
   unit ->

@@ -15,84 +15,115 @@ let parse_update body =
   | [ account; delta ] -> (account, int_of_string delta)
   | _ -> invalid_arg ("Bank.update: bad request body " ^ body)
 
+let run_update ctx ~body =
+  let account, delta = parse_update body in
+  let db = first_db ctx in
+  match
+    ctx.Etx.Business.exec ~db [ Rm.Add (account, delta); Rm.Get account ]
+  with
+  | Rm.Exec_ok { values = [ Some (Value.Int v) ]; business_ok = true } ->
+      Printf.sprintf "updated:%s:%d" account v
+  | Rm.Exec_ok _ -> Printf.sprintf "updated:%s" account
+  | Rm.Exec_conflict key -> give_up_busy ctx ~db key
+  | Rm.Exec_rejected -> "error:rejected"
+
+(* keyset declarations are total: a malformed body declares nothing and
+   the error surfaces inside [run], exactly as before *)
+let update_keys body =
+  match String.split_on_char ':' body with
+  | [ account; _delta ] ->
+      { Etx.Business.reads = [ account ]; writes = [ account ] }
+  | _ -> Etx.Business.no_keys
+
 let update =
-  {
-    Etx.Business.label = "bank-update";
-    run =
-      (fun ctx ~body ->
-        let account, delta = parse_update body in
-        let db = first_db ctx in
-        match
-          ctx.Etx.Business.exec ~db [ Rm.Add (account, delta); Rm.Get account ]
-        with
-        | Rm.Exec_ok { values = [ Some (Value.Int v) ]; business_ok = true } ->
-            Printf.sprintf "updated:%s:%d" account v
-        | Rm.Exec_ok _ -> Printf.sprintf "updated:%s" account
-        | Rm.Exec_conflict key -> give_up_busy ctx ~db key
-        | Rm.Exec_rejected -> "error:rejected");
-  }
+  Etx.Business.make ~label:"bank-update" ~keys:update_keys run_update
 
 let parse_transfer body =
   match String.split_on_char ':' body with
   | [ from_acct; to_acct; amount ] -> (from_acct, to_acct, int_of_string amount)
   | _ -> invalid_arg ("Bank.transfer: bad request body " ^ body)
 
+let transfer_keys body =
+  match String.split_on_char ':' body with
+  | [ from_acct; to_acct; _amount ] ->
+      { Etx.Business.reads = [ from_acct; to_acct ];
+        writes = [ from_acct; to_acct ] }
+  | _ -> Etx.Business.no_keys
+
 let transfer =
-  {
-    Etx.Business.label = "bank-transfer";
-    run =
-      (fun ctx ~body ->
-        let from_acct, to_acct, amount = parse_transfer body in
-        let db = first_db ctx in
-        let attempt_transfer () =
-          match
-            ctx.Etx.Business.exec ~db
-              [
-                Rm.Ensure_min (from_acct, amount);
-                Rm.Add (from_acct, -amount);
-                Rm.Add (to_acct, amount);
-              ]
-          with
-          | Rm.Exec_ok { business_ok = true; _ } ->
-              Printf.sprintf "transferred:%d:%s->%s" amount from_acct to_acct
-          | Rm.Exec_ok { business_ok = false; _ } ->
-              (* user-level abort: this try's transaction is poisoned and
-                 will abort; the client will retry with attempt > 1 *)
-              "insufficient-funds"
-          | Rm.Exec_conflict key -> give_up_busy ctx ~db key
-          | Rm.Exec_rejected -> "error:rejected"
-        in
-        if ctx.Etx.Business.attempt = 1 then attempt_transfer ()
-        else
-          (* A previous try aborted. Re-check the balance: transfer again if
-             it suffices (the abort came from a crash or race), otherwise
-             compute a committable failure report (paper footnote 4). *)
-          match ctx.Etx.Business.exec ~db [ Rm.Get from_acct ] with
-          | Rm.Exec_ok { values = [ Some (Value.Int bal) ]; _ }
-            when bal >= amount ->
-              attempt_transfer ()
-          | Rm.Exec_ok { values = [ v ]; _ } ->
-              Printf.sprintf "failed:insufficient-funds:%s=%s" from_acct
-                (match v with
-                | Some value -> Value.to_string value
-                | None -> "0")
-          | Rm.Exec_ok _ | Rm.Exec_conflict _ | Rm.Exec_rejected ->
-              "failed:insufficient-funds")
-  }
+  Etx.Business.make ~label:"bank-transfer" ~keys:transfer_keys
+    (fun ctx ~body ->
+      let from_acct, to_acct, amount = parse_transfer body in
+      let db = first_db ctx in
+      let attempt_transfer () =
+        match
+          ctx.Etx.Business.exec ~db
+            [
+              Rm.Ensure_min (from_acct, amount);
+              Rm.Add (from_acct, -amount);
+              Rm.Add (to_acct, amount);
+            ]
+        with
+        | Rm.Exec_ok { business_ok = true; _ } ->
+            Printf.sprintf "transferred:%d:%s->%s" amount from_acct to_acct
+        | Rm.Exec_ok { business_ok = false; _ } ->
+            (* user-level abort: this try's transaction is poisoned and
+               will abort; the client will retry with attempt > 1 *)
+            "insufficient-funds"
+        | Rm.Exec_conflict key -> give_up_busy ctx ~db key
+        | Rm.Exec_rejected -> "error:rejected"
+      in
+      if ctx.Etx.Business.attempt = 1 then attempt_transfer ()
+      else
+        (* A previous try aborted. Re-check the balance: transfer again if
+           it suffices (the abort came from a crash or race), otherwise
+           compute a committable failure report (paper footnote 4). *)
+        match ctx.Etx.Business.exec ~db [ Rm.Get from_acct ] with
+        | Rm.Exec_ok { values = [ Some (Value.Int bal) ]; _ }
+          when bal >= amount ->
+            attempt_transfer ()
+        | Rm.Exec_ok { values = [ v ]; _ } ->
+            Printf.sprintf "failed:insufficient-funds:%s=%s" from_acct
+              (match v with
+              | Some value -> Value.to_string value
+              | None -> "0")
+        | Rm.Exec_ok _ | Rm.Exec_conflict _ | Rm.Exec_rejected ->
+            "failed:insufficient-funds")
+
+let run_audit ctx ~body =
+  let db = first_db ctx in
+  match ctx.Etx.Business.exec ~db [ Rm.Get body ] with
+  | Rm.Exec_ok { values = [ Some v ]; _ } ->
+      Printf.sprintf "balance:%s:%s" body (Value.to_string v)
+  | Rm.Exec_ok _ -> Printf.sprintf "balance:%s:none" body
+  | Rm.Exec_conflict key -> give_up_busy ctx ~db key
+  | Rm.Exec_rejected -> "error:rejected"
+
+let audit_keys body = { Etx.Business.reads = [ body ]; writes = [] }
+
+(* Only a genuine balance read is a function of committed state; "busy:"
+   and "error:" reports are transient and must never enter the cache. *)
+let audit_cacheable result =
+  String.length result >= 8 && String.sub result 0 8 = "balance:"
 
 let audit =
-  {
-    Etx.Business.label = "bank-audit";
-    run =
-      (fun ctx ~body ->
-        let db = first_db ctx in
-        match ctx.Etx.Business.exec ~db [ Rm.Get body ] with
-        | Rm.Exec_ok { values = [ Some v ]; _ } ->
-            Printf.sprintf "balance:%s:%s" body (Value.to_string v)
-        | Rm.Exec_ok _ -> Printf.sprintf "balance:%s:none" body
-        | Rm.Exec_conflict key -> give_up_busy ctx ~db key
-        | Rm.Exec_rejected -> "error:rejected");
-  }
+  Etx.Business.make ~label:"bank-audit"
+    ~read_only:(fun _ -> true)
+    ~keys:audit_keys ~cacheable:audit_cacheable run_audit
+
+(* Mixed read/write method for read-dominant workloads: a body without a
+   ':' is an audit of that account (cacheable); "acct:delta" is an update.
+   One method so a single deployment serves both shapes and the cache sees
+   writes that invalidate its own reads. *)
+let mixed_read body = not (String.contains body ':')
+
+let mixed =
+  Etx.Business.make ~label:"bank-mixed" ~read_only:mixed_read
+    ~cacheable:audit_cacheable
+    ~keys:(fun body ->
+      if mixed_read body then audit_keys body else update_keys body)
+    (fun ctx ~body ->
+      if mixed_read body then run_audit ctx ~body else run_update ctx ~body)
 
 let seed_accounts accounts =
   List.map (fun (name, balance) -> (name, Value.Int balance)) accounts

@@ -19,8 +19,14 @@ val transfer : Etx.Business.t
     retries after a user-level abort) ["failed:insufficient-funds:..."]. *)
 
 val audit : Etx.Business.t
-(** Read-only: request body is an account name; the result reports its
-    balance. Commits trivially. *)
+(** Read-only (declares [read_only] and a singleton read keyset, so the
+    method cache may serve it): request body is an account name; the
+    result reports its balance. Commits trivially. *)
+
+val mixed : Etx.Business.t
+(** Read-dominant mixed workload: a body {e without} a [':'] is an
+    {!audit} of that account (cacheable read); ["<account>:<delta>"] is an
+    {!update} (a write that invalidates cached audits of the account). *)
 
 val seed_accounts : (string * int) list -> (string * Dbms.Value.t) list
 (** Convenience: initial balances as database seed data. *)

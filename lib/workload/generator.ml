@@ -2,10 +2,12 @@ type kind =
   | Bank_updates of { accounts : int; max_delta : int }
   | Bank_transfers of { accounts : int; max_amount : int }
   | Travel_bookings of { destinations : string list; max_party : int }
+  | Read_heavy of { accounts : int; max_delta : int; reads_per_write : int }
+  | Travel_lookups of { destinations : string list }
 
 let bodies ~seed ~n kind =
   let rng = Runtime.Rng.create ~seed in
-  let body () =
+  let body i =
     match kind with
     | Bank_updates { accounts; max_delta } ->
         Printf.sprintf "acct%d:%d"
@@ -21,18 +23,34 @@ let bodies ~seed ~n kind =
           List.nth destinations (Runtime.Rng.int rng (List.length destinations))
         in
         Printf.sprintf "%s:%d" dest (1 + Runtime.Rng.int rng max_party)
+    | Read_heavy { accounts; max_delta; reads_per_write } ->
+        (* deterministic interleave, not coin flips: every
+           (reads_per_write + 1)-th request is a write, so the mix ratio
+           is exact for any [n] — audits are bare account bodies, updates
+           the usual "acct:delta" (the [Bank.mixed] dispatch). *)
+        let cycle = max 1 (reads_per_write + 1) in
+        if reads_per_write > 0 && i mod cycle <> cycle - 1 then
+          Printf.sprintf "acct%d" (Runtime.Rng.int rng accounts)
+        else
+          Printf.sprintf "acct%d:%d"
+            (Runtime.Rng.int rng accounts)
+            (1 + Runtime.Rng.int rng max_delta)
+    | Travel_lookups { destinations } ->
+        List.nth destinations (Runtime.Rng.int rng (List.length destinations))
   in
-  List.init n (fun _ -> body ())
+  List.init n body
 
 (* Keyed bodies for a sharded cluster: each comes with the shard its
    routing key maps to. Single-key kinds just tag [bodies]' output; bank
    transfers are constrained intra-shard — the destination account is drawn
    from the source account's shard, since cross-shard commit is follow-up
    work (see DESIGN.md). A shard holding a single account degenerates to a
-   self-transfer rather than escaping the shard. *)
+   self-transfer rather than escaping the shard. Read-heavy bodies are
+   single-key (one account per audit or update), so reads stay intra-shard
+   for free. *)
 let sharded_bodies ~map ~seed ~n kind =
   match kind with
-  | Bank_updates _ | Travel_bookings _ ->
+  | Bank_updates _ | Travel_bookings _ | Read_heavy _ | Travel_lookups _ ->
       List.map
         (fun body -> (Etx.Shard_map.shard_of_body map body, body))
         (bodies ~seed ~n kind)
@@ -64,11 +82,15 @@ let business_of = function
   | Bank_updates _ -> Bank.update
   | Bank_transfers _ -> Bank.transfer
   | Travel_bookings _ -> Travel.book
+  | Read_heavy _ -> Bank.mixed
+  | Travel_lookups _ -> Travel.availability
 
 let seed_data_of = function
-  | Bank_updates { accounts; _ } | Bank_transfers { accounts; _ } ->
+  | Bank_updates { accounts; _ }
+  | Bank_transfers { accounts; _ }
+  | Read_heavy { accounts; _ } ->
       Bank.seed_accounts
         (List.init accounts (fun i -> (Printf.sprintf "acct%d" i, 10_000)))
-  | Travel_bookings { destinations; _ } ->
+  | Travel_bookings { destinations; _ } | Travel_lookups { destinations } ->
       Travel.seed_inventory ~destinations ~seats:10_000 ~rooms:10_000
         ~cars:10_000

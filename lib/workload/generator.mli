@@ -4,6 +4,15 @@ type kind =
   | Bank_updates of { accounts : int; max_delta : int }
   | Bank_transfers of { accounts : int; max_amount : int }
   | Travel_bookings of { destinations : string list; max_party : int }
+  | Read_heavy of { accounts : int; max_delta : int; reads_per_write : int }
+      (** mixed bank workload over {!Bank.mixed}: audits (bare account
+          bodies, read-only) interleaved with updates at an exact
+          [reads_per_write]:1 ratio — every [(reads_per_write + 1)]-th
+          request is a write. [reads_per_write = 0] degenerates to
+          {!Bank_updates}-shaped bodies. *)
+  | Travel_lookups of { destinations : string list }
+      (** pure read workload over {!Travel.availability}: bodies are bare
+          destinations. *)
 
 val bodies : seed:int -> n:int -> kind -> string list
 (** [n] request bodies, reproducible for a given seed. *)
@@ -13,7 +22,9 @@ val sharded_bodies :
 (** [n] [(shard, body)] pairs for a sharded cluster: the shard is where the
     body's routing key lives under [map]. Multi-key bodies (bank transfers)
     are constrained intra-shard — the destination account is drawn from the
-    source's shard — because cross-shard commit is out of scope. *)
+    source's shard — because cross-shard commit is out of scope. Read-heavy
+    and lookup bodies are single-key, so their reads are intra-shard by
+    construction. *)
 
 val business_of : kind -> Etx.Business.t
 

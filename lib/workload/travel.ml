@@ -17,11 +17,17 @@ let resource_dbs ctx =
   | [ db1; db2 ] -> (db1, db2, db1)
   | db1 :: db2 :: db3 :: _ -> (db1, db2, db3)
 
+let inventory_keys dest = [ seats_key dest; rooms_key dest; cars_key dest ]
+
+let book_keys body =
+  match String.split_on_char ':' body with
+  | [ dest; _party ] ->
+      { Etx.Business.reads = inventory_keys dest; writes = inventory_keys dest }
+  | _ -> Etx.Business.no_keys
+
 let book =
-  {
-    Etx.Business.label = "travel-booking";
-    run =
-      (fun ctx ~body ->
+  Etx.Business.make ~label:"travel-booking" ~keys:book_keys
+    (fun ctx ~body ->
         let dest, party = parse body in
         let flights_db, hotels_db, cars_db = resource_dbs ctx in
         let exec = ctx.Etx.Business.exec in
@@ -80,8 +86,29 @@ let book =
             && read cars_db (cars_key dest) >= 1
           then try_book ()
           else Printf.sprintf "unavailable:%s:%s" dest (availability ())
-        end);
-  }
+        end)
+
+(* Read-only availability lookup: body is the bare destination. Declares
+   the three inventory keys as its read keyset, so a booking's commit
+   (which writes those keys) invalidates any cached lookup. *)
+let availability =
+  Etx.Business.make ~label:"travel-availability"
+    ~read_only:(fun _ -> true)
+    ~cacheable:(fun result ->
+      String.length result >= 10 && String.sub result 0 10 = "available:")
+    ~keys:(fun dest -> { Etx.Business.reads = inventory_keys dest; writes = [] })
+    (fun ctx ~body ->
+      let dest = body in
+      let flights_db, hotels_db, cars_db = resource_dbs ctx in
+      let read db key =
+        match ctx.Etx.Business.exec ~db [ Rm.Get key ] with
+        | Rm.Exec_ok { values = [ Some (Value.Int n) ]; _ } -> n
+        | Rm.Exec_ok _ | Rm.Exec_conflict _ | Rm.Exec_rejected -> 0
+      in
+      Printf.sprintf "available:%s:seats=%d,rooms=%d,cars=%d" dest
+        (read flights_db (seats_key dest))
+        (read hotels_db (rooms_key dest))
+        (read cars_db (cars_key dest)))
 
 let seed_inventory ~destinations ~seats ~rooms ~cars =
   List.concat_map

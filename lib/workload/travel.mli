@@ -9,7 +9,14 @@
     reports the shortage as a committable result. *)
 
 val book : Etx.Business.t
-(** Request body: ["<destination>:<party-size>"]. *)
+(** Request body: ["<destination>:<party-size>"]. Declares the three
+    inventory keys of the destination as read+write keyset. *)
+
+val availability : Etx.Business.t
+(** Read-only availability lookup. Request body: the bare destination;
+    result ["available:<dest>:seats=..,rooms=..,cars=.."]. Declares the
+    destination's inventory keys as read keyset, so committed bookings
+    invalidate cached lookups. *)
 
 val seed_inventory :
   destinations:string list ->

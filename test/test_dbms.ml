@@ -81,6 +81,48 @@ let test_exec_guard_pass_and_fail () =
       Alcotest.(check bool) "poisoned votes no" true
         (Rm.vote rm ~xid:x2 = Rm.No))
 
+(* Regression: a redelivered exec batch (at-least-once delivery across a
+   database recovery) must not apply its relative updates twice. The first
+   delivery of a seq executes; a duplicate replays the recorded reply; a
+   fresh seq (a conflict retry) executes anew. *)
+let test_exec_dedup_replays_duplicates () =
+  in_sim (fun _ ->
+      let rm = fresh_rm ~seed_data:[ ("n", Value.Int 100) ] () in
+      let x = xid 1 in
+      Rm.xa_start rm ~xid:x;
+      let ops = [ Rm.Add ("n", 7); Rm.Get "n" ] in
+      let first =
+        match Rm.exec_dedup rm ~seq:0 ~xid:x ops with
+        | Some (Rm.Exec_ok { values = [ Some (Value.Int v) ]; _ }) -> v
+        | _ -> Alcotest.fail "first delivery executes"
+      in
+      Alcotest.(check int) "first applies once" 107 first;
+      (* duplicate delivery of the same seq: replayed, not re-executed *)
+      (match Rm.exec_dedup rm ~seq:0 ~xid:x ops with
+      | Some (Rm.Exec_ok { values = [ Some (Value.Int v) ]; _ }) ->
+          Alcotest.(check int) "duplicate replays the recorded reply" 107 v
+      | _ -> Alcotest.fail "duplicate must replay");
+      (* a fresh seq is a new attempt and executes *)
+      (match Rm.exec_dedup rm ~seq:1 ~xid:x [ Rm.Get "n" ] with
+      | Some (Rm.Exec_ok { values = [ Some (Value.Int v) ]; _ }) ->
+          Alcotest.(check int) "fresh seq re-executes" 107 v
+      | _ -> Alcotest.fail "fresh seq executes");
+      (* the workspace holds exactly one Add despite the duplicate *)
+      Alcotest.(check bool) "vote yes" true (Rm.vote rm ~xid:x = Rm.Yes);
+      (match Rm.decide rm ~xid:x Rm.Commit with
+      | Rm.Commit -> ()
+      | Rm.Abort -> Alcotest.fail "commit");
+      match Rm.read_committed rm "n" with
+      | Some (Value.Int 107) -> ()
+      | _ -> Alcotest.fail "committed value applied exactly once")
+
+let test_exec_dedup_unknown_rejected () =
+  in_sim (fun _ ->
+      let rm = fresh_rm () in
+      match Rm.exec_dedup rm ~seq:0 ~xid:(xid 9) [ Rm.Get "k" ] with
+      | Some Rm.Exec_rejected -> ()
+      | _ -> Alcotest.fail "unknown transaction must be rejected")
+
 let test_exec_fail_op_poisons () =
   in_sim (fun _ ->
       let rm = fresh_rm () in
@@ -737,6 +779,10 @@ let () =
           Alcotest.test_case "put/get" `Quick test_exec_put_get;
           Alcotest.test_case "add" `Quick test_exec_add_semantics;
           Alcotest.test_case "guards" `Quick test_exec_guard_pass_and_fail;
+          Alcotest.test_case "redelivery dedup (regression)" `Quick
+            test_exec_dedup_replays_duplicates;
+          Alcotest.test_case "dedup rejects unknown" `Quick
+            test_exec_dedup_unknown_rejected;
           Alcotest.test_case "fail op" `Quick test_exec_fail_op_poisons;
           Alcotest.test_case "type mismatch" `Quick
             test_exec_type_mismatch_poisons;

@@ -15,10 +15,8 @@ let check_no_violations label d =
    transaction is poisoned and votes No); later attempts compute a
    committable informational result instead. *)
 let debit_or_report ~amount =
-  {
-    Business.label = "debit-or-report";
-    run =
-      (fun ctx ~body ->
+  Business.make ~label:"debit-or-report"
+    (fun ctx ~body ->
         let db = List.hd ctx.Business.dbs in
         if ctx.Business.attempt = 1 then
           match
@@ -40,8 +38,7 @@ let debit_or_report ~amount =
                 (match v with
                 | Some value -> Dbms.Value.to_string value
                 | None -> "none")
-          | _ -> "report:unavailable");
-  }
+          | _ -> "report:unavailable")
 
 let one_request ?seed ?net ?n_app_servers ?n_dbs ?fd_spec ?seed_data
     ?client_period ?business () =

@@ -349,6 +349,69 @@ let test_committed_counter_live () =
         (R.counter_total reg "client.committed"))
     [ 1; 42 ]
 
+let test_cache_metrics () =
+  let reg = R.create () in
+  let _e, d =
+    Harness.Simrun.deployment ~seed:11 ~client_period:300. ~obs:reg
+      ~cache:true
+      ~seed_data:(Workload.Bank.seed_accounts [ ("acct0", 1000) ])
+      ~business:Workload.Bank.mixed
+      ~script:(fun ~issue ->
+        ignore (issue "acct0");
+        ignore (issue "acct0");
+        ignore (issue "acct0:5");
+        ignore (issue "acct0"))
+      ()
+  in
+  Alcotest.(check bool) "quiesced" true
+    (Etx.Deployment.run_to_quiescence ~deadline:600_000. d);
+  Alcotest.(check (list string)) "spec holds" [] (Etx.Spec.check_all d);
+  let records = Etx.Client.records d.client in
+  let served =
+    List.length (List.filter (fun (r : Etx.Client.record) -> r.cached) records)
+  in
+  Alcotest.(check bool) "some hits" true (R.counter_total reg "cache.hit" > 0);
+  Alcotest.(check bool) "some misses" true
+    (R.counter_total reg "cache.miss" > 0);
+  Alcotest.(check bool) "the write invalidated" true
+    (R.counter_total reg "cache.invalidate" > 0);
+  (* every hit the servers counted was delivered as a cached record *)
+  Alcotest.(check int) "client.cache_served = cached records" served
+    (R.counter_total reg "client.cache_served");
+  Alcotest.(check int) "hits = served" served
+    (R.counter_total reg "cache.hit");
+  (* the hit-latency histogram observed exactly the hits *)
+  (match R.merged_histogram reg "cache.hit_latency_ms" with
+  | None -> Alcotest.fail "no cache.hit_latency_ms histogram"
+  | Some h -> Alcotest.(check int) "latency samples = hits" served (H.count h));
+  (* and everything round-trips through the Prometheus exporter *)
+  let dump = Obs.Export_prom.to_string reg in
+  List.iter
+    (fun metric ->
+      Alcotest.(check bool) (metric ^ " exported") true
+        (Obs.Export_prom.counter_values dump ~metric <> []))
+    [ "etx_cache_hit"; "etx_cache_miss"; "etx_cache_invalidate";
+      "etx_client_cache_served" ]
+
+let test_cache_off_emits_nothing () =
+  let reg = R.create () in
+  let _e, d =
+    Harness.Simrun.deployment ~seed:11 ~client_period:300. ~obs:reg
+      ~seed_data:(Workload.Bank.seed_accounts [ ("acct0", 1000) ])
+      ~business:Workload.Bank.mixed
+      ~script:(fun ~issue ->
+        ignore (issue "acct0");
+        ignore (issue "acct0:5"))
+      ()
+  in
+  Alcotest.(check bool) "quiesced" true
+    (Etx.Deployment.run_to_quiescence ~deadline:600_000. d);
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " absent when cache off") 0
+        (R.counter_total reg name))
+    [ "cache.hit"; "cache.miss"; "cache.invalidate"; "client.cache_served" ]
+
 let test_cluster_obs_consistency () =
   let reg = R.create () in
   let map = Etx.Shard_map.create ~shards:2 () in
@@ -407,5 +470,8 @@ let () =
             test_committed_counter_live;
           Alcotest.test_case "cluster obs consistency" `Quick
             test_cluster_obs_consistency;
+          Alcotest.test_case "cache metrics" `Quick test_cache_metrics;
+          Alcotest.test_case "cache metrics silent when off" `Quick
+            test_cache_off_emits_nothing;
         ] );
     ]

@@ -183,6 +183,79 @@ let test_generator_bodies_parse () =
         (List.length (Etx.Client.records d.client)))
     kinds
 
+let is_write body = String.contains body ':'
+
+let test_generator_read_heavy_mix () =
+  (* the interleave is deterministic: every (reads_per_write + 1)-th body
+     is a write, so the ratio is exact for any n, not just in expectation *)
+  List.iter
+    (fun (reads_per_write, n) ->
+      let kind =
+        Workload.Generator.Read_heavy
+          { accounts = 4; max_delta = 9; reads_per_write }
+      in
+      let bodies = Workload.Generator.bodies ~seed:9 ~n kind in
+      let writes = List.length (List.filter is_write bodies) in
+      let cycle = reads_per_write + 1 in
+      let expected_writes =
+        if reads_per_write = 0 then n
+        else List.length (List.filteri (fun i _ -> i mod cycle = cycle - 1) bodies)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "writes for rpw=%d n=%d" reads_per_write n)
+        expected_writes writes;
+      List.iteri
+        (fun i body ->
+          let want_write = reads_per_write = 0 || i mod cycle = cycle - 1 in
+          Alcotest.(check bool)
+            (Printf.sprintf "body %d kind (rpw=%d)" i reads_per_write)
+            want_write (is_write body);
+          match String.split_on_char ':' body with
+          | [ acct ] | [ acct; _ ] ->
+              Alcotest.(check bool) "account name" true
+                (String.length acct > 4 && String.sub acct 0 4 = "acct")
+          | _ -> Alcotest.fail ("bad read-heavy body " ^ body))
+        bodies)
+    [ (3, 20); (3, 7); (1, 10); (0, 6); (9, 30) ]
+
+let test_generator_travel_lookups () =
+  let kind = Workload.Generator.Travel_lookups { destinations = [ "x"; "y" ] } in
+  let bodies = Workload.Generator.bodies ~seed:2 ~n:12 kind in
+  List.iter
+    (fun b -> Alcotest.(check bool) "known destination" true (List.mem b [ "x"; "y" ]))
+    bodies;
+  let d =
+    run ~n_dbs:3
+      ~seed_data:(Workload.Generator.seed_data_of kind)
+      ~business:(Workload.Generator.business_of kind)
+      bodies
+  in
+  List.iter
+    (fun (r : Etx.Client.record) ->
+      Alcotest.(check bool) "availability result" true
+        (String.length r.result > 10
+        && String.sub r.result 0 10 = "available:"))
+    (Etx.Client.records d.client)
+
+let test_generator_read_heavy_sharded () =
+  let map = Etx.Shard_map.create ~shards:3 () in
+  let kind =
+    Workload.Generator.Read_heavy { accounts = 8; max_delta = 5; reads_per_write = 3 }
+  in
+  let tagged = Workload.Generator.sharded_bodies ~map ~seed:4 ~n:40 kind in
+  Alcotest.(check int) "n bodies" 40 (List.length tagged);
+  List.iter
+    (fun (shard, body) ->
+      (* every body is single-key: its tag must be its account's shard *)
+      let acct = List.hd (String.split_on_char ':' body) in
+      Alcotest.(check int) ("shard of " ^ body) (Etx.Shard_map.shard_of map acct)
+        shard)
+    tagged;
+  (* the tagging must not perturb the body stream itself *)
+  Alcotest.(check (list string)) "same stream as unsharded"
+    (Workload.Generator.bodies ~seed:4 ~n:40 kind)
+    (List.map snd tagged)
+
 let test_generator_transfer_distinct_accounts () =
   let kind = Workload.Generator.Bank_transfers { accounts = 5; max_amount = 9 } in
   List.iter
@@ -258,5 +331,11 @@ let () =
           Alcotest.test_case "bodies parse" `Quick test_generator_bodies_parse;
           Alcotest.test_case "transfer accounts distinct" `Quick
             test_generator_transfer_distinct_accounts;
+          Alcotest.test_case "read-heavy mix ratio exact" `Quick
+            test_generator_read_heavy_mix;
+          Alcotest.test_case "travel lookups" `Quick
+            test_generator_travel_lookups;
+          Alcotest.test_case "read-heavy sharded bodies intra-shard" `Quick
+            test_generator_read_heavy_sharded;
         ] );
     ]
