@@ -1034,11 +1034,18 @@ let spawn cfg =
     else Printf.sprintf "g%d:a%d" cfg.group (cfg.index + 1)
   in
   cfg.rt.spawn ~name ~main:(fun ~recovery () ->
-      if recovery && cfg.persist = None then
+      if recovery && cfg.persist = None then begin
         (* the paper's base protocol assumes crashed application servers
            stay down (a majority is always up); rejoining with amnesia
-           would be unsound, so a recovered diskless server stays passive *)
+           would be unsound, so a recovered diskless server stays passive.
+           Its cache still missed every invalidation while it was down and
+           never will catch up: flush it so a runtime that reports this
+           process as up doesn't feed frozen entries to Spec.view *)
+        (match cfg.cache with
+        | Some cache -> ignore (Method_cache.flush cache)
+        | None -> ());
         Rt.note "appserver-recovery-unsupported"
+      end
       else begin
         if recovery then Rt.note "appserver-recovered";
         let ch = Rchannel.create () in

@@ -108,19 +108,29 @@ module View = struct
         else None)
       (v.notes ())
 
+  (* Parse "computed:<rid>:<j>:<result>" structurally; the result field may
+     itself contain ':'.  Malformed notes are dropped rather than matched. *)
+  let computed_results notes =
+    List.filter_map
+      (fun note ->
+        match String.split_on_char ':' note with
+        | "computed" :: rid :: j :: (_ :: _ as rest) ->
+            if int_of_string_opt rid <> None && int_of_string_opt j <> None
+            then Some (String.concat ":" rest)
+            else None
+        | _ -> None)
+      notes
+
   let validity_v1 v =
     let notes = computed_notes v in
+    let results = computed_results notes in
     List.filter_map
       (fun (record : Client.record) ->
         if record.cached then
           (* a cached result has no try of its own: it must have been
-             computed by SOME earlier try (the cache fill) — any rid/j *)
-          if
-            List.exists
-              (fun note ->
-                String.ends_with ~suffix:(":" ^ record.result) note)
-              notes
-          then None
+             computed by SOME earlier try (the cache fill) — any rid/j —
+             matched on the full result field, not a bare suffix *)
+          if List.exists (String.equal record.result) results then None
           else
             Some
               (tag v

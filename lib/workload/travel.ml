@@ -100,15 +100,29 @@ let availability =
     (fun ctx ~body ->
       let dest = body in
       let flights_db, hotels_db, cars_db = resource_dbs ctx in
+      let exec = ctx.Etx.Business.exec in
       let read db key =
-        match ctx.Etx.Business.exec ~db [ Rm.Get key ] with
-        | Rm.Exec_ok { values = [ Some (Value.Int n) ]; _ } -> n
-        | Rm.Exec_ok _ | Rm.Exec_conflict _ | Rm.Exec_rejected -> 0
+        match exec ~db [ Rm.Get key ] with
+        | Rm.Exec_ok { values = [ Some (Value.Int n) ]; _ } -> Ok n
+        | Rm.Exec_ok _ -> Ok 0
+        | Rm.Exec_conflict _ ->
+            (* exhausted lock-conflict retries: poison so this try aborts
+               rather than committing (and caching) a made-up zero count *)
+            ignore (exec ~db [ Rm.Fail ]);
+            Error ("busy:" ^ key)
+        | Rm.Exec_rejected -> Error ("error:rejected:" ^ key)
       in
-      Printf.sprintf "available:%s:seats=%d,rooms=%d,cars=%d" dest
-        (read flights_db (seats_key dest))
-        (read hotels_db (rooms_key dest))
-        (read cars_db (cars_key dest)))
+      match read flights_db (seats_key dest) with
+      | Error e -> e
+      | Ok seats -> (
+          match read hotels_db (rooms_key dest) with
+          | Error e -> e
+          | Ok rooms -> (
+              match read cars_db (cars_key dest) with
+              | Error e -> e
+              | Ok cars ->
+                  Printf.sprintf "available:%s:seats=%d,rooms=%d,cars=%d" dest
+                    seats rooms cars)))
 
 let seed_inventory ~destinations ~seats ~rooms ~cars =
   List.concat_map
