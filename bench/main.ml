@@ -14,11 +14,13 @@
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
       scale scale-smoke shard shard-smoke batch batch-smoke cache
-      cache-smoke parallel live micro failover-phases obs-overhead)
+      cache-smoke group-commit group-commit-smoke recovery recovery-smoke
+      replica replica-smoke parallel live micro failover-phases
+      obs-overhead)
 
    Each invocation also writes BENCH_harness.json (via {!Stats.Json}) —
    per-artefact wall-clock seconds plus the sweep points, machine-readable:
-     { "schema": "etx-bench-harness/7", "domains": N, "host_cores": C,
+     { "schema": "etx-bench-harness/8", "domains": N, "host_cores": C,
        "artefacts": [ { "name": "figure8", "backend": "sim", "obs": "off",
                         "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
@@ -31,7 +33,16 @@
        "live": [ { "clients": 2, "requests": 6, "wall_s": 1.2,
                    "requests_per_sec": 5.0 }, ... ],
        "obs_overhead": [ { "mode": "disabled", "events": 12345,
-                           "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ] }
+                           "wall_s": 0.5, "events_per_sec": 24690.0 }, ... ],
+       "group_commit": [ { "batch": 4, "group_commit": true, "forces": 129,
+                           "forces_per_commit": 0.50, "tx_per_vs": 12.3,
+                           "mean_latency_ms": 410.2 }, ... ],
+       "recovery": [ { "commits": 256, "checkpointed": true, "log_len": 9,
+                       "replay_steps": 9, "replay_ms": 0.021 }, ... ],
+       "replica": [ { "replicas": 2, "reads": 56, "read_tx_per_vs": 3.1,
+                      "replica_served": 18, "fallbacks": 2,
+                      "hit_rate": 0.61, "mean_read_latency_ms": 220.4 },
+                    ... ] }
    Every artefact records which runtime backend produced it ("sim" for the
    deterministic discrete-event engine, "live" for the wall-clock threads
    backend — the [live] and [shard] artefacts' live rows) and which
@@ -73,6 +84,14 @@ let batch_live_rows : (int * int * int * float * float) list ref = ref []
 
 (* A14 rows (app servers × cache on/off, read-heavy mix) *)
 let cache_rows : Harness.Experiments.read_row list ref = ref []
+
+(* A15 rows: group-commit force amortization, checkpoint-bounded recovery
+   replay, and read throughput served from change-log replicas *)
+let gc_rows : Harness.Experiments.gc_row list ref = ref []
+
+let recovery_rows : Harness.Experiments.recovery_row list ref = ref []
+
+let replica_rows : Harness.Experiments.replica_row list ref = ref []
 
 let timed ?(backend = "sim") ?(obs = "off") name f =
   let t0 = Unix.gettimeofday () in
@@ -116,7 +135,7 @@ let write_bench_json () =
   let doc =
     Obj
       [
-        ("schema", String "etx-bench-harness/7");
+        ("schema", String "etx-bench-harness/8");
         ("domains", Int !domains);
         ("host_cores", Int host_cores);
         ( "artefacts",
@@ -211,6 +230,49 @@ let write_bench_json () =
                      ("mean_read_latency_ms", Float r.mean_read_latency_ms);
                    ])
                !cache_rows) );
+        ( "group_commit",
+          List
+            (List.map
+               (fun (r : Harness.Experiments.gc_row) ->
+                 Obj
+                   [
+                     ("batch", Int r.gc_batch);
+                     ("group_commit", Bool r.gc_on);
+                     ("forces", Int r.forces);
+                     ("forces_per_commit", Float r.forces_per_commit);
+                     ("tx_per_vs", Float r.gc_tx_per_vs);
+                     ("mean_latency_ms", Float r.gc_mean_latency_ms);
+                   ])
+               !gc_rows) );
+        ( "recovery",
+          List
+            (List.map
+               (fun (r : Harness.Experiments.recovery_row) ->
+                 Obj
+                   [
+                     ("commits", Int r.commits);
+                     ("checkpointed", Bool r.checkpointed);
+                     ("log_len", Int r.log_len);
+                     ("replay_steps", Int r.steps);
+                     ("replay_ms", Float r.replay_ms);
+                   ])
+               !recovery_rows) );
+        ( "replica",
+          List
+            (List.map
+               (fun (r : Harness.Experiments.replica_row) ->
+                 Obj
+                   [
+                     ("replicas", Int r.rep_replicas);
+                     ("reads", Int r.rep_reads);
+                     ("read_tx_per_vs", Float r.rep_read_tx_per_vs);
+                     ("replica_served", Int r.rep_served);
+                     ("fallbacks", Int r.rep_fallbacks);
+                     ("hit_rate", Float r.rep_hit_rate);
+                     ( "mean_read_latency_ms",
+                       Float r.rep_mean_read_latency_ms );
+                   ])
+               !replica_rows) );
       ]
   in
   let oc = open_out "BENCH_harness.json" in
@@ -614,6 +676,52 @@ let run_cache_smoke () =
   run_cache ~points:[ 1; 2 ] ~clients:4 ~requests:8 ()
 
 (* ------------------------------------------------------------------ *)
+(* A15 artefacts: the log-structured storage tier. Three sweeps — the
+   group-commit scheduler's force amortization, checkpoint-bounded
+   recovery replay (a direct Rm micro-harness), and read throughput
+   served from change-log replicas — each asserting its specification
+   per row, so the artefacts double as end-to-end checks of the ship
+   protocol and the staleness bound. *)
+
+let run_group_commit ?points ?clients ?requests () =
+  let rows =
+    timed ~obs:"metrics" "group-commit" @@ fun () ->
+    Harness.Experiments.group_commit_sweep ?points ?clients ?requests
+      ~domains:!domains ()
+  in
+  gc_rows := !gc_rows @ rows;
+  section "A15a (group commit)" (Harness.Experiments.render_gc rows)
+
+(* caps 1/4, 16 clients: the CI smoke still shows the amortization *)
+let run_group_commit_smoke () =
+  run_group_commit ~points:[ 1; 4 ] ~clients:16 ~requests:2 ()
+
+let run_recovery ?points () =
+  let rows =
+    timed "recovery" @@ fun () ->
+    Harness.Experiments.recovery_sweep ?points ~domains:!domains ()
+  in
+  recovery_rows := !recovery_rows @ rows;
+  section "A15b (checkpointed recovery)"
+    (Harness.Experiments.render_recovery rows)
+
+(* the two shortest histories only: the CI smoke *)
+let run_recovery_smoke () = run_recovery ~points:[ 64; 256 ] ()
+
+let run_replica ?points ?clients ?requests () =
+  let rows =
+    timed ~obs:"metrics" "replica" @@ fun () ->
+    Harness.Experiments.replica_sweep ?points ?clients ?requests
+      ~domains:!domains ()
+  in
+  replica_rows := !replica_rows @ rows;
+  section "A15c (change-log read replicas)"
+    (Harness.Experiments.render_replica rows)
+
+(* replicas 0/1 and a smaller workload: the CI smoke *)
+let run_replica_smoke () = run_replica ~points:[ 0; 1 ] ~clients:4 ~requests:8 ()
+
+(* ------------------------------------------------------------------ *)
 (* Parallel artefact: 1 domain vs N domains, byte-identity asserted *)
 
 let run_parallel () =
@@ -795,6 +903,9 @@ let all () =
   run_shard ();
   run_batch ();
   run_cache ();
+  run_group_commit ();
+  run_recovery ();
+  run_replica ();
   run_live ();
   run_micro ()
 
@@ -842,13 +953,19 @@ let () =
           | "batch-smoke" -> run_batch_smoke ()
           | "cache" -> run_cache ()
           | "cache-smoke" -> run_cache_smoke ()
+          | "group-commit" -> run_group_commit ()
+          | "group-commit-smoke" -> run_group_commit_smoke ()
+          | "recovery" -> run_recovery ()
+          | "recovery-smoke" -> run_recovery_smoke ()
+          | "replica" -> run_replica ()
+          | "replica-smoke" -> run_replica_smoke ()
           | "parallel" -> run_parallel ()
           | "live" -> run_live ()
           | "micro" -> run_micro ()
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|batch|batch-smoke|cache|cache-smoke|parallel|live|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|batch|batch-smoke|cache|cache-smoke|group-commit|group-commit-smoke|recovery|recovery-smoke|replica|replica-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

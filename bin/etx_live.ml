@@ -13,13 +13,23 @@
    commit-piggybacked invalidation, clients issue a read-dominant mix
    (three audits per update) so the crash lands mid-read-burst, and with
    [-obs] the run additionally asserts that the burst recorded cache hits
-   and that the Prometheus dump re-parses consistently. *)
+   and that the Prometheus dump re-parses consistently.
+
+   With [-replicas R] (R > 0) every database gets R asynchronous change-log
+   read replicas; clients issue the same read-dominant mix (so cache-miss
+   audits route to the replicas and the crash lands mid-read-burst), and
+   with [-obs] the run additionally asserts that the replicas actually
+   served reads ([replica.served] > 0 in the dump). [-group-commit]
+   coalesces concurrent redo-log forces into one disk write per window. *)
 
 let clients = ref 3
 let requests = ref 4
 let shards = ref 1
 let batch = ref 1
 let cache = ref false
+let replicas = ref 0
+let replica_bound = ref 8
+let group_commit = ref false
 let seed = ref 42
 let out = ref "LIVE_smoke.json"
 let obs = ref ""
@@ -38,6 +48,19 @@ let speclist =
       "  method cache + commit-piggybacked invalidation: clients issue a \
        read-dominant mix (three audits per update) instead of pure updates, \
        and the crash lands mid-read-burst" );
+    ( "-replicas",
+      Arg.Set_int replicas,
+      "R  asynchronous change-log read replicas per database; clients issue \
+       the read-dominant mix so cache-miss audits route to the replicas \
+       (default 0)" );
+    ( "-replica-bound",
+      Arg.Set_int replica_bound,
+      "L  staleness bound (LSN delta) above which replica reads fall back \
+       to the primary (default 8)" );
+    ( "-group-commit",
+      Arg.Set group_commit,
+      "  coalesce concurrent redo-log forces into one disk write per \
+       group-commit window" );
     ("-seed", Arg.Set_int seed, "N  network-model RNG seed (default 42)");
     ("-out", Arg.Set_string out, "FILE  summary JSON path (default LIVE_smoke.json)");
     ( "-obs",
@@ -46,14 +69,16 @@ let speclist =
        to FILE on exit" );
   ]
 
-(* with -cache, request r of the per-client script is an update only every
-   fourth call (r mod 4 = 3) and an audit of the client's account otherwise;
-   without it every request is an update, as before *)
+(* with -cache or -replicas, request r of the per-client script is an
+   update only every fourth call (r mod 4 = 3) and an audit of the client's
+   account otherwise; without either every request is an update, as before *)
+let read_mix () = !cache || !replicas > 0
+
 let body_for ~acct r =
-  if !cache && r mod 4 <> 3 then acct else acct ^ ":1"
+  if read_mix () && r mod 4 <> 3 then acct else acct ^ ":1"
 
 let updates_per_client n_requests =
-  if !cache then n_requests / 4 else n_requests
+  if read_mix () then n_requests / 4 else n_requests
 
 let obs_registry () = if !obs = "" then None else Some (Obs.Registry.create ())
 
@@ -89,11 +114,13 @@ let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
   let doc =
     Obj
       [
-        ("schema", String "etx-live-smoke/4");
+        ("schema", String "etx-live-smoke/5");
         ("backend", String "live");
         ("shards", Int n_shards);
         ("batch", Int !batch);
         ("cache", Bool !cache);
+        ("replicas", Int !replicas);
+        ("group_commit", Bool !group_commit);
         ("clients", Int n_clients);
         ("requests_per_client", Int n_requests);
         ("delivered", Int n_delivered);
@@ -141,12 +168,14 @@ let run_single () =
     done
   in
   let business =
-    if !cache then Workload.Bank.mixed else Workload.Bank.update
+    if read_mix () then Workload.Bank.mixed else Workload.Bank.update
   in
   let t_start = Unix.gettimeofday () in
   let d =
     Etx.Deployment.build ~rt ~recoverable:true ~batch:!batch ~cache:!cache
-      ~seed_data ~business ~script:(script_for 0) ()
+      ~replicas:!replicas ~replica_bound:!replica_bound
+      ~group_commit:!group_commit ~seed_data ~business ~script:(script_for 0)
+      ()
   in
   let extra =
     List.init (n_clients - 1) (fun i ->
@@ -220,6 +249,12 @@ let run_single () =
           if Obs.Registry.counter_total r "cache.hit" > 0 then []
           else [ "cache: no hits recorded during the read burst" ]
       | _ -> [])
+    @ (match reg with
+      | Some r when !replicas > 0 && settled ->
+          (* the read burst must actually exercise the replicas *)
+          if Obs.Registry.counter_total r "replica.served" > 0 then []
+          else [ "replicas: no reads served during the read burst" ]
+      | _ -> [])
     @ (if settled then [] else [ "run did not quiesce before the deadline" ])
     @ (if scripts_done then [] else [ "a client script did not finish" ])
     @
@@ -269,12 +304,13 @@ let run_sharded () =
       keys
   in
   let business =
-    if !cache then Workload.Bank.mixed else Workload.Bank.update
+    if read_mix () then Workload.Bank.mixed else Workload.Bank.update
   in
   let t_start = Unix.gettimeofday () in
   let c =
     Cluster.build ~map ~recoverable:true ~batch:!batch ~cache:!cache
-      ~seed_data ~business ~rt ~scripts ()
+      ~replicas:!replicas ~replica_bound:!replica_bound
+      ~group_commit:!group_commit ~seed_data ~business ~rt ~scripts ()
   in
   let delivered () = List.length (Cluster.all_records c) in
   let total = n_clients * n_requests in
@@ -329,6 +365,11 @@ let run_sharded () =
           if Obs.Registry.counter_total r "cache.hit" > 0 then []
           else [ "cache: no hits recorded during the read burst" ]
       | _ -> [])
+    @ (match reg with
+      | Some r when !replicas > 0 && settled ->
+          if Obs.Registry.counter_total r "replica.served" > 0 then []
+          else [ "replicas: no reads served during the read burst" ]
+      | _ -> [])
     @ dup_violations
     @ obs_violations ~n_delivered reg
     @ (if settled then [] else [ "run did not quiesce before the deadline" ])
@@ -347,7 +388,10 @@ let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "etx_live [-clients N] [-requests N] [-shards S] [-batch B] [-cache] \
-     [-seed N] [-out FILE] [-obs FILE]";
+     [-replicas R] [-replica-bound L] [-group-commit] [-seed N] [-out FILE] \
+     [-obs FILE]";
   if !shards < 1 then (prerr_endline "etx_live: -shards must be >= 1"; exit 2);
   if !batch < 1 then (prerr_endline "etx_live: -batch must be >= 1"; exit 2);
+  if !replicas < 0 then
+    (prerr_endline "etx_live: -replicas must be >= 0"; exit 2);
   if !shards = 1 then run_single () else run_sharded ()

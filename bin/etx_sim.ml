@@ -194,6 +194,32 @@ let batch_cmd =
              per-phase cost table.")
     Term.(const run $ seed_arg $ csv_arg $ domains_arg)
 
+let storage_cmd =
+  let run seed csv domains =
+    set_domains domains;
+    let gc = Harness.Experiments.group_commit_sweep ~seed () in
+    emit ~csv:(Option.map (fun f -> f ^ ".gc.csv") csv)
+      (Harness.Experiments.render_gc gc)
+      (Harness.Experiments.csv_gc gc);
+    let recovery = Harness.Experiments.recovery_sweep ~seed () in
+    emit ~csv:(Option.map (fun f -> f ^ ".recovery.csv") csv)
+      (Harness.Experiments.render_recovery recovery)
+      (Harness.Experiments.csv_recovery recovery);
+    let replica = Harness.Experiments.replica_sweep ~seed () in
+    emit ~csv:(Option.map (fun f -> f ^ ".replica.csv") csv)
+      (Harness.Experiments.render_replica replica)
+      (Harness.Experiments.csv_replica replica)
+  in
+  Cmd.v
+    (Cmd.info "storage"
+       ~doc:
+         "Ablation A15: the log-structured storage tier — disk forces per \
+          commit vs the window cap under the group-commit scheduler, \
+          checkpoint-bounded recovery replay, and read throughput served \
+          from change-log replicas (with --csv FILE, writes FILE.gc.csv, \
+          FILE.recovery.csv and FILE.replica.csv).")
+    Term.(const run $ seed_arg $ csv_arg $ domains_arg)
+
 let throughput_cmd =
   let run seed domains =
     set_domains domains;
@@ -272,7 +298,8 @@ let write_obs_dump ~file ~delivered reg =
    drawn from the workload generator (transfers stay intra-shard), requests
    dealt round-robin to the clients. Faults target shard 0. *)
 let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-    batch cache crash_primary_at crash_db obs =
+    batch cache replicas replica_bound group_commit force_latency
+    crash_primary_at crash_db obs =
   let kind =
     let accounts = max 8 (4 * shards) in
     match workload with
@@ -301,7 +328,8 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   let reg = Option.map (fun _ -> Obs.Registry.create ()) obs in
   let engine, c =
     Harness.Simrun.cluster ~seed ~map ?obs:reg ~n_app_servers ~n_dbs ~batch
-      ~cache ~client_period:300.
+      ~cache ~replicas ~replica_bound ~group_commit
+      ~disk_force_latency:force_latency ~client_period:300.
       ~seed_data:(Workload.Generator.seed_data_of kind)
       ~business:(Workload.Generator.business_of kind)
       ~scripts:(List.init clients script_for)
@@ -330,6 +358,17 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
         r.result r.tries
         (r.delivered_at -. r.issued_at))
     (Cluster.all_records c);
+  if replicas > 0 then
+    Array.iter
+      (fun g ->
+        List.iter
+          (fun (_, rep, _) ->
+            Printf.printf "  replica %-12s applied=%d lag=%d served=%d\n"
+              (Dbms.Replica.name rep)
+              (Dbms.Replica.applied_lsn rep)
+              (Dbms.Replica.lag rep) (Dbms.Replica.served rep))
+          g.Cluster.replicas)
+      c.Cluster.groups;
   let violations = Cluster.Spec.check_all c in
   let violations =
     violations
@@ -353,13 +392,16 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   if (not quiesced) || violations <> [] || not obs_ok then exit 1
 
 let demo_run seed workload requests n_app_servers n_dbs shards clients batch
-    cache crash_primary_at crash_db verbose diagram obs =
+    cache replicas replica_bound group_commit force_latency crash_primary_at
+    crash_db verbose diagram obs =
   if shards < 1 then (Printf.eprintf "--shards must be >= 1\n"; exit 2);
   if clients < 1 then (Printf.eprintf "--clients must be >= 1\n"; exit 2);
   if batch < 1 then (Printf.eprintf "--batch must be >= 1\n"; exit 2);
+  if replicas < 0 then (Printf.eprintf "--replicas must be >= 0\n"; exit 2);
   if shards > 1 || clients > 1 then
     demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-      batch cache crash_primary_at crash_db obs
+      batch cache replicas replica_bound group_commit force_latency
+      crash_primary_at crash_db obs
   else
   let business, seed_data, body_of =
     match workload with
@@ -390,7 +432,9 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients batch
   in
   let engine, d =
     Harness.Simrun.deployment ~seed ?obs:reg ~n_app_servers ~n_dbs ~batch
-      ~cache ~client_period:300. ~seed_data ~business
+      ~cache ~replicas ~replica_bound ~group_commit
+      ~disk_force_latency:force_latency ~client_period:300. ~seed_data
+      ~business
       ~script:(fun ~issue ->
         for i = 0 to requests - 1 do
           ignore (issue (body_of i))
@@ -416,6 +460,14 @@ let demo_run seed workload requests n_app_servers n_dbs shards clients batch
         r.body r.result r.tries
         (r.delivered_at -. r.issued_at))
     (Etx.Client.records d.client);
+  if replicas > 0 then
+    List.iter
+      (fun (_, rep, _) ->
+        Printf.printf "  replica %-12s applied=%d lag=%d served=%d\n"
+          (Dbms.Replica.name rep)
+          (Dbms.Replica.applied_lsn rep)
+          (Dbms.Replica.lag rep) (Dbms.Replica.served rep))
+      d.Etx.Deployment.replicas;
   let violations = Etx.Spec.check_all d in
   (match violations with
   | [] -> print_endline "specification: all properties hold"
@@ -525,6 +577,43 @@ let demo_cmd =
              commit-piggybacked invalidation; the cache-coherence obligation \
              joins the specification checks.")
   in
+  let replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:
+            "Asynchronous change-log read replicas per database: primaries \
+             ship committed write-sets off the commit path, app servers \
+             route cache-miss read-only requests to a replica and fall back \
+             to the primary when provable staleness exceeds the bound; the \
+             replica-consistency obligation joins the specification checks \
+             (0 = the classic primary-only read path).")
+  in
+  let replica_bound =
+    Arg.(
+      value & opt int 8
+      & info [ "replica-bound" ] ~docv:"L"
+          ~doc:
+            "Staleness bound for replica reads (LSN delta between the \
+             primary's committed watermark and the replica's applied \
+             prefix); a lagging replica answers stale and the request falls \
+             back to the primary.")
+  in
+  let group_commit =
+    Arg.(
+      value & flag
+      & info [ "group-commit" ]
+          ~doc:
+            "Coalesce concurrent redo-log forces on every database into one \
+             disk write per group-commit window (amortizes the forced write \
+             the same way the batched pipeline amortizes consensus).")
+  in
+  let force_latency =
+    Arg.(
+      value & opt float 12.5
+      & info [ "force-latency" ] ~docv:"MS"
+          ~doc:"Latency of one forced redo-log disk write (default 12.5).")
+  in
   let crash_primary =
     Arg.(
       value
@@ -566,8 +655,8 @@ let demo_cmd =
           delivered results and check the e-Transaction specification.")
     Term.(
       const demo_run $ seed_arg $ workload $ requests $ apps $ dbs $ shards
-      $ clients $ batch $ cache $ crash_primary $ crash_db $ verbose $ diagram
-      $ obs)
+      $ clients $ batch $ cache $ replicas $ replica_bound $ group_commit
+      $ force_latency $ crash_primary $ crash_db $ verbose $ diagram $ obs)
 
 let main_cmd =
   let doc =
@@ -590,6 +679,7 @@ let main_cmd =
       shard_cmd;
       batch_cmd;
       read_cache_cmd;
+      storage_cmd;
       fd_quality_cmd;
       failover_phases_cmd;
     ]

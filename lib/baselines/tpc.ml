@@ -34,7 +34,8 @@ let serve ?breakdown ~poll ~log ~dbs ~business ch rd (request : request) ~j
     ~xid =
   (* eager IO #1: the start record, before any prepare leaves *)
   span breakdown "log-start" (fun () ->
-      Dstore.Wal.append ~label:"log-start" log (L_start xid));
+      Dstore.Log.append_list log [ L_start xid ];
+      Dstore.Log.force ~label:"log-start" log);
   let collect label req matches =
     let (_ : (Types.proc_id * unit) list) =
       span breakdown label (fun () ->
@@ -83,7 +84,8 @@ let serve ?breakdown ~poll ~log ~dbs ~business ch rd (request : request) ~j
   in
   (* eager IO #2: the outcome record, before any decide leaves *)
   span breakdown "log-outcome" (fun () ->
-      Dstore.Wal.append ~label:"log-outcome" log (L_outcome (xid, outcome)));
+      Dstore.Log.append_list log [ L_outcome (xid, outcome) ];
+      Dstore.Log.force ~label:"log-outcome" log);
   span breakdown "commit" (fun () ->
       decide_all ~poll ch rd ~dbs ~xid outcome);
   { result = Some result; outcome }
@@ -91,20 +93,21 @@ let serve ?breakdown ~poll ~log ~dbs ~business ch rd (request : request) ~j
 (* Presumed-nothing recovery: re-drive logged outcomes, abort logged starts
    without an outcome. *)
 let recover_log ~poll ~log ~dbs ch rd =
+  Dstore.Log.crash_cut log;
   let outcomes = Hashtbl.create 16 in
   let started = ref [] in
   List.iter
     (function
       | L_start xid -> started := xid :: !started
       | L_outcome (xid, o) -> Hashtbl.replace outcomes xid o)
-    (Dstore.Wal.records log);
+    (Dstore.Log.records log);
   List.iter
     (fun xid ->
       match Hashtbl.find_opt outcomes xid with
       | Some o -> decide_all ~poll ch rd ~dbs ~xid o
       | None ->
-          Dstore.Wal.append ~label:"log-outcome" log
-            (L_outcome (xid, Dbms.Rm.Abort));
+          Dstore.Log.append_list log [ L_outcome (xid, Dbms.Rm.Abort) ];
+          Dstore.Log.force ~label:"log-outcome" log;
           decide_all ~poll ch rd ~dbs ~xid Dbms.Rm.Abort)
     (List.rev !started)
 
@@ -151,7 +154,7 @@ type t = {
   rt : Rt.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   coordinator : Types.proc_id;
-  log : log_record Dstore.Wal.t;
+  log : log_record Dstore.Log.t;
   coordinator_disk : Dstore.Disk.t;
   client : Etx.Client.handle;
 }
@@ -171,7 +174,7 @@ let build ?net ?(n_dbs = 1) ?(timing = Dbms.Rm.paper_timing)
   let coordinator_disk =
     Dstore.Disk.create ~force_latency:disk_force_latency ~label:"coord-log" ()
   in
-  let log = Dstore.Wal.create ~disk:coordinator_disk () in
+  let log = Dstore.Log.create ~disk:coordinator_disk () in
   let coordinator =
     spawn rt ?breakdown ~log ~dbs:(List.map fst dbs) ~business ()
   in

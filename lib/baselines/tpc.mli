@@ -26,7 +26,7 @@ val spawn :
   ?name:string ->
   ?poll:float ->
   ?breakdown:Stats.Breakdown.t ->
-  log:log_record Dstore.Wal.t ->
+  log:log_record Dstore.Log.t ->
   dbs:Types.proc_id list ->
   business:Etx.Business.t ->
   unit ->
@@ -38,7 +38,7 @@ type t = {
   rt : Etx_runtime.t;
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   coordinator : Types.proc_id;
-  log : log_record Dstore.Wal.t;
+  log : log_record Dstore.Log.t;
   coordinator_disk : Dstore.Disk.t;
   client : Etx.Client.handle;
 }

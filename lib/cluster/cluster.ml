@@ -6,6 +6,7 @@ type group = {
   dbs : (Types.proc_id * Dbms.Rm.t) list;
   app_servers : Types.proc_id list;
   caches : (Types.proc_id * Etx.Method_cache.t) list;
+  replicas : (Types.proc_id * Dbms.Replica.t * Types.proc_id) list;
 }
 
 type t = {
@@ -14,6 +15,7 @@ type t = {
   groups : group array;
   clients : Etx.Client.handle list;
   business : Etx.Business.t;
+  replica_bound : int;
 }
 
 let shards t = Array.length t.groups
@@ -32,8 +34,10 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Etx.Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ?batch ?(cache = false) ~rt ~business
-    ~scripts () =
+    ?(register_disk_latency = 12.5) ?batch ?(cache = false)
+    ?(group_commit = false) ?(replicas = 0) ?(replica_bound = 8)
+    ?(ship_period = 5.) ~rt ~business ~scripts () =
+  if replicas < 0 then invalid_arg "Cluster.build: replicas must be >= 0";
   let map =
     match map with
     | Some m -> m
@@ -59,7 +63,8 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
      model's "first pids are databases" convention and the deployment's pid
      layout both survive sharding this way. *)
   let app_pids = Array.make shards [] in
-  let group_dbs =
+  (* per-db replica pid cell, filled after the replicas spawn (last) *)
+  let group_cells =
     Array.init shards (fun s ->
         let seed_data = seed_for s in
         List.init n_dbs (fun i ->
@@ -68,13 +73,23 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
               Dstore.Disk.create ~force_latency:disk_force_latency
                 ~label:"log" ()
             in
-            let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
+            let rm =
+              Dbms.Rm.create ~timing ~seed_data ~group_commit ~disk ~name ()
+            in
+            let cell = ref [] in
+            let ship =
+              if replicas > 0 then Some (ship_period, fun () -> !cell)
+              else None
+            in
             let pid =
-              Dbms.Server.spawn rt ~invalidate:cache ~name ~rm
+              Dbms.Server.spawn rt ~invalidate:cache ?ship ~name ~rm
                 ~observers:(fun () -> app_pids.(s))
                 ()
             in
-            (pid, rm)))
+            (pid, rm, cell)))
+  in
+  let group_dbs =
+    Array.map (List.map (fun (pid, rm, _) -> (pid, rm))) group_cells
   in
   (* Application servers per shard: each group has its own server set,
      failure detector (spanning only the group), consensus agents and
@@ -102,10 +117,20 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
               let mcache =
                 if cache then Some (Etx.Method_cache.create ()) else None
               in
+              let reps =
+                if replicas > 0 then
+                  Some
+                    (fun () ->
+                      List.map
+                        (fun (db_pid, _, cell) -> (db_pid, !cell))
+                        group_cells.(s))
+                else None
+              in
               let cfg =
                 Etx.Appserver.config ~fd_spec ~clean_period ~poll ?gc_after
-                  ~backend ?persist ?batch ?cache:mcache ~group:s ~rt ~index
-                  ~servers ~dbs:db_pids ~business ()
+                  ~backend ?persist ?batch ?cache:mcache ?replicas:reps
+                  ~replica_bound ~group:s ~rt ~index ~servers ~dbs:db_pids
+                  ~business ()
               in
               let pid = Etx.Appserver.spawn cfg in
               (match mcache with
@@ -115,7 +140,8 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
         in
         assert (spawned = servers);
         app_pids.(s) <- servers;
-        { index = s; dbs; app_servers = servers; caches = !caches })
+        { index = s; dbs; app_servers = servers; caches = !caches;
+          replicas = [] })
   in
   (* Clients last, all behind the same shard router. *)
   let router key =
@@ -136,13 +162,54 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
           ~servers:groups.(0).app_servers ~script ())
       scripts
   in
-  { rt; map; groups; clients; business }
+  (* read replicas spawn LAST, shard-major: a [replicas:0] cluster
+     allocates exactly the pids it always did (see Etx.Deployment) *)
+  let groups =
+    Array.mapi
+      (fun s g ->
+        let seed_data = seed_for s in
+        let reps =
+          List.concat
+            (List.mapi
+               (fun i (db_pid, _, cell) ->
+                 List.init replicas (fun r ->
+                     let name =
+                       gname s (Printf.sprintf "db%d-r%d" (i + 1) (r + 1))
+                     in
+                     let replica =
+                       Dbms.Replica.create ~seed_data ~name ()
+                     in
+                     let rpid =
+                       Dbms.Replica.spawn rt
+                         ~sql_cpu:timing.Dbms.Rm.sql_cpu ~name ~replica ()
+                     in
+                     cell := !cell @ [ rpid ];
+                     (rpid, replica, db_pid)))
+               group_cells.(s))
+        in
+        { g with replicas = reps })
+      groups
+  in
+  { rt; map; groups; clients; business; replica_bound }
+
+let group_replicas_settled rt g =
+  List.for_all
+    (fun (_, replica, db_pid) ->
+      (not ((rt : Rt.t).is_up db_pid))
+      ||
+      let rm = List.assoc db_pid g.dbs in
+      Dbms.Replica.applied_lsn replica = Dbms.Rm.last_commit_lsn rm)
+    g.replicas
 
 let run_to_quiescence ?(deadline = 600_000.) t =
   let settled () =
     List.for_all Etx.Client.script_done t.clients
     && Array.for_all
-         (fun g -> List.for_all (fun (_, rm) -> Etx.Deployment.rm_settled rm) g.dbs)
+         (fun g ->
+           List.for_all
+             (fun (_, rm) -> Etx.Deployment.rm_settled rm)
+             g.dbs
+           && group_replicas_settled t.rt g)
          t.groups
   in
   t.rt.run_until ~deadline settled
@@ -171,6 +238,8 @@ module Spec = struct
              caches =
                List.filter (fun (pid, _) -> t.rt.is_up pid) g.caches;
              business = Some t.business;
+             replicas = g.replicas;
+             replica_bound = t.replica_bound;
            })
          t.groups)
 
@@ -230,13 +299,15 @@ module Spec = struct
       t.clients;
     Array.iter
       (fun g ->
-        (* cache-served records never committed a transaction, so they do
-           not contribute to any server.committed counter *)
+        (* cache- and replica-served records never committed a transaction,
+           so they do not contribute to any server.committed counter *)
         let homed =
           List.length
             (List.filter
                (fun (r : Etx.Client.record) ->
-                 (not r.cached) && Etx.Shard_map.shard_of t.map r.key = g.index)
+                 (not r.cached)
+                 && r.replica = None
+                 && Etx.Shard_map.shard_of t.map r.key = g.index)
                records)
         in
         let n = Obs.Registry.counter_total ~group:g.index reg "server.committed" in

@@ -29,6 +29,9 @@ type group = {
   caches : (Types.proc_id * Etx.Method_cache.t) list;
       (** one method cache per app server when built with [~cache:true];
           empty otherwise *)
+  replicas : (Types.proc_id * Dbms.Replica.t * Types.proc_id) list;
+      (** (replica pid, handle, primary db pid) for the group's read
+          replicas when built with [~replicas:n > 0]; empty otherwise *)
 }
 
 type t = {
@@ -37,6 +40,7 @@ type t = {
   groups : group array;
   clients : Etx.Client.handle list;
   business : Etx.Business.t;
+  replica_bound : int;
 }
 
 val build :
@@ -58,6 +62,10 @@ val build :
   ?register_disk_latency:float ->
   ?batch:int ->
   ?cache:bool ->
+  ?group_commit:bool ->
+  ?replicas:int ->
+  ?replica_bound:int ->
+  ?ship_period:float ->
   rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
@@ -78,11 +86,19 @@ val build :
     first-try server ([affinity = client index]) so cached read traffic
     spreads over each group's servers. With the default [false], spawn
     order, affinity and message streams are identical to earlier
-    revisions. *)
+    revisions.
+
+    [group_commit], [replicas], [replica_bound] and [ship_period] mean
+    what they do in {!Etx.Deployment.build}, applied per group: every
+    shard's databases get the coalescing redo log, and every shard gets
+    [replicas] asynchronous read replicas per database (names
+    [g<s>:db<i>-r<j>]), spawned after the clients so [replicas:0]
+    clusters keep their exact pid layout. *)
 
 val run_to_quiescence : ?deadline:float -> t -> bool
-(** Every client script finished and every database of every shard settled
-    (no in-doubt transaction, every yes vote decided). *)
+(** Every client script finished, every database of every shard settled
+    (no in-doubt transaction, every yes vote decided), and every replica
+    of an up primary caught up to its primary's committed watermark. *)
 
 val shards : t -> int
 val group : t -> int -> group
@@ -106,7 +122,8 @@ module Spec : sig
 
   val check_all : t -> string list
   (** [check_all] of every shard view (including per-shard cache
-      coherence when caching is on), then {!global_exactly_once}. *)
+      coherence when caching is on and per-shard replica consistency
+      when replicas are on), then {!global_exactly_once}. *)
 
   val obs_consistency : Obs.Registry.t -> t -> string list
   (** Cross-checks an observability registry attached to the cluster's

@@ -54,10 +54,10 @@ type plog_record =
 
 type persistence = {
   pdisk : Dstore.Disk.t;
-  plog : plog_record Dstore.Wal.t;
+  plog : plog_record Dstore.Log.t;
 }
 
-let make_persistence ~disk = { pdisk = disk; plog = Dstore.Wal.create ~disk () }
+let make_persistence ~disk = { pdisk = disk; plog = Dstore.Log.create ~disk () }
 
 type t = {
   self : Types.proc_id;
@@ -103,15 +103,15 @@ let log_adoption t inst ~round value =
   match t.persist with
   | None -> ()
   | Some p ->
-      Dstore.Wal.append ~label:"reg-adopt" p.plog
-        (P_adopt { key = inst.key; round; value })
+      Dstore.Log.append_list p.plog [ P_adopt { key = inst.key; round; value } ];
+      Dstore.Log.force ~label:"reg-adopt" p.plog
 
 let log_decision t inst value =
   match t.persist with
   | None -> ()
   | Some p ->
-      Dstore.Wal.append ~label:"reg-decide" p.plog
-        (P_decide { key = inst.key; value })
+      Dstore.Log.append_list p.plog [ P_decide { key = inst.key; value } ];
+      Dstore.Log.force ~label:"reg-decide" p.plog
 
 let recover_from_log t p =
   let restore = function
@@ -129,7 +129,9 @@ let recover_from_log t p =
           inst.decided_at <- Rt.now ()
         end
   in
-  Dstore.Wal.replay p.plog ~init:() ~f:(fun () r -> restore r)
+  Dstore.Log.crash_cut p.plog;
+  Dstore.Log.iter_from p.plog ~lsn:(Dstore.Log.base_lsn p.plog) ~f:(fun _ r ->
+      restore r)
 
 let create ?(poll = 2.0) ?(round_timeout = 100.) ?persist ~peers ~fd ~ch () =
   let n = List.length peers in

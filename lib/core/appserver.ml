@@ -33,11 +33,24 @@ type config = {
   cache : Method_cache.t option;
       (** method cache for read-only calls; [None] = caching off (the
           request path is then byte-identical to the uncached protocol) *)
+  replicas : (unit -> (Types.proc_id * Types.proc_id list) list) option;
+      (** per-database read replicas for cache-miss read-only calls;
+          [None] = replica routing off (the request path is then
+          byte-identical to the replica-less protocol). A thunk because
+          replicas are spawned after the application servers. *)
+  replica_bound : int;
+      (** max provable staleness (LSN delta) tolerated on a replica read;
+          a replica whose lag exceeds it answers stale and the request
+          falls back to the primary pipeline *)
+  replica_patience : float;
+      (** how long a replica read may block before falling back to the
+          primary pipeline (virtual ms) *)
 }
 
 let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
-    ?(group = 0) ?(batch = 1) ?cache ~rt ~index ~servers ~dbs ~business () =
+    ?(group = 0) ?(batch = 1) ?cache ?replicas ?(replica_bound = 8) ?(replica_patience = 1_000.) ~rt ~index
+    ~servers ~dbs ~business () =
   (match (backend, persist) with
   | Reg_synod, Some _ ->
       invalid_arg
@@ -65,6 +78,9 @@ let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     breakdown;
     batch;
     cache;
+    replicas;
+    replica_bound;
+    replica_patience;
   }
 
 (* Per-request protocol state on one server. Everything here is volatile
@@ -90,6 +106,17 @@ type registers = {
   reg_instances : unit -> int;
 }
 
+(* Per-request outcome of this server's replica attempt. [Replica_answered]
+   replays the same answer to client retransmissions (at-most-once reply
+   without another replica read); [Replica_declined] latches the request to
+   the primary pipeline, where the registers dedupe retries cheaply.
+   Without this memo every retransmission of a queued read costs a fresh
+   replica SQL round plus a patience wait, and under load the duplicates
+   arrive faster than they drain. *)
+type replica_memo =
+  | Replica_answered of string * int * int  (** result, lsn, lag *)
+  | Replica_declined
+
 type ctx = {
   cfg : config;
   self : Types.proc_id;
@@ -98,6 +125,7 @@ type ctx = {
   regs : registers;
   rd : Dbms.Stub.Readiness.t;
   rids : (int, rid_state) Hashtbl.t;
+  replica_memo : (int, replica_memo) Hashtbl.t;  (** by rid; replicas only *)
   sink : Rt.obs_sink option;  (** fetched once at spawn; None = obs off *)
 }
 
@@ -181,6 +209,147 @@ let serve_cached ctx ~(request : request) ~j ~client =
                (match ctx.sink with
                | None -> ()
                | Some s -> s.Rt.obs_count "cache.miss" 1);
+               false
+         end
+
+(* ---------------- Replica reads (DESIGN.md §14) ---------------- *)
+
+exception Replica_fallback
+
+(* Serve a cache-miss read-only request on an asynchronous read replica;
+   [true] iff a reply went out. The business logic runs against replica
+   state: the exec closure sends [Replica_exec] instead of the primary's
+   exec round, so the primary pays neither coordination nor SQL for the
+   request. Anything that prevents an honest bounded-staleness answer —
+   no replica for the database, a non-read op slipping through, replies
+   from different LSN snapshots, a stale or refusing replica, a timeout —
+   raises [Replica_fallback] and the request takes the normal pipeline.
+   Replica results are NEVER written to the method cache: the cache holds
+   committed-fresh values, a replica answers provably-stale ones, and
+   laundering the latter into the former would break cache coherence. *)
+let serve_replica ctx ~(request : request) ~j ~client =
+  match ctx.cfg.replicas with
+  | None -> false
+  | Some _ when Hashtbl.mem ctx.replica_memo request.rid -> (
+      match Hashtbl.find ctx.replica_memo request.rid with
+      | Replica_declined -> false
+      | Replica_answered (result, lsn, lag) ->
+          (* replay the answer restamped with the incoming try — the
+             client only accepts its current j *)
+          Rchannel.send ctx.ch client
+            (Result_replica_msg
+               { rid = request.rid; j; result; lsn; lag; group = ctx.cfg.group });
+          (match ctx.sink with
+          | None -> ()
+          | Some s -> s.Rt.obs_count "server.replica_replayed" 1);
+          true)
+  | Some replicas_of ->
+      ctx.cfg.business.Business.read_only request.body
+      && begin
+           let rid = request.rid in
+           let bound = ctx.cfg.replica_bound in
+           let t0 = Rt.now () in
+           let seq = ref 0 in
+           let snapshot = ref None in
+           (* (lsn, lag) all replies must agree on *)
+           let chosen_db = ref None in
+           let exec ~db ops =
+             (match !chosen_db with
+             | None -> chosen_db := Some db
+             | Some d when d = db -> ()
+             | Some _ ->
+                 (* one record carries one (lsn, lag): a business method
+                    spanning databases has no single provable snapshot *)
+                 raise Replica_fallback);
+             let replica =
+               match List.assoc_opt db (replicas_of ()) with
+               | None | Some [] -> raise Replica_fallback
+               | Some rs -> List.nth rs (rid mod List.length rs)
+             in
+             let s = !seq in
+             incr seq;
+             Rchannel.send ctx.ch replica
+               (Dbms.Msg.Replica_exec { rid; seq = s; ops; bound });
+             let filter m =
+               m.Types.src = replica
+               &&
+               match m.Types.payload with
+               | Dbms.Msg.Replica_values { rid = r; seq = s'; _ }
+               | Dbms.Msg.Replica_stale { rid = r; seq = s'; _ }
+               | Dbms.Msg.Replica_refused { rid = r; seq = s' } ->
+                   r = rid && s' = s
+               | _ -> false
+             in
+             (* wait in poll slices like the primary exec path, but under
+                a finite patience: a crashed replica must stall the
+                request only briefly before it falls back, never blackhole
+                it (replies are filtered by seq, so a late answer to an
+                abandoned attempt is ignored) *)
+             let deadline = Rt.now () +. ctx.cfg.replica_patience in
+             let rec wait () =
+               let left = deadline -. Rt.now () in
+               if left <= 0. then raise Replica_fallback
+               else
+                 match
+                   Rt.recv
+                     ~timeout:(Float.min ctx.cfg.poll left)
+                     ~cls:Dbms.Msg.cls_replica_reply ~filter ()
+                 with
+                 | None -> wait ()
+                 | Some m -> m
+             in
+             let m = wait () in
+             (match m.Types.payload with
+             | Dbms.Msg.Replica_values { values; lsn; lag; _ } ->
+                 (match !snapshot with
+                 | None -> snapshot := Some (lsn, lag)
+                 | Some (l, _) when l = lsn -> ()
+                 | Some _ -> raise Replica_fallback);
+                 Dbms.Rm.Exec_ok { values; business_ok = true }
+             | Dbms.Msg.Replica_stale _ | Dbms.Msg.Replica_refused _ | _ ->
+                 raise Replica_fallback)
+           in
+           match
+             let xid = Dbms.Xid.make ~rid ~j in
+             let context =
+               { Business.xid; dbs = ctx.cfg.dbs; exec; attempt = j }
+             in
+             let result =
+               ctx.cfg.business.Business.run context ~body:request.body
+             in
+             (* a transient error report is not a function of committed
+                state (same rule as the cache fill): recompute it on the
+                primary rather than stamping it with an LSN *)
+             if not (ctx.cfg.business.Business.cacheable result) then
+               raise Replica_fallback;
+             (result, !snapshot)
+           with
+           | result, Some (lsn, lag) ->
+               Hashtbl.replace ctx.replica_memo rid
+                 (Replica_answered (result, lsn, lag));
+               Rchannel.send ctx.ch client
+                 (Result_replica_msg
+                    { rid; j; result; lsn; lag; group = ctx.cfg.group });
+               (match ctx.sink with
+               | None -> ()
+               | Some s ->
+                   s.Rt.obs_count "server.replica_served" 1;
+                   s.Rt.obs_observe "server.replica_latency_ms"
+                     (Rt.now () -. t0));
+               true
+           | _result, None ->
+               (* the business logic never read anything: serve it through
+                  the normal pipeline rather than inventing a snapshot *)
+               Hashtbl.replace ctx.replica_memo rid Replica_declined;
+               false
+           | exception Replica_fallback ->
+               (* latch the request to the primary: a replica that was
+                  stale, refusing or too slow once would eat another SQL
+                  round and patience window on every retransmission *)
+               Hashtbl.replace ctx.replica_memo rid Replica_declined;
+               (match ctx.sink with
+               | None -> ()
+               | Some s -> s.Rt.obs_count "server.replica_fallback" 1);
                false
          end
 
@@ -424,7 +593,10 @@ let compute_thread ctx () =
             Rt.note
               (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
         | Request_msg { request; j; span; _ } ->
-            if not (serve_cached ctx ~request ~j ~client:m.src) then begin
+            if
+              (not (serve_cached ctx ~request ~j ~client:m.src))
+              && not (serve_replica ctx ~request ~j ~client:m.src)
+            then begin
               let st = rid_state ctx request.rid in
               if st.client = None then st.client <- Some m.src;
               if st.rspan = 0 then st.rspan <- span;
@@ -938,7 +1110,10 @@ let batch_enqueue ctx ls (m : Types.message) =
       | Some s -> s.Rt.obs_count "server.misrouted" 1);
       Rt.note (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
   | Request_msg { request; j; span; _ } ->
-      if not (serve_cached ctx ~request ~j ~client:m.src) then begin
+      if
+        (not (serve_cached ctx ~request ~j ~client:m.src))
+        && not (serve_replica ctx ~request ~j ~client:m.src)
+      then begin
         let st = rid_state ctx request.rid in
         if st.client = None then st.client <- Some m.src;
         if st.rspan = 0 then st.rspan <- span;
@@ -1109,6 +1284,7 @@ let spawn cfg =
             regs;
             rd;
             rids = Hashtbl.create 16;
+            replica_memo = Hashtbl.create 16;
             sink = Rt.obs ();
           }
         in

@@ -105,6 +105,23 @@ type config = {
           with [~invalidate:true] whenever caches are supplied. [None]
           (the default) leaves the request path byte-identical to the
           uncached protocol. *)
+  replicas : (unit -> (Types.proc_id * Types.proc_id list) list) option;
+      (** per-database asynchronous read replicas (DESIGN.md §14): on a
+          cache-miss read-only request the server runs the business logic
+          against a replica ([Replica_exec]/[Replica_values]) and replies
+          [Result_replica_msg], tagged with the LSN snapshot the reads saw
+          and its provable staleness — no election, no transaction, no
+          primary SQL. A stale/refusing replica (or any loss of a single
+          provable snapshot) falls back to the normal pipeline. A thunk
+          because replicas are spawned after the application servers;
+          [None] (the default) leaves the request path byte-identical to
+          the replica-less protocol. *)
+  replica_bound : int;
+      (** max provable staleness (LSN delta) tolerated on a replica read *)
+  replica_patience : float;
+      (** how long a replica read may wait for its reply (poll-sliced)
+          before falling back to the primary — bounds the stall a crashed
+          or overloaded replica can impose on a request *)
 }
 
 val config :
@@ -119,6 +136,9 @@ val config :
   ?group:int ->
   ?batch:int ->
   ?cache:Method_cache.t ->
+  ?replicas:(unit -> (Types.proc_id * Types.proc_id list) list) ->
+  ?replica_bound:int ->
+  ?replica_patience:float ->
   rt:Etx_runtime.t ->
   index:int ->
   servers:Types.proc_id list ->
@@ -128,8 +148,9 @@ val config :
   config
 (** Defaults: oracle failure detector, 20 ms clean period, 10 ms poll,
     40 ms exec back-off, no garbage collection, no breakdown accounting,
-    group 0, batch 1 (classic path). Raises [Invalid_argument] if
-    [batch < 1] or if [batch > 1] is combined with [gc_after]. *)
+    group 0, batch 1 (classic path), no cache, no replicas, replica bound
+    8. Raises [Invalid_argument] if [batch < 1] or if [batch > 1] is
+    combined with [gc_after]. *)
 
 val spawn : config -> Types.proc_id
 (** Spawns on the backend in [cfg.rt]. *)

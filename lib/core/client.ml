@@ -14,6 +14,12 @@ type record = {
       (** served from an app server's method cache: no transaction was
           committed for this request, so the spec checks cache coherence
           instead of A.1/exactly-once *)
+  replica : (int * int) option;
+      (** [Some (lsn, lag)]: served by an asynchronous read replica from
+          the primary's committed state as of [lsn], with provable
+          staleness [lag]; no transaction was committed for this request,
+          so the spec checks replica consistency instead of
+          A.1/exactly-once *)
 }
 
 type handle = {
@@ -30,22 +36,28 @@ let fresh_rid () = Rt.fresh_uid ()
 let wants_result rid j m =
   match m.Types.payload with
   | Etx_types.Result_msg { rid = r; j = j'; _ }
-  | Etx_types.Result_cached_msg { rid = r; j = j'; _ } ->
+  | Etx_types.Result_cached_msg { rid = r; j = j'; _ }
+  | Etx_types.Result_replica_msg { rid = r; j = j'; _ } ->
       r = rid && j' = j
   | Etx_types.Result_batch_msg { items; _ } ->
       List.exists (fun (r, j', _) -> r = rid && j' = j) items
   | _ -> false
 
 (* this client's decision for (rid, j), from any framing; the [bool] marks
-   a cache-served reply (always a committed-with-result shape) *)
+   a cache-served reply and the option a replica-served one (both always a
+   committed-with-result shape) *)
 let decision_for rid j m =
   match m.Types.payload with
-  | Etx_types.Result_msg { decision; _ } -> (decision, false)
+  | Etx_types.Result_msg { decision; _ } -> (decision, false, None)
   | Etx_types.Result_cached_msg { result; _ } ->
-      ({ Etx_types.result = Some result; outcome = Dbms.Rm.Commit }, true)
+      ({ Etx_types.result = Some result; outcome = Dbms.Rm.Commit }, true, None)
+  | Etx_types.Result_replica_msg { result; lsn; lag; _ } ->
+      ( { Etx_types.result = Some result; outcome = Dbms.Rm.Commit },
+        false,
+        Some (lsn, lag) )
   | Etx_types.Result_batch_msg { items; _ } -> (
       match List.find_opt (fun (r, j', _) -> r = rid && j' = j) items with
-      | Some (_, _, d) -> (d, false)
+      | Some (_, _, d) -> (d, false, None)
       | None -> assert false)
   | _ -> assert false
 
@@ -118,7 +130,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
               | Some m -> conclude j m
               | None -> broadcast_phase j
             and conclude j m =
-              let decision, cached = decision_for rid j m in
+              let decision, cached, replica = decision_for rid j m in
               match (decision.outcome, decision.result) with
               | Dbms.Rm.Commit, Some result ->
                   let record =
@@ -131,6 +143,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
                       issued_at;
                       delivered_at = Rt.now ();
                       cached;
+                      replica;
                     }
                   in
                   records := !records @ [ record ];
@@ -142,6 +155,8 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
                          backend — the Spec cross-check relies on it *)
                       s.Rt.obs_count "client.committed" 1;
                       if cached then s.Rt.obs_count "client.cache_served" 1;
+                      if replica <> None then
+                        s.Rt.obs_count "client.replica_served" 1;
                       s.Rt.obs_observe "client.latency_ms"
                         (record.delivered_at -. record.issued_at);
                       s.Rt.obs_span_attr span "tries" (string_of_int j);

@@ -28,6 +28,13 @@ type record = {
           no transaction was committed for this request, so the spec holds
           the record to the cache-coherence obligation instead of
           A.1/exactly-once *)
+  replica : (int * int) option;
+      (** [Some (lsn, lag)]: served by an asynchronous read replica
+          ([Result_replica_msg]) from the primary's committed state as of
+          [lsn], with provable staleness [lag] (an LSN delta ≤ the
+          deployment's staleness bound); no transaction was committed for
+          this request, so the spec holds the record to the
+          replica-consistency obligation instead of A.1/exactly-once *)
 }
 
 type handle

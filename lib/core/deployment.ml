@@ -8,6 +8,8 @@ type t = {
   client : Client.handle;
   caches : (Types.proc_id * Method_cache.t) list;
   business : Business.t;
+  replicas : (Types.proc_id * Dbms.Replica.t * Types.proc_id) list;
+  replica_bound : int;
 }
 
 let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
@@ -15,8 +17,10 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(disk_force_latency = 12.5) ?(seed_data = []) ?(client_period = 400.)
     ?(clean_period = 20.) ?(poll = 10.) ?gc_after
     ?(backend = Appserver.Reg_ct) ?(recoverable = false)
-    ?(register_disk_latency = 12.5) ?breakdown ?batch ?(cache = false) ~rt
-    ~business ~script () =
+    ?(register_disk_latency = 12.5) ?breakdown ?batch ?(cache = false)
+    ?(group_commit = false) ?(replicas = 0) ?(replica_bound = 8)
+    ?(ship_period = 5.) ~rt ~business ~script () =
+  if replicas < 0 then invalid_arg "Deployment.build: replicas must be >= 0";
   let net =
     match net with
     | Some n -> n
@@ -25,26 +29,39 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
   (rt : Rt.t).set_net net;
   (* databases first: pids 0 .. n_dbs-1. With caching on they broadcast
      commit write keysets (Invalidate) to the app servers; off, they send
-     byte-identical message streams to earlier revisions. *)
+     byte-identical message streams to earlier revisions. Each database's
+     replica pid cell is filled after the replicas spawn (last), so
+     replica-less runs have zero spawn-order drift. *)
   let app_pids = ref [] in
+  let db_cells = ref [] in
   let dbs =
     List.init n_dbs (fun i ->
         let name = Printf.sprintf "db%d" (i + 1) in
         let disk =
           Dstore.Disk.create ~force_latency:disk_force_latency ~label:"log" ()
         in
-        let rm = Dbms.Rm.create ~timing ~seed_data ~disk ~name () in
+        let rm =
+          Dbms.Rm.create ~timing ~seed_data ~group_commit ~disk ~name ()
+        in
+        let cell = ref [] in
+        let ship =
+          if replicas > 0 then Some (ship_period, fun () -> !cell) else None
+        in
         let pid =
-          Dbms.Server.spawn rt ~invalidate:cache ~name ~rm
+          Dbms.Server.spawn rt ~invalidate:cache ?ship ~name ~rm
             ~observers:(fun () -> !app_pids)
             ()
         in
+        db_cells := !db_cells @ [ (pid, cell) ];
         (pid, rm))
   in
   let db_pids = List.map fst dbs in
   (* application servers: pids n_dbs .. n_dbs+n_app_servers-1 *)
   let servers = List.init n_app_servers (fun i -> n_dbs + i) in
   let caches = ref [] in
+  let replica_map () =
+    List.map (fun (db_pid, cell) -> (db_pid, !cell)) !db_cells
+  in
   let spawned =
     List.init n_app_servers (fun index ->
         let persist =
@@ -59,10 +76,11 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
         let mcache =
           if cache then Some (Method_cache.create ()) else None
         in
+        let reps = if replicas > 0 then Some replica_map else None in
         let cfg =
           Appserver.config ~fd_spec ~clean_period ~poll ?gc_after ~backend
-            ?persist ?breakdown ?batch ?cache:mcache ~rt ~index ~servers
-            ~dbs:db_pids ~business ()
+            ?persist ?breakdown ?batch ?cache:mcache ?replicas:reps
+            ~replica_bound ~rt ~index ~servers ~dbs:db_pids ~business ()
         in
         let pid = Appserver.spawn cfg in
         (match mcache with
@@ -73,7 +91,37 @@ let build ?net ?(n_app_servers = 3) ?(n_dbs = 1)
   assert (spawned = servers);
   app_pids := servers;
   let client = Client.spawn rt ~period:client_period ~servers ~script () in
-  { rt; dbs; app_servers = servers; client; caches = !caches; business }
+  (* read replicas spawn LAST: a [replicas:0] deployment allocates exactly
+     the pids it always did, so its runs stay record-for-record identical *)
+  let replica_handles =
+    List.concat_map
+      (fun (db_pid, cell) ->
+        let db_index =
+          match List.find_index (fun p -> p = db_pid) db_pids with
+          | Some i -> i
+          | None -> assert false
+        in
+        List.init replicas (fun r ->
+            let name = Printf.sprintf "db%d-r%d" (db_index + 1) (r + 1) in
+            let replica = Dbms.Replica.create ~seed_data ~name () in
+            let rpid =
+              Dbms.Replica.spawn rt ~sql_cpu:timing.Dbms.Rm.sql_cpu ~name
+                ~replica ()
+            in
+            cell := !cell @ [ rpid ];
+            (rpid, replica, db_pid)))
+      !db_cells
+  in
+  {
+    rt;
+    dbs;
+    app_servers = servers;
+    client;
+    caches = !caches;
+    business;
+    replicas = replica_handles;
+    replica_bound;
+  }
 
 (* A yes vote must reach a durable decision; a no vote aborted on the
    spot and holds nothing, so it never blocks quiescence. *)
@@ -88,10 +136,24 @@ let rm_settled rm =
              false)
        (Dbms.Rm.votes_cast rm)
 
+(* Replica quiescence: every replica of an up primary has applied through
+   the primary's committed watermark (the shipper re-pushes every period,
+   so a settled run converges). A crashed primary's replicas are exempt —
+   they hold a consistent prefix and will catch up on its recovery. *)
+let replicas_settled t =
+  List.for_all
+    (fun (_, replica, db_pid) ->
+      (not (t.rt.is_up db_pid))
+      ||
+      let rm = List.assoc db_pid t.dbs in
+      Dbms.Replica.applied_lsn replica = Dbms.Rm.last_commit_lsn rm)
+    t.replicas
+
 let run_to_quiescence ?(deadline = 600_000.) t =
   let settled () =
     Client.script_done t.client
     && List.for_all (fun (_, rm) -> rm_settled rm) t.dbs
+    && replicas_settled t
   in
   t.rt.run_until ~deadline settled
 

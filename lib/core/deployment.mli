@@ -20,6 +20,13 @@ type t = {
           empty otherwise. Exposed so the spec can re-execute every live
           entry against committed state (cache coherence). *)
   business : Business.t;
+  replicas : (Types.proc_id * Dbms.Replica.t * Types.proc_id) list;
+      (** (replica pid, handle, primary database pid) for every read
+          replica when built with [~replicas:n > 0]; empty otherwise.
+          Exposed so the spec can compare each replica's store against
+          the primary's committed log prefix (replica consistency). *)
+  replica_bound : int;
+      (** the staleness bound replica reads were served under *)
 }
 
 val build :
@@ -40,6 +47,10 @@ val build :
   ?breakdown:Stats.Breakdown.t ->
   ?batch:int ->
   ?cache:bool ->
+  ?group_commit:bool ->
+  ?replicas:int ->
+  ?replica_bound:int ->
+  ?ship_period:float ->
   rt:Etx_runtime.t ->
   business:Business.t ->
   script:(issue:(string -> Client.record) -> unit) ->
@@ -64,16 +75,35 @@ val build :
     read-only business calls and switches the databases to
     commit-piggybacked invalidation broadcasts (DESIGN.md §13); the
     default [false] leaves runs record-for-record identical to earlier
-    revisions. *)
+    revisions.
+
+    [group_commit:true] switches every database's redo log to the
+    group-commit scheduler (concurrent forced writes coalesce into one
+    disk force per window — see {!Dstore.Log}); the default keeps the
+    per-call force discipline, byte-identical to earlier revisions.
+
+    [replicas] (default 0) spawns that many asynchronous change-log read
+    replicas per database (DESIGN.md §14): each primary ships committed
+    write-sets every [ship_period] ms (default 5) and every application
+    server routes cache-miss read-only requests to a replica, falling
+    back to the primary when the replica's provable staleness exceeds
+    [replica_bound] (LSN delta, default 8). Replicas spawn after every
+    other process, so [replicas:0] runs allocate identical pids and stay
+    record-for-record identical to the pre-replica revision. *)
 
 val rm_settled : Dbms.Rm.t -> bool
 (** No in-doubt transaction and every yes vote durably decided — the
     per-database half of quiescence, shared with the cluster builder. *)
 
+val replicas_settled : t -> bool
+(** Every replica of an up primary has applied through the primary's
+    committed watermark — the replica half of quiescence. *)
+
 val run_to_quiescence : ?deadline:float -> t -> bool
-(** Run until the client script finishes and every database transaction is
-    decided (no in-doubt leftovers); returns whether that state was reached
-    before the deadline (default 600 s on the backend's clock). *)
+(** Run until the client script finishes, every database transaction is
+    decided (no in-doubt leftovers) and every replica of an up primary has
+    caught up; returns whether that state was reached before the deadline
+    (default 600 s on the backend's clock). *)
 
 val primary : t -> Types.proc_id
 val rm_of : t -> Types.proc_id -> Dbms.Rm.t

@@ -138,6 +138,21 @@ type Runtime.Types.payload +=
           record: cached records have no committed transaction behind them,
           and the spec checker holds them to the cache-coherence obligation
           instead of A.1/exactly-once *)
+  | Result_replica_msg of {
+      rid : int;
+      j : int;
+      result : result_value;
+      lsn : int;  (** the replica state (primary LSN) the reads saw *)
+      lag : int;  (** provable staleness at serve time (LSN delta) *)
+      group : int;
+    }
+      (** application server → client: a read-only result computed on an
+          asynchronous read replica, bypassing the registers and the commit
+          pipeline. Like cached records these carry no committed
+          transaction; the spec checker holds them to the
+          replica-consistency obligation (result matches the primary's
+          committed state {e as of [lsn]}, and [lag] ≤ the deployment's
+          staleness bound) instead of A.1/exactly-once *)
 
 (* demux classes for the two client/server message streams *)
 let cls_request =
@@ -147,7 +162,9 @@ let cls_request =
 
 let cls_result =
   Runtime.Etx_runtime.register_class ~name:"etx-result" (function
-    | Result_msg _ | Result_batch_msg _ | Result_cached_msg _ -> true
+    | Result_msg _ | Result_batch_msg _ | Result_cached_msg _
+    | Result_replica_msg _ ->
+        true
     | _ -> false)
 
 let pp_decision ppf d =

@@ -10,6 +10,13 @@ module View = struct
             checked by {!cache_coherence} *)
     business : Business.t option;
         (** the deployment's business logic, for cache re-execution *)
+    replicas :
+      (Runtime.Types.proc_id * Dbms.Replica.t * Runtime.Types.proc_id) list;
+        (** (replica pid, handle, primary database pid) triples — empty
+            when replicas are off; checked by {!replica_consistency} *)
+    replica_bound : int;
+        (** the deployment's staleness bound (LSN delta); every
+            replica-served record must prove lag ≤ this *)
   }
 
   let tag v msg = if v.label = "" then msg else v.label ^ ": " ^ msg
@@ -17,12 +24,15 @@ module View = struct
   let committed_for_rid rm rid =
     List.filter (fun xid -> xid.Dbms.Xid.rid = rid) (Dbms.Rm.committed_xids rm)
 
-  (* Records served from a method cache have no committed transaction of
-     their own: A.1 and exactly-once deliberately skip them (the result's
-     provenance is instead covered by V.1's computed-note check and the
-     cache-coherence obligation below). *)
+  (* Records served from a method cache or a read replica have no
+     committed transaction of their own: A.1 and exactly-once deliberately
+     skip them (a cached result's provenance is covered by V.1's
+     computed-note check and the cache-coherence obligation; a
+     replica-served one by the replica-consistency obligation below). *)
   let transactional v =
-    List.filter (fun (r : Client.record) -> not r.cached) v.records
+    List.filter
+      (fun (r : Client.record) -> (not r.cached) && r.replica = None)
+      v.records
 
   let agreement_a1 v =
     List.concat_map
@@ -138,6 +148,12 @@ module View = struct
                     "V.1: cached result %S for request %d was never computed \
                      by any try"
                     record.result record.rid))
+        else if record.replica <> None then
+          (* a replica-served result was computed on the replica, outside
+             the elected-try protocol: its provenance obligation is
+             replica-consistency (re-execution against the primary's state
+             as of the record's LSN), not the computed-note check *)
+          None
         else
           let expected =
             Printf.sprintf "computed:%d:%d:%s" record.rid record.tries
@@ -332,10 +348,125 @@ module View = struct
               (Method_cache.entries cache))
           v.caches
 
+  (* Replica consistency (DESIGN.md §14). Two obligations:
+
+     (a) {e replica state = a committed log prefix}: every replica's store
+     must equal the primary's committed state as of the replica's applied
+     LSN — the change feed applied in LSN order can produce nothing else,
+     and any divergence (reordering, a lost entry, a write leaking onto a
+     replica) shows up here. [state_at] answers [None] when a later
+     checkpoint discarded the history below the replica's LSN or the LSN
+     is ahead of the primary's committed watermark (possible mid-recovery
+     while the primary replays); both are unverifiable, not violations —
+     the fault sweeps run this check at quiescence too, where the common
+     case is verifiable.
+
+     (b) {e every replica-served record is honestly bounded}: its proven
+     lag is within the deployment's bound, and re-executing the business
+     method against the primary's committed state {e as of the record's
+     LSN} reproduces the delivered result — the staleness tag is a real
+     snapshot, not a guess. *)
+  let replica_consistency v =
+    let state_checks =
+      List.concat_map
+        (fun (rpid, replica, db_pid) ->
+          match List.assoc_opt db_pid v.dbs with
+          | None -> []
+          | Some rm -> (
+              match Dbms.Rm.state_at rm ~lsn:(Dbms.Replica.applied_lsn replica)
+              with
+              | None -> [] (* unverifiable: checkpointed past or mid-replay *)
+              | Some expect ->
+                  let expected =
+                    Hashtbl.fold (fun k value acc -> (k, value) :: acc) expect []
+                    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+                  in
+                  if expected = Dbms.Replica.store_bindings replica then []
+                  else
+                    [
+                      tag v
+                        (Printf.sprintf
+                           "replica-consistency: %s (pid %d) at LSN %d does                             not equal %s's committed prefix"
+                           (Dbms.Replica.name replica)
+                           rpid
+                           (Dbms.Replica.applied_lsn replica)
+                           (Dbms.Rm.name rm));
+                    ]))
+        v.replicas
+    in
+    let record_checks =
+      match v.business with
+      | None -> []
+      | Some b ->
+          let db_pids = List.map fst v.dbs in
+          List.concat_map
+            (fun (record : Client.record) ->
+              match record.replica with
+              | None -> []
+              | Some (lsn, lag) ->
+                  let bound_errs =
+                    if lag <= v.replica_bound then []
+                    else
+                      [
+                        tag v
+                          (Printf.sprintf
+                             "replica-consistency: request %d served with                               lag %d above bound %d"
+                             record.rid lag v.replica_bound);
+                      ]
+                  in
+                  let unverifiable = ref false in
+                  let exec ~db ops =
+                    match
+                      Option.bind
+                        (List.assoc_opt db v.dbs)
+                        (fun rm -> Dbms.Rm.state_at rm ~lsn)
+                    with
+                    | None ->
+                        unverifiable := true;
+                        Dbms.Rm.Exec_ok { values = []; business_ok = true }
+                    | Some state ->
+                        let values =
+                          List.filter_map
+                            (fun op ->
+                              match op with
+                              | Dbms.Rm.Get k ->
+                                  Some (Hashtbl.find_opt state k)
+                              | _ ->
+                                  unverifiable := true;
+                                  None)
+                            ops
+                        in
+                        Dbms.Rm.Exec_ok { values; business_ok = true }
+                  in
+                  let ctx =
+                    {
+                      Business.xid = Dbms.Xid.make ~rid:0 ~j:0;
+                      dbs = db_pids;
+                      exec;
+                      attempt = 1;
+                    }
+                  in
+                  let fresh = b.Business.run ctx ~body:record.body in
+                  let result_errs =
+                    if !unverifiable || String.equal fresh record.result then
+                      []
+                    else
+                      [
+                        tag v
+                          (Printf.sprintf
+                             "replica-consistency: request %d delivered %S                               but the primary's state at LSN %d gives %S"
+                             record.rid record.result lsn fresh);
+                      ]
+                  in
+                  bound_errs @ result_errs)
+            v.records
+    in
+    state_checks @ record_checks
+
   let check_all v =
     agreement_a1 v @ agreement_a2 v @ agreement_a3 v @ validity_v1 v
     @ validity_v2 v @ termination_t1 v @ termination_t2 v @ exactly_once v
-    @ cache_coherence v
+    @ cache_coherence v @ replica_consistency v
 end
 
 let view ?(label = "") (d : Deployment.t) =
@@ -349,6 +480,8 @@ let view ?(label = "") (d : Deployment.t) =
        server can serve nothing, and its recovery path starts cold *)
     caches = List.filter (fun (pid, _) -> d.rt.is_up pid) d.caches;
     business = Some d.business;
+    replicas = d.replicas;
+    replica_bound = d.replica_bound;
   }
 
 let agreement_a1 d = View.agreement_a1 (view d)
@@ -360,4 +493,5 @@ let termination_t1 d = View.termination_t1 (view d)
 let termination_t2 d = View.termination_t2 (view d)
 let exactly_once d = View.exactly_once (view d)
 let cache_coherence d = View.cache_coherence (view d)
+let replica_consistency d = View.replica_consistency (view d)
 let check_all d = View.check_all (view d)

@@ -28,6 +28,13 @@ module View : sig
         (** the deployment's business logic — {!cache_coherence}
             re-executes cached entries through it; [None] skips the
             check *)
+    replicas :
+      (Runtime.Types.proc_id * Dbms.Replica.t * Runtime.Types.proc_id) list;
+        (** (replica pid, handle, primary database pid) triples this view
+            is accountable for (empty when replicas are off) *)
+    replica_bound : int;
+        (** the deployment's staleness bound — every replica-served record
+            must prove lag ≤ this *)
   }
 
   val agreement_a1 : t -> string list
@@ -46,6 +53,16 @@ module View : sig
       is also flagged). Records served from the cache are exempt from
       A.1/exactly-once (no transaction of their own) but their results
       must still appear in some server's computed notes (V.1). *)
+
+  val replica_consistency : t -> string list
+  (** Replica consistency (DESIGN.md §14): (a) every replica's store
+      equals the primary's committed state as of the replica's applied
+      LSN (a committed log prefix — the asynchronous analogue of
+      one-copy equivalence under bounded staleness); (b) every
+      replica-served record proves lag ≤ the deployment's bound and its
+      result equals re-executing the method against the primary's
+      committed state as of the record's LSN. States a later checkpoint
+      made unenumerable are skipped (unverifiable, not violations). *)
 
   val check_all : t -> string list
 end
@@ -88,6 +105,8 @@ val exactly_once : Deployment.t -> string list
 
 val cache_coherence : Deployment.t -> string list
 (** See {!View.cache_coherence}. *)
+
+val replica_consistency : Deployment.t -> string list
 
 val check_all : Deployment.t -> string list
 (** All of the above. *)

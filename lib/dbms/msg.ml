@@ -34,6 +34,35 @@ type Runtime.Types.payload +=
   | Vote_batch of { votes : (Xid.t * Rm.vote) list }
   | Decide_batch of { items : (Xid.t * Rm.outcome) list }
   | Ack_decide_batch of { xids : Xid.t list }
+  (* change-log shipping (primary database -> its read replicas) and the
+     bounded-staleness replica read protocol (application server -> replica) *)
+  | Ship of {
+      entries : (int * (string * Value.t) list) list;
+          (** committed write-sets above the replica's applied LSN,
+              ascending; [] is a watermark-only heartbeat *)
+      upto : int;  (** primary's last committed LSN at ship time *)
+    }
+  | Ship_snapshot of {
+      state : (string * Value.t) list;
+      as_of : int;
+      upto : int;
+    }
+      (** the replica fell below the primary's retention floor (a
+          checkpoint ran): re-seed from a full committed snapshot *)
+  | Replica_exec of { rid : int; seq : int; ops : Rm.op list; bound : int }
+      (** read-only business batch; [bound] is the staleness the client
+          tolerates (LSN delta) *)
+  | Replica_values of {
+      rid : int;
+      seq : int;
+      values : Value.t option list;
+      lsn : int;  (** the replica's applied LSN: the state the reads saw *)
+      lag : int;  (** provable staleness at serve time (LSN delta) *)
+    }
+  | Replica_stale of { rid : int; seq : int; lag : int }
+      (** lag exceeded [bound]: caller must fall back to the primary *)
+  | Replica_refused of { rid : int; seq : int }
+      (** the batch was not read-only: replicas never execute writes *)
   | Invalidate of { keys : string list }
       (** database → every application server: the write keyset of a
           just-committed transaction (or the union over a committed batch),
@@ -73,6 +102,21 @@ let cls_reply =
 let cls_invalidate =
   Runtime.Etx_runtime.register_class ~name:"db-invalidate" (function
     | Invalidate _ -> true
+    | _ -> false)
+
+let cls_ship =
+  Runtime.Etx_runtime.register_class ~name:"db-ship" (function
+    | Ship _ | Ship_snapshot _ -> true
+    | _ -> false)
+
+let cls_replica_exec =
+  Runtime.Etx_runtime.register_class ~name:"replica-exec" (function
+    | Replica_exec _ -> true
+    | _ -> false)
+
+let cls_replica_reply =
+  Runtime.Etx_runtime.register_class ~name:"replica-reply" (function
+    | Replica_values _ | Replica_stale _ | Replica_refused _ -> true
     | _ -> false)
 
 let cls_ready =

@@ -1,0 +1,132 @@
+open Runtime
+module Rt = Etx_runtime
+open Dnet
+
+type t = {
+  rname : string;
+  store : (string, Value.t) Hashtbl.t;
+  mutable applied_lsn : int;
+  mutable watermark : int;
+  mutable served : int;
+}
+
+let create ?(seed_data = []) ~name () =
+  let store = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace store k v) seed_data;
+  { rname = name; store; applied_lsn = 0; watermark = 0; served = 0 }
+
+let name t = t.rname
+let applied_lsn t = t.applied_lsn
+let watermark t = t.watermark
+let lag t = max 0 (t.watermark - t.applied_lsn)
+let served t = t.served
+let read t k = Hashtbl.find_opt t.store k
+
+let store_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let emit_lag t sink =
+  match sink with
+  | None -> ()
+  | Some s -> s.Rt.obs_gauge "replica.lag" (float_of_int (lag t))
+
+(* Feed application is idempotent: entries at or below [applied_lsn] are
+   duplicates (the primary's shipping watermark is volatile — after a
+   primary recovery it reships from scratch) and are dropped. *)
+let apply_entries t entries =
+  List.iter
+    (fun (lsn, writes) ->
+      if lsn > t.applied_lsn then begin
+        List.iter (fun (k, v) -> Hashtbl.replace t.store k v) writes;
+        t.applied_lsn <- lsn
+      end)
+    entries
+
+let apply_snapshot t ~state ~as_of =
+  if as_of > t.applied_lsn then begin
+    Hashtbl.reset t.store;
+    List.iter (fun (k, v) -> Hashtbl.replace t.store k v) state;
+    t.applied_lsn <- as_of
+  end
+
+let feed_handler t ch sink () =
+  let rec loop () =
+    match Rt.recv_cls Msg.cls_ship with
+    | None -> ()
+    | Some m ->
+        (match m.Types.payload with
+        | Msg.Ship { entries; upto } ->
+            apply_entries t entries;
+            if upto > t.watermark then t.watermark <- upto;
+            emit_lag t sink
+        | Msg.Ship_snapshot { state; as_of; upto } ->
+            apply_snapshot t ~state ~as_of;
+            if upto > t.watermark then t.watermark <- upto;
+            emit_lag t sink
+        | _ -> ());
+        ignore ch;
+        loop ()
+  in
+  loop ()
+
+(* A batch is served only when every op is a read; anything else is
+   refused — the replica holds no locks, no workspaces and no log, so it
+   can never vote, which is exactly why crashing or dropping one is
+   always safe (promotion-safe-to-refuse). *)
+let try_reads t ops =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Rm.Get k :: rest -> go (Hashtbl.find_opt t.store k :: acc) rest
+    | (Rm.Put _ | Rm.Add _ | Rm.Ensure_min _ | Rm.Fail) :: _ -> None
+  in
+  go [] ops
+
+let exec_handler t ch ~sql_cpu sink () =
+  let rec loop () =
+    match Rt.recv_cls Msg.cls_replica_exec with
+    | None -> ()
+    | Some m ->
+        (match m.Types.payload with
+        | Msg.Replica_exec { rid; seq; ops; bound } -> (
+            match try_reads t ops with
+            | None ->
+                Rchannel.send ch m.src (Msg.Replica_refused { rid; seq })
+            | Some _ when lag t > bound ->
+                Rchannel.send ch m.src
+                  (Msg.Replica_stale { rid; seq; lag = lag t })
+            | Some _ ->
+                (* one session fiber per served batch, exactly like the
+                   primary's db-session forks: the SQL charges of
+                   concurrent reads overlap instead of queueing behind a
+                   single handler — a replica must not serialize what the
+                   primary it offloads runs in parallel *)
+                Rt.fork "replica-session" (fun () ->
+                    (* the business logic runs here: same SQL charge as
+                       the primary would pay, re-reading under the charge
+                       so the values answered are the freshest applied
+                       state (reads and lsn are captured together — no
+                       yield between them) *)
+                    if sql_cpu > 0. then Rt.work "SQL" sql_cpu;
+                    let values =
+                      match try_reads t ops with Some vs -> vs | None -> []
+                    in
+                    t.served <- t.served + 1;
+                    (match sink with
+                    | None -> ()
+                    | Some s -> s.Rt.obs_count "replica.served" 1);
+                    Rchannel.send ch m.src
+                      (Msg.Replica_values
+                         { rid; seq; values; lsn = t.applied_lsn; lag = lag t })))
+        | _ -> ());
+        loop ()
+  in
+  loop ()
+
+let spawn (rt : Rt.t) ?(sql_cpu = 0.) ~name ~replica () =
+  rt.spawn ~name ~main:(fun ~recovery:_ () ->
+      let ch = Rchannel.create () in
+      Rchannel.start ch;
+      let sink = Rt.obs () in
+      Rt.fork "replica-feed" (feed_handler replica ch sink);
+      exec_handler replica ch ~sql_cpu sink ())

@@ -1,0 +1,69 @@
+(** Asynchronous change-log read replica of one primary database.
+
+    A replica holds a copy of the primary's {e committed} state, built by
+    applying the change-log entries the primary's shipping thread streams
+    to it ({!Msg.Ship} / {!Msg.Ship_snapshot}) in LSN order. It answers
+    read-only business batches ({!Msg.Replica_exec}) with values tagged by
+    the staleness it can {e prove}: the LSN delta between the freshest
+    primary watermark it has heard of and the LSN it has applied. A batch
+    whose provable lag exceeds the caller's bound is answered
+    [Replica_stale]; a batch containing anything but reads is answered
+    [Replica_refused] — a replica is promotion-safe precisely because it
+    never executes a write, so refusing is always correct.
+
+    Replicas are asynchronous in the sense of the paper's replication
+    model: the primary never waits for them, so they cost no commit-path
+    latency — the price is bounded staleness on the read path. *)
+
+type t
+
+val create : ?seed_data:(string * Value.t) list -> name:string -> unit -> t
+(** [seed_data] provisions the replica from the same base state as its
+    primary (the seed predates the change log, so it is never shipped);
+    it must equal the primary's [seed_data] for the replica's store to
+    track [state_at] from LSN 0. *)
+
+val name : t -> string
+
+val applied_lsn : t -> int
+(** Highest primary LSN whose committed effects this replica holds. *)
+
+val watermark : t -> int
+(** Freshest primary [last_commit_lsn] this replica has heard of. *)
+
+val lag : t -> int
+(** Provable staleness, [max 0 (watermark - applied_lsn)]. *)
+
+val served : t -> int
+(** Read batches answered with values (not stale/refused). *)
+
+val read : t -> string -> Value.t option
+(** Direct store read (tests, property checkers). *)
+
+val store_bindings : t -> (string * Value.t) list
+(** The replica's committed state, sorted by key (the
+    [replica_consistency] checker compares this against the primary's
+    [state_at ~lsn:(applied_lsn)]). *)
+
+val apply_entries : t -> (int * (string * Value.t) list) list -> unit
+(** Apply shipped committed write-sets in LSN order; entries at or below
+    [applied_lsn] are duplicates (the primary reships from scratch after
+    recovering) and are dropped, so application is idempotent. *)
+
+val apply_snapshot : t -> state:(string * Value.t) list -> as_of:int -> unit
+(** Re-seed from a full committed snapshot (the replica fell below the
+    primary's retention floor). Dropped unless [as_of] is ahead of
+    [applied_lsn]. *)
+
+val spawn :
+  Runtime.Etx_runtime.t ->
+  ?sql_cpu:float ->
+  name:string ->
+  replica:t ->
+  unit ->
+  Runtime.Types.proc_id
+(** Spawn the replica process: one fiber applying the change feed, one
+    answering read batches. [sql_cpu] is the virtual-time charge per
+    served batch (the business logic runs here, not on the primary —
+    replicas save coordination, not compute). Emits [replica.lag] (gauge)
+    and [replica.served] (counter) through the fiber's obs sink. *)

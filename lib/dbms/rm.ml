@@ -64,7 +64,10 @@ type txn = {
          redelivery guard (see [exec_dedup]) *)
 }
 
-type wal_record =
+(* Typed redo records. Each occupies one LSN in the redo log; recovery is
+   checkpoint-load + LSN-ordered replay of everything above the latest
+   [W_snapshot]. *)
+type redo =
   | W_prepared of Xid.t * (string * Value.t) list
   | W_committed of Xid.t * (string * Value.t) list
   | W_aborted of Xid.t
@@ -73,6 +76,22 @@ type wal_record =
       committed : Xid.t list;  (** commit order, oldest first *)
       aborted : Xid.t list;
     }
+
+(* On-disk footprint estimator for the db.log_bytes gauge: keys/strings
+   dominate, fixed per-record framing overhead otherwise. *)
+let value_size = function
+  | Value.Int _ -> 8
+  | Value.Str s -> 8 + String.length s
+
+let writes_size ws =
+  List.fold_left (fun a (k, v) -> a + 16 + String.length k + value_size v) 0 ws
+
+let redo_size = function
+  | W_prepared (_, ws) | W_committed (_, ws) -> 32 + writes_size ws
+  | W_aborted _ -> 24
+  | W_snapshot { state; committed; aborted } ->
+      32 + writes_size state
+      + (16 * (List.length committed + List.length aborted))
 
 (* A lock is exclusive (one writer) or shared (any number of readers);
    shared locks exist only in strict-2PL mode. *)
@@ -84,16 +103,28 @@ type t = {
   timing : timing;
   seed_data : (string * Value.t) list;
   read_locks : bool;
-  wal : wal_record Dstore.Wal.t;
+  log : redo Dstore.Log.t;
   store : (string, Value.t) Hashtbl.t;
   locks : (string, lock_state) Hashtbl.t;
   txns : (Xid.t, txn) Hashtbl.t;
   mutable commit_order : Xid.t list;  (* newest first *)
   mutable vote_log : (Xid.t * vote) list;  (* newest first *)
+  (* committed change history above the snapshot floor, for change-log
+     shipping to read replicas and for [state_at] (spec re-execution):
+     [(lsn, writes)] newest first. Rebuilt by recovery, reset by
+     checkpoint. *)
+  mutable changes : (int * (string * Value.t) list) list;
+  mutable snapshot_state : (string * Value.t) list;
+      (* committed state as of [snapshot_lsn] (seed data at LSN 0) *)
+  mutable snapshot_lsn : int;
+  mutable last_commit_lsn : int;
+      (* shipping watermark: LSN of the latest committed change
+         (= [snapshot_lsn] right after a checkpoint) *)
+  mutable recovery_steps : int;  (* redo records applied by the last recover *)
 }
 
 let create ?(timing = paper_timing) ?(seed_data = []) ?(read_locks = false)
-    ~disk ~name () =
+    ?(group_commit = false) ~disk ~name () =
   let store = Hashtbl.create 64 in
   List.iter (fun (k, v) -> Hashtbl.replace store k v) seed_data;
   {
@@ -102,15 +133,46 @@ let create ?(timing = paper_timing) ?(seed_data = []) ?(read_locks = false)
     timing;
     seed_data;
     read_locks;
-    wal = Dstore.Wal.create ~disk ();
+    log =
+      Dstore.Log.create ~coalesce:group_commit ~size_of:redo_size
+        ~obs_prefix:"db" ~disk ();
     store;
     locks = Hashtbl.create 64;
     txns = Hashtbl.create 64;
     commit_order = [];
     vote_log = [];
+    changes = [];
+    snapshot_state = seed_data;
+    snapshot_lsn = 0;
+    last_commit_lsn = 0;
+    recovery_steps = 0;
   }
 
+(* Append one redo record and make it durable: the append itself is free
+   (volatile tail), the force charges the disk — one [Disk.force] per
+   call in per-call mode, coalesced into group-commit windows when the
+   database was created with [group_commit]. *)
+let log_one t ~label r =
+  let lsn = Dstore.Log.append t.log r in
+  Dstore.Log.force ~label t.log;
+  lsn
+
+(* [changes] must stay sorted newest-first: under group commit two
+   decides can share one force window and the higher-LSN fiber may
+   resume first, so a plain prepend would record the pair out of order
+   and [changes_since] (which reverses the prefix) would ship them
+   descending — the replica's idempotent apply would then drop the
+   lower LSN forever. Insertion is O(1) in the common in-order case. *)
+let note_commit t ~lsn writes =
+  let rec insert = function
+    | ((l, _) as hd) :: rest when l > lsn -> hd :: insert rest
+    | rest -> (lsn, writes) :: rest
+  in
+  t.changes <- insert t.changes;
+  if lsn > t.last_commit_lsn then t.last_commit_lsn <- lsn
+
 let name t = t.rm_name
+let group_commit t = Dstore.Log.coalescing t.log
 let disk t = t.rm_disk
 
 let find_txn t xid = Hashtbl.find_opt t.txns xid
@@ -218,7 +280,7 @@ let try_lock_all t xid ops =
 let abort_local t txn ~log =
   release_locks t txn.xid;
   txn.phase <- Aborted;
-  if log then Dstore.Wal.append ~label:"abort" t.wal (W_aborted txn.xid)
+  if log then ignore (log_one t ~label:"abort" (W_aborted txn.xid))
 
 let xa_start t ~xid =
   let (_ : txn) = get_txn t xid in
@@ -333,8 +395,7 @@ let vote t ~xid =
               | Committed | Prepared -> Yes
               | Aborted | Active -> No
             else begin
-              Dstore.Wal.append ~label:"prepare" t.wal
-                (W_prepared (xid, txn.writes));
+              ignore (log_one t ~label:"prepare" (W_prepared (xid, txn.writes)));
               if txn.phase = Active then begin
                 txn.phase <- Prepared;
                 Yes
@@ -346,7 +407,7 @@ let vote t ~xid =
                     (* aborted while the prepare record was being forced:
                        make the log agree so recovery does not resurrect an
                        in-doubt transaction *)
-                    Dstore.Wal.append ~label:"abort" t.wal (W_aborted xid);
+                    ignore (log_one t ~label:"abort" (W_aborted xid));
                     No
             end
           end)
@@ -380,12 +441,17 @@ let vote_many t ~xids =
             end)
   in
   let staged = List.map classify xids in
-  Dstore.Wal.append_many ~label:"prepare" t.wal
-    (List.filter_map
-       (function
-         | xid, `Stage txn -> Some (W_prepared (xid, txn.writes))
-         | _ -> None)
-       staged);
+  let to_force =
+    List.filter_map
+      (function
+        | xid, `Stage txn -> Some (W_prepared (xid, txn.writes))
+        | _ -> None)
+      staged
+  in
+  if to_force <> [] then begin
+    Dstore.Log.append_list t.log to_force;
+    Dstore.Log.force ~label:"prepare" t.log
+  end;
   List.map
     (fun (xid, cls) ->
       let v =
@@ -401,7 +467,7 @@ let vote_many t ~xids =
               match txn.phase with
               | Committed | Prepared -> Yes
               | Aborted | Active ->
-                  Dstore.Wal.append ~label:"abort" t.wal (W_aborted xid);
+                  ignore (log_one t ~label:"abort" (W_aborted xid));
                   No)
       in
       t.vote_log <- (xid, v) :: t.vote_log;
@@ -413,11 +479,12 @@ let apply_writes t writes =
 
 let commit_prepared t txn =
   Rt.work "commit" t.timing.commit_cpu;
-  Dstore.Wal.append ~label:"commit" t.wal (W_committed (txn.xid, txn.writes));
+  let lsn = log_one t ~label:"commit" (W_committed (txn.xid, txn.writes)) in
   apply_writes t txn.writes;
   release_locks t txn.xid;
   txn.phase <- Committed;
-  t.commit_order <- txn.xid :: t.commit_order
+  t.commit_order <- txn.xid :: t.commit_order;
+  note_commit t ~lsn txn.writes
 
 let decide t ~xid outcome =
   match find_txn t xid with
@@ -472,24 +539,36 @@ let decide_many t ~items =
             (xid, Abort, None))
   in
   let staged = List.map stage items in
+  (* stage every terminal record in the volatile tail (each draws its own
+     LSN), then force the window with a single disk write *)
+  let staged =
+    List.map
+      (fun (xid, out, pending) ->
+        match pending with
+        | Some (txn, r) -> (xid, out, Some (txn, r, Dstore.Log.append t.log r))
+        | None -> (xid, out, None))
+      staged
+  in
   let records =
-    List.filter_map (function _, _, Some (_, r) -> Some r | _ -> None) staged
+    List.filter_map (function _, _, Some (_, r, _) -> Some r | _ -> None)
+      staged
   in
   let label =
     if List.exists (function W_committed _ -> true | _ -> false) records then
       "commit"
     else "abort"
   in
-  Dstore.Wal.append_many ~label t.wal records;
+  if records <> [] then Dstore.Log.force ~label t.log;
   List.map
     (fun (xid, out, pending) ->
       (match pending with
-      | Some (txn, W_committed (_, writes)) when txn.phase = Prepared ->
+      | Some (txn, W_committed (_, writes), lsn) when txn.phase = Prepared ->
           apply_writes t writes;
           release_locks t xid;
           txn.phase <- Committed;
-          t.commit_order <- xid :: t.commit_order
-      | Some (txn, W_aborted _) when txn.phase = Prepared ->
+          t.commit_order <- xid :: t.commit_order;
+          note_commit t ~lsn writes
+      | Some (txn, W_aborted _, _) when txn.phase = Prepared ->
           abort_local t txn ~log:false (* terminal record already forced *)
       | Some _ | None -> ());
       (xid, out))
@@ -513,12 +592,20 @@ let commit_one_phase t ~xid =
           end)
 
 let recover t =
+  (* crash cut first: records appended but never forced died with the
+     incarnation (exactly as if the old force-per-append WAL had crashed
+     mid-force, before the record existed) *)
+  Dstore.Log.crash_cut t.log;
   Hashtbl.reset t.store;
   Hashtbl.reset t.locks;
   Hashtbl.reset t.txns;
   t.commit_order <- [];
+  t.changes <- [];
+  t.snapshot_state <- t.seed_data;
+  t.snapshot_lsn <- 0;
+  t.last_commit_lsn <- 0;
   List.iter (fun (k, v) -> Hashtbl.replace t.store k v) t.seed_data;
-  let replay_one () = function
+  let replay_one lsn = function
     | W_prepared (xid, writes) ->
         let txn = get_txn t xid in
         txn.phase <- Prepared;
@@ -528,7 +615,8 @@ let recover t =
         txn.phase <- Committed;
         txn.writes <- writes;
         apply_writes t writes;
-        t.commit_order <- xid :: t.commit_order
+        t.commit_order <- xid :: t.commit_order;
+        note_commit t ~lsn writes
     | W_aborted xid ->
         let txn = get_txn t xid in
         txn.phase <- Aborted
@@ -545,9 +633,24 @@ let recover t =
           (fun xid ->
             let txn = get_txn t xid in
             txn.phase <- Aborted)
-          aborted
+          aborted;
+        t.changes <- [];
+        t.snapshot_state <- state;
+        t.snapshot_lsn <- lsn;
+        if lsn > t.last_commit_lsn then t.last_commit_lsn <- lsn
   in
-  Dstore.Wal.replay t.wal ~init:() ~f:replay_one;
+  (* checkpoint-bounded replay: scan for the latest durable snapshot, then
+     apply only it and the records above it, in LSN order *)
+  let ckpt = ref 0 in
+  Dstore.Log.iter_from t.log ~lsn:(Dstore.Log.base_lsn t.log) ~f:(fun lsn r ->
+      match r with W_snapshot _ -> ckpt := lsn | _ -> ());
+  let steps = ref 0 in
+  Dstore.Log.iter_from t.log
+    ~lsn:(max !ckpt (Dstore.Log.base_lsn t.log))
+    ~f:(fun lsn r ->
+      incr steps;
+      replay_one lsn r);
+  t.recovery_steps <- !steps;
   (* in-doubt transactions keep their write locks across the crash (read
      sets are not logged, so shared locks are volatile) *)
   Hashtbl.iter
@@ -572,21 +675,77 @@ let checkpoint t =
         if txn.phase = Prepared then (xid, txn.writes) :: acc else acc)
       t.txns []
   in
-  Dstore.Wal.truncate t.wal;
-  Dstore.Wal.append ~label:"checkpoint" t.wal
-    (W_snapshot
-       {
-         state;
-         committed = List.rev t.commit_order;
-         aborted = decided Aborted;
-       });
+  (* Crash-atomic: the snapshot and the in-doubt workspaces are appended
+     to the volatile tail and made durable by ONE force — a crash before
+     it cuts the whole group (recovery replays the untruncated history), a
+     crash after it finds a complete checkpoint. Only then is the history
+     below the snapshot truncated; the old truncate-then-append order had
+     a window in which a crash lost every committed record. *)
+  let snap_lsn =
+    Dstore.Log.append t.log
+      (W_snapshot
+         {
+           state;
+           committed = List.rev t.commit_order;
+           aborted = decided Aborted;
+         })
+  in
   (* in-doubt workspaces stay individually recoverable *)
   List.iter
     (fun (xid, writes) ->
-      Dstore.Wal.append ~label:"checkpoint" t.wal (W_prepared (xid, writes)))
-    prepared
+      ignore (Dstore.Log.append t.log (W_prepared (xid, writes))))
+    prepared;
+  Dstore.Log.force ~label:"checkpoint" t.log;
+  Dstore.Log.truncate_below t.log ~lsn:snap_lsn;
+  t.snapshot_state <- state;
+  t.snapshot_lsn <- snap_lsn;
+  t.changes <- [];
+  if snap_lsn > t.last_commit_lsn then t.last_commit_lsn <- snap_lsn
 
-let wal_length t = Dstore.Wal.length t.wal
+let log_length t = Dstore.Log.length t.log
+let log_bytes t = Dstore.Log.bytes t.log
+let appended_lsn t = Dstore.Log.appended_lsn t.log
+let durable_lsn t = Dstore.Log.durable_lsn t.log
+let last_commit_lsn t = t.last_commit_lsn
+let recovery_steps t = t.recovery_steps
+
+(* ---------------- Change-log shipping surface ---------------- *)
+
+type change_feed =
+  | Up_to_date
+  | Entries of (int * (string * Value.t) list) list
+      (** committed writes above the consumer's LSN, ascending *)
+  | Snapshot of { state : (string * Value.t) list; as_of : int }
+      (** the consumer is below the snapshot floor: enumeration is no
+          longer possible, re-seed from the full committed snapshot *)
+
+let changes_since ?(max_entries = 64) t ~lsn =
+  if lsn < t.snapshot_lsn then
+    Snapshot { state = t.snapshot_state; as_of = t.snapshot_lsn }
+  else
+    let fresh =
+      List.filter (fun (l, _) -> l > lsn) t.changes |> List.rev
+    in
+    match fresh with
+    | [] -> Up_to_date
+    | fresh ->
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        Entries (take max_entries fresh)
+
+let state_at t ~lsn =
+  if lsn < t.snapshot_lsn || lsn > t.last_commit_lsn then None
+  else begin
+    let h = Hashtbl.create 64 in
+    List.iter (fun (k, v) -> Hashtbl.replace h k v) t.snapshot_state;
+    List.iter
+      (fun (l, ws) ->
+        if l <= lsn then List.iter (fun (k, v) -> Hashtbl.replace h k v) ws)
+      (List.rev t.changes);
+    Some h
+  end
 
 let phase_of t xid = Option.map (fun txn -> txn.phase) (find_txn t xid)
 

@@ -69,12 +69,18 @@ val create :
   ?timing:timing ->
   ?seed_data:(string * Value.t) list ->
   ?read_locks:bool ->
+  ?group_commit:bool ->
   disk:Dstore.Disk.t ->
   name:string ->
   unit ->
   t
 (** The disk is this database's stable storage; [seed_data] is the initial
-    committed state (re-applied on recovery before WAL replay).
+    committed state (re-applied on recovery before log replay).
+
+    [group_commit:true] opts the redo log into the {!Dstore.Log}
+    group-commit scheduler: concurrent forced writes coalesce into one
+    {!Dstore.Disk.force} per window. Off by default — the per-call force
+    discipline is byte-identical to the historical WAL behaviour.
 
     [read_locks:true] enables strict two-phase locking — the serializability
     protocol the paper assumes exists ("we assume the existence of some
@@ -147,20 +153,65 @@ val commit_one_phase : t -> xid:Xid.t -> outcome
     poisoned or unknown. *)
 
 val recover : t -> unit
-(** Crash recovery: rebuild committed state from seed data + WAL, re-acquire
-    locks of in-doubt transactions, discard active ones. Free of charge
-    (reading the log is not a forced write). *)
+(** Crash recovery: cut the log's non-durable tail ({!Dstore.Log.crash_cut}),
+    rebuild committed state from seed data + checkpoint-bounded LSN-ordered
+    replay, re-acquire locks of in-doubt transactions, discard active ones.
+    Replay starts at the latest durable snapshot record (if any), so a
+    checkpointed log recovers in time proportional to the suffix, not the
+    history. Free of charge (reading the log is not a forced write). *)
 
 val checkpoint : t -> unit
-(** Compact the write-ahead log: replace the record history with one
-    snapshot of the committed state, the decided-transaction record (so
-    idempotent re-decides still answer correctly after recovery) and the
-    still-prepared workspaces. Costs two forced writes plus one per in-doubt
-    transaction; observable behaviour is unchanged — recovery just replays a
+(** Compact the redo log: append one snapshot of the committed state (plus
+    the decided-transaction record, so idempotent re-decides still answer
+    correctly after recovery) and the still-prepared workspaces, make the
+    group durable with a {e single} forced write, then raise the retention
+    floor to the snapshot's LSN. Crash-atomic: a crash before the force
+    recovers from the untruncated history, a crash after it finds a complete
+    checkpoint. Observable behaviour is unchanged — recovery just replays a
     bounded log. *)
 
-val wal_length : t -> int
-(** Current number of log records (checkpoint/compaction tests). *)
+val log_length : t -> int
+(** Number of retained log records (checkpoint/compaction tests). O(1). *)
+
+val log_bytes : t -> int
+(** Estimated byte footprint of the retained log records. O(1). *)
+
+val durable_lsn : t -> int
+(** Highest log sequence number guaranteed to survive a crash. O(1). *)
+
+val appended_lsn : t -> int
+(** Highest log sequence number handed out (volatile tail included). O(1). *)
+
+val last_commit_lsn : t -> int
+(** LSN of the newest committed-state mutation (commit record or snapshot).
+    The change-log shipping watermark: a replica that has applied up to this
+    LSN holds the current committed state. O(1). *)
+
+val recovery_steps : t -> int
+(** Number of log records replayed by the most recent {!recover} — the
+    checkpoint-bounded replay length (experiments/tests). *)
+
+(** {1 Change-log shipping (read replicas)} *)
+
+type change_feed =
+  | Up_to_date  (** the consumer already holds every committed change *)
+  | Entries of (int * (string * Value.t) list) list
+      (** committed write-sets above the consumer's LSN, ascending *)
+  | Snapshot of { state : (string * Value.t) list; as_of : int }
+      (** the consumer is below the retention floor (a checkpoint ran):
+          incremental shipping is impossible, re-seed from this full
+          committed snapshot at LSN [as_of] *)
+
+val changes_since : ?max_entries:int -> t -> lsn:int -> change_feed
+(** The committed changes a replica at [lsn] is missing. At most
+    [max_entries] (default 64) entries per call — the shipper paginates. *)
+
+val state_at :
+  t -> lsn:int -> (string, Value.t) Hashtbl.t option
+(** The committed store exactly as of [lsn]: snapshot state plus every
+    committed write-set at LSNs ≤ [lsn]. [None] when [lsn] predates the
+    retention floor (a later checkpoint discarded the history) or exceeds
+    [last_commit_lsn]. The [replica_consistency] oracle. *)
 
 (** {1 Introspection (tests, property checkers, experiments)} *)
 
@@ -194,3 +245,9 @@ val votes_cast : t -> (Xid.t * vote) list
 
 val name : t -> string
 val disk : t -> Dstore.Disk.t
+
+val group_commit : t -> bool
+(** Whether this resource manager's redo log runs the group-commit
+    scheduler ([create ~group_commit:true]). The database server reads
+    this to pick its commitment concurrency shape: coalescing only pays
+    when concurrent sessions force the log at the same time. *)

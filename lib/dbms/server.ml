@@ -53,6 +53,20 @@ let timed sink name f =
       s.Rt.obs_observe name (Rt.now () -. t0);
       r
 
+(* Commitment concurrency shape. With the classic per-call force
+   discipline the prepare and decide handlers run their work inline: at
+   most one vote and one decide force are ever in flight per database,
+   which is byte-identical to the historical servers. A group-commit
+   database instead handles each commitment message in its own session
+   fiber — group commit only pays when sessions force the log
+   concurrently, and a single sequential handler alternating with the
+   decide path never overlaps two forces (the scheduler would coalesce
+   nothing). This is the architecture the optimisation was invented
+   for: many sessions reach their commit point independently and one
+   disk write makes the whole window durable. *)
+let session rm label f =
+  if Rm.group_commit rm then Rt.fork label f else f ()
+
 let prepare_handler rm ch sink () =
   let rec loop () =
     match Rt.recv_cls Msg.cls_prepare with
@@ -60,13 +74,17 @@ let prepare_handler rm ch sink () =
     | Some m ->
         (match m.payload with
         | Msg.Prepare { xid } ->
-            let vote = timed sink "db.vote_ms" (fun () -> Rm.vote rm ~xid) in
-            Rchannel.send ch m.src (Msg.Vote_msg { xid; vote })
+            session rm "db-prepare-session" (fun () ->
+                let vote =
+                  timed sink "db.vote_ms" (fun () -> Rm.vote rm ~xid)
+                in
+                Rchannel.send ch m.src (Msg.Vote_msg { xid; vote }))
         | Msg.Prepare_batch { xids } ->
-            let votes =
-              timed sink "db.vote_ms" (fun () -> Rm.vote_many rm ~xids)
-            in
-            Rchannel.send ch m.src (Msg.Vote_batch { votes })
+            session rm "db-prepare-session" (fun () ->
+                let votes =
+                  timed sink "db.vote_ms" (fun () -> Rm.vote_many rm ~xids)
+                in
+                Rchannel.send ch m.src (Msg.Vote_batch { votes }))
         | _ -> ());
         loop ()
   in
@@ -99,27 +117,63 @@ let decide_handler rm ch sink ~invalidate ~observers () =
     | Some m ->
         (match m.payload with
         | Msg.Decide { xid; outcome } ->
-            let applied =
-              timed sink "db.decide_ms" (fun () -> Rm.decide rm ~xid outcome)
-            in
-            if applied = Rm.Commit then invalidate_commits [ xid ];
-            Rchannel.send ch m.src (Msg.Ack_decide { xid })
+            session rm "db-decide-session" (fun () ->
+                let applied =
+                  timed sink "db.decide_ms" (fun () ->
+                      Rm.decide rm ~xid outcome)
+                in
+                if applied = Rm.Commit then invalidate_commits [ xid ];
+                Rchannel.send ch m.src (Msg.Ack_decide { xid }))
         | Msg.Decide_batch { items } ->
-            let applied =
-              timed sink "db.decide_ms" (fun () -> Rm.decide_many rm ~items)
-            in
-            invalidate_commits
-              (List.filter_map
-                 (fun (xid, o) -> if o = Rm.Commit then Some xid else None)
-                 applied);
-            Rchannel.send ch m.src
-              (Msg.Ack_decide_batch { xids = List.map fst items })
+            session rm "db-decide-session" (fun () ->
+                let applied =
+                  timed sink "db.decide_ms" (fun () ->
+                      Rm.decide_many rm ~items)
+                in
+                invalidate_commits
+                  (List.filter_map
+                     (fun (xid, o) -> if o = Rm.Commit then Some xid else None)
+                     applied);
+                Rchannel.send ch m.src
+                  (Msg.Ack_decide_batch { xids = List.map fst items }))
         | _ -> ());
         loop ()
   in
   loop ()
 
-let spawn (rt : Rt.t) ?(invalidate = false) ~name ~rm ~observers () =
+(* Change-log shipping: stream the committed suffix to each read replica,
+   paginated, in LSN order. Push-based and fire-and-forget — the primary
+   never waits for a replica (asynchronous replication: replicas cost no
+   commit-path latency). The per-replica watermark below is volatile by
+   design: a recovered primary reships from scratch and the replicas drop
+   the duplicates (their apply is idempotent on LSNs). *)
+let ship_thread rm ch ~period ~replicas () =
+  let sent = Hashtbl.create 8 in
+  let rec loop () =
+    Rt.sleep period;
+    List.iter
+      (fun pid ->
+        let from = try Hashtbl.find sent pid with Not_found -> 0 in
+        match Rm.changes_since rm ~lsn:from with
+        | Rm.Up_to_date -> ()
+        | Rm.Entries entries ->
+            let upto = Rm.last_commit_lsn rm in
+            let top =
+              List.fold_left (fun acc (l, _) -> max acc l) from entries
+            in
+            Hashtbl.replace sent pid top;
+            Rchannel.send ch pid (Msg.Ship { entries; upto })
+        | Rm.Snapshot { state; as_of } ->
+            Hashtbl.replace sent pid as_of;
+            Rchannel.send ch pid
+              (Msg.Ship_snapshot
+                 { state; as_of; upto = Rm.last_commit_lsn rm }))
+      (replicas ());
+    loop ()
+  in
+  loop ()
+
+let spawn (rt : Rt.t) ?(invalidate = false) ?ship ~name ~rm ~observers () =
   rt.spawn ~name ~main:(fun ~recovery () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
@@ -134,6 +188,10 @@ let spawn (rt : Rt.t) ?(invalidate = false) ~name ~rm ~observers () =
           Rchannel.broadcast ch (observers ()) (Msg.Invalidate { keys = [] });
         Rchannel.broadcast ch (observers ()) Msg.Ready
       end;
+      (match ship with
+      | None -> ()
+      | Some (period, replicas) ->
+          Rt.fork "db-ship" (ship_thread rm ch ~period ~replicas));
       Rt.fork "db-exec" (exec_handler rm ch);
       Rt.fork "db-prepare" (prepare_handler rm ch sink);
       decide_handler rm ch sink ~invalidate ~observers ())

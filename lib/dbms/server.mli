@@ -12,6 +12,7 @@ open Runtime
 val spawn :
   Etx_runtime.t ->
   ?invalidate:bool ->
+  ?ship:float * (unit -> Types.proc_id list) ->
   name:string ->
   rm:Rm.t ->
   observers:(unit -> Types.proc_id list) ->
@@ -20,6 +21,14 @@ val spawn :
 (** [observers ()] is the list of application servers to notify with [Ready]
     after a recovery (a thunk because application servers are usually
     spawned after the databases).
+
+    [ship = (period, replicas)] forks the change-log shipping thread:
+    every [period] ms of virtual time it streams the committed write-sets
+    each process in [replicas ()] is missing ({!Msg.Ship}), or a full
+    snapshot ({!Msg.Ship_snapshot}) when a checkpoint already discarded
+    the replica's suffix. Omitted (the default) the thread is not even
+    forked, so replica-less deployments are event-for-event identical to
+    the pre-replica revision.
 
     [invalidate] (default [false]) turns on commit-piggybacked cache
     invalidation: every committing decide additionally broadcasts

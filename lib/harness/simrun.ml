@@ -10,26 +10,30 @@ let engine ?(seed = 1) ?(tracing = true) ?obs () =
 let deployment ?seed ?tracing ?obs ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
     ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
     ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown ?batch
-    ?cache ~business ~script () =
+    ?cache ?group_commit ?replicas ?replica_bound ?ship_period ~business
+    ~script () =
   let e, rt = engine ?seed ?tracing ?obs () in
   let d =
     Etx.Deployment.build ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
       ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
       ?gc_after ?backend ?recoverable ?register_disk_latency ?breakdown ?batch
-      ?cache ~rt ~business ~script ()
+      ?cache ?group_commit ?replicas ?replica_bound ?ship_period ~rt
+      ~business ~script ()
   in
   (e, d)
 
 let cluster ?seed ?tracing ?obs ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec
     ?timing ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
     ?gc_after ?backend ?recoverable ?register_disk_latency ?batch ?cache
-    ~business ~scripts () =
+    ?group_commit ?replicas ?replica_bound ?ship_period ~business ~scripts
+    () =
   let e, rt = engine ?seed ?tracing ?obs () in
   let c =
     Cluster.build ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec ?timing
       ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
-      ?gc_after ?backend ?recoverable ?register_disk_latency ?batch ?cache ~rt
-      ~business ~scripts ()
+      ?gc_after ?backend ?recoverable ?register_disk_latency ?batch ?cache
+      ?group_commit ?replicas ?replica_bound ?ship_period ~rt ~business
+      ~scripts ()
   in
   (e, c)
 

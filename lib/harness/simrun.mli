@@ -39,6 +39,10 @@ val deployment :
   ?breakdown:Stats.Breakdown.t ->
   ?batch:int ->
   ?cache:bool ->
+  ?group_commit:bool ->
+  ?replicas:int ->
+  ?replica_bound:int ->
+  ?ship_period:float ->
   business:Etx.Business.t ->
   script:(issue:(string -> Etx.Client.record) -> unit) ->
   unit ->
@@ -66,6 +70,10 @@ val cluster :
   ?register_disk_latency:float ->
   ?batch:int ->
   ?cache:bool ->
+  ?group_commit:bool ->
+  ?replicas:int ->
+  ?replica_bound:int ->
+  ?ship_period:float ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
   unit ->

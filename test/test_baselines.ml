@@ -167,7 +167,7 @@ let test_tpc_recovery_redrives_logged_commit () =
          | Baselines.Tpc.L_outcome (_, Dbms.Rm.Abort) | Baselines.Tpc.L_start _
            ->
              false)
-       (Dstore.Wal.records t.log))
+       (Dstore.Log.records t.log))
 
 (* ------------------------------------------------------------------ *)
 (* Primary-backup *)

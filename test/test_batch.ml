@@ -57,19 +57,17 @@ let in_sim f =
   ignore (Dsim.Engine.run t);
   match !result with Some r -> r | None -> Alcotest.fail "fiber did not run"
 
-let test_wal_append_many_single_force () =
+let test_log_append_list_single_force () =
   in_sim (fun _ ->
       let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
-      let wal = Dstore.Wal.create ~disk () in
-      Dstore.Wal.append_many wal [ "a"; "b"; "c"; "d" ];
+      let log = Dstore.Log.create ~disk () in
+      Dstore.Log.append_list log [ "a"; "b"; "c"; "d" ];
+      Dstore.Log.force log;
       Alcotest.(check int) "one force for four records" 1
         (Dstore.Disk.forced_writes disk);
       Alcotest.(check (list string))
         "records in order" [ "a"; "b"; "c"; "d" ]
-        (Dstore.Wal.records wal);
-      Dstore.Wal.append_many wal [];
-      Alcotest.(check int) "empty batch forces nothing" 1
-        (Dstore.Disk.forced_writes disk))
+        (Dstore.Log.records log))
 
 let batch_of_active rm n =
   (* n independent started transactions on distinct keys, all executed *)
@@ -311,8 +309,8 @@ let () =
         ] );
       ( "group-commit",
         [
-          Alcotest.test_case "wal append_many forces once" `Quick
-            test_wal_append_many_single_force;
+          Alcotest.test_case "log append_list + one force" `Quick
+            test_log_append_list_single_force;
           Alcotest.test_case "vote_many forces once" `Quick
             test_rm_vote_many_one_force;
           Alcotest.test_case "decide_many forces once" `Quick

@@ -423,6 +423,54 @@ let test_vote_decide_race () =
   Alcotest.(check int) "no in-doubt after replay" 0
     (List.length (Rm.in_doubt rm))
 
+(* Concurrent committers on a group-commit database share force windows:
+   N sessions reaching their commit point together pay a couple of disk
+   forces, not 2N. Per-call mode (the default) stays at exactly 2N —
+   the historical WAL's accounting. The ordering half of the property:
+   commits that resume out of LSN order (the higher-LSN fiber can wake
+   first after a shared window) must still ship ascending. *)
+let gc_commit_storm ~gc n =
+  let t = Dsim.Engine.create () in
+  let disk = Dstore.Disk.create ~force_latency:10. ~label:"log" () in
+  let rm =
+    Rm.create ~timing:Rm.zero_timing ~group_commit:gc ~disk ~name:"db" ()
+  in
+  let _ =
+    Dsim.Engine.spawn t ~name:"db" ~main:(fun ~recovery:_ () ->
+        for i = 1 to n do
+          Dsim.Engine.fork "session" (fun () ->
+              let x = xid i in
+              Rm.xa_start rm ~xid:x;
+              ignore
+                (Rm.exec rm ~xid:x
+                   [ Rm.Put (Printf.sprintf "k%d" i, Value.Int i) ]);
+              ignore (Rm.vote rm ~xid:x);
+              ignore (Rm.decide rm ~xid:x Rm.Commit))
+        done)
+  in
+  ignore (Dsim.Engine.run t);
+  Alcotest.(check int) "all committed" n (List.length (Rm.committed_xids rm));
+  (rm, Dstore.Disk.forced_writes disk)
+
+let test_group_commit_concurrent_sessions () =
+  let _, forces_off = gc_commit_storm ~gc:false 8 in
+  Alcotest.(check int) "per-call: one force per vote and decide" 16 forces_off;
+  let rm, forces_on = gc_commit_storm ~gc:true 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "coalesced: %d forces for 8 committers" forces_on)
+    true
+    (forces_on <= 4);
+  (* the change feed must come out in ascending LSN order no matter
+     which fiber resumed first *)
+  match Rm.changes_since rm ~lsn:0 with
+  | Rm.Entries entries ->
+      let lsns = List.map fst entries in
+      Alcotest.(check (list int)) "feed ascending" (List.sort compare lsns)
+        lsns;
+      Alcotest.(check int) "every commit shipped" 8 (List.length entries)
+  | Rm.Up_to_date | Rm.Snapshot _ ->
+      Alcotest.fail "expected incremental entries"
+
 (* ------------------------------------------------------------------ *)
 (* strict two-phase locking (the serializability option) *)
 
@@ -646,9 +694,9 @@ let test_checkpoint_compacts_log () =
   in_sim (fun _ ->
       let rm = fresh_rm () in
       committed_many rm 10;
-      Alcotest.(check int) "20 records before" 20 (Rm.wal_length rm);
+      Alcotest.(check int) "20 records before" 20 (Rm.log_length rm);
       Rm.checkpoint rm;
-      Alcotest.(check int) "1 record after" 1 (Rm.wal_length rm);
+      Alcotest.(check int) "1 record after" 1 (Rm.log_length rm);
       Rm.recover rm;
       for i = 1 to 10 do
         Alcotest.(check bool)
@@ -687,7 +735,7 @@ let test_checkpoint_keeps_in_doubt () =
       ignore (Rm.exec rm ~xid:x [ Rm.Put ("k", Value.Int 9) ]);
       ignore (Rm.vote rm ~xid:x);
       Rm.checkpoint rm;
-      Alcotest.(check int) "snapshot + prepared record" 2 (Rm.wal_length rm);
+      Alcotest.(check int) "snapshot + prepared record" 2 (Rm.log_length rm);
       Rm.recover rm;
       Alcotest.(check (list bool)) "still in doubt" [ true ]
         (List.map (fun x' -> Xid.equal x' x) (Rm.in_doubt rm));
@@ -696,6 +744,163 @@ let test_checkpoint_keeps_in_doubt () =
         (Rm.decide rm ~xid:x Rm.Commit = Rm.Commit);
       Alcotest.(check bool) "write applied" true
         (Rm.read_committed rm "k" = Some (Value.Int 9)))
+
+(* ------------------------------------------------------------------ *)
+(* crash-point recovery: the process dies at an arbitrary instant (possibly
+   inside a forced write), recovery = checkpoint-load + LSN-ordered replay
+   must reproduce exactly the transactions whose decide had returned, and
+   exactly the prepared-undecided set as in-doubt. *)
+
+(* Run [script rm] inside an engine process with a 10 ms forced-write
+   latency, crash the process at [crash_at], recover it at [recover_at]
+   (the recovery run calls [Rm.recover]), and return whether recovery ran
+   plus the recovered [rm]. *)
+let crash_recovery_scenario ~crash_at ~recover_at ~script () =
+  let t = Dsim.Engine.create () in
+  let disk = Dstore.Disk.create ~force_latency:10. ~label:"log" () in
+  let rm = Rm.create ~timing:Rm.zero_timing ~seed_data:[] ~disk ~name:"db" () in
+  let recovered = ref false in
+  let pid =
+    Dsim.Engine.spawn t ~name:"db" ~main:(fun ~recovery () ->
+        if recovery then begin
+          Rm.recover rm;
+          recovered := true
+        end
+        else script rm)
+  in
+  Dsim.Engine.crash_at t crash_at pid;
+  Dsim.Engine.recover_at t recover_at pid;
+  ignore (Dsim.Engine.run t);
+  (!recovered, rm)
+
+(* Crash landing inside the checkpoint's single force: the snapshot record
+   is volatile, so the cut drops it and replay falls back to the full log —
+   the checkpoint never truncated (truncation runs only after the force
+   returns), so nothing is lost. This is exactly the crash window the old
+   truncate-then-append order left open. *)
+let test_crash_during_checkpoint () =
+  (* zero cpu timing: each commit is two 10 ms forces, so 5 commits end at
+     t=100 and the checkpoint force spans (100, 110) — crash at 105 *)
+  let recovered, rm =
+    crash_recovery_scenario ~crash_at:105. ~recover_at:140.
+      ~script:(fun rm ->
+        committed_many rm 5;
+        Rm.checkpoint rm)
+      ()
+  in
+  Alcotest.(check bool) "recovered" true recovered;
+  for i = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "k%d survives the aborted checkpoint" i)
+      true
+      (Rm.read_committed rm (Printf.sprintf "k%d" i) = Some (Value.Int i))
+  done;
+  (* the snapshot record was cut with the volatile tail: replay walked the
+     original 10 records (5 prepared + 5 committed), not a snapshot *)
+  Alcotest.(check int) "log back to the pre-checkpoint records" 10
+    (Rm.log_length rm);
+  Alcotest.(check int) "replay walked the full log" 10 (Rm.recovery_steps rm)
+
+(* Crash after a completed checkpoint: replay is bounded by the snapshot,
+   not the full history. *)
+let test_checkpoint_bounds_replay () =
+  (* 5 commits end at t=100, checkpoint force ends at 110, two more
+     commits end at 150; crash at 165 — after everything *)
+  let recovered, rm =
+    crash_recovery_scenario ~crash_at:165. ~recover_at:180.
+      ~script:(fun rm ->
+        committed_many rm 5;
+        Rm.checkpoint rm;
+        for i = 6 to 7 do
+          let x = xid i in
+          Rm.xa_start rm ~xid:x;
+          ignore
+            (Rm.exec rm ~xid:x
+               [ Rm.Put (Printf.sprintf "k%d" i, Value.Int i) ]);
+          ignore (Rm.vote rm ~xid:x);
+          ignore (Rm.decide rm ~xid:x Rm.Commit)
+        done)
+      ()
+  in
+  Alcotest.(check bool) "recovered" true recovered;
+  for i = 1 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "k%d present" i)
+      true
+      (Rm.read_committed rm (Printf.sprintf "k%d" i) = Some (Value.Int i))
+  done;
+  (* snapshot + the two post-checkpoint transactions (2 records each) *)
+  Alcotest.(check int) "replay bounded by the checkpoint" 5
+    (Rm.recovery_steps rm)
+
+(* The property: for ANY interleaving of commits, aborts, in-flight
+   prepares and checkpoints, and ANY crash instant, recovery reproduces
+   exactly the state of the decides that returned, and exactly the
+   prepared-undecided transactions as in-doubt (crash inside a vote's or
+   checkpoint's force included — those records are volatile and cut). *)
+let prop_crash_point_recovery =
+  (* action encoding: (kind mod 4, key mod 5) — 0/1 commit, 2 prepare and
+     leave in doubt, 3 checkpoint. Commits dominate so state accumulates. *)
+  QCheck.Test.make ~name:"any crash point: replay reproduces committed state"
+    ~count:40
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 12)
+           (pair (int_bound 3) (int_bound 4)))
+        (float_range 1. 400.))
+    (fun (actions, crash_at) ->
+      let model : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
+      let doubt = ref [] in
+      let script rm =
+        List.iteri
+          (fun i (kind, key) ->
+            let x = xid (i + 1) in
+            let k = Printf.sprintf "k%d" key in
+            Rm.xa_start rm ~xid:x;
+            match Rm.exec rm ~xid:x [ Rm.Put (k, Value.Int (i + 1)) ] with
+            | Rm.Exec_conflict _ | Rm.Exec_rejected ->
+                (* an in-doubt holder owns the lock: the protocol aborts a
+                   conflicted try (it never votes on one) *)
+                ignore (Rm.decide rm ~xid:x Rm.Abort)
+            | Rm.Exec_ok _ -> (
+                if kind = 3 then Rm.checkpoint rm;
+                match Rm.vote rm ~xid:x with
+                | Rm.No -> ()
+                | Rm.Yes -> (
+                    (* the prepared record is durable from here on *)
+                    doubt := x :: !doubt;
+                    match kind with
+                    | 2 -> () (* leave in doubt *)
+                    | _ ->
+                        ignore (Rm.decide rm ~xid:x Rm.Commit);
+                        doubt := List.filter (fun x' -> not (Xid.equal x' x)) !doubt;
+                        Hashtbl.replace model k (Value.Int (i + 1)))))
+          actions
+      in
+      let recovered, rm =
+        crash_recovery_scenario ~crash_at ~recover_at:(crash_at +. 500.)
+          ~script ()
+      in
+      let state_matches () =
+        List.for_all
+          (fun key ->
+            let k = Printf.sprintf "k%d" key in
+            Rm.read_committed rm k = Hashtbl.find_opt model k)
+          [ 0; 1; 2; 3; 4 ]
+      in
+      let doubt_matches () =
+        let rids xs =
+          List.sort compare (List.map (fun x -> x.Xid.rid) xs)
+        in
+        rids (Rm.in_doubt rm) = rids !doubt
+      in
+      recovered
+      && state_matches ()
+      && doubt_matches ()
+      &&
+      (* recovery is idempotent *)
+      (Rm.recover rm;
+       state_matches () && doubt_matches ()))
 
 (* ------------------------------------------------------------------ *)
 (* properties *)
@@ -817,6 +1022,8 @@ let () =
           Alcotest.test_case "one-phase commit" `Quick test_commit_one_phase;
           Alcotest.test_case "vote/decide race (regression)" `Quick
             test_vote_decide_race;
+          Alcotest.test_case "group commit: concurrent sessions" `Quick
+            test_group_commit_concurrent_sessions;
         ] );
       ( "recovery",
         [
@@ -851,6 +1058,14 @@ let () =
             test_server_ready_on_recovery;
           Alcotest.test_case "in-doubt across crash" `Quick
             test_server_in_doubt_across_crash;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "crash during checkpoint" `Quick
+            test_crash_during_checkpoint;
+          Alcotest.test_case "checkpoint bounds replay" `Quick
+            test_checkpoint_bounds_replay;
+          QCheck_alcotest.to_alcotest prop_crash_point_recovery;
         ] );
       ( "checkpoint",
         [

@@ -1,5 +1,5 @@
-(* Tests for the stable-storage substrate: simulated disk, write-ahead log,
-   stable key-value store. *)
+(* Tests for the stable-storage substrate: simulated disk, LSN-addressed
+   redo log, stable key-value store. *)
 
 open Dsim
 
@@ -54,36 +54,175 @@ let test_disk_trace_labels () =
       | None -> Alcotest.failf "no %s histogram" name)
     [ ("work.log", 5.); ("work.log-start", 5.) ]
 
-let test_wal_append_records () =
+let test_log_append_records () =
   in_sim (fun _ ->
       let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
-      let wal = Dstore.Wal.create ~disk () in
-      Alcotest.(check int) "empty" 0 (Dstore.Wal.length wal);
-      Dstore.Wal.append wal "a";
-      Dstore.Wal.append wal "b";
-      Dstore.Wal.append wal "c";
-      Alcotest.(check int) "three" 3 (Dstore.Wal.length wal);
+      let log = Dstore.Log.create ~disk () in
+      Alcotest.(check int) "empty" 0 (Dstore.Log.length log);
+      Alcotest.(check int) "lsn a" 1 (Dstore.Log.append log "a");
+      Alcotest.(check int) "lsn b" 2 (Dstore.Log.append log "b");
+      Alcotest.(check int) "lsn c" 3 (Dstore.Log.append log "c");
+      Alcotest.(check int) "three" 3 (Dstore.Log.length log);
       Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ]
-        (Dstore.Wal.records wal);
-      Alcotest.(check int) "one forced write per append" 3
-        (Dstore.Disk.forced_writes disk))
+        (Dstore.Log.records log);
+      Alcotest.(check int) "appends are volatile: no forced writes" 0
+        (Dstore.Disk.forced_writes disk);
+      Alcotest.(check int) "nothing durable yet" 0 (Dstore.Log.durable_lsn log);
+      Dstore.Log.force log;
+      Alcotest.(check int) "one force covers all" 1
+        (Dstore.Disk.forced_writes disk);
+      Alcotest.(check int) "durable watermark" 3 (Dstore.Log.durable_lsn log))
 
-let test_wal_replay () =
+let test_log_iterate () =
   in_sim (fun _ ->
       let disk = Dstore.Disk.create ~force_latency:0.1 ~label:"log" () in
-      let wal = Dstore.Wal.create ~disk () in
-      List.iter (Dstore.Wal.append wal) [ 1; 2; 3; 4 ];
+      let log = Dstore.Log.create ~segment_size:2 ~disk () in
+      Dstore.Log.append_list log [ 1; 2; 3; 4 ];
       Alcotest.(check int) "fold sum" 10
-        (Dstore.Wal.replay wal ~init:0 ~f:( + )))
+        (Dstore.Log.fold log ~init:0 ~f:( + ));
+      let seen = ref [] in
+      Dstore.Log.iter_from log ~lsn:3 ~f:(fun l r -> seen := (l, r) :: !seen);
+      Alcotest.(check (list (pair int int)))
+        "cursor from lsn 3"
+        [ (3, 3); (4, 4) ]
+        (List.rev !seen);
+      Alcotest.(check (option int)) "random access" (Some 2)
+        (Dstore.Log.get log ~lsn:2);
+      Alcotest.(check (option int)) "past tail" None
+        (Dstore.Log.get log ~lsn:5))
 
-let test_wal_truncate () =
+let test_log_truncate_below () =
   in_sim (fun _ ->
       let disk = Dstore.Disk.create ~force_latency:0.1 ~label:"log" () in
-      let wal = Dstore.Wal.create ~disk () in
-      Dstore.Wal.append wal "x";
-      Dstore.Wal.truncate wal;
-      Alcotest.(check int) "empty after truncate" 0 (Dstore.Wal.length wal);
-      Alcotest.(check (list string)) "no records" [] (Dstore.Wal.records wal))
+      let log = Dstore.Log.create ~segment_size:2 ~disk () in
+      Dstore.Log.append_list log [ "a"; "b"; "c"; "d"; "e" ];
+      Dstore.Log.force log;
+      let io = Dstore.Disk.forced_writes disk in
+      Dstore.Log.truncate_below log ~lsn:4;
+      Alcotest.(check int) "truncation forces nothing" io
+        (Dstore.Disk.forced_writes disk);
+      Alcotest.(check int) "floor" 4 (Dstore.Log.base_lsn log);
+      Alcotest.(check int) "two retained" 2 (Dstore.Log.length log);
+      Alcotest.(check (list string)) "suffix" [ "d"; "e" ]
+        (Dstore.Log.records log);
+      Alcotest.(check (option string)) "below floor is gone" None
+        (Dstore.Log.get log ~lsn:2);
+      Alcotest.check_raises "floor above durable rejected"
+        (Invalid_argument "Log.truncate_below: retention floor above durable_lsn")
+        (fun () ->
+          Dstore.Log.append_list log [ "f"; "g" ];
+          Dstore.Log.truncate_below log ~lsn:7))
+
+let test_log_crash_cut () =
+  in_sim (fun _ ->
+      let disk = Dstore.Disk.create ~force_latency:0.1 ~label:"log" () in
+      let log = Dstore.Log.create ~segment_size:2 ~disk () in
+      Dstore.Log.append_list log [ "a"; "b" ];
+      Dstore.Log.force log;
+      Dstore.Log.append_list log [ "c"; "d"; "e" ];
+      Alcotest.(check int) "volatile tail" 5 (Dstore.Log.appended_lsn log);
+      Dstore.Log.crash_cut log;
+      Alcotest.(check int) "tail cut to durable" 2
+        (Dstore.Log.appended_lsn log);
+      Alcotest.(check (list string)) "durable prefix survives" [ "a"; "b" ]
+        (Dstore.Log.records log);
+      (* LSNs keep increasing after the cut *)
+      Alcotest.(check int) "next lsn after cut" 3 (Dstore.Log.append log "c'");
+      Dstore.Log.force log;
+      Alcotest.(check (list string)) "resumed" [ "a"; "b"; "c'" ]
+        (Dstore.Log.records log))
+
+let test_log_group_commit_coalesces () =
+  (* N concurrent committers, one disk force per window: with a coalescing
+     log, concurrent forces pay one latency, not N. *)
+  let t = Engine.create () in
+  let disk = Dstore.Disk.create ~force_latency:10. ~label:"log" () in
+  let log = Dstore.Log.create ~coalesce:true ~disk () in
+  let done_at = ref [] in
+  for i = 1 to 4 do
+    ignore
+      (Engine.spawn t
+         ~name:(Printf.sprintf "w%d" i)
+         ~main:(fun ~recovery:_ () ->
+           ignore (Dstore.Log.append log (Printf.sprintf "r%d" i));
+           Dstore.Log.force log;
+           done_at := Engine.now () :: !done_at))
+  done;
+  ignore (Engine.run t);
+  Alcotest.(check int) "all four committed" 4 (List.length !done_at);
+  Alcotest.(check int) "durable" 4 (Dstore.Log.durable_lsn log);
+  (* all four appends happen at t=0 before the first force's disk write
+     starts, so a single window covers them *)
+  Alcotest.(check int) "one coalesced force" 1
+    (Dstore.Disk.forced_writes disk)
+
+let test_log_group_commit_late_window () =
+  (* A record appended after a window's write started must NOT be reported
+     durable by that window — a second force covers it. *)
+  let t = Engine.create () in
+  let disk = Dstore.Disk.create ~force_latency:10. ~label:"log" () in
+  let log = Dstore.Log.create ~coalesce:true ~disk () in
+  ignore
+    (Engine.spawn t ~name:"early" ~main:(fun ~recovery:_ () ->
+         ignore (Dstore.Log.append log "early");
+         Dstore.Log.force log));
+  ignore
+    (Engine.spawn t ~name:"late" ~main:(fun ~recovery:_ () ->
+         Engine.sleep 5.;
+         (* mid-window: the first force's write is in flight *)
+         ignore (Dstore.Log.append log "late");
+         Dstore.Log.force log;
+         Alcotest.(check int) "late record durable on return" 2
+           (Dstore.Log.durable_lsn log)));
+  ignore (Engine.run t);
+  Alcotest.(check int) "two windows" 2 (Dstore.Disk.forced_writes disk)
+
+let prop_log_segments_invisible =
+  QCheck.Test.make ~name:"segmenting never changes contents" ~count:100
+    QCheck.(pair (1 -- 8) (list small_int))
+    (fun (seg, xs) ->
+      in_sim (fun _ ->
+          let disk = Dstore.Disk.create ~force_latency:0.01 ~label:"l" () in
+          let log = Dstore.Log.create ~segment_size:seg ~disk () in
+          Dstore.Log.append_list log xs;
+          Dstore.Log.records log = xs
+          && Dstore.Log.length log = List.length xs))
+
+let prop_log_crash_cut_keeps_durable_prefix =
+  (* Force after a random prefix, append the rest, crash: exactly the
+     durable prefix survives, regardless of segment boundaries. *)
+  QCheck.Test.make ~name:"crash cut = durable prefix" ~count:100
+    QCheck.(triple (1 -- 4) (list small_int) (list small_int))
+    (fun (seg, before, after) ->
+      in_sim (fun _ ->
+          let disk = Dstore.Disk.create ~force_latency:0.01 ~label:"l" () in
+          let log = Dstore.Log.create ~segment_size:seg ~disk () in
+          Dstore.Log.append_list log before;
+          Dstore.Log.force log;
+          Dstore.Log.append_list log after;
+          Dstore.Log.crash_cut log;
+          Dstore.Log.records log = before
+          && Dstore.Log.appended_lsn log = List.length before))
+
+let prop_log_truncate_then_cut =
+  (* Truncation composed with crash cut: the retained window is always
+     [max floor 1 .. durable]. *)
+  QCheck.Test.make ~name:"truncate+cut window" ~count:100
+    QCheck.(quad (1 -- 4) (list small_int) small_nat (list small_int))
+    (fun (seg, before, floor_off, after) ->
+      in_sim (fun _ ->
+          let disk = Dstore.Disk.create ~force_latency:0.01 ~label:"l" () in
+          let log = Dstore.Log.create ~segment_size:seg ~disk () in
+          Dstore.Log.append_list log before;
+          Dstore.Log.force log;
+          let floor = min (floor_off + 1) (Dstore.Log.durable_lsn log + 1) in
+          Dstore.Log.truncate_below log ~lsn:floor;
+          Dstore.Log.append_list log after;
+          Dstore.Log.crash_cut log;
+          let expect =
+            List.filteri (fun i _ -> i + 1 >= floor) before
+          in
+          Dstore.Log.records log = expect))
 
 let test_stable_kv () =
   in_sim (fun _ ->
@@ -103,38 +242,32 @@ let test_stable_kv () =
         (Dstore.Stable_kv.bindings kv);
       Alcotest.(check int) "4 forced writes" 4 (Dstore.Disk.forced_writes disk))
 
-let test_wal_survives_crash () =
-  (* The WAL object lives outside the process; a crash between appends must
-     not lose acknowledged records. *)
+let test_log_survives_crash () =
+  (* The log object lives outside the process; a crash between appends must
+     not lose forced records, and must lose the unforced tail. *)
   let t = Engine.create () in
   let disk = Dstore.Disk.create ~force_latency:1. ~label:"log" () in
-  let wal = Dstore.Wal.create ~disk () in
+  let log = Dstore.Log.create ~disk () in
   let after_recovery = ref [] in
   let p =
     Engine.spawn t ~name:"p" ~main:(fun ~recovery () ->
-        if recovery then after_recovery := Dstore.Wal.records wal
+        if recovery then begin
+          Dstore.Log.crash_cut log;
+          after_recovery := Dstore.Log.records log
+        end
         else begin
-          Dstore.Wal.append wal "committed-1";
+          ignore (Dstore.Log.append log "committed-1");
+          Dstore.Log.force log;
+          ignore (Dstore.Log.append log "appended-not-forced");
           Engine.sleep 100.;
-          Dstore.Wal.append wal "never-happens"
+          ignore (Dstore.Log.append log "never-happens")
         end)
   in
   Engine.crash_at t 50. p;
   Engine.recover_at t 60. p;
   ignore (Engine.run t);
   Alcotest.(check (list string))
-    "only the pre-crash record" [ "committed-1" ] !after_recovery
-
-let prop_wal_replay_equals_fold =
-  QCheck.Test.make ~name:"wal replay = list fold" ~count:100
-    QCheck.(list small_int)
-    (fun xs ->
-      in_sim (fun _ ->
-          let disk = Dstore.Disk.create ~force_latency:0.01 ~label:"l" () in
-          let wal = Dstore.Wal.create ~disk () in
-          List.iter (Dstore.Wal.append wal) xs;
-          Dstore.Wal.replay wal ~init:[] ~f:(fun acc x -> x :: acc)
-          = List.fold_left (fun acc x -> x :: acc) [] xs))
+    "only the forced record" [ "committed-1" ] !after_recovery
 
 (* ------------------------------------------------------------------ *)
 (* backend parity: disk work routed through the runtime capability *)
@@ -187,13 +320,21 @@ let () =
           Alcotest.test_case "sim/live forced-IO parity" `Quick
             test_forced_writes_sim_live_parity;
         ] );
-      ( "wal",
+      ( "log",
         [
-          Alcotest.test_case "append/records" `Quick test_wal_append_records;
-          Alcotest.test_case "replay" `Quick test_wal_replay;
-          Alcotest.test_case "truncate" `Quick test_wal_truncate;
-          Alcotest.test_case "survives crash" `Quick test_wal_survives_crash;
-          q prop_wal_replay_equals_fold;
+          Alcotest.test_case "append/force/records" `Quick
+            test_log_append_records;
+          Alcotest.test_case "cursor/fold/get" `Quick test_log_iterate;
+          Alcotest.test_case "truncate below" `Quick test_log_truncate_below;
+          Alcotest.test_case "crash cut" `Quick test_log_crash_cut;
+          Alcotest.test_case "group commit coalesces" `Quick
+            test_log_group_commit_coalesces;
+          Alcotest.test_case "group commit late window" `Quick
+            test_log_group_commit_late_window;
+          Alcotest.test_case "survives crash" `Quick test_log_survives_crash;
+          q prop_log_segments_invisible;
+          q prop_log_crash_cut_keeps_durable_prefix;
+          q prop_log_truncate_then_cut;
         ] );
       ( "stable-kv",
         [ Alcotest.test_case "put/get/remove" `Quick test_stable_kv ] );
