@@ -13,14 +13,14 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      scale scale-smoke shard shard-smoke batch batch-smoke cache
-      cache-smoke group-commit group-commit-smoke recovery recovery-smoke
-      replica replica-smoke parallel live micro failover-phases
-      obs-overhead)
+      scale scale-smoke shard shard-smoke cross cross-smoke batch
+      batch-smoke cache cache-smoke group-commit group-commit-smoke
+      recovery recovery-smoke replica replica-smoke parallel live micro
+      failover-phases obs-overhead)
 
    Each invocation also writes BENCH_harness.json (via {!Stats.Json}) —
    per-artefact wall-clock seconds plus the sweep points, machine-readable:
-     { "schema": "etx-bench-harness/8", "domains": N, "host_cores": C,
+     { "schema": "etx-bench-harness/9", "domains": N, "host_cores": C,
        "artefacts": [ { "name": "figure8", "backend": "sim", "obs": "off",
                         "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
@@ -30,6 +30,10 @@
                     "vtime_ms": 1916.9, "tx_per_vs": 8.3, "wall_s": 0.2 },
                   { "backend": "live", "shards": 2, ...,
                     "requests_per_sec": 5.0 }, ... ],
+       "cross": [ { "backend": "sim", "shards": 2, "cross_ratio": 0.5,
+                    "cross": 6, "requests": 12, "delivered": 12,
+                    "mean_participants": 1.5, "tx_per_vs": 4.1,
+                    "msgs_per_commit": 61.0, "wall_s": 0.3 }, ... ],
        "live": [ { "clients": 2, "requests": 6, "wall_s": 1.2,
                    "requests_per_sec": 5.0 }, ... ],
        "obs_overhead": [ { "mode": "disabled", "events": 12345,
@@ -72,6 +76,9 @@ let live_rows : (int * int * float * float) list ref = ref []
 let shard_rows : Harness.Experiments.shard_row list ref = ref []
 
 let shard_live_rows : (int * int * int * int * float * float) list ref = ref []
+
+(* A16 rows: cross-shard commit cost vs cross fraction *)
+let cross_rows : Harness.Experiments.cross_row list ref = ref []
 
 (* (mode, events, wall_s, events/s) rows from the obs-overhead artefact *)
 let obs_rows : (string * int * float * float) list ref = ref []
@@ -135,7 +142,7 @@ let write_bench_json () =
   let doc =
     Obj
       [
-        ("schema", String "etx-bench-harness/8");
+        ("schema", String "etx-bench-harness/9");
         ("domains", Int !domains);
         ("host_cores", Int host_cores);
         ( "artefacts",
@@ -164,6 +171,26 @@ let write_bench_json () =
                    ])
                !scale_rows) );
         ("shard", List shard_json);
+        ( "cross",
+          List
+            (List.map
+               (fun (r : Harness.Experiments.cross_row) ->
+                 Obj
+                   [
+                     ("backend", String "sim");
+                     ("shards", Int r.cx_shards);
+                     ("cross_ratio", Float r.cx_ratio);
+                     ("cross", Int r.cx_cross);
+                     ("requests", Int r.cx_requests);
+                     ("delivered", Int r.cx_delivered);
+                     ("mean_participants", Float r.cx_mean_participants);
+                     ("events", Int r.cx_events);
+                     ("vtime_ms", Float r.cx_vtime_ms);
+                     ("tx_per_vs", Float r.cx_tx_per_vs);
+                     ("msgs_per_commit", Float r.cx_msgs_per_commit);
+                     ("wall_s", Float r.cx_wall_s);
+                   ])
+               !cross_rows) );
         ( "live",
           List
             (List.map
@@ -539,6 +566,26 @@ let run_shard () =
 let run_shard_smoke () = run_shard_sim ~points:[ 1; 2 ] ()
 
 (* ------------------------------------------------------------------ *)
+(* A16: cross-shard commit — throughput and msgs/commit vs the cross
+   fraction of the workload, at 2 and 4 shards. Every row asserts the full
+   cluster spec (global atomicity included), so the artefact doubles as a
+   correctness sweep. *)
+
+let run_cross_sim ?points ?requests () =
+  let rows =
+    timed "cross" @@ fun () ->
+    Harness.Experiments.cross_sweep ?points ?requests ~domains:!domains ()
+  in
+  cross_rows := !cross_rows @ rows;
+  section "A16 (cross-shard commit)" (Harness.Experiments.render_cross rows)
+
+let run_cross () = run_cross_sim ()
+
+(* 2 shards, ends of the ratio range, smaller workload: the CI smoke *)
+let run_cross_smoke () =
+  run_cross_sim ~points:[ (2, 0.0); (2, 1.0) ] ~requests:6 ()
+
+(* ------------------------------------------------------------------ *)
 (* Live-backend artefact: wall-clock requests/sec on a small cluster.
    The only artefact that does not run on the simulator — sleeps, disk
    forces and network delays cost real milliseconds, so the figure of merit
@@ -901,6 +948,7 @@ let all () =
   run_obs_overhead ();
   run_scale ();
   run_shard ();
+  run_cross ();
   run_batch ();
   run_cache ();
   run_group_commit ();
@@ -949,6 +997,8 @@ let () =
           | "scale-smoke" -> run_scale_smoke ()
           | "shard" -> run_shard ()
           | "shard-smoke" -> run_shard_smoke ()
+          | "cross" -> run_cross ()
+          | "cross-smoke" -> run_cross_smoke ()
           | "batch" -> run_batch ()
           | "batch-smoke" -> run_batch_smoke ()
           | "cache" -> run_cache ()
@@ -965,7 +1015,7 @@ let () =
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|batch|batch-smoke|cache|cache-smoke|group-commit|group-commit-smoke|recovery|recovery-smoke|replica|replica-smoke|parallel|live|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|cross|cross-smoke|batch|batch-smoke|cache|cache-smoke|group-commit|group-commit-smoke|recovery|recovery-smoke|replica|replica-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

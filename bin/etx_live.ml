@@ -20,7 +20,16 @@
    audits route to the replicas and the crash lands mid-read-burst), and
    with [-obs] the run additionally asserts that the replicas actually
    served reads ([replica.served] > 0 in the dump). [-group-commit]
-   coalesces concurrent redo-log forces into one disk write per window. *)
+   coalesces concurrent redo-log forces into one disk write per window.
+
+   With [-cross] (implies at least 2 shards) every client repeatedly
+   transfers between one of its accounts on shard 0 and one on shard 1, so
+   each request is a cross-shard e-Transaction committed via Paxos Commit
+   and shard 0's primary coordinates every instance. The crash targets that
+   coordinator mid-transfer; the run asserts the global atomic outcome:
+   cluster spec (including global atomicity) plus per-account balances that
+   move in lock-step with the transfers that actually committed — a
+   transfer is never half-applied across the two shards. *)
 
 let clients = ref 3
 let requests = ref 4
@@ -30,6 +39,7 @@ let cache = ref false
 let replicas = ref 0
 let replica_bound = ref 8
 let group_commit = ref false
+let cross = ref false
 let seed = ref 42
 let out = ref "LIVE_smoke.json"
 let obs = ref ""
@@ -61,6 +71,12 @@ let speclist =
       Arg.Set group_commit,
       "  coalesce concurrent redo-log forces into one disk write per \
        group-commit window" );
+    ( "-cross",
+      Arg.Set cross,
+      "  cross-shard transfer smoke (implies -shards 2 unless larger): \
+       clients transfer between shard-0 and shard-1 accounts, the \
+       coordinating primary is crashed mid-transfer, and the run asserts \
+       the atomic outcome on both shards" );
     ("-seed", Arg.Set_int seed, "N  network-model RNG seed (default 42)");
     ("-out", Arg.Set_string out, "FILE  summary JSON path (default LIVE_smoke.json)");
     ( "-obs",
@@ -114,13 +130,14 @@ let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
   let doc =
     Obj
       [
-        ("schema", String "etx-live-smoke/5");
+        ("schema", String "etx-live-smoke/6");
         ("backend", String "live");
         ("shards", Int n_shards);
         ("batch", Int !batch);
         ("cache", Bool !cache);
         ("replicas", Int !replicas);
         ("group_commit", Bool !group_commit);
+        ("cross", Bool !cross);
         ("clients", Int n_clients);
         ("requests_per_client", Int n_requests);
         ("delivered", Int n_delivered);
@@ -139,7 +156,12 @@ let report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok =
   Printf.printf "etx_live: %d/%d delivered in %.1f s wall; %s (summary: %s)\n%!"
     n_delivered total wall_s
     (if ok then
-       if n_shards > 1 then
+       if !cross then
+         Printf.sprintf
+           "spec OK — every cross-shard transfer committed atomically on \
+            all %d shards across coordinator crash+recovery"
+           n_shards
+       else if n_shards > 1 then
          Printf.sprintf
            "spec OK — exactly-once held on all %d shards across crash+recovery"
            n_shards
@@ -384,14 +406,156 @@ let run_sharded () =
   Runtime_live.shutdown lt;
   report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok
 
+(* ------------------------------------------------------------------ *)
+(* Cross-shard path: every request is a cross-shard e-Transaction. *)
+
+(* the first [n] accounts (in acct-number order) homed on [shard] *)
+let shard_accounts map ~shard ~n =
+  let rec scan a acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let key = Printf.sprintf "acct%d" a in
+      if Etx.Shard_map.shard_of map key = shard then
+        scan (a + 1) (key :: acc) (remaining - 1)
+      else scan (a + 1) acc remaining
+  in
+  scan 0 [] n
+
+let run_cross () =
+  let n_clients = !clients and n_requests = !requests and n_shards = !shards in
+  let reg = obs_registry () in
+  let lt = Runtime_live.create ~seed:!seed ?obs:reg () in
+  let rt = Runtime_live.runtime lt in
+  let map = Etx.Shard_map.create ~shards:n_shards () in
+  (* client i transfers from its own shard-0 account into its own shard-1
+     account, so every request spans two replica groups and shard 0's
+     primary coordinates every Paxos Commit instance *)
+  let pairs =
+    List.combine
+      (shard_accounts map ~shard:0 ~n:n_clients)
+      (shard_accounts map ~shard:1 ~n:n_clients)
+  in
+  let seed_data =
+    Workload.Bank.seed_accounts
+      (List.concat_map (fun (f, t) -> [ (f, 1000); (t, 1000) ]) pairs)
+  in
+  let scripts =
+    List.map
+      (fun (f, t) ~issue ->
+        for _ = 1 to n_requests do
+          ignore (issue (Printf.sprintf "%s:%s:1" f t))
+        done)
+      pairs
+  in
+  let t_start = Unix.gettimeofday () in
+  let c =
+    Cluster.build ~map ~recoverable:true ~cross:true ~seed_data
+      ~business:Workload.Bank.transfer ~rt ~scripts ()
+  in
+  let delivered () = List.length (Cluster.all_records c) in
+  let total = n_clients * n_requests in
+  let coordinator = Cluster.primary c ~shard:0 in
+  let warm = rt.run_until ~deadline:60_000. (fun () -> delivered () >= min total 2) in
+  if not warm then prerr_endline "etx_live: WARNING: slow start";
+  (* crash the server coordinating every in-flight commit instance: the
+     remaining shard-0 servers (or any participant's cleaner) must drive
+     the open instances to a joint decision, and the recovered coordinator
+     rejoins from its stable registers *)
+  Printf.printf
+    "crashing coordinator (shard-0 primary p%d %s) at %.0f ms, %d/%d \
+     delivered\n%!"
+    coordinator (rt.name_of coordinator) (Runtime_live.now_ms lt) (delivered ())
+    total;
+  rt.crash coordinator;
+  ignore (rt.run_until ~deadline:(Runtime_live.now_ms lt +. 1_500.) (fun () -> false));
+  Printf.printf "recovering coordinator at %.0f ms, %d/%d delivered\n%!"
+    (Runtime_live.now_ms lt) (delivered ()) total;
+  rt.recover coordinator;
+  let settled = Cluster.run_to_quiescence ~deadline:240_000. c in
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let n_delivered = delivered () in
+  let scripts_done = List.for_all Etx.Client.script_done c.clients in
+  let violations = if settled then Cluster.Spec.check_all c else [] in
+  (* atomic outcome: a transfer that committed as a transfer moved one unit
+     on BOTH shards; one that aborted (or degraded to the read-only failure
+     probe under crash turmoil) moved nothing on either. Derive each pair's
+     expected balances from the delivered results and check every replica
+     of both home shards — any half-applied transfer shows up here. *)
+  let records = Cluster.all_records c in
+  let atomic_violations =
+    List.concat_map
+      (fun (f, t) ->
+        let moved =
+          List.length
+            (List.filter
+               (fun (r : Etx.Client.record) ->
+                 r.result = Printf.sprintf "transferred:1:%s->%s" f t)
+               records)
+        in
+        List.concat_map
+          (fun (key, expect) ->
+            let home = Cluster.shard_of_key c key in
+            List.filter_map
+              (fun (dbpid, rm) ->
+                match Dbms.Rm.read_committed rm key with
+                | Some (Dbms.Value.Int v) when v = expect -> None
+                | v ->
+                    Some
+                      (Printf.sprintf
+                         "shard %d db p%d: %s = %s, expected %d after %d \
+                          committed transfers (half-applied cross-shard \
+                          transaction)"
+                         home dbpid key
+                         (match v with
+                         | Some x -> Dbms.Value.to_string x
+                         | None -> "missing")
+                         expect moved))
+              (Cluster.group c home).Cluster.dbs)
+          [ (f, 1000 - moved); (t, 1000 + moved) ])
+      pairs
+  in
+  let violations =
+    violations
+    @ (match reg with
+      | Some r when settled -> Cluster.Spec.obs_consistency r c
+      | _ -> [])
+    @ (match reg with
+      | Some r when settled ->
+          (* the run must actually exercise the cross-shard path *)
+          if Obs.Registry.counter_total r "txn.cross_shard" > 0 then []
+          else [ "cross: no cross-shard transactions recorded" ]
+      | _ -> [])
+    @ atomic_violations
+    @ obs_violations ~n_delivered reg
+    @ (if settled then [] else [ "run did not quiesce before the deadline" ])
+    @ (if scripts_done then [] else [ "a client script did not finish" ])
+    @
+    if n_delivered = total then []
+    else [ Printf.sprintf "delivered %d of %d requests" n_delivered total ]
+  in
+  let ok = violations = [] in
+  write_summary ~out:!out ~n_shards ~n_clients ~n_requests ~n_delivered
+    ~wall_s ~violations ~ok;
+  Runtime_live.shutdown lt;
+  report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok
+
 let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "etx_live [-clients N] [-requests N] [-shards S] [-batch B] [-cache] \
-     [-replicas R] [-replica-bound L] [-group-commit] [-seed N] [-out FILE] \
-     [-obs FILE]";
+     [-replicas R] [-replica-bound L] [-group-commit] [-cross] [-seed N] \
+     [-out FILE] [-obs FILE]";
   if !shards < 1 then (prerr_endline "etx_live: -shards must be >= 1"; exit 2);
   if !batch < 1 then (prerr_endline "etx_live: -batch must be >= 1"; exit 2);
   if !replicas < 0 then
     (prerr_endline "etx_live: -replicas must be >= 0"; exit 2);
-  if !shards = 1 then run_single () else run_sharded ()
+  if !cross then begin
+    if !cache || !replicas > 0 || !batch > 1 then (
+      prerr_endline
+        "etx_live: -cross cannot be combined with -cache, -replicas or -batch";
+      exit 2);
+    if !shards < 2 then shards := 2;
+    run_cross ()
+  end
+  else if !shards = 1 then run_single ()
+  else run_sharded ()

@@ -245,6 +245,21 @@ let shard_cmd =
              replica groups).")
     Term.(const run $ seed_arg $ domains_arg)
 
+let cross_cmd =
+  let run seed domains =
+    set_domains domains;
+    print_endline
+      (Harness.Experiments.render_cross
+         (Harness.Experiments.cross_sweep ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "cross"
+       ~doc:
+         "Ablation A16: cross-shard commit (Paxos Commit over the replica \
+          groups) — throughput and messages per commit vs the cross-shard \
+          fraction of the workload.")
+    Term.(const run $ seed_arg $ domains_arg)
+
 (* ---------------- demo subcommand ---------------- *)
 
 type workload_choice = W_bank | W_transfer | W_travel | W_mixed
@@ -298,7 +313,7 @@ let write_obs_dump ~file ~delivered reg =
    drawn from the workload generator (transfers stay intra-shard), requests
    dealt round-robin to the clients. Faults target shard 0. *)
 let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-    batch cache replicas replica_bound group_commit force_latency
+    batch cache replicas replica_bound group_commit force_latency cross_ratio
     crash_primary_at crash_db obs =
   let kind =
     let accounts = max 8 (4 * shards) in
@@ -318,7 +333,8 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   in
   let map = Etx.Shard_map.create ~shards () in
   let bodies =
-    Workload.Generator.sharded_bodies ~map ~seed ~n:(clients * requests) kind
+    Workload.Generator.sharded_bodies ~map ~cross_ratio ~seed
+      ~n:(clients * requests) kind
     |> List.map snd
   in
   (* deal bodies round-robin: client i gets bodies i, i+clients, ... *)
@@ -329,7 +345,8 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   let engine, c =
     Harness.Simrun.cluster ~seed ~map ?obs:reg ~n_app_servers ~n_dbs ~batch
       ~cache ~replicas ~replica_bound ~group_commit
-      ~disk_force_latency:force_latency ~client_period:300.
+      ~cross:(cross_ratio > 0.) ~disk_force_latency:force_latency
+      ~client_period:300.
       ~seed_data:(Workload.Generator.seed_data_of kind)
       ~business:(Workload.Generator.business_of kind)
       ~scripts:(List.init clients script_for)
@@ -392,15 +409,19 @@ let demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
   if (not quiesced) || violations <> [] || not obs_ok then exit 1
 
 let demo_run seed workload requests n_app_servers n_dbs shards clients batch
-    cache replicas replica_bound group_commit force_latency crash_primary_at
-    crash_db verbose diagram obs =
+    cache replicas replica_bound group_commit force_latency cross_ratio
+    crash_primary_at crash_db verbose diagram obs =
   if shards < 1 then (Printf.eprintf "--shards must be >= 1\n"; exit 2);
   if clients < 1 then (Printf.eprintf "--clients must be >= 1\n"; exit 2);
   if batch < 1 then (Printf.eprintf "--batch must be >= 1\n"; exit 2);
   if replicas < 0 then (Printf.eprintf "--replicas must be >= 0\n"; exit 2);
+  if cross_ratio < 0. || cross_ratio > 1. then
+    (Printf.eprintf "--cross-ratio must be in [0, 1]\n"; exit 2);
+  if cross_ratio > 0. && shards < 2 then
+    (Printf.eprintf "--cross-ratio needs --shards >= 2\n"; exit 2);
   if shards > 1 || clients > 1 then
     demo_run_cluster seed workload requests n_app_servers n_dbs shards clients
-      batch cache replicas replica_bound group_commit force_latency
+      batch cache replicas replica_bound group_commit force_latency cross_ratio
       crash_primary_at crash_db obs
   else
   let business, seed_data, body_of =
@@ -614,12 +635,28 @@ let demo_cmd =
       & info [ "force-latency" ] ~docv:"MS"
           ~doc:"Latency of one forced redo-log disk write (default 12.5).")
   in
+  let cross_ratio =
+    Arg.(
+      value & opt float 0.
+      & info [ "cross-ratio" ] ~docv:"R"
+          ~doc:
+            "Fraction of transfer bodies whose destination account lives on \
+             a foreign shard (deterministic interleave). Any positive value \
+             builds the cluster with the cross-shard commit wiring, so those \
+             transfers commit atomically across their replica groups via \
+             Paxos Commit; 0 (the default) keeps the classic group-local \
+             path, record-for-record. Needs --shards >= 2.")
+  in
   let crash_primary =
     Arg.(
       value
       & opt (some float) None
       & info [ "crash-primary-at" ] ~docv:"MS"
-          ~doc:"Crash the default primary at this virtual time (ms).")
+          ~doc:
+            "Crash the default primary at this virtual time (ms). With \
+             --cross-ratio > 0 shard 0's primary is the coordinator of every \
+             cross transfer homed there, so this exercises the \
+             takeover-completion path.")
   in
   let crash_db =
     Arg.(
@@ -656,7 +693,8 @@ let demo_cmd =
     Term.(
       const demo_run $ seed_arg $ workload $ requests $ apps $ dbs $ shards
       $ clients $ batch $ cache $ replicas $ replica_bound $ group_commit
-      $ force_latency $ crash_primary $ crash_db $ verbose $ diagram $ obs)
+      $ force_latency $ cross_ratio $ crash_primary $ crash_db $ verbose
+      $ diagram $ obs)
 
 let main_cmd =
   let doc =
@@ -677,6 +715,7 @@ let main_cmd =
       consensus_failover_cmd;
       throughput_cmd;
       shard_cmd;
+      cross_cmd;
       batch_cmd;
       read_cache_cmd;
       storage_cmd;

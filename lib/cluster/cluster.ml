@@ -16,6 +16,7 @@ type t = {
   clients : Etx.Client.handle list;
   business : Etx.Business.t;
   replica_bound : int;
+  cross : bool;
 }
 
 let shards t = Array.length t.groups
@@ -36,7 +37,7 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(backend = Etx.Appserver.Reg_ct) ?(recoverable = false)
     ?(register_disk_latency = 12.5) ?batch ?(cache = false)
     ?(group_commit = false) ?(replicas = 0) ?(replica_bound = 8)
-    ?(ship_period = 5.) ~rt ~business ~scripts () =
+    ?(ship_period = 5.) ?(cross = false) ~rt ~business ~scripts () =
   if replicas < 0 then invalid_arg "Cluster.build: replicas must be >= 0";
   let map =
     match map with
@@ -126,11 +127,23 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
                         group_cells.(s))
                 else None
               in
+              (* the gx wiring reads [app_pids] lazily, so it sees every
+                 group once the whole cluster has spawned *)
+              let cross_cfg =
+                if cross then
+                  Some
+                    {
+                      Etx.Appserver.shard_of_key =
+                        (fun key -> Etx.Shard_map.shard_of map key);
+                      peers = (fun k -> app_pids.(k));
+                    }
+                else None
+              in
               let cfg =
                 Etx.Appserver.config ~fd_spec ~clean_period ~poll ?gc_after
                   ~backend ?persist ?batch ?cache:mcache ?replicas:reps
-                  ~replica_bound ~group:s ~rt ~index ~servers ~dbs:db_pids
-                  ~business ()
+                  ~replica_bound ?cross:cross_cfg ~group:s ~rt ~index ~servers
+                  ~dbs:db_pids ~business ()
               in
               let pid = Etx.Appserver.spawn cfg in
               (match mcache with
@@ -190,7 +203,7 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
         { g with replicas = reps })
       groups
   in
-  { rt; map; groups; clients; business; replica_bound }
+  { rt; map; groups; clients; business; replica_bound; cross }
 
 let group_replicas_settled rt g =
   List.for_all
@@ -217,6 +230,29 @@ let run_to_quiescence ?(deadline = 600_000.) t =
 (* ------------------------------------------------------------------ *)
 
 module Spec = struct
+  (* The replica groups a delivered record's transaction actually spanned.
+     [home] alone unless the cluster runs cross-shard commit AND the
+     business method's declared keyset spans several groups — the exact
+     condition under which the engine forks into the Paxos-Commit path —
+     in which case the participants are the shards of the {e committed}
+     attempt's plan (later attempts may degrade to fewer branches, and
+     only the branches of the winning plan ran anywhere). *)
+  let participant_shards t (r : Etx.Client.record) =
+    let home = Etx.Shard_map.shard_of t.map r.key in
+    match t.business.Etx.Business.cross with
+    | Some cross when t.cross && not r.cached && r.replica = None -> (
+        let ks = t.business.Etx.Business.keys r.body in
+        match
+          Etx.Shard_map.shards_of t.map
+            (ks.Etx.Business.reads @ ks.Etx.Business.writes)
+        with
+        | _ :: _ :: _ ->
+            Etx.Shard_map.shards_of t.map
+              (List.map fst
+                 (cross.Etx.Business.plan ~attempt:r.tries ~body:r.body))
+        | _ -> [ home ])
+    | _ -> [ home ]
+
   let shard_views t =
     let scripts_done = List.for_all Etx.Client.script_done t.clients in
     let records = all_records t in
@@ -226,10 +262,14 @@ module Spec = struct
            {
              Etx.Spec.View.label = Printf.sprintf "shard%d" g.index;
              dbs = g.dbs;
+             (* a record belongs to every shard its transaction spanned:
+                the per-shard A.1/exactly-once obligations then hold at
+                each participant (all its databases committed the one
+                delivered try), not just the home group *)
              records =
                List.filter
                  (fun (r : Etx.Client.record) ->
-                   Etx.Shard_map.shard_of t.map r.key = g.index)
+                   List.mem g.index (participant_shards t r))
                  records;
              scripts_done;
              notes = t.rt.notes;
@@ -246,10 +286,10 @@ module Spec = struct
   let global_exactly_once t =
     List.concat_map
       (fun (r : Etx.Client.record) ->
-        let home = Etx.Shard_map.shard_of t.map r.key in
+        let participants = participant_shards t r in
         Array.to_list t.groups
         |> List.concat_map (fun g ->
-               if g.index = home then []
+               if List.mem g.index participants then []
                else
                  List.filter_map
                    (fun (_, rm) ->
@@ -262,15 +302,88 @@ module Spec = struct
                      else
                        Some
                          (Printf.sprintf
-                            "global exactly-once: request %d (key %S, home \
-                             shard %d) also committed at %s on shard %d"
-                            r.rid r.key home (Dbms.Rm.name rm) g.index))
+                            "global exactly-once: request %d (key %S, \
+                             participants %s) also committed at %s on shard %d"
+                            r.rid r.key
+                            (String.concat ","
+                               (List.map string_of_int participants))
+                            (Dbms.Rm.name rm) g.index))
                    g.dbs))
       (all_records t)
 
+  (* The obligation cross-shard commit adds (DESIGN.md §15): a global
+     transaction decides once, cluster-wide.
+
+     (a) every delivered multi-participant record is committed at every
+     database of every shard its plan spanned — no "debited here, never
+     credited there";
+     (b) outcome agreement across shards: every database anywhere that
+     committed a try of request [rid] committed the {e same} try. A
+     participant that committed try 1 while the others aborted it and
+     committed try 2 shows up here even though each shard is locally
+     consistent. *)
+  let global_atomicity t =
+    let violations = ref [] in
+    let add fmt =
+      Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+    in
+    List.iter
+      (fun (r : Etx.Client.record) ->
+        match participant_shards t r with
+        | [] | [ _ ] -> ()
+        | shards ->
+            List.iter
+              (fun s ->
+                List.iter
+                  (fun (_, rm) ->
+                    let committed =
+                      List.exists
+                        (fun xid ->
+                          xid.Dbms.Xid.rid = r.rid && xid.Dbms.Xid.j = r.tries)
+                        (Dbms.Rm.committed_xids rm)
+                    in
+                    if not committed then
+                      add
+                        "global atomicity: request %d try %d delivered but \
+                         not committed at %s (participant shard %d)"
+                        r.rid r.tries (Dbms.Rm.name rm) s)
+                  t.groups.(s).dbs)
+              shards)
+      (all_records t);
+    let by_rid = Hashtbl.create 64 in
+    Array.iter
+      (fun g ->
+        List.iter
+          (fun (_, rm) ->
+            List.iter
+              (fun xid ->
+                let cur =
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt by_rid xid.Dbms.Xid.rid)
+                in
+                Hashtbl.replace by_rid xid.Dbms.Xid.rid
+                  ((xid.Dbms.Xid.j, Dbms.Rm.name rm) :: cur))
+              (Dbms.Rm.committed_xids rm))
+          g.dbs)
+      t.groups;
+    Hashtbl.iter
+      (fun rid entries ->
+        match List.sort_uniq compare (List.map fst entries) with
+        | [] | [ _ ] -> ()
+        | js ->
+            add
+              "global atomicity: request %d committed as different tries {%s} \
+               across databases (%s)"
+              rid
+              (String.concat "," (List.map string_of_int js))
+              (String.concat ","
+                 (List.sort_uniq compare (List.map snd entries))))
+      by_rid;
+    List.rev !violations
+
   let check_all t =
     List.concat_map Etx.Spec.View.check_all (shard_views t)
-    @ global_exactly_once t
+    @ global_exactly_once t @ global_atomicity t
 
   (* The observability layer double-counts nothing by construction:
      [client.committed] is incremented exactly where a client appends a

@@ -6,19 +6,25 @@
     application-server set with a failure detector spanning only that group,
     and its own wo-register namespace (register names are prefixed [g<s>:],
     see {!Etx.Appserver}) — plus C clients that route every request by its
-    {!Etx.Etx_types.routing_key} through a shared {!Etx.Shard_map}. Groups
-    never exchange protocol messages: consensus peers, 2PC participants and
-    cleaning scans are all group-local, so adding shards multiplies the
-    cluster's independent agreement pipelines (partial replication in the
-    sense of Sutra & Shapiro) instead of deepening one.
+    {!Etx.Etx_types.routing_key} through a shared {!Etx.Shard_map}. With the
+    default wiring groups never exchange protocol messages: consensus peers,
+    2PC participants and cleaning scans are all group-local, so adding
+    shards multiplies the cluster's independent agreement pipelines (partial
+    replication in the sense of Sutra & Shapiro) instead of deepening one.
 
     A one-shard cluster is the plain {!Etx.Deployment} — same spawn order,
     same pids, same process names, same network model — so single-group
     behaviour (and its goldens) are reproduced exactly.
 
-    Cross-shard transactions are out of scope: the workload generators keep
-    multi-key bodies (bank transfers) within one shard, and a cross-shard
-    commit protocol is noted as follow-up in DESIGN.md. *)
+    Built with [~cross:true], a request whose declared keyset spans several
+    groups commits atomically across them (DESIGN.md §15): the home group's
+    server coordinates a Paxos-Commit instance over the groups' wo-registers
+    — one vote register per participant shard, written yes only after that
+    shard's databases all prepared — and any group's cleaner can finish or
+    abort the instance when the coordinator is suspected. Consensus itself
+    stays group-local (each register lives in its owner group's namespace);
+    only the thin gx message layer crosses group boundaries. Co-located
+    requests still take the classic path, record-for-record. *)
 
 open Runtime
 
@@ -41,6 +47,7 @@ type t = {
   clients : Etx.Client.handle list;
   business : Etx.Business.t;
   replica_bound : int;
+  cross : bool;  (** built with cross-shard commit wiring *)
 }
 
 val build :
@@ -66,6 +73,7 @@ val build :
   ?replicas:int ->
   ?replica_bound:int ->
   ?ship_period:float ->
+  ?cross:bool ->
   rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
@@ -93,7 +101,13 @@ val build :
     shard's databases get the coalescing redo log, and every shard gets
     [replicas] asynchronous read replicas per database (names
     [g<s>:db<i>-r<j>]), spawned after the clients so [replicas:0]
-    clusters keep their exact pid layout. *)
+    clusters keep their exact pid layout.
+
+    [cross:true] supplies every application server the cross-shard commit
+    wiring ({!Etx.Appserver.cross_cfg}): requests whose declared keysets
+    span several groups then commit atomically via Paxos Commit. With the
+    default [false] no gx fiber is forked anywhere and every message
+    stream is identical to earlier revisions. *)
 
 val run_to_quiescence : ?deadline:float -> t -> bool
 (** Every client script finished, every database of every shard settled
@@ -112,18 +126,33 @@ val all_records : t -> Etx.Client.record list
 module Spec : sig
   val shard_views : t -> Etx.Spec.View.t list
   (** One {!Etx.Spec.View.t} per shard, labelled [shard<i>]: the shard's
-      databases, and the delivered records whose routing key it owns. *)
+      databases, and the delivered records whose transaction that shard
+      participated in — the records whose routing key it owns, plus (on
+      cross-shard clusters) every record whose committed plan spanned it.
+      Each participant view then carries the full per-shard obligations
+      (A.1, exactly-once, ...) for the record. *)
 
   val global_exactly_once : t -> string list
-  (** No delivered request committed a transaction on any shard other than
-      its routing key's home shard. (The per-view {!Etx.Spec.View.exactly_once}
-      already pins exactly one commit, matching the delivered try, on every
-      home-shard database.) *)
+  (** No delivered request committed a transaction on any shard outside
+      its participant set — the home shard of its routing key, plus (on
+      cross-shard clusters) the shards its committed plan spanned. (The
+      per-view {!Etx.Spec.View.exactly_once} already pins exactly one
+      commit, matching the delivered try, on every participant-shard
+      database.) *)
+
+  val global_atomicity : t -> string list
+  (** The obligation cross-shard commit adds: (a) every delivered
+      multi-participant record is committed at every database of every
+      shard its plan spanned, and (b) every database anywhere that
+      committed a try of a given request committed the {e same} try — a
+      global transaction decides once, cluster-wide. Trivially empty on
+      clusters without cross-shard traffic. *)
 
   val check_all : t -> string list
   (** [check_all] of every shard view (including per-shard cache
       coherence when caching is on and per-shard replica consistency
-      when replicas are on), then {!global_exactly_once}. *)
+      when replicas are on), then {!global_exactly_once} and
+      {!global_atomicity}. *)
 
   val obs_consistency : Obs.Registry.t -> t -> string list
   (** Cross-checks an observability registry attached to the cluster's

@@ -13,6 +13,15 @@ type fd_spec =
 
 type register_backend = Reg_ct | Reg_synod
 
+(* Cross-shard commit wiring (DESIGN.md §15). [shard_of_key] is the
+   cluster's routing map; [peers] names the application servers of a
+   participant group (a function because the full cluster membership is
+   only known after every group spawned). *)
+type cross_cfg = {
+  shard_of_key : string -> int;
+  peers : int -> Types.proc_id list;
+}
+
 type config = {
   rt : Rt.t;  (** the execution substrate hosting this server *)
   group : int;
@@ -45,11 +54,15 @@ type config = {
   replica_patience : float;
       (** how long a replica read may block before falling back to the
           primary pipeline (virtual ms) *)
+  cross : cross_cfg option;
+      (** cross-shard commit wiring; [None] = cross-shard requests cannot
+          arise (the request path is then byte-identical to the
+          single-shard protocol) *)
 }
 
 let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
-    ?(group = 0) ?(batch = 1) ?cache ?replicas ?(replica_bound = 8) ?(replica_patience = 1_000.) ~rt ~index
+    ?(group = 0) ?(batch = 1) ?cache ?replicas ?(replica_bound = 8) ?(replica_patience = 1_000.) ?cross ~rt ~index
     ~servers ~dbs ~business () =
   (match (backend, persist) with
   | Reg_synod, Some _ ->
@@ -81,6 +94,7 @@ let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     replicas;
     replica_bound;
     replica_patience;
+    cross;
   }
 
 (* Per-request protocol state on one server. Everything here is volatile
@@ -126,6 +140,11 @@ type ctx = {
   rd : Dbms.Stub.Readiness.t;
   rids : (int, rid_state) Hashtbl.t;
   replica_memo : (int, replica_memo) Hashtbl.t;  (** by rid; replicas only *)
+  gx_running : (int * int * int, unit) Hashtbl.t;
+      (** cross-shard work in flight here, keyed (rid, j, k): branch
+          executions ([k] = participant shard) and coordinator drives
+          ([k] = -1). Purely a duplicate-suppression memo — the registers
+          stay the safety argument *)
   sink : Rt.obs_sink option;  (** fetched once at spawn; None = obs off *)
 }
 
@@ -578,20 +597,450 @@ let compute_try ctx st ~(request : request) ~j =
           s.Rt.obs_span_close tspan)
   | _ -> ()
 
+(* ---------------- DESIGN.md §15: cross-shard commit ---------------- *)
+
+(* Participant shards of a request, when the deployment and the business
+   method both opt into cross-shard commit AND the declared keyset actually
+   spans several replica groups. [None] sends the request down the classic
+   path before any cross-shard code runs — co-located requests stay
+   record-for-record identical to the single-shard protocol. *)
+let cross_shards ctx ~body =
+  match (ctx.cfg.cross, ctx.cfg.business.Business.cross) with
+  | Some cc, Some _ -> (
+      let ks = ctx.cfg.business.Business.keys body in
+      match
+        List.sort_uniq compare
+          (List.map cc.shard_of_key (ks.Business.reads @ ks.Business.writes))
+      with
+      | _ :: _ :: _ as shards -> Some shards
+      | _ -> None)
+  | _ -> None
+
+(* Merge the plan's [(anchor, ops)] entries into one branch per shard
+   (first-appearance order), keeping the entries so the branch's reply can
+   be split back per anchor. *)
+let branches_of_plan cc entries =
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun ((anchor, _) as entry) ->
+      let k = cc.shard_of_key anchor in
+      match Hashtbl.find_opt tbl k with
+      | None ->
+          order := k :: !order;
+          Hashtbl.replace tbl k [ entry ]
+      | Some es -> Hashtbl.replace tbl k (entry :: es))
+    entries;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let rec split_at n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: rest ->
+        let a, b = split_at (n - 1) rest in
+        (x :: a, b)
+
+(* A branch's [values] are its [Get] results in merged-op order; hand each
+   plan entry its slice so [finish] sees replies keyed by anchor. *)
+let entry_replies ~ok entries values =
+  let gets ops =
+    List.length
+      (List.filter (function Dbms.Rm.Get _ -> true | _ -> false) ops)
+  in
+  let _, acc =
+    List.fold_left
+      (fun (values, acc) (anchor, ops) ->
+        let mine, rest = split_at (gets ops) values in
+        (rest, (anchor, { Business.ok; values = mine }) :: acc))
+      (values, []) entries
+  in
+  List.rev acc
+
+(* Execute one branch of global transaction (rid, j) at this shard, exactly
+   as the classic pipeline executes a try: XA start round, transactional
+   exec at the first database, XA end, then prepare across every database
+   of the group. Returns the vote this shard should cast — [true] only if
+   every database prepared, so a [Gx_vote_value {ok = true}] register can
+   never meet an unprepared database. Never touches the vote register
+   itself: callers own the decisive write (and must handle losing it). *)
+let run_branch ctx ~rid ~j ~ops =
+  let xid = Dbms.Xid.make ~rid ~j in
+  xa_broadcast ctx ~xid ~label:"start"
+    ~request:(fun _ -> Dbms.Msg.Xa_start { xid })
+    ~matches:(function
+      | Dbms.Msg.Xa_started { xid = x } when Dbms.Xid.equal x xid -> Some ()
+      | _ -> None);
+  let seq = ref 0 in
+  let fresh_seq () =
+    let s = !seq in
+    incr seq;
+    s
+  in
+  let db = List.hd ctx.cfg.dbs in
+  let reply =
+    span ctx "SQL" (fun () ->
+        Dbms.Stub.exec_retry ~poll:ctx.cfg.poll ~backoff:ctx.cfg.exec_backoff
+          ~fresh_seq ctx.ch ctx.rd ~db ~xid ops)
+  in
+  let ok, values =
+    match reply with
+    | Dbms.Rm.Exec_ok { values; business_ok } -> (business_ok, values)
+    | Dbms.Rm.Exec_conflict _ | Dbms.Rm.Exec_rejected -> (false, [])
+  in
+  xa_broadcast ctx ~xid ~label:"end"
+    ~request:(fun _ -> Dbms.Msg.Xa_end { xid })
+    ~matches:(function
+      | Dbms.Msg.Xa_ended { xid = x } when Dbms.Xid.equal x xid -> Some ()
+      | _ -> None);
+  (* a failed branch skips prepare: its vote is No either way, and the
+     global Decide(Abort) round releases whatever the exec locked *)
+  let ok = ok && prepare ctx ~xid = Dbms.Rm.Commit in
+  (ok, values)
+
+(* Ask the servers of shard [k] — round-robin, resending every clean
+   period (the handler side is idempotent) — until one replies branch
+   [k]'s decided vote. *)
+let gx_vote_rpc ctx (cc : cross_cfg) ~rid ~j ~k ~make =
+  let peers = cc.peers k in
+  let filter m =
+    match m.Types.payload with
+    | Gx_voted { rid = r; j = j'; k = k'; _ } -> r = rid && j' = j && k' = k
+    | _ -> false
+  in
+  let rec loop i =
+    Rchannel.send ctx.ch (List.nth peers (i mod List.length peers)) (make ());
+    match
+      Rt.recv ~timeout:ctx.cfg.clean_period ~cls:cls_gx_reply ~filter ()
+    with
+    | Some { Types.payload = Gx_voted { ok; values; _ }; _ } -> (ok, values)
+    | Some _ | None -> loop (i + 1)
+  in
+  if peers = [] then (false, []) else loop 0
+
+(* Decide the global outcome at shard [k]'s databases, resending until any
+   server of the group acknowledges (the Decide round is idempotent). *)
+let gx_complete_rpc ctx (cc : cross_cfg) ~rid ~j ~k ~outcome =
+  let peers = cc.peers k in
+  let filter m =
+    match m.Types.payload with
+    | Gx_completed { rid = r; j = j'; k = k' } -> r = rid && j' = j && k' = k
+    | _ -> false
+  in
+  let rec loop i =
+    Rchannel.send ctx.ch
+      (List.nth peers (i mod List.length peers))
+      (Gx_complete { rid; j; k; outcome });
+    match
+      Rt.recv ~timeout:ctx.cfg.clean_period ~cls:cls_gx_reply ~filter ()
+    with
+    | Some _ -> ()
+    | None -> loop (i + 1)
+  in
+  if peers <> [] then loop 0
+
+(* The coordinator's own branch: elect the executor through the gx_exec
+   register like any participant would, run it on a win, and read the vote
+   register out. Losing the election means a takeover already claimed the
+   branch — wait the register out, contesting only if the claimant dies. *)
+let local_branch_vote ctx ~rid ~j ~k ~ops =
+  let name = Reg_name.gx_vote ~rid ~j ~k in
+  let decided = function
+    | Gx_vote_value { ok; values } -> (ok, values)
+    | _ -> (false, [])
+  in
+  match ctx.regs.reg_read ~name ~j:0 with
+  | Some v -> decided v
+  | None -> (
+      match
+        ctx.regs.reg_write
+          ~name:(Reg_name.gx_exec ~rid ~j ~k)
+          ~j:0 (Reg_a_value ctx.self)
+      with
+      | Reg_a_value w when w = ctx.self ->
+          let ok, values = run_branch ctx ~rid ~j ~ops in
+          decided (ctx.regs.reg_write ~name ~j:0 (Gx_vote_value { ok; values }))
+      | Reg_a_value w ->
+          let rec wait () =
+            match ctx.regs.reg_read ~name ~j:0 with
+            | Some v -> decided v
+            | None ->
+                if Fdetect.suspects ctx.fd w then
+                  decided
+                    (ctx.regs.reg_write ~name ~j:0
+                       (Gx_vote_value { ok = false; values = [] }))
+                else begin
+                  Rt.sleep ctx.cfg.poll;
+                  wait ()
+                end
+          in
+          wait ()
+      | _ -> (false, []))
+
+(* Deliver a cross-shard decision on a server whose own group was not a
+   participant: everything [terminate] does except the local Decide round
+   (these databases never saw the transaction; deciding it here would
+   record a spurious outcome for the xid). *)
+let deliver_no_local ctx st ~rid ~j (final : decision) =
+  send_result ctx st ~rid ~j final;
+  (match st.last with
+  | Some (j', _) when j' >= j -> ()
+  | Some _ | None -> st.last <- Some (j, final));
+  st.terminated_at <- Some (Rt.now ());
+  match ctx.sink with
+  | None -> ()
+  | Some s ->
+      s.Rt.obs_count "server.terminated" 1;
+      if final.outcome = Dbms.Rm.Commit then s.Rt.obs_count "server.committed" 1
+
+(* Drive a Paxos-Commit instance to its outcome and completion: collect
+   every participant's vote register concurrently ([vote_for] says how —
+   the coordinator executes branches, the takeover cleaner contests), fold
+   the global outcome (commit iff EVERY branch voted yes), complete every
+   participant shard, and deliver. Shared by the coordinator pipeline and
+   the cleaner precisely because both must derive the identical decision
+   from the same write-once registers. *)
+let drive_cross ctx st ~rid ~j ~body ~parent ~vote_for =
+  let cc = Option.get ctx.cfg.cross in
+  let cross = Option.get ctx.cfg.business.Business.cross in
+  let entries = cross.Business.plan ~attempt:j ~body in
+  let branches = branches_of_plan cc entries in
+  let n = List.length branches in
+  let votes = Array.make n None in
+  List.iteri
+    (fun i (k, bentries) ->
+      let ops = List.concat_map snd bentries in
+      Rt.fork "gx-vote" (fun () -> votes.(i) <- Some (vote_for ~k ~ops)))
+    branches;
+  while Array.exists Option.is_none votes do
+    Rt.sleep 1.
+  done;
+  let votes = Array.to_list votes |> List.map Option.get in
+  let outcome =
+    if List.for_all (fun (ok, _) -> ok) votes then Dbms.Rm.Commit
+    else Dbms.Rm.Abort
+  in
+  (match ctx.sink with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (ok, _) ->
+          s.Rt.obs_count (if ok then "gx.vote.yes" else "gx.vote.no") 1)
+        votes;
+      s.Rt.obs_count
+        (match outcome with
+        | Dbms.Rm.Commit -> "gx.commit"
+        | Dbms.Rm.Abort -> "gx.abort")
+        1;
+      if outcome = Dbms.Rm.Commit then
+        s.Rt.obs_observe "commit.participants" (float_of_int n));
+  let result =
+    match outcome with
+    | Dbms.Rm.Abort -> None
+    | Dbms.Rm.Commit ->
+        let replies =
+          List.concat
+            (List.map2
+               (fun (_, bentries) (ok, values) ->
+                 entry_replies ~ok bentries values)
+               branches votes)
+        in
+        let r = cross.Business.finish ~attempt:j ~body ~replies in
+        (* the V.1 obligation: a delivered result must have been computed —
+           [finish] is pure, so every driver emits the identical note *)
+        Rt.note (Printf.sprintf "computed:%d:%d:%s" rid j r);
+        Some r
+  in
+  let final = { result; outcome } in
+  let remote = List.filter (fun (k, _) -> k <> ctx.cfg.group) branches in
+  let dones = Array.make (List.length remote) false in
+  List.iteri
+    (fun i (k, _) ->
+      Rt.fork "gx-finish" (fun () ->
+          gx_complete_rpc ctx cc ~rid ~j ~k ~outcome;
+          dones.(i) <- true))
+    remote;
+  while Array.exists not dones do
+    Rt.sleep 1.
+  done;
+  if List.mem_assoc ctx.cfg.group branches then
+    terminate ctx st ~parent ~rid ~j final
+  else deliver_no_local ctx st ~rid ~j final;
+  final
+
+(* The cross-shard fork of the computation pipeline: same regA[j] election
+   as the classic path, but the register's content is a [Gx_elect] carrying
+   the participant set and the request body — everything a cleaner needs to
+   recompute the plan and finish the instance without the crashed owner. *)
+let compute_try_cross ctx st ~(request : request) ~j ~shards =
+  let rid = request.rid in
+  let tspan =
+    match ctx.sink with
+    | None -> 0
+    | Some s ->
+        let id = s.Rt.obs_span_open ~parent:st.rspan ~trace:rid "try" in
+        s.Rt.obs_span_attr id "j" (string_of_int j);
+        s.Rt.obs_span_attr id "cross" "true";
+        id
+  in
+  let winner =
+    span ctx "log-start" (fun () ->
+        ospan ctx ~parent:tspan ~trace:rid "election" (fun () ->
+            ctx.regs.reg_write
+              ~name:(reg_a_name ~group:ctx.cfg.group rid)
+              ~j
+              (Gx_elect
+                 { owner = ctx.self; participants = shards; body = request.body })))
+  in
+  match winner with
+  | Gx_elect { owner; _ } when owner = ctx.self ->
+      (match ctx.sink with
+      | None -> ()
+      | Some s ->
+          s.Rt.obs_count "txn.cross_shard" 1;
+          s.Rt.obs_count "gx.open" 1);
+      let (_ : decision) =
+        drive_cross ctx st ~rid ~j ~body:request.body ~parent:tspan
+          ~vote_for:(fun ~k ~ops ->
+            if k = ctx.cfg.group then local_branch_vote ctx ~rid ~j ~k ~ops
+            else
+              gx_vote_rpc ctx
+                (Option.get ctx.cfg.cross)
+                ~rid ~j ~k
+                ~make:(fun () -> Gx_branch { rid; j; k; ops }))
+      in
+      (match ctx.sink with
+      | None -> ()
+      | Some s -> s.Rt.obs_span_close tspan)
+  | Gx_elect _ | Reg_a_value _ ->
+      (* lost the election: the winner (or the cleaning thread of a correct
+         server) drives this try; the client's retransmission makes
+         progress observable *)
+      (match ctx.sink with
+      | None -> ()
+      | Some s ->
+          s.Rt.obs_span_attr tspan "lost_election" "true";
+          s.Rt.obs_span_close tspan)
+  | _ -> ()
+
+(* Participant-side branch execution, triggered by a (re)sent [Gx_branch].
+   The quick checks run synchronously — the running-mark check-and-set must
+   not be separated from the fork by a suspension point, or two resends
+   could both elect — and the blocking work runs in its own fiber so one
+   slow branch never heads-of-line-blocks the gx mailbox. *)
+let gx_branch_handle ctx ~src ~rid ~j ~k ~ops =
+  let name = Reg_name.gx_vote ~rid ~j ~k in
+  let reply (ok, values) =
+    Rchannel.send ctx.ch src (Gx_voted { rid; j; k; ok; values })
+  in
+  match ctx.regs.reg_read ~name ~j:0 with
+  | Some (Gx_vote_value { ok; values }) -> reply (ok, values)
+  | Some _ -> ()
+  | None ->
+      if not (Hashtbl.mem ctx.gx_running (rid, j, k)) then begin
+        Hashtbl.replace ctx.gx_running (rid, j, k) ();
+        Rt.fork "gx-branch" (fun () ->
+            Fun.protect
+              ~finally:(fun () -> Hashtbl.remove ctx.gx_running (rid, j, k))
+              (fun () ->
+                match
+                  ctx.regs.reg_write
+                    ~name:(Reg_name.gx_exec ~rid ~j ~k)
+                    ~j:0 (Reg_a_value ctx.self)
+                with
+                | Reg_a_value w when w = ctx.self ->
+                    let ok, values = run_branch ctx ~rid ~j ~ops in
+                    (match
+                       ctx.regs.reg_write ~name ~j:0
+                         (Gx_vote_value { ok; values })
+                     with
+                    | Gx_vote_value { ok; values } -> reply (ok, values)
+                    | _ -> ())
+                | Reg_a_value w -> (
+                    (* another server of this group executes the branch *)
+                    match ctx.regs.reg_read ~name ~j:0 with
+                    | Some (Gx_vote_value { ok; values }) -> reply (ok, values)
+                    | Some _ -> ()
+                    | None ->
+                        if Fdetect.suspects ctx.fd w then (
+                          match
+                            ctx.regs.reg_write ~name ~j:0
+                              (Gx_vote_value { ok = false; values = [] })
+                          with
+                          | Gx_vote_value { ok; values } -> reply (ok, values)
+                          | _ -> ())
+                        (* else: the elected executor is alive and will
+                           decide the register; stay silent — the driver's
+                           resend retries *))
+                | _ -> ()))
+      end
+
+(* Serve the cross-shard RPC surface of this group: branch execution,
+   takeover contests, and completion. Forked only on cross-enabled
+   deployments — without it the gx classes go unread (and cross-less
+   deployments never receive these messages at all). *)
+let gx_thread ctx () =
+  let rec loop () =
+    (match Rt.recv_cls cls_gx with
+    | None -> ()
+    | Some m -> (
+        match m.payload with
+        | Gx_branch { rid; j; k; ops } when k = ctx.cfg.group ->
+            gx_branch_handle ctx ~src:m.src ~rid ~j ~k ~ops
+        | Gx_resolve { rid; j; k } when k = ctx.cfg.group ->
+            let src = m.src in
+            Rt.fork "gx-resolve" (fun () ->
+                match
+                  ctx.regs.reg_write
+                    ~name:(Reg_name.gx_vote ~rid ~j ~k)
+                    ~j:0
+                    (Gx_vote_value { ok = false; values = [] })
+                with
+                | Gx_vote_value { ok; values } ->
+                    Rchannel.send ctx.ch src (Gx_voted { rid; j; k; ok; values })
+                | _ -> ())
+        | Gx_complete { rid; j; k; outcome } when k = ctx.cfg.group ->
+            let src = m.src in
+            Rt.fork "gx-complete" (fun () ->
+                let xid = Dbms.Xid.make ~rid ~j in
+                let (_ : (Types.proc_id * unit) list) =
+                  Dbms.Stub.broadcast_collect ~poll:ctx.cfg.poll ctx.ch ctx.rd
+                    ~dbs:ctx.cfg.dbs
+                    ~request:(fun _ -> Dbms.Msg.Decide { xid; outcome })
+                    ~matches:(function
+                      | Dbms.Msg.Ack_decide { xid = x }
+                        when Dbms.Xid.equal x xid ->
+                          Some ()
+                      | _ -> None)
+                in
+                (match ctx.sink with
+                | None -> ()
+                | Some s -> s.Rt.obs_count "gx.complete" 1);
+                Rchannel.send ctx.ch src (Gx_completed { rid; j; k }))
+        | _ -> () (* stamped for another shard: the driver's rotation moves on *)));
+    loop ()
+  in
+  loop ()
+
 let compute_thread ctx () =
   let rec loop () =
     (match Rt.recv_cls cls_request with
     | None -> ()
     | Some m -> (
         match m.payload with
-        | Request_msg { group; _ } when group <> ctx.cfg.group ->
+        | Request_msg { request; j; group; _ } when group <> ctx.cfg.group ->
             (* misrouted: addressed to another replica group; executing it
-               here would commit the request on the wrong shard *)
+               here would commit the request on the wrong shard. Bounce it
+               explicitly so the client re-fans out immediately instead of
+               waiting out its resend timer *)
             (match ctx.sink with
             | None -> ()
             | Some s -> s.Rt.obs_count "server.misrouted" 1);
             Rt.note
-              (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
+              (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group);
+            Rchannel.send ctx.ch m.src
+              (Result_nack_msg { rid = request.rid; j; group = ctx.cfg.group })
         | Request_msg { request; j; span; _ } ->
             if
               (not (serve_cached ctx ~request ~j ~client:m.src))
@@ -605,7 +1054,10 @@ let compute_thread ctx () =
                   (* retransmission of an already-terminated try *)
                   send_result ctx st ~rid:request.rid ~j d
               | Some (j', _) when j' > j -> ()
-              | Some _ | None -> compute_try ctx st ~request ~j
+              | Some _ | None -> (
+                  match cross_shards ctx ~body:request.body with
+                  | Some shards -> compute_try_cross ctx st ~request ~j ~shards
+                  | None -> compute_try ctx st ~request ~j)
             end
         | _ -> ()));
     loop ()
@@ -622,6 +1074,58 @@ let known_rids ctx =
     List.filter_map parse_reg_a_rid (ctx.regs.reg_decided_keys ())
   in
   List.sort_uniq compare (from_requests @ from_registers)
+
+(* Take over a cross-shard try whose coordinator is suspected: contest
+   every participant's vote register with an abort vote (any undecided
+   branch aborts the global transaction; a branch that already voted keeps
+   its decided value), fold the same outcome any driver would, and finish
+   delivering. [drive_cross] re-derives the plan from the [Gx_elect]'s body
+   — the reason the election record carries it. *)
+let clean_cross ctx st ~suspect ~rid ~j ~body =
+  let cspan =
+    match ctx.sink with
+    | None -> 0
+    | Some s ->
+        let id = s.Rt.obs_span_open ~parent:st.rspan ~trace:rid "clean" in
+        s.Rt.obs_span_attr id "j" (string_of_int j);
+        s.Rt.obs_span_attr id "cross" "true";
+        s.Rt.obs_span_attr id "suspect" (ctx.cfg.rt.name_of suspect);
+        id
+  in
+  (match ctx.sink with
+  | None -> ()
+  | Some s -> s.Rt.obs_count "gx.takeover" 1);
+  let cc = Option.get ctx.cfg.cross in
+  let final =
+    drive_cross ctx st ~rid ~j ~body ~parent:cspan ~vote_for:(fun ~k ~ops:_ ->
+        if k = ctx.cfg.group then
+          match
+            ctx.regs.reg_write
+              ~name:(Reg_name.gx_vote ~rid ~j ~k)
+              ~j:0
+              (Gx_vote_value { ok = false; values = [] })
+          with
+          | Gx_vote_value { ok; values } -> (ok, values)
+          | _ -> (false, [])
+        else
+          gx_vote_rpc ctx cc ~rid ~j ~k ~make:(fun () ->
+              Gx_resolve { rid; j; k }))
+  in
+  Rt.note
+    (Printf.sprintf "cleaned:%d:%d:%s" rid j
+       (match final.outcome with
+       | Dbms.Rm.Commit -> "commit"
+       | Dbms.Rm.Abort -> "abort"));
+  (match ctx.sink with
+  | None -> ()
+  | Some s ->
+      s.Rt.obs_count
+        (match final.outcome with
+        | Dbms.Rm.Abort -> "cleaner.aborts"
+        | Dbms.Rm.Commit -> "cleaner.finishes")
+        1;
+      s.Rt.obs_span_close cspan);
+  st.cleaned <- j :: st.cleaned
 
 let clean_request ctx ~suspect ~rid =
   let st = rid_state ctx rid in
@@ -675,6 +1179,10 @@ let clean_request ctx ~suspect ~rid =
           | Some s -> s.Rt.obs_span_close cspan);
           st.cleaned <- j :: st.cleaned
         end;
+        scan (j + 1)
+    | Some (Gx_elect { owner; body; _ }) ->
+        if owner = suspect && not (List.mem j st.cleaned) then
+          clean_cross ctx st ~suspect ~rid ~j ~body;
         scan (j + 1)
     | Some _ -> scan (j + 1)
   in
@@ -1104,11 +1612,13 @@ let process_batch ctx ls items =
    through a won takeover (which seals predecessors first). *)
 let batch_enqueue ctx ls (m : Types.message) =
   match m.payload with
-  | Request_msg { group; _ } when group <> ctx.cfg.group ->
+  | Request_msg { request; j; group; _ } when group <> ctx.cfg.group ->
       (match ctx.sink with
       | None -> ()
       | Some s -> s.Rt.obs_count "server.misrouted" 1);
-      Rt.note (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group)
+      Rt.note (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group);
+      Rchannel.send ctx.ch m.src
+        (Result_nack_msg { rid = request.rid; j; group = ctx.cfg.group })
   | Request_msg { request; j; span; _ } ->
       if
         (not (serve_cached ctx ~request ~j ~client:m.src))
@@ -1121,18 +1631,35 @@ let batch_enqueue ctx ls (m : Types.message) =
         | Some (j', d) when j' = j ->
             send_result ctx st ~rid:request.rid ~j d
         | Some (j', _) when j' > j -> ()
-        | Some _ | None ->
-            let queued q =
-              List.exists
-                (fun ((r : request), j') -> r.rid = request.rid && j' = j)
-                q
-            in
-            if ls.holder = Some ctx.self then begin
-              if not (queued ls.pending) then
-                ls.pending <- ls.pending @ [ (request, j) ]
-            end
-            else if ls.holder = None && not (queued ls.limbo) then
-              ls.limbo <- ls.limbo @ [ (request, j) ]
+        | Some _ | None -> (
+            match cross_shards ctx ~body:request.body with
+            | Some shards ->
+                (* cross-shard requests bypass the batching windows: they
+                   commit through their own Paxos-Commit instance, not a
+                   batchD register. The running mark suppresses duplicate
+                   drives while retransmissions keep arriving *)
+                if not (Hashtbl.mem ctx.gx_running (request.rid, j, -1))
+                then begin
+                  Hashtbl.replace ctx.gx_running (request.rid, j, -1) ();
+                  Rt.fork "gx-coord" (fun () ->
+                      Fun.protect
+                        ~finally:(fun () ->
+                          Hashtbl.remove ctx.gx_running (request.rid, j, -1))
+                        (fun () ->
+                          compute_try_cross ctx st ~request ~j ~shards))
+                end
+            | None ->
+                let queued q =
+                  List.exists
+                    (fun ((r : request), j') -> r.rid = request.rid && j' = j)
+                    q
+                in
+                if ls.holder = Some ctx.self then begin
+                  if not (queued ls.pending) then
+                    ls.pending <- ls.pending @ [ (request, j) ]
+                end
+                else if ls.holder = None && not (queued ls.limbo) then
+                  ls.limbo <- ls.limbo @ [ (request, j) ])
       end
   | _ -> ()
 
@@ -1285,9 +1812,16 @@ let spawn cfg =
             rd;
             rids = Hashtbl.create 16;
             replica_memo = Hashtbl.create 16;
+            gx_running = Hashtbl.create 16;
             sink = Rt.obs ();
           }
         in
+        (* the gx fiber exists only on cross-enabled deployments: a default
+           server forks nothing new and its schedule stays byte-identical
+           to the pre-cross protocol *)
+        (match cfg.cross with
+        | Some _ -> Rt.fork "gx" (gx_thread ctx)
+        | None -> ());
         (match cfg.cache with
         | Some cache ->
             (* a recovering server missed every invalidation broadcast
@@ -1310,6 +1844,11 @@ let spawn cfg =
               tails = 0;
             }
           in
+          (* cross-shard tries bypass the lease windows, so their crashed
+             coordinators need the classic cleaner: in batch mode no
+             classic regA registers exist, which makes the scan see
+             exactly the Gx_elect elections *)
+          if cfg.cross <> None then Rt.fork "clean" (clean_thread ctx);
           Rt.fork "lease" (lease_monitor ctx ls);
           batch_thread ctx ls ()
         end

@@ -55,6 +55,24 @@ type register_backend =
       (** Paxos ({!Consensus.Synod}); detector-free, but without the
           persistence and garbage-collection extensions *)
 
+type cross_cfg = {
+  shard_of_key : string -> int;
+      (** the cluster's routing map: which replica group owns a key *)
+  peers : int -> Types.proc_id list;
+      (** application servers of a participant group; a function because
+          the full cluster membership is only known after every group
+          spawned *)
+}
+(** Cross-shard commit wiring (DESIGN.md §15). When supplied, a request
+    whose declared keyset spans several replica groups commits atomically
+    across them via Paxos Commit over the wo-registers: the home server
+    wins [regA\[j\]] with a [Gx_elect] record, ships each participant
+    shard its branch of the plan ({!Business.cross_spec}), and commits iff
+    every shard's vote register holds a yes vote — each cast only after
+    that shard's databases all prepared. Any group's cleaner can finish or
+    abort the instance when the coordinator is suspected, so a crashed
+    coordinator never blocks the transaction. *)
+
 type config = {
   rt : Etx_runtime.t;  (** the execution substrate hosting this server *)
   group : int;
@@ -122,6 +140,11 @@ type config = {
       (** how long a replica read may wait for its reply (poll-sliced)
           before falling back to the primary — bounds the stall a crashed
           or overloaded replica can impose on a request *)
+  cross : cross_cfg option;
+      (** cross-shard commit wiring; [None] (the default) confines every
+          request to this server's own group — no gx fiber is forked and
+          the request path stays byte-identical to the single-shard
+          protocol *)
 }
 
 val config :
@@ -139,6 +162,7 @@ val config :
   ?replicas:(unit -> (Types.proc_id * Types.proc_id list) list) ->
   ?replica_bound:int ->
   ?replica_patience:float ->
+  ?cross:cross_cfg ->
   rt:Etx_runtime.t ->
   index:int ->
   servers:Types.proc_id list ->
@@ -149,8 +173,8 @@ val config :
 (** Defaults: oracle failure detector, 20 ms clean period, 10 ms poll,
     40 ms exec back-off, no garbage collection, no breakdown accounting,
     group 0, batch 1 (classic path), no cache, no replicas, replica bound
-    8. Raises [Invalid_argument] if [batch < 1] or if [batch > 1] is
-    combined with [gc_after]. *)
+    8, no cross-shard wiring. Raises [Invalid_argument] if [batch < 1] or
+    if [batch > 1] is combined with [gc_after]. *)
 
 val spawn : config -> Types.proc_id
 (** Spawns on the backend in [cfg.rt]. *)

@@ -10,12 +10,24 @@ type context = {
 
 type keyset = { reads : string list; writes : string list }
 
+type branch_reply = { ok : bool; values : Dbms.Value.t option list }
+
+type cross_spec = {
+  plan : attempt:int -> body:string -> (string * Dbms.Rm.op list) list;
+  finish :
+    attempt:int ->
+    body:string ->
+    replies:(string * branch_reply) list ->
+    Etx_types.result_value;
+}
+
 type t = {
   label : string;
   run : context -> body:string -> Etx_types.result_value;
   read_only : string -> bool;
   keys : string -> keyset;
   cacheable : Etx_types.result_value -> bool;
+  cross : cross_spec option;
 }
 
 let no_keys = { reads = []; writes = [] }
@@ -33,8 +45,8 @@ let has_prefix ~prefix s =
 let default_cacheable result = not (has_prefix ~prefix:"error:" result)
 
 let make ?(read_only = fun _ -> false) ?(keys = fun _ -> no_keys)
-    ?(cacheable = default_cacheable) ~label run =
-  { label; run; read_only; keys; cacheable }
+    ?(cacheable = default_cacheable) ?cross ~label run =
+  { label; run; read_only; keys; cacheable; cross }
 
 let trivial =
   make ~label:"trivial"

@@ -31,6 +31,37 @@ type keyset = { reads : string list; writes : string list }
     but [reads] must cover every key whose value the result depends on,
     or cached results can go stale undetected. *)
 
+type branch_reply = { ok : bool; values : Dbms.Value.t option list }
+(** Outcome of one branch of a cross-shard plan: [ok] is the branch's
+    business verdict (a failed [Ensure_min], a lock-conflict give-up or a
+    database rejection all make it [false], which becomes an abort vote);
+    [values] are the branch's [Get] results in operation order. *)
+
+type cross_spec = {
+  plan : attempt:int -> body:string -> (string * Dbms.Rm.op list) list;
+      (** [plan ~attempt ~body] decomposes the invocation into branches:
+          [(anchor_key, ops)] pairs, each executed transactionally on the
+          shard owning [anchor_key]. Pure — it may depend only on its
+          arguments (it is re-evaluated verbatim by whoever completes the
+          transaction after a coordinator crash). Branches sharing a shard
+          are merged by the engine. Like the classic [run], successive
+          attempts may plan differently (e.g. degrade to a read-only probe
+          after user-level aborts) but must eventually plan something the
+          databases will commit. *)
+  finish :
+    attempt:int ->
+    body:string ->
+    replies:(string * branch_reply) list ->
+    Etx_types.result_value;
+      (** [finish] folds the branches' replies (keyed by anchor key) into
+          the result value, called only when every branch voted yes — the
+          commit case. Pure for the same reason as [plan]: any driver must
+          derive the identical committed result. *)
+}
+(** Cross-shard decomposition of a business method, used only when the
+    request's keys span several shards; co-located requests always ride
+    [run]. *)
+
 type t = {
   label : string;
   run : context -> body:string -> Etx_types.result_value;
@@ -45,6 +76,10 @@ type t = {
           Transient error reports (a try re-executed during fail-over can
           commit one) are deliverable but must not be cached — re-reading
           would not reproduce them. *)
+  cross : cross_spec option;
+      (** cross-shard decomposition; [None] (the default) confines the
+          method to a single shard, exactly as before cross-shard commit
+          existed *)
 }
 
 val no_keys : keyset
@@ -55,14 +90,16 @@ val make :
   ?read_only:(string -> bool) ->
   ?keys:(string -> keyset) ->
   ?cacheable:(Etx_types.result_value -> bool) ->
+  ?cross:cross_spec ->
   label:string ->
   (context -> body:string -> Etx_types.result_value) ->
   t
 (** Smart constructor; [read_only] defaults to never, [keys] to
     {!no_keys} — i.e. methods are uncacheable unless they opt in —
-    and [cacheable] to rejecting ["error:"]-prefixed results (the
-    convention every bundled workload uses for transient failures).
-    Workloads with richer result grammars should whitelist explicitly. *)
+    [cacheable] to rejecting ["error:"]-prefixed results (the
+    convention every bundled workload uses for transient failures), and
+    [cross] to [None] (single-shard only). Workloads with richer result
+    grammars should whitelist explicitly. *)
 
 val trivial : t
 (** Reads nothing, writes one marker key; useful for protocol tests. *)

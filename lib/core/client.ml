@@ -37,7 +37,8 @@ let wants_result rid j m =
   match m.Types.payload with
   | Etx_types.Result_msg { rid = r; j = j'; _ }
   | Etx_types.Result_cached_msg { rid = r; j = j'; _ }
-  | Etx_types.Result_replica_msg { rid = r; j = j'; _ } ->
+  | Etx_types.Result_replica_msg { rid = r; j = j'; _ }
+  | Etx_types.Result_nack_msg { rid = r; j = j'; _ } ->
       r = rid && j' = j
   | Etx_types.Result_batch_msg { items; _ } ->
       List.exists (fun (r, j', _) -> r = rid && j' = j) items
@@ -115,6 +116,14 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
                 Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
               with
+              | Some { Types.payload = Etx_types.Result_nack_msg _; _ } ->
+                  (* explicit misroute bounce: the primary serves another
+                     group, so fan out to the rest of the list now rather
+                     than waiting out the resend timer *)
+                  (match sink with
+                  | None -> ()
+                  | Some s -> s.Rt.obs_count "client.bounced" 1);
+                  broadcast_phase j
               | Some m -> conclude j m
               | None -> broadcast_phase j
             and broadcast_phase j =
@@ -123,10 +132,19 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
               | Some s -> s.Rt.obs_count "client.backoff_epochs" 1);
               Rchannel.broadcast ch servers
                 (Etx_types.Request_msg { request; j; group; span });
+              await_broadcast j
+            and await_broadcast j =
               match
                 Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
               with
+              | Some { Types.payload = Etx_types.Result_nack_msg _; _ } ->
+                  (* a bounce during the broadcast phase carries no news —
+                     the fan-out already reached every server — so consume
+                     it and keep waiting for a real result (no immediate
+                     rebroadcast: N-1 misrouted targets would otherwise
+                     trigger N-1 resend storms) *)
+                  await_broadcast j
               | Some m -> conclude j m
               | None -> broadcast_phase j
             and conclude j m =

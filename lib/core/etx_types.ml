@@ -55,6 +55,30 @@ module Reg_name = struct
 
   let batch_d ~group ~epoch ~seq =
     Printf.sprintf "g%d:batchD:e%d:k%d" group epoch seq
+
+  (* Paxos-Commit registers of the cross-shard path. The transaction is
+     globally identified by (rid, j) — the try that planned it — and each
+     participant shard [k] owns two registers {e in its own group's
+     consensus namespace}:
+
+     - [gx_vote]: the participant's vote. [Gx_vote_value {ok = true}] may
+       only be written after every database of shard [k] voted Yes on the
+       branch (prepared), so a Commit outcome never meets an unprepared
+       database; [ok = false] is the abort vote any suspicious party may
+       contest with.
+     - [gx_exec]: which server of shard [k] executes the branch (the
+       branch-local analogue of [regA]).
+
+     The "gx:" prefix is deliberately unparseable by [parse_reg_a], and
+     [parse_gx_exec] rejects vote names (the ":a" suffix), so each scanner
+     sees exactly its own family. *)
+  let gx_vote ~rid ~j ~k = Printf.sprintf "gx:r%d.%d:p%d" rid j k
+  let gx_exec ~rid ~j ~k = Printf.sprintf "gx:r%d.%d:p%d:a" rid j k
+
+  let parse_gx_exec name =
+    try
+      Scanf.sscanf name "gx:r%d.%d:p%d:a%!" (fun rid j k -> Some (rid, j, k))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 end
 
 (** Canonical names of method-cache entries. An entry caches the committed
@@ -154,6 +178,51 @@ type Runtime.Types.payload +=
           committed state {e as of [lsn]}, and [lag] ≤ the deployment's
           staleness bound) instead of A.1/exactly-once *)
 
+type Runtime.Types.payload +=
+  | Result_nack_msg of { rid : int; j : int; group : int }
+      (** application server → client: explicit misroute bounce. The server
+          cannot serve try [j] of [rid] (the request is stamped for another
+          group), so the client should fan out to other servers immediately
+          instead of waiting out its resend timer. Carries no decision —
+          it never concludes a try *)
+  | Gx_elect of {
+      owner : Runtime.Types.proc_id;
+      participants : int list;
+      body : string;
+    }
+      (** content of [regA\[j\]] for a {e cross-shard} try: the coordinator's
+          claim over the global transaction. Carries the participant shard
+          set and the request body so any cleaner that discovers the
+          election can recompute the branch plan and drive the Paxos-Commit
+          instance to completion without the crashed owner *)
+  | Gx_vote_value of { ok : bool; values : Dbms.Value.t option list }
+      (** content of a [Reg_name.gx_vote] register: participant [k]'s vote.
+          [ok = true] promises every database of shard [k] is prepared;
+          [values] are the branch's read results (for the coordinator's
+          [finish]). [ok = false] aborts the global transaction *)
+  | Gx_branch of { rid : int; j : int; k : int; ops : Dbms.Rm.op list }
+      (** coordinator → participant-shard server: execute branch [k] of
+          global transaction (rid, j) — run [ops] at your databases,
+          prepare, and decide your shard's vote register. Resent until a
+          {!Gx_voted} reply arrives *)
+  | Gx_voted of {
+      rid : int;
+      j : int;
+      k : int;
+      ok : bool;
+      values : Dbms.Value.t option list;
+    }
+      (** participant → coordinator: branch [k]'s vote register decided *)
+  | Gx_resolve of { rid : int; j : int; k : int }
+      (** takeover cleaner → participant-shard server: contest branch [k]'s
+          vote register with an abort vote and reply its decided value —
+          the suspicion-gated analogue of the classic regD contest *)
+  | Gx_complete of { rid : int; j : int; k : int; outcome : Dbms.Rm.outcome }
+      (** decision driver → participant-shard server: the global outcome is
+          known; decide it at every database of shard [k]. Idempotent *)
+  | Gx_completed of { rid : int; j : int; k : int }
+      (** participant → decision driver: branch [k]'s databases decided *)
+
 (* demux classes for the two client/server message streams *)
 let cls_request =
   Runtime.Etx_runtime.register_class ~name:"etx-request" (function
@@ -163,8 +232,21 @@ let cls_request =
 let cls_result =
   Runtime.Etx_runtime.register_class ~name:"etx-result" (function
     | Result_msg _ | Result_batch_msg _ | Result_cached_msg _
-    | Result_replica_msg _ ->
+    | Result_replica_msg _ | Result_nack_msg _ ->
         true
+    | _ -> false)
+
+(* cross-shard commit traffic: requests served by the gx handler fiber
+   (forked only on cross-enabled servers), and replies consumed by whoever
+   is driving the instance — coordinator pipeline or takeover cleaner *)
+let cls_gx =
+  Runtime.Etx_runtime.register_class ~name:"etx-gx" (function
+    | Gx_branch _ | Gx_resolve _ | Gx_complete _ -> true
+    | _ -> false)
+
+let cls_gx_reply =
+  Runtime.Etx_runtime.register_class ~name:"etx-gx-reply" (function
+    | Gx_voted _ | Gx_completed _ -> true
     | _ -> false)
 
 let pp_decision ppf d =

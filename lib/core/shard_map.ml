@@ -46,3 +46,6 @@ let shard_of t key =
       find 0 bounds
 
 let shard_of_body t body = shard_of t (Etx_types.routing_key body)
+
+let shards_of t keys =
+  List.map (shard_of t) keys |> List.sort_uniq compare

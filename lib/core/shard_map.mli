@@ -26,3 +26,8 @@ val shard_of : t -> string -> int
 
 val shard_of_body : t -> string -> int
 (** [shard_of] of the body's {!Etx_types.routing_key}. *)
+
+val shards_of : t -> string list -> int list
+(** Participant set of a key set: the shards owning the keys, sorted and
+    deduplicated. A singleton means the keys are co-located and the request
+    can ride the intra-shard path. *)

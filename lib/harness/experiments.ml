@@ -931,6 +931,163 @@ let render_shard rows =
    (deterministic)\n"
   ^ Stats.Table.render ~headers ~rows:body
 
+(* ------------------------------------------------------------------ *)
+(* A16 — cross-shard commit: global atomicity's price in messages and
+   throughput.
+
+   Same figure of merit as A11 (virtual-time throughput at quiescence),
+   but the workload is bank transfers with a controlled fraction of
+   cross-shard destinations. Each cross transfer runs a Paxos-Commit
+   instance over the participant groups' wo-registers instead of the
+   group-local classic path, so the sweep exposes the message overhead
+   (msgs/commit vs participant count) and the throughput cost as the
+   cross fraction grows. Every row asserts the full cluster spec —
+   including global atomicity — before reporting. *)
+
+type cross_row = {
+  cx_shards : int;
+  cx_ratio : float;  (** requested cross-shard fraction of the workload *)
+  cx_clients : int;
+  cx_requests : int;
+  cx_cross : int;  (** bodies whose two accounts live on different shards *)
+  cx_delivered : int;
+  cx_mean_participants : float;
+      (** mean distinct shards per delivered transfer *)
+  cx_events : int;
+  cx_vtime_ms : float;
+  cx_tx_per_vs : float;
+  cx_msgs_per_commit : float;
+  cx_wall_s : float;
+}
+
+let cross_points =
+  [
+    (2, 0.0); (2, 0.1); (2, 0.5); (2, 1.0);
+    (4, 0.0); (4, 0.1); (4, 0.5); (4, 1.0);
+  ]
+
+(* distinct shards a transfer body touches, from its account keys *)
+let body_shards ~map body =
+  match String.split_on_char ':' body with
+  | [ a; b; _ ] ->
+      List.sort_uniq compare
+        [ Etx.Shard_map.shard_of map a; Etx.Shard_map.shard_of map b ]
+  | _ -> [ Etx.Shard_map.shard_of_body map body ]
+
+let cross_sweep ?(seed = 42) ?(points = cross_points) ?(clients = 3)
+    ?(requests = 12) ?domains () =
+  let one (n_shards, ratio) ~seed =
+    let map = Etx.Shard_map.create ~shards:n_shards () in
+    let kind =
+      Workload.Generator.Bank_transfers
+        { accounts = 4 * n_shards; max_amount = 5 }
+    in
+    let bodies =
+      Workload.Generator.sharded_bodies ~map ~cross_ratio:ratio ~seed
+        ~n:requests kind
+    in
+    let n_cross =
+      List.length
+        (List.filter
+           (fun (_, b) -> List.length (body_shards ~map b) > 1)
+           bodies)
+    in
+    (* deal the body stream round-robin over the clients, preserving each
+       client's issue order *)
+    let slices = Array.make clients [] in
+    List.iteri
+      (fun i (_, body) ->
+        slices.(i mod clients) <- slices.(i mod clients) @ [ body ])
+      bodies;
+    let scripts =
+      Array.to_list
+        (Array.map
+           (fun bodies ~issue ->
+             List.iter (fun b -> ignore (issue b)) bodies)
+           slices)
+    in
+    let t0 = Unix.gettimeofday () in
+    let e, c =
+      Simrun.cluster ~seed ~map
+        ~seed_data:(Workload.Generator.seed_data_of kind) ~cross:true
+        ~business:(Workload.Generator.business_of kind) ~scripts ()
+    in
+    if not (Cluster.run_to_quiescence ~deadline:7_200_000. c) then
+      failwith "cross_sweep: cluster did not quiesce";
+    (match Cluster.Spec.check_all c with
+    | [] -> ()
+    | violations ->
+        failwith ("cross_sweep: spec violated: " ^ String.concat "; " violations));
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let vtime_ms = Dsim.Engine.now_of e in
+    let records = Cluster.all_records c in
+    let delivered = List.length records in
+    let participants =
+      List.fold_left
+        (fun acc (r : Etx.Client.record) ->
+          acc + List.length (body_shards ~map r.body))
+        0 records
+    in
+    let msgs = Msgclass.protocol_messages (Dsim.Engine.trace e) in
+    {
+      cx_shards = n_shards;
+      cx_ratio = ratio;
+      cx_clients = clients;
+      cx_requests = requests;
+      cx_cross = n_cross;
+      cx_delivered = delivered;
+      cx_mean_participants =
+        float_of_int participants /. float_of_int (max 1 delivered);
+      cx_events = Dsim.Engine.events_of e;
+      cx_vtime_ms = vtime_ms;
+      cx_tx_per_vs = float_of_int delivered /. (vtime_ms /. 1000.);
+      cx_msgs_per_commit =
+        float_of_int msgs /. float_of_int (max 1 delivered);
+      cx_wall_s = wall_s;
+    }
+  in
+  run_trials ?domains
+    (List.map
+       (fun (s, r) ->
+         {
+           label = Printf.sprintf "cross-%d-%.2f" s r;
+           seed;
+           run = one (s, r);
+         })
+       points)
+
+let render_cross rows =
+  let headers =
+    [
+      "shards";
+      "cross ratio";
+      "cross/total";
+      "delivered";
+      "mean parts";
+      "vtime (ms)";
+      "tx/vsec";
+      "msgs/commit";
+    ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.cx_shards;
+          Printf.sprintf "%.2f" r.cx_ratio;
+          Printf.sprintf "%d/%d" r.cx_cross r.cx_requests;
+          string_of_int r.cx_delivered;
+          Printf.sprintf "%.2f" r.cx_mean_participants;
+          Printf.sprintf "%.1f" r.cx_vtime_ms;
+          Printf.sprintf "%.2f" r.cx_tx_per_vs;
+          Printf.sprintf "%.1f" r.cx_msgs_per_commit;
+        ])
+      rows
+  in
+  "A16 — cross-shard commit: Paxos Commit over the replica groups, cost vs \
+   cross fraction (deterministic)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
 let register_backend_comparison ?(seed = 42) ?domains () =
   (* one register write among three members; [writer] proposes, the member
      being measured records the elapsed time; optionally member 0 (the
@@ -2027,6 +2184,36 @@ let csv_recovery rows =
              string_of_int r.log_len;
              string_of_int r.steps;
              Printf.sprintf "%.4f" r.replay_ms;
+           ])
+         rows)
+
+let csv_cross rows =
+  csv_lines
+    ([
+       "shards";
+       "cross_ratio";
+       "cross";
+       "requests";
+       "delivered";
+       "mean_participants";
+       "events";
+       "vtime_ms";
+       "tx_per_vs";
+       "msgs_per_commit";
+     ]
+    :: List.map
+         (fun r ->
+           [
+             string_of_int r.cx_shards;
+             Printf.sprintf "%.2f" r.cx_ratio;
+             string_of_int r.cx_cross;
+             string_of_int r.cx_requests;
+             string_of_int r.cx_delivered;
+             Printf.sprintf "%.3f" r.cx_mean_participants;
+             string_of_int r.cx_events;
+             Printf.sprintf "%.1f" r.cx_vtime_ms;
+             Printf.sprintf "%.3f" r.cx_tx_per_vs;
+             Printf.sprintf "%.3f" r.cx_msgs_per_commit;
            ])
          rows)
 

@@ -213,6 +213,47 @@ val shard_sweep :
 
 val render_shard : shard_row list -> string
 
+type cross_row = {
+  cx_shards : int;
+  cx_ratio : float;  (** requested cross-shard fraction of the workload *)
+  cx_clients : int;
+  cx_requests : int;
+  cx_cross : int;  (** bodies whose two accounts live on different shards *)
+  cx_delivered : int;
+  cx_mean_participants : float;
+      (** mean distinct shards per delivered transfer *)
+  cx_events : int;
+  cx_vtime_ms : float;
+  cx_tx_per_vs : float;
+  cx_msgs_per_commit : float;
+  cx_wall_s : float;
+}
+
+val cross_points : (int * float) list
+(** Default {!cross_sweep} grid: shards 2 and 4 × cross ratio 0, 0.1, 0.5,
+    1. *)
+
+val cross_sweep :
+  ?seed:int ->
+  ?points:(int * float) list ->
+  ?clients:int ->
+  ?requests:int ->
+  ?domains:int ->
+  unit ->
+  cross_row list
+(** A16: cross-shard commit cost. For each (shards, cross ratio) point,
+    build a cluster with [~cross:true], feed it [requests] bank transfers of
+    which the given fraction have a foreign-shard destination
+    ({!Workload.Generator.sharded_bodies} with [cross_ratio]), run to
+    quiescence, assert {!Cluster.Spec.check_all} — including global
+    atomicity — is clean, and report virtual-time throughput plus protocol
+    messages per delivered commit alongside the mean participant count.
+    Ratio 0 reproduces the classic intra-shard workload, so the first row
+    of each shard count is the zero-overhead baseline. Deterministic per
+    seed; trials map over the domain pool. *)
+
+val render_cross : cross_row list -> string
+
 val register_backend_comparison :
   ?seed:int -> ?domains:int -> unit -> (string * float * float) list
 (** A8: the two wo-register substrates compared — the Chandra–Toueg agent
@@ -471,3 +512,4 @@ val csv_read : read_row list -> string
 val csv_gc : gc_row list -> string
 val csv_recovery : recovery_row list -> string
 val csv_replica : replica_row list -> string
+val csv_cross : cross_row list -> string

@@ -74,6 +74,7 @@ val cluster :
   ?replicas:int ->
   ?replica_bound:int ->
   ?ship_period:float ->
+  ?cross:bool ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
   unit ->

@@ -50,8 +50,48 @@ let transfer_keys body =
         writes = [ from_acct; to_acct ] }
   | _ -> Etx.Business.no_keys
 
+(* Cross-shard decomposition of a transfer: the debit (with its funds
+   guard) on the shard owning [from], the credit on the shard owning [to].
+   Plans are pure functions of (attempt, body) — a takeover driver must be
+   able to recompute them — so the intra-shard path's "re-check the balance
+   and re-attempt" discipline is unavailable here. Instead the first few
+   attempts retry the transfer verbatim (absorbing aborts from crashes and
+   lock conflicts), then the plan degrades to a read-only probe of [from]
+   whose commit carries the footnote-4 failure report. Mildly pessimistic:
+   funds that only become sufficient after the degradation point report
+   failure where the intra-shard path would transfer. *)
+let cross_probe_attempt = 5
+
+let transfer_cross =
+  {
+    Etx.Business.plan =
+      (fun ~attempt ~body ->
+        let from_acct, to_acct, amount = parse_transfer body in
+        if attempt < cross_probe_attempt then
+          [
+            ( from_acct,
+              [ Rm.Ensure_min (from_acct, amount); Rm.Add (from_acct, -amount) ]
+            );
+            (to_acct, [ Rm.Add (to_acct, amount) ]);
+          ]
+        else [ (from_acct, [ Rm.Get from_acct ]) ]);
+    finish =
+      (fun ~attempt ~body ~replies ->
+        let from_acct, to_acct, amount = parse_transfer body in
+        if attempt < cross_probe_attempt then
+          Printf.sprintf "transferred:%d:%s->%s" amount from_acct to_acct
+        else
+          let bal =
+            match List.assoc_opt from_acct replies with
+            | Some { Etx.Business.values = [ Some v ]; _ } -> Value.to_string v
+            | _ -> "0"
+          in
+          Printf.sprintf "failed:insufficient-funds:%s=%s" from_acct bal);
+  }
+
 let transfer =
   Etx.Business.make ~label:"bank-transfer" ~keys:transfer_keys
+    ~cross:transfer_cross
     (fun ctx ~body ->
       let from_acct, to_acct, amount = parse_transfer body in
       let db = first_db ctx in

@@ -16,7 +16,18 @@ val update : Etx.Business.t
 val transfer : Etx.Business.t
 (** Request body: ["<from>:<to>:<amount>"]. Guards [from >= amount]; debits
     and credits on the first database. Results: ["transferred:..."] or (on
-    retries after a user-level abort) ["failed:insufficient-funds:..."]. *)
+    retries after a user-level abort) ["failed:insufficient-funds:..."].
+    Declares a cross-shard decomposition (debit branch on [from]'s shard,
+    credit branch on [to]'s shard), so transfers between accounts on
+    different replica groups commit atomically via Paxos Commit; the first
+    few attempts retry the transfer, later ones degrade to a read-only
+    probe whose commit reports the failure (footnote-4 discipline). *)
+
+val cross_probe_attempt : int
+(** The attempt number at which a cross-shard transfer's plan degrades to
+    the read-only probe of [from] (5): attempts below it retry the
+    debit/credit plan verbatim, the probe's commit carries the
+    insufficient-funds report. *)
 
 val audit : Etx.Business.t
 (** Read-only (declares [read_only] and a singleton read keyset, so the

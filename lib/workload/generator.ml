@@ -42,13 +42,18 @@ let bodies ~seed ~n kind =
 
 (* Keyed bodies for a sharded cluster: each comes with the shard its
    routing key maps to. Single-key kinds just tag [bodies]' output; bank
-   transfers are constrained intra-shard — the destination account is drawn
-   from the source account's shard, since cross-shard commit is follow-up
-   work (see DESIGN.md). A shard holding a single account degenerates to a
-   self-transfer rather than escaping the shard. Read-heavy bodies are
-   single-key (one account per audit or update), so reads stay intra-shard
-   for free. *)
-let sharded_bodies ~map ~seed ~n kind =
+   transfers are intra-shard by default — the destination account is drawn
+   from the source account's shard — with [cross_ratio] of them instead
+   drawing the destination from a foreign shard (a cross-shard transfer for
+   clusters built with [~cross:true]). The interleave is deterministic, not
+   coin flips: request [i] is cross iff [floor ((i+1) * r) > floor (i * r)],
+   so the ratio is exact for any [n] and [cross_ratio = 0.] leaves both the
+   bodies and the rng draw sequence byte-identical to earlier revisions. A
+   shard holding a single account degenerates to a self-transfer rather
+   than escaping the shard, and a single-shard map degenerates cross draws
+   back to intra-shard ones. Read-heavy bodies are single-key (one account
+   per audit or update), so reads stay intra-shard for free. *)
+let sharded_bodies ~map ?(cross_ratio = 0.) ~seed ~n kind =
   match kind with
   | Bank_updates _ | Travel_bookings _ | Read_heavy _ | Travel_lookups _ ->
       List.map
@@ -62,12 +67,27 @@ let sharded_bodies ~map ~seed ~n kind =
         Hashtbl.replace by_shard s
           (a :: Option.value ~default:[] (Hashtbl.find_opt by_shard s))
       done;
+      let all_accts = List.init accounts (fun a -> a) in
       let rng = Runtime.Rng.create ~seed in
-      List.init n (fun _ ->
+      List.init n (fun i ->
+          let cross =
+            cross_ratio > 0.
+            && int_of_float (float_of_int (i + 1) *. cross_ratio)
+               > int_of_float (float_of_int i *. cross_ratio)
+          in
           let from_acct = Runtime.Rng.int rng accounts in
           let s = shard_of_acct from_acct in
-          let mates =
+          let intra_mates () =
             List.filter (( <> ) from_acct) (Hashtbl.find by_shard s)
+          in
+          let mates =
+            if cross then
+              match
+                List.filter (fun a -> shard_of_acct a <> s) all_accts
+              with
+              | [] -> intra_mates () (* single-shard map: nowhere to cross *)
+              | foreign -> foreign
+            else intra_mates ()
           in
           let to_acct =
             match mates with

@@ -18,12 +18,22 @@ val bodies : seed:int -> n:int -> kind -> string list
 (** [n] request bodies, reproducible for a given seed. *)
 
 val sharded_bodies :
-  map:Etx.Shard_map.t -> seed:int -> n:int -> kind -> (int * string) list
+  map:Etx.Shard_map.t ->
+  ?cross_ratio:float ->
+  seed:int ->
+  n:int ->
+  kind ->
+  (int * string) list
 (** [n] [(shard, body)] pairs for a sharded cluster: the shard is where the
     body's routing key lives under [map]. Multi-key bodies (bank transfers)
-    are constrained intra-shard — the destination account is drawn from the
-    source's shard — because cross-shard commit is out of scope. Read-heavy
-    and lookup bodies are single-key, so their reads are intra-shard by
+    draw the destination account from the source's shard by default; with
+    [cross_ratio > 0.] that fraction of them instead draw it from a foreign
+    shard — cross-shard transfers for clusters built with [~cross:true].
+    The interleave is deterministic (request [i] is cross iff
+    [floor ((i+1) * r) > floor (i * r)]), so the mix is exact for any [n],
+    and [cross_ratio = 0.] — the default — reproduces earlier revisions'
+    bodies byte-for-byte (same rng draw sequence). Read-heavy and lookup
+    bodies are single-key, so their reads are intra-shard by
     construction. *)
 
 val business_of : kind -> Etx.Business.t

@@ -170,6 +170,38 @@ let test_misrouted_request_dropped () =
   in
   Alcotest.(check bool) "servers logged the misroute" true (drops <> [])
 
+(* the drop is not silent: the wrong shard's server answers with an
+   explicit bounce Nack, which the client counts and reacts to by fanning
+   out immediately instead of waiting out its resend timer *)
+let test_misrouted_request_bounced () =
+  let reg = Obs.Registry.create () in
+  let _e, c =
+    Harness.Simrun.cluster ~seed:3 ~shards:2 ~obs:reg ~business:Business.trivial
+      ~scripts:[ (fun ~issue -> ignore (issue "x")) ]
+      ()
+  in
+  let rt = c.rt in
+  let home = Cluster.shard_of_key c "y" in
+  let wrong = 1 - home in
+  let wrong_servers = (Cluster.group c wrong).app_servers in
+  let bad =
+    Client.spawn rt ~name:"confused"
+      ~router:(fun _ -> (home, wrong_servers))
+      ~servers:wrong_servers
+      ~script:(fun ~issue -> ignore (issue "y"))
+      ()
+  in
+  Alcotest.(check bool) "healthy client quiesces" true
+    (rt.run_until ~deadline:30_000. (fun () ->
+         List.for_all Client.script_done c.clients));
+  Alcotest.(check bool) "misrouted request never delivered" false
+    (rt.run_until ~deadline:30_000. (fun () -> Client.script_done bad));
+  Alcotest.(check bool) "bounce Nacks reached the client" true
+    (Obs.Registry.counter_total reg "client.bounced" > 0);
+  Alcotest.(check int) "nothing committed for the misroute" 0
+    (Obs.Registry.counter_total reg "client.committed"
+    - List.length (Cluster.all_records c))
+
 (* ------------------------------------------------------------------ *)
 (* Random fault injection over a 2-shard, 4-client cluster: message loss,
    an imperfect failure detector, and an application-server crash on a
@@ -233,6 +265,8 @@ let () =
             test_two_shards_route_by_key;
           Alcotest.test_case "misrouted request dropped" `Quick
             test_misrouted_request_dropped;
+          Alcotest.test_case "misrouted request bounced" `Quick
+            test_misrouted_request_bounced;
         ] );
       ("random-faults", [ q prop_cluster_spec_under_random_faults ]);
     ]

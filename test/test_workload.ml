@@ -266,6 +266,54 @@ let test_generator_transfer_distinct_accounts () =
       | _ -> Alcotest.fail "bad transfer body")
     (Workload.Generator.bodies ~seed:5 ~n:50 kind)
 
+let test_generator_cross_ratio_mix () =
+  let map = Etx.Shard_map.create ~shards:2 () in
+  let kind = Workload.Generator.Bank_transfers { accounts = 8; max_amount = 9 } in
+  let shard a = Etx.Shard_map.shard_of map a in
+  let is_cross body =
+    match String.split_on_char ':' body with
+    | [ a; b; _ ] -> shard a <> shard b
+    | _ -> Alcotest.fail ("bad transfer body " ^ body)
+  in
+  List.iter
+    (fun ratio ->
+      let tagged =
+        Workload.Generator.sharded_bodies ~map ~cross_ratio:ratio ~seed:6
+          ~n:30 kind
+      in
+      (* the interleave is deterministic, so the mix is exact, not just in
+         expectation: request i is cross iff floor((i+1)r) > floor(ir) *)
+      Alcotest.(check int)
+        (Printf.sprintf "cross count at ratio %.1f" ratio)
+        (int_of_float (30. *. ratio))
+        (List.length (List.filter (fun (_, b) -> is_cross b) tagged));
+      List.iteri
+        (fun i (s, b) ->
+          let want =
+            ratio > 0.
+            && int_of_float (float_of_int (i + 1) *. ratio)
+               > int_of_float (float_of_int i *. ratio)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "body %d cross (r=%.1f)" i ratio)
+            want (is_cross b);
+          (* the tag is always the source account's home shard *)
+          Alcotest.(check int) ("tag of " ^ b)
+            (shard (List.hd (String.split_on_char ':' b)))
+            s)
+        tagged)
+    [ 0.; 0.1; 0.5; 1. ]
+
+let test_generator_cross_ratio_zero_byte_identical () =
+  (* ratio 0 must not perturb the rng draw sequence: the default stream and
+     the explicit-zero stream are the same list *)
+  let map = Etx.Shard_map.create ~shards:3 () in
+  let kind = Workload.Generator.Bank_transfers { accounts = 9; max_amount = 7 } in
+  Alcotest.(check (list (pair int string)))
+    "ratio 0 = default"
+    (Workload.Generator.sharded_bodies ~map ~seed:8 ~n:25 kind)
+    (Workload.Generator.sharded_bodies ~map ~cross_ratio:0. ~seed:8 ~n:25 kind)
+
 let prop_travel_inventory_conserved =
   QCheck.Test.make ~name:"travel inventory never negative, exactly booked"
     ~count:15
@@ -337,5 +385,9 @@ let () =
             test_generator_travel_lookups;
           Alcotest.test_case "read-heavy sharded bodies intra-shard" `Quick
             test_generator_read_heavy_sharded;
+          Alcotest.test_case "cross ratio mix exact" `Quick
+            test_generator_cross_ratio_mix;
+          Alcotest.test_case "cross ratio 0 byte-identical" `Quick
+            test_generator_cross_ratio_zero_byte_identical;
         ] );
     ]
