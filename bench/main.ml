@@ -13,14 +13,14 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain
      (artefacts: figure8 figure7 figure1 failover backoff loss dbs
       persistence consensus-failover throughput registers fd-quality
-      scale scale-smoke shard shard-smoke cross cross-smoke batch
-      batch-smoke cache cache-smoke group-commit group-commit-smoke
-      recovery recovery-smoke replica replica-smoke parallel live micro
-      failover-phases obs-overhead)
+      scale scale-smoke shard shard-smoke cross cross-smoke migrate
+      migrate-smoke batch batch-smoke cache cache-smoke group-commit
+      group-commit-smoke recovery recovery-smoke replica replica-smoke
+      parallel live micro failover-phases obs-overhead)
 
    Each invocation also writes BENCH_harness.json (via {!Stats.Json}) —
    per-artefact wall-clock seconds plus the sweep points, machine-readable:
-     { "schema": "etx-bench-harness/9", "domains": N, "host_cores": C,
+     { "schema": "etx-bench-harness/10", "domains": N, "host_cores": C,
        "artefacts": [ { "name": "figure8", "backend": "sim", "obs": "off",
                         "wall_s": 1.234 }, ... ],
        "scale": [ { "servers": 3, "clients": 1, "events": 12345,
@@ -34,6 +34,12 @@
                     "cross": 6, "requests": 12, "delivered": 12,
                     "mean_participants": 1.5, "tx_per_vs": 4.1,
                     "msgs_per_commit": 61.0, "wall_s": 0.3 }, ... ],
+       "migrate": [ { "backend": "sim", "clients": 6, "requests": 60,
+                      "delivered": 60, "before_tx_per_vs": 9.1,
+                      "during_tx_per_vs": 5.2, "after_tx_per_vs": 8.8,
+                      "during_ms": 512.0, "drain_ms": 210.0,
+                      "keys_moved": 3, "bounced": 7, "map_refresh": 4,
+                      "wall_s": 0.4 }, ... ],
        "live": [ { "clients": 2, "requests": 6, "wall_s": 1.2,
                    "requests_per_sec": 5.0 }, ... ],
        "obs_overhead": [ { "mode": "disabled", "events": 12345,
@@ -79,6 +85,9 @@ let shard_live_rows : (int * int * int * int * float * float) list ref = ref []
 
 (* A16 rows: cross-shard commit cost vs cross fraction *)
 let cross_rows : Harness.Experiments.cross_row list ref = ref []
+
+(* A17 rows: online split under live traffic, throughput by phase *)
+let migrate_rows : Harness.Experiments.migrate_row list ref = ref []
 
 (* (mode, events, wall_s, events/s) rows from the obs-overhead artefact *)
 let obs_rows : (string * int * float * float) list ref = ref []
@@ -142,7 +151,7 @@ let write_bench_json () =
   let doc =
     Obj
       [
-        ("schema", String "etx-bench-harness/9");
+        ("schema", String "etx-bench-harness/10");
         ("domains", Int !domains);
         ("host_cores", Int host_cores);
         ( "artefacts",
@@ -191,6 +200,28 @@ let write_bench_json () =
                      ("wall_s", Float r.cx_wall_s);
                    ])
                !cross_rows) );
+        ( "migrate",
+          List
+            (List.map
+               (fun (r : Harness.Experiments.migrate_row) ->
+                 Obj
+                   [
+                     ("backend", String "sim");
+                     ("clients", Int r.mg_clients);
+                     ("requests", Int r.mg_requests);
+                     ("delivered", Int r.mg_delivered);
+                     ("before_tx_per_vs", Float r.mg_before_tx_per_vs);
+                     ("during_tx_per_vs", Float r.mg_during_tx_per_vs);
+                     ("after_tx_per_vs", Float r.mg_after_tx_per_vs);
+                     ("during_ms", Float r.mg_during_ms);
+                     ("drain_ms", Float r.mg_drain_ms);
+                     ("keys_moved", Int r.mg_keys_moved);
+                     ("bounced", Int r.mg_bounced);
+                     ("map_refresh", Int r.mg_map_refresh);
+                     ("events", Int r.mg_events);
+                     ("wall_s", Float r.mg_wall_s);
+                   ])
+               !migrate_rows) );
         ( "live",
           List
             (List.map
@@ -586,6 +617,27 @@ let run_cross_smoke () =
   run_cross_sim ~points:[ (2, 0.0); (2, 1.0) ] ~requests:6 ()
 
 (* ------------------------------------------------------------------ *)
+(* A17: elastic reconfiguration — an online split of group 0's slots
+   toward a pre-provisioned spare while clients keep issuing, reported as
+   throughput before / during / after the migration window plus the copy
+   and bounce counters. The spec assertion inside the sweep makes this
+   artefact a correctness check as much as a measurement. *)
+
+let run_migrate_sim ?issues () =
+  let rows =
+    timed "migrate" @@ fun () ->
+    Harness.Experiments.migrate_sweep ?issues ~domains:!domains ()
+  in
+  migrate_rows := !migrate_rows @ rows;
+  section "A17 (elastic reconfiguration)"
+    (Harness.Experiments.render_migrate rows)
+
+let run_migrate () = run_migrate_sim ()
+
+(* fewer issues per client: the CI smoke *)
+let run_migrate_smoke () = run_migrate_sim ~issues:4 ()
+
+(* ------------------------------------------------------------------ *)
 (* Live-backend artefact: wall-clock requests/sec on a small cluster.
    The only artefact that does not run on the simulator — sleeps, disk
    forces and network delays cost real milliseconds, so the figure of merit
@@ -949,6 +1001,7 @@ let all () =
   run_scale ();
   run_shard ();
   run_cross ();
+  run_migrate ();
   run_batch ();
   run_cache ();
   run_group_commit ();
@@ -999,6 +1052,8 @@ let () =
           | "shard-smoke" -> run_shard_smoke ()
           | "cross" -> run_cross ()
           | "cross-smoke" -> run_cross_smoke ()
+          | "migrate" -> run_migrate ()
+          | "migrate-smoke" -> run_migrate_smoke ()
           | "batch" -> run_batch ()
           | "batch-smoke" -> run_batch_smoke ()
           | "cache" -> run_cache ()
@@ -1015,7 +1070,7 @@ let () =
           | other ->
               Printf.eprintf
                 "unknown artefact %S (expected \
-                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|cross|cross-smoke|batch|batch-smoke|cache|cache-smoke|group-commit|group-commit-smoke|recovery|recovery-smoke|replica|replica-smoke|parallel|live|micro)\n"
+                 figure8|figure7|figure1|failover|backoff|loss|dbs|persistence|consensus-failover|throughput|registers|fd-quality|failover-phases|obs-overhead|scale|scale-smoke|shard|shard-smoke|cross|cross-smoke|migrate|migrate-smoke|batch|batch-smoke|cache|cache-smoke|group-commit|group-commit-smoke|recovery|recovery-smoke|replica|replica-smoke|parallel|live|micro)\n"
                 other;
               exit 2)
         args);

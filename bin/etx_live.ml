@@ -29,7 +29,14 @@
    coordinator mid-transfer; the run asserts the global atomic outcome:
    cluster spec (including global atomicity) plus per-account balances that
    move in lock-step with the transfers that actually committed — a
-   transfer is never half-applied across the two shards. *)
+   transfer is never half-applied across the two shards.
+
+   With [-migrate] (implies at least 2 shards) the cluster is built with
+   elastic reconfiguration and one pre-provisioned spare group; after a
+   warm-up the run splits group 0's slots toward the spare while the
+   clients keep issuing, crashes shard 0's primary mid-migration, and
+   asserts the epoch flip happened, every request committed exactly once
+   and every key's balance is continuous at its new home group. *)
 
 let clients = ref 3
 let requests = ref 4
@@ -40,6 +47,7 @@ let replicas = ref 0
 let replica_bound = ref 8
 let group_commit = ref false
 let cross = ref false
+let migrate = ref false
 let seed = ref 42
 let out = ref "LIVE_smoke.json"
 let obs = ref ""
@@ -77,6 +85,13 @@ let speclist =
        clients transfer between shard-0 and shard-1 accounts, the \
        coordinating primary is crashed mid-transfer, and the run asserts \
        the atomic outcome on both shards" );
+    ( "-migrate",
+      Arg.Set migrate,
+      "  elastic-reconfiguration smoke (implies -shards 2 unless larger): \
+       a spare replica group is pre-provisioned, group 0's slots are split \
+       toward it mid-run while clients keep issuing, shard 0's primary is \
+       crashed during the migration, and the run asserts the epoch flip, \
+       exactly-once delivery and value continuity at every key's new home" );
     ("-seed", Arg.Set_int seed, "N  network-model RNG seed (default 42)");
     ("-out", Arg.Set_string out, "FILE  summary JSON path (default LIVE_smoke.json)");
     ( "-obs",
@@ -124,13 +139,13 @@ let obs_violations ~n_delivered reg =
         ]
       else []
 
-let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
-    ~violations ~ok =
+let write_summary ?(epoch = 0) ~out ~n_shards ~n_clients ~n_requests
+    ~n_delivered ~wall_s ~violations ~ok () =
   let open Stats.Json in
   let doc =
     Obj
       [
-        ("schema", String "etx-live-smoke/6");
+        ("schema", String "etx-live-smoke/7");
         ("backend", String "live");
         ("shards", Int n_shards);
         ("batch", Int !batch);
@@ -138,6 +153,8 @@ let write_summary ~out ~n_shards ~n_clients ~n_requests ~n_delivered ~wall_s
         ("replicas", Int !replicas);
         ("group_commit", Bool !group_commit);
         ("cross", Bool !cross);
+        ("migrate", Bool !migrate);
+        ("epoch", Int epoch);
         ("clients", Int n_clients);
         ("requests_per_client", Int n_requests);
         ("delivered", Int n_delivered);
@@ -156,7 +173,13 @@ let report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok =
   Printf.printf "etx_live: %d/%d delivered in %.1f s wall; %s (summary: %s)\n%!"
     n_delivered total wall_s
     (if ok then
-       if !cross then
+       if !migrate then
+         Printf.sprintf
+           "spec OK — online split committed under a primary crash, \
+            exactly-once and value continuity held across the epoch flip \
+            (%d groups)"
+           n_shards
+       else if !cross then
          Printf.sprintf
            "spec OK — every cross-shard transfer committed atomically on \
             all %d shards across coordinator crash+recovery"
@@ -285,7 +308,7 @@ let run_single () =
   in
   let ok = violations = [] in
   write_summary ~out:!out ~n_shards:1 ~n_clients ~n_requests ~n_delivered
-    ~wall_s ~violations ~ok;
+    ~wall_s ~violations ~ok ();
   Runtime_live.shutdown lt;
   report ~n_shards:1 ~n_delivered ~total ~wall_s ~violations ~ok
 
@@ -402,7 +425,7 @@ let run_sharded () =
   in
   let ok = violations = [] in
   write_summary ~out:!out ~n_shards ~n_clients ~n_requests ~n_delivered
-    ~wall_s ~violations ~ok;
+    ~wall_s ~violations ~ok ();
   Runtime_live.shutdown lt;
   report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok
 
@@ -535,7 +558,123 @@ let run_cross () =
   in
   let ok = violations = [] in
   write_summary ~out:!out ~n_shards ~n_clients ~n_requests ~n_delivered
-    ~wall_s ~violations ~ok;
+    ~wall_s ~violations ~ok ();
+  Runtime_live.shutdown lt;
+  report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok
+
+(* ------------------------------------------------------------------ *)
+(* Elastic-reconfiguration path: split group 0 toward a pre-provisioned
+   spare while the clients keep issuing, with shard 0's primary crashed
+   mid-migration. *)
+
+let run_migrate () =
+  let n_clients = !clients and n_requests = !requests and n_shards = !shards in
+  let reg = obs_registry () in
+  let lt = Runtime_live.create ~seed:!seed ?obs:reg () in
+  let rt = Runtime_live.runtime lt in
+  let map = Etx.Shard_map.create ~shards:n_shards () in
+  let keys = client_keys map ~n_clients ~n_shards in
+  let seed_data =
+    Workload.Bank.seed_accounts (List.map (fun k -> (k, 1000)) keys)
+  in
+  let scripts =
+    List.map
+      (fun key ~issue ->
+        for _ = 1 to n_requests do
+          ignore (issue (key ^ ":1"))
+        done)
+      keys
+  in
+  let t_start = Unix.gettimeofday () in
+  let c =
+    Cluster.build ~map ~recoverable:true ~reconfig:true ~provision:1
+      ~seed_data ~business:Workload.Bank.update ~rt ~scripts ()
+  in
+  let delivered () = List.length (Cluster.all_records c) in
+  let total = n_clients * n_requests in
+  let primary = Cluster.primary c ~shard:0 in
+  let warm =
+    rt.run_until ~deadline:60_000. (fun () -> delivered () >= min total 2)
+  in
+  if not warm then prerr_endline "etx_live: WARNING: slow start";
+  (* start the online split, then crash the source group's primary while
+     the migration is in flight: a surviving config-group server must take
+     the driver over (or the driver re-drive past the suspect) and the
+     flip still happen *)
+  let e1 = Cluster.split c ~group:0 ~target:n_shards in
+  Printf.printf
+    "splitting group 0 -> group %d (epoch %d), then crashing shard-0 \
+     primary (p%d %s) at %.0f ms, %d/%d delivered\n%!"
+    n_shards e1 primary (rt.name_of primary) (Runtime_live.now_ms lt)
+    (delivered ()) total;
+  rt.crash primary;
+  ignore
+    (rt.run_until ~deadline:(Runtime_live.now_ms lt +. 1_500.) (fun () ->
+         false));
+  Printf.printf "recovering shard-0 primary at %.0f ms, %d/%d delivered\n%!"
+    (Runtime_live.now_ms lt) (delivered ()) total;
+  rt.recover primary;
+  let flipped = Cluster.await_epoch ~deadline:240_000. c e1 in
+  let settled = Cluster.run_to_quiescence ~deadline:240_000. c in
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let n_delivered = delivered () in
+  let scripts_done = List.for_all Etx.Client.script_done c.clients in
+  let violations = if settled then Cluster.Spec.check_all c else [] in
+  (* value continuity at each key's CURRENT home: seed + every committed
+     increment, on every replica of the owning group — for moved keys this
+     proves the copy carried the state across the split *)
+  let final_map = Cluster.current_map c in
+  let dup_violations =
+    List.concat_map
+      (fun key ->
+        let home = Etx.Shard_map.shard_of final_map key in
+        let expect = Dbms.Value.Int (1000 + n_requests) in
+        List.filter_map
+          (fun (dbpid, rm) ->
+            match Dbms.Rm.read_committed rm key with
+            | Some v when Dbms.Value.equal v expect -> None
+            | Some v ->
+                Some
+                  (Printf.sprintf
+                     "group %d db p%d: %s = %s, expected %s (lost or \
+                      duplicated commit across the migration)"
+                     home dbpid key (Dbms.Value.to_string v)
+                     (Dbms.Value.to_string expect))
+            | None ->
+                Some
+                  (Printf.sprintf "group %d db p%d: %s missing" home dbpid key))
+          (Cluster.group c home).Cluster.dbs)
+      keys
+  in
+  let moved_keys =
+    List.filter
+      (fun k ->
+        Etx.Shard_map.shard_of map k <> Etx.Shard_map.shard_of final_map k)
+      keys
+  in
+  let violations =
+    violations
+    @ (match reg with
+      | Some r when settled -> Cluster.Spec.obs_consistency r c
+      | _ -> [])
+    @ (match reg with
+      | Some r when settled && moved_keys <> [] ->
+          (* a split that moved live keys must have copied something *)
+          if Obs.Registry.counter_total r "migrate.keys_moved" > 0 then []
+          else [ "migrate: keys changed owner but none were copied" ]
+      | _ -> [])
+    @ dup_violations
+    @ obs_violations ~n_delivered reg
+    @ (if flipped then [] else [ "epoch flip did not happen" ])
+    @ (if settled then [] else [ "run did not quiesce before the deadline" ])
+    @ (if scripts_done then [] else [ "a client script did not finish" ])
+    @
+    if n_delivered = total then []
+    else [ Printf.sprintf "delivered %d of %d requests" n_delivered total ]
+  in
+  let ok = violations = [] in
+  write_summary ~epoch:(Cluster.epoch c) ~out:!out ~n_shards ~n_clients
+    ~n_requests ~n_delivered ~wall_s ~violations ~ok ();
   Runtime_live.shutdown lt;
   report ~n_shards ~n_delivered ~total ~wall_s ~violations ~ok
 
@@ -543,12 +682,15 @@ let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "etx_live [-clients N] [-requests N] [-shards S] [-batch B] [-cache] \
-     [-replicas R] [-replica-bound L] [-group-commit] [-cross] [-seed N] \
-     [-out FILE] [-obs FILE]";
+     [-replicas R] [-replica-bound L] [-group-commit] [-cross] [-migrate] \
+     [-seed N] [-out FILE] [-obs FILE]";
   if !shards < 1 then (prerr_endline "etx_live: -shards must be >= 1"; exit 2);
   if !batch < 1 then (prerr_endline "etx_live: -batch must be >= 1"; exit 2);
   if !replicas < 0 then
     (prerr_endline "etx_live: -replicas must be >= 0"; exit 2);
+  if !cross && !migrate then (
+    prerr_endline "etx_live: -cross and -migrate are mutually exclusive";
+    exit 2);
   if !cross then begin
     if !cache || !replicas > 0 || !batch > 1 then (
       prerr_endline
@@ -556,6 +698,15 @@ let () =
       exit 2);
     if !shards < 2 then shards := 2;
     run_cross ()
+  end
+  else if !migrate then begin
+    if !cache || !replicas > 0 || !batch > 1 then (
+      prerr_endline
+        "etx_live: -migrate cannot be combined with -cache, -replicas or \
+         -batch";
+      exit 2);
+    if !shards < 2 then shards := 2;
+    run_migrate ()
   end
   else if !shards = 1 then run_single ()
   else run_sharded ()

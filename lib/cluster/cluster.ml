@@ -17,6 +17,11 @@ type t = {
   business : Etx.Business.t;
   replica_bound : int;
   cross : bool;
+  reconfig : bool;
+  maps : Etx.Shard_map.t list ref;
+      (* the cluster's map history, newest first; last = the epoch-0 [map].
+         Appended by [split] when a migration's flip is observed. *)
+  ops : int ref;  (* operator actions (splits) still in flight *)
 }
 
 let shards t = Array.length t.groups
@@ -37,8 +42,12 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
     ?(backend = Etx.Appserver.Reg_ct) ?(recoverable = false)
     ?(register_disk_latency = 12.5) ?batch ?(cache = false)
     ?(group_commit = false) ?(replicas = 0) ?(replica_bound = 8)
-    ?(ship_period = 5.) ?(cross = false) ~rt ~business ~scripts () =
+    ?(ship_period = 5.) ?(cross = false) ?(reconfig = false) ?(provision = 0)
+    ~rt ~business ~scripts () =
   if replicas < 0 then invalid_arg "Cluster.build: replicas must be >= 0";
+  if provision < 0 then invalid_arg "Cluster.build: provision must be >= 0";
+  if provision > 0 && not reconfig then
+    invalid_arg "Cluster.build: provision needs ~reconfig:true";
   let map =
     match map with
     | Some m -> m
@@ -46,10 +55,14 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
   in
   let shards = Etx.Shard_map.shards map in
   if scripts = [] then invalid_arg "Cluster.build: no client scripts";
+  (* spare (pre-provisioned) groups spawn complete — databases, servers,
+     register namespace — but own no slice of the epoch-0 map; a later
+     [split] migrates keys into them under live traffic *)
+  let ngroups = shards + provision in
   let net =
     match net with
     | Some n -> n
-    | None -> Dnet.Netmodel.three_tier ~n_dbs:(shards * n_dbs) ()
+    | None -> Dnet.Netmodel.three_tier ~n_dbs:(ngroups * n_dbs) ()
   in
   (rt : Rt.t).set_net net;
   (* Group-0 processes keep the single-group names (db1, a1, client) so a
@@ -63,10 +76,10 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
   (* Databases first, shard-major: pids 0 .. shards*n_dbs - 1. The network
      model's "first pids are databases" convention and the deployment's pid
      layout both survive sharding this way. *)
-  let app_pids = Array.make shards [] in
+  let app_pids = Array.make ngroups [] in
   (* per-db replica pid cell, filled after the replicas spawn (last) *)
   let group_cells =
-    Array.init shards (fun s ->
+    Array.init ngroups (fun s ->
         let seed_data = seed_for s in
         List.init n_dbs (fun i ->
             let name = gname s (Printf.sprintf "db%d" (i + 1)) in
@@ -83,7 +96,8 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
               else None
             in
             let pid =
-              Dbms.Server.spawn rt ~invalidate:cache ?ship ~name ~rm
+              Dbms.Server.spawn rt ~invalidate:cache ~migratable:reconfig
+                ?ship ~name ~rm
                 ~observers:(fun () -> app_pids.(s))
                 ()
             in
@@ -93,11 +107,31 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
     Array.map (List.map (fun (pid, rm, _) -> (pid, rm))) group_cells
   in
   (* Application servers per shard: each group has its own server set,
-     failure detector (spanning only the group), consensus agents and
+     failure detector (group-local, widened to every provisioned group
+     when reconfiguration is on — migration drivers must be able to give
+     up on crashed servers of other groups), consensus agents and
      register namespace. *)
-  let db_base = shards * n_dbs in
+  let db_base = ngroups * n_dbs in
+  (* one shared wiring record: every server (spare groups included) tracks
+     the epoch-versioned map, and the config group hosts the drivers *)
+  let reconfig_cfg =
+    if reconfig then
+      Some
+        {
+          Etx.Appserver.init_map = map;
+          cfg_group = 0;
+          rc_groups = ngroups;
+          rc_servers_of = (fun g -> app_pids.(g));
+          rc_dbs_of =
+            (fun g ->
+              List.map
+                (fun (pid, rm) -> (pid, Dbms.Rm.name rm))
+                group_dbs.(g));
+        }
+    else None
+  in
   let groups =
-    Array.init shards (fun s ->
+    Array.init ngroups (fun s ->
         let dbs = group_dbs.(s) in
         let db_pids = List.map fst dbs in
         let base = db_base + (s * n_app_servers) in
@@ -142,8 +176,8 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
               let cfg =
                 Etx.Appserver.config ~fd_spec ~clean_period ~poll ?gc_after
                   ~backend ?persist ?batch ?cache:mcache ?replicas:reps
-                  ~replica_bound ?cross:cross_cfg ~group:s ~rt ~index ~servers
-                  ~dbs:db_pids ~business ()
+                  ~replica_bound ?cross:cross_cfg ?reconfig:reconfig_cfg
+                  ~group:s ~rt ~index ~servers ~dbs:db_pids ~business ()
               in
               let pid = Etx.Appserver.spawn cfg in
               (match mcache with
@@ -171,8 +205,20 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
            cache-off runs keep the paper's head-first behaviour so they
            stay record-for-record with earlier revisions *)
         let affinity = if cache then i else 0 in
+        (* each client gets its own mutable map view: clients learn of a
+           reconfiguration independently, at their own pace *)
+        let rc =
+          if reconfig then
+            Some
+              {
+                Etx.Client.map;
+                group_servers = (fun g -> app_pids.(g));
+                cfg_servers = app_pids.(0);
+              }
+          else None
+        in
         Etx.Client.spawn rt ~name ~period:client_period ~affinity ~router
-          ~servers:groups.(0).app_servers ~script ())
+          ?reconfig:rc ~servers:groups.(0).app_servers ~script ())
       scripts
   in
   (* read replicas spawn LAST, shard-major: a [replicas:0] cluster
@@ -203,7 +249,18 @@ let build ?net ?map ?(shards = 1) ?(n_app_servers = 3) ?(n_dbs = 1)
         { g with replicas = reps })
       groups
   in
-  { rt; map; groups; clients; business; replica_bound; cross }
+  {
+    rt;
+    map;
+    groups;
+    clients;
+    business;
+    replica_bound;
+    cross;
+    reconfig;
+    maps = ref [ map ];
+    ops = ref 0;
+  }
 
 let group_replicas_settled rt g =
   List.for_all
@@ -216,7 +273,8 @@ let group_replicas_settled rt g =
 
 let run_to_quiescence ?(deadline = 600_000.) t =
   let settled () =
-    List.for_all Etx.Client.script_done t.clients
+    !(t.ops) = 0
+    && List.for_all Etx.Client.script_done t.clients
     && Array.for_all
          (fun g ->
            List.for_all
@@ -228,17 +286,113 @@ let run_to_quiescence ?(deadline = 600_000.) t =
   t.rt.run_until ~deadline settled
 
 (* ------------------------------------------------------------------ *)
+(* Elastic reconfiguration (DESIGN.md §16): the operator surface. *)
+
+let current_map t = List.hd !(t.maps)
+
+let epoch t = Etx.Shard_map.epoch (current_map t)
+
+let await_epoch ?(deadline = 600_000.) t e =
+  t.rt.run_until ~deadline (fun () -> epoch t >= e)
+
+(* Initiate an online split of [group]'s slots toward [target] and return
+   the epoch the migration will establish. Runs asynchronously: an
+   ephemeral operator-console process nudges a live config-group server
+   with [Mig_start] (re-sent until the flip is observed, so a crashed
+   driver's migration is re-driven by whichever server is up next) and
+   polls [Cfg_query] until the cluster answers with the new epoch's map,
+   which it then records in the cluster's map history. [await_epoch] (or
+   [run_to_quiescence], which waits for all pending operator actions)
+   rendezvouses with completion. *)
+let split ?boundary t ~group ~target =
+  if not t.reconfig then
+    invalid_arg "Cluster.split: build the cluster with ~reconfig:true";
+  if target < 0 || target >= Array.length t.groups then
+    invalid_arg "Cluster.split: target group not provisioned";
+  let from = current_map t in
+  let tgt = Etx.Shard_map.split ?boundary from ~group ~target () in
+  let e = Etx.Shard_map.epoch tgt in
+  let cfg_servers = t.groups.(0).app_servers in
+  t.ops := !(t.ops) + 1;
+  let _pid =
+    t.rt.spawn
+      ~name:(Printf.sprintf "opctl-e%d" e)
+      ~main:(fun ~recovery () ->
+        if not recovery then begin
+          let ch = Dnet.Rchannel.create () in
+          Dnet.Rchannel.start ch;
+          let rec drive () =
+            (match List.find_opt t.rt.is_up cfg_servers with
+            | Some s ->
+                Dnet.Rchannel.send ch s
+                  (Reconfig.Rmsg.Mig_start { target = tgt })
+            | None -> ());
+            Dnet.Rchannel.broadcast ch cfg_servers
+              (Reconfig.Rmsg.Cfg_query { have = e - 1 });
+            let deadline = Rt.now () +. 200. in
+            let rec wait found =
+              if found <> None || Rt.now () >= deadline then found
+              else
+                match
+                  Rt.recv_cls
+                    ~timeout:(deadline -. Rt.now ())
+                    Reconfig.Rmsg.cls_cfg_reply
+                with
+                | Some
+                    { Types.payload = Reconfig.Rmsg.Cfg_current { map }; _ }
+                  when Etx.Shard_map.epoch map >= e ->
+                    wait (Some map)
+                | Some _ | None -> wait found
+            in
+            match wait None with
+            | Some m ->
+                t.maps := m :: !(t.maps);
+                t.ops := !(t.ops) - 1
+            | None -> drive ()
+          in
+          drive ()
+        end)
+  in
+  e
+
+(* ------------------------------------------------------------------ *)
 
 module Spec = struct
+  (* The groups whose databases committed the record's delivered try.
+     Without reconfiguration this is the serving group; under it the two
+     can differ — a result committed at the source before the flip is
+     replayed by the destination via the driver's decision transfer, so
+     the commit legitimately lives at the old owner. *)
+  let committed_shards t (r : Etx.Client.record) =
+    Array.to_list t.groups
+    |> List.filter_map (fun g ->
+           if
+             List.exists
+               (fun (_, rm) ->
+                 List.exists
+                   (fun xid ->
+                     xid.Dbms.Xid.rid = r.rid && xid.Dbms.Xid.j = r.tries)
+                   (Dbms.Rm.committed_xids rm))
+               g.dbs
+           then Some g.index
+           else None)
+
   (* The replica groups a delivered record's transaction actually spanned.
-     [home] alone unless the cluster runs cross-shard commit AND the
-     business method's declared keyset spans several groups — the exact
-     condition under which the engine forks into the Paxos-Commit path —
-     in which case the participants are the shards of the {e committed}
-     attempt's plan (later attempts may degrade to fewer branches, and
-     only the branches of the winning plan ran anywhere). *)
+     The serving group alone (stamped into the record by the server, so it
+     stays correct when epochs move keys) unless the cluster runs
+     cross-shard commit AND the business method's declared keyset spans
+     several groups — the exact condition under which the engine forks
+     into the Paxos-Commit path — in which case the participants are the
+     shards of the {e committed} attempt's plan (later attempts may
+     degrade to fewer branches, and only the branches of the winning plan
+     ran anywhere). Under reconfiguration the participant is the group
+     that {e committed} the try (falling back to the serving group when no
+     commit is found — the per-view A.1 check then reports the miss). *)
   let participant_shards t (r : Etx.Client.record) =
-    let home = Etx.Shard_map.shard_of t.map r.key in
+    if t.reconfig && (not r.cached) && r.replica = None then
+      match committed_shards t r with [] -> [ r.group ] | gs -> gs
+    else
+    let home = r.group in
     match t.business.Etx.Business.cross with
     | Some cross when t.cross && not r.cached && r.replica = None -> (
         let ks = t.business.Etx.Business.keys r.body in
@@ -381,9 +535,106 @@ module Spec = struct
       by_rid;
     List.rev !violations
 
+  (* The obligations elastic reconfiguration adds (DESIGN.md §16):
+
+     (a) {e served by an owner}: the group that delivered each committed
+     record owned its routing key under some epoch of the cluster's map
+     history — a request never executes at a group the key was never
+     placed in;
+
+     (b) {e one committing group}: each delivered try committed its
+     transaction in exactly one replica group. Zero groups means the
+     delivered result corresponds to no commit anywhere (a lost record);
+     two means a try re-executed across a flip (the duplicate the
+     driver's decision transfer exists to prevent);
+
+     (c) {e nothing left behind}: for every consecutive epoch pair and
+     every moving range, each source-committed write of a moving key sits
+     at or below the import watermark every destination database acked —
+     the copy phase drained the source before the flip. *)
+  let migration_integrity t =
+    if not t.reconfig then []
+    else begin
+      let violations = ref [] in
+      let add fmt =
+        Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+      in
+      let maps = !(t.maps) in
+      List.iter
+        (fun (r : Etx.Client.record) ->
+          if (not r.cached) && r.replica = None then begin
+            if
+              not
+                (List.exists
+                   (fun m -> Etx.Shard_map.shard_of m r.key = r.group)
+                   maps)
+            then
+              add
+                "migration: request %d (key %S) served by shard %d, which \
+                 owned the key under no epoch <= %d"
+                r.rid r.key r.group (epoch t);
+            match committed_shards t r with
+            | [ _ ] -> ()
+            | [] ->
+                add
+                  "migration: request %d try %d delivered but committed at \
+                   no group"
+                  r.rid r.tries
+            | gs ->
+                add
+                  "migration: request %d try %d committed at groups {%s} — \
+                   a cross-flip duplicate execution"
+                  r.rid r.tries
+                  (String.concat "," (List.map string_of_int gs))
+          end)
+        (all_records t);
+      let rec pairs = function
+        | newer :: (older :: _ as rest) -> (older, newer) :: pairs rest
+        | _ -> []
+      in
+      List.iter
+        (fun (older, newer) ->
+          List.iter
+            (fun { Etx.Shard_map.src; dst } ->
+              List.iter
+                (fun (_, s_rm) ->
+                  let s_name = Dbms.Rm.name s_rm in
+                  List.iter
+                    (fun xid ->
+                      let moving =
+                        List.exists
+                          (fun k ->
+                            Etx.Shard_map.shard_of older k = src
+                            && Etx.Shard_map.shard_of newer k = dst)
+                          (Dbms.Rm.writes_of s_rm xid)
+                      in
+                      match (moving, Dbms.Rm.commit_lsn_of s_rm xid) with
+                      | true, Some lsn ->
+                          List.iter
+                            (fun (_, d_rm) ->
+                              let wm =
+                                Dbms.Rm.import_watermark d_rm ~src:s_name
+                              in
+                              if wm < lsn then
+                                add
+                                  "migration: %s committed request %d try \
+                                   %d at LSN %d on a key moving to shard \
+                                   %d, but %s imported it only through LSN \
+                                   %d"
+                                  s_name xid.Dbms.Xid.rid xid.Dbms.Xid.j lsn
+                                  dst (Dbms.Rm.name d_rm) wm)
+                            t.groups.(dst).dbs
+                      | _ -> ())
+                    (Dbms.Rm.committed_xids s_rm))
+                t.groups.(src).dbs)
+            (Etx.Shard_map.diff older newer))
+        (pairs maps);
+      List.rev !violations
+    end
+
   let check_all t =
     List.concat_map Etx.Spec.View.check_all (shard_views t)
-    @ global_exactly_once t @ global_atomicity t
+    @ global_exactly_once t @ global_atomicity t @ migration_integrity t
 
   (* The observability layer double-counts nothing by construction:
      [client.committed] is incremented exactly where a client appends a
@@ -420,7 +671,13 @@ module Spec = struct
                (fun (r : Etx.Client.record) ->
                  (not r.cached)
                  && r.replica = None
-                 && Etx.Shard_map.shard_of t.map r.key = g.index)
+                 &&
+                 (* [server.committed] counts at the group that ran the
+                    terminate — under reconfiguration the committing
+                    group, not necessarily the one that delivered the
+                    (possibly replayed) result *)
+                 if t.reconfig then List.mem g.index (committed_shards t r)
+                 else Etx.Shard_map.shard_of t.map r.key = g.index)
                records)
         in
         let n = Obs.Registry.counter_total ~group:g.index reg "server.committed" in

@@ -42,12 +42,18 @@ type group = {
 
 type t = {
   rt : Etx_runtime.t;
-  map : Etx.Shard_map.t;
+  map : Etx.Shard_map.t;  (** the epoch-0 map the cluster booted with *)
   groups : group array;
+      (** every replica group, spare (pre-provisioned) groups included *)
   clients : Etx.Client.handle list;
   business : Etx.Business.t;
   replica_bound : int;
   cross : bool;  (** built with cross-shard commit wiring *)
+  reconfig : bool;  (** built with elastic reconfiguration wiring *)
+  maps : Etx.Shard_map.t list ref;
+      (** the cluster's map history, newest first (last = the epoch-0
+          [map]); {!split} appends each established epoch *)
+  ops : int ref;  (** operator actions (splits) still in flight *)
 }
 
 val build :
@@ -74,6 +80,8 @@ val build :
   ?replica_bound:int ->
   ?ship_period:float ->
   ?cross:bool ->
+  ?reconfig:bool ->
+  ?provision:int ->
   rt:Etx_runtime.t ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
@@ -107,7 +115,20 @@ val build :
     wiring ({!Etx.Appserver.cross_cfg}): requests whose declared keysets
     span several groups then commit atomically via Paxos Commit. With the
     default [false] no gx fiber is forked anywhere and every message
-    stream is identical to earlier revisions. *)
+    stream is identical to earlier revisions.
+
+    [reconfig:true] wires elastic reconfiguration (DESIGN.md §16): every
+    application server tracks the epoch-versioned shard map and bounces
+    requests its group does not own under the current epoch, every
+    database accepts the migration protocol ([Dbms.Server ~migratable]),
+    every client re-routes through its own mutable map view refreshed on
+    epoch-stamped bounces, and group 0's consensus decides the
+    [cfg:e<n>] register sequence. [provision] (default 0, requires
+    [reconfig]) spawns that many spare replica groups — complete but
+    owning no keys — as {!split} destinations; database pids stay first
+    ([0 .. (shards+provision)*n_dbs - 1]). With the default [false]
+    nothing changes: no cfg fiber, no spare processes, message streams
+    identical to the static cluster. *)
 
 val run_to_quiescence : ?deadline:float -> t -> bool
 (** Every client script finished, every database of every shard settled
@@ -115,11 +136,39 @@ val run_to_quiescence : ?deadline:float -> t -> bool
     of an up primary caught up to its primary's committed watermark. *)
 
 val shards : t -> int
+(** Number of replica groups, spare (pre-provisioned) ones included. *)
+
 val group : t -> int -> group
 val shard_of_key : t -> string -> int
 val primary : t -> shard:int -> Types.proc_id
 val all_records : t -> Etx.Client.record list
 (** Delivered records of every client (per-client order preserved). *)
+
+(** {2 Elastic reconfiguration (requires [build ~reconfig:true])} *)
+
+val current_map : t -> Etx.Shard_map.t
+(** The newest map the operator has observed established. *)
+
+val epoch : t -> int
+(** [Etx.Shard_map.epoch (current_map t)]. *)
+
+val await_epoch : ?deadline:float -> t -> int -> bool
+(** Drive the runtime until the cluster's observed epoch reaches the
+    given value (or the deadline passes — then [false]). *)
+
+val split :
+  ?boundary:string -> t -> group:int -> target:int -> int
+(** Initiate an online split of [group]'s key slots toward the spare
+    group [target] (see {!Etx.Shard_map.split}) and return the epoch the
+    migration will establish. Asynchronous: an ephemeral operator-console
+    process sends [Mig_start] to a live config-group server — re-sent
+    until the flip is observed, so a crashed driver's migration is
+    re-driven — and polls [Cfg_query] until the new epoch answers, then
+    records the established map in [t.maps]. Rendezvous with completion
+    via {!await_epoch} or {!run_to_quiescence} (which waits for all
+    pending operator actions). Raises [Invalid_argument] if the cluster
+    was not built with [~reconfig:true], if [target] is not a provisioned
+    group, or if the split is ill-formed. *)
 
 (** Cluster-level specification checks: the paper's per-group properties on
     every shard, plus the isolation property sharding adds. *)
@@ -148,11 +197,22 @@ module Spec : sig
       global transaction decides once, cluster-wide. Trivially empty on
       clusters without cross-shard traffic. *)
 
+  val migration_integrity : t -> string list
+  (** The obligations elastic reconfiguration adds; [[]] on clusters
+      built without [~reconfig:true]. (a) every delivered record was
+      served by a group that owned its key under some epoch of the map
+      history; (b) every delivered try committed in {e exactly one}
+      replica group — zero is a lost record, two a cross-flip duplicate
+      execution; (c) for every consecutive epoch pair and moving range,
+      each source-committed write of a moving key sits at or below the
+      import watermark every destination database acked (nothing was
+      left behind by the copy phase). *)
+
   val check_all : t -> string list
   (** [check_all] of every shard view (including per-shard cache
       coherence when caching is on and per-shard replica consistency
-      when replicas are on), then {!global_exactly_once} and
-      {!global_atomicity}. *)
+      when replicas are on), then {!global_exactly_once},
+      {!global_atomicity} and {!migration_integrity}. *)
 
   val obs_consistency : Obs.Registry.t -> t -> string list
   (** Cross-checks an observability registry attached to the cluster's

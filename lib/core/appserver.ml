@@ -22,6 +22,19 @@ type cross_cfg = {
   peers : int -> Types.proc_id list;
 }
 
+(* Elastic reconfiguration wiring (DESIGN.md §16). [cfg_group] is the
+   group whose consensus decides the cfg:/mig: register sequences (group 0
+   by convention); [rc_servers_of]/[rc_dbs_of] cover the whole provisioned
+   cluster, spare groups included — functions because the full membership
+   is only known after every group spawned. *)
+type reconfig_cfg = {
+  init_map : Shard_map.t;
+  cfg_group : int;
+  rc_groups : int;
+  rc_servers_of : int -> Types.proc_id list;
+  rc_dbs_of : int -> (Types.proc_id * string) list;
+}
+
 type config = {
   rt : Rt.t;  (** the execution substrate hosting this server *)
   group : int;
@@ -58,11 +71,15 @@ type config = {
       (** cross-shard commit wiring; [None] = cross-shard requests cannot
           arise (the request path is then byte-identical to the
           single-shard protocol) *)
+  reconfig : reconfig_cfg option;
+      (** elastic reconfiguration; [None] = the map is fixed forever (no
+          cfg fiber is forked and the request path stays byte-identical to
+          the static protocol) *)
 }
 
 let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     ?(exec_backoff = 40.) ?gc_after ?(backend = Reg_ct) ?persist ?breakdown
-    ?(group = 0) ?(batch = 1) ?cache ?replicas ?(replica_bound = 8) ?(replica_patience = 1_000.) ?cross ~rt ~index
+    ?(group = 0) ?(batch = 1) ?cache ?replicas ?(replica_bound = 8) ?(replica_patience = 1_000.) ?cross ?reconfig ~rt ~index
     ~servers ~dbs ~business () =
   (match (backend, persist) with
   | Reg_synod, Some _ ->
@@ -95,7 +112,19 @@ let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
     replica_bound;
     replica_patience;
     cross;
+    reconfig;
   }
+
+(* Live reconfiguration state of one server: its current map view, and —
+   while it belongs to a migration's source group — the target map it is
+   sealed against. [driving] dedups driver fibers per target epoch (a
+   re-sent [Mig_start] or a monitor tick must not fork a second driver for
+   the same migration). *)
+type rc_state = {
+  mutable rc_map : Shard_map.t;
+  mutable sealing : Shard_map.t option;
+  driving : (int, unit) Hashtbl.t;
+}
 
 (* Per-request protocol state on one server. Everything here is volatile
    (servers are stateless): it only caches what the registers and client
@@ -103,6 +132,10 @@ let config ?(fd_spec = Fd_oracle) ?(clean_period = 20.) ?(poll = 10.)
 type rid_state = {
   mutable client : Types.proc_id option;
   mutable last : (int * decision) option;  (** last terminated try here *)
+  mutable seen : int;
+      (** highest try number a client request carried here (0 = none):
+          the cleaning scan's floor when the group's own regA array has
+          holes — a re-routed request starts above 1 at its new group *)
   mutable cleaned : int list;  (** the paper's [clist], per request *)
   mutable terminated_at : float option;  (** for the GC grace period *)
   mutable rspan : int;
@@ -145,6 +178,7 @@ type ctx = {
           executions ([k] = participant shard) and coordinator drives
           ([k] = -1). Purely a duplicate-suppression memo — the registers
           stay the safety argument *)
+  rc : rc_state option;  (** reconfiguration state; None = map fixed *)
   sink : Rt.obs_sink option;  (** fetched once at spawn; None = obs off *)
 }
 
@@ -156,6 +190,7 @@ let rid_state ctx rid =
         {
           client = None;
           last = None;
+          seen = 0;
           cleaned = [];
           terminated_at = None;
           rspan = 0;
@@ -163,6 +198,56 @@ let rid_state ctx rid =
       in
       Hashtbl.replace ctx.rids rid st;
       st
+
+let map_epoch ctx =
+  match ctx.rc with None -> 0 | Some rc -> Shard_map.epoch rc.rc_map
+
+(* Every bounce carries the server's map epoch: [0] on non-reconfigurable
+   deployments (clients there never compare epochs), the live epoch
+   otherwise — a client holding an older map refetches it and re-routes. *)
+let send_nack ctx ~rid ~j ~client =
+  Rchannel.send ctx.ch client
+    (Result_nack_msg { rid; j; group = ctx.cfg.group; epoch = map_epoch ctx })
+
+(* Reconfiguration intake guard, checked after the group stamp matched:
+   bounce a request whose key this group does not own under the current
+   map (the client is behind — its stamp only matched because it computed
+   the same group from a stale map), or whose key the in-progress
+   migration is taking away (sealed: admitting a fresh try would race the
+   copy). Replays of already-terminated tries still answer — that is the
+   exactly-once path for results committed here before the key moved. *)
+let rc_bounced ctx ~(request : request) ~j ~client =
+  match ctx.rc with
+  | None -> false
+  | Some rc ->
+      let replayable =
+        match Hashtbl.find_opt ctx.rids request.rid with
+        | Some { last = Some (j', d); _ } ->
+            (* an exact or older try replays its recorded decision; a
+               terminated {e commit} replays for every later try too
+               (commit is final — see the intake rule) *)
+            j' >= j || d.outcome = Dbms.Rm.Commit
+        | _ -> false
+      in
+      let foreign =
+        Shard_map.shard_of rc.rc_map request.key <> ctx.cfg.group
+      in
+      let sealed_away =
+        match rc.sealing with
+        | Some target ->
+            Shard_map.shard_of target request.key <> ctx.cfg.group
+        | None -> false
+      in
+      if (foreign || sealed_away) && not replayable then begin
+        (match ctx.sink with
+        | None -> ()
+        | Some s -> s.Rt.obs_count "migrate.bounced" 1);
+        Rt.note
+          (Printf.sprintf "bounced:g%d:e%d" ctx.cfg.group (map_epoch ctx));
+        send_nack ctx ~rid:request.rid ~j ~client;
+        true
+      end
+      else false
 
 (* Register names are namespaced by replica group: the consensus layer keys
    instances by these strings, so the prefix guarantees two shards' regA[j]
@@ -1023,6 +1108,216 @@ let gx_thread ctx () =
   in
   loop ()
 
+(* ---------------- Elastic reconfiguration (DESIGN.md §16) ----------------
+
+   The cfg fiber below — forked only on reconfigurable deployments — is
+   every server's view of the epoch-versioned map: it answers map queries,
+   adopts newer maps from announcements, seals this group during a
+   migration, and serves the driver's decision-transfer scans. Config-group
+   servers additionally host the {!Reconfig.Driver} itself (on [Mig_start])
+   and a takeover monitor that re-drives a migration whose decided intent
+   names a suspected owner. *)
+
+let rc_epoch_gauge ctx rc =
+  match ctx.sink with
+  | None -> ()
+  | Some s ->
+      s.Rt.obs_gauge "reconfig.epoch"
+        (float_of_int (Shard_map.epoch rc.rc_map))
+
+let rc_adopt ctx rc map =
+  if Shard_map.epoch map > Shard_map.epoch rc.rc_map then begin
+    rc.rc_map <- map;
+    (* the flip that moved our keys also releases the seal: the map now
+       bounces what the seal bounced (and replays still answer) *)
+    (match rc.sealing with
+    | Some target when Shard_map.epoch target <= Shard_map.epoch map ->
+        rc.sealing <- None
+    | Some _ | None -> ());
+    Rt.note
+      (Printf.sprintf "adopt-map:g%d:e%d" ctx.cfg.group (Shard_map.epoch map));
+    rc_epoch_gauge ctx rc
+  end
+
+(* Every terminated (rid, j, result, outcome) this server can prove: its
+   own request states, plus the decided regD registers of its group — the
+   latter cover tries terminated by servers that have since crashed (CT
+   consensus decides at every correct process, so the survivors' agents
+   know those decisions even though the rid states died with the server).
+   Per rid only the highest terminated j matters: the client is past the
+   lower ones. *)
+let rc_decisions ctx =
+  let best = Hashtbl.create 16 in
+  let add rid j (d : decision) =
+    match Hashtbl.find_opt best rid with
+    | Some (j', _) when j' >= j -> ()
+    | _ -> Hashtbl.replace best rid (j, d)
+  in
+  Hashtbl.iter
+    (fun rid st ->
+      match st.last with Some (j, d) -> add rid j d | None -> ())
+    ctx.rids;
+  List.iter
+    (fun key ->
+      match Reg_name.parse_reg_d key with
+      | Some (g, rid, j) when g = ctx.cfg.group -> (
+          match ctx.regs.reg_read ~name:(reg_d_name ~group:g rid) ~j with
+          | Some (Reg_d_value d) -> add rid j d
+          | _ -> ())
+      | _ -> ())
+    (ctx.regs.reg_decided_keys ());
+  Hashtbl.fold
+    (fun rid (j, d) acc -> (rid, j, d.result, d.outcome) :: acc)
+    best []
+
+(* Pre-seed a destination server with the source group's terminated tries:
+   a cross-flip retransmission of (rid, j) then replays the recorded
+   decision instead of re-executing an already-committed transaction.
+   Never regresses a newer local termination. *)
+let rc_install ctx items =
+  List.iter
+    (fun (rid, j, result, outcome) ->
+      let st = rid_state ctx rid in
+      match st.last with
+      | Some (j', _) when j' >= j -> ()
+      | _ ->
+          st.last <- Some (j, { result; outcome });
+          st.terminated_at <- Some (Rt.now ()))
+    items
+
+let rc_caps ctx (rcc : reconfig_cfg) =
+  {
+    Reconfig.Driver.self = ctx.self;
+    ch = ctx.ch;
+    propose = (fun ~key v -> ctx.regs.reg_write ~name:key ~j:0 v);
+    peek = (fun ~key -> ctx.regs.reg_read ~name:key ~j:0);
+    suspected = (fun p -> Fdetect.suspects ctx.fd p);
+    servers_of = rcc.rc_servers_of;
+    dbs_of = rcc.rc_dbs_of;
+    poll = ctx.cfg.poll;
+    sink = ctx.sink;
+  }
+
+let rc_drive ctx rc rcc ~target =
+  let e = Shard_map.epoch target in
+  if e = Shard_map.epoch rc.rc_map + 1 && not (Hashtbl.mem rc.driving e) then begin
+    Hashtbl.replace rc.driving e ();
+    let from = rc.rc_map in
+    Rt.fork "mig-drive" (fun () ->
+        Reconfig.Driver.run (rc_caps ctx rcc) ~from ~target;
+        (* the announce also reaches this server's own cfg fiber, but
+           adopt directly so a self-delivery hiccup cannot leave the
+           driver's host behind its own flip *)
+        rc_adopt ctx rc target)
+  end
+
+let cfg_thread ctx rc (rcc : reconfig_cfg) () =
+  let rec loop () =
+    (match Rt.recv_cls Reconfig.Rmsg.cls_cfg with
+    | None -> ()
+    | Some m -> (
+        match m.payload with
+        | Reconfig.Rmsg.Cfg_query _ ->
+            (* always answer with the current map: the asker filters by
+               epoch, and an unconditional reply lets the operator poll
+               for completion with the same message *)
+            Rchannel.send ctx.ch m.src
+              (Reconfig.Rmsg.Cfg_current { map = rc.rc_map })
+        | Reconfig.Rmsg.Cfg_announce { map } -> rc_adopt ctx rc map
+        | Reconfig.Rmsg.Mig_start { target } ->
+            (* only the config group hosts drivers: the cfg:/mig:
+               registers live in its consensus namespace *)
+            if ctx.cfg.group = rcc.cfg_group then rc_drive ctx rc rcc ~target
+        | Reconfig.Rmsg.Mig_seal { target } ->
+            let e = Shard_map.epoch target in
+            if
+              e > Shard_map.epoch rc.rc_map
+              && (match rc.sealing with
+                 | Some t -> Shard_map.epoch t < e
+                 | None -> true)
+            then rc.sealing <- Some target;
+            Rchannel.send ctx.ch m.src
+              (Reconfig.Rmsg.Mig_sealed { epoch = e; from = ctx.cfg.group })
+        | Reconfig.Rmsg.Mig_decisions_req { epoch } ->
+            Rchannel.send ctx.ch m.src
+              (Reconfig.Rmsg.Mig_decisions { epoch; items = rc_decisions ctx })
+        | Reconfig.Rmsg.Mig_install { epoch; items } ->
+            rc_install ctx items;
+            Rchannel.send ctx.ch m.src (Reconfig.Rmsg.Mig_installed { epoch })
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
+(* Config-group takeover monitor: a migration must complete even if every
+   server that was driving it crashed. The decided [mig:e<n+1>] intent is
+   the whole recovery plan — when its owner is suspected and the flip is
+   still undecided, any config-group server re-drives the identical,
+   idempotent pipeline. Also adopts (and re-announces) a flip this server
+   somehow missed. *)
+let rc_monitor ctx rc rcc () =
+  let rec loop () =
+    Rt.sleep ctx.cfg.clean_period;
+    let caps = rc_caps ctx rcc in
+    let e = Shard_map.epoch rc.rc_map + 1 in
+    (match caps.Reconfig.Driver.peek ~key:(Reconfig.Rmsg.cfg_key ~epoch:e) with
+    | Some (Reconfig.Rmsg.Cfg_value map) ->
+        rc_adopt ctx rc map;
+        Reconfig.Driver.announce caps ~target:map
+    | _ -> (
+        match
+          caps.Reconfig.Driver.peek ~key:(Reconfig.Rmsg.mig_key ~epoch:e)
+        with
+        | Some (Reconfig.Rmsg.Mig_intent { owner; target })
+          when owner <> ctx.self && Fdetect.suspects ctx.fd owner ->
+            rc_drive ctx rc rcc ~target
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
+(* Map anti-entropy for servers outside the config group. They cannot
+   peek the cfg:/mig: registers (those live in the config group's
+   consensus namespace) and otherwise learn of a flip only through the
+   one-shot [Cfg_announce] broadcast — lose that message and the server
+   bounces keys it now owns forever, with an epoch too stale for any
+   client to act on. Periodically ask the config group whether a newer
+   map exists and adopt it; no other fiber on these servers consumes the
+   cfg-reply class, so the recv cannot steal a driver's acks. Pure
+   anti-entropy repairing a rare loss, so the period is deliberately
+   lazy — bounces keep answering meanwhile and the serving path never
+   waits on this fiber. *)
+let rc_refresh ctx rc (rcc : reconfig_cfg) () =
+  let rec loop () =
+    Rt.sleep (25. *. ctx.cfg.clean_period);
+    let have = Shard_map.epoch rc.rc_map in
+    Rchannel.broadcast ctx.ch
+      (rcc.rc_servers_of rcc.cfg_group)
+      (Reconfig.Rmsg.Cfg_query { have });
+    let deadline = Rt.now () +. ctx.cfg.poll in
+    let rec drain () =
+      if Rt.now () < deadline then begin
+        (match
+           Rt.recv
+             ~timeout:(deadline -. Rt.now ())
+             ~cls:Reconfig.Rmsg.cls_cfg_reply
+             ~filter:(fun m ->
+               match m.Types.payload with
+               | Reconfig.Rmsg.Cfg_current _ -> true
+               | _ -> false)
+             ()
+         with
+        | Some { Types.payload = Reconfig.Rmsg.Cfg_current { map }; _ } ->
+            rc_adopt ctx rc map
+        | Some _ | None -> ());
+        drain ()
+      end
+    in
+    drain ();
+    loop ()
+  in
+  loop ()
+
 let compute_thread ctx () =
   let rec loop () =
     (match Rt.recv_cls cls_request with
@@ -1039,8 +1334,10 @@ let compute_thread ctx () =
             | Some s -> s.Rt.obs_count "server.misrouted" 1);
             Rt.note
               (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group);
-            Rchannel.send ctx.ch m.src
-              (Result_nack_msg { rid = request.rid; j; group = ctx.cfg.group })
+            send_nack ctx ~rid:request.rid ~j ~client:m.src
+        | Request_msg { request; j; _ }
+          when rc_bounced ctx ~request ~j ~client:m.src ->
+            ()
         | Request_msg { request; j; span; _ } ->
             if
               (not (serve_cached ctx ~request ~j ~client:m.src))
@@ -1049,11 +1346,21 @@ let compute_thread ctx () =
               let st = rid_state ctx request.rid in
               if st.client = None then st.client <- Some m.src;
               if st.rspan = 0 then st.rspan <- span;
+              if j > st.seen then st.seen <- j;
               match st.last with
               | Some (j', d) when j' = j ->
                   (* retransmission of an already-terminated try *)
                   send_result ctx st ~rid:request.rid ~j d
               | Some (j', _) when j' > j -> ()
+              | Some (_, d) when d.outcome = Dbms.Rm.Commit ->
+                  (* a committed request is terminated forever: any later
+                     try must replay its result, never re-execute. Later
+                     tries of a committed request only reach a server
+                     through migration — the client re-routed a try whose
+                     commit-result message was lost, restarting it under a
+                     fresh j at this destination — and the decision
+                     transfer seeded [st.last] with the source commit. *)
+                  send_result ctx st ~rid:request.rid ~j d
               | Some _ | None -> (
                   match cross_shards ctx ~body:request.body with
                   | Some shards -> compute_try_cross ctx st ~request ~j ~shards
@@ -1132,7 +1439,19 @@ let clean_request ctx ~suspect ~rid =
   let group = ctx.cfg.group in
   let rec scan j =
     match ctx.regs.reg_read ~name:(reg_a_name ~group rid) ~j with
-    | None -> () (* ⊥: no further tries exist (they start in order) *)
+    | None ->
+        (* ⊥ normally means no further tries exist (they start in order)
+           — but after a migration the group's regA array can have holes:
+           a re-routed request's early tries terminated in the {e source}
+           group's register namespace, so its first try here starts above
+           1. Keep scanning up to the highest try this server has any
+           evidence of — a moved-in terminated try ([st.last], from the
+           decision transfer) or a client request seen here
+           ([st.seen]). *)
+        let floor =
+          max st.seen (match st.last with Some (j', _) -> j' | None -> 0)
+        in
+        if j <= floor then scan (j + 1)
     | Some (Reg_a_value winner) ->
         if winner = suspect && not (List.mem j st.cleaned) then begin
           (* one "clean" span per taken-over try; [rspan] is known when this
@@ -1617,8 +1936,10 @@ let batch_enqueue ctx ls (m : Types.message) =
       | None -> ()
       | Some s -> s.Rt.obs_count "server.misrouted" 1);
       Rt.note (Printf.sprintf "misrouted:g%d:got-g%d" ctx.cfg.group group);
-      Rchannel.send ctx.ch m.src
-        (Result_nack_msg { rid = request.rid; j; group = ctx.cfg.group })
+      send_nack ctx ~rid:request.rid ~j ~client:m.src
+  | Request_msg { request; j; _ } when rc_bounced ctx ~request ~j ~client:m.src
+    ->
+      ()
   | Request_msg { request; j; span; _ } ->
       if
         (not (serve_cached ctx ~request ~j ~client:m.src))
@@ -1627,10 +1948,16 @@ let batch_enqueue ctx ls (m : Types.message) =
         let st = rid_state ctx request.rid in
         if st.client = None then st.client <- Some m.src;
         if st.rspan = 0 then st.rspan <- span;
+        if j > st.seen then st.seen <- j;
         match st.last with
         | Some (j', d) when j' = j ->
             send_result ctx st ~rid:request.rid ~j d
         | Some (j', _) when j' > j -> ()
+        | Some (_, d) when d.outcome = Dbms.Rm.Commit ->
+            (* commit is final — replay for any later try (see the
+               non-batched intake above for why this only arises across
+               a migration) *)
+            send_result ctx st ~rid:request.rid ~j d
         | Some _ | None -> (
             match cross_shards ctx ~body:request.body with
             | Some shards ->
@@ -1753,11 +2080,25 @@ let spawn cfg =
         let ch = Rchannel.create () in
         Rchannel.start ch;
         let fd =
+          (* With reconfiguration on, the detector spans every
+             provisioned group's servers, not just this group's:
+             migration drivers collect seal/install acks from {e other}
+             groups' servers and must be able to give up on crashed
+             ones — an unmonitored process is never suspected, so a
+             group-local detector would leave the driver waiting on a
+             dead destination server forever. *)
+          let fd_peers =
+            match cfg.reconfig with
+            | Some rcc ->
+                List.init rcc.rc_groups rcc.rc_servers_of
+                |> List.concat |> List.sort_uniq compare
+            | None -> cfg.servers
+          in
           match cfg.fd_spec with
           | Fd_oracle -> Fdetect.oracle cfg.rt
           | Fd_heartbeat { period; initial_timeout; timeout_bump } ->
               Fdetect.heartbeat ~period ~initial_timeout ~timeout_bump
-                ~peers:cfg.servers ()
+                ~peers:fd_peers ()
         in
         Fdetect.start fd;
         let regs =
@@ -1802,6 +2143,16 @@ let spawn cfg =
         in
         let rd = Dbms.Stub.Readiness.create ~dbs:cfg.dbs in
         Dbms.Stub.Readiness.start rd;
+        let rc =
+          Option.map
+            (fun (rcc : reconfig_cfg) ->
+              {
+                rc_map = rcc.init_map;
+                sealing = None;
+                driving = Hashtbl.create 4;
+              })
+            cfg.reconfig
+        in
         let ctx =
           {
             cfg;
@@ -1813,9 +2164,21 @@ let spawn cfg =
             rids = Hashtbl.create 16;
             replica_memo = Hashtbl.create 16;
             gx_running = Hashtbl.create 16;
+            rc;
             sink = Rt.obs ();
           }
         in
+        (* reconfiguration fibers exist only on elastic deployments: a
+           static server forks nothing new and its schedule stays
+           byte-identical to the fixed-map protocol *)
+        (match (rc, cfg.reconfig) with
+        | Some rc, Some rcc ->
+            rc_epoch_gauge ctx rc;
+            Rt.fork "cfg" (cfg_thread ctx rc rcc);
+            if cfg.group = rcc.cfg_group then
+              Rt.fork "mig-monitor" (rc_monitor ctx rc rcc)
+            else Rt.fork "cfg-refresh" (rc_refresh ctx rc rcc)
+        | _ -> ());
         (* the gx fiber exists only on cross-enabled deployments: a default
            server forks nothing new and its schedule stays byte-identical
            to the pre-cross protocol *)

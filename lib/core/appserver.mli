@@ -73,6 +73,36 @@ type cross_cfg = {
     abort the instance when the coordinator is suspected, so a crashed
     coordinator never blocks the transaction. *)
 
+type reconfig_cfg = {
+  init_map : Shard_map.t;  (** the epoch-0 map the cluster booted with *)
+  cfg_group : int;
+      (** the group whose consensus decides the [cfg:e<n>] / [mig:e<n>]
+          register sequences (group 0 by convention) and whose servers
+          host migration drivers and the takeover monitor *)
+  rc_groups : int;
+      (** how many groups are provisioned (spares included): the
+          heartbeat failure detector spans every provisioned group's
+          servers when reconfiguration is on, because migration drivers
+          must be able to give up on crashed servers of {e other}
+          groups (seal and install acks) — a group-local detector never
+          suspects them and the driver would wait forever *)
+  rc_servers_of : int -> Types.proc_id list;
+      (** group index → that group's application servers, spare
+          (pre-provisioned) groups included *)
+  rc_dbs_of : int -> (Types.proc_id * string) list;
+      (** group index → that group's databases as (process, durable name);
+          the name keys the destination's per-source import watermark *)
+}
+(** Elastic reconfiguration wiring (DESIGN.md §16). When supplied, the
+    server forks a cfg fiber that tracks the epoch-versioned shard map
+    (adopting newer maps from [Cfg_announce], answering [Cfg_query],
+    sealing its group during migrations, and serving the driver's
+    decision-transfer scans), and bounces requests its group does not own
+    under the current map with an epoch-stamped [Result_nack_msg].
+    Config-group servers additionally run {!Reconfig.Driver} migrations on
+    [Mig_start] and a monitor that re-drives a decided migration intent
+    whose owner is suspected. *)
+
 type config = {
   rt : Etx_runtime.t;  (** the execution substrate hosting this server *)
   group : int;
@@ -145,6 +175,10 @@ type config = {
           request to this server's own group — no gx fiber is forked and
           the request path stays byte-identical to the single-shard
           protocol *)
+  reconfig : reconfig_cfg option;
+      (** elastic reconfiguration; [None] (the default) fixes the map
+          forever — no cfg fiber is forked and the request path stays
+          byte-identical to the static protocol *)
 }
 
 val config :
@@ -163,6 +197,7 @@ val config :
   ?replica_bound:int ->
   ?replica_patience:float ->
   ?cross:cross_cfg ->
+  ?reconfig:reconfig_cfg ->
   rt:Etx_runtime.t ->
   index:int ->
   servers:Types.proc_id list ->

@@ -20,6 +20,23 @@ type record = {
           staleness [lag]; no transaction was committed for this request,
           so the spec checks replica consistency instead of
           A.1/exactly-once *)
+  group : int;
+      (** the replica group that served the committed result — stamped by
+          the server into every result payload. Under reconfiguration the
+          key's home group changes across epochs, so the spec reads the
+          serving group from the record rather than recomputing it from a
+          single map *)
+}
+
+(* Elastic routing state (DESIGN.md §16): this client's current view of
+   the epoch-versioned shard map, refreshed when a server bounce carries a
+   newer epoch than [map]. Mutable per client — each client learns of a
+   reconfiguration at its own pace. *)
+type reconfig = {
+  mutable map : Shard_map.t;
+  group_servers : int -> Types.proc_id list;
+  cfg_servers : Types.proc_id list;
+      (** the config group's application servers, queried for newer maps *)
 }
 
 type handle = {
@@ -45,25 +62,29 @@ let wants_result rid j m =
   | _ -> false
 
 (* this client's decision for (rid, j), from any framing; the [bool] marks
-   a cache-served reply and the option a replica-served one (both always a
-   committed-with-result shape) *)
+   a cache-served reply, the option a replica-served one (both always a
+   committed-with-result shape), and the [int] the serving group *)
 let decision_for rid j m =
   match m.Types.payload with
-  | Etx_types.Result_msg { decision; _ } -> (decision, false, None)
-  | Etx_types.Result_cached_msg { result; _ } ->
-      ({ Etx_types.result = Some result; outcome = Dbms.Rm.Commit }, true, None)
-  | Etx_types.Result_replica_msg { result; lsn; lag; _ } ->
+  | Etx_types.Result_msg { decision; group; _ } -> (decision, false, None, group)
+  | Etx_types.Result_cached_msg { result; group; _ } ->
+      ( { Etx_types.result = Some result; outcome = Dbms.Rm.Commit },
+        true,
+        None,
+        group )
+  | Etx_types.Result_replica_msg { result; lsn; lag; group; _ } ->
       ( { Etx_types.result = Some result; outcome = Dbms.Rm.Commit },
         false,
-        Some (lsn, lag) )
-  | Etx_types.Result_batch_msg { items; _ } -> (
+        Some (lsn, lag),
+        group )
+  | Etx_types.Result_batch_msg { items; group } -> (
       match List.find_opt (fun (r, j', _) -> r = rid && j' = j) items with
-      | Some (_, _, d) -> (d, false, None)
+      | Some (_, _, d) -> (d, false, None, group)
       | None -> assert false)
   | _ -> assert false
 
 let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
-    ?router ~servers ~script () =
+    ?router ?reconfig ~servers ~script () =
   let records = ref [] in
   let finished = ref false in
   (match servers with
@@ -71,11 +92,18 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
   | [] -> invalid_arg "Client.spawn: no application servers");
   (* [route key] names the replica group serving [key]: default is the
      single group made of [servers]; a sharded cluster passes [router] to
-     spread keys over its groups. *)
-  let route =
-    match router with
-    | Some r -> r
-    | None -> fun _key -> (0, servers)
+     spread keys over its groups. With [reconfig] the lookup instead goes
+     through this client's (mutable) epoch-versioned map view, so it is
+     re-resolved on {e every} attempt — a mid-request map refresh
+     re-routes the next send. *)
+  let current_route =
+    match (reconfig, router) with
+    | Some rc, _ ->
+        fun key ->
+          let g = Shard_map.shard_of rc.map key in
+          (g, rc.group_servers g)
+    | None, Some r -> r
+    | None, None -> fun _key -> (0, servers)
   in
   let pid =
     rt.spawn ~name ~main:(fun ~recovery () ->
@@ -85,15 +113,44 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
           Rchannel.start ch;
           (* fetched once per fiber; None = observability off (common case) *)
           let sink = Rt.obs () in
+          (* Map refresh (DESIGN.md §16): a bounce carried an epoch newer
+             than ours. Ask the config group for the current map and adopt
+             anything newer; bounded by one back-off period — if no newer
+             map arrived (the flip is still in flight) the caller's retry
+             loop bounces again and re-queries. *)
+          let refresh rc =
+            let have = Shard_map.epoch rc.map in
+            (match sink with
+            | None -> ()
+            | Some s -> s.Rt.obs_count "client.map_refresh" 1);
+            Rchannel.broadcast ch rc.cfg_servers
+              (Reconfig.Rmsg.Cfg_query { have });
+            let deadline = Rt.now () +. period in
+            let rec collect () =
+              if Shard_map.epoch rc.map <= have && Rt.now () < deadline then begin
+                (match
+                   Rt.recv_cls
+                     ~timeout:(deadline -. Rt.now ())
+                     Reconfig.Rmsg.cls_cfg_reply
+                 with
+                | Some
+                    { Types.payload = Reconfig.Rmsg.Cfg_current { map }; _ } ->
+                    if Shard_map.epoch map > Shard_map.epoch rc.map then
+                      rc.map <- map
+                | Some _ | None -> ());
+                collect ()
+              end
+            in
+            collect ()
+          in
           let issue body =
             let rid = fresh_rid () in
             let key = Etx_types.routing_key body in
-            let group, servers = route key in
             (* [affinity] rotates the first-try target so independent
                clients spread over the group's servers (cache locality /
                load); 0 — the default — is the paper's behaviour of always
                addressing the head server first. Retries still broadcast. *)
-            let primary =
+            let primary_of servers =
               match servers with
               | [] -> invalid_arg "Client: router returned no servers"
               | servers ->
@@ -108,47 +165,86 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
                   s.Rt.obs_count "client.requests" 1;
                   s.Rt.obs_span_open ~trace:rid "request"
             in
-            (* one try = one result identifier j (Fig. 2 main loop) *)
-            let rec try_j j =
-              Rchannel.send ch primary
-                (Etx_types.Request_msg { request; j; group; span });
-              match
-                Rt.recv ~timeout:period ~cls:Etx_types.cls_result
-                  ~filter:(wants_result rid j) ()
-              with
-              | Some { Types.payload = Etx_types.Result_nack_msg _; _ } ->
-                  (* explicit misroute bounce: the primary serves another
-                     group, so fan out to the rest of the list now rather
-                     than waiting out the resend timer *)
-                  (match sink with
-                  | None -> ()
-                  | Some s -> s.Rt.obs_count "client.bounced" 1);
-                  broadcast_phase j
-              | Some m -> conclude j m
-              | None -> broadcast_phase j
-            and broadcast_phase j =
+            (* A bounce carrying a map epoch newer than ours means our
+               route itself is stale (the cluster reconfigured): refetch
+               the map and re-route the same try. [true] iff handled. *)
+            let stale_map epoch =
+              match reconfig with
+              | Some rc when epoch > Shard_map.epoch rc.map ->
+                  refresh rc;
+                  true
+              | Some _ | None -> false
+            in
+            (* one try = one result identifier j (Fig. 2 main loop).
+
+               [g0] pins the try to the group it was first sent to: a
+               try's registers live in that group's namespace, so after
+               a map refresh moves the key the same j must {e not} be
+               carried to the new group — the old group's cleaner could
+               still abort its regD[j] (and deliver that abort to us)
+               while the new group independently decides the same j,
+               and the request would execute twice under different
+               register arrays. Re-routing therefore starts a fresh try
+               at the new group. That is safe: the route only changes
+               when the key moved, and the database-level seal dooms
+               any try still in flight at the old group to abort — and
+               if an old try already {e committed}, the decision
+               transfer installed it at the destination, whose servers
+               replay a terminated commit for every later try. *)
+            let rec try_j j g0 =
+              let group, servers = current_route key in
+              if group <> g0 then try_j (j + 1) group
+              else begin
+                Rchannel.send ch (primary_of servers)
+                  (Etx_types.Request_msg { request; j; group; span });
+                match
+                  Rt.recv ~timeout:period ~cls:Etx_types.cls_result
+                    ~filter:(wants_result rid j) ()
+                with
+                | Some
+                    { Types.payload = Etx_types.Result_nack_msg { epoch; _ }; _ }
+                  ->
+                    (* explicit misroute bounce: the primary serves another
+                       group (or a newer map), so re-route now rather than
+                       waiting out the resend timer *)
+                    (match sink with
+                    | None -> ()
+                    | Some s -> s.Rt.obs_count "client.bounced" 1);
+                    if stale_map epoch then try_j j g0 else broadcast_phase j g0
+                | Some m -> conclude j m
+                | None -> broadcast_phase j g0
+              end
+            and broadcast_phase j g0 =
               (match sink with
               | None -> ()
               | Some s -> s.Rt.obs_count "client.backoff_epochs" 1);
-              Rchannel.broadcast ch servers
-                (Etx_types.Request_msg { request; j; group; span });
-              await_broadcast j
-            and await_broadcast j =
+              let group, servers = current_route key in
+              if group <> g0 then try_j (j + 1) group
+              else begin
+                Rchannel.broadcast ch servers
+                  (Etx_types.Request_msg { request; j; group; span });
+                await_broadcast j g0
+              end
+            and await_broadcast j g0 =
               match
                 Rt.recv ~timeout:period ~cls:Etx_types.cls_result
                   ~filter:(wants_result rid j) ()
               with
-              | Some { Types.payload = Etx_types.Result_nack_msg _; _ } ->
-                  (* a bounce during the broadcast phase carries no news —
-                     the fan-out already reached every server — so consume
-                     it and keep waiting for a real result (no immediate
-                     rebroadcast: N-1 misrouted targets would otherwise
-                     trigger N-1 resend storms) *)
-                  await_broadcast j
+              | Some { Types.payload = Etx_types.Result_nack_msg { epoch; _ }; _ }
+                ->
+                  (* a bounce during the broadcast phase usually carries no
+                     news — the fan-out already reached every server — so
+                     consume it and keep waiting (no immediate rebroadcast:
+                     N-1 misrouted targets would otherwise trigger N-1
+                     resend storms). The exception is a newer epoch: the
+                     whole fan-out went to a stale group, so refetch the
+                     map and re-fan out to the new one *)
+                  if stale_map epoch then broadcast_phase j g0
+                  else await_broadcast j g0
               | Some m -> conclude j m
-              | None -> broadcast_phase j
+              | None -> broadcast_phase j g0
             and conclude j m =
-              let decision, cached, replica = decision_for rid j m in
+              let decision, cached, replica, group = decision_for rid j m in
               match (decision.outcome, decision.result) with
               | Dbms.Rm.Commit, Some result ->
                   let record =
@@ -162,6 +258,7 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
                       delivered_at = Rt.now ();
                       cached;
                       replica;
+                      group;
                     }
                   in
                   records := !records @ [ record ];
@@ -188,9 +285,9 @@ let spawn (rt : Rt.t) ?(name = "client") ?(period = 400.) ?(affinity = 0)
                   (match sink with
                   | None -> ()
                   | Some s -> s.Rt.obs_count "client.retries" 1);
-                  try_j (j + 1)
+                  try_j (j + 1) (fst (current_route key))
             in
-            try_j 1
+            try_j 1 (fst (current_route key))
           in
           script ~issue;
           finished := true

@@ -35,6 +35,22 @@ type record = {
           deployment's staleness bound); no transaction was committed for
           this request, so the spec holds the record to the
           replica-consistency obligation instead of A.1/exactly-once *)
+  group : int;
+      (** the replica group that served the committed result. Under
+          reconfiguration a key's home group changes across epochs; the
+          spec reads the serving group from the record instead of
+          recomputing it from one map *)
+}
+
+type reconfig = {
+  mutable map : Shard_map.t;
+      (** this client's current view of the epoch-versioned shard map;
+          refreshed when a bounce carries a newer epoch (DESIGN.md §16) *)
+  group_servers : int -> Types.proc_id list;
+      (** group index → that group's application servers *)
+  cfg_servers : Types.proc_id list;
+      (** the config group's application servers, queried ([Cfg_query])
+          for newer maps *)
 }
 
 type handle
@@ -45,6 +61,7 @@ val spawn :
   ?period:float ->
   ?affinity:int ->
   ?router:(string -> int * Types.proc_id list) ->
+  ?reconfig:reconfig ->
   servers:Types.proc_id list ->
   script:(issue:(string -> record) -> unit) ->
   unit ->
@@ -66,7 +83,14 @@ val spawn :
     Defaults to [(0, servers)] — the single-group deployment. A sharded
     cluster passes the shard-map lookup here; requests and results carry the
     group on the wire so a misrouted request is dropped by the receiving
-    server rather than executed on the wrong shard. *)
+    server rather than executed on the wrong shard.
+
+    [reconfig] supersedes [router]: the key is resolved against the
+    client's mutable map view on {e every} attempt, and a server bounce
+    carrying a newer epoch triggers a map refresh ([Cfg_query] to the
+    config group, counted as [client.map_refresh]) followed by an
+    immediate re-route of the same try — the client never aborts or
+    duplicates a request because the cluster moved its key. *)
 
 val pid : handle -> Types.proc_id
 

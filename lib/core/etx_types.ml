@@ -44,6 +44,16 @@ module Reg_name = struct
     try Scanf.sscanf name "g%d:regA:r%d" (fun g rid -> Some (g, rid))
     with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
+  (* [parse_reg_d name] recovers (group, rid, j) from a decided [reg_d]
+     instance key "g<g>:regD:r<rid>[<j>]" — the migration driver's
+     decision-transfer scan reads these to find tries terminated by
+     servers that have since crashed (their rid states are gone; the
+     registers are not). *)
+  let parse_reg_d name =
+    try
+      Scanf.sscanf name "g%d:regD:r%d[%d]%!" (fun g rid j -> Some (g, rid, j))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
   (* lease-epoch register: instance [e] of the consensus object elects the
      holder of lease epoch [e] *)
   let lease ~group = Printf.sprintf "g%d:lease" group
@@ -179,12 +189,16 @@ type Runtime.Types.payload +=
           staleness bound) instead of A.1/exactly-once *)
 
 type Runtime.Types.payload +=
-  | Result_nack_msg of { rid : int; j : int; group : int }
+  | Result_nack_msg of { rid : int; j : int; group : int; epoch : int }
       (** application server → client: explicit misroute bounce. The server
           cannot serve try [j] of [rid] (the request is stamped for another
-          group), so the client should fan out to other servers immediately
-          instead of waiting out its resend timer. Carries no decision —
-          it never concludes a try *)
+          group, the key is not owned here under the current map, or the
+          region is sealed for migration), so the client should fan out to
+          other servers immediately instead of waiting out its resend
+          timer. [epoch] is the server's map epoch ([0] when the
+          deployment is not reconfigurable): a client holding an older map
+          refetches it and re-routes (DESIGN.md §16). Carries no decision
+          — it never concludes a try *)
   | Gx_elect of {
       owner : Runtime.Types.proc_id;
       participants : int list;

@@ -1,51 +1,10 @@
-type policy = Hash | Range of string list
+(* The placement map moved to [Reconfig.Shard_map] when it grew epochs
+   (DESIGN.md §16) — the reconfiguration layer cannot depend on core, but
+   core's routing needs [Etx_types.routing_key]. This alias keeps the
+   historical [Etx.Shard_map] surface (and adds the body-routing helper)
+   on top of the epoch-versioned implementation; epoch-0 placement is
+   bit-identical to the old unversioned map. *)
 
-type t = { shards : int; policy : policy }
-
-let create ?(policy = Hash) ~shards () =
-  if shards < 1 then invalid_arg "Shard_map.create: shards must be >= 1";
-  (match policy with
-  | Hash -> ()
-  | Range bounds ->
-      if List.length bounds <> shards - 1 then
-        invalid_arg
-          "Shard_map.create: a Range policy needs exactly shards-1 boundaries";
-      let rec sorted = function
-        | a :: (b :: _ as rest) -> a < b && sorted rest
-        | [ _ ] | [] -> true
-      in
-      if not (sorted bounds) then
-        invalid_arg "Shard_map.create: Range boundaries must be strictly sorted");
-  { shards; policy }
-
-let shards t = t.shards
-
-(* FNV-1a over the key bytes, folded into OCaml's 63-bit native int (the
-   64-bit offset basis with its top bit dropped; multiplication wraps mod
-   2^63, which is just as mixing). [Hashtbl.hash] would work today, but its
-   value is not pinned by the language; a hand-rolled hash keeps shard
-   placement stable across compiler versions, which the deterministic
-   replay story depends on. *)
-let fnv1a key =
-  let h = ref 0x4bf29ce484222325 in
-  String.iter
-    (fun c ->
-      h := !h lxor Char.code c;
-      h := !h * 0x100000001b3)
-    key;
-  !h land max_int
-
-let shard_of t key =
-  match t.policy with
-  | Hash -> if t.shards = 1 then 0 else fnv1a key mod t.shards
-  | Range bounds ->
-      let rec find i = function
-        | b :: rest -> if key < b then i else find (i + 1) rest
-        | [] -> i
-      in
-      find 0 bounds
+include Reconfig.Shard_map
 
 let shard_of_body t body = shard_of t (Etx_types.routing_key body)
-
-let shards_of t keys =
-  List.map (shard_of t) keys |> List.sort_uniq compare

@@ -1,33 +1,15 @@
 (** Deterministic key → shard placement for the sharded cluster.
 
-    A shard map is pure data shared by every client (and by the harness when
-    partitioning seed data): the same key always lands on the same shard, on
-    any process, in any run. Two policies:
+    An alias of {!Reconfig.Shard_map} — the epoch-versioned map of
+    DESIGN.md §16 — plus the body-routing helper core layers use. Epoch-0
+    maps reproduce the historical unversioned placement bit-for-bit:
+    FNV-1a modulo the shard count ([Hash], the default) or strictly-sorted
+    boundary strings ([Range]). Later epochs are refinements produced by
+    {!Reconfig.Shard_map.split} during online migration. *)
 
-    - [Hash] (default): FNV-1a over the key bytes, modulo the shard count.
-      The hash is hand-rolled rather than [Hashtbl.hash] so placement cannot
-      drift across compiler versions.
-    - [Range bounds]: [shards - 1] strictly-sorted boundary strings; a key
-      goes to the first shard whose boundary exceeds it (classic range
-      partitioning, for workloads with meaningful key order). *)
-
-type policy = Hash | Range of string list
-
-type t
-
-val create : ?policy:policy -> shards:int -> unit -> t
-(** Raises [Invalid_argument] if [shards < 1], or if a [Range] policy does
-    not carry exactly [shards - 1] strictly-sorted boundaries. *)
-
-val shards : t -> int
-
-val shard_of : t -> string -> int
-(** Shard owning a routing key; in [0, shards). *)
+include module type of struct
+  include Reconfig.Shard_map
+end
 
 val shard_of_body : t -> string -> int
 (** [shard_of] of the body's {!Etx_types.routing_key}. *)
-
-val shards_of : t -> string list -> int list
-(** Participant set of a key set: the shards owning the keys, sorted and
-    deduplicated. A singleton means the keys are co-located and the request
-    can ride the intra-shard path. *)

@@ -63,6 +63,41 @@ type Runtime.Types.payload +=
       (** lag exceeded [bound]: caller must fall back to the primary *)
   | Replica_refused of { rid : int; seq : int }
       (** the batch was not read-only: replicas never execute writes *)
+  (* online shard migration (driver application server <-> database):
+     ownership sealing plus the pull/push range-copy protocol layered on
+     the same change-feed machinery that serves read replicas. Handled by
+     a dedicated fiber forked only on migratable databases. *)
+  | Mig_seal_req of { epoch : int; owns : string -> bool }
+      (** install (and force-log) an ownership filter: from now on this
+          database votes No on any transaction writing a key it does not
+          own under the epoch-[epoch] map. Monotone in [epoch]; replays
+          and re-seals are idempotent *)
+  | Mig_seal_ack of { epoch : int }
+  | Mig_pull_req of { from_lsn : int }
+      (** read the committed change feed above [from_lsn] (the driver's
+          per-source watermark); read-only and idempotent *)
+  | Mig_pull_resp of {
+      from_lsn : int;  (** echoed, so stale replies can be discarded *)
+      feed : Rm.change_feed;
+      watermark : int;  (** the database's last committed LSN *)
+      in_doubt_moving : int;
+          (** prepared-but-undecided transactions that write a key the
+              seal disowns: the copy is complete only once these drained
+              to zero (each will commit below a later watermark or
+              abort) *)
+      sealed : int;  (** currently installed seal epoch; 0 = none *)
+    }
+  | Mig_push_req of {
+      src : string;  (** source database name: the watermark namespace *)
+      snapshot : (string * Value.t) list option;
+          (** [Some state]: re-seed (the source fell below its retention
+              floor), applied before [entries] *)
+      entries : (int * (string * Value.t) list) list;
+          (** moving-key write-sets in source-LSN order, ascending *)
+      upto : int;  (** source LSN the transfer covers through *)
+    }
+  | Mig_push_ack of { src : string; upto : int }
+      (** [upto] = the destination's durable per-[src] import watermark *)
   | Invalidate of { keys : string list }
       (** database → every application server: the write keyset of a
           just-committed transaction (or the union over a committed batch),
@@ -117,6 +152,16 @@ let cls_replica_exec =
 let cls_replica_reply =
   Runtime.Etx_runtime.register_class ~name:"replica-reply" (function
     | Replica_values _ | Replica_stale _ | Replica_refused _ -> true
+    | _ -> false)
+
+let cls_mig =
+  Runtime.Etx_runtime.register_class ~name:"db-mig" (function
+    | Mig_seal_req _ | Mig_pull_req _ | Mig_push_req _ -> true
+    | _ -> false)
+
+let cls_mig_reply =
+  Runtime.Etx_runtime.register_class ~name:"db-mig-reply" (function
+    | Mig_seal_ack _ | Mig_pull_resp _ | Mig_push_ack _ -> true
     | _ -> false)
 
 let cls_ready =

@@ -75,7 +75,25 @@ type redo =
       state : (string * Value.t) list;  (** full committed state *)
       committed : Xid.t list;  (** commit order, oldest first *)
       aborted : Xid.t list;
+      imports : (string * int) list;
+          (** per-source migration import watermarks (empty except on
+              migration destinations) *)
     }
+  (* online shard migration (DESIGN.md §16) *)
+  | W_seal of int * (string -> bool)
+      (** ownership filter of the given epoch: replayed on recovery so a
+          sealed source database cannot resurrect write acceptance for
+          keys that are mid-migration (the predicate is pure placement
+          data captured from the target shard map) *)
+  | W_import of {
+      src : string;
+      snapshot : (string * Value.t) list option;
+      entries : (int * (string * Value.t) list) list;
+      upto : int;
+    }
+      (** migrated write-sets from source database [src], covering its
+          change log through LSN [upto]; applied to committed state and
+          fed to the change feed like a commit *)
 
 (* On-disk footprint estimator for the db.log_bytes gauge: keys/strings
    dominate, fixed per-record framing overhead otherwise. *)
@@ -89,9 +107,15 @@ let writes_size ws =
 let redo_size = function
   | W_prepared (_, ws) | W_committed (_, ws) -> 32 + writes_size ws
   | W_aborted _ -> 24
-  | W_snapshot { state; committed; aborted } ->
+  | W_snapshot { state; committed; aborted; imports } ->
       32 + writes_size state
       + (16 * (List.length committed + List.length aborted))
+      + List.fold_left (fun a (s, _) -> a + 16 + String.length s) 0 imports
+  | W_seal _ -> 24
+  | W_import { src; snapshot; entries; _ } ->
+      32 + String.length src
+      + writes_size (Option.value ~default:[] snapshot)
+      + List.fold_left (fun a (_, ws) -> a + 8 + writes_size ws) 0 entries
 
 (* A lock is exclusive (one writer) or shared (any number of readers);
    shared locks exist only in strict-2PL mode. *)
@@ -121,6 +145,17 @@ type t = {
       (* shipping watermark: LSN of the latest committed change
          (= [snapshot_lsn] right after a checkpoint) *)
   mutable recovery_steps : int;  (* redo records applied by the last recover *)
+  (* online shard migration (DESIGN.md §16) *)
+  mutable seal : (int * (string -> bool)) option;
+      (* highest-epoch ownership filter installed; a prepare whose write
+         set leaves the owned region votes No *)
+  commit_lsns : (Xid.t, int) Hashtbl.t;
+      (* LSN of each transaction's commit record (above the snapshot
+         floor): the migration-integrity oracle checks destination import
+         watermarks against these *)
+  imports : (string, int) Hashtbl.t;
+      (* migration destination: highest source LSN imported, per source
+         database name; durable via W_import / W_snapshot *)
 }
 
 let create ?(timing = paper_timing) ?(seed_data = []) ?(read_locks = false)
@@ -146,6 +181,9 @@ let create ?(timing = paper_timing) ?(seed_data = []) ?(read_locks = false)
     snapshot_lsn = 0;
     last_commit_lsn = 0;
     recovery_steps = 0;
+    seal = None;
+    commit_lsns = Hashtbl.create 64;
+    imports = Hashtbl.create 4;
   }
 
 (* Append one redo record and make it durable: the append itself is free
@@ -365,6 +403,17 @@ let exec_dedup t ~seq ~xid ops =
             (seq, Some reply) :: List.remove_assoc seq txn.exec_log;
           Some reply)
 
+(* A sealed database disowns the keys a migration is moving away: any
+   not-yet-prepared transaction writing one votes No. Transactions that
+   prepared before the seal keep their Yes (their decide drains before the
+   copy completes — the driver waits on [in_doubt_moving]); after that
+   drain no new commit can ever touch a moving key here, which is the
+   no-lost-update half of the migration safety argument. *)
+let violates_seal t txn =
+  match t.seal with
+  | None -> false
+  | Some (_, owns) -> List.exists (fun (k, _) -> not (owns k)) txn.writes
+
 let vote t ~xid =
   let record v =
     t.vote_log <- (xid, v) :: t.vote_log;
@@ -379,7 +428,7 @@ let vote t ~xid =
       | Prepared | Committed -> Yes
       | Aborted -> No
       | Active ->
-          if txn.poisoned then begin
+          if txn.poisoned || violates_seal t txn then begin
             Rt.work "abort" t.timing.abort_cpu;
             abort_local t txn ~log:false;
             No
@@ -426,7 +475,7 @@ let vote_many t ~xids =
         | Prepared | Committed -> (xid, `Yes)
         | Aborted -> (xid, `No)
         | Active ->
-            if txn.poisoned then begin
+            if txn.poisoned || violates_seal t txn then begin
               Rt.work "abort" t.timing.abort_cpu;
               abort_local t txn ~log:false;
               (xid, `No)
@@ -484,6 +533,7 @@ let commit_prepared t txn =
   release_locks t txn.xid;
   txn.phase <- Committed;
   t.commit_order <- txn.xid :: t.commit_order;
+  Hashtbl.replace t.commit_lsns txn.xid lsn;
   note_commit t ~lsn txn.writes
 
 let decide t ~xid outcome =
@@ -567,6 +617,7 @@ let decide_many t ~items =
           release_locks t xid;
           txn.phase <- Committed;
           t.commit_order <- xid :: t.commit_order;
+          Hashtbl.replace t.commit_lsns xid lsn;
           note_commit t ~lsn writes
       | Some (txn, W_aborted _, _) when txn.phase = Prepared ->
           abort_local t txn ~log:false (* terminal record already forced *)
@@ -604,6 +655,9 @@ let recover t =
   t.snapshot_state <- t.seed_data;
   t.snapshot_lsn <- 0;
   t.last_commit_lsn <- 0;
+  t.seal <- None;
+  Hashtbl.reset t.commit_lsns;
+  Hashtbl.reset t.imports;
   List.iter (fun (k, v) -> Hashtbl.replace t.store k v) t.seed_data;
   let replay_one lsn = function
     | W_prepared (xid, writes) ->
@@ -616,11 +670,12 @@ let recover t =
         txn.writes <- writes;
         apply_writes t writes;
         t.commit_order <- xid :: t.commit_order;
+        Hashtbl.replace t.commit_lsns xid lsn;
         note_commit t ~lsn writes
     | W_aborted xid ->
         let txn = get_txn t xid in
         txn.phase <- Aborted
-    | W_snapshot { state; committed; aborted } ->
+    | W_snapshot { state; committed; aborted; imports } ->
         Hashtbl.reset t.store;
         List.iter (fun (k, v) -> Hashtbl.replace t.store k v) state;
         List.iter
@@ -634,10 +689,27 @@ let recover t =
             let txn = get_txn t xid in
             txn.phase <- Aborted)
           aborted;
+        Hashtbl.reset t.imports;
+        List.iter (fun (s, w) -> Hashtbl.replace t.imports s w) imports;
         t.changes <- [];
         t.snapshot_state <- state;
         t.snapshot_lsn <- lsn;
         if lsn > t.last_commit_lsn then t.last_commit_lsn <- lsn
+    | W_seal (epoch, owns) -> (
+        match t.seal with
+        | Some (e, _) when e >= epoch -> ()
+        | Some _ | None -> t.seal <- Some (epoch, owns))
+    | W_import { src; snapshot; entries; upto } ->
+        (match snapshot with
+        | Some state -> apply_writes t state
+        | None -> ());
+        List.iter (fun (_, ws) -> apply_writes t ws) entries;
+        let writes =
+          Option.value ~default:[] snapshot @ List.concat_map snd entries
+        in
+        if writes <> [] then note_commit t ~lsn writes;
+        let cur = Option.value ~default:0 (Hashtbl.find_opt t.imports src) in
+        if upto > cur then Hashtbl.replace t.imports src upto
   in
   (* checkpoint-bounded replay: scan for the latest durable snapshot, then
      apply only it and the records above it, in LSN order *)
@@ -688,6 +760,7 @@ let checkpoint t =
            state;
            committed = List.rev t.commit_order;
            aborted = decided Aborted;
+           imports = Hashtbl.fold (fun s w acc -> (s, w) :: acc) t.imports [];
          })
   in
   (* in-doubt workspaces stay individually recoverable *)
@@ -695,6 +768,11 @@ let checkpoint t =
     (fun (xid, writes) ->
       ignore (Dstore.Log.append t.log (W_prepared (xid, writes))))
     prepared;
+  (* the ownership seal must survive the truncation below the snapshot *)
+  (match t.seal with
+  | Some (epoch, owns) ->
+      ignore (Dstore.Log.append t.log (W_seal (epoch, owns)))
+  | None -> ());
   Dstore.Log.force ~label:"checkpoint" t.log;
   Dstore.Log.truncate_below t.log ~lsn:snap_lsn;
   t.snapshot_state <- state;
@@ -778,3 +856,68 @@ let known_xids t =
   Hashtbl.fold (fun xid _ acc -> xid :: acc) t.txns [] |> List.sort Xid.compare
 
 let votes_cast t = List.rev t.vote_log
+
+(* ---------------- Online shard migration surface ---------------- *)
+
+let seal t ~epoch ~owns =
+  match t.seal with
+  | Some (e, _) when e >= epoch -> () (* monotone; re-seals are no-ops *)
+  | Some _ | None ->
+      ignore (log_one t ~label:"seal" (W_seal (epoch, owns)));
+      t.seal <- Some (epoch, owns)
+
+let sealed_epoch t = match t.seal with None -> 0 | Some (e, _) -> e
+
+let in_doubt_moving t =
+  match t.seal with
+  | None -> 0
+  | Some (_, owns) ->
+      Hashtbl.fold
+        (fun _ txn n ->
+          if
+            txn.phase = Prepared
+            && List.exists (fun (k, _) -> not (owns k)) txn.writes
+          then n + 1
+          else n)
+        t.txns 0
+
+let import_watermark t ~src =
+  Option.value ~default:0 (Hashtbl.find_opt t.imports src)
+
+let import t ~src ?snapshot ~entries ~upto () =
+  let cur = import_watermark t ~src in
+  (* Entry-only transfers below or at the watermark are replays — drop
+     them. A snapshot transfer additionally applies {e at} the watermark:
+     the bootstrap snapshot of an unlogged source (seed data only) comes
+     as [upto = 0] against a fresh watermark of 0, and re-applying the
+     state the watermark already covers is the identity. *)
+  if (if snapshot = None then upto <= cur else upto < cur) then cur
+  else begin
+    (* Without a snapshot, drop the prefix an earlier (possibly pre-crash)
+       transfer already covered: entry LSNs are source LSNs, strictly
+       above the watermark. With one, apply the transfer whole — snapshot
+       plus its entry suffix reconstructs the source state at [upto]
+       exactly, which supersedes anything imported before. *)
+    let entries =
+      if snapshot = None then List.filter (fun (l, _) -> l > cur) entries
+      else entries
+    in
+    let lsn =
+      log_one t ~label:"import" (W_import { src; snapshot; entries; upto })
+    in
+    (match snapshot with Some state -> apply_writes t state | None -> ());
+    List.iter (fun (_, ws) -> apply_writes t ws) entries;
+    let writes =
+      Option.value ~default:[] snapshot @ List.concat_map snd entries
+    in
+    (* imported state enters the change feed like a commit, so the
+       destination's read replicas and [state_at] oracle see it *)
+    if writes <> [] then note_commit t ~lsn writes;
+    let upto = max upto cur in
+    Hashtbl.replace t.imports src upto;
+    upto
+  end
+
+let commit_lsn_of t xid = Hashtbl.find_opt t.commit_lsns xid
+
+let snapshot_floor t = t.snapshot_lsn

@@ -213,6 +213,65 @@ val state_at :
     retention floor (a later checkpoint discarded the history) or exceeds
     [last_commit_lsn]. The [replica_consistency] oracle. *)
 
+(** {1 Online shard migration (elastic reconfiguration)}
+
+    The storage half of DESIGN.md §16: a source database is {e sealed}
+    against an ownership filter, its moving keys are copied to the
+    destination through the same change-feed machinery that serves read
+    replicas, and the destination records a durable per-source import
+    watermark so a crashed-and-restarted transfer resumes idempotently. *)
+
+val seal : t -> epoch:int -> owns:(string -> bool) -> unit
+(** Install (and force-log) an ownership filter: from now on this database
+    votes [No] on any transaction writing a key for which [owns] is false
+    — closing the lost-update window where a commit lands on the source
+    after its keys were copied away. Monotone in [epoch]: a re-seal with
+    an older or equal epoch is a no-op. Survives crashes (logged and
+    carried across checkpoints). *)
+
+val sealed_epoch : t -> int
+(** The installed seal's target epoch; [0] when unsealed. *)
+
+val in_doubt_moving : t -> int
+(** Prepared-but-undecided transactions that write at least one key the
+    seal disowns. The migration driver's copy phase is complete only once
+    this drains to zero {e and} the change feed answers [Up_to_date] —
+    each such transaction will either commit (entering the feed below a
+    later watermark) or abort. [0] when unsealed. *)
+
+val import_watermark : t -> src:string -> int
+(** Highest source LSN already imported from database [src]; [0] before
+    any import. Durable (logged, restored by recovery). *)
+
+val import :
+  t ->
+  src:string ->
+  ?snapshot:(string * Value.t) list ->
+  entries:(int * (string * Value.t) list) list ->
+  upto:int ->
+  unit ->
+  int
+(** Apply a transfer of moving-key write-sets from source database [src]:
+    optional re-seed snapshot first, then [entries] (source-LSN order),
+    covering source LSNs through [upto]. Idempotent under redelivery and
+    driver restart: entries at or below the current watermark are
+    dropped, an entry-only transfer at or below it is a no-op, a
+    snapshot transfer strictly below it is a no-op (a snapshot {e at}
+    the watermark re-applies — the bootstrap snapshot of an unlogged
+    source arrives as [upto = 0], and values are absolute so
+    re-application is harmless). Force-logs one record; the
+    imported writes enter the committed change feed (replicas and
+    {!state_at} see them). Returns the new watermark. *)
+
+val commit_lsn_of : t -> Xid.t -> int option
+(** The LSN of the transaction's commit record, when this incarnation
+    committed it. The [migration_integrity] oracle compares it against
+    the destination's import watermark. *)
+
+val snapshot_floor : t -> int
+(** The retention floor (latest checkpoint snapshot LSN); [0] when the
+    full history is retained. *)
+
 (** {1 Introspection (tests, property checkers, experiments)} *)
 
 type txn_phase = Active | Prepared | Committed | Aborted

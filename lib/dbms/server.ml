@@ -173,7 +173,44 @@ let ship_thread rm ch ~period ~replicas () =
   in
   loop ()
 
-let spawn (rt : Rt.t) ?(invalidate = false) ?ship ~name ~rm ~observers () =
+(* Online shard migration endpoint (DESIGN.md §16), forked only on
+   migratable databases so non-elastic deployments keep their exact fiber
+   census. Seal installs the durable ownership filter; pull serves the
+   committed change feed above the driver's per-source watermark together
+   with everything the driver's completion check reads — watermark,
+   in-doubt-moving count and seal epoch arrive in one reply, so the check
+   is atomic with respect to this database's state; push applies a
+   transfer at the destination ([Rm.import] makes redelivery and driver
+   takeover idempotent). All three are safe to re-drive. *)
+let mig_handler rm ch () =
+  let rec loop () =
+    match Rt.recv_cls Msg.cls_mig with
+    | None -> ()
+    | Some m ->
+        (match m.payload with
+        | Msg.Mig_seal_req { epoch; owns } ->
+            Rm.seal rm ~epoch ~owns;
+            Rchannel.send ch m.src (Msg.Mig_seal_ack { epoch })
+        | Msg.Mig_pull_req { from_lsn } ->
+            Rchannel.send ch m.src
+              (Msg.Mig_pull_resp
+                 {
+                   from_lsn;
+                   feed = Rm.changes_since rm ~lsn:from_lsn;
+                   watermark = Rm.last_commit_lsn rm;
+                   in_doubt_moving = Rm.in_doubt_moving rm;
+                   sealed = Rm.sealed_epoch rm;
+                 })
+        | Msg.Mig_push_req { src; snapshot; entries; upto } ->
+            let upto = Rm.import rm ~src ?snapshot ~entries ~upto () in
+            Rchannel.send ch m.src (Msg.Mig_push_ack { src; upto })
+        | _ -> ());
+        loop ()
+  in
+  loop ()
+
+let spawn (rt : Rt.t) ?(invalidate = false) ?(migratable = false) ?ship ~name
+    ~rm ~observers () =
   rt.spawn ~name ~main:(fun ~recovery () ->
       let ch = Rchannel.create () in
       Rchannel.start ch;
@@ -192,6 +229,7 @@ let spawn (rt : Rt.t) ?(invalidate = false) ?ship ~name ~rm ~observers () =
       | None -> ()
       | Some (period, replicas) ->
           Rt.fork "db-ship" (ship_thread rm ch ~period ~replicas));
+      if migratable then Rt.fork "db-mig" (mig_handler rm ch);
       Rt.fork "db-exec" (exec_handler rm ch);
       Rt.fork "db-prepare" (prepare_handler rm ch sink);
       decide_handler rm ch sink ~invalidate ~observers ())

@@ -12,6 +12,7 @@ open Runtime
 val spawn :
   Etx_runtime.t ->
   ?invalidate:bool ->
+  ?migratable:bool ->
   ?ship:float * (unit -> Types.proc_id list) ->
   name:string ->
   rm:Rm.t ->
@@ -29,6 +30,11 @@ val spawn :
     the replica's suffix. Omitted (the default) the thread is not even
     forked, so replica-less deployments are event-for-event identical to
     the pre-replica revision.
+
+    [migratable] (default [false]) forks the online-shard-migration
+    handler fiber serving {!Msg.Mig_seal_req} / {!Msg.Mig_pull_req} /
+    {!Msg.Mig_push_req}. Off by default so non-elastic deployments keep
+    their exact fiber census (and hence their scheduling).
 
     [invalidate] (default [false]) turns on commit-piggybacked cache
     invalidation: every committing decide additionally broadcasts

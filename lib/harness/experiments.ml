@@ -1088,6 +1088,153 @@ let render_cross rows =
    cross fraction (deterministic)\n"
   ^ Stats.Table.render ~headers ~rows:body
 
+(* A17 — elastic reconfiguration: an online 2 -> 3-group split under live
+   traffic, throughput bucketed by migration phase.
+
+   One trial warms the cluster with bank-update traffic, starts a split of
+   group 0's slots toward the pre-provisioned spare, waits for the epoch
+   flip, and runs to quiescence. Delivered records are bucketed by their
+   delivery time against the [split, flip] window, so the "during" column
+   is the throughput cost of sealing + copying + bouncing, and
+   "before"/"after" bracket it with the undisturbed rates. The full
+   cluster spec — including migration integrity and exactly-once — is
+   asserted before any row is reported, and the row carries the copy and
+   re-routing counters so regressions in bounce volume are visible, not
+   just latency. *)
+
+type migrate_row = {
+  mg_clients : int;
+  mg_requests : int;  (** issued across all clients *)
+  mg_delivered : int;
+  mg_before_tx_per_vs : float;
+  mg_during_tx_per_vs : float;
+  mg_after_tx_per_vs : float;
+  mg_during_ms : float;  (** split -> flip window, virtual ms *)
+  mg_drain_ms : float;  (** source databases' seal-to-drained time *)
+  mg_keys_moved : int;
+  mg_bounced : int;
+  mg_map_refresh : int;
+  mg_events : int;
+  mg_wall_s : float;
+}
+
+let migrate_sweep ?(seed = 42) ?(issues = 10) ?domains () =
+  let one ~seed =
+    let reg = Obs.Registry.create () in
+    let keys = List.init 6 (Printf.sprintf "acct%d") in
+    let seed_data =
+      Workload.Bank.seed_accounts (List.map (fun k -> (k, 1000)) keys)
+    in
+    let scripts =
+      List.map
+        (fun k ~issue ->
+          for _ = 1 to issues do
+            ignore (issue (k ^ ":1"))
+          done)
+        keys
+    in
+    let t0 = Unix.gettimeofday () in
+    let e, c =
+      Simrun.cluster ~seed ~obs:reg ~shards:2 ~reconfig:true ~provision:1
+        ~client_period:200. ~seed_data ~business:Workload.Bank.update ~scripts
+        ()
+    in
+    (* warm: let the epoch-0 cluster serve traffic before splitting *)
+    ignore (Dsim.Engine.run_until ~deadline:600. e (fun () -> false));
+    let t_split = Dsim.Engine.now_of e in
+    ignore (Cluster.split c ~group:0 ~target:2);
+    if not (Cluster.await_epoch ~deadline:600_000. c 1) then
+      failwith "migrate_sweep: epoch flip did not happen";
+    let t_flip = Dsim.Engine.now_of e in
+    if not (Cluster.run_to_quiescence ~deadline:1_200_000. c) then
+      failwith "migrate_sweep: cluster did not quiesce";
+    (match Cluster.Spec.check_all c with
+    | [] -> ()
+    | violations ->
+        failwith
+          ("migrate_sweep: spec violated: " ^ String.concat "; " violations));
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let records = Cluster.all_records c in
+    let delivered = List.length records in
+    let requests = 6 * issues in
+    if delivered <> requests then
+      failwith
+        (Printf.sprintf "migrate_sweep: %d of %d requests delivered" delivered
+           requests);
+    let in_phase lo hi =
+      List.length
+        (List.filter
+           (fun (r : Etx.Client.record) ->
+             r.delivered_at >= lo && r.delivered_at < hi)
+           records)
+    in
+    let t_end =
+      List.fold_left
+        (fun a (r : Etx.Client.record) -> max a r.delivered_at)
+        t_flip records
+    in
+    let rate n window =
+      if window <= 0. then 0. else float_of_int n /. (window /. 1000.)
+    in
+    let counter = Obs.Registry.counter_total reg in
+    {
+      mg_clients = 6;
+      mg_requests = requests;
+      mg_delivered = delivered;
+      mg_before_tx_per_vs = rate (in_phase 0. t_split) t_split;
+      mg_during_tx_per_vs = rate (in_phase t_split t_flip) (t_flip -. t_split);
+      mg_after_tx_per_vs =
+        rate (in_phase t_flip infinity) (t_end -. t_flip);
+      mg_during_ms = t_flip -. t_split;
+      mg_drain_ms =
+        (match Obs.Registry.merged_histogram reg "migrate.drain_ms" with
+        | Some h -> Option.value ~default:0. (Obs.Histogram.mean h)
+        | None -> 0.);
+      mg_keys_moved = counter "migrate.keys_moved";
+      mg_bounced = counter "migrate.bounced";
+      mg_map_refresh = counter "client.map_refresh";
+      mg_events = Dsim.Engine.events_of e;
+      mg_wall_s = wall_s;
+    }
+  in
+  run_trials ?domains [ { label = "migrate"; seed; run = one } ]
+
+let render_migrate rows =
+  let headers =
+    [
+      "clients";
+      "delivered";
+      "tx/vsec before";
+      "tx/vsec during";
+      "tx/vsec after";
+      "window (ms)";
+      "drain (ms)";
+      "keys moved";
+      "bounced";
+      "refreshes";
+    ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.mg_clients;
+          Printf.sprintf "%d/%d" r.mg_delivered r.mg_requests;
+          Printf.sprintf "%.2f" r.mg_before_tx_per_vs;
+          Printf.sprintf "%.2f" r.mg_during_tx_per_vs;
+          Printf.sprintf "%.2f" r.mg_after_tx_per_vs;
+          Printf.sprintf "%.1f" r.mg_during_ms;
+          Printf.sprintf "%.1f" r.mg_drain_ms;
+          string_of_int r.mg_keys_moved;
+          string_of_int r.mg_bounced;
+          string_of_int r.mg_map_refresh;
+        ])
+      rows
+  in
+  "A17 — elastic reconfiguration: online split under live traffic, \
+   throughput by migration phase (deterministic)\n"
+  ^ Stats.Table.render ~headers ~rows:body
+
 let register_backend_comparison ?(seed = 42) ?domains () =
   (* one register write among three members; [writer] proposes, the member
      being measured records the elapsed time; optionally member 0 (the

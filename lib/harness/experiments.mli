@@ -254,6 +254,36 @@ val cross_sweep :
 
 val render_cross : cross_row list -> string
 
+type migrate_row = {
+  mg_clients : int;
+  mg_requests : int;  (** issued across all clients *)
+  mg_delivered : int;
+  mg_before_tx_per_vs : float;
+  mg_during_tx_per_vs : float;
+  mg_after_tx_per_vs : float;
+  mg_during_ms : float;  (** split -> flip window, virtual ms *)
+  mg_drain_ms : float;  (** source databases' seal-to-drained time *)
+  mg_keys_moved : int;
+  mg_bounced : int;
+  mg_map_refresh : int;
+  mg_events : int;
+  mg_wall_s : float;
+}
+
+val migrate_sweep :
+  ?seed:int -> ?issues:int -> ?domains:int -> unit -> migrate_row list
+(** A17: elastic reconfiguration. Warm a 2-shard cluster (one
+    pre-provisioned spare group) with bank-update traffic, split group 0's
+    slots toward the spare while the clients keep issuing, and report
+    virtual-time throughput before / during / after the [split, flip]
+    window, the sealed sources' drain time, and the copy and re-routing
+    counters ([migrate.keys_moved], [migrate.bounced],
+    [client.map_refresh]). Asserts the full cluster spec — migration
+    integrity and exactly-once included — and that every issued request was
+    delivered exactly once. Deterministic per seed. *)
+
+val render_migrate : migrate_row list -> string
+
 val register_backend_comparison :
   ?seed:int -> ?domains:int -> unit -> (string * float * float) list
 (** A8: the two wo-register substrates compared — the Chandra–Toueg agent

@@ -25,15 +25,15 @@ let deployment ?seed ?tracing ?obs ?net ?n_app_servers ?n_dbs ?fd_spec ?timing
 let cluster ?seed ?tracing ?obs ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec
     ?timing ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
     ?gc_after ?backend ?recoverable ?register_disk_latency ?batch ?cache
-    ?group_commit ?replicas ?replica_bound ?ship_period ?cross ~business
-    ~scripts () =
+    ?group_commit ?replicas ?replica_bound ?ship_period ?cross ?reconfig
+    ?provision ~business ~scripts () =
   let e, rt = engine ?seed ?tracing ?obs () in
   let c =
     Cluster.build ?net ?map ?shards ?n_app_servers ?n_dbs ?fd_spec ?timing
       ?disk_force_latency ?seed_data ?client_period ?clean_period ?poll
       ?gc_after ?backend ?recoverable ?register_disk_latency ?batch ?cache
-      ?group_commit ?replicas ?replica_bound ?ship_period ?cross ~rt ~business
-      ~scripts ()
+      ?group_commit ?replicas ?replica_bound ?ship_period ?cross ?reconfig
+      ?provision ~rt ~business ~scripts ()
   in
   (e, c)
 

@@ -75,6 +75,8 @@ val cluster :
   ?replica_bound:int ->
   ?ship_period:float ->
   ?cross:bool ->
+  ?reconfig:bool ->
+  ?provision:int ->
   business:Etx.Business.t ->
   scripts:(issue:(string -> Etx.Client.record) -> unit) list ->
   unit ->

@@ -1,0 +1,76 @@
+(* Reconfiguration wire protocol and register naming (PROTOCOL.md
+   "Reconfiguration").
+
+   Two register sequences, both decided by the config group's (group 0's)
+   consensus, mirror how every other protocol decision is learned:
+
+   - [cfg:e<n>]  — the authoritative map of epoch n (value: [Cfg_value]).
+     Write-once: the flip from epoch n-1 to n is the consensus decision
+     of this instance, and any server that reads it learns the new map
+     the same way it learns any decision.
+   - [mig:e<n>]  — the migration intent toward epoch n (value:
+     [Mig_intent]). Decided *before* any data moves, so a takeover driver
+     recomputes exactly the same work from the register alone: the whole
+     seal → copy → flip pipeline is a pure function of the decided intent
+     plus idempotent per-step acknowledgements. *)
+
+open Runtime
+
+let cfg_key ~epoch = Printf.sprintf "cfg:e%d" epoch
+let mig_key ~epoch = Printf.sprintf "mig:e%d" epoch
+
+(* A (rid, try, result, outcome) tuple: one terminated try of the source
+   group, installed at the destination before the flip so a client
+   retransmission of an already-committed try replays its result there
+   instead of re-executing it (the cross-flip duplicate-commit hazard). *)
+type decision_item = int * int * string option * Dbms.Rm.outcome
+
+type Types.payload +=
+  | Cfg_value of Shard_map.t
+      (** register value of [cfg:e<n>]: the authoritative epoch-n map *)
+  | Mig_intent of { owner : Types.proc_id; target : Shard_map.t }
+      (** register value of [mig:e<n>]: a migration toward [target] is in
+          flight, first driven by [owner]; any config-group server that
+          suspects [owner] re-drives it to completion *)
+  | Cfg_query of { have : int }
+      (** client/operator → any server: please send a map newer than
+          epoch [have] *)
+  | Cfg_current of { map : Shard_map.t }
+      (** reply to [Cfg_query]; also the operator's completion signal *)
+  | Cfg_announce of { map : Shard_map.t }
+      (** driver → every server post-flip: adopt if newer (idempotent;
+          the register sequence stays authoritative) *)
+  | Mig_start of { target : Shard_map.t }
+      (** operator → a config-group server: decide the intent and drive
+          the migration *)
+  | Mig_seal of { target : Shard_map.t }
+      (** driver → source-group servers: stop admitting new tries for
+          keys that [target] takes away (bounce them with the current
+          epoch); replays of already-terminated tries still answer *)
+  | Mig_sealed of { epoch : int; from : int }
+      (** seal acknowledgement; [epoch] = target epoch, [from] = group *)
+  | Mig_decisions_req of { epoch : int }
+      (** driver → source-group servers: enumerate every terminated
+          (rid, j) you know of — from your rid states and from the
+          decided regD registers (which cover tries terminated by servers
+          that have since crashed) *)
+  | Mig_decisions of { epoch : int; items : decision_item list }
+  | Mig_install of { epoch : int; items : decision_item list }
+      (** driver → destination-group servers: pre-seed these terminated
+          tries so cross-flip retransmissions replay instead of
+          re-executing *)
+  | Mig_installed of { epoch : int }
+
+(* Demux classes. Registered at module load, like every other class. *)
+
+let cls_cfg =
+  Etx_runtime.register_class ~name:"etx-cfg" (function
+    | Cfg_query _ | Cfg_announce _ | Mig_start _ | Mig_seal _
+    | Mig_decisions_req _ | Mig_install _ ->
+        true
+    | _ -> false)
+
+let cls_cfg_reply =
+  Etx_runtime.register_class ~name:"etx-cfg-reply" (function
+    | Cfg_current _ | Mig_sealed _ | Mig_decisions _ | Mig_installed _ -> true
+    | _ -> false)
